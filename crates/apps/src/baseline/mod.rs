@@ -1,0 +1,203 @@
+//! Host-CPU baselines: multithreaded PR / BFS / TC implementations run on
+//! the actual host, standing in for the paper's Perlmutter / EOS
+//! comparison points. They validate the simulated algorithms and provide
+//! the measured GUPS/GTEPS rates the comparison tables report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use updown_graph::Csr;
+
+/// Wall-time measurement of a closure, in seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    let share = n.div_ceil(parts).max(1);
+    (0..parts)
+        .map(|p| (p * share).min(n)..((p + 1) * share).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Threaded push PageRank: per-thread partial next-vectors, merged.
+pub fn pagerank_parallel(g: &Csr, iters: u32, damping: f64, threads: usize) -> Vec<f64> {
+    let n = g.n() as usize;
+    let mut pr = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        let ranges = chunk_ranges(n, threads);
+        let partials: Vec<Vec<f64>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let pr = &pr;
+                    let r = r.clone();
+                    s.spawn(move |_| {
+                        let mut next = vec![0.0f64; n];
+                        for v in r {
+                            let deg = g.degree(v as u32);
+                            if deg == 0 {
+                                continue;
+                            }
+                            let contrib = pr[v] / deg as f64;
+                            for &d in g.neigh(v as u32) {
+                                next[d as usize] += contrib;
+                            }
+                        }
+                        next
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let base = (1.0 - damping) / n as f64;
+        let mut next = vec![base; n];
+        for p in &partials {
+            for (x, y) in next.iter_mut().zip(p) {
+                *x += damping * y;
+            }
+        }
+        pr = next;
+    }
+    pr
+}
+
+/// Threaded level-synchronous BFS with an atomic visited bitmap.
+pub fn bfs_parallel(g: &Csr, root: u32, threads: usize) -> Vec<u64> {
+    let n = g.n() as usize;
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    dist[root as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![root];
+    let mut level = 0u64;
+    while !frontier.is_empty() {
+        level += 1;
+        let ranges = chunk_ranges(frontier.len(), threads);
+        let nexts: Vec<Vec<u32>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let frontier = &frontier;
+                    let dist = &dist;
+                    let r = r.clone();
+                    s.spawn(move |_| {
+                        let mut next = Vec::new();
+                        for &v in &frontier[r] {
+                            for &d in g.neigh(v) {
+                                if dist[d as usize]
+                                    .compare_exchange(
+                                        u64::MAX,
+                                        level,
+                                        Ordering::Relaxed,
+                                        Ordering::Relaxed,
+                                    )
+                                    .is_ok()
+                                {
+                                    next.push(d);
+                                }
+                            }
+                        }
+                        next
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        frontier = nexts.concat();
+    }
+    dist.into_iter().map(|a| a.into_inner()).collect()
+}
+
+/// Threaded triangle counting (sorted undirected CSR).
+pub fn tc_parallel(g: &Csr, threads: usize) -> u64 {
+    let n = g.n() as usize;
+    let ranges = chunk_ranges(n, threads);
+    let counts: Vec<u64> = crossbeam::scope(|s| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                s.spawn(move |_| {
+                    let mut c = 0u64;
+                    for v in r {
+                        let v = v as u32;
+                        for &u in g.neigh(v) {
+                            if u >= v {
+                                break;
+                            }
+                            c += intersect_less(g.neigh(v), g.neigh(u), u);
+                        }
+                    }
+                    c
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+    counts.into_iter().sum()
+}
+
+fn intersect_less(a: &[u32], b: &[u32], cap: u32) -> u64 {
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() && a[i] < cap && b[j] < cap {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use updown_graph::algorithms;
+    use updown_graph::generators::{rmat, RmatParams};
+    use updown_graph::preprocess::dedup_sort;
+
+    fn graph() -> Csr {
+        let mut g = Csr::from_edges(&dedup_sort(rmat(10, RmatParams::default(), 8).symmetrize()));
+        g.sort_neighbors();
+        g
+    }
+
+    #[test]
+    fn parallel_pr_matches_sequential() {
+        let g = graph();
+        let a = algorithms::pagerank(&g, 3, 0.85);
+        let b = pagerank_parallel(&g, 3, 0.85, 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_bfs_matches_sequential() {
+        let g = graph();
+        assert_eq!(bfs_parallel(&g, 0, 4), algorithms::bfs(&g, 0));
+    }
+
+    #[test]
+    fn parallel_tc_matches_sequential() {
+        let g = graph();
+        assert_eq!(tc_parallel(&g, 4), algorithms::triangle_count(&g));
+    }
+
+    #[test]
+    fn single_thread_degenerate_cases() {
+        let g = graph();
+        assert_eq!(tc_parallel(&g, 1), algorithms::triangle_count(&g));
+        assert_eq!(bfs_parallel(&g, 3, 1), algorithms::bfs(&g, 3));
+    }
+}

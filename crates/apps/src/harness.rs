@@ -1,0 +1,112 @@
+//! Sweep helpers shared by the figure-regeneration binaries: speedup
+//! arithmetic and artifact-style table printing.
+
+/// Speedups relative to the first entry (the paper's Tables 8–12 format).
+pub fn speedups(ticks: &[u64]) -> Vec<f64> {
+    if ticks.is_empty() {
+        return Vec::new();
+    }
+    let base = ticks[0] as f64;
+    ticks.iter().map(|&t| base / t as f64).collect()
+}
+
+/// A labelled series of (x, ticks) measurements.
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(String, u64)>,
+}
+
+impl Series {
+    pub fn new(label: &str) -> Series {
+        Series {
+            label: label.to_string(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: impl ToString, ticks: u64) {
+        self.points.push((x.to_string(), ticks));
+    }
+
+    pub fn speedups(&self) -> Vec<f64> {
+        speedups(&self.points.iter().map(|p| p.1).collect::<Vec<_>>())
+    }
+}
+
+/// Print a speedup table: rows = x values, one column per series — the
+/// layout of the paper's raw-data tables.
+pub fn print_speedup_table(title: &str, x_label: &str, series: &[Series]) {
+    println!("\n=== {title} ===");
+    print!("{x_label:>12}");
+    for s in series {
+        print!(" {:>14}", s.label);
+    }
+    println!();
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    let sp: Vec<Vec<f64>> = series.iter().map(|s| s.speedups()).collect();
+    for r in 0..rows {
+        let x = series
+            .iter()
+            .find(|s| s.points.len() > r)
+            .map(|s| s.points[r].0.clone())
+            .unwrap_or_default();
+        print!("{x:>12}");
+        for (si, s) in series.iter().enumerate() {
+            if r < s.points.len() {
+                print!(" {:>14.2}", sp[si][r]);
+            } else {
+                print!(" {:>14}", "—");
+            }
+        }
+        println!();
+    }
+}
+
+/// Print absolute ticks alongside speedups for one series.
+pub fn print_series_detail(title: &str, s: &Series, clock_ghz: f64) {
+    println!("\n--- {title}: {} ---", s.label);
+    println!("{:>12} {:>14} {:>12} {:>10}", "x", "ticks", "time(ms)", "speedup");
+    for ((x, t), sp) in s.points.iter().zip(s.speedups()) {
+        println!(
+            "{:>12} {:>14} {:>12.4} {:>10.2}",
+            x,
+            t,
+            *t as f64 / (clock_ghz * 1e9) * 1e3,
+            sp
+        );
+    }
+}
+
+/// Geometric mean (for summarizing speedup rows).
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(speedups(&[100, 50, 25]), vec![1.0, 2.0, 4.0]);
+        assert!(speedups(&[]).is_empty());
+    }
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), 0.0);
+    }
+
+    #[test]
+    fn series_accumulates() {
+        let mut s = Series::new("rmat");
+        s.push(1, 1000);
+        s.push(2, 400);
+        assert_eq!(s.speedups(), vec![1.0, 2.5]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Streaming ingestion (§5.2.4, Figure 10): TFORM parses a parallel CSV
+//! file with KVMSR mapping over blocks (phase 1), then the binary records
+//! are inserted into the Parallel Graph Abstraction with scalable atomic
+//! operations (phase 2) — the two phases the artifact's `perflog.tsv`
+//! brackets with "UDKVMSR started/finished [for phase2]".
+
+pub mod datagen;
+pub mod tform;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use drammalloc::{Layout, Region};
+use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
+use udweave::LaneSet;
+use updown_graph::{Pga, ShtLib};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport};
+
+use datagen::Dataset;
+use tform::{parse_block, RawRecord, RECORD_WORDS};
+
+#[derive(Clone, Debug)]
+pub struct IngestConfig {
+    pub machine: MachineConfig,
+    /// Lanes used (defaults to the whole machine); the artifact's
+    /// `NUM_TFORM_LANES` / `NUM_PGA_LANES`.
+    pub lanes: Option<u32>,
+    /// Parse block size in bytes (a parallel-file stripe).
+    pub block_bytes: usize,
+    /// PGA table shape: the artifact's VERTEX_BL/EB, EDGE_BL/EB knobs.
+    pub vertex_bl: u32,
+    pub vertex_eb: u32,
+    pub edge_bl: u32,
+    pub edge_eb: u32,
+}
+
+impl IngestConfig {
+    pub fn new(nodes: u32) -> IngestConfig {
+        IngestConfig {
+            machine: MachineConfig::with_nodes(nodes),
+            lanes: None,
+            block_bytes: 2048,
+            vertex_bl: 64,
+            vertex_eb: 16,
+            edge_bl: 64,
+            edge_eb: 64,
+        }
+    }
+}
+
+pub struct IngestResult {
+    /// Tick when phase 1 (parse + binary record write) finished.
+    pub phase1_tick: u64,
+    /// Tick when phase 2 (graph structure insert) finished.
+    pub phase2_tick: u64,
+    pub final_tick: u64,
+    pub n_records: u64,
+    pub vertices: usize,
+    pub edges: usize,
+    pub report: RunReport,
+}
+
+impl IngestResult {
+    /// Records parsed+ingested per second of simulated time.
+    pub fn records_per_second(&self, cfg: &MachineConfig) -> f64 {
+        self.n_records as f64 / cfg.ticks_to_seconds(self.final_tick)
+    }
+}
+
+#[derive(Default)]
+struct P1St {
+    task: Option<MapTask>,
+    pending_reads: u32,
+    pending_writes: u32,
+}
+
+#[derive(Default)]
+struct P2St {
+    task: Option<MapTask>,
+    pending_acks: u32,
+}
+
+/// Expected graph contents of a record stream (oracle for tests).
+pub fn expected_graph(records: &[RawRecord]) -> (usize, usize) {
+    use std::collections::HashSet;
+    let mut verts: HashSet<u64> = HashSet::new();
+    let mut edges: HashSet<(u64, u64, u64)> = HashSet::new();
+    for r in records {
+        if r.rtype == 0 {
+            verts.insert(r.fields[0]);
+        } else {
+            verts.insert(r.fields[0]);
+            verts.insert(r.fields[1]);
+            edges.insert((r.fields[0], r.fields[1], r.fields[2]));
+        }
+    }
+    (verts.len(), edges.len())
+}
+
+/// Run the two-phase ingestion pipeline on a dataset.
+pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
+    let mc = &cfg.machine;
+    let mut eng = Engine::new(mc.clone());
+    let nodes = mc.nodes;
+    let layout = Layout::cyclic(nodes);
+
+    // ---- the parallel file -------------------------------------------------
+    let file_bytes = ds.csv.len();
+    let file_words = file_bytes.div_ceil(8).max(1) as u64;
+    let file = Region::alloc_words(&mut eng, file_words, layout).expect("file");
+    {
+        let mut padded = ds.csv.clone();
+        padded.resize(file_words as usize * 8, 0);
+        eng.mem_mut().write_bytes(file.base, &padded).unwrap();
+    }
+
+    // Host-side shadow of the parallel parse (per-block record lists and
+    // output offsets); the device run charges the reads/parse/writes.
+    let bs = cfg.block_bytes;
+    let n_blocks = file_bytes.div_ceil(bs).max(1);
+    let mut per_block: Vec<Vec<RawRecord>> = Vec::with_capacity(n_blocks);
+    let mut prefix: Vec<u64> = Vec::with_capacity(n_blocks + 1);
+    prefix.push(0);
+    for b in 0..n_blocks {
+        let recs = parse_block(&ds.csv, b * bs, ((b + 1) * bs).min(file_bytes));
+        prefix.push(prefix[b] + recs.len() as u64);
+        per_block.push(recs);
+    }
+    let n_records = prefix[n_blocks];
+    assert_eq!(n_records as usize, ds.records.len(), "block parse lost records");
+
+    let records = Region::alloc_words(
+        &mut eng,
+        n_records.max(1) * RECORD_WORDS as u64,
+        layout,
+    )
+    .expect("records");
+
+    // ---- device structures ----------------------------------------------------
+    let rt = Kvmsr::install(&mut eng);
+    let sht = ShtLib::install(&mut eng);
+    let set = match cfg.lanes {
+        Some(l) => LaneSet::new(NetworkId(0), l.min(mc.total_lanes())),
+        None => LaneSet::all(mc),
+    };
+    let pga = Pga::create(
+        &mut eng,
+        &sht,
+        set,
+        cfg.vertex_bl,
+        cfg.vertex_eb,
+        cfg.edge_bl,
+        cfg.edge_eb,
+        layout,
+    );
+
+    // ---- phase 1: TFORM parse over blocks ------------------------------------
+    let per_block = Rc::new(per_block);
+    let prefix = Rc::new(prefix);
+    // Record writes are acked so phase 2 can never read a record slot
+    // before its write has been serviced ("synchronizing and ordering as
+    // necessary", §5.2.4).
+    let p1_wack = {
+        let rt = rt.clone();
+        udweave::event::<P1St>(&mut eng, "tform::writeAck", move |ctx, st| {
+            st.pending_writes -= 1;
+            ctx.charge(1);
+            if st.pending_writes == 0 {
+                let task = st.task.expect("ack before map");
+                rt.map_done(ctx, &task);
+                ctx.yield_terminate();
+            }
+        })
+    };
+    let p1_ret = {
+        let rt = rt.clone();
+        let per_block = per_block.clone();
+        let prefix = prefix.clone();
+        udweave::event::<P1St>(&mut eng, "tform::returnBlock", move |ctx, st| {
+            st.pending_reads -= 1;
+            if st.pending_reads > 0 {
+                return;
+            }
+            let task = st.task.expect("block read before map");
+            let b = task.key as usize;
+            // Transduce: ~2 bytes per cycle (sub-byte DFA, TFORM).
+            ctx.charge((bs as u64).div_ceil(2));
+            // Emit the 64-byte binary records.
+            let recs = &per_block[b];
+            let base = prefix[b];
+            if recs.is_empty() {
+                rt.map_done(ctx, &task);
+                ctx.yield_terminate();
+                return;
+            }
+            st.pending_writes = recs.len() as u32;
+            for (i, r) in recs.iter().enumerate() {
+                let w = r.to_words();
+                let va = records.word((base + i as u64) * RECORD_WORDS as u64);
+                ctx.send_dram_write(va, &w, Some(p1_wack));
+            }
+        })
+    };
+    let phase1 = rt.define_job(JobSpec::new("tform_parse", set, move |ctx, task, _rt| {
+        let b = task.key as usize;
+        let start_w = (b * bs) as u64 / 8;
+        let end_w = (((b + 1) * bs).min(file_bytes) as u64).div_ceil(8) + 8; // spillover
+        let end_w = end_w.min(file_words);
+        let mut pending = 0u32;
+        let mut w = start_w;
+        while w < end_w {
+            let k = (end_w - w).min(8);
+            pending += 1;
+            ctx.send_dram_read(file.word(w), k as usize, p1_ret);
+            w += k;
+        }
+        let st = ctx.state_mut::<P1St>();
+        st.task = Some(*task);
+        st.pending_reads = pending;
+        Outcome::Async
+    }));
+
+    // ---- phase 2: insert records into the PGA ----------------------------------
+    let p2_ack = {
+        let rt = rt.clone();
+        udweave::event::<P2St>(&mut eng, "ingest::insertAck", move |ctx, st| {
+            st.pending_acks -= 1;
+            ctx.charge(1);
+            if st.pending_acks == 0 {
+                let task = st.task.expect("ack before map");
+                rt.map_done(ctx, &task);
+                ctx.yield_terminate();
+            }
+        })
+    };
+    let p2_rec = {
+        let sht = sht.clone();
+        udweave::event::<P2St>(&mut eng, "ingest::returnRecord", move |ctx, st| {
+            let rec = RawRecord::from_words(ctx.args());
+            let ack = ctx.self_event(p2_ack);
+            if rec.rtype == 0 {
+                st.pending_acks = 1;
+                pga.add_vertex(ctx, &sht, rec.fields[0], rec.fields[1] as u16, ack);
+            } else {
+                st.pending_acks = 3;
+                pga.add_vertex(ctx, &sht, rec.fields[0], 0, ack);
+                pga.add_vertex(ctx, &sht, rec.fields[1], 0, ack);
+                pga.add_edge(
+                    ctx,
+                    &sht,
+                    rec.fields[0],
+                    rec.fields[1],
+                    rec.fields[2] as u16,
+                    ack,
+                );
+            }
+            ctx.charge(3);
+        })
+    };
+    let phase2 = rt.define_job(JobSpec::new("pga_insert", set, move |ctx, task, _rt| {
+        ctx.state_mut::<P2St>().task = Some(*task);
+        ctx.send_dram_read(
+            records.word(task.key * RECORD_WORDS as u64),
+            RECORD_WORDS,
+            p2_rec,
+        );
+        Outcome::Async
+    }));
+
+    // ---- driver: phase 1 then phase 2 ---------------------------------------
+    let p1_tick: Rc<RefCell<u64>> = Rc::default();
+    let p2_tick: Rc<RefCell<u64>> = Rc::default();
+    let p2t = p2_tick.clone();
+    let p2_done = udweave::simple_event(&mut eng, "main::phase2_done", move |ctx| {
+        *p2t.borrow_mut() = ctx.now();
+        ctx.stop();
+    });
+    let p1t = p1_tick.clone();
+    let rt2 = rt.clone();
+    let p1_done = udweave::simple_event(&mut eng, "main::phase1_done", move |ctx| {
+        *p1t.borrow_mut() = ctx.now();
+        let cont = EventWord::new(ctx.nwid(), p2_done);
+        rt2.start_from(ctx, phase2, n_records, 0, cont);
+        ctx.yield_terminate();
+    });
+    let rt3 = rt.clone();
+    let init = udweave::simple_event(&mut eng, "main::init", move |ctx| {
+        let cont = EventWord::new(ctx.nwid(), p1_done);
+        rt3.start_from(ctx, phase1, n_blocks as u64, 0, cont);
+        ctx.yield_terminate();
+    });
+
+    eng.send(EventWord::new(NetworkId(0), init), [], EventWord::IGNORE);
+    let report = eng.run();
+
+    let (vertices, edges) = pga.counts(&sht);
+    let phase1_tick = *p1_tick.borrow();
+    let phase2_tick = *p2_tick.borrow();
+    IngestResult {
+        phase1_tick,
+        phase2_tick,
+        final_tick: report.final_tick,
+        n_records,
+        vertices,
+        edges,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ingests_exact_graph() {
+        let ds = datagen::generate(400, 300, 7);
+        let mut cfg = IngestConfig::new(2);
+        cfg.machine = MachineConfig::small(2, 2, 8);
+        let res = run_ingest(&ds, &cfg);
+        let (ev, ee) = expected_graph(&ds.records);
+        assert_eq!(res.vertices, ev);
+        assert_eq!(res.edges, ee);
+        assert_eq!(res.n_records, 400);
+        assert!(res.phase1_tick > 0 && res.phase2_tick > res.phase1_tick);
+    }
+
+    #[test]
+    fn phase_ticks_scale_with_data() {
+        let small = datagen::sized(200, 0.5, 200, 1);
+        let big = datagen::sized(200, 2.0, 200, 1);
+        let mut cfg = IngestConfig::new(1);
+        cfg.machine = MachineConfig::small(1, 2, 8);
+        let a = run_ingest(&small, &cfg);
+        let b = run_ingest(&big, &cfg);
+        assert!(b.final_tick > a.final_tick);
+    }
+
+    #[test]
+    fn lane_subset_still_correct() {
+        let ds = datagen::generate(200, 100, 11);
+        let mut cfg = IngestConfig::new(1);
+        cfg.machine = MachineConfig::small(1, 2, 8);
+        cfg.lanes = Some(4);
+        let res = run_ingest(&ds, &cfg);
+        let (ev, ee) = expected_graph(&ds.records);
+        assert_eq!((res.vertices, res.edges), (ev, ee));
+    }
+}

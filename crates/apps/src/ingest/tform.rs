@@ -1,0 +1,311 @@
+//! TFORM: a deterministic finite-state transducer that parses CSV record
+//! streams into 64-byte binary records (§5.2.4; the sub-byte encode/decode
+//! tool of Table 5, modeled at field granularity).
+//!
+//! The record grammar is the synthetic stand-in for the AGILE WF2 data
+//! (see DESIGN.md): one record per line,
+//!
+//! ```text
+//! V,<id>,<vtype>\n
+//! E,<src>,<dst>,<etype>\n
+//! ```
+//!
+//! The transducer is a real table-driven DFA over byte classes — not a
+//! `str::split` — because the *cost model* of the device parse (charged
+//! per byte) and the block-boundary record handling both come from it.
+
+/// Binary record: 64 bytes = 8 words on the device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawRecord {
+    /// 0 = vertex, 1 = edge.
+    pub rtype: u64,
+    pub fields: [u64; 3],
+}
+
+pub const RECORD_WORDS: usize = 8;
+
+impl RawRecord {
+    pub fn vertex(id: u64, vtype: u64) -> RawRecord {
+        RawRecord {
+            rtype: 0,
+            fields: [id, vtype, 0],
+        }
+    }
+
+    pub fn edge(src: u64, dst: u64, etype: u64) -> RawRecord {
+        RawRecord {
+            rtype: 1,
+            fields: [src, dst, etype],
+        }
+    }
+
+    /// Device image: 8 words (type, 3 fields, padding).
+    pub fn to_words(&self) -> [u64; RECORD_WORDS] {
+        [
+            self.rtype,
+            self.fields[0],
+            self.fields[1],
+            self.fields[2],
+            0,
+            0,
+            0,
+            0,
+        ]
+    }
+
+    pub fn from_words(w: &[u64]) -> RawRecord {
+        RawRecord {
+            rtype: w[0],
+            fields: [w[1], w[2], w[3]],
+        }
+    }
+}
+
+/// DFA states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum S {
+    /// At start of a record: expect 'V' or 'E'.
+    Start,
+    /// After the type letter: expect ','.
+    AfterType,
+    /// Inside a numeric field.
+    Digits,
+    /// Skipping a malformed line until newline.
+    Error,
+}
+
+/// Byte classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum C {
+    TypeV,
+    TypeE,
+    Digit(u64),
+    Comma,
+    Newline,
+    Other,
+}
+
+#[inline]
+fn classify(b: u8) -> C {
+    match b {
+        b'V' => C::TypeV,
+        b'E' => C::TypeE,
+        b'0'..=b'9' => C::Digit((b - b'0') as u64),
+        b',' => C::Comma,
+        b'\n' => C::Newline,
+        _ => C::Other,
+    }
+}
+
+/// The transducer: feed bytes, collect records. Emits nothing for
+/// malformed lines (they are consumed to the next newline).
+pub struct Transducer {
+    state: S,
+    rtype: u64,
+    fields: [u64; 3],
+    nfields: usize,
+    acc: u64,
+    /// Bytes consumed (cost accounting).
+    pub bytes: u64,
+}
+
+impl Default for Transducer {
+    fn default() -> Self {
+        Transducer {
+            state: S::Start,
+            rtype: 0,
+            fields: [0; 3],
+            nfields: 0,
+            acc: 0,
+            bytes: 0,
+        }
+    }
+}
+
+impl Transducer {
+    /// Advance over one byte; returns a completed record at newlines.
+    pub fn step(&mut self, b: u8) -> Option<RawRecord> {
+        self.bytes += 1;
+        let c = classify(b);
+        match (self.state, c) {
+            (S::Start, C::TypeV) => {
+                self.rtype = 0;
+                self.nfields = 0;
+                self.state = S::AfterType;
+                None
+            }
+            (S::Start, C::TypeE) => {
+                self.rtype = 1;
+                self.nfields = 0;
+                self.state = S::AfterType;
+                None
+            }
+            (S::Start, C::Newline) => None, // empty line
+            (S::Start, _) => {
+                self.state = S::Error;
+                None
+            }
+            (S::AfterType, C::Comma) => {
+                self.acc = 0;
+                self.state = S::Digits;
+                None
+            }
+            (S::AfterType, _) => {
+                self.state = S::Error;
+                None
+            }
+            (S::Digits, C::Digit(d)) => {
+                self.acc = self.acc * 10 + d;
+                None
+            }
+            (S::Digits, C::Comma) => {
+                if self.nfields < 3 {
+                    self.fields[self.nfields] = self.acc;
+                    self.nfields += 1;
+                    self.acc = 0;
+                    None
+                } else {
+                    self.state = S::Error;
+                    None
+                }
+            }
+            (S::Digits, C::Newline) => {
+                let mut fields = self.fields;
+                let rec = if self.nfields < 3 {
+                    fields[self.nfields] = self.acc;
+                    let want = if self.rtype == 0 { 2 } else { 3 };
+                    if self.nfields + 1 == want {
+                        Some(RawRecord {
+                            rtype: self.rtype,
+                            fields,
+                        })
+                    } else {
+                        None // wrong arity
+                    }
+                } else {
+                    None
+                };
+                self.state = S::Start;
+                self.fields = [0; 3];
+                self.nfields = 0;
+                self.acc = 0;
+                rec
+            }
+            (S::Digits, _) => {
+                self.state = S::Error;
+                None
+            }
+            (S::Error, C::Newline) => {
+                self.state = S::Start;
+                self.fields = [0; 3];
+                self.nfields = 0;
+                self.acc = 0;
+                None
+            }
+            (S::Error, _) => None,
+        }
+    }
+
+    /// Parse a full byte slice.
+    pub fn parse_all(bytes: &[u8]) -> Vec<RawRecord> {
+        let mut t = Transducer::default();
+        bytes.iter().filter_map(|&b| t.step(b)).collect()
+    }
+}
+
+/// Records whose *terminating newline* falls in `[start, end)` of the full
+/// stream — the block-ownership rule that lets parallel block parsers
+/// handle records spanning block boundaries (§5.2.4: "variable-size
+/// records that can span block boundaries"). Every record is owned by
+/// exactly one block.
+pub fn parse_block(bytes: &[u8], start: usize, end: usize) -> Vec<RawRecord> {
+    // Rewind to the start of the record containing `start`: the byte after
+    // the previous newline (or 0).
+    let rec_start = if start == 0 {
+        0
+    } else {
+        match bytes[..start].iter().rposition(|&b| b == b'\n') {
+            Some(p) => p + 1,
+            None => 0,
+        }
+    };
+    let mut t = Transducer::default();
+    let mut out = Vec::new();
+    for (i, &b) in bytes.iter().enumerate().skip(rec_start) {
+        if let Some(r) = t.step(b) {
+            // `b` is the newline; ownership by its position.
+            if i >= start && i < end {
+                out.push(r);
+            } else if i >= end {
+                break;
+            }
+        }
+        if i >= end && b == b'\n' {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vertices_and_edges() {
+        let recs = Transducer::parse_all(b"V,12,3\nE,12,99,4\nV,99,1\n");
+        assert_eq!(
+            recs,
+            vec![
+                RawRecord::vertex(12, 3),
+                RawRecord::edge(12, 99, 4),
+                RawRecord::vertex(99, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_malformed_lines() {
+        let recs = Transducer::parse_all(b"garbage\nV,1,1\nE,1\nV,2,2\nE,5,6,7,8\n");
+        // "E,1" has arity 2 (wants 3) -> dropped; "E,5,6,7,8" has 4 -> dropped.
+        assert_eq!(recs, vec![RawRecord::vertex(1, 1), RawRecord::vertex(2, 2)]);
+    }
+
+    #[test]
+    fn empty_lines_ok() {
+        let recs = Transducer::parse_all(b"\n\nV,7,1\n\n");
+        assert_eq!(recs, vec![RawRecord::vertex(7, 1)]);
+    }
+
+    #[test]
+    fn block_partition_covers_every_record_once() {
+        // Build a stream, then parse with many different block sizes: the
+        // concatenation over blocks must equal the full parse.
+        let mut s = String::new();
+        for i in 0..200u64 {
+            if i % 3 == 0 {
+                s.push_str(&format!("V,{},{}\n", i, i % 5));
+            } else {
+                s.push_str(&format!("E,{},{},{}\n", i, (i * 7) % 200, i % 4));
+            }
+        }
+        let bytes = s.as_bytes();
+        let full = Transducer::parse_all(bytes);
+        for bs in [7usize, 64, 100, 1024, 4096] {
+            let mut got = Vec::new();
+            let mut start = 0;
+            while start < bytes.len() {
+                let end = (start + bs).min(bytes.len());
+                got.extend(parse_block(bytes, start, end));
+                start = end;
+            }
+            assert_eq!(got, full, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let r = RawRecord::edge(5, 6, 7);
+        assert_eq!(RawRecord::from_words(&r.to_words()), r);
+    }
+}

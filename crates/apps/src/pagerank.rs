@@ -1,0 +1,562 @@
+//! Push-based PageRank on KVMSR+UDWeave (§4.1, Listing 3).
+//!
+//! - The graph is vertex-split to a maximum degree (512 in the paper) and
+//!   shuffled; one `kv_map` task runs per *sub-vertex*.
+//! - `kv_map` reads its sub-vertex record and the root's current value,
+//!   then streams its neighbor slice from DRAM in chunks of eight,
+//!   emitting `<neighbor, contribution>` tuples from the `returnRead`
+//!   event — exactly the structure of Listing 3.
+//! - `kv_reduce` accumulates contributions with an atomic fetch-and-add
+//!   (optionally through the scratchpad combining cache, §4.1 fn. 1).
+//!
+//! Two splitting regimes are supported (see `preprocess`):
+//!
+//! - **out-split** (`split`): reduce keys are original vertices. Hot
+//!   in-degree vertices serialize on one reduce lane — fine for mildly
+//!   skewed graphs.
+//! - **in/out-split** (`split_in_out`, the paper's transformation to a
+//!   bounded max degree): reduce keys are *sub-vertices*, spreading a
+//!   hub's updates over many lanes; an extra per-iteration KVMSR
+//!   aggregates the sub-cells into each root's total.
+//!
+//! The stored arrays keep the "raw sum" `S`; `pr = (1-d)/n + d·S` is
+//! applied on read, avoiding an extra finalize sweep.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use drammalloc::{Layout, Region};
+use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
+use udweave::{CombiningCache, Kind, LaneSet};
+use updown_graph::preprocess::SplitGraph;
+use updown_graph::DeviceSplit;
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport, VAddr};
+
+/// PageRank configuration.
+#[derive(Clone, Debug)]
+pub struct PrConfig {
+    pub machine: MachineConfig,
+    /// Memory nodes available to DRAMmalloc (the Figure 12 sweep); `None`
+    /// uses all nodes.
+    pub mem_nodes: Option<u32>,
+    pub iterations: u32,
+    pub damping: f64,
+    /// Use the scratchpad combining cache in `kv_reduce` instead of direct
+    /// memory-side fetch-and-add (ablation).
+    pub combining: bool,
+    /// DRAMmalloc block size for the graph arrays (32 KiB in §4.1.1).
+    pub block_size: u64,
+}
+
+impl PrConfig {
+    pub fn new(nodes: u32) -> PrConfig {
+        PrConfig {
+            machine: MachineConfig::with_nodes(nodes),
+            mem_nodes: None,
+            iterations: 2,
+            damping: 0.85,
+            combining: false,
+            block_size: 32 * 1024,
+        }
+    }
+}
+
+/// Result of a simulated PageRank run.
+pub struct PrResult {
+    /// PageRank values per original vertex (in the split graph's id space).
+    pub values: Vec<f64>,
+    /// Tick at which each iteration completed.
+    pub iter_ticks: Vec<u64>,
+    pub final_tick: u64,
+    pub report: RunReport,
+    /// Edge updates (emits) per iteration.
+    pub updates_per_iter: u64,
+}
+
+impl PrResult {
+    /// Giga-updates per second at the configured clock.
+    pub fn gups(&self, cfg: &MachineConfig) -> f64 {
+        let secs = cfg.ticks_to_seconds(self.final_tick);
+        (self.updates_per_iter as f64 * self.iter_ticks.len() as f64) / secs / 1e9
+    }
+}
+
+#[derive(Default)]
+struct PrMapSt {
+    task: Option<MapTask>,
+    slice_deg: u32,
+    loaded: u32,
+    contrib: f64,
+    nl_va: u64,
+    orig_deg: u64,
+    root: u64,
+}
+
+#[derive(Default)]
+struct RedSt {
+    job: u32,
+}
+
+#[derive(Default)]
+struct EpiSt {
+    pending: u32,
+    done_raw: u64,
+}
+
+#[derive(Default)]
+struct AggSt {
+    task: Option<MapTask>,
+    pending: u32,
+    sum: f64,
+}
+
+#[derive(Default)]
+struct DriverSt {
+    iter: u32,
+}
+
+/// Run PageRank over a pre-split graph (either splitting regime).
+pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
+    let mut eng = Engine::new(cfg.machine.clone());
+    let nodes = cfg.machine.nodes;
+    let mem_nodes = cfg.mem_nodes.unwrap_or(nodes).min(nodes);
+    let layout = Layout::cyclic_bs(mem_nodes, cfg.block_size);
+
+    let n = sg.n_orig as u64;
+    let use_subs = sg.targets_are_subs;
+    let dsg = DeviceSplit::load(
+        &mut eng,
+        sg,
+        4,
+        layout,
+        layout,
+        |_s, root, sdeg, odeg, nl_va| vec![root as u64, sdeg as u64, odeg as u64, nl_va.0],
+    );
+    // Accumulation cells: per-sub in the in/out-split regime, per-root in
+    // the legacy regime. Double buffered across iterations.
+    let n_acc = if use_subs { dsg.n_sub } else { n };
+    let arrays = [
+        Region::alloc_words(&mut eng, n_acc, layout).expect("S0"),
+        Region::alloc_words(&mut eng, n_acc, layout).expect("S1"),
+    ];
+    // Per-root totals (the aggregation target); the legacy regime reads
+    // the accumulation array directly instead.
+    let totals = Region::alloc_words(&mut eng, n, layout).expect("totals");
+    // first_sub index for the aggregation job.
+    let fs = Region::alloc_words(&mut eng, n + 1, layout).expect("first_sub");
+
+    let damping = cfg.damping;
+    let base = (1.0 - damping) / n as f64;
+    let s0 = (1.0 / n as f64 - base) / damping;
+    {
+        let mem = eng.mem_mut();
+        for v in 0..n {
+            mem.write_f64(totals.word(v), s0).unwrap();
+            if !use_subs {
+                mem.write_f64(arrays[0].word(v), s0).unwrap();
+            }
+        }
+        for v in 0..=n {
+            mem.write_u64(fs.word(v), sg.first_sub[v as usize] as u64)
+                .unwrap();
+        }
+    }
+
+    let rt = Kvmsr::install(&mut eng);
+    let set = LaneSet::all(&cfg.machine);
+
+    // Current iteration, shared with reduce/map closures (sequential jobs,
+    // a host cell shadowing a broadcast register).
+    let cur_iter: Rc<RefCell<u32>> = Rc::default();
+    let iter_ticks: Rc<RefCell<Vec<u64>>> = Rc::default();
+    let emitted: Rc<RefCell<u64>> = Rc::default();
+
+    // ---- the kv_map / returnRead structure of Listing 3 -----------------
+    let ret_nl = {
+        let rt = rt.clone();
+        udweave::event::<PrMapSt>(&mut eng, "PageRankWorker::returnRead", move |ctx, st| {
+            let mut task = st.task.expect("returnRead before kv_map");
+            let nargs = ctx.args().len();
+            let contrib = st.contrib.to_bits();
+            for i in 0..nargs {
+                let dst = ctx.arg(i);
+                rt.emit(ctx, &mut task, dst, &[contrib]);
+            }
+            ctx.charge(nargs as u64);
+            st.loaded += nargs as u32;
+            st.task = Some(task);
+            if st.loaded == st.slice_deg {
+                rt.map_done(ctx, &task);
+                ctx.yield_terminate();
+            }
+        })
+    };
+    let ret_s = {
+        udweave::event::<PrMapSt>(&mut eng, "PageRankWorker::returnPr", move |ctx, st| {
+            let s_val = ctx.argf(0);
+            st.contrib = (base + damping * s_val) / st.orig_deg as f64;
+            ctx.charge(4); // fp math
+            let mut off = 0u32;
+            while off < st.slice_deg {
+                let k = (st.slice_deg - off).min(8);
+                ctx.send_dram_read(VAddr(st.nl_va).word(off as u64), k as usize, ret_nl);
+                off += k;
+            }
+        })
+    };
+    let ret_rec = {
+        let rt = rt.clone();
+        let cur_iter = cur_iter.clone();
+        udweave::event::<PrMapSt>(&mut eng, "PageRankWorker::returnRecord", move |ctx, st| {
+            st.root = ctx.arg(0);
+            st.slice_deg = ctx.arg(1) as u32;
+            st.orig_deg = ctx.arg(2);
+            st.nl_va = ctx.arg(3);
+            if st.slice_deg == 0 || st.orig_deg == 0 {
+                let task = st.task.expect("record before kv_map");
+                rt.map_done(ctx, &task);
+                ctx.yield_terminate();
+                return;
+            }
+            // Read the root's total from the previous iteration.
+            let src = if use_subs {
+                totals.word(st.root)
+            } else {
+                let parity = (*cur_iter.borrow() % 2) as usize;
+                arrays[parity].word(st.root)
+            };
+            ctx.send_dram_read(src, 1, ret_s);
+        })
+    };
+
+    // kv_reduce: accumulate into the next array (key = sub or root id).
+    let reduce_cache: Rc<RefCell<std::collections::HashMap<u32, CombiningCache>>> = Rc::default();
+    let combining = cfg.combining;
+    // Acked flush: the epilogue completes only after every drained entry's
+    // fetch-and-add has been serviced, so the aggregate job (or the next
+    // iteration) cannot read a cell that is still missing cached updates.
+    // Direct (non-combining) reduces ack their fetch-and-add so the
+    // aggregate job / next iteration can never read past an in-flight
+    // remote update.
+    let red_ack = {
+        let rt = rt.clone();
+        udweave::event::<RedSt>(&mut eng, "pr_reduce::addAck", move |ctx, st| {
+            ctx.charge(1);
+            rt.reduce_done(ctx, kvmsr::JobId(st.job));
+            ctx.yield_terminate();
+        })
+    };
+    let flush_ack = udweave::event::<EpiSt>(&mut eng, "pr_flush::ack", move |ctx, st| {
+        st.pending -= 1;
+        ctx.charge(1);
+        if st.pending == 0 {
+            let done = EventWord::from_raw(st.done_raw);
+            ctx.send_event(done, [0u64, 0], EventWord::IGNORE);
+            ctx.yield_terminate();
+        }
+    });
+    let map_job = {
+        let cur_iter = cur_iter.clone();
+        let reduce_cache = reduce_cache.clone();
+        let reduce_cache_epi = reduce_cache.clone();
+        rt.define_job(
+            JobSpec::new("pagerank", set, move |ctx, task, _rt| {
+                let s = task.key;
+                ctx.state_mut::<PrMapSt>().task = Some(*task);
+                ctx.send_dram_read(dsg.sub(s), 4, ret_rec);
+                Outcome::Async
+            })
+            .with_reduce(move |ctx, task, vals, _rt| {
+                let parity = *cur_iter.borrow() % 2;
+                let next = arrays[1 - parity as usize];
+                let va = next.word(task.key);
+                let delta = f64::from_bits(vals[0]);
+                ctx.charge(1);
+                if combining {
+                    let lane = ctx.nwid().0;
+                    let cache = {
+                        let mut rc = reduce_cache.borrow_mut();
+                        match rc.get(&lane) {
+                            Some(c) => *c,
+                            None => {
+                                let c = CombiningCache::new(ctx, 256, Kind::F64);
+                                rc.insert(lane, c);
+                                c
+                            }
+                        }
+                    };
+                    cache.add_f64(ctx, va, delta);
+                    Outcome::Done
+                } else {
+                    ctx.state_mut::<RedSt>().job = task.job.0;
+                    ctx.dram_fetch_add_f64(va, delta, Some(red_ack), None);
+                    Outcome::Async
+                }
+            })
+            .epilogue(move |ctx, done| {
+                if !combining {
+                    return Outcome::Done;
+                }
+                let cache = reduce_cache_epi.borrow().get(&ctx.nwid().0).copied();
+                let entries = match cache {
+                    Some(c) => c.drain(ctx),
+                    None => Vec::new(),
+                };
+                if entries.is_empty() {
+                    return Outcome::Done;
+                }
+                let st = ctx.state_mut::<EpiSt>();
+                st.pending = entries.len() as u32;
+                st.done_raw = done.raw();
+                for (va, bits) in entries {
+                    ctx.dram_fetch_add_f64(va, f64::from_bits(bits), Some(flush_ack), None);
+                }
+                Outcome::Async
+            }),
+        )
+    };
+    // Zero the accumulation target before each sweep.
+    let zero_job = {
+        let cur_iter = cur_iter.clone();
+        kvmsr::define_do_all(&rt, "pagerank_zero", set, move |ctx, key, _arg| {
+            let parity = *cur_iter.borrow() % 2;
+            let next = arrays[1 - parity as usize];
+            ctx.send_dram_write(next.word(key), &[0f64.to_bits()], None);
+        })
+    };
+    // In/out-split regime: sum each root's sub-cells into `totals`.
+    let agg_cells = {
+        let rt = rt.clone();
+        udweave::event::<AggSt>(&mut eng, "pr_agg::returnCells", move |ctx, st| {
+            let nargs = ctx.args().len();
+            for i in 0..nargs {
+                st.sum += ctx.argf(i);
+            }
+            ctx.charge(nargs as u64 + 1);
+            st.pending -= 1;
+            if st.pending == 0 {
+                let task = st.task.expect("cells before map");
+                ctx.send_dram_write(totals.word(task.key), &[st.sum.to_bits()], None);
+                rt.map_done(ctx, &task);
+                ctx.yield_terminate();
+            }
+        })
+    };
+    let agg_fs = {
+        let cur_iter = cur_iter.clone();
+        udweave::event::<AggSt>(&mut eng, "pr_agg::returnFs", move |ctx, st| {
+            let a = ctx.arg(0);
+            let b = ctx.arg(1);
+            debug_assert!(b > a, "every vertex has at least one sub");
+            // cur_iter has not advanced yet: the freshly accumulated array
+            // is 1 - parity.
+            let parity = (*cur_iter.borrow() % 2) as usize;
+            let acc = arrays[1 - parity];
+            let mut off = a;
+            while off < b {
+                let k = (b - off).min(8);
+                st.pending += 1;
+                ctx.send_dram_read(acc.word(off), k as usize, agg_cells);
+                off += k;
+            }
+        })
+    };
+    let agg_job = rt.define_job(JobSpec::new(
+        "pagerank_aggregate",
+        set,
+        move |ctx, task, _rt| {
+            ctx.state_mut::<AggSt>().task = Some(*task);
+            ctx.send_dram_read(fs.word(task.key), 2, agg_fs);
+            Outcome::Async
+        },
+    ));
+
+    // ---- iteration driver -------------------------------------------------
+    let iters = cfg.iterations;
+    let n_sub = dsg.n_sub;
+    let mut driver = udweave::ThreadType::<DriverSt>::new("pr_driver");
+    let zero_label: Rc<RefCell<u16>> = Rc::default();
+    let iter_done_body = {
+        let cur_iter = cur_iter.clone();
+        let iter_ticks = iter_ticks.clone();
+        let rt = rt.clone();
+        let zero_label = zero_label.clone();
+        Rc::new(
+            move |ctx: &mut updown_sim::EventCtx<'_>, st: &mut DriverSt| {
+                iter_ticks.borrow_mut().push(ctx.now());
+                st.iter += 1;
+                *cur_iter.borrow_mut() = st.iter;
+                if st.iter == iters {
+                    ctx.stop();
+                    ctx.yield_terminate();
+                } else {
+                    let zd = updown_sim::EventLabel(*zero_label.borrow());
+                    let cont = ctx.self_event(zd);
+                    rt.start_from(ctx, zero_job, n_acc, 0, cont);
+                }
+            },
+        )
+    };
+    let agg_done_l = {
+        let body = iter_done_body.clone();
+        driver.event(&mut eng, "agg_done", move |ctx, st| body(ctx, st))
+    };
+    let map_done_l = {
+        let rt = rt.clone();
+        let emitted = emitted.clone();
+        let body = iter_done_body.clone();
+        driver.event(&mut eng, "iter_done", move |ctx, st| {
+            *emitted.borrow_mut() = ctx.arg(1);
+            if use_subs {
+                let cont = ctx.self_event(agg_done_l);
+                rt.start_from(ctx, agg_job, n, 0, cont);
+            } else {
+                body(ctx, st);
+            }
+        })
+    };
+    let zero_done_l = {
+        let rt = rt.clone();
+        driver.event(&mut eng, "zero_done", move |ctx, _st| {
+            let cont = ctx.self_event(map_done_l);
+            rt.start_from(ctx, map_job, n_sub, 0, cont);
+        })
+    };
+    *zero_label.borrow_mut() = zero_done_l.0;
+    let init_l = {
+        let rt = rt.clone();
+        driver.event(&mut eng, "updown_init", move |ctx, _st| {
+            let cont = ctx.self_event(zero_done_l);
+            rt.start_from(ctx, zero_job, n_acc, 0, cont);
+        })
+    };
+
+    eng.send(EventWord::new(NetworkId(0), init_l), [], EventWord::IGNORE);
+    let report = eng.run();
+    if std::env::var("UPDOWN_DEBUG").is_ok() {
+        for (nm, c) in eng.event_counts() {
+            eprintln!("  {c:>10}  {nm}");
+        }
+        eprintln!(
+            "  busiest lane: {:?}, most events: {:?}",
+            eng.busiest_lane(),
+            eng.most_events_lane()
+        );
+    }
+
+    // Read back: pr(v) = base + d * S_total(v).
+    let mem = eng.mem();
+    let values: Vec<f64> = if use_subs {
+        (0..n)
+            .map(|v| base + damping * mem.read_f64(totals.word(v)).unwrap())
+            .collect()
+    } else {
+        let final_parity = (iters % 2) as usize;
+        (0..n)
+            .map(|v| base + damping * mem.read_f64(arrays[final_parity].word(v)).unwrap())
+            .collect()
+    };
+    let iter_ticks_out = iter_ticks.borrow().clone();
+    let emitted_out = *emitted.borrow();
+    PrResult {
+        values,
+        iter_ticks: iter_ticks_out,
+        final_tick: report.final_tick,
+        report,
+        updates_per_iter: emitted_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use updown_graph::algorithms;
+    use updown_graph::generators::{erdos_renyi, rmat, RmatParams};
+    use updown_graph::preprocess::{dedup_sort, split, split_in_out};
+    use updown_graph::Csr;
+
+    fn check_result(res: &PrResult, g: &Csr, iters: u32, damping: f64) {
+        let oracle = algorithms::pagerank(g, iters, damping);
+        for v in 0..g.n() as usize {
+            assert!(
+                (res.values[v] - oracle[v]).abs() < 1e-9,
+                "v{} sim={} oracle={}",
+                v,
+                res.values[v],
+                oracle[v]
+            );
+        }
+        assert_eq!(res.iter_ticks.len(), iters as usize);
+    }
+
+    fn check_vs_oracle(g: &Csr, max_deg: u32, iters: u32, machine: MachineConfig, combining: bool) {
+        let mut cfg = PrConfig::new(1);
+        cfg.machine = machine;
+        cfg.iterations = iters;
+        cfg.combining = combining;
+        // Both splitting regimes must agree with the oracle.
+        let res = run_pagerank(&split(g, max_deg), &cfg);
+        check_result(&res, g, iters, cfg.damping);
+        let res = run_pagerank(&split_in_out(g, max_deg), &cfg);
+        check_result(&res, g, iters, cfg.damping);
+    }
+
+    #[test]
+    fn matches_oracle_small_rmat() {
+        let g = Csr::from_edges(&dedup_sort(rmat(7, RmatParams::default(), 1)));
+        check_vs_oracle(&g, 8, 2, MachineConfig::small(2, 2, 8), false);
+    }
+
+    #[test]
+    fn matches_oracle_er_three_iters() {
+        let g = Csr::from_edges(&dedup_sort(erdos_renyi(7, 8, 2)));
+        check_vs_oracle(&g, 16, 3, MachineConfig::small(1, 2, 16), false);
+    }
+
+    #[test]
+    fn combining_cache_variant_matches() {
+        let g = Csr::from_edges(&dedup_sort(rmat(7, RmatParams::default(), 5)));
+        check_vs_oracle(&g, 8, 2, MachineConfig::small(2, 2, 8), true);
+    }
+
+    #[test]
+    fn in_out_split_bounds_reduce_hotspots() {
+        // A star graph: every vertex points at vertex 0 (in-degree n-1).
+        let n = 257u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (v, 0)).chain([(0, 1)]).collect();
+        let g = Csr::from_edges(&updown_graph::EdgeList::new(n, edges));
+        let sg = split_in_out(&g, 16);
+        // Vertex 0 must have ceil(256/16) = 16 subs.
+        assert_eq!(sg.subs_of(0).len(), 16);
+        // No sub id appears more than ~16 times as a target.
+        let mut counts = std::collections::HashMap::new();
+        for &t in &sg.neighbors {
+            *counts.entry(t).or_insert(0u32) += 1;
+        }
+        assert!(counts.values().all(|&c| c <= 16));
+        // And the distributed run is still exact.
+        let mut cfg = PrConfig::new(1);
+        cfg.machine = MachineConfig::small(2, 2, 8);
+        cfg.iterations = 2;
+        let res = run_pagerank(&sg, &cfg);
+        check_result(&res, &g, 2, cfg.damping);
+    }
+
+    #[test]
+    fn more_nodes_scale() {
+        let g = Csr::from_edges(&dedup_sort(rmat(12, RmatParams::default(), 4)));
+        let sg = split_in_out(&g, 32);
+        let t = |nodes: u32| {
+            let mut cfg = PrConfig::new(nodes);
+            cfg.machine = MachineConfig::small(nodes, 2, 8);
+            cfg.iterations = 1;
+            run_pagerank(&sg, &cfg).final_tick
+        };
+        let t1 = t(1);
+        let t8 = t(8);
+        assert!(
+            t8 * 2 < t1,
+            "8 nodes ({t8}) should be well over 2x faster than 1 ({t1})"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Library abstraction micro-benchmarks: KVMSR launch overhead vs lane
+//! count, SHT operation throughput, combining cache, and the collective
+//! tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use drammalloc::Layout;
+use kvmsr::{JobSpec, Kvmsr, Outcome};
+use udweave::{simple_event, LaneSet, TreeComm};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId};
+
+/// Simulated ticks to launch-and-retire an empty KVMSR job over `lanes`.
+fn kvmsr_launch_ticks(lanes: u32) -> u64 {
+    let mut eng = Engine::new(MachineConfig::small(lanes.div_ceil(128).max(1), 4, 32));
+    let rt = Kvmsr::install(&mut eng);
+    let set = LaneSet::new(NetworkId(0), lanes);
+    let job = rt.define_job(JobSpec::new("empty", set, |_c, _t, _r| Outcome::Done));
+    let fin = simple_event(&mut eng, "fin", |ctx| ctx.stop());
+    let (evw, args) = rt.start_msg(job, 0, 0);
+    eng.send(evw, args, EventWord::new(NetworkId(0), fin));
+    eng.run().final_tick
+}
+
+fn sht_insert_run(n: u64) -> usize {
+    let mut eng = Engine::new(MachineConfig::small(1, 2, 8));
+    let lib = updown_graph::ShtLib::install(&mut eng);
+    let set = LaneSet::all(eng.config());
+    let sht = lib.create(&mut eng, set, 64, 16, Layout::cyclic(1));
+    let lib2 = lib.clone();
+    let go = simple_event(&mut eng, "go", move |ctx| {
+        for k in 0..n {
+            lib2.insert(ctx, sht, k * 7 + 1, k, EventWord::IGNORE);
+        }
+        ctx.yield_terminate();
+    });
+    eng.send(EventWord::new(NetworkId(0), go), [], EventWord::IGNORE);
+    eng.run();
+    lib.len(sht)
+}
+
+fn tree_broadcast_ticks(lanes: u32) -> u64 {
+    let mut eng = Engine::new(MachineConfig::small(lanes.div_ceil(128).max(1), 4, 32));
+    let user = simple_event(&mut eng, "user", |ctx| {
+        ctx.send_reply([1u64, 0]);
+        ctx.yield_terminate();
+    });
+    let tree = TreeComm::install(&mut eng, "t", 8);
+    let set = LaneSet::new(NetworkId(0), lanes);
+    let done: Rc<RefCell<bool>> = Rc::default();
+    let d = done.clone();
+    let fin = simple_event(&mut eng, "fin", move |ctx| {
+        *d.borrow_mut() = true;
+        ctx.stop();
+    });
+    let kick = simple_event(&mut eng, "kick", move |ctx| {
+        let args = tree.start_args(set, user, &[]);
+        let cont = EventWord::new(ctx.nwid(), fin);
+        ctx.send_event(tree.start_evw(set), args, cont);
+        ctx.yield_terminate();
+    });
+    eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
+    let r = eng.run();
+    assert!(*done.borrow());
+    r.final_tick
+}
+
+fn bench(c: &mut Criterion) {
+    // Report the simulated launch-overhead curve once (this is the
+    // interesting number; criterion then measures host cost).
+    println!("\nKVMSR empty-job launch overhead (simulated ticks):");
+    for lanes in [16u32, 128, 1024, 4096] {
+        println!("  {lanes:>6} lanes: {:>8}", kvmsr_launch_ticks(lanes));
+    }
+    println!("Collective tree broadcast+ack (simulated ticks):");
+    for lanes in [16u32, 128, 1024, 4096] {
+        println!("  {lanes:>6} lanes: {:>8}", tree_broadcast_ticks(lanes));
+    }
+
+    let mut g = c.benchmark_group("abstractions");
+    for lanes in [16u32, 1024] {
+        g.bench_with_input(BenchmarkId::new("kvmsr_launch", lanes), &lanes, |b, &l| {
+            b.iter(|| kvmsr_launch_ticks(l))
+        });
+    }
+    g.bench_function("sht_insert_512", |b| {
+        b.iter(|| {
+            let n = sht_insert_run(512);
+            assert_eq!(n, 512);
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

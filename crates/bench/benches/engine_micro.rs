@@ -1,0 +1,86 @@
+//! Simulator micro-benchmarks: event throughput, fan-out delivery, DRAM
+//! transaction pipeline, and swizzle translation speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::rc::Rc;
+use updown_sim::{
+    Engine, EventCtx, EventWord, MachineConfig, NetworkId, TranslationDescriptor, VAddr,
+};
+
+fn fanout_run(lanes: u32, msgs: u32) -> u64 {
+    let mut eng = Engine::new(MachineConfig::small(1, 1, lanes));
+    let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+    let fan = eng.register(
+        "fan",
+        Rc::new(move |ctx: &mut EventCtx| {
+            for i in 0..msgs {
+                ctx.send_event(
+                    EventWord::new(NetworkId(i % lanes), sink),
+                    [i as u64],
+                    EventWord::IGNORE,
+                );
+            }
+            ctx.yield_terminate();
+        }),
+    );
+    eng.send(EventWord::new(NetworkId(0), fan), [], EventWord::IGNORE);
+    eng.run().stats.events_executed
+}
+
+fn dram_pipeline_run(reads: u64) -> u64 {
+    let mut eng = Engine::new(MachineConfig::small(2, 1, 8));
+    let data = eng.mem_mut().alloc(reads * 8 + 64, 0, 2, 4096).unwrap();
+    // All responses come back to the issuing thread: count them down.
+    let ret = udweave::event::<u64>(&mut eng, "ret", move |ctx, got| {
+        *got += 1;
+        if *got == reads {
+            ctx.yield_terminate();
+        }
+    });
+    let go = eng.register(
+        "go",
+        Rc::new(move |ctx: &mut EventCtx| {
+            for i in 0..reads {
+                ctx.send_dram_read(VAddr(data.0).word(i), 1, ret);
+            }
+        }),
+    );
+    eng.send(EventWord::new(NetworkId(0), go), [], EventWord::IGNORE);
+    eng.run().stats.dram_reads
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for lanes in [4u32, 16, 64] {
+        g.throughput(Throughput::Elements(4096));
+        g.bench_with_input(BenchmarkId::new("fanout_4096", lanes), &lanes, |b, &l| {
+            b.iter(|| fanout_run(l, 4096))
+        });
+    }
+    g.throughput(Throughput::Elements(2048));
+    g.bench_function("dram_pipeline_2048", |b| b.iter(|| dram_pipeline_run(2048)));
+    g.finish();
+
+    let d = TranslationDescriptor {
+        base: VAddr(0x1000_0000),
+        size: 1 << 30,
+        first_node: 0,
+        nr_nodes: 64,
+        block_size: 32 * 1024,
+    };
+    c.bench_function("swizzle_translate", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9);
+            let va = VAddr(d.base.0 + (x % d.size));
+            criterion::black_box(d.pnn(va))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

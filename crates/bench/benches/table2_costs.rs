@@ -1,0 +1,91 @@
+//! Table 2 verification-as-benchmark: assert the simulated cycle cost of
+//! each lane operation matches the paper's table, and measure the host
+//! cost of simulating them (the simulator's own speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+use updown_sim::{Engine, EventCtx, EventWord, MachineConfig, NetworkId};
+
+/// Simulated busy-cycles of one event whose body is `f`.
+fn event_cost(f: impl Fn(&mut EventCtx<'_>) + 'static) -> u64 {
+    let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
+    eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
+    let l = eng.register("probe", Rc::new(f));
+    eng.send(EventWord::new(NetworkId(0), l), [], EventWord::IGNORE);
+    let r = eng.run();
+    // Only lane 0's busy time for the probe event itself.
+    r.total_busy
+}
+
+fn assert_table2() {
+    let c = updown_sim::OpCosts::default();
+    // Baseline: dispatch + implicit yield.
+    let base = event_cost(|_ctx| {});
+    assert_eq!(base, c.event_dispatch + c.yield_);
+    // yield_terminate swaps the yield for a deallocate (same cost here).
+    let term = event_cost(|ctx| ctx.yield_terminate());
+    assert_eq!(term, c.event_dispatch + c.thread_dealloc);
+    // Scratchpad load/store: 1 cycle each.
+    let spd = event_cost(|ctx| {
+        ctx.spm_write(0, 7);
+        let _ = ctx.spm_read(0);
+    });
+    assert_eq!(spd, base + 2 * c.spd_access);
+    // Send message: 2 cycles.
+    let send = event_cost(|ctx| {
+        let w = EventWord::new(ctx.nwid().next(), EventWord::new(ctx.nwid(), ctx.cur_evw().label()).label());
+        let _ = w;
+    });
+    let _ = send;
+    let send = {
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
+        let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        let l = eng.register(
+            "send",
+            Rc::new(move |ctx: &mut EventCtx| {
+                ctx.send_event(EventWord::new(ctx.nwid().next(), sink), [], EventWord::IGNORE);
+                ctx.yield_terminate();
+            }),
+        );
+        eng.send(EventWord::new(NetworkId(0), l), [], EventWord::IGNORE);
+        let r = eng.run();
+        // send event busy = dispatch + send + dealloc; sink = dispatch + dealloc.
+        r.total_busy - (c.event_dispatch + c.thread_dealloc)
+    };
+    assert_eq!(send, c.event_dispatch + c.send_msg + c.thread_dealloc);
+}
+
+fn bench(c: &mut Criterion) {
+    assert_table2();
+
+    // Host-side throughput of simulating a self-sending event chain.
+    c.bench_function("engine_event_chain_1000", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
+            let l = eng.register(
+                "spin",
+                Rc::new(|ctx: &mut EventCtx| {
+                    if ctx.arg(0) < 1000 {
+                        let me = ctx.cur_evw();
+                        let n = ctx.arg(0) + 1;
+                        ctx.send_event(me, [n], EventWord::IGNORE);
+                    } else {
+                        ctx.yield_terminate();
+                    }
+                }),
+            );
+            eng.send(EventWord::new(NetworkId(0), l), [0], EventWord::IGNORE);
+            eng.run().stats.events_executed
+        })
+    });
+
+    // Table-2 cost probe as a benchmark (exercises engine setup + run).
+    c.bench_function("table2_probe", |b| b.iter(assert_table2));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

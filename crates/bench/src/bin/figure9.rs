@@ -1,0 +1,136 @@
+//! Figure 9 (+ raw-data Tables 8/9/10): strong-scaling of PageRank, BFS,
+//! and Triangle Counting across node counts and graphs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
+//!     [--max-nodes 32] [--scale-shift 0] [--iters 2] [--full]
+//! ```
+//!
+//! `--full` raises the sweep to 256 nodes (TC: 1024) and the graphs by two
+//! scales — closer to the paper, at many minutes of host time.
+
+use bench::{bench_machine, graph_menu, node_sweep, prepared, prepared_undirected, Cli};
+use updown_apps::bfs::{run_bfs, BfsConfig};
+use updown_apps::harness::{print_speedup_table, Series};
+use updown_apps::pagerank::{run_pagerank, PrConfig};
+use updown_apps::tc::{run_tc, TcConfig};
+
+fn pr_sweep(shift: i32, nodes: &[u32], iters: u32) -> Vec<Series> {
+    let mut out = Vec::new();
+    for (name, el) in graph_menu(shift) {
+        let (sh, _) = updown_graph::preprocess::shuffle_ids(&el, 7);
+        let sg = updown_graph::preprocess::split_in_out(&updown_graph::Csr::from_edges(&sh), 512);
+        let mut s = Series::new(&name);
+        for &n in nodes {
+            let mut cfg = PrConfig::new(n);
+            cfg.machine = bench_machine(n);
+            cfg.iterations = iters;
+            let r = run_pagerank(&sg, &cfg);
+            eprintln!(
+                "  pr {name} nodes={n}: {} ticks ({:.2} GUPS)",
+                r.final_tick,
+                r.gups(&cfg.machine)
+            );
+            s.push(n, r.final_tick);
+        }
+        out.push(s);
+    }
+    out
+}
+
+fn bfs_sweep(shift: i32, nodes: &[u32]) -> Vec<Series> {
+    let mut out = Vec::new();
+    for (name, el) in graph_menu(shift) {
+        let g = prepared(&el.clone().symmetrize());
+        let mut s = Series::new(&name);
+        for &n in nodes {
+            let mut cfg = BfsConfig::new(n, 0);
+            cfg.machine = bench_machine(n);
+            let r = run_bfs(&g, &cfg);
+            eprintln!(
+                "  bfs {name} nodes={n}: {} ticks, {} rounds, {:.2} GTEPS",
+                r.final_tick,
+                r.rounds,
+                r.gteps(&cfg.machine)
+            );
+            s.push(n, r.final_tick);
+        }
+        out.push(s);
+    }
+    out
+}
+
+fn tc_sweep(shift: i32, nodes: &[u32]) -> Vec<Series> {
+    let mut out = Vec::new();
+    // TC is intersection-heavy: drop the graphs three scales relative to
+    // PR/BFS (the paper similarly uses s25 for TC vs s28 elsewhere).
+    for (name, el) in graph_menu(shift - 3) {
+        let g = prepared_undirected(&el);
+        let mut s = Series::new(&name);
+        let mut triangles = None;
+        for &n in nodes {
+            let mut cfg = TcConfig::new(n);
+            cfg.machine = bench_machine(n);
+            let r = run_tc(&g, &cfg);
+            match triangles {
+                None => triangles = Some(r.triangles),
+                Some(t) => assert_eq!(t, r.triangles, "count must not depend on machine"),
+            }
+            eprintln!(
+                "  tc {name} nodes={n}: {} ticks ({} triangles)",
+                r.final_tick, r.triangles
+            );
+            s.push(n, r.final_tick);
+        }
+        out.push(s);
+    }
+    out
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let which = cli
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    let full = cli.has("full");
+    let shift: i32 = cli.get("scale-shift", if full { 3 } else { 1 });
+    let max_nodes: u32 = cli.get("max-nodes", if full { 256 } else { 32 });
+    let iters: u32 = cli.get("iters", 2);
+    let nodes = node_sweep(max_nodes);
+
+    println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
+    println!(
+        "machine: {} accels x {} lanes per node; sweep {:?}",
+        bench::BENCH_ACCELS,
+        bench::BENCH_LANES,
+        nodes
+    );
+
+    if which == "pr" || which == "all" {
+        let series = pr_sweep(shift, &nodes, iters);
+        print_speedup_table(
+            "Figure 9 (left) / Table 8: PageRank speedup",
+            "nodes",
+            &series,
+        );
+    }
+    if which == "bfs" || which == "all" {
+        let series = bfs_sweep(shift, &nodes);
+        print_speedup_table(
+            "Figure 9 (center) / Table 9: BFS speedup",
+            "nodes",
+            &series,
+        );
+    }
+    if which == "tc" || which == "all" {
+        let tc_nodes = node_sweep(if full { 1024 } else { max_nodes });
+        let series = tc_sweep(shift, &tc_nodes);
+        print_speedup_table(
+            "Figure 9 (right) / Table 10: TC speedup",
+            "nodes",
+            &series,
+        );
+    }
+}

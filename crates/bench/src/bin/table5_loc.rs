@@ -1,0 +1,69 @@
+//! Table 5 reproduction: lines-of-code metrics for the library
+//! abstractions, counted from this repository and set against the paper's
+//! UDWeave numbers.
+//!
+//! `cargo run --release -p bench --bin table5_loc`
+
+use std::path::Path;
+
+fn loc(path: &str) -> u64 {
+    fn count(p: &Path) -> u64 {
+        if p.is_dir() {
+            std::fs::read_dir(p)
+                .map(|rd| rd.flatten().map(|e| count(&e.path())).sum())
+                .unwrap_or(0)
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            std::fs::read_to_string(p)
+                .map(|s| {
+                    s.lines()
+                        .filter(|l| {
+                            let t = l.trim();
+                            !t.is_empty() && !t.starts_with("//")
+                        })
+                        .count() as u64
+                })
+                .unwrap_or(0)
+        } else {
+            0
+        }
+    }
+    count(Path::new(path))
+}
+
+fn main() {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| format!("{d}/../.."))
+        .unwrap_or_else(|_| ".".into());
+    let r = |p: &str| loc(&format!("{root}/{p}"));
+
+    println!("Table 5 reproduction — abstraction sizes (non-blank, non-comment Rust LoC)\n");
+    println!("{:<38} {:>10} {:>12}", "Abstraction", "this repo", "paper (UD)");
+    let rows: Vec<(&str, u64, &str)> = vec![
+        ("Scalable Hash Table", r("crates/graph/src/sht.rs"), "4,764"),
+        ("Parallel Graph Abstraction", r("crates/graph/src/pga.rs"), "170"),
+        ("KV map-shuffle-reduce", r("crates/core/src/runtime.rs") + r("crates/core/src/binding.rs") + r("crates/core/src/task.rs"), "1,586"),
+        ("do_all (uses KVMSR)", r("crates/core/src/doall.rs"), "33"),
+        ("Scalable Global Sort", r("crates/core/src/sort.rs"), "158"),
+        ("spMalloc (scratchpad malloc)", r("crates/udweave/src/spmalloc.rs"), "83"),
+        ("DRAMmalloc (global malloc)", r("crates/memory/src/lib.rs"), "52"),
+        ("Combining Cache (fetch&add)", r("crates/udweave/src/combining.rs"), "232"),
+        ("TFORM transducer", r("crates/apps/src/ingest/tform.rs"), "n.a."),
+    ];
+    for (name, ours, paper) in &rows {
+        println!("{:<38} {:>10} {:>12}", name, ours, paper);
+    }
+    println!("\n{:<38} {:>10} {:>12}", "Application kernels", "", "");
+    let apps: Vec<(&str, u64, &str)> = vec![
+        ("PageRank", r("crates/apps/src/pagerank.rs"), "218"),
+        ("BFS", r("crates/apps/src/bfs.rs"), "226"),
+        ("TriangleCount", r("crates/apps/src/tc.rs"), "312"),
+        ("Ingestion (WF2 K1 analog)", r("crates/apps/src/ingest/mod.rs"), "782"),
+        ("Partial Match (WF2 K4 analog)", r("crates/apps/src/partial_match.rs"), "1,817"),
+    ];
+    for (name, ours, paper) in &apps {
+        println!("{:<38} {:>10} {:>12}", name, ours, paper);
+    }
+    println!("\n(this repo's counts include unit tests in each file; the qualitative");
+    println!(" claim reproduced is that powerful abstractions stay in the hundreds-");
+    println!(" to-few-thousand LoC range and applications in the low hundreds)");
+}

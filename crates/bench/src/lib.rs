@@ -1,0 +1,157 @@
+//! Shared plumbing for the figure-regeneration binaries: scaled-down
+//! machine shapes, the graph menu standing in for the paper's inputs, and
+//! tiny CLI parsing.
+//!
+//! Scaling note (see DESIGN.md §1): the paper simulates full 2048-lane
+//! nodes against billion-edge graphs. To keep host runtimes in minutes we
+//! default to reduced nodes (`accels × lanes` below) and s11–s14 graphs;
+//! `--full` raises both. Strong-scaling *shape* depends on keys-per-lane
+//! and skew, which these settings preserve.
+
+use updown_graph::generators::{erdos_renyi, forest_fire, rmat, RmatParams};
+use updown_graph::preprocess::dedup_sort;
+use updown_graph::{Csr, EdgeList};
+use updown_sim::MachineConfig;
+
+/// Accelerators per node in scaled-down benches.
+pub const BENCH_ACCELS: u32 = 4;
+/// Lanes per accelerator in scaled-down benches.
+pub const BENCH_LANES: u32 = 32;
+
+/// A scaled-down UpDown machine with `nodes` nodes (128 lanes/node).
+///
+/// Per-node memory and NIC bandwidth scale with the lane count so the
+/// bandwidth-per-lane ratio matches the full 2048-lane node — otherwise a
+/// shrunken node is never bandwidth-bound and placement effects
+/// (Figure 12) vanish.
+pub fn bench_machine(nodes: u32) -> MachineConfig {
+    let mut cfg = MachineConfig::small(nodes, BENCH_ACCELS, BENCH_LANES);
+    let full = MachineConfig::default();
+    let factor = cfg.lanes_per_node() as f64 / full.lanes_per_node() as f64;
+    cfg.mem.node_bytes_per_cycle =
+        ((full.mem.node_bytes_per_cycle as f64 * factor) as u64).max(64);
+    cfg.net.nic_bytes_per_cycle =
+        ((full.net.nic_bytes_per_cycle as f64 * factor) as u64).max(64);
+    cfg
+}
+
+/// The graph menu used across Figure 9 (names echo the paper's inputs).
+pub fn graph_menu(scale_shift: i32) -> Vec<(String, EdgeList)> {
+    let s = |base: u32| (base as i32 + scale_shift).max(6) as u32;
+    vec![
+        (
+            format!("RMAT s{}", s(14)),
+            rmat(s(14), RmatParams::default(), 48),
+        ),
+        (
+            format!("Erdos-Renyi s{}", s(14)),
+            erdos_renyi(s(14), 16, 48),
+        ),
+        (
+            format!("ForestFire s{}", s(14)),
+            forest_fire(s(14), 0.4, 48),
+        ),
+        // A deliberately small graph: the soc-livej role in the paper's
+        // plots — strong scaling saturates early.
+        (
+            format!("small s{}", s(11)),
+            rmat(s(11), RmatParams::default(), 7),
+        ),
+    ]
+}
+
+/// Directed CSR after `tsv`-style preprocessing.
+pub fn prepared(el: &EdgeList) -> Csr {
+    Csr::from_edges(&dedup_sort(el.clone()))
+}
+
+/// Undirected sorted CSR (TC input).
+pub fn prepared_undirected(el: &EdgeList) -> Csr {
+    let mut g = Csr::from_edges(&dedup_sort(el.clone().symmetrize()));
+    g.sort_neighbors();
+    g
+}
+
+/// Node-count sweep: 1..=max by powers of two.
+pub fn node_sweep(max: u32) -> Vec<u32> {
+    let mut v = vec![];
+    let mut n = 1;
+    while n <= max {
+        v.push(n);
+        n *= 2;
+    }
+    v
+}
+
+/// Minimal flag parsing: `--key value` pairs plus positional args.
+pub struct Cli {
+    pub positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Cli {
+    pub fn parse() -> Cli {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match args.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        pairs.push((key.to_string(), args.next().unwrap()));
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Cli {
+            positional,
+            pairs,
+            flags,
+        }
+    }
+
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key) || self.pairs.iter().any(|(k, _)| k == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_scales_with_lanes() {
+        let cfg = bench_machine(4);
+        let full = MachineConfig::default();
+        let ratio_full = full.mem.node_bytes_per_cycle as f64 / full.lanes_per_node() as f64;
+        let ratio_bench = cfg.mem.node_bytes_per_cycle as f64 / cfg.lanes_per_node() as f64;
+        assert!((ratio_full - ratio_bench).abs() / ratio_full < 0.05);
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        assert_eq!(node_sweep(16), vec![1, 2, 4, 8, 16]);
+        assert_eq!(node_sweep(1), vec![1]);
+    }
+
+    #[test]
+    fn menu_has_four_graphs() {
+        let m = graph_menu(-4);
+        assert_eq!(m.len(), 4);
+        assert!(m[0].0.starts_with("RMAT"));
+    }
+}

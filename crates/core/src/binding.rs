@@ -1,0 +1,268 @@
+//! Computation binding (§2.3): how kv_map tasks and kv_reduce tasks are
+//! placed onto lanes.
+//!
+//! - **Block** — lanes get an equal, contiguous portion of keys (default
+//!   for `kv_map`).
+//! - **Cyclic** — keys strided across lanes (an interleaved variant of
+//!   Block; useful when key cost correlates with key index).
+//! - **PBMW** — partial-block + master-worker: lanes get an initial block
+//!   and ask the job master for more when they run dry (robust to skew,
+//!   §4.3.3).
+//! - **Hash** — each key hashed to a lane (default for `kv_reduce`; keeps
+//!   all updates for a key on one lane, enabling the combining cache).
+//! - **Custom** — any application-computed mapping, as in the paper's
+//!   `LaneID = (hash(key) % NRLanes) + 1stLane` pseudocode.
+
+use std::rc::Rc;
+
+use udweave::LaneSet;
+use updown_sim::NetworkId;
+
+/// Binding for map-side key partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapBinding {
+    Block,
+    Cyclic,
+    /// Initial static chunk of this many keys per lane, remainder handed
+    /// out by the master on demand.
+    Pbmw { chunk: u64 },
+}
+
+/// A lane's key assignment under a map binding: iterate `next`, stepping by
+/// `stride`, until `end` (exclusive).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KeyRange {
+    pub next: u64,
+    pub end: u64,
+    pub stride: u64,
+}
+
+impl KeyRange {
+    pub const EMPTY: KeyRange = KeyRange {
+        next: 0,
+        end: 0,
+        stride: 1,
+    };
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.next >= self.end
+    }
+
+    /// Take the next key, if any.
+    #[inline]
+    pub fn take(&mut self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let k = self.next;
+        self.next += self.stride;
+        Some(k)
+    }
+
+    /// Number of keys remaining.
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.end - self.next).div_ceil(self.stride)
+        }
+    }
+}
+
+impl MapBinding {
+    /// The static portion assigned to lane position `pos` of `count` for a
+    /// key space of `keys`.
+    pub fn initial_range(&self, keys: u64, pos: u32, count: u32) -> KeyRange {
+        match *self {
+            MapBinding::Block => {
+                let share = keys.div_ceil(count as u64).max(1);
+                let start = (pos as u64 * share).min(keys);
+                let end = (start + share).min(keys);
+                KeyRange {
+                    next: start,
+                    end,
+                    stride: 1,
+                }
+            }
+            MapBinding::Cyclic => KeyRange {
+                next: (pos as u64).min(keys),
+                end: keys,
+                stride: count as u64,
+            },
+            MapBinding::Pbmw { chunk } => {
+                let start = (pos as u64 * chunk).min(keys);
+                let end = (start + chunk).min(keys);
+                KeyRange {
+                    next: start,
+                    end,
+                    stride: 1,
+                }
+            }
+        }
+    }
+
+    /// First key the PBMW master hands out dynamically.
+    pub fn pbmw_watermark(&self, keys: u64, count: u32) -> u64 {
+        match *self {
+            MapBinding::Pbmw { chunk } => (chunk * count as u64).min(keys),
+            _ => keys,
+        }
+    }
+}
+
+/// Binding for reduce-side key → lane placement.
+#[derive(Clone)]
+pub enum ReduceBinding {
+    /// Multiplicative hash of the key over the lane set (default).
+    Hash,
+    /// Keys blocked contiguously over the lane set (needs the reduce key
+    /// space size).
+    Block { keys: u64 },
+    /// Application-supplied mapping.
+    Custom(Rc<dyn Fn(u64, &LaneSet) -> NetworkId>),
+}
+
+impl std::fmt::Debug for ReduceBinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceBinding::Hash => write!(f, "Hash"),
+            ReduceBinding::Block { keys } => write!(f, "Block({keys})"),
+            ReduceBinding::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+/// The hash used by the Hash binding (and by applications that compute
+/// `LaneID = hash(key) % NRLanes + 1stLane` directly).
+#[inline]
+pub fn key_hash(key: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-mixed.
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ReduceBinding {
+    /// The lane that owns reduce key `key`.
+    pub fn lane_for(&self, key: u64, set: &LaneSet) -> NetworkId {
+        match self {
+            ReduceBinding::Hash => set.lane((key_hash(key) % set.count as u64) as u32),
+            ReduceBinding::Block { keys } => {
+                let share = keys.div_ceil(set.count as u64).max(1);
+                set.lane(((key / share) as u32).min(set.count - 1))
+            }
+            ReduceBinding::Custom(f) => f(key, set),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partitions_cover_exactly() {
+        for keys in [0u64, 1, 7, 64, 100, 1000] {
+            for count in [1u32, 3, 8, 64] {
+                let mut seen = vec![false; keys as usize];
+                for pos in 0..count {
+                    let mut r = MapBinding::Block.initial_range(keys, pos, count);
+                    while let Some(k) = r.take() {
+                        assert!(!seen[k as usize], "key {k} assigned twice");
+                        seen[k as usize] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "keys={keys} count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_partitions_cover_exactly() {
+        for keys in [0u64, 1, 7, 100] {
+            for count in [1u32, 3, 8] {
+                let mut seen = vec![false; keys as usize];
+                for pos in 0..count {
+                    let mut r = MapBinding::Cyclic.initial_range(keys, pos, count);
+                    while let Some(k) = r.take() {
+                        assert!(!seen[k as usize]);
+                        seen[k as usize] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn pbmw_initial_plus_watermark_covers_prefix() {
+        let b = MapBinding::Pbmw { chunk: 10 };
+        let keys = 1000;
+        let count = 8;
+        let mut covered = 0;
+        for pos in 0..count {
+            covered += b.initial_range(keys, pos, count).len();
+        }
+        assert_eq!(covered, 80);
+        assert_eq!(b.pbmw_watermark(keys, count), 80);
+        // Small key space: chunks clamp.
+        let keys = 25;
+        let mut covered = 0;
+        for pos in 0..count {
+            covered += b.initial_range(keys, pos, count).len();
+        }
+        assert_eq!(covered, 25);
+        assert_eq!(b.pbmw_watermark(keys, count), 25);
+    }
+
+    #[test]
+    fn hash_binding_is_deterministic_and_spread() {
+        let set = LaneSet::new(NetworkId(0), 64);
+        let b = ReduceBinding::Hash;
+        let mut counts = vec![0u32; 64];
+        for k in 0..6400u64 {
+            let l1 = b.lane_for(k, &set);
+            let l2 = b.lane_for(k, &set);
+            assert_eq!(l1, l2);
+            counts[l1.0 as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 50 && max < 200, "hash should spread: {min}..{max}");
+    }
+
+    #[test]
+    fn block_reduce_binding_clamps() {
+        let set = LaneSet::new(NetworkId(10), 4);
+        let b = ReduceBinding::Block { keys: 100 };
+        assert_eq!(b.lane_for(0, &set), NetworkId(10));
+        assert_eq!(b.lane_for(99, &set), NetworkId(13));
+        assert_eq!(b.lane_for(150, &set), NetworkId(13), "overflow clamps");
+    }
+
+    #[test]
+    fn custom_binding_matches_paper_pseudocode() {
+        // LaneID = (hash(key) % NRLanes) + 1stLane
+        let set = LaneSet::new(NetworkId(100), 16);
+        let b = ReduceBinding::Custom(Rc::new(|key, set| {
+            set.lane((key_hash(key) % set.count as u64) as u32)
+        }));
+        for k in 0..100 {
+            let l = b.lane_for(k, &set);
+            assert!(set.contains(l));
+        }
+    }
+
+    #[test]
+    fn key_range_len() {
+        let r = KeyRange {
+            next: 3,
+            end: 10,
+            stride: 3,
+        };
+        assert_eq!(r.len(), 3); // 3, 6, 9
+        assert_eq!(KeyRange::EMPTY.len(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! `do_all`: the 33-LoC convenience from Table 5 — a map-only KVMSR over a
+//! key range, used by most workflow kernels in Table 3 ("doAll using
+//! kvmap").
+
+use udweave::LaneSet;
+use updown_sim::EventCtx;
+
+use crate::runtime::{JobSpec, Kvmsr};
+use crate::task::{JobId, Outcome};
+
+/// Define a do_all job: `f(ctx, key, user_arg)` runs once per key with
+/// Block binding; completion is signalled to the start continuation.
+pub fn define_do_all(
+    rt: &Kvmsr,
+    name: &str,
+    set: LaneSet,
+    f: impl Fn(&mut EventCtx<'_>, u64, u64) + 'static,
+) -> JobId {
+    rt.define_job(JobSpec::new(name, set, move |ctx, task, _rt| {
+        f(ctx, task.key, task.arg);
+        Outcome::Done
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use udweave::simple_event;
+    use updown_sim::{Engine, EventWord, MachineConfig, NetworkId};
+
+    #[test]
+    fn do_all_runs_per_key() {
+        let mut eng = Engine::new(MachineConfig::small(1, 2, 4));
+        let rt = Kvmsr::install(&mut eng);
+        let acc: Rc<RefCell<u64>> = Rc::default();
+        let acc2 = acc.clone();
+        let set = LaneSet::new(NetworkId(0), 8);
+        let job = define_do_all(&rt, "sum", set, move |ctx, key, arg| {
+            *acc2.borrow_mut() += key * arg;
+            ctx.charge(2);
+        });
+        let done = simple_event(&mut eng, "done", |ctx| ctx.stop());
+        let (evw, args) = rt.start_msg(job, 100, 3);
+        eng.send(evw, args, EventWord::new(NetworkId(0), done));
+        eng.run();
+        assert_eq!(*acc.borrow(), (0..100u64).sum::<u64>() * 3);
+    }
+}

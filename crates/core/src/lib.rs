@@ -1,0 +1,32 @@
+//! # kvmsr
+//!
+//! **KVMSR** — key-value map-shuffle-reduce (§2.2 of the paper): the
+//! programming model that organizes massive-scale parallelism on UpDown.
+//! This crate is the paper's primary contribution, re-implemented over the
+//! [`udweave`] runtime and [`updown_sim`] machine model.
+//!
+//! KVMSR extends cloud MapReduce with:
+//!
+//! - **fine-grained tasks** — a task per key, 10–100 instructions each;
+//! - **shared mutable global state** — `kv_map` / `kv_reduce` read and
+//!   write the global address space directly (PageRank values, BFS
+//!   frontiers, hash tables, ...);
+//! - **separable computation binding** (§2.3) — Block / Hash / PBMW /
+//!   custom placement of map and reduce tasks, independent of the
+//!   program's parallel structure;
+//! - **asynchronous multi-event tasks** — maps and reduces may span DRAM
+//!   round-trips (Listing 3's `kv_map` + `returnRead`).
+//!
+//! See [`runtime::Kvmsr`] for the execution protocol and
+//! [`binding`] for the placement schemes.
+
+pub mod binding;
+pub mod doall;
+pub mod runtime;
+pub mod sort;
+pub mod task;
+
+pub use binding::{key_hash, KeyRange, MapBinding, ReduceBinding};
+pub use doall::define_do_all;
+pub use runtime::{JobSpec, Kvmsr, MapFn, ReduceFn};
+pub use task::{JobId, MapTask, Outcome, ReduceTask};

@@ -1,0 +1,946 @@
+//! The KVMSR runtime (§2.2): job definition, hierarchical launch,
+//! map→shuffle→reduce routing, and distributed termination detection.
+//!
+//! One KVMSR invocation proceeds as:
+//!
+//! 1. A *master* thread on the job's first lane broadcasts a launch over
+//!    the lane set (k-ary tree).
+//! 2. Each lane's *launcher* thread computes its key assignment from the
+//!    map binding and spawns up to `window` concurrent `kv_map` task
+//!    threads locally — the paper's "KVMSR transparently converts flat
+//!    parallelism into groups of tasks ... matching the machine's
+//!    resources" (§4.1.3).
+//! 3. `kv_map` tasks emit `<key, value>` tuples; each emit routes directly
+//!    to the reduce binding's lane and runs there as a `kv_reduce` task.
+//! 4. Launchers report `(keys processed, tuples emitted)` up the tree.
+//!    Once all maps are retired the master polls the lane set until the
+//!    per-lane reduce completion counts sum to the emit total, then
+//!    signals the invocation's continuation.
+//!
+//! PBMW launchers additionally request key chunks from the master lane
+//! when their initial block runs dry.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use udweave::{LaneSet, TreeComm};
+use updown_sim::{Engine, EventCtx, EventLabel, EventWord, NetworkId};
+
+use crate::binding::{KeyRange, MapBinding, ReduceBinding};
+use crate::task::{JobId, MapTask, Outcome, ReduceTask};
+
+/// Application map function: may return [`Outcome::Async`] and finish in
+/// later events via [`Kvmsr::map_done`].
+pub type MapFn = Rc<dyn Fn(&mut EventCtx<'_>, &mut MapTask, &Kvmsr) -> Outcome>;
+/// Application reduce function over one intermediate tuple.
+pub type ReduceFn = Rc<dyn Fn(&mut EventCtx<'_>, &ReduceTask, &[u64], &Kvmsr) -> Outcome>;
+
+/// A KVMSR job definition.
+pub struct JobSpec {
+    pub name: String,
+    /// Lanes this invocation targets (§2.3).
+    pub set: LaneSet,
+    pub map_binding: MapBinding,
+    pub reduce_binding: ReduceBinding,
+    /// Max in-flight map tasks per lane.
+    pub window: u32,
+    /// Reduce-termination re-poll interval in cycles.
+    pub poll_interval: u64,
+    pub map: MapFn,
+    pub reduce: Option<ReduceFn>,
+    /// Runs once on every lane of the set after all reduces have retired,
+    /// before the invocation's continuation fires (e.g. combining-cache
+    /// flush). The closure receives a completion event word: return
+    /// [`Outcome::Done`] to complete immediately, or [`Outcome::Async`]
+    /// and send two zero words to the completion word when finished (so
+    /// acked flushes hold the job open until their effects landed).
+    pub epilogue: Option<Rc<dyn Fn(&mut EventCtx<'_>, EventWord) -> Outcome>>,
+}
+
+impl JobSpec {
+    /// A job with paper defaults: Block map binding, Hash reduce binding.
+    pub fn new(
+        name: &str,
+        set: LaneSet,
+        map: impl Fn(&mut EventCtx<'_>, &mut MapTask, &Kvmsr) -> Outcome + 'static,
+    ) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            set,
+            map_binding: MapBinding::Block,
+            reduce_binding: ReduceBinding::Hash,
+            window: 64,
+            poll_interval: 400,
+            map: Rc::new(map),
+            reduce: None,
+            epilogue: None,
+        }
+    }
+
+    pub fn with_reduce(
+        mut self,
+        f: impl Fn(&mut EventCtx<'_>, &ReduceTask, &[u64], &Kvmsr) -> Outcome + 'static,
+    ) -> JobSpec {
+        self.reduce = Some(Rc::new(f));
+        self
+    }
+
+    pub fn map_binding(mut self, b: MapBinding) -> JobSpec {
+        self.map_binding = b;
+        self
+    }
+
+    pub fn reduce_binding(mut self, b: ReduceBinding) -> JobSpec {
+        self.reduce_binding = b;
+        self
+    }
+
+    pub fn window(mut self, w: u32) -> JobSpec {
+        self.window = w.max(1);
+        self
+    }
+
+    pub fn poll_interval(mut self, p: u64) -> JobSpec {
+        self.poll_interval = p.max(1);
+        self
+    }
+
+    pub fn epilogue(
+        mut self,
+        f: impl Fn(&mut EventCtx<'_>, EventWord) -> Outcome + 'static,
+    ) -> JobSpec {
+        self.epilogue = Some(Rc::new(f));
+        self
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct RunState {
+    active: bool,
+    keys: u64,
+    /// PBMW: next dynamically-assigned key.
+    watermark: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: Vec<JobSpec>,
+    runs: Vec<RunState>,
+    /// Reduce completions per (job, lane) — the per-lane scratchpad
+    /// counters of the real implementation (spd costs charged at use).
+    reduce_counts: HashMap<(u32, u32), u64>,
+}
+
+#[derive(Clone, Copy)]
+struct Labels {
+    start: EventLabel,
+    maps_done: EventLabel,
+    poll_result: EventLabel,
+    launch: EventLabel,
+    task_done: EventLabel,
+    pbmw_grant: EventLabel,
+    map_task: EventLabel,
+    reduce_exec: EventLabel,
+    poll_probe: EventLabel,
+    pbmw_request: EventLabel,
+    epilogue_probe: EventLabel,
+    epilogue_done: EventLabel,
+}
+
+impl Default for Labels {
+    fn default() -> Self {
+        let x = EventLabel(u16::MAX);
+        Labels {
+            start: x,
+            maps_done: x,
+            poll_result: x,
+            launch: x,
+            task_done: x,
+            pbmw_grant: x,
+            map_task: x,
+            reduce_exec: x,
+            poll_probe: x,
+            pbmw_request: x,
+            epilogue_probe: x,
+            epilogue_done: x,
+        }
+    }
+}
+
+/// The installed KVMSR runtime. Cheap to clone (shared internals).
+#[derive(Clone)]
+pub struct Kvmsr {
+    inner: Rc<RefCell<Inner>>,
+    labels: Rc<RefCell<Labels>>,
+    tree: TreeComm,
+}
+
+#[derive(Default)]
+struct MasterState {
+    job: u32,
+    keys: u64,
+    emitted: u64,
+    cont_raw: u64,
+}
+
+struct LauncherState {
+    job: u32,
+    user_arg: u64,
+    range: KeyRange,
+    in_flight: u32,
+    processed: u64,
+    emitted: u64,
+    ack: EventWord,
+    pbmw: bool,
+    requested: bool,
+    drained: bool,
+}
+
+impl Default for LauncherState {
+    fn default() -> Self {
+        LauncherState {
+            job: 0,
+            user_arg: 0,
+            range: KeyRange::EMPTY,
+            in_flight: 0,
+            processed: 0,
+            emitted: 0,
+            ack: EventWord::IGNORE,
+            pbmw: false,
+            requested: false,
+            drained: false,
+        }
+    }
+}
+
+impl Kvmsr {
+    /// Install the runtime's event handlers on an engine. Call once, before
+    /// defining jobs.
+    pub fn install(eng: &mut Engine) -> Kvmsr {
+        let inner: Rc<RefCell<Inner>> = Rc::default();
+        let labels: Rc<RefCell<Labels>> = Rc::default();
+        let tree = TreeComm::install(eng, "kvmsr_tree", 8);
+        let rt = Kvmsr {
+            inner: inner.clone(),
+            labels: labels.clone(),
+            tree,
+        };
+
+        // ---- master thread ------------------------------------------------
+        let mut master = udweave::ThreadType::<MasterState>::new("kvmsr_master");
+        let start = {
+            let rt = rt.clone();
+            master.event(eng, "start", move |ctx, st| {
+                st.job = ctx.arg(0) as u32;
+                st.keys = ctx.arg(1);
+                let user_arg = ctx.arg(2);
+                st.cont_raw = ctx.cont().raw();
+                let (set, watermark) = {
+                    let mut inner = rt.inner.borrow_mut();
+                    let spec = &inner.jobs[st.job as usize];
+                    let set = spec.set;
+                    let wm = spec.map_binding.pbmw_watermark(st.keys, set.count);
+                    let job = st.job;
+                    let run = &mut inner.runs[job as usize];
+                    assert!(!run.active, "job {job} started while active");
+                    *run = RunState {
+                        active: true,
+                        keys: st.keys,
+                        watermark: wm,
+                    };
+                    inner.reduce_counts.retain(|(j, _), _| *j != job);
+                    (set, wm)
+                };
+                let _ = watermark;
+                // Launch broadcast; acks aggregate to maps_done.
+                let lb = rt.labels.borrow();
+                let args =
+                    rt.tree
+                        .start_args(set, lb.launch, &[st.job as u64, st.keys, user_arg]);
+                let md = ctx.self_event(lb.maps_done);
+                ctx.charge(4);
+                ctx.send_event(rt.tree.start_evw(set), args, md);
+            })
+        };
+        let maps_done = {
+            let rt = rt.clone();
+            master.event(eng, "maps_done", move |ctx, st| {
+                let processed = ctx.arg(0);
+                st.emitted = ctx.arg(1);
+                assert_eq!(
+                    processed, st.keys,
+                    "job {}: launcher reports lost keys",
+                    st.job
+                );
+                let (has_reduce, set, poll_probe, poll_result) = {
+                    let inner = rt.inner.borrow();
+                    let lb = rt.labels.borrow();
+                    (
+                        inner.jobs[st.job as usize].reduce.is_some(),
+                        inner.jobs[st.job as usize].set,
+                        lb.poll_probe,
+                        lb.poll_result,
+                    )
+                };
+                if !has_reduce || st.emitted == 0 {
+                    rt.finish_or_epilogue(ctx, st);
+                    return;
+                }
+                // First reduce-termination poll, immediately.
+                let args = rt.tree.start_args(set, poll_probe, &[st.job as u64]);
+                let pr = ctx.self_event(poll_result);
+                ctx.charge(2);
+                ctx.send_event(rt.tree.start_evw(set), args, pr);
+            })
+        };
+        let poll_result = {
+            let rt = rt.clone();
+            master.event(eng, "poll_result", move |ctx, st| {
+                let sum = ctx.arg(0);
+                debug_assert!(sum <= st.emitted, "reduce over-count");
+                if sum == st.emitted {
+                    rt.finish_or_epilogue(ctx, st);
+                    return;
+                }
+                let (set, interval, poll_probe, poll_result) = {
+                    let inner = rt.inner.borrow();
+                    let lb = rt.labels.borrow();
+                    let spec = &inner.jobs[st.job as usize];
+                    (spec.set, spec.poll_interval, lb.poll_probe, lb.poll_result)
+                };
+                let args = rt.tree.start_args(set, poll_probe, &[st.job as u64]);
+                let pr = ctx.self_event(poll_result);
+                ctx.charge(2);
+                ctx.send_event_after(interval, rt.tree.start_evw(set), args, pr);
+            })
+        };
+
+        let epilogue_done = {
+            let rt = rt.clone();
+            master.event(eng, "epilogue_done", move |ctx, st| {
+                rt.finish(ctx, st);
+            })
+        };
+        let _ = epilogue_done;
+
+        // ---- per-lane launcher thread --------------------------------------
+        let mut launcher = udweave::ThreadType::<LauncherState>::new("kvmsr_launcher");
+        let launch = {
+            let rt = rt.clone();
+            launcher.event(eng, "launch", move |ctx, st| {
+                st.job = ctx.arg(0) as u32;
+                let keys = ctx.arg(1);
+                st.user_arg = ctx.arg(2);
+                st.ack = ctx.cont();
+                let (window, binding, set) = {
+                    let inner = rt.inner.borrow();
+                    let spec = &inner.jobs[st.job as usize];
+                    (spec.window, spec.map_binding, spec.set)
+                };
+                let pos = set.position_of(ctx.nwid());
+                st.range = binding.initial_range(keys, pos, set.count);
+                st.pbmw = matches!(binding, MapBinding::Pbmw { .. });
+                ctx.charge(6);
+                for _ in 0..window {
+                    if !rt.spawn_one(ctx, st) {
+                        break;
+                    }
+                }
+                rt.launcher_progress(ctx, st);
+            })
+        };
+        let task_done = {
+            let rt = rt.clone();
+            launcher.event(eng, "task_done", move |ctx, st| {
+                st.in_flight -= 1;
+                st.processed += 1;
+                st.emitted += ctx.arg(0);
+                ctx.charge(2);
+                rt.spawn_one(ctx, st);
+                rt.launcher_progress(ctx, st);
+            })
+        };
+        let pbmw_grant = {
+            let rt = rt.clone();
+            launcher.event(eng, "pbmw_grant", move |ctx, st| {
+                let start = ctx.arg(0);
+                let len = ctx.arg(1);
+                st.requested = false;
+                ctx.charge(2);
+                if len == 0 {
+                    st.drained = true;
+                } else {
+                    st.range = KeyRange {
+                        next: start,
+                        end: start + len,
+                        stride: 1,
+                    };
+                    let window = {
+                        let inner = rt.inner.borrow();
+                        inner.jobs[st.job as usize].window
+                    };
+                    while st.in_flight < window {
+                        if !rt.spawn_one(ctx, st) {
+                            break;
+                        }
+                    }
+                }
+                rt.launcher_progress(ctx, st);
+            })
+        };
+
+        // ---- map task wrapper ----------------------------------------------
+        let map_task = {
+            let rt = rt.clone();
+            udweave::simple_event(eng, "kvmsr::kv_map", move |ctx| {
+                let mut task = MapTask::parse(ctx);
+                let f = rt.inner.borrow().jobs[task.job.0 as usize].map.clone();
+                match f(ctx, &mut task, &rt) {
+                    Outcome::Done => {
+                        rt.map_done(ctx, &task);
+                        ctx.yield_terminate();
+                    }
+                    Outcome::Async => {}
+                }
+            })
+        };
+
+        // ---- reduce wrapper ---------------------------------------------------
+        let reduce_exec = {
+            let rt = rt.clone();
+            udweave::simple_event(eng, "kvmsr::kv_reduce", move |ctx| {
+                let job = JobId(ctx.arg(0) as u32);
+                let task = ReduceTask {
+                    job,
+                    key: ctx.arg(1),
+                };
+                let f = rt.inner.borrow().jobs[job.0 as usize]
+                    .reduce
+                    .clone()
+                    .expect("reduce tuple for map-only job");
+                let vals: Vec<u64> = ctx.args()[2..].to_vec();
+                match f(ctx, &task, &vals, &rt) {
+                    Outcome::Done => {
+                        rt.reduce_done(ctx, job);
+                        ctx.yield_terminate();
+                    }
+                    Outcome::Async => {}
+                }
+            })
+        };
+
+        // ---- per-lane poll probe ------------------------------------------------
+        let poll_probe = {
+            let inner = inner.clone();
+            udweave::simple_event(eng, "kvmsr::poll_probe", move |ctx| {
+                let job = ctx.arg(0) as u32;
+                let count = inner
+                    .borrow()
+                    .reduce_counts
+                    .get(&(job, ctx.nwid().0))
+                    .copied()
+                    .unwrap_or(0);
+                ctx.charge(2);
+                ctx.send_reply([count, 0]);
+                ctx.yield_terminate();
+            })
+        };
+
+        // ---- per-lane epilogue hook ------------------------------------------
+        let epilogue_probe = {
+            let inner = inner.clone();
+            udweave::simple_event(eng, "kvmsr::epilogue", move |ctx| {
+                let job = ctx.arg(0) as u32;
+                let done = ctx.cont();
+                let f = inner.borrow().jobs[job as usize].epilogue.clone();
+                let outcome = match f {
+                    Some(f) => f(ctx, done),
+                    None => Outcome::Done,
+                };
+                if outcome == Outcome::Done {
+                    ctx.send_reply([0u64, 0]);
+                    ctx.yield_terminate();
+                }
+            })
+        };
+
+        // ---- PBMW master-side chunk server ------------------------------------
+        let pbmw_request = {
+            let inner = inner.clone();
+            udweave::simple_event(eng, "kvmsr::pbmw_request", move |ctx| {
+                let job = ctx.arg(0) as u32;
+                let mut inner = inner.borrow_mut();
+                let chunk = match inner.jobs[job as usize].map_binding {
+                    MapBinding::Pbmw { chunk } => chunk,
+                    _ => unreachable!("PBMW request for non-PBMW job"),
+                };
+                let run = &mut inner.runs[job as usize];
+                let grant = chunk.min(run.keys - run.watermark);
+                let start = run.watermark;
+                run.watermark += grant;
+                drop(inner);
+                ctx.charge(3);
+                ctx.send_reply([start, grant]);
+                ctx.yield_terminate();
+            })
+        };
+
+        *labels.borrow_mut() = Labels {
+            start,
+            maps_done,
+            poll_result,
+            launch,
+            task_done,
+            pbmw_grant,
+            map_task,
+            reduce_exec,
+            poll_probe,
+            pbmw_request,
+            epilogue_probe,
+            epilogue_done,
+        };
+        rt
+    }
+
+    /// Run the epilogue broadcast if the job has one, else finish directly.
+    fn finish_or_epilogue(&self, ctx: &mut EventCtx<'_>, st: &mut MasterState) {
+        let (has_epi, set) = {
+            let inner = self.inner.borrow();
+            let spec = &inner.jobs[st.job as usize];
+            (spec.epilogue.is_some(), spec.set)
+        };
+        if !has_epi {
+            self.finish(ctx, st);
+            return;
+        }
+        let lb = *self.labels.borrow();
+        let args = self.tree.start_args(set, lb.epilogue_probe, &[st.job as u64]);
+        let done = ctx.self_event(lb.epilogue_done);
+        ctx.charge(2);
+        ctx.send_event(self.tree.start_evw(set), args, done);
+    }
+
+    fn finish(&self, ctx: &mut EventCtx<'_>, st: &mut MasterState) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.runs[st.job as usize].active = false;
+        }
+        let cont = EventWord::from_raw(st.cont_raw);
+        if !cont.is_ignore() {
+            ctx.send_event(cont, [st.keys, st.emitted], EventWord::IGNORE);
+        }
+        ctx.yield_terminate();
+    }
+
+    /// Spawn the next map task on this launcher's lane. Returns false when
+    /// the local range is empty (possibly requesting a PBMW refill).
+    fn spawn_one(&self, ctx: &mut EventCtx<'_>, st: &mut LauncherState) -> bool {
+        match st.range.take() {
+            Some(key) => {
+                st.in_flight += 1;
+                let lb = self.labels.borrow();
+                let td = ctx.self_event(lb.task_done);
+                let w = EventWord::new(ctx.nwid(), lb.map_task);
+                drop(lb);
+                ctx.send_event(
+                    w,
+                    [st.job as u64, key, st.user_arg, td.raw()],
+                    EventWord::IGNORE,
+                );
+                true
+            }
+            None => {
+                if st.pbmw && !st.requested && !st.drained {
+                    st.requested = true;
+                    let (set, lb) = {
+                        let inner = self.inner.borrow();
+                        (inner.jobs[st.job as usize].set, *self.labels.borrow())
+                    };
+                    let dst = EventWord::new(set.lane(0), lb.pbmw_request);
+                    let grant = ctx.self_event(lb.pbmw_grant);
+                    ctx.send_event(dst, [st.job as u64], grant);
+                }
+                false
+            }
+        }
+    }
+
+    /// Ack and retire the launcher when fully done.
+    fn launcher_progress(&self, ctx: &mut EventCtx<'_>, st: &mut LauncherState) {
+        let exhausted = st.range.is_empty() && (!st.pbmw || st.drained) && !st.requested;
+        if exhausted && st.in_flight == 0 {
+            let ack = st.ack;
+            ctx.send_event(ack, [st.processed, st.emitted], EventWord::IGNORE);
+            ctx.yield_terminate();
+        }
+    }
+
+    /// Define a job; returns its id for `start` calls.
+    pub fn define_job(&self, spec: JobSpec) -> JobId {
+        let mut inner = self.inner.borrow_mut();
+        let id = JobId(inner.jobs.len() as u32);
+        inner.jobs.push(spec);
+        inner.runs.push(RunState::default());
+        id
+    }
+
+    /// The lane set a job targets.
+    pub fn job_set(&self, job: JobId) -> LaneSet {
+        self.inner.borrow().jobs[job.0 as usize].set
+    }
+
+    /// Master lane of a job (where `start` messages go).
+    pub fn master_lane(&self, job: JobId) -> NetworkId {
+        self.job_set(job).lane(0)
+    }
+
+    /// Build the start message for host-side injection:
+    /// `engine.send(evw, args, completion_cont)`.
+    pub fn start_msg(&self, job: JobId, keys: u64, user_arg: u64) -> (EventWord, Vec<u64>) {
+        let lb = self.labels.borrow();
+        (
+            EventWord::new(self.master_lane(job), lb.start),
+            vec![job.0 as u64, keys, user_arg],
+        )
+    }
+
+    /// Start a job from inside the simulation; `cont` receives
+    /// `[keys_processed, tuples_emitted]` on completion.
+    pub fn start_from(
+        &self,
+        ctx: &mut EventCtx<'_>,
+        job: JobId,
+        keys: u64,
+        user_arg: u64,
+        cont: EventWord,
+    ) {
+        let (evw, args) = self.start_msg(job, keys, user_arg);
+        ctx.send_event(evw, args, cont);
+    }
+
+    /// `kv_map_emit`: route an intermediate tuple to its reduce lane.
+    pub fn emit(&self, ctx: &mut EventCtx<'_>, task: &mut MapTask, key: u64, vals: &[u64]) {
+        let (lane, label) = {
+            let inner = self.inner.borrow();
+            let spec = &inner.jobs[task.job.0 as usize];
+            (
+                spec.reduce_binding.lane_for(key, &spec.set),
+                self.labels.borrow().reduce_exec,
+            )
+        };
+        task.emits += 1;
+        let mut args = vec![task.job.0 as u64, key];
+        args.extend_from_slice(vals);
+        ctx.charge(1);
+        ctx.send_event(EventWord::new(lane, label), args, EventWord::IGNORE);
+    }
+
+    /// Route a tuple to its reduce lane **without** updating a task's emit
+    /// counter. Helper threads working on behalf of a map task use this and
+    /// report their emit counts to the owning task
+    /// ([`MapTask::add_external_emits`]); forgetting to do so hangs the
+    /// job's reduce termination.
+    pub fn emit_uncounted(&self, ctx: &mut EventCtx<'_>, job: JobId, key: u64, vals: &[u64]) {
+        let (lane, label) = {
+            let inner = self.inner.borrow();
+            let spec = &inner.jobs[job.0 as usize];
+            (
+                spec.reduce_binding.lane_for(key, &spec.set),
+                self.labels.borrow().reduce_exec,
+            )
+        };
+        let mut args = vec![job.0 as u64, key];
+        args.extend_from_slice(vals);
+        ctx.charge(1);
+        ctx.send_event(EventWord::new(lane, label), args, EventWord::IGNORE);
+    }
+
+    /// `kv_map_return`: retire a map task (call once per task; the wrapper
+    /// does it automatically for [`Outcome::Done`] maps).
+    pub fn map_done(&self, ctx: &mut EventCtx<'_>, task: &MapTask) {
+        ctx.send_event(task.launcher, [task.emits], EventWord::IGNORE);
+    }
+
+    /// Retire an async reduce task (the wrapper does it for
+    /// [`Outcome::Done`] reduces).
+    pub fn reduce_done(&self, ctx: &mut EventCtx<'_>, job: JobId) {
+        let mut inner = self.inner.borrow_mut();
+        *inner.reduce_counts.entry((job.0, ctx.nwid().0)).or_insert(0) += 1;
+        ctx.charge(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use udweave::simple_event;
+    use updown_sim::{Engine, MachineConfig, VAddr};
+
+    fn engine(nodes: u32, accels: u32, lanes: u32) -> Engine {
+        Engine::new(MachineConfig::small(nodes, accels, lanes))
+    }
+
+    /// Run a job from the host and stop the sim at completion; returns
+    /// (processed, emitted, final_tick).
+    fn run_job(eng: &mut Engine, rt: &Kvmsr, job: JobId, keys: u64, arg: u64) -> (u64, u64, u64) {
+        let out: Rc<RefCell<(u64, u64)>> = Rc::default();
+        let out2 = out.clone();
+        let done = simple_event(eng, "job_done", move |ctx| {
+            *out2.borrow_mut() = (ctx.arg(0), ctx.arg(1));
+            ctx.stop();
+        });
+        let (evw, args) = rt.start_msg(job, keys, arg);
+        let cont = EventWord::new(NetworkId(0), done);
+        eng.send(evw, args, cont);
+        let r = eng.run();
+        let (p, e) = *out.borrow();
+        (p, e, r.final_tick)
+    }
+
+    #[test]
+    fn map_only_job_visits_every_key() {
+        let mut eng = engine(1, 2, 4);
+        let rt = Kvmsr::install(&mut eng);
+        let seen: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let seen2 = seen.clone();
+        let set = LaneSet::new(NetworkId(0), 8);
+        let job = rt.define_job(JobSpec::new("visit", set, move |ctx, task, _rt| {
+            seen2.borrow_mut().push(task.key);
+            ctx.charge(5);
+            Outcome::Done
+        }));
+        let (p, e, _) = run_job(&mut eng, &rt, job, 100, 0);
+        assert_eq!(p, 100);
+        assert_eq!(e, 0);
+        let mut s = seen.borrow().clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn map_reduce_histogram() {
+        // Classic: map emits (key % 10, 1); reduce accumulates into DRAM.
+        let mut eng = engine(2, 2, 4);
+        let base = eng.mem_mut().alloc(4096, 0, 2, 4096).unwrap();
+        let rt = Kvmsr::install(&mut eng);
+        let set = LaneSet::new(NetworkId(0), 16);
+        let job = rt.define_job(
+            JobSpec::new("hist_map", set, move |ctx, task, rt| {
+                let bucket = task.key % 10;
+                rt.emit(ctx, task, bucket, &[1]);
+                ctx.charge(3);
+                Outcome::Done
+            })
+            .with_reduce(move |ctx, task, vals, _rt| {
+                ctx.dram_fetch_add_u64(base.word(task.key), vals[0], None, None);
+                Outcome::Done
+            }),
+        );
+        let (p, e, _) = run_job(&mut eng, &rt, job, 1000, 0);
+        assert_eq!(p, 1000);
+        assert_eq!(e, 1000);
+        for b in 0..10u64 {
+            assert_eq!(eng.mem().read_u64(base.word(b)).unwrap(), 100);
+        }
+    }
+
+    #[test]
+    fn async_map_tasks() {
+        // Map issues a DRAM read and finishes in a second event.
+        #[derive(Default)]
+        struct St {
+            task: Option<MapTask>,
+        }
+        let mut eng = engine(1, 1, 4);
+        let data = eng.mem_mut().alloc(8192, 0, 1, 4096).unwrap();
+        for i in 0..1000 {
+            eng.mem_mut().write_u64(data.word(i), i * 2).unwrap();
+        }
+        let rt = Kvmsr::install(&mut eng);
+        let sum: Rc<RefCell<u64>> = Rc::default();
+        let sum2 = sum.clone();
+        let rt2 = rt.clone();
+        let on_read = udweave::event::<St>(&mut eng, "on_read", move |ctx, st| {
+            *sum2.borrow_mut() += ctx.arg(0);
+            let task = st.task.unwrap();
+            rt2.map_done(ctx, &task);
+            ctx.yield_terminate();
+        });
+        let set = LaneSet::new(NetworkId(0), 4);
+        let job = rt.define_job(JobSpec::new("async", set, move |ctx, task, _rt| {
+            ctx.state_mut::<St>().task = Some(*task);
+            ctx.send_dram_read(VAddr(data.0).word(task.key), 1, on_read);
+            Outcome::Async
+        }));
+        let (p, _, _) = run_job(&mut eng, &rt, job, 200, 0);
+        assert_eq!(p, 200);
+        assert_eq!(*sum.borrow(), (0..200u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn pbmw_balances_skew() {
+        // Skewed map costs: Block leaves one lane working alone at the end;
+        // PBMW should finish sooner.
+        fn build(binding: MapBinding) -> u64 {
+            let mut eng = engine(1, 2, 8);
+            let rt = Kvmsr::install(&mut eng);
+            let set = LaneSet::new(NetworkId(0), 16);
+            let job = rt.define_job(
+                JobSpec::new("skew", set, move |ctx, task, _rt| {
+                    // Keys in the first block are 100x more expensive.
+                    let cost = if task.key < 64 { 4000 } else { 40 };
+                    ctx.charge(cost);
+                    Outcome::Done
+                })
+                .map_binding(binding)
+                .window(2),
+            );
+            let (p, _, t) = {
+                let out: Rc<RefCell<(u64, u64)>> = Rc::default();
+                let out2 = out.clone();
+                let done = simple_event(&mut eng, "done", move |ctx| {
+                    *out2.borrow_mut() = (ctx.arg(0), ctx.arg(1));
+                    ctx.stop();
+                });
+                let (evw, args) = rt.start_msg(job, 1024, 0);
+                eng.send(evw, args, EventWord::new(NetworkId(0), done));
+                let r = eng.run();
+                let (p, e) = *out.borrow();
+                (p, e, r.final_tick)
+            };
+            assert_eq!(p, 1024);
+            t
+        }
+        let t_block = build(MapBinding::Block);
+        let t_pbmw = build(MapBinding::Pbmw { chunk: 8 });
+        assert!(
+            t_pbmw < t_block,
+            "PBMW ({t_pbmw}) should beat Block ({t_block}) under skew"
+        );
+    }
+
+    #[test]
+    fn empty_job_completes() {
+        let mut eng = engine(1, 1, 4);
+        let rt = Kvmsr::install(&mut eng);
+        let set = LaneSet::new(NetworkId(0), 4);
+        let job = rt.define_job(
+            JobSpec::new("empty", set, |_ctx, _task, _rt| Outcome::Done)
+                .with_reduce(|_ctx, _t, _v, _rt| Outcome::Done),
+        );
+        let (p, e, _) = run_job(&mut eng, &rt, job, 0, 0);
+        assert_eq!((p, e), (0, 0));
+    }
+
+    #[test]
+    fn async_reduce_tasks() {
+        // Reduce reads DRAM before accumulating; termination must wait.
+        #[derive(Default)]
+        struct St {
+            job: u32,
+            add: u64,
+        }
+        let mut eng = engine(1, 1, 4);
+        let table = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
+        let out = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
+        for i in 0..16 {
+            eng.mem_mut().write_u64(table.word(i), 100 + i).unwrap();
+        }
+        let rt = Kvmsr::install(&mut eng);
+        let rt2 = rt.clone();
+        let on_read = udweave::event::<St>(&mut eng, "red_read", move |ctx, st| {
+            let v = ctx.arg(0) + st.add;
+            ctx.dram_fetch_add_u64(out, v, None, None);
+            rt2.reduce_done(ctx, JobId(st.job));
+            ctx.yield_terminate();
+        });
+        let set = LaneSet::new(NetworkId(0), 4);
+        let job = rt.define_job(
+            JobSpec::new("amap", set, move |ctx, task, rt| {
+                rt.emit(ctx, task, task.key % 16, &[task.key]);
+                Outcome::Done
+            })
+            .with_reduce(move |ctx, task, vals, _rt| {
+                let st = ctx.state_mut::<St>();
+                st.job = task.job.0;
+                st.add = vals[0];
+                ctx.send_dram_read(VAddr(table.0).word(task.key), 1, on_read);
+                Outcome::Async
+            }),
+        );
+        let (p, e, _) = run_job(&mut eng, &rt, job, 64, 0);
+        assert_eq!((p, e), (64, 64));
+        // Expected: sum over keys k of (table[k%16] + k).
+        let expect: u64 = (0..64u64).map(|k| 100 + (k % 16) + k).sum();
+        assert_eq!(eng.mem().read_u64(out).unwrap(), expect);
+    }
+
+    #[test]
+    fn user_arg_reaches_tasks() {
+        let mut eng = engine(1, 1, 2);
+        let rt = Kvmsr::install(&mut eng);
+        let ok: Rc<RefCell<bool>> = Rc::new(RefCell::new(true));
+        let ok2 = ok.clone();
+        let set = LaneSet::new(NetworkId(0), 2);
+        let job = rt.define_job(JobSpec::new("arg", set, move |_ctx, task, _rt| {
+            if task.arg != 777 {
+                *ok2.borrow_mut() = false;
+            }
+            Outcome::Done
+        }));
+        run_job(&mut eng, &rt, job, 10, 777);
+        assert!(*ok.borrow());
+    }
+
+    #[test]
+    fn sequential_runs_of_same_job() {
+        let mut eng = engine(1, 1, 4);
+        let rt = Kvmsr::install(&mut eng);
+        let count: Rc<RefCell<u64>> = Rc::default();
+        let c2 = count.clone();
+        let set = LaneSet::new(NetworkId(0), 4);
+        let job = rt.define_job(JobSpec::new("again", set, move |_ctx, _task, _rt| {
+            *c2.borrow_mut() += 1;
+            Outcome::Done
+        }));
+        run_job(&mut eng, &rt, job, 50, 0);
+        run_job(&mut eng, &rt, job, 30, 0);
+        assert_eq!(*count.borrow(), 80);
+    }
+
+    #[test]
+    fn more_lanes_is_faster_strong_scaling_smoke() {
+        fn t(lanes: u32) -> u64 {
+            let mut eng = engine(1, 4, 16);
+            let rt = Kvmsr::install(&mut eng);
+            let set = LaneSet::new(NetworkId(0), lanes);
+            let job = rt.define_job(JobSpec::new("work", set, move |ctx, _task, _rt| {
+                ctx.charge(500);
+                Outcome::Done
+            }));
+            let (p, _, tick) = {
+                let out: Rc<RefCell<(u64, u64)>> = Rc::default();
+                let out2 = out.clone();
+                let done = simple_event(&mut eng, "done", move |ctx| {
+                    *out2.borrow_mut() = (ctx.arg(0), ctx.arg(1));
+                    ctx.stop();
+                });
+                let (evw, args) = rt.start_msg(job, 2048, 0);
+                eng.send(evw, args, EventWord::new(NetworkId(0), done));
+                let r = eng.run();
+                let p = out.borrow().0;
+                (p, 0u64, r.final_tick)
+            };
+            assert_eq!(p, 2048);
+            tick
+        }
+        let t4 = t(4);
+        let t64 = t(64);
+        assert!(
+            t64 * 8 < t4,
+            "64 lanes ({t64}) should be much faster than 4 ({t4})"
+        );
+    }
+}

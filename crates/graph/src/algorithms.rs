@@ -1,0 +1,236 @@
+//! Host-side reference algorithms: the correctness oracles for the UpDown
+//! applications and the sequential CPU baselines.
+
+use crate::csr::Csr;
+use crate::preprocess::SplitGraph;
+
+/// One push-style PageRank iteration: `next[d] += pr[s] / deg(s)` over all
+/// edges, then `next = (1-damping)/n + damping * next`. Dangling mass is
+/// dropped, matching the paper's simple push formulation.
+pub fn pagerank_iteration(g: &Csr, pr: &[f64], damping: f64) -> Vec<f64> {
+    let n = g.n() as usize;
+    let mut next = vec![0.0f64; n];
+    for v in 0..g.n() {
+        let deg = g.degree(v);
+        if deg == 0 {
+            continue;
+        }
+        let contrib = pr[v as usize] / deg as f64;
+        for &d in g.neigh(v) {
+            next[d as usize] += contrib;
+        }
+    }
+    let base = (1.0 - damping) / n as f64;
+    for x in &mut next {
+        *x = base + damping * *x;
+    }
+    next
+}
+
+/// `iters` PageRank iterations from the uniform vector.
+pub fn pagerank(g: &Csr, iters: u32, damping: f64) -> Vec<f64> {
+    let n = g.n() as usize;
+    let mut pr = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        pr = pagerank_iteration(g, &pr, damping);
+    }
+    pr
+}
+
+/// One PageRank iteration over a vertex-split graph, producing values for
+/// the *original* vertices — the oracle that vertex splitting preserves PR.
+pub fn pagerank_iteration_split(sg: &SplitGraph, pr: &[f64], damping: f64) -> Vec<f64> {
+    let n = sg.n_orig as usize;
+    let mut next = vec![0.0f64; n];
+    for s in 0..sg.n_sub() {
+        let root = sg.sub_root[s as usize] as usize;
+        let deg = sg.orig_deg[root];
+        if deg == 0 {
+            continue;
+        }
+        let contrib = pr[root] / deg as f64;
+        for &d in sg.sub_neigh(s) {
+            next[d as usize] += contrib;
+        }
+    }
+    let base = (1.0 - damping) / n as f64;
+    for x in &mut next {
+        *x = base + damping * *x;
+    }
+    next
+}
+
+/// BFS distances from `root` (u64::MAX = unreachable).
+pub fn bfs(g: &Csr, root: u32) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; g.n() as usize];
+    let mut frontier = vec![root];
+    dist[root as usize] = 0;
+    let mut level = 0u64;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &d in g.neigh(v) {
+                if dist[d as usize] == u64::MAX {
+                    dist[d as usize] = level;
+                    next.push(d);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Triangle count of an undirected graph (symmetric adjacency, sorted
+/// neighbor lists, no self-loops/duplicates). Counts each triangle once.
+pub fn triangle_count(g: &Csr) -> u64 {
+    let mut count = 0u64;
+    for v in 0..g.n() {
+        for &u in g.neigh(v) {
+            if u >= v {
+                break; // sorted: only u < v pairs
+            }
+            count += intersect_count_less(g.neigh(v), g.neigh(u), u);
+        }
+    }
+    count
+}
+
+/// |{z in a ∩ b : z < cap}| for sorted slices — the z < u < v ordering that
+/// counts each triangle exactly once.
+fn intersect_count_less(a: &[u32], b: &[u32], cap: u32) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut c = 0;
+    while i < a.len() && j < b.len() && a[i] < cap && b[j] < cap {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Full sorted-merge intersection size (used by the device TC oracle,
+/// which counts every common neighbor of an x>y pair and divides by 3).
+pub fn intersect_count(a: &[u32], b: &[u32]) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut c = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::EdgeList;
+    use crate::generators::{erdos_renyi, rmat, RmatParams};
+    use crate::preprocess::{dedup_sort, split};
+
+    fn triangle_graph() -> Csr {
+        // K4 minus one edge: triangles {0,1,2} and {0,2,3}.
+        let el = EdgeList::new(
+            4,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (2, 3)],
+        )
+        .symmetrize();
+        let mut g = Csr::from_edges(&dedup_sort(el));
+        g.sort_neighbors();
+        g
+    }
+
+    #[test]
+    fn tc_counts_known_graph() {
+        assert_eq!(triangle_count(&triangle_graph()), 2);
+    }
+
+    #[test]
+    fn tc_by_pair_intersection_is_three_x() {
+        // The device algorithm: for each x>y edge, count |N(x) ∩ N(y)|.
+        let g = triangle_graph();
+        let mut c = 0;
+        for x in 0..g.n() {
+            for &y in g.neigh(x) {
+                if y < x {
+                    c += intersect_count(g.neigh(x), g.neigh(y));
+                }
+            }
+        }
+        assert_eq!(c, 3 * 2);
+    }
+
+    #[test]
+    fn pagerank_sums_near_one_without_dangling() {
+        // ER symmetrized: no dangling vertices (almost surely all deg > 0).
+        let el = dedup_sort(erdos_renyi(8, 8, 2).symmetrize());
+        let g = Csr::from_edges(&el);
+        let pr = pagerank(&g, 20, 0.85);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        assert!(pr.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pagerank_star_graph() {
+        // Star: 1..4 each point to 0. pr(0) accumulates.
+        let el = EdgeList::new(5, vec![(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let g = Csr::from_edges(&el);
+        let pr = pagerank(&g, 1, 0.85);
+        let base = 0.15 / 5.0;
+        assert!((pr[0] - (base + 0.85 * 4.0 * 0.2)).abs() < 1e-12);
+        assert!((pr[1] - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_preserves_pagerank() {
+        let el = dedup_sort(rmat(9, RmatParams::default(), 4));
+        let g = Csr::from_edges(&el);
+        let sg = split(&g, 8);
+        let pr0 = vec![1.0 / g.n() as f64; g.n() as usize];
+        let a = pagerank_iteration(&g, &pr0, 0.85);
+        let b = pagerank_iteration_split(&sg, &pr0, 0.85);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let el = EdgeList::new(6, vec![(0, 1), (1, 2), (2, 3), (0, 4)]);
+        let g = Csr::from_edges(&el);
+        let d = bfs(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 1, u64::MAX]);
+    }
+
+    #[test]
+    fn bfs_on_random_graph_is_triangle_inequal() {
+        let el = dedup_sort(rmat(8, RmatParams::default(), 5).symmetrize());
+        let g = Csr::from_edges(&el);
+        let d = bfs(&g, 0);
+        for v in 0..g.n() {
+            if d[v as usize] == u64::MAX {
+                continue;
+            }
+            for &u in g.neigh(v) {
+                assert!(d[u as usize] <= d[v as usize] + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Host-side graph representations: edge lists and the vertex-array +
+//! neighbor-list (CSR) format the UpDown applications consume (§4.1.1).
+
+/// A plain edge list, the raw input format of the artifact's text files.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EdgeList {
+    /// Number of vertices (ids are `0..n`).
+    pub n: u32,
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    pub fn new(n: u32, edges: Vec<(u32, u32)>) -> EdgeList {
+        debug_assert!(edges.iter().all(|&(s, d)| s < n && d < n));
+        EdgeList { n, edges }
+    }
+
+    pub fn m(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Add reverse edges (treat as undirected).
+    pub fn symmetrize(mut self) -> EdgeList {
+        let rev: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter(|&&(s, d)| s != d)
+            .map(|&(s, d)| (d, s))
+            .collect();
+        self.edges.extend(rev);
+        self
+    }
+}
+
+/// Compressed sparse row: `offsets[v]..offsets[v+1]` indexes `neighbors`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Csr {
+    pub offsets: Vec<u64>,
+    pub neighbors: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from an edge list (out-edges; keeps duplicates and self-loops
+    /// unless preprocessed away first — see [`crate::preprocess`]).
+    pub fn from_edges(el: &EdgeList) -> Csr {
+        let n = el.n as usize;
+        let mut deg = vec![0u64; n];
+        for &(s, _) in &el.edges {
+            deg[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; el.edges.len()];
+        for &(s, d) in &el.edges {
+            let c = &mut cursor[s as usize];
+            neighbors[*c as usize] = d;
+            *c += 1;
+        }
+        Csr { offsets, neighbors }
+    }
+
+    #[inline]
+    pub fn n(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    #[inline]
+    pub fn m(&self) -> u64 {
+        self.neighbors.len() as u64
+    }
+
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    #[inline]
+    pub fn neigh(&self, v: u32) -> &[u32] {
+        let a = self.offsets[v as usize] as usize;
+        let b = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[a..b]
+    }
+
+    pub fn max_degree(&self) -> u32 {
+        (0..self.n()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Sort each neighbor list (required by intersection-based TC).
+    pub fn sort_neighbors(&mut self) {
+        for v in 0..self.n() {
+            let a = self.offsets[v as usize] as usize;
+            let b = self.offsets[v as usize + 1] as usize;
+            self.neighbors[a..b].sort_unstable();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EdgeList {
+        EdgeList::new(4, vec![(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let g = Csr::from_edges(&small());
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.neigh(0), &[1, 2]);
+        assert_eq!(g.neigh(1), &[2]);
+        assert_eq!(g.neigh(2), &[3]);
+        assert_eq!(g.neigh(3), &[0]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn symmetrize_doubles_non_loops() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 1)]).symmetrize();
+        assert_eq!(el.m(), 3); // (0,1), (1,1), (1,0)
+        let g = Csr::from_edges(&el);
+        assert_eq!(g.neigh(1), &[1, 0]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let g = Csr::from_edges(&EdgeList::new(5, vec![(0, 4)]));
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neigh(2).is_empty());
+    }
+
+    #[test]
+    fn sort_neighbors_sorts() {
+        let mut g = Csr::from_edges(&EdgeList::new(3, vec![(0, 2), (0, 1)]));
+        g.sort_neighbors();
+        assert_eq!(g.neigh(0), &[1, 2]);
+    }
+}

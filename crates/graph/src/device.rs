@@ -1,0 +1,178 @@
+//! Loading host graphs into the simulated global address space with
+//! DRAMmalloc layouts — the TOP-core load phase (untimed, like the
+//! artifact, which times from `updown_init`).
+
+use drammalloc::{Layout, Region};
+use updown_sim::{Engine, VAddr};
+
+use crate::csr::Csr;
+use crate::preprocess::SplitGraph;
+
+/// A CSR graph resident in device memory: a vertex record array (`gv`) and
+/// a neighbor-list array (`nl`), each with its own DRAMmalloc layout
+/// (§4.1.1: both default to `DRAMmalloc(size, 0, NRnodes, 32KB)`).
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceCsr {
+    pub gv: Region,
+    pub nl: Region,
+    /// Words per vertex record.
+    pub stride: u64,
+    pub n: u64,
+    pub m: u64,
+}
+
+impl DeviceCsr {
+    /// Load with per-vertex records produced by `fill(v, degree, nl_va)`;
+    /// every record must be `stride` words.
+    pub fn load(
+        eng: &mut Engine,
+        g: &Csr,
+        stride: u64,
+        gv_layout: Layout,
+        nl_layout: Layout,
+        fill: impl Fn(u32, u32, VAddr) -> Vec<u64>,
+    ) -> DeviceCsr {
+        let n = g.n() as u64;
+        let m = g.m().max(1);
+        let nl = Region::alloc_words(eng, m, nl_layout).expect("nl alloc");
+        let gv = Region::alloc_words(eng, n * stride, gv_layout).expect("gv alloc");
+        let mem = eng.mem_mut();
+        let nl_words: Vec<u64> = g.neighbors.iter().map(|&d| d as u64).collect();
+        mem.write_words(nl.base, &nl_words).expect("nl init");
+        for v in 0..g.n() {
+            let nl_va = if g.degree(v) == 0 {
+                VAddr::NULL
+            } else {
+                nl.word(g.offsets[v as usize])
+            };
+            let rec = fill(v, g.degree(v), nl_va);
+            assert_eq!(rec.len() as u64, stride, "record width mismatch");
+            mem.write_words(gv.word(v as u64 * stride), &rec)
+                .expect("gv init");
+        }
+        DeviceCsr {
+            gv,
+            nl,
+            stride,
+            n,
+            m: g.m(),
+        }
+    }
+
+    /// Address of vertex `v`'s record.
+    #[inline]
+    pub fn vertex(&self, v: u64) -> VAddr {
+        self.gv.word(v * self.stride)
+    }
+}
+
+/// A vertex-split graph in device memory: sub-vertex records plus the
+/// shared neighbor list.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceSplit {
+    pub gv: Region,
+    pub nl: Region,
+    pub stride: u64,
+    pub n_sub: u64,
+    pub n_orig: u64,
+    pub m: u64,
+}
+
+impl DeviceSplit {
+    /// `fill(sub, root, slice_deg, orig_deg, nl_va)` produces each
+    /// sub-vertex record.
+    pub fn load(
+        eng: &mut Engine,
+        sg: &SplitGraph,
+        stride: u64,
+        gv_layout: Layout,
+        nl_layout: Layout,
+        fill: impl Fn(u32, u32, u32, u32, VAddr) -> Vec<u64>,
+    ) -> DeviceSplit {
+        let n_sub = sg.n_sub() as u64;
+        let m = (sg.neighbors.len() as u64).max(1);
+        let nl = Region::alloc_words(eng, m, nl_layout).expect("nl alloc");
+        let gv = Region::alloc_words(eng, n_sub * stride, gv_layout).expect("gv alloc");
+        let mem = eng.mem_mut();
+        let nl_words: Vec<u64> = sg.neighbors.iter().map(|&d| d as u64).collect();
+        mem.write_words(nl.base, &nl_words).expect("nl init");
+        for s in 0..sg.n_sub() {
+            let root = sg.sub_root[s as usize];
+            let nl_va = if sg.sub_degree(s) == 0 {
+                VAddr::NULL
+            } else {
+                nl.word(sg.sub_offsets[s as usize])
+            };
+            let rec = fill(s, root, sg.sub_degree(s), sg.orig_deg[root as usize], nl_va);
+            assert_eq!(rec.len() as u64, stride);
+            mem.write_words(gv.word(s as u64 * stride), &rec)
+                .expect("gv init");
+        }
+        DeviceSplit {
+            gv,
+            nl,
+            stride,
+            n_sub,
+            n_orig: sg.n_orig as u64,
+            m: sg.neighbors.len() as u64,
+        }
+    }
+
+    #[inline]
+    pub fn sub(&self, s: u64) -> VAddr {
+        self.gv.word(s * self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::EdgeList;
+    use crate::generators::{rmat, RmatParams};
+    use crate::preprocess::split;
+    use updown_sim::MachineConfig;
+
+    #[test]
+    fn device_csr_records_readable() {
+        let mut eng = Engine::new(MachineConfig::small(2, 1, 2));
+        let g = Csr::from_edges(&EdgeList::new(3, vec![(0, 1), (0, 2), (2, 0)]));
+        let d = DeviceCsr::load(
+            &mut eng,
+            &g,
+            2,
+            Layout::cyclic_bs(2, 32 * 1024),
+            Layout::cyclic_bs(2, 32 * 1024),
+            |_v, deg, nl_va| vec![deg as u64, nl_va.0],
+        );
+        // Vertex 0: degree 2, neighbors at nl base.
+        let mem = eng.mem();
+        assert_eq!(mem.read_u64(d.vertex(0)).unwrap(), 2);
+        let nl_va = VAddr(mem.read_u64(d.vertex(0).word(1)).unwrap());
+        assert_eq!(mem.read_u64(nl_va).unwrap(), 1);
+        assert_eq!(mem.read_u64(nl_va.word(1)).unwrap(), 2);
+        // Vertex 1: degree 0.
+        assert_eq!(mem.read_u64(d.vertex(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn device_split_preserves_all_edges() {
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
+        let g = Csr::from_edges(&rmat(7, RmatParams::default(), 2));
+        let sg = split(&g, 16);
+        let d = DeviceSplit::load(
+            &mut eng,
+            &sg,
+            4,
+            Layout::cyclic(1),
+            Layout::cyclic(1),
+            |_s, root, sdeg, odeg, nl_va| vec![root as u64, sdeg as u64, odeg as u64, nl_va.0],
+        );
+        let mem = eng.mem();
+        let mut total = 0u64;
+        for s in 0..d.n_sub {
+            let sdeg = mem.read_u64(d.sub(s).word(1)).unwrap();
+            total += sdeg;
+        }
+        assert_eq!(total, d.m);
+    }
+}

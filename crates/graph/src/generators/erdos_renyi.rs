@@ -1,0 +1,41 @@
+//! Erdős–Rényi G(n, m) generator: m uniformly random directed edges —
+//! the paper's unskewed comparison graph (scale-28 ER in §5.2.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::EdgeList;
+
+/// `n = 2^scale` vertices, `edge_factor * n` uniform random edges.
+pub fn erdos_renyi(scale: u32, edge_factor: u64, seed: u64) -> EdgeList {
+    assert!(scale >= 1 && scale <= 31);
+    let n = 1u32 << scale;
+    let m = edge_factor * n as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges = (0..m)
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect();
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    #[test]
+    fn size_and_determinism() {
+        let a = erdos_renyi(8, 16, 3);
+        assert_eq!(a.n, 256);
+        assert_eq!(a.m(), 4096);
+        assert_eq!(a, erdos_renyi(8, 16, 3));
+    }
+
+    #[test]
+    fn degrees_are_balanced() {
+        // Unlike RMAT, ER degrees concentrate near the mean.
+        let g = Csr::from_edges(&erdos_renyi(12, 16, 1));
+        let max = g.max_degree();
+        assert!(max < 64, "ER max degree should be near 16, got {max}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Forest Fire generator (Leskovec et al.): each new vertex picks an
+//! ambassador and "burns" outward with geometric fanout, yielding shrinking
+//! diameters and heavy-tailed in-degrees — the paper's "Forest Fire s28"
+//! input, scaled down.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::EdgeList;
+
+/// `n = 2^scale` vertices; `p` is the forward-burning probability
+/// (0 < p < 1; ~0.35 gives realistic densification without blow-up).
+pub fn forest_fire(scale: u32, p: f64, seed: u64) -> EdgeList {
+    assert!(scale >= 1 && scale <= 28);
+    assert!(p > 0.0 && p < 0.95);
+    let n = 1u32 << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out_adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Geometric mean fanout p/(1-p).
+    let mut burned = vec![u32::MAX; n as usize]; // epoch marks
+    for v in 1..n {
+        let amb = rng.random_range(0..v);
+        let mut frontier = vec![amb];
+        burned[v as usize] = v;
+        burned[amb as usize] = v;
+        // Cap total burn to keep edge counts near-linear.
+        let cap = 64usize;
+        let mut total = 0usize;
+        while let Some(w) = frontier.pop() {
+            edges.push((v, w));
+            out_adj[v as usize].push(w);
+            total += 1;
+            if total >= cap {
+                break;
+            }
+            // Burn a geometric number of w's out-neighbors.
+            let mut links: Vec<u32> = out_adj[w as usize]
+                .iter()
+                .copied()
+                .filter(|&x| burned[x as usize] != v)
+                .collect();
+            while !links.is_empty() && rng.random::<f64>() < p {
+                let i = rng.random_range(0..links.len());
+                let x = links.swap_remove(i);
+                burned[x as usize] = v;
+                frontier.push(x);
+            }
+        }
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    #[test]
+    fn connected_ish_and_deterministic() {
+        let a = forest_fire(8, 0.35, 5);
+        assert_eq!(a, forest_fire(8, 0.35, 5));
+        // Every vertex except 0 has at least one out-edge.
+        let g = Csr::from_edges(&a);
+        for v in 1..g.n() {
+            assert!(g.degree(v) >= 1, "vertex {v} burned nothing");
+        }
+    }
+
+    #[test]
+    fn higher_p_burns_more() {
+        let lo = forest_fire(9, 0.1, 1).m();
+        let hi = forest_fire(9, 0.6, 1).m();
+        assert!(hi > lo, "p=0.6 ({hi}) should out-burn p=0.1 ({lo})");
+    }
+
+    #[test]
+    fn in_degree_skew() {
+        // Early vertices accumulate in-links (rich get richer).
+        let el = forest_fire(11, 0.4, 2);
+        let mut indeg = vec![0u32; el.n as usize];
+        for &(_, d) in &el.edges {
+            indeg[d as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        assert!(max > 20, "expected skewed in-degree, max {max}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Synthetic graph generators matching the paper's inputs: RMAT (with the
+//! artifact's parameters), Erdős–Rényi, and Forest Fire.
+
+mod erdos_renyi;
+mod forest_fire;
+mod rmat;
+
+pub use erdos_renyi::erdos_renyi;
+pub use forest_fire::forest_fire;
+pub use rmat::{rmat, RmatParams};

@@ -1,0 +1,102 @@
+//! R-MAT recursive-matrix generator (Chakrabarti et al.), configured as in
+//! the artifact: `a = 0.57, b = 0.19, c = 0.19` (d = 0.05) with edge
+//! factor 16 — the standard Graph500 skew.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::EdgeList;
+
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Edges per vertex (artifact: 16).
+    pub edge_factor: u64,
+    /// Per-level probability perturbation, as in the Graph500 reference
+    /// generator (keeps the degree distribution from being too regular).
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            edge_factor: 16,
+            noise: 0.05,
+        }
+    }
+}
+
+/// Generate a scale-`s` RMAT graph: `2^s` vertices, `edge_factor * 2^s`
+/// directed edges (duplicates and self-loops included, as raw generators
+/// produce; run [`crate::preprocess::dedup_sort`] like the artifact's `tsv`
+/// tool).
+pub fn rmat(scale: u32, params: RmatParams, seed: u64) -> EdgeList {
+    assert!(scale >= 1 && scale <= 31);
+    let n = 1u32 << scale;
+    let m = params.edge_factor * n as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let (mut src, mut dst) = (0u32, 0u32);
+        for level in 0..scale {
+            // Mildly perturb quadrant probabilities per level.
+            let jitter = 1.0 + params.noise * (rng.random::<f64>() - 0.5);
+            let a = params.a * jitter;
+            let b = params.b * jitter;
+            let c = params.c * jitter;
+            let r: f64 = rng.random();
+            let (sb, db) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= sb << (scale - 1 - level);
+            dst |= db << (scale - 1 - level);
+        }
+        edges.push((src, dst));
+    }
+    EdgeList::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::Csr;
+
+    #[test]
+    fn sizes_match_scale() {
+        let g = rmat(8, RmatParams::default(), 42);
+        assert_eq!(g.n, 256);
+        assert_eq!(g.m(), 16 * 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(6, RmatParams::default(), 7);
+        let b = rmat(6, RmatParams::default(), 7);
+        assert_eq!(a, b);
+        let c = rmat(6, RmatParams::default(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        // RMAT's whole point: a heavy-tailed degree distribution. The max
+        // degree should be far above the mean (16).
+        let g = Csr::from_edges(&rmat(12, RmatParams::default(), 1));
+        let max = g.max_degree();
+        assert!(max > 100, "expected heavy tail, max degree = {max}");
+        // And many low-degree vertices.
+        let low = (0..g.n()).filter(|&v| g.degree(v) < 8).count();
+        assert!(low > g.n() as usize / 4);
+    }
+}

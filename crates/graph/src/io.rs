@@ -1,0 +1,172 @@
+//! Graph I/O matching the artifact's file formats: plain-text edge lists
+//! (with `-l <offset>` comment skipping) and the binary `*_gv.bin` /
+//! `*_nl.bin` pair produced by the preprocessors.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::{Csr, EdgeList};
+
+const GV_MAGIC: u64 = 0x5544_4756; // "UDGV"
+const NL_MAGIC: u64 = 0x5544_4E4C; // "UDNL"
+
+/// Parse a whitespace/tab-separated edge list, skipping `skip_lines` header
+/// lines and any line starting with `#` (SNAP convention). If `directed`
+/// is false, reverse edges are added (the artifact's default without `-d`).
+pub fn read_edge_list(path: &Path, skip_lines: usize, directed: bool) -> io::Result<EdgeList> {
+    let f = BufReader::new(File::open(path)?);
+    let mut edges = Vec::new();
+    let mut max_v = 0u32;
+    for (i, line) in f.lines().enumerate() {
+        let line = line?;
+        if i < skip_lines || line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let s: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("line {i}")))?;
+        let d: u32 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("line {i}")))?;
+        max_v = max_v.max(s).max(d);
+        edges.push((s, d));
+    }
+    let el = EdgeList::new(max_v + 1, edges);
+    Ok(if directed { el } else { el.symmetrize() })
+}
+
+pub fn write_edge_list(path: &Path, el: &EdgeList) -> io::Result<()> {
+    let mut f = BufWriter::new(File::create(path)?);
+    for &(s, d) in &el.edges {
+        writeln!(f, "{s}\t{d}")?;
+    }
+    Ok(())
+}
+
+fn write_u64s(w: &mut impl Write, vals: &[u64]) -> io::Result<()> {
+    for v in vals {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Write the binary pair `<prefix>_gv.bin` (vertex array: per-vertex
+/// `[id, degree, nl_offset]`) and `<prefix>_nl.bin` (neighbor ids), the
+/// format consumed by the UpDown applications.
+pub fn write_gv_nl(prefix: &Path, g: &Csr) -> io::Result<()> {
+    let gv_path = prefix.with_file_name(format!(
+        "{}_gv.bin",
+        prefix.file_name().unwrap().to_string_lossy()
+    ));
+    let nl_path = prefix.with_file_name(format!(
+        "{}_nl.bin",
+        prefix.file_name().unwrap().to_string_lossy()
+    ));
+    let mut gv = BufWriter::new(File::create(gv_path)?);
+    write_u64s(&mut gv, &[GV_MAGIC, g.n() as u64, g.m()])?;
+    for v in 0..g.n() {
+        write_u64s(
+            &mut gv,
+            &[v as u64, g.degree(v) as u64, g.offsets[v as usize]],
+        )?;
+    }
+    let mut nl = BufWriter::new(File::create(nl_path)?);
+    write_u64s(&mut nl, &[NL_MAGIC, g.m()])?;
+    for &d in &g.neighbors {
+        nl.write_all(&(d as u64).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Read a `*_gv.bin` / `*_nl.bin` pair back into a CSR.
+pub fn read_gv_nl(prefix: &Path) -> io::Result<Csr> {
+    let gv_path = prefix.with_file_name(format!(
+        "{}_gv.bin",
+        prefix.file_name().unwrap().to_string_lossy()
+    ));
+    let nl_path = prefix.with_file_name(format!(
+        "{}_nl.bin",
+        prefix.file_name().unwrap().to_string_lossy()
+    ));
+    let mut gv = BufReader::new(File::open(gv_path)?);
+    if read_u64(&mut gv)? != GV_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad gv magic"));
+    }
+    let n = read_u64(&mut gv)? as usize;
+    let m = read_u64(&mut gv)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for v in 0..n {
+        let id = read_u64(&mut gv)?;
+        let _deg = read_u64(&mut gv)?;
+        let off = read_u64(&mut gv)?;
+        if id != v as u64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "gv ids not dense"));
+        }
+        offsets.push(off);
+    }
+    offsets.push(m as u64);
+    let mut nl = BufReader::new(File::open(nl_path)?);
+    if read_u64(&mut nl)? != NL_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad nl magic"));
+    }
+    let m2 = read_u64(&mut nl)? as usize;
+    if m2 != m {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "gv/nl mismatch"));
+    }
+    let mut neighbors = Vec::with_capacity(m);
+    for _ in 0..m {
+        neighbors.push(read_u64(&mut nl)? as u32);
+    }
+    Ok(Csr { offsets, neighbors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat, RmatParams};
+
+    #[test]
+    fn edge_list_text_roundtrip() {
+        let dir = std::env::temp_dir().join("updown_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("tiny.txt");
+        let el = EdgeList::new(4, vec![(0, 1), (2, 3), (3, 0)]);
+        write_edge_list(&p, &el).unwrap();
+        let back = read_edge_list(&p, 0, true).unwrap();
+        assert_eq!(back, el);
+        // Undirected read doubles.
+        let undirected = read_edge_list(&p, 0, false).unwrap();
+        assert_eq!(undirected.m(), 6);
+    }
+
+    #[test]
+    fn comment_and_offset_skipping() {
+        let dir = std::env::temp_dir().join("updown_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("hdr.txt");
+        std::fs::write(&p, "junk header\n# comment\n0 1\n1 2\n").unwrap();
+        let el = read_edge_list(&p, 1, true).unwrap();
+        assert_eq!(el.edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn binary_gv_nl_roundtrip() {
+        let dir = std::env::temp_dir().join("updown_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("rmat8");
+        let g = Csr::from_edges(&rmat(8, RmatParams::default(), 11));
+        write_gv_nl(&prefix, &g).unwrap();
+        let back = read_gv_nl(&prefix).unwrap();
+        assert_eq!(back, g);
+    }
+}

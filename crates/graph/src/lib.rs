@@ -1,0 +1,22 @@
+//! # updown-graph
+//!
+//! The graph substrate for the KVMSR+UDWeave reproduction: host-side graph
+//! structures and generators, the artifact's preprocessing tools (dedup,
+//! vertex splitting, binary formats), device loading via DRAMmalloc, the
+//! Scalable Hash Table and Parallel Graph Abstraction device structures
+//! (Table 5), and host reference algorithms used as correctness oracles.
+
+pub mod algorithms;
+pub mod csr;
+pub mod device;
+pub mod generators;
+pub mod io;
+pub mod pga;
+pub mod preprocess;
+pub mod sht;
+
+pub use csr::{Csr, EdgeList};
+pub use device::{DeviceCsr, DeviceSplit};
+pub use pga::Pga;
+pub use preprocess::{dedup_sort, split, split_and_shuffle, SplitGraph};
+pub use sht::{ShtId, ShtLib, ShtOp};

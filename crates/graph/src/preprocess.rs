@@ -1,0 +1,291 @@
+//! Graph preprocessing, mirroring the artifact's tools:
+//!
+//! - [`dedup_sort`] — the `tsv` preprocessor: drop duplicate edges and
+//!   self-loops, sort by source vertex (required by TC).
+//! - [`split_and_shuffle`] — the PR/BFS preprocessor: split vertices whose
+//!   out-degree exceeds `max_degree` into sub-vertices (bounding per-task
+//!   work so edge-level parallelism is exposed even on power-law graphs),
+//!   optionally shuffling vertex ids for load balance. The transformation
+//!   preserves PageRank and BFS results for the original graph (tested in
+//!   `algorithms`).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::csr::{Csr, EdgeList};
+
+/// The `tsv` tool: dedup, drop self-loops, sort by (src, dst).
+pub fn dedup_sort(mut el: EdgeList) -> EdgeList {
+    el.edges.retain(|&(s, d)| s != d);
+    el.edges.sort_unstable();
+    el.edges.dedup();
+    el
+}
+
+/// Permute vertex ids uniformly (the "shuffle" half of split_and_shuffle);
+/// returns the renumbered edge list and the permutation (`perm[old] = new`).
+pub fn shuffle_ids(el: &EdgeList, seed: u64) -> (EdgeList, Vec<u32>) {
+    let mut perm: Vec<u32> = (0..el.n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    perm.shuffle(&mut rng);
+    let edges = el
+        .edges
+        .iter()
+        .map(|&(s, d)| (perm[s as usize], perm[d as usize]))
+        .collect();
+    (EdgeList::new(el.n, edges), perm)
+}
+
+/// A vertex-split graph: each original vertex with out-degree `d` becomes
+/// `ceil(d / max_degree)` sub-vertices holding consecutive slices of its
+/// neighbor list. Sub-vertices of a vertex are contiguous.
+#[derive(Clone, Debug)]
+pub struct SplitGraph {
+    pub n_orig: u32,
+    /// `sub_offsets[s]..sub_offsets[s+1]` indexes `neighbors` for sub `s`.
+    pub sub_offsets: Vec<u64>,
+    /// Edge targets: original vertex ids, or sub-vertex ids when
+    /// `targets_are_subs` (see [`split_in_out`]).
+    pub neighbors: Vec<u32>,
+    /// Original vertex of each sub-vertex.
+    pub sub_root: Vec<u32>,
+    /// Total out-degree of each original vertex.
+    pub orig_deg: Vec<u32>,
+    /// `first_sub[v]..first_sub[v+1]` are the sub-vertices of original `v`.
+    pub first_sub: Vec<u32>,
+    /// True when `neighbors` entries are sub-vertex ids (in-degree also
+    /// bounded: incoming edges round-robin over the target's subs).
+    pub targets_are_subs: bool,
+}
+
+impl SplitGraph {
+    #[inline]
+    pub fn n_sub(&self) -> u32 {
+        self.sub_root.len() as u32
+    }
+
+    #[inline]
+    pub fn sub_degree(&self, s: u32) -> u32 {
+        (self.sub_offsets[s as usize + 1] - self.sub_offsets[s as usize]) as u32
+    }
+
+    #[inline]
+    pub fn sub_neigh(&self, s: u32) -> &[u32] {
+        let a = self.sub_offsets[s as usize] as usize;
+        let b = self.sub_offsets[s as usize + 1] as usize;
+        &self.neighbors[a..b]
+    }
+
+    pub fn max_sub_degree(&self) -> u32 {
+        (0..self.n_sub()).map(|s| self.sub_degree(s)).max().unwrap_or(0)
+    }
+
+    /// Sub-vertices of original vertex `v`.
+    pub fn subs_of(&self, v: u32) -> std::ops::Range<u32> {
+        self.first_sub[v as usize]..self.first_sub[v as usize + 1]
+    }
+}
+
+/// Split every vertex of `g` to a maximum out-degree of `max_degree`.
+pub fn split(g: &Csr, max_degree: u32) -> SplitGraph {
+    assert!(max_degree >= 1);
+    let n = g.n();
+    let mut sub_offsets = vec![0u64];
+    let mut sub_root = Vec::new();
+    let mut first_sub = Vec::with_capacity(n as usize + 1);
+    let mut neighbors = Vec::with_capacity(g.neighbors.len());
+    let mut orig_deg = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        first_sub.push(sub_root.len() as u32);
+        let neigh = g.neigh(v);
+        orig_deg.push(neigh.len() as u32);
+        if neigh.is_empty() {
+            // Zero-degree vertices still get one (empty) sub so BFS can
+            // mark them when discovered.
+            sub_root.push(v);
+            sub_offsets.push(neighbors.len() as u64);
+            continue;
+        }
+        for chunk in neigh.chunks(max_degree as usize) {
+            sub_root.push(v);
+            neighbors.extend_from_slice(chunk);
+            sub_offsets.push(neighbors.len() as u64);
+        }
+    }
+    first_sub.push(sub_root.len() as u32);
+    SplitGraph {
+        n_orig: n,
+        sub_offsets,
+        neighbors,
+        sub_root,
+        orig_deg,
+        first_sub,
+        targets_are_subs: false,
+    }
+}
+
+/// Split bounding **both** out- and in-degree at `max_degree` — the
+/// paper's PageRank preprocessing ("transforms the graph to a maximum
+/// degree of 1024, yet yields the correct result"). Each vertex gets
+/// `ceil(max(in, out) / max_degree)` sub-vertices; out-edge slices are
+/// dealt across them and incoming edges are re-targeted round-robin over
+/// the destination's subs, so no lane sees more than ~`max_degree`
+/// reduce updates for any one vertex.
+pub fn split_in_out(g: &Csr, max_degree: u32) -> SplitGraph {
+    assert!(max_degree >= 1);
+    let n = g.n() as usize;
+    let mut in_deg = vec![0u32; n];
+    for &d in &g.neighbors {
+        in_deg[d as usize] += 1;
+    }
+    // Sub counts and index ranges.
+    let mut first_sub = Vec::with_capacity(n + 1);
+    let mut sub_root = Vec::new();
+    for v in 0..n {
+        first_sub.push(sub_root.len() as u32);
+        let k = g
+            .degree(v as u32)
+            .max(in_deg[v])
+            .div_ceil(max_degree)
+            .max(1);
+        for _ in 0..k {
+            sub_root.push(v as u32);
+        }
+    }
+    first_sub.push(sub_root.len() as u32);
+    // Deal each vertex's out-neighbors across its subs in max_degree
+    // slices (later subs may be empty), rewriting targets to sub ids.
+    let mut rr = vec![0u32; n]; // round-robin cursor per destination
+    let mut sub_offsets = vec![0u64];
+    let mut neighbors = Vec::with_capacity(g.neighbors.len());
+    let mut orig_deg = Vec::with_capacity(n);
+    for v in 0..n {
+        orig_deg.push(g.degree(v as u32));
+        let neigh = g.neigh(v as u32);
+        let k = (first_sub[v + 1] - first_sub[v]) as usize;
+        let mut chunks = neigh.chunks(max_degree as usize);
+        for _ in 0..k {
+            if let Some(chunk) = chunks.next() {
+                for &d in chunk {
+                    let du = d as usize;
+                    let kd = first_sub[du + 1] - first_sub[du];
+                    let sub = first_sub[du] + rr[du] % kd;
+                    rr[du] = (rr[du] + 1) % kd;
+                    neighbors.push(sub);
+                }
+            }
+            sub_offsets.push(neighbors.len() as u64);
+        }
+    }
+    SplitGraph {
+        n_orig: n as u32,
+        sub_offsets,
+        neighbors,
+        sub_root,
+        orig_deg,
+        first_sub,
+        targets_are_subs: true,
+    }
+}
+
+/// The artifact's `split_and_shuffle`: shuffle ids, then split. Returns the
+/// split graph over the shuffled id space plus the permutation.
+pub fn split_and_shuffle(el: &EdgeList, max_degree: u32, seed: u64) -> (SplitGraph, Vec<u32>) {
+    let (shuffled, perm) = shuffle_ids(el, seed);
+    let csr = Csr::from_edges(&shuffled);
+    (split(&csr, max_degree), perm)
+}
+
+/// Degree statistics printed by the artifact's `-s` flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphStats {
+    pub n: u32,
+    pub m: u64,
+    pub max_degree: u32,
+}
+
+pub fn stats(g: &Csr) -> GraphStats {
+    GraphStats {
+        n: g.n(),
+        m: g.m(),
+        max_degree: g.max_degree(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat, RmatParams};
+
+    #[test]
+    fn dedup_removes_loops_and_dupes() {
+        let el = EdgeList::new(3, vec![(0, 1), (1, 1), (0, 1), (2, 0)]);
+        let d = dedup_sort(el);
+        assert_eq!(d.edges, vec![(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn split_bounds_degree_and_preserves_edges() {
+        let g = Csr::from_edges(&rmat(10, RmatParams::default(), 3));
+        let s = split(&g, 32);
+        assert!(s.max_sub_degree() <= 32);
+        assert_eq!(s.neighbors.len(), g.neighbors.len());
+        // Every original edge appears exactly once across the subs.
+        let mut rebuilt: Vec<(u32, u32)> = Vec::new();
+        for sub in 0..s.n_sub() {
+            let v = s.sub_root[sub as usize];
+            for &d in s.sub_neigh(sub) {
+                rebuilt.push((v, d));
+            }
+        }
+        rebuilt.sort_unstable();
+        let mut orig: Vec<(u32, u32)> = (0..g.n())
+            .flat_map(|v| g.neigh(v).iter().map(move |&d| (v, d)))
+            .collect();
+        orig.sort_unstable();
+        assert_eq!(rebuilt, orig);
+    }
+
+    #[test]
+    fn split_sub_count() {
+        // Vertex with degree 70, max 32 -> 3 subs.
+        let edges: Vec<(u32, u32)> = (0..70).map(|i| (0, 1 + i)).collect();
+        let g = Csr::from_edges(&EdgeList::new(71, edges));
+        let s = split(&g, 32);
+        assert_eq!(s.subs_of(0).len(), 3);
+        assert_eq!(s.sub_degree(0), 32);
+        assert_eq!(s.sub_degree(2), 6);
+        assert_eq!(s.orig_deg[0], 70);
+        // Each degree-0 vertex still has one sub.
+        assert_eq!(s.n_sub(), 3 + 70);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let el = rmat(8, RmatParams::default(), 1);
+        let (sh, perm) = shuffle_ids(&el, 9);
+        assert_eq!(sh.m(), el.m());
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..el.n).collect::<Vec<u32>>());
+        // Edges map through the permutation.
+        for (i, &(s, d)) in el.edges.iter().enumerate() {
+            assert_eq!(sh.edges[i], (perm[s as usize], perm[d as usize]));
+        }
+    }
+
+    #[test]
+    fn stats_report() {
+        let g = Csr::from_edges(&EdgeList::new(3, vec![(0, 1), (0, 2), (1, 2)]));
+        let st = stats(&g);
+        assert_eq!(
+            st,
+            GraphStats {
+                n: 3,
+                m: 3,
+                max_degree: 2
+            }
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Machine configuration: topology (§3, Figures 6/7) and cost model (Table 2).
+//!
+//! The defaults encode the paper's UpDown node: 32 accelerators per node,
+//! 64 lanes per accelerator (2048 lanes/node), a 2 GHz clock, 0.5 µs
+//! inter-node message latency, ~4 TB/s node injection bandwidth and
+//! ~9.4 TB/s node memory bandwidth. All values are per-cycle at 2 GHz so one
+//! simulator tick is one lane cycle.
+
+use crate::ids::NetworkId;
+
+/// Per-operation lane costs in cycles (Table 2 of the paper).
+#[derive(Clone, Debug)]
+pub struct OpCosts {
+    /// Creating a thread context on message arrival.
+    pub thread_create: u64,
+    /// `yield` — exit the event, preserve thread state.
+    pub yield_: u64,
+    /// `yield_terminate` — exit the event and deallocate the thread.
+    pub thread_dealloc: u64,
+    /// Scratchpad load or store.
+    pub spd_access: u64,
+    /// `send_event` message send.
+    pub send_msg: u64,
+    /// `send_dram_*` request issue.
+    pub send_dram: u64,
+    /// Fixed dispatch overhead charged for every executed event (operand
+    /// registers are loaded directly, so this is small).
+    pub event_dispatch: u64,
+}
+
+impl Default for OpCosts {
+    fn default() -> Self {
+        OpCosts {
+            thread_create: 0,
+            yield_: 1,
+            thread_dealloc: 1,
+            spd_access: 1,
+            send_msg: 2,
+            send_dram: 2,
+            event_dispatch: 2,
+        }
+    }
+}
+
+/// Message latency / bandwidth model. The PolarStar system network
+/// (diameter 3) is abstracted as a uniform remote latency plus per-node NIC
+/// injection serialization.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Lane-to-lane within one accelerator (shared scratchpad crossbar).
+    pub intra_accel_latency: u64,
+    /// Accelerator-to-accelerator within one node.
+    pub intra_node_latency: u64,
+    /// Node-to-node over the system network (0.5 µs = 1000 cycles @ 2 GHz).
+    pub inter_node_latency: u64,
+    /// NIC injection bandwidth per node, bytes per cycle (4 TB/s ≈ 2048 B/cy).
+    pub nic_bytes_per_cycle: u64,
+    /// Fixed per-message wire size in bytes before operands (64-byte
+    /// messages carry header + up to 8 operands).
+    pub msg_header_bytes: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            intra_accel_latency: 4,
+            intra_node_latency: 30,
+            inter_node_latency: 1000,
+            nic_bytes_per_cycle: 2048,
+            msg_header_bytes: 8,
+        }
+    }
+}
+
+/// DRAM model: per-node memory channel with fixed access latency and a FIFO
+/// bandwidth queue (queueing delay is how data-placement contention appears,
+/// Figure 12).
+#[derive(Clone, Debug)]
+pub struct MemoryConfig {
+    /// Access latency in cycles (row activation + controller).
+    pub dram_latency: u64,
+    /// Node memory bandwidth in bytes per cycle (9.4 TB/s ≈ 4700 B/cy).
+    pub node_bytes_per_cycle: u64,
+    /// Minimum transfer granularity in bytes (one HBM access).
+    pub access_granularity: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            dram_latency: 200,
+            node_bytes_per_cycle: 4700,
+            access_granularity: 64,
+        }
+    }
+}
+
+/// Full machine description.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    pub nodes: u32,
+    pub accels_per_node: u32,
+    pub lanes_per_accel: u32,
+    /// Clock in GHz; ticks are cycles, so this only matters when converting
+    /// to wall-clock seconds for reporting.
+    pub clock_ghz: f64,
+    pub costs: OpCosts,
+    pub net: NetworkConfig,
+    pub mem: MemoryConfig,
+    /// Hardware thread contexts per lane; additional thread creations queue.
+    pub max_threads_per_lane: u16,
+    /// Scratchpad capacity per lane in 8-byte words (64 KiB default).
+    pub spm_words: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            nodes: 1,
+            accels_per_node: 32,
+            lanes_per_accel: 64,
+            clock_ghz: 2.0,
+            costs: OpCosts::default(),
+            net: NetworkConfig::default(),
+            mem: MemoryConfig::default(),
+            max_threads_per_lane: 512,
+            spm_words: 8192,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A full-size UpDown node count with default node internals.
+    pub fn with_nodes(nodes: u32) -> MachineConfig {
+        MachineConfig {
+            nodes,
+            ..Default::default()
+        }
+    }
+
+    /// A reduced machine for unit tests: `nodes × accels × lanes`.
+    pub fn small(nodes: u32, accels_per_node: u32, lanes_per_accel: u32) -> MachineConfig {
+        MachineConfig {
+            nodes,
+            accels_per_node,
+            lanes_per_accel,
+            ..Default::default()
+        }
+    }
+
+    #[inline]
+    pub fn lanes_per_node(&self) -> u32 {
+        self.accels_per_node * self.lanes_per_accel
+    }
+
+    #[inline]
+    pub fn total_lanes(&self) -> u32 {
+        self.nodes * self.lanes_per_node()
+    }
+
+    #[inline]
+    pub fn node_of(&self, nwid: NetworkId) -> u32 {
+        nwid.0 / self.lanes_per_node()
+    }
+
+    /// Global accelerator index of a lane.
+    #[inline]
+    pub fn accel_of(&self, nwid: NetworkId) -> u32 {
+        nwid.0 / self.lanes_per_accel
+    }
+
+    /// Lane index within its accelerator.
+    #[inline]
+    pub fn lane_in_accel(&self, nwid: NetworkId) -> u32 {
+        nwid.0 % self.lanes_per_accel
+    }
+
+    /// Compose a network ID from (node, accelerator-in-node, lane-in-accel).
+    #[inline]
+    pub fn nwid(&self, node: u32, accel: u32, lane: u32) -> NetworkId {
+        debug_assert!(node < self.nodes);
+        debug_assert!(accel < self.accels_per_node);
+        debug_assert!(lane < self.lanes_per_accel);
+        NetworkId(node * self.lanes_per_node() + accel * self.lanes_per_accel + lane)
+    }
+
+    /// First lane of a node.
+    #[inline]
+    pub fn node_base(&self, node: u32) -> NetworkId {
+        NetworkId(node * self.lanes_per_node())
+    }
+
+    /// Convert simulated ticks to seconds at the configured clock.
+    #[inline]
+    pub fn ticks_to_seconds(&self, ticks: u64) -> f64 {
+        ticks as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// Message latency between two lanes under the topology model.
+    #[inline]
+    pub fn msg_latency(&self, src: NetworkId, dst: NetworkId) -> u64 {
+        if self.node_of(src) != self.node_of(dst) {
+            self.net.inter_node_latency
+        } else if self.accel_of(src) != self.accel_of(dst) {
+            self.net.intra_node_latency
+        } else {
+            self.net.intra_accel_latency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_arithmetic() {
+        let cfg = MachineConfig::small(4, 32, 64);
+        assert_eq!(cfg.lanes_per_node(), 2048);
+        assert_eq!(cfg.total_lanes(), 8192);
+        let w = cfg.nwid(2, 5, 17);
+        assert_eq!(cfg.node_of(w), 2);
+        assert_eq!(cfg.accel_of(w), 2 * 32 + 5);
+        assert_eq!(cfg.lane_in_accel(w), 17);
+    }
+
+    #[test]
+    fn latency_tiers() {
+        let cfg = MachineConfig::small(2, 2, 4);
+        let a = cfg.nwid(0, 0, 0);
+        let b = cfg.nwid(0, 0, 3);
+        let c = cfg.nwid(0, 1, 0);
+        let d = cfg.nwid(1, 0, 0);
+        assert_eq!(cfg.msg_latency(a, b), cfg.net.intra_accel_latency);
+        assert_eq!(cfg.msg_latency(a, c), cfg.net.intra_node_latency);
+        assert_eq!(cfg.msg_latency(a, d), cfg.net.inter_node_latency);
+        assert_eq!(cfg.msg_latency(a, a), cfg.net.intra_accel_latency);
+    }
+
+    #[test]
+    fn tick_conversion_matches_artifact_formula() {
+        // The artifact converts ticks via time = ticks / 2e9.
+        let cfg = MachineConfig::default();
+        let t = cfg.ticks_to_seconds(10_582_600 - 15_000);
+        assert!((t - 0.0052838).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_is_one_full_node() {
+        let cfg = MachineConfig::default();
+        assert_eq!(cfg.total_lanes(), 2048);
+    }
+}

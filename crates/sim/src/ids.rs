@@ -1,0 +1,181 @@
+//! Identifiers for computation locations and events.
+//!
+//! An UpDown *lane* is addressed by a [`NetworkId`]: a flat index over all
+//! lanes of the machine (node-major, then accelerator, then lane — see
+//! [`crate::config::MachineConfig`] for the topology arithmetic).
+//!
+//! Events are named by an [`EventWord`], the 64-bit value from §2.1.1 of the
+//! paper: it packs the target network ID, the thread context ID, and the
+//! event label. `evw_new` / `evw_update_event` from §2.1.2 map to
+//! [`EventWord::new`] and [`EventWord::update_event`].
+
+use std::fmt;
+
+/// Flat index of a lane across the whole machine (the paper's *networkID*).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct NetworkId(pub u32);
+
+impl NetworkId {
+    /// The next lane in network order, used for `curNetworkID + 1` idioms
+    /// (Listing 2 of the paper).
+    #[inline]
+    pub fn next(self) -> NetworkId {
+        NetworkId(self.0 + 1)
+    }
+
+    #[inline]
+    pub fn offset(self, delta: u32) -> NetworkId {
+        NetworkId(self.0 + delta)
+    }
+}
+
+impl fmt::Display for NetworkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Index into the engine's handler table: the *event label* (the address of
+/// the event in the program, in hardware terms).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventLabel(pub u16);
+
+/// Per-lane thread context id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadId(pub u16);
+
+impl ThreadId {
+    /// Sentinel: the message allocates a fresh thread context on arrival
+    /// (thread creation costs zero cycles, Table 2).
+    pub const NEW: ThreadId = ThreadId(u16::MAX);
+}
+
+/// The packed 64-bit event word: `[label:16 | tid:16 | nwid:32]`.
+///
+/// Static properties (operand count) are carried by the message itself in
+/// this implementation; the word identifies *where* (lane), *who* (thread
+/// context) and *what* (event label).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventWord(u64);
+
+impl EventWord {
+    /// The `IGNRCONT` sentinel: a continuation that discards replies.
+    pub const IGNORE: EventWord = EventWord(u64::MAX);
+
+    /// `evw_new(networkID, eventLabel)`: an event word for a **new** thread
+    /// on the given lane.
+    #[inline]
+    pub fn new(nwid: NetworkId, label: EventLabel) -> EventWord {
+        Self::pack(nwid, ThreadId::NEW, label)
+    }
+
+    /// An event word targeting an **existing** thread context.
+    #[inline]
+    pub fn with_thread(nwid: NetworkId, tid: ThreadId, label: EventLabel) -> EventWord {
+        Self::pack(nwid, tid, label)
+    }
+
+    /// `evw_update_event(oldEventWord, newEventLabel)`: same lane and thread
+    /// context, different event label.
+    #[inline]
+    pub fn update_event(self, label: EventLabel) -> EventWord {
+        Self::pack(self.nwid(), self.tid(), label)
+    }
+
+    #[inline]
+    fn pack(nwid: NetworkId, tid: ThreadId, label: EventLabel) -> EventWord {
+        EventWord(((label.0 as u64) << 48) | ((tid.0 as u64) << 32) | nwid.0 as u64)
+    }
+
+    #[inline]
+    pub fn nwid(self) -> NetworkId {
+        NetworkId((self.0 & 0xFFFF_FFFF) as u32)
+    }
+
+    #[inline]
+    pub fn tid(self) -> ThreadId {
+        ThreadId(((self.0 >> 32) & 0xFFFF) as u16)
+    }
+
+    #[inline]
+    pub fn label(self) -> EventLabel {
+        EventLabel((self.0 >> 48) as u16)
+    }
+
+    /// True if this word is the `IGNRCONT` sentinel.
+    #[inline]
+    pub fn is_ignore(self) -> bool {
+        self == Self::IGNORE
+    }
+
+    /// Raw 64-bit representation (messages carry event words as operands).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw operand value.
+    #[inline]
+    pub fn from_raw(raw: u64) -> EventWord {
+        EventWord(raw)
+    }
+}
+
+impl fmt::Debug for EventWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ignore() {
+            write!(f, "EventWord(IGNORE)")
+        } else {
+            write!(
+                f,
+                "EventWord(nwid={}, tid={}, label={})",
+                self.nwid().0,
+                self.tid().0,
+                self.label().0
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_word_roundtrip() {
+        let w = EventWord::with_thread(NetworkId(123_456), ThreadId(42), EventLabel(7));
+        assert_eq!(w.nwid(), NetworkId(123_456));
+        assert_eq!(w.tid(), ThreadId(42));
+        assert_eq!(w.label(), EventLabel(7));
+    }
+
+    #[test]
+    fn new_thread_sentinel() {
+        let w = EventWord::new(NetworkId(5), EventLabel(9));
+        assert_eq!(w.tid(), ThreadId::NEW);
+        assert_eq!(w.nwid(), NetworkId(5));
+    }
+
+    #[test]
+    fn update_event_preserves_thread_and_lane() {
+        let w = EventWord::with_thread(NetworkId(77), ThreadId(3), EventLabel(1));
+        let u = w.update_event(EventLabel(250));
+        assert_eq!(u.nwid(), NetworkId(77));
+        assert_eq!(u.tid(), ThreadId(3));
+        assert_eq!(u.label(), EventLabel(250));
+    }
+
+    #[test]
+    fn ignore_is_distinct() {
+        let w = EventWord::with_thread(NetworkId(u32::MAX), ThreadId(u16::MAX), EventLabel(u16::MAX));
+        assert!(w.is_ignore(), "all-ones pattern is the sentinel");
+        let almost = EventWord::with_thread(NetworkId(0), ThreadId(u16::MAX), EventLabel(u16::MAX));
+        assert!(!almost.is_ignore());
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let w = EventWord::with_thread(NetworkId(9), ThreadId(2), EventLabel(11));
+        assert_eq!(EventWord::from_raw(w.raw()), w);
+    }
+}

@@ -1,0 +1,186 @@
+//! Lane state: thread contexts, inbox, scratchpad.
+//!
+//! A lane is a 2 GHz MIMD engine executing events one at a time (events are
+//! atomic, §2.1.1). Thread contexts hold state that persists across events;
+//! the scratchpad is lane-private memory accessed at 1 cycle per word.
+//!
+//! Lanes are instantiated lazily in bulk (a 1024-node machine has 2M of
+//! them), so every container here starts unallocated.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+use crate::ids::{EventWord, ThreadId};
+use crate::message::Message;
+
+/// A thread context: the object-like unit whose events execute atomically.
+pub struct ThreadCtx {
+    /// Application state, created on first access by the handler.
+    pub state: Option<Box<dyn Any>>,
+}
+
+/// Per-lane scratchpad: word-addressed, lazily backed so that millions of
+/// idle lanes cost nothing. Capacity is enforced against `spm_words`.
+#[derive(Default)]
+pub struct Scratchpad {
+    words: HashMap<u32, u64>,
+    /// High-water mark of touched words (for spMalloc accounting/stats).
+    pub high_water: u32,
+}
+
+impl Scratchpad {
+    #[inline]
+    pub fn read(&self, off: u32) -> u64 {
+        self.words.get(&off).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    pub fn write(&mut self, off: u32, v: u64) {
+        self.high_water = self.high_water.max(off + 1);
+        if v == 0 {
+            self.words.remove(&off);
+        } else {
+            self.words.insert(off, v);
+        }
+    }
+
+    pub fn touched(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// One lane of the machine.
+pub struct Lane {
+    /// Messages waiting to execute on this lane, FIFO.
+    pub inbox: VecDeque<Message>,
+    /// Live thread contexts.
+    pub threads: HashMap<u16, ThreadCtx>,
+    /// Next candidate thread id for allocation scan.
+    next_tid: u16,
+    /// Messages that arrived targeting NEW threads while the context table
+    /// was full; drained when a thread deallocates.
+    pub parked: VecDeque<Message>,
+    /// Simulation time until which the lane is executing.
+    pub free_at: u64,
+    /// Whether a LaneRun action is already scheduled.
+    pub scheduled: bool,
+    pub spm: Scratchpad,
+    /// spMalloc bump pointer (word index).
+    pub spm_brk: u32,
+    /// Busy cycles accumulated (stats).
+    pub busy: u64,
+    /// Events executed on this lane (stats).
+    pub events: u64,
+}
+
+impl Default for Lane {
+    fn default() -> Self {
+        Lane {
+            inbox: VecDeque::new(),
+            threads: HashMap::new(),
+            next_tid: 0,
+            parked: VecDeque::new(),
+            free_at: 0,
+            scheduled: false,
+            spm: Scratchpad::default(),
+            spm_brk: 0,
+            busy: 0,
+            events: 0,
+        }
+    }
+}
+
+impl Lane {
+    /// Allocate a fresh thread context; `None` when all hardware contexts
+    /// are in use (the message parks until one frees).
+    pub fn alloc_thread(&mut self, max_threads: u16) -> Option<ThreadId> {
+        if self.threads.len() >= max_threads as usize {
+            return None;
+        }
+        // Scan from the rotating cursor; table is below capacity so this
+        // terminates. ThreadId::NEW (u16::MAX) is never allocated.
+        loop {
+            let tid = self.next_tid;
+            self.next_tid = if self.next_tid >= max_threads - 1 {
+                0
+            } else {
+                self.next_tid + 1
+            };
+            if tid != ThreadId::NEW.0 && !self.threads.contains_key(&tid) {
+                self.threads.insert(tid, ThreadCtx { state: None });
+                return Some(ThreadId(tid));
+            }
+        }
+    }
+
+    pub fn dealloc_thread(&mut self, tid: ThreadId) {
+        self.threads.remove(&tid.0);
+    }
+
+    /// Resolve the destination thread of a message, allocating when the
+    /// word names a NEW thread. Returns `None` if the context table is full.
+    pub fn resolve_thread(&mut self, dst: EventWord, max_threads: u16) -> Option<ThreadId> {
+        if dst.tid() == ThreadId::NEW {
+            self.alloc_thread(max_threads)
+        } else {
+            debug_assert!(
+                self.threads.contains_key(&dst.tid().0),
+                "message to dead thread {:?}",
+                dst
+            );
+            Some(dst.tid())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EventLabel, NetworkId};
+
+    #[test]
+    fn thread_alloc_and_dealloc() {
+        let mut lane = Lane::default();
+        let a = lane.alloc_thread(4).unwrap();
+        let b = lane.alloc_thread(4).unwrap();
+        assert_ne!(a, b);
+        lane.dealloc_thread(a);
+        assert_eq!(lane.threads.len(), 1);
+        // Freed slot becomes reusable.
+        let c = lane.alloc_thread(2).unwrap();
+        assert_eq!(lane.threads.len(), 2);
+        let _ = c;
+        assert!(lane.alloc_thread(2).is_none(), "table full");
+    }
+
+    #[test]
+    fn resolve_new_vs_existing() {
+        let mut lane = Lane::default();
+        let w = EventWord::new(NetworkId(0), EventLabel(1));
+        let t = lane.resolve_thread(w, 8).unwrap();
+        let w2 = EventWord::with_thread(NetworkId(0), t, EventLabel(2));
+        assert_eq!(lane.resolve_thread(w2, 8), Some(t));
+        assert_eq!(lane.threads.len(), 1);
+    }
+
+    #[test]
+    fn scratchpad_rw() {
+        let mut s = Scratchpad::default();
+        assert_eq!(s.read(100), 0, "uninitialized scratchpad reads zero");
+        s.write(100, 42);
+        assert_eq!(s.read(100), 42);
+        s.write(100, 0);
+        assert_eq!(s.read(100), 0);
+        assert_eq!(s.high_water, 101);
+    }
+
+    #[test]
+    fn tid_never_collides_with_new_sentinel() {
+        let mut lane = Lane::default();
+        // With max_threads = u16::MAX, the allocator must skip 0xFFFF.
+        for _ in 0..100 {
+            let t = lane.alloc_thread(u16::MAX).unwrap();
+            assert_ne!(t, ThreadId::NEW);
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! Global address space: translation descriptors (swizzle masks), backing
+//! storage, and the per-node memory channel timing model.
+//!
+//! §2.4 of the paper: every allocation carries a single translation
+//! descriptor encoding a block-cyclic layout `(1stNode, NRNodes, BS)`. The
+//! hardware converts a virtual address into a physical node number (PNN) and
+//! an offset with no software overhead. `NRNodes` and `BS` are powers of two
+//! so the swizzle is pure bit manipulation.
+//!
+//! Data is stored virtually-contiguously per allocation (placement affects
+//! *timing*, not contents), which is exactly the observable behaviour of a
+//! flat shared address space.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A virtual address in the UpDown global address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(pub u64);
+
+impl VAddr {
+    #[inline]
+    pub fn offset(self, bytes: u64) -> VAddr {
+        VAddr(self.0 + bytes)
+    }
+
+    /// Offset by a number of 8-byte words.
+    #[inline]
+    pub fn word(self, idx: u64) -> VAddr {
+        VAddr(self.0 + idx * 8)
+    }
+
+    pub const NULL: VAddr = VAddr(0);
+
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VAddr({:#x})", self.0)
+    }
+}
+
+/// Errors from allocation or translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// `NRNodes` or `BS` not a power of two, or `BS` below the hardware
+    /// minimum (4 KiB in hardware; configurable for scaled-down tests).
+    BadLayout(String),
+    /// Access outside any live allocation.
+    Fault(VAddr),
+    /// Allocation would exceed the requested node span.
+    OutOfRange(String),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::BadLayout(s) => write!(f, "bad layout: {s}"),
+            MemError::Fault(a) => write!(f, "memory fault at {a:?}"),
+            MemError::OutOfRange(s) => write!(f, "out of range: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// The hardware translation descriptor ("swizzle mask"): block-cyclic layout
+/// of one virtual region over `nr_nodes` physical node memories starting at
+/// `first_node`, in blocks of `block_size` bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslationDescriptor {
+    pub base: VAddr,
+    pub size: u64,
+    pub first_node: u32,
+    pub nr_nodes: u32,
+    pub block_size: u64,
+}
+
+impl TranslationDescriptor {
+    /// Validate the power-of-two constraints from §2.4.
+    pub fn validate(&self, min_block: u64) -> Result<(), MemError> {
+        if !self.nr_nodes.is_power_of_two() {
+            return Err(MemError::BadLayout(format!(
+                "NRNodes must be a power of 2, got {}",
+                self.nr_nodes
+            )));
+        }
+        if !self.block_size.is_power_of_two() || self.block_size < min_block {
+            return Err(MemError::BadLayout(format!(
+                "BS must be a power of 2 >= {min_block}, got {}",
+                self.block_size
+            )));
+        }
+        Ok(())
+    }
+
+    /// Physical node number for a virtual address within this region.
+    #[inline]
+    pub fn pnn(&self, va: VAddr) -> u32 {
+        debug_assert!(va.0 >= self.base.0 && va.0 < self.base.0 + self.size);
+        let off = va.0 - self.base.0;
+        let block = off / self.block_size;
+        self.first_node + (block as u32 & (self.nr_nodes - 1))
+    }
+
+    /// Offset within the owning node's physical memory, counted within this
+    /// region's footprint on that node.
+    #[inline]
+    pub fn node_offset(&self, va: VAddr) -> u64 {
+        let off = va.0 - self.base.0;
+        let block = off / self.block_size;
+        (block / self.nr_nodes as u64) * self.block_size + (off & (self.block_size - 1))
+    }
+
+    /// Bytes of this region resident on a given node.
+    pub fn bytes_on_node(&self, node: u32) -> u64 {
+        if node < self.first_node || node >= self.first_node + self.nr_nodes {
+            return 0;
+        }
+        let k = (node - self.first_node) as u64;
+        let full_blocks = self.size / self.block_size;
+        let rem = self.size % self.block_size;
+        let n = self.nr_nodes as u64;
+        let mut bytes = (full_blocks / n) * self.block_size;
+        let extra = full_blocks % n;
+        if k < extra {
+            bytes += self.block_size;
+        } else if k == extra && rem > 0 {
+            bytes += rem;
+        }
+        bytes
+    }
+}
+
+struct Allocation {
+    desc: TranslationDescriptor,
+    data: Vec<u8>,
+    live: bool,
+}
+
+/// Simulated global memory: all live allocations plus the swizzle index.
+///
+/// Reads/writes here are *functional* (host-visible contents). Timing is
+/// modeled separately by [`MemChannels`] when accesses are issued from lanes
+/// through the engine.
+pub struct GlobalMemory {
+    allocs: Vec<Allocation>,
+    /// base VA -> allocation index, for translation lookup.
+    index: BTreeMap<u64, usize>,
+    cursor: u64,
+    /// Minimum block size enforced by `validate` (4096 in hardware).
+    pub min_block: u64,
+    nodes: u32,
+}
+
+/// Allocations start at a non-zero base so `VAddr(0)` can act as NULL.
+const VA_BASE: u64 = 0x1000_0000;
+/// Guard gap between allocations to catch overruns.
+const VA_GAP: u64 = 0x1_0000;
+
+impl GlobalMemory {
+    pub fn new(nodes: u32) -> GlobalMemory {
+        GlobalMemory {
+            allocs: Vec::new(),
+            index: BTreeMap::new(),
+            cursor: VA_BASE,
+            min_block: 4096,
+            nodes,
+        }
+    }
+
+    /// Number of nodes in the machine (for layout validation).
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Core allocation primitive used by the DRAMmalloc library:
+    /// `(size, 1stNode, NRNodes, BS)`.
+    pub fn alloc(
+        &mut self,
+        size: u64,
+        first_node: u32,
+        nr_nodes: u32,
+        block_size: u64,
+    ) -> Result<VAddr, MemError> {
+        if size == 0 {
+            return Err(MemError::BadLayout("zero-size allocation".into()));
+        }
+        if first_node + nr_nodes > self.nodes {
+            return Err(MemError::OutOfRange(format!(
+                "nodes [{first_node}, {}) exceed machine of {} nodes",
+                first_node + nr_nodes,
+                self.nodes
+            )));
+        }
+        let base = VAddr(self.cursor);
+        let desc = TranslationDescriptor {
+            base,
+            size,
+            first_node,
+            nr_nodes,
+            block_size,
+        };
+        desc.validate(self.min_block)?;
+        self.cursor += size + VA_GAP;
+        // Round the cursor so every allocation base is block-aligned enough
+        // for the next descriptor's arithmetic to stay simple.
+        self.cursor = (self.cursor + 63) & !63;
+        let id = self.allocs.len();
+        self.allocs.push(Allocation {
+            desc,
+            data: vec![0u8; size as usize],
+            live: true,
+        });
+        self.index.insert(base.0, id);
+        Ok(base)
+    }
+
+    /// Release an allocation. The VA range faults afterwards.
+    pub fn free(&mut self, base: VAddr) -> Result<(), MemError> {
+        let id = *self.index.get(&base.0).ok_or(MemError::Fault(base))?;
+        if !self.allocs[id].live {
+            return Err(MemError::Fault(base));
+        }
+        self.allocs[id].live = false;
+        self.allocs[id].data = Vec::new();
+        self.index.remove(&base.0);
+        Ok(())
+    }
+
+    #[inline]
+    fn find(&self, va: VAddr) -> Result<usize, MemError> {
+        let (_, &id) = self
+            .index
+            .range(..=va.0)
+            .next_back()
+            .ok_or(MemError::Fault(va))?;
+        let a = &self.allocs[id];
+        if va.0 < a.desc.base.0 + a.desc.size && a.live {
+            Ok(id)
+        } else {
+            Err(MemError::Fault(va))
+        }
+    }
+
+    /// Descriptor covering an address (hardware translation lookup).
+    pub fn descriptor(&self, va: VAddr) -> Result<TranslationDescriptor, MemError> {
+        Ok(self.allocs[self.find(va)?].desc)
+    }
+
+    /// Owning physical node of an address.
+    #[inline]
+    pub fn owner_node(&self, va: VAddr) -> Result<u32, MemError> {
+        let id = self.find(va)?;
+        Ok(self.allocs[id].desc.pnn(va))
+    }
+
+    fn span(&self, va: VAddr, len: usize) -> Result<(usize, usize), MemError> {
+        let id = self.find(va)?;
+        let a = &self.allocs[id];
+        let off = (va.0 - a.desc.base.0) as usize;
+        if off + len > a.data.len() {
+            return Err(MemError::Fault(VAddr(va.0 + len as u64)));
+        }
+        Ok((id, off))
+    }
+
+    pub fn read_bytes(&self, va: VAddr, out: &mut [u8]) -> Result<(), MemError> {
+        let (id, off) = self.span(va, out.len())?;
+        out.copy_from_slice(&self.allocs[id].data[off..off + out.len()]);
+        Ok(())
+    }
+
+    pub fn write_bytes(&mut self, va: VAddr, data: &[u8]) -> Result<(), MemError> {
+        let (id, off) = self.span(va, data.len())?;
+        self.allocs[id].data[off..off + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    pub fn read_u64(&self, va: VAddr) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(va, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    pub fn write_u64(&mut self, va: VAddr, v: u64) -> Result<(), MemError> {
+        self.write_bytes(va, &v.to_le_bytes())
+    }
+
+    pub fn read_f64(&self, va: VAddr) -> Result<f64, MemError> {
+        Ok(f64::from_bits(self.read_u64(va)?))
+    }
+
+    pub fn write_f64(&mut self, va: VAddr, v: f64) -> Result<(), MemError> {
+        self.write_u64(va, v.to_bits())
+    }
+
+    /// Read `n` consecutive u64 words.
+    pub fn read_words(&self, va: VAddr, n: usize) -> Result<Vec<u64>, MemError> {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.read_u64(va.word(i as u64))?);
+        }
+        Ok(out)
+    }
+
+    /// Write consecutive u64 words.
+    pub fn write_words(&mut self, va: VAddr, words: &[u64]) -> Result<(), MemError> {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u64(va.word(i as u64), *w)?;
+        }
+        Ok(())
+    }
+
+    /// Atomic read-modify-write (single engine thread ⇒ trivially atomic;
+    /// provided for host-side setup and the software fetch-and-add path).
+    pub fn fetch_add_u64(&mut self, va: VAddr, delta: u64) -> Result<u64, MemError> {
+        let old = self.read_u64(va)?;
+        self.write_u64(va, old.wrapping_add(delta))?;
+        Ok(old)
+    }
+
+    pub fn fetch_add_f64(&mut self, va: VAddr, delta: f64) -> Result<f64, MemError> {
+        let old = self.read_f64(va)?;
+        self.write_f64(va, old + delta)?;
+        Ok(old)
+    }
+
+    /// Total bytes currently allocated (live).
+    pub fn live_bytes(&self) -> u64 {
+        self.allocs
+            .iter()
+            .filter(|a| a.live)
+            .map(|a| a.desc.size)
+            .sum()
+    }
+
+    /// Number of live translation descriptors (the paper notes typical
+    /// programs need only 2–4).
+    pub fn live_descriptors(&self) -> usize {
+        self.allocs.iter().filter(|a| a.live).count()
+    }
+}
+
+/// Per-node DRAM channel timing: FIFO service at the configured bandwidth
+/// plus fixed access latency. `service` returns the completion time of a
+/// request arriving at `arrival` transferring `bytes`.
+pub struct MemChannels {
+    /// Pipeline occupancy in *byte-units*: one cycle of channel time equals
+    /// `bytes_per_cycle` units, so accesses much smaller than the per-cycle
+    /// bandwidth coexist in one cycle (HBM stacks serve many 64-byte
+    /// accesses per cycle) while sustained demand beyond the bandwidth
+    /// queues — the contention that drives Figure 12.
+    busy_units: Vec<u64>,
+    bytes_per_cycle: u64,
+    latency: u64,
+    granularity: u64,
+    /// Total bytes served per node (stats).
+    pub served_bytes: Vec<u64>,
+}
+
+impl MemChannels {
+    pub fn new(nodes: u32, cfg: &crate::config::MemoryConfig) -> MemChannels {
+        MemChannels {
+            busy_units: vec![0; nodes as usize],
+            bytes_per_cycle: cfg.node_bytes_per_cycle.max(1),
+            latency: cfg.dram_latency,
+            granularity: cfg.access_granularity.max(1),
+            served_bytes: vec![0; nodes as usize],
+        }
+    }
+
+    /// Schedule a transfer on `node`'s channel.
+    pub fn service(&mut self, node: u32, arrival: u64, bytes: u64) -> u64 {
+        let n = node as usize;
+        let bytes = bytes.max(1).div_ceil(self.granularity) * self.granularity;
+        let start_units = (arrival * self.bytes_per_cycle).max(self.busy_units[n]);
+        self.busy_units[n] = start_units + bytes;
+        self.served_bytes[n] += bytes;
+        self.busy_units[n].div_ceil(self.bytes_per_cycle) + self.latency
+    }
+
+    /// Current backlog on a node's channel relative to `now`, in cycles.
+    pub fn backlog(&self, node: u32, now: u64) -> u64 {
+        self.busy_units[node as usize]
+            .div_ceil(self.bytes_per_cycle)
+            .saturating_sub(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(size: u64, first: u32, nr: u32, bs: u64) -> TranslationDescriptor {
+        TranslationDescriptor {
+            base: VAddr(VA_BASE),
+            size,
+            first_node: first,
+            nr_nodes: nr,
+            block_size: bs,
+        }
+    }
+
+    #[test]
+    fn block_cyclic_pnn() {
+        // Table 1 row 2 style: cyclic over 4 nodes in 4 KiB blocks.
+        let d = desc(64 * 4096, 0, 4, 4096);
+        assert_eq!(d.pnn(VAddr(VA_BASE)), 0);
+        assert_eq!(d.pnn(VAddr(VA_BASE + 4095)), 0);
+        assert_eq!(d.pnn(VAddr(VA_BASE + 4096)), 1);
+        assert_eq!(d.pnn(VAddr(VA_BASE + 4 * 4096)), 0);
+        assert_eq!(d.pnn(VAddr(VA_BASE + 7 * 4096 + 12)), 3);
+    }
+
+    #[test]
+    fn contiguous_regions_per_node() {
+        // Table 1 row 3 style: one contiguous region per node.
+        let per_node = 1 << 20;
+        let d = desc(4 * per_node, 0, 4, per_node);
+        for n in 0..4u64 {
+            let a = VAddr(VA_BASE + n * per_node);
+            assert_eq!(d.pnn(a), n as u32);
+            assert_eq!(d.pnn(VAddr(a.0 + per_node - 1)), n as u32);
+        }
+    }
+
+    #[test]
+    fn node_offset_is_dense() {
+        let d = desc(8 * 4096, 0, 2, 4096);
+        // Blocks 0,2,4,6 on node 0 at offsets 0,4096,8192,12288.
+        assert_eq!(d.node_offset(VAddr(VA_BASE)), 0);
+        assert_eq!(d.node_offset(VAddr(VA_BASE + 2 * 4096)), 4096);
+        assert_eq!(d.node_offset(VAddr(VA_BASE + 2 * 4096 + 17)), 4096 + 17);
+        assert_eq!(d.node_offset(VAddr(VA_BASE + 6 * 4096)), 3 * 4096);
+    }
+
+    #[test]
+    fn bytes_on_node_balance() {
+        let d = desc(10 * 4096 + 100, 2, 4, 4096);
+        let total: u64 = (0..8).map(|n| d.bytes_on_node(n)).sum();
+        assert_eq!(total, d.size);
+        assert_eq!(d.bytes_on_node(0), 0);
+        assert_eq!(d.bytes_on_node(2), 3 * 4096); // blocks 0,4,8
+        assert_eq!(d.bytes_on_node(4), 2 * 4096 + 100); // blocks 2,6 + tail
+    }
+
+    #[test]
+    fn layout_validation() {
+        let mut m = GlobalMemory::new(4);
+        assert!(m.alloc(4096, 0, 3, 4096).is_err(), "NRNodes not pow2");
+        assert!(m.alloc(4096, 0, 2, 1000).is_err(), "BS not pow2");
+        assert!(m.alloc(4096, 0, 2, 2048).is_err(), "BS below min");
+        assert!(m.alloc(4096, 2, 4, 4096).is_err(), "span exceeds machine");
+        assert!(m.alloc(4096, 0, 4, 4096).is_ok());
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = GlobalMemory::new(2);
+        let a = m.alloc(1 << 16, 0, 2, 4096).unwrap();
+        m.write_u64(a.word(10), 0xdead_beef).unwrap();
+        assert_eq!(m.read_u64(a.word(10)).unwrap(), 0xdead_beef);
+        m.write_f64(a.word(11), 0.85).unwrap();
+        assert_eq!(m.read_f64(a.word(11)).unwrap(), 0.85);
+        let ws = m.read_words(a.word(10), 2).unwrap();
+        assert_eq!(ws[0], 0xdead_beef);
+    }
+
+    #[test]
+    fn oob_and_null_fault() {
+        let mut m = GlobalMemory::new(1);
+        let a = m.alloc(4096, 0, 1, 4096).unwrap();
+        assert!(m.read_u64(VAddr(a.0 + 4096)).is_err());
+        assert!(m.read_u64(VAddr::NULL).is_err());
+        assert!(m.read_u64(VAddr(1)).is_err());
+    }
+
+    #[test]
+    fn free_faults_after() {
+        let mut m = GlobalMemory::new(1);
+        let a = m.alloc(4096, 0, 1, 4096).unwrap();
+        m.write_u64(a, 1).unwrap();
+        m.free(a).unwrap();
+        assert!(m.read_u64(a).is_err());
+        assert!(m.free(a).is_err());
+        assert_eq!(m.live_descriptors(), 0);
+    }
+
+    #[test]
+    fn two_allocations_are_disjoint() {
+        let mut m = GlobalMemory::new(2);
+        let a = m.alloc(4096, 0, 1, 4096).unwrap();
+        let b = m.alloc(4096, 1, 1, 4096).unwrap();
+        m.write_u64(a, 7).unwrap();
+        m.write_u64(b, 9).unwrap();
+        assert_eq!(m.read_u64(a).unwrap(), 7);
+        assert_eq!(m.read_u64(b).unwrap(), 9);
+        assert_eq!(m.owner_node(a).unwrap(), 0);
+        assert_eq!(m.owner_node(b).unwrap(), 1);
+    }
+
+    #[test]
+    fn channel_serializes_at_bandwidth() {
+        let cfg = crate::config::MemoryConfig {
+            dram_latency: 100,
+            node_bytes_per_cycle: 64,
+            access_granularity: 64,
+        };
+        let mut ch = MemChannels::new(2, &cfg);
+        let t1 = ch.service(0, 0, 64); // 1 cycle xfer + 100
+        let t2 = ch.service(0, 0, 64); // queued behind first
+        assert_eq!(t1, 101);
+        assert_eq!(t2, 102);
+        // Other node independent.
+        assert_eq!(ch.service(1, 0, 64), 101);
+        assert_eq!(ch.backlog(0, 0), 2);
+    }
+
+    #[test]
+    fn channel_pipelines_small_accesses() {
+        // 4096 B/cycle: 64 sixty-four-byte accesses fit in one cycle.
+        let cfg = crate::config::MemoryConfig {
+            dram_latency: 100,
+            node_bytes_per_cycle: 4096,
+            access_granularity: 64,
+        };
+        let mut ch = MemChannels::new(1, &cfg);
+        for _ in 0..64 {
+            assert_eq!(ch.service(0, 0, 64), 101, "all within the first cycle");
+        }
+        // The 65th spills into the next cycle.
+        assert_eq!(ch.service(0, 0, 64), 102);
+    }
+
+    #[test]
+    fn fetch_add() {
+        let mut m = GlobalMemory::new(1);
+        let a = m.alloc(64, 0, 1, 4096).unwrap();
+        assert_eq!(m.fetch_add_u64(a, 5).unwrap(), 0);
+        assert_eq!(m.fetch_add_u64(a, 3).unwrap(), 5);
+        assert_eq!(m.read_u64(a).unwrap(), 8);
+    }
+}

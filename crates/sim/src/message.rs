@@ -1,0 +1,53 @@
+//! Messages: the only way computation moves in UpDown. A message targets an
+//! event word (lane + thread + label), carries up to eight 64-bit operands
+//! in hardware (larger software payloads are charged extra wire bytes), and
+//! an optional continuation word.
+
+use crate::ids::{EventWord, NetworkId};
+
+/// Hardware operand capacity of one 64-byte message.
+pub const HW_OPERANDS: usize = 8;
+
+#[derive(Clone, Debug)]
+pub struct Message {
+    pub dst: EventWord,
+    pub args: Vec<u64>,
+    /// Continuation word delivered to the handler as `CCONT`.
+    pub cont: EventWord,
+    pub src: NetworkId,
+}
+
+impl Message {
+    pub fn new(dst: EventWord, args: impl Into<Vec<u64>>, cont: EventWord, src: NetworkId) -> Message {
+        Message {
+            dst,
+            args: args.into(),
+            cont,
+            src,
+        }
+    }
+
+    /// Wire size in bytes given a fixed header size: header + operands,
+    /// padded to the 64-byte message granularity per 8 operands.
+    pub fn wire_bytes(&self, header: u64) -> u64 {
+        let msgs = self.args.len().div_ceil(HW_OPERANDS).max(1) as u64;
+        msgs * (header + (HW_OPERANDS as u64) * 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EventLabel, EventWord, NetworkId};
+
+    #[test]
+    fn wire_bytes_rounds_to_message_units() {
+        let dst = EventWord::new(NetworkId(0), EventLabel(0));
+        let m = Message::new(dst, vec![1, 2], EventWord::IGNORE, NetworkId(1));
+        assert_eq!(m.wire_bytes(8), 72);
+        let m = Message::new(dst, vec![0; 9], EventWord::IGNORE, NetworkId(1));
+        assert_eq!(m.wire_bytes(8), 144, "9 operands need two hardware messages");
+        let m = Message::new(dst, Vec::<u64>::new(), EventWord::IGNORE, NetworkId(1));
+        assert_eq!(m.wire_bytes(8), 72, "empty message still occupies one unit");
+    }
+}

@@ -1,0 +1,73 @@
+//! System network timing: per-node NIC injection serialization for
+//! inter-node traffic. The PolarStar topology (diameter 3) is abstracted as
+//! a uniform remote latency — bisection bandwidth in the paper (32 PB/s) is
+//! far from being a bottleneck at the node counts simulated, while the
+//! injection port (4 TB/s per node) is the contended resource.
+
+use crate::config::NetworkConfig;
+
+pub struct Nics {
+    /// Pipeline occupancy in byte-units (1 cycle = `bytes_per_cycle`
+    /// units): many small messages inject per cycle, sustained overload
+    /// queues at the port.
+    busy_units: Vec<u64>,
+    bytes_per_cycle: u64,
+    /// Total injected bytes per node (stats).
+    pub injected_bytes: Vec<u64>,
+}
+
+impl Nics {
+    pub fn new(nodes: u32, cfg: &NetworkConfig) -> Nics {
+        Nics {
+            busy_units: vec![0; nodes as usize],
+            bytes_per_cycle: cfg.nic_bytes_per_cycle.max(1),
+            injected_bytes: vec![0; nodes as usize],
+        }
+    }
+
+    /// Serialize an inter-node injection of `bytes` from `node` at `ready`;
+    /// returns the departure time (add network latency for arrival).
+    pub fn inject(&mut self, node: u32, ready: u64, bytes: u64) -> u64 {
+        let n = node as usize;
+        let start_units = (ready * self.bytes_per_cycle).max(self.busy_units[n]);
+        self.busy_units[n] = start_units + bytes.max(1);
+        self.injected_bytes[n] += bytes;
+        self.busy_units[n].div_ceil(self.bytes_per_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nic_serializes_injections() {
+        let cfg = NetworkConfig {
+            nic_bytes_per_cycle: 64,
+            ..Default::default()
+        };
+        let mut nics = Nics::new(2, &cfg);
+        assert_eq!(nics.inject(0, 10, 64), 11);
+        assert_eq!(nics.inject(0, 10, 64), 12, "second message queues");
+        assert_eq!(nics.inject(1, 10, 64), 11, "other node independent");
+        assert_eq!(nics.injected_bytes[0], 128);
+    }
+
+    #[test]
+    fn nic_pipelines_small_messages() {
+        let cfg = NetworkConfig {
+            nic_bytes_per_cycle: 2048,
+            ..Default::default()
+        };
+        let mut nics = Nics::new(1, &cfg);
+        // 28 x 72-byte messages fit within one cycle of port bandwidth.
+        for _ in 0..28 {
+            assert_eq!(nics.inject(0, 0, 72), 1);
+        }
+        // Sustained overload queues: after ~2048/72 more, departures slip.
+        for _ in 0..28 {
+            nics.inject(0, 0, 72);
+        }
+        assert!(nics.inject(0, 0, 72) >= 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Aggregate simulation statistics: event counts, message traffic by tier,
+//! memory traffic, and utilization summaries used by the experiment harness.
+
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    pub events_executed: u64,
+    pub threads_created: u64,
+    pub threads_terminated: u64,
+    pub msgs_intra_accel: u64,
+    pub msgs_intra_node: u64,
+    pub msgs_inter_node: u64,
+    pub dram_reads: u64,
+    pub dram_writes: u64,
+    pub dram_read_bytes: u64,
+    pub dram_write_bytes: u64,
+    pub dram_remote_accesses: u64,
+    /// Messages parked because a lane's thread table was full.
+    pub thread_table_stalls: u64,
+    /// Peak size of the event calendar (simulator health metric).
+    pub peak_calendar: usize,
+}
+
+impl Stats {
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_intra_accel + self.msgs_intra_node + self.msgs_inter_node
+    }
+
+    pub fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+/// Final report of a simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Tick at which the last event completed (or `stop()` was called).
+    pub final_tick: u64,
+    pub stats: Stats,
+    /// Sum of busy cycles over all lanes.
+    pub total_busy: u64,
+    /// Number of lanes that executed at least one event.
+    pub active_lanes: u64,
+    pub total_lanes: u64,
+}
+
+impl RunReport {
+    /// Mean utilization of active lanes over the run (0..1).
+    pub fn utilization(&self) -> f64 {
+        if self.final_tick == 0 || self.total_lanes == 0 {
+            return 0.0;
+        }
+        self.total_busy as f64 / (self.final_tick as f64 * self.total_lanes as f64)
+    }
+}

@@ -1,0 +1,45 @@
+//! The UDWeave intrinsics from §2.1.2 of the paper, with their paper names.
+//!
+//! These are thin wrappers over [`updown_sim::EventWord`] so that ported
+//! UDWeave listings read almost verbatim:
+//!
+//! ```
+//! use udweave::intrinsics::{evw_new, evw_update_event};
+//! use updown_sim::{EventLabel, NetworkId};
+//!
+//! let evw = evw_new(NetworkId(3), EventLabel(7));
+//! let ct = evw_update_event(evw, EventLabel(8));
+//! assert_eq!(ct.nwid(), NetworkId(3));
+//! ```
+
+use updown_sim::{EventLabel, EventWord, NetworkId};
+
+/// `evw_new(networkID, eventLabel)`: event word for a new thread on `nwid`.
+#[inline]
+pub fn evw_new(nwid: NetworkId, label: EventLabel) -> EventWord {
+    EventWord::new(nwid, label)
+}
+
+/// `evw_update_event(oldEventWord, newEventLabel)`: same thread/lane,
+/// different event.
+#[inline]
+pub fn evw_update_event(evw: EventWord, label: EventLabel) -> EventWord {
+    evw.update_event(label)
+}
+
+/// The `IGNRCONT` continuation sentinel.
+pub const IGNRCONT: EventWord = EventWord::IGNORE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_names_behave() {
+        let w = evw_new(NetworkId(9), EventLabel(1));
+        assert_eq!(w.nwid(), NetworkId(9));
+        let u = evw_update_event(w, EventLabel(2));
+        assert_eq!(u.label(), EventLabel(2));
+        assert!(IGNRCONT.is_ignore());
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed event registration: the UDWeave "thread" structure (§2.1.1)
+//! expressed in Rust.
+//!
+//! A UDWeave `thread` declares state variables shared by its events. Here a
+//! [`ThreadType<S>`] groups events whose handlers receive `&mut S` (the
+//! thread-scope variables) alongside the [`EventCtx`]. Events execute
+//! atomically, so `&mut S` is race-free by construction — the same property
+//! the paper's model guarantees.
+
+use std::rc::Rc;
+
+use updown_sim::{Engine, EventCtx, EventLabel};
+
+/// A group of events sharing a thread-state type `S`.
+///
+/// ```
+/// use updown_sim::{Engine, MachineConfig, EventWord, NetworkId};
+/// use udweave::program::ThreadType;
+///
+/// #[derive(Default)]
+/// struct TExample { result: u64 }
+///
+/// let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
+/// let mut t = ThreadType::<TExample>::new("TExample");
+/// let reduction = t.event(&mut eng, "reduction", |ctx, st| {
+///     st.result += ctx.arg(0);
+///     ctx.yield_terminate();
+/// });
+/// eng.send(EventWord::new(NetworkId(0), reduction), [41], EventWord::IGNORE);
+/// eng.run();
+/// ```
+pub struct ThreadType<S> {
+    name: String,
+    _marker: std::marker::PhantomData<fn(S)>,
+}
+
+impl<S: Default + 'static> ThreadType<S> {
+    pub fn new(name: &str) -> ThreadType<S> {
+        ThreadType {
+            name: name.to_string(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Register an event of this thread type. The handler gets the thread
+    /// state (default-initialized at thread creation).
+    pub fn event(
+        &mut self,
+        eng: &mut Engine,
+        event_name: &str,
+        f: impl Fn(&mut EventCtx<'_>, &mut S) + 'static,
+    ) -> EventLabel {
+        let full = format!("{}::{}", self.name, event_name);
+        eng.register(
+            &full,
+            Rc::new(move |ctx: &mut EventCtx<'_>| {
+                // Temporarily take the state so the handler can use ctx
+                // methods freely while holding `&mut S`.
+                let mut st: S = std::mem::take(ctx.state_mut::<S>());
+                f(ctx, &mut st);
+                ctx.set_state(st);
+            }),
+        )
+    }
+}
+
+/// Register a standalone event with default-initialized typed state.
+pub fn event<S: Default + 'static>(
+    eng: &mut Engine,
+    name: &str,
+    f: impl Fn(&mut EventCtx<'_>, &mut S) + 'static,
+) -> EventLabel {
+    ThreadType::<S>::new("thread").event(eng, name, f)
+}
+
+/// Register a stateless event.
+pub fn simple_event(
+    eng: &mut Engine,
+    name: &str,
+    f: impl Fn(&mut EventCtx<'_>) + 'static,
+) -> EventLabel {
+    eng.register(name, Rc::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use updown_sim::{EventWord, MachineConfig, NetworkId};
+
+    #[test]
+    fn thread_state_shared_across_events() {
+        #[derive(Default)]
+        struct St {
+            acc: u64,
+        }
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
+        let out: Rc<RefCell<u64>> = Rc::default();
+        let out2 = out.clone();
+        let mut t = ThreadType::<St>::new("T");
+        // Forward-declare by registering finish first.
+        let finish = t.event(&mut eng, "finish", move |ctx, st| {
+            *out2.borrow_mut() = st.acc;
+            ctx.yield_terminate();
+        });
+        let start = t.event(&mut eng, "start", move |ctx, st| {
+            st.acc = ctx.arg(0) * 2;
+            let me = ctx.self_event(finish);
+            ctx.send_event(me, [], EventWord::IGNORE);
+        });
+        eng.send(EventWord::new(NetworkId(0), start), [21], EventWord::IGNORE);
+        eng.run();
+        assert_eq!(*out.borrow(), 42);
+    }
+
+    #[test]
+    fn event_names_include_thread() {
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 1));
+        let mut t = ThreadType::<u64>::new("PageRankWorker");
+        let l = t.event(&mut eng, "kv_map", |ctx, _| ctx.yield_terminate());
+        assert_eq!(eng.event_name(l), "PageRankWorker::kv_map");
+    }
+}

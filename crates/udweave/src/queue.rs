@@ -1,0 +1,295 @@
+//! A multi-producer/multi-consumer queue in global memory — one of the
+//! paper's example shared data abstractions (§2.2: "scalable data
+//! abstractions (including hash tables, histogram bins, and
+//! multi-producer/multi-consumer queues)").
+//!
+//! The queue is owned by a single lane: enqueue/dequeue are messages to
+//! that lane, which serializes them (events are atomic) and keeps the ring
+//! storage in DRAM. Head/tail cursors live in the owner's scratchpad.
+//! Dequeues on an empty queue park the consumer's continuation in a waiter
+//! ring and reply when data arrives — the blocking-consumer pattern used
+//! by producer/consumer pipelines.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use updown_sim::{Engine, EventCtx, EventLabel, EventWord, NetworkId, VAddr};
+
+/// Handle to a created queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueId(pub u32);
+
+struct QueueDef {
+    owner: NetworkId,
+    ring: VAddr,
+    capacity: u64,
+    head: u64,
+    tail: u64,
+    waiters: VecDeque<EventWord>,
+}
+
+#[derive(Default)]
+struct Inner {
+    queues: Vec<QueueDef>,
+}
+
+/// The installed queue library (handlers shared by all queues).
+#[derive(Clone)]
+pub struct QueueLib {
+    inner: Rc<RefCell<Inner>>,
+    enqueue_l: EventLabel,
+    dequeue_l: EventLabel,
+}
+
+impl QueueLib {
+    pub fn install(eng: &mut Engine) -> QueueLib {
+        let inner: Rc<RefCell<Inner>> = Rc::default();
+
+        let enqueue_l = {
+            let inner = inner.clone();
+            crate::program::simple_event(eng, "mpmc::enqueue", move |ctx| {
+                let qid = ctx.arg(0) as usize;
+                let value = ctx.arg(1);
+                let mut inn = inner.borrow_mut();
+                let q = &mut inn.queues[qid];
+                debug_assert_eq!(ctx.nwid(), q.owner);
+                ctx.charge(3); // cursor load/compare/store
+                if let Some(waiter) = q.waiters.pop_front() {
+                    // Hand the value straight to a parked consumer.
+                    ctx.send_event(waiter, [1u64, value], EventWord::IGNORE);
+                } else {
+                    assert!(
+                        q.tail - q.head < q.capacity,
+                        "mpmc queue {qid} overflow (capacity {})",
+                        q.capacity
+                    );
+                    let slot = q.tail % q.capacity;
+                    q.tail += 1;
+                    let ring = q.ring;
+                    drop(inn);
+                    ctx.send_dram_write(ring.word(slot), &[value], None);
+                }
+                // Optional producer ack.
+                ctx.send_reply([1u64, 0]);
+                ctx.yield_terminate();
+            })
+        };
+
+        // Second event of a dequeue thread: the ring slot arrived; relay
+        // it to the consumer (third-party composition).
+        #[derive(Default)]
+        struct DeqSt {
+            reply_raw: u64,
+        }
+        let deq_relay = crate::program::event::<DeqSt>(eng, "mpmc::deq_relay", move |ctx, st| {
+            let value = ctx.arg(0);
+            let reply = EventWord::from_raw(st.reply_raw);
+            ctx.send_event(reply, [1u64, value], EventWord::IGNORE);
+            ctx.yield_terminate();
+        });
+        let dequeue_l = {
+            let inner = inner.clone();
+            crate::program::event::<DeqSt>(eng, "mpmc::dequeue", move |ctx, st| {
+                let qid = ctx.arg(0) as usize;
+                let reply = ctx.cont();
+                assert!(!reply.is_ignore(), "dequeue needs a continuation");
+                let mut inn = inner.borrow_mut();
+                let q = &mut inn.queues[qid];
+                ctx.charge(3);
+                if q.head == q.tail {
+                    // Empty: park the consumer.
+                    q.waiters.push_back(reply);
+                    ctx.yield_terminate();
+                    return;
+                }
+                let slot = q.head % q.capacity;
+                q.head += 1;
+                let ring = q.ring;
+                drop(inn);
+                st.reply_raw = reply.raw();
+                ctx.send_dram_read(ring.word(slot), 1, deq_relay);
+            })
+        };
+
+        QueueLib {
+            inner,
+            enqueue_l,
+            dequeue_l,
+        }
+    }
+
+    /// Create a queue of `capacity` words owned by `owner`, ring storage
+    /// allocated on the owner's node.
+    pub fn create(&self, eng: &mut Engine, owner: NetworkId, capacity: u64) -> QueueId {
+        let node = eng.config().node_of(owner);
+        let bytes = (capacity * 8).next_power_of_two().max(4096);
+        let ring = eng
+            .mem_mut()
+            .alloc(bytes, node, 1, bytes)
+            .expect("queue ring");
+        let mut inn = self.inner.borrow_mut();
+        let id = QueueId(inn.queues.len() as u32);
+        inn.queues.push(QueueDef {
+            owner,
+            ring,
+            capacity,
+            head: 0,
+            tail: 0,
+            waiters: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Enqueue `value`; optional ack (`[1, 0]`) to `cont`.
+    pub fn enqueue(&self, ctx: &mut EventCtx<'_>, q: QueueId, value: u64, cont: EventWord) {
+        let owner = self.inner.borrow().queues[q.0 as usize].owner;
+        ctx.send_event(
+            EventWord::new(owner, self.enqueue_l),
+            [q.0 as u64, value],
+            cont,
+        );
+    }
+
+    /// Dequeue: `cont` receives `[1, value]`, parking until data arrives.
+    pub fn dequeue(&self, ctx: &mut EventCtx<'_>, q: QueueId, cont: EventWord) {
+        let owner = self.inner.borrow().queues[q.0 as usize].owner;
+        ctx.send_event(EventWord::new(owner, self.dequeue_l), [q.0 as u64], cont);
+    }
+
+    /// Host-side occupancy.
+    pub fn len(&self, q: QueueId) -> u64 {
+        let inn = self.inner.borrow();
+        let q = &inn.queues[q.0 as usize];
+        q.tail - q.head
+    }
+
+    pub fn is_empty(&self, q: QueueId) -> bool {
+        self.len(q) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::simple_event;
+    use updown_sim::MachineConfig;
+
+    #[test]
+    fn fifo_order_single_producer_consumer() {
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 4));
+        let lib = QueueLib::install(&mut eng);
+        let q = lib.create(&mut eng, NetworkId(0), 64);
+        let got: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let g2 = got.clone();
+        let on_deq = simple_event(&mut eng, "on_deq", move |ctx| {
+            g2.borrow_mut().push(ctx.arg(1));
+            ctx.yield_terminate();
+        });
+        let lib2 = lib.clone();
+        let consume = simple_event(&mut eng, "consume", move |ctx| {
+            for _ in 0..5 {
+                lib2.dequeue(ctx, q, EventWord::new(ctx.nwid(), on_deq));
+            }
+            ctx.yield_terminate();
+        });
+        let lib3 = lib.clone();
+        let produce = simple_event(&mut eng, "produce", move |ctx| {
+            for v in 10..15u64 {
+                lib3.enqueue(ctx, q, v, EventWord::IGNORE);
+            }
+            ctx.send_event_after(5000, EventWord::new(NetworkId(1), consume), [], EventWord::IGNORE);
+            ctx.yield_terminate();
+        });
+        eng.send(EventWord::new(NetworkId(0), produce), [], EventWord::IGNORE);
+        eng.run();
+        assert_eq!(&*got.borrow(), &[10, 11, 12, 13, 14]);
+        assert!(lib.is_empty(q));
+    }
+
+    #[test]
+    fn consumers_park_until_producers_arrive() {
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 4));
+        let lib = QueueLib::install(&mut eng);
+        let q = lib.create(&mut eng, NetworkId(0), 16);
+        let got: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let g2 = got.clone();
+        let on_deq = simple_event(&mut eng, "on_deq", move |ctx| {
+            g2.borrow_mut().push(ctx.arg(1));
+            ctx.yield_terminate();
+        });
+        let lib2 = lib.clone();
+        // Consumers first (they park), producers later.
+        let produce = simple_event(&mut eng, "produce", move |ctx| {
+            lib2.enqueue(ctx, q, 7, EventWord::IGNORE);
+            lib2.enqueue(ctx, q, 8, EventWord::IGNORE);
+            ctx.yield_terminate();
+        });
+        let lib3 = lib.clone();
+        let consume = simple_event(&mut eng, "consume", move |ctx| {
+            lib3.dequeue(ctx, q, EventWord::new(ctx.nwid(), on_deq));
+            lib3.dequeue(ctx, q, EventWord::new(ctx.nwid(), on_deq));
+            ctx.send_event_after(3000, EventWord::new(NetworkId(2), produce), [], EventWord::IGNORE);
+            ctx.yield_terminate();
+        });
+        eng.send(EventWord::new(NetworkId(1), consume), [], EventWord::IGNORE);
+        eng.run();
+        let mut v = got.borrow().clone();
+        v.sort_unstable();
+        assert_eq!(v, vec![7, 8]);
+    }
+
+    #[test]
+    fn multiple_producers_multiple_consumers() {
+        let mut eng = Engine::new(MachineConfig::small(2, 1, 8));
+        let lib = QueueLib::install(&mut eng);
+        let q = lib.create(&mut eng, NetworkId(3), 256);
+        let got: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let g2 = got.clone();
+        let on_deq = simple_event(&mut eng, "on_deq", move |ctx| {
+            g2.borrow_mut().push(ctx.arg(1));
+            ctx.yield_terminate();
+        });
+        let lib2 = lib.clone();
+        let producer = simple_event(&mut eng, "producer", move |ctx| {
+            let base = ctx.arg(0);
+            for i in 0..10u64 {
+                lib2.enqueue(ctx, q, base * 100 + i, EventWord::IGNORE);
+            }
+            ctx.yield_terminate();
+        });
+        let lib3 = lib.clone();
+        let consumer = simple_event(&mut eng, "consumer", move |ctx| {
+            for _ in 0..10 {
+                lib3.dequeue(ctx, q, EventWord::new(ctx.nwid(), on_deq));
+            }
+            ctx.yield_terminate();
+        });
+        let kick = simple_event(&mut eng, "kick", move |ctx| {
+            for p in 0..4u64 {
+                ctx.send_event(
+                    EventWord::new(NetworkId(p as u32), producer),
+                    [p],
+                    EventWord::IGNORE,
+                );
+            }
+            for c in 0..4u32 {
+                ctx.send_event(
+                    EventWord::new(NetworkId(8 + c), consumer),
+                    [],
+                    EventWord::IGNORE,
+                );
+            }
+            ctx.yield_terminate();
+        });
+        eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
+        eng.run();
+        let mut v = got.borrow().clone();
+        v.sort_unstable();
+        let mut expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..10u64).map(move |i| p * 100 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(v, expect, "every produced value consumed exactly once");
+    }
+}

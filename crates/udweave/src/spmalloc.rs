@@ -1,0 +1,103 @@
+//! spMalloc: the scratchpad allocator from Table 5 of the paper (83 LoC in
+//! UDWeave there). Bump allocation over the lane-private scratchpad plus a
+//! small typed-slice veneer.
+
+use updown_sim::EventCtx;
+
+/// A slice of lane-private scratchpad, word-granular.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpSlice {
+    pub base: u32,
+    pub len: u32,
+}
+
+/// Allocate `words` of this lane's scratchpad. Panics when exhausted, like
+/// hardware running out of SPD — callers size their working sets.
+pub fn sp_malloc(ctx: &mut EventCtx<'_>, words: u32) -> SpSlice {
+    let base = ctx.spm_alloc(words);
+    SpSlice { base, len: words }
+}
+
+impl SpSlice {
+    /// Load word `i` (1 cycle).
+    #[inline]
+    pub fn get(&self, ctx: &mut EventCtx<'_>, i: u32) -> u64 {
+        assert!(i < self.len, "SpSlice index {i} out of {}", self.len);
+        ctx.spm_read(self.base + i)
+    }
+
+    /// Store word `i` (1 cycle).
+    #[inline]
+    pub fn set(&self, ctx: &mut EventCtx<'_>, i: u32, v: u64) {
+        assert!(i < self.len, "SpSlice index {i} out of {}", self.len);
+        ctx.spm_write(self.base + i, v);
+    }
+
+    /// f64 view of word `i`.
+    #[inline]
+    pub fn get_f64(&self, ctx: &mut EventCtx<'_>, i: u32) -> f64 {
+        f64::from_bits(self.get(ctx, i))
+    }
+
+    #[inline]
+    pub fn set_f64(&self, ctx: &mut EventCtx<'_>, i: u32, v: f64) {
+        self.set(ctx, i, v.to_bits());
+    }
+
+    /// Sub-slice view.
+    pub fn slice(&self, off: u32, len: u32) -> SpSlice {
+        assert!(off + len <= self.len);
+        SpSlice {
+            base: self.base + off,
+            len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::simple_event;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use updown_sim::{Engine, EventWord, MachineConfig, NetworkId};
+
+    #[test]
+    fn alloc_and_rw() {
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 1));
+        let ok: Rc<RefCell<bool>> = Rc::default();
+        let ok2 = ok.clone();
+        let go = simple_event(&mut eng, "go", move |ctx| {
+            let a = sp_malloc(ctx, 8);
+            let b = sp_malloc(ctx, 4);
+            assert_ne!(a.base, b.base, "allocations are disjoint");
+            a.set(ctx, 0, 11);
+            b.set(ctx, 0, 22);
+            assert_eq!(a.get(ctx, 0), 11);
+            assert_eq!(b.get(ctx, 0), 22);
+            a.set_f64(ctx, 3, 2.5);
+            assert_eq!(a.get_f64(ctx, 3), 2.5);
+            let s = a.slice(2, 2);
+            s.set(ctx, 1, 99);
+            assert_eq!(a.get(ctx, 3), 99);
+            *ok2.borrow_mut() = true;
+            ctx.yield_terminate();
+        });
+        eng.send(EventWord::new(NetworkId(0), go), [], EventWord::IGNORE);
+        eng.run();
+        assert!(*ok.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "scratchpad exhausted")]
+    fn exhaustion_panics() {
+        let mut cfg = MachineConfig::small(1, 1, 1);
+        cfg.spm_words = 16;
+        let mut eng = Engine::new(cfg);
+        let go = simple_event(&mut eng, "go", move |ctx| {
+            let _ = sp_malloc(ctx, 32);
+        });
+        eng.send(EventWord::new(NetworkId(0), go), [], EventWord::IGNORE);
+        eng.run();
+    }
+}

@@ -1,0 +1,84 @@
+//! Quickstart: the Listing-2 call-return composition plus a tiny KVMSR
+//! histogram — the "hello world" of KVMSR+UDWeave.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kvmsr::{JobSpec, Kvmsr, Outcome};
+use udweave::prelude::*;
+use updown_sim::{Engine, MachineConfig};
+
+fn main() {
+    // A 2-node machine, 32 accelerators x 64 lanes each.
+    let mut eng = Engine::new(MachineConfig::with_nodes(2));
+    eng.enable_trace();
+
+    // ---- Listing 2: explicit continuations -----------------------------
+    let e3 = simple_event(&mut eng, "e3", |ctx| {
+        ctx.print("I am back from e2");
+        ctx.yield_terminate();
+    });
+    let e2 = simple_event(&mut eng, "e2", |ctx| {
+        ctx.print(&format!(
+            "I am in e2 and received this data: {}, {}",
+            ctx.arg(0),
+            ctx.arg(1)
+        ));
+        ctx.send_reply([]);
+        ctx.yield_terminate();
+    });
+    let e1 = simple_event(&mut eng, "e1", move |ctx| {
+        ctx.print("I am in e1");
+        let evw = evw_new(ctx.nwid().next(), e2);
+        let ct = ctx.self_event(e3);
+        ctx.send_event(evw, [0, 1], ct);
+    });
+    eng.send(evw_new(NetworkId(0), e1), [], IGNRCONT);
+    eng.run();
+    for line in eng.trace() {
+        println!("{line}");
+    }
+
+    // ---- a 4096-key histogram over the whole machine --------------------
+    let hist = eng
+        .mem_mut()
+        .alloc(16 * 8, 0, 2, 4096)
+        .expect("histogram cells");
+    let rt = Kvmsr::install(&mut eng);
+    let set = LaneSet::all(eng.config());
+    let job = rt.define_job(
+        JobSpec::new("histogram", set, move |ctx, task, rt| {
+            rt.emit(ctx, task, task.key % 16, &[1]);
+            Outcome::Done
+        })
+        .with_reduce(move |ctx, task, vals, _rt| {
+            ctx.dram_fetch_add_u64(VAddr(hist.0).word(task.key), vals[0], None, None);
+            Outcome::Done
+        }),
+    );
+    let done: Rc<RefCell<bool>> = Rc::default();
+    let d2 = done.clone();
+    let fin = simple_event(&mut eng, "done", move |ctx| {
+        *d2.borrow_mut() = true;
+        ctx.stop();
+    });
+    let (evw, args) = rt.start_msg(job, 4096, 0);
+    eng.send(evw, args, EventWord::new(NetworkId(0), fin));
+    let report = eng.run();
+
+    assert!(*done.borrow());
+    println!("\nhistogram over {} lanes:", eng.config().total_lanes());
+    for b in 0..16u64 {
+        let v = eng.mem().read_u64(VAddr(hist.0).word(b)).unwrap();
+        assert_eq!(v, 256);
+        println!("  bucket {b:2}: {v}");
+    }
+    println!(
+        "\nsimulated {} events in {} ticks ({:.3} ms of machine time)",
+        report.stats.events_executed,
+        report.final_tick,
+        eng.config().ticks_to_seconds(report.final_tick) * 1e3
+    );
+}

@@ -1,0 +1,1 @@
+//! Workspace integration tests live in `tests/tests/`.

@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) on the core invariants: translation
+//! coverage, split preservation, KVMSR delivery, SHT-vs-HashMap
+//! equivalence, sort correctness, and block-parse partitioning.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use kvmsr::{JobSpec, Kvmsr, Outcome};
+use udweave::LaneSet;
+use updown_graph::preprocess::{dedup_sort, split, split_in_out};
+use updown_graph::{Csr, EdgeList};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, TranslationDescriptor, VAddr};
+
+fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = EdgeList> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m)
+            .prop_map(move |edges| EdgeList::new(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every byte of a region maps to exactly one node, and per-node byte
+    /// counts sum to the region size.
+    #[test]
+    fn swizzle_partitions_address_space(
+        size_blocks in 1u64..64,
+        tail in 0u64..4096,
+        first in 0u32..4,
+        nr_pow in 0u32..3,
+        bs_pow in 12u64..15,
+    ) {
+        let nr = 1u32 << nr_pow;
+        let bs = 1u64 << bs_pow;
+        let size = size_blocks * bs + tail;
+        let d = TranslationDescriptor {
+            base: VAddr(0x1000_0000),
+            size,
+            first_node: first,
+            nr_nodes: nr,
+            block_size: bs,
+        };
+        let total: u64 = (0..first + nr).map(|n| d.bytes_on_node(n)).sum();
+        prop_assert_eq!(total, size);
+        // Probe addresses: pnn within range, node_offset under footprint.
+        for probe in [0, size / 3, size / 2, size - 1] {
+            let va = VAddr(d.base.0 + probe);
+            let node = d.pnn(va);
+            prop_assert!(node >= first && node < first + nr);
+            prop_assert!(d.node_offset(va) < d.bytes_on_node(node));
+        }
+    }
+
+    /// Vertex splitting (both regimes) preserves the multiset of edges.
+    #[test]
+    fn splits_preserve_edges(el in arb_edges(64, 400), max_deg in 1u32..16) {
+        let g = Csr::from_edges(&dedup_sort(el));
+        let mut orig: Vec<(u32, u32)> = (0..g.n())
+            .flat_map(|v| g.neigh(v).iter().map(move |&d| (v, d)))
+            .collect();
+        orig.sort_unstable();
+
+        let sg = split(&g, max_deg);
+        prop_assert!(sg.max_sub_degree() <= max_deg);
+        let mut back: Vec<(u32, u32)> = (0..sg.n_sub())
+            .flat_map(|s| {
+                let r = sg.sub_root[s as usize];
+                sg.sub_neigh(s).iter().map(move |&d| (r, d)).collect::<Vec<_>>()
+            })
+            .collect();
+        back.sort_unstable();
+        prop_assert_eq!(&back, &orig);
+
+        let sg2 = split_in_out(&g, max_deg);
+        prop_assert!(sg2.max_sub_degree() <= max_deg);
+        let mut back2: Vec<(u32, u32)> = (0..sg2.n_sub())
+            .flat_map(|s| {
+                let r = sg2.sub_root[s as usize];
+                sg2.sub_neigh(s)
+                    .iter()
+                    .map(|&t| (r, sg2.sub_root[t as usize]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        back2.sort_unstable();
+        prop_assert_eq!(&back2, &orig);
+    }
+
+    /// A KVMSR map/reduce job delivers every emitted tuple exactly once,
+    /// for arbitrary key counts and fan-outs.
+    #[test]
+    fn kvmsr_delivers_exactly_once(keys in 0u64..300, fanout in 0u64..5) {
+        let mut eng = Engine::new(MachineConfig::small(2, 2, 4));
+        let rt = Kvmsr::install(&mut eng);
+        let set = LaneSet::all(eng.config());
+        let seen: Rc<RefCell<std::collections::HashMap<u64, u64>>> = Rc::default();
+        let seen2 = seen.clone();
+        let job = rt.define_job(
+            JobSpec::new("p", set, move |ctx, task, rt| {
+                for i in 0..fanout {
+                    rt.emit(ctx, task, task.key * 16 + i, &[task.key]);
+                }
+                ctx.charge(2);
+                Outcome::Done
+            })
+            .with_reduce(move |_ctx, task, vals, _rt| {
+                let mut s = seen2.borrow_mut();
+                *s.entry(task.key).or_insert(0) += 1;
+                assert_eq!(vals[0], task.key / 16);
+                Outcome::Done
+            }),
+        );
+        let done: Rc<RefCell<Option<(u64, u64)>>> = Rc::default();
+        let d2 = done.clone();
+        let fin = udweave::simple_event(&mut eng, "fin", move |ctx| {
+            *d2.borrow_mut() = Some((ctx.arg(0), ctx.arg(1)));
+            ctx.stop();
+        });
+        let (evw, args) = rt.start_msg(job, keys, 0);
+        eng.send(evw, args, EventWord::new(NetworkId(0), fin));
+        eng.run();
+        let (processed, emitted) = done.borrow().expect("job completed");
+        prop_assert_eq!(processed, keys);
+        prop_assert_eq!(emitted, keys * fanout);
+        let s = seen.borrow();
+        prop_assert_eq!(s.len() as u64, keys * fanout);
+        prop_assert!(s.values().all(|&c| c == 1));
+    }
+
+    /// The device SHT behaves exactly like a HashMap under a random
+    /// serialized op sequence, and its DRAM image matches.
+    #[test]
+    fn sht_matches_hashmap(ops in proptest::collection::vec((0u8..4, 0u64..40, 1u64..100), 1..60)) {
+        use updown_graph::{ShtLib, ShtOp};
+        let mut eng = Engine::new(MachineConfig::small(1, 2, 4));
+        let lib = ShtLib::install(&mut eng);
+        let set = LaneSet::all(eng.config());
+        let sht = lib.create(&mut eng, set, 8, 16, drammalloc::Layout::cyclic(1));
+        // Serialize ops through a chain: each op's reply triggers the next.
+        let ops = Rc::new(ops);
+        let idx: Rc<RefCell<usize>> = Rc::default();
+        let lib2 = lib.clone();
+        let ops2 = ops.clone();
+        let step_l: Rc<RefCell<updown_sim::EventLabel>> =
+            Rc::new(RefCell::new(updown_sim::EventLabel(0)));
+        let sl = step_l.clone();
+        let step = udweave::simple_event(&mut eng, "step", move |ctx| {
+            let mut i = idx.borrow_mut();
+            if *i >= ops2.len() {
+                ctx.stop();
+                ctx.yield_terminate();
+                return;
+            }
+            let (op, k, v) = ops2[*i];
+            *i += 1;
+            let op = match op {
+                0 => ShtOp::Get,
+                1 => ShtOp::PutIfAbsent,
+                2 => ShtOp::Put,
+                _ => ShtOp::FetchOr,
+            };
+            let next = EventWord::new(ctx.nwid(), *sl.borrow());
+            lib2.op(ctx, sht, op, k, v, next);
+            ctx.yield_terminate();
+        });
+        *step_l.borrow_mut() = step;
+        eng.send(EventWord::new(NetworkId(0), step), [], EventWord::IGNORE);
+        eng.run();
+        // Model.
+        let mut model = std::collections::HashMap::new();
+        for &(op, k, v) in ops.iter() {
+            match op {
+                0 => {}
+                1 => {
+                    model.entry(k).or_insert(v);
+                }
+                2 => {
+                    model.insert(k, v);
+                }
+                _ => {
+                    *model.entry(k).or_insert(0) |= v;
+                }
+            }
+        }
+        for (&k, &v) in &model {
+            prop_assert_eq!(lib.host_get(sht, k), Some(v));
+        }
+        prop_assert_eq!(lib.len(sht), model.len());
+        let dram = lib.dump_from_dram(eng.mem(), sht);
+        prop_assert_eq!(dram, model);
+    }
+
+    /// The KVMSR bucket sort sorts arbitrary inputs.
+    #[test]
+    fn global_sort_sorts(vals in proptest::collection::vec(0u64..5000, 1..200)) {
+        use kvmsr::sort::{install_sort, read_sorted, SortPlan};
+        let mut eng = Engine::new(MachineConfig::small(1, 2, 8));
+        let n = vals.len() as u64;
+        let input = eng.mem_mut().alloc(n * 8, 0, 1, 4096).unwrap();
+        let buckets = 8u64;
+        let cap = n.max(8);
+        let seg = eng.mem_mut().alloc(buckets * cap * 8, 0, 1, 4096).unwrap();
+        let lens = eng.mem_mut().alloc(buckets * 8, 0, 1, 4096).unwrap();
+        eng.mem_mut().write_words(input, &vals).unwrap();
+        let rt = Kvmsr::install(&mut eng);
+        let plan = SortPlan {
+            input,
+            seg_data: seg,
+            seg_len_base: lens,
+            buckets,
+            segment_cap: cap,
+            max_value: 5000,
+        };
+        let set = LaneSet::all(eng.config());
+        let job = install_sort(&mut eng, &rt, set, plan);
+        let fin = udweave::simple_event(&mut eng, "fin", |ctx| ctx.stop());
+        let (evw, args) = rt.start_msg(job, n, 0);
+        eng.send(evw, args, EventWord::new(NetworkId(0), fin));
+        eng.run();
+        let got = read_sorted(eng.mem(), &plan);
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// parse_block partitions any byte stream: blocks concatenate to the
+    /// full parse for every block size.
+    #[test]
+    fn block_parse_partitions(recs in proptest::collection::vec((0u64..500, 0u64..500, 1u64..5), 0..60), bs in 3usize..200) {
+        use updown_apps::ingest::tform::{parse_block, Transducer};
+        let mut csv = String::new();
+        for (a, b, t) in &recs {
+            csv.push_str(&format!("E,{a},{b},{t}\n"));
+        }
+        let bytes = csv.as_bytes();
+        let full = Transducer::parse_all(bytes);
+        let mut got = Vec::new();
+        let mut start = 0;
+        while start < bytes.len() {
+            let end = (start + bs).min(bytes.len());
+            got.extend(parse_block(bytes, start, end));
+            start = end;
+        }
+        prop_assert_eq!(got, full);
+    }
+}
