@@ -30,13 +30,13 @@ pub fn pagerank_parallel(g: &Csr, iters: u32, damping: f64, threads: usize) -> V
     let mut pr = vec![1.0 / n as f64; n];
     for _ in 0..iters {
         let ranges = chunk_ranges(n, threads);
-        let partials: Vec<Vec<f64>> = crossbeam::scope(|s| {
+        let partials: Vec<Vec<f64>> = std::thread::scope(|s| {
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|r| {
                     let pr = &pr;
                     let r = r.clone();
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut next = vec![0.0f64; n];
                         for v in r {
                             let deg = g.degree(v as u32);
@@ -53,8 +53,7 @@ pub fn pagerank_parallel(g: &Csr, iters: u32, damping: f64, threads: usize) -> V
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         let base = (1.0 - damping) / n as f64;
         let mut next = vec![base; n];
         for p in &partials {
@@ -77,14 +76,14 @@ pub fn bfs_parallel(g: &Csr, root: u32, threads: usize) -> Vec<u64> {
     while !frontier.is_empty() {
         level += 1;
         let ranges = chunk_ranges(frontier.len(), threads);
-        let nexts: Vec<Vec<u32>> = crossbeam::scope(|s| {
+        let nexts: Vec<Vec<u32>> = std::thread::scope(|s| {
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|r| {
                     let frontier = &frontier;
                     let dist = &dist;
                     let r = r.clone();
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut next = Vec::new();
                         for &v in &frontier[r] {
                             for &d in g.neigh(v) {
@@ -106,8 +105,7 @@ pub fn bfs_parallel(g: &Csr, root: u32, threads: usize) -> Vec<u64> {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         frontier = nexts.concat();
     }
     dist.into_iter().map(|a| a.into_inner()).collect()
@@ -117,12 +115,12 @@ pub fn bfs_parallel(g: &Csr, root: u32, threads: usize) -> Vec<u64> {
 pub fn tc_parallel(g: &Csr, threads: usize) -> u64 {
     let n = g.n() as usize;
     let ranges = chunk_ranges(n, threads);
-    let counts: Vec<u64> = crossbeam::scope(|s| {
+    let counts: Vec<u64> = std::thread::scope(|s| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|r| {
                 let r = r.clone();
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut c = 0u64;
                     for v in r {
                         let v = v as u32;
@@ -138,8 +136,7 @@ pub fn tc_parallel(g: &Csr, threads: usize) -> u64 {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
     counts.into_iter().sum()
 }
 

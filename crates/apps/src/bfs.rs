@@ -25,7 +25,7 @@ use drammalloc::{Layout, Region};
 use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
 use udweave::LaneSet;
 use updown_graph::{Csr, DeviceCsr};
-use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport, VAddr};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, Metrics, VAddr};
 
 #[derive(Clone, Debug)]
 pub struct BfsConfig {
@@ -35,6 +35,8 @@ pub struct BfsConfig {
     pub root: u32,
     /// Graph array DRAMmalloc block size (32 KiB in the paper).
     pub block_size: u64,
+    /// Record an event trace; the result carries the Chrome-trace JSON.
+    pub trace: bool,
 }
 
 impl BfsConfig {
@@ -44,6 +46,7 @@ impl BfsConfig {
             mem_nodes: None,
             root,
             block_size: 32 * 1024,
+            trace: false,
         }
     }
 }
@@ -56,7 +59,9 @@ pub struct BfsResult {
     pub round_ticks: Vec<u64>,
     pub final_tick: u64,
     pub traversed_edges: u64,
-    pub report: RunReport,
+    pub report: Metrics,
+    /// Chrome-trace JSON, present when the config asked for a trace.
+    pub trace_json: Option<String>,
 }
 
 impl BfsResult {
@@ -112,6 +117,9 @@ struct DriverSt {
 pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    if cfg.trace {
+        eng.enable_event_trace();
+    }
     let nodes = mc.nodes;
     let mem_nodes = cfg.mem_nodes.unwrap_or(nodes).min(nodes);
     let graph_layout = Layout::cyclic_bs(mem_nodes, cfg.block_size);
@@ -380,7 +388,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
                 return;
             }
             // Reset the cell before it is reused two rounds later.
-            let parity = ((st.round + 1) & 1) as u64;
+            let parity = (st.round + 1) & 1;
             ctx.send_dram_write(added.word(parity), &[0], None);
             st.round += 1;
             let rs = updown_sim::EventLabel(*start_label.borrow());
@@ -391,7 +399,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let job_done = driver.event(&mut eng, "map_launcher_done", move |ctx, st| {
         st.traversed += ctx.arg(1);
         // How many vertices did round r add to the next frontier?
-        let next_parity = ((st.round + 1) & 1) as u64;
+        let next_parity = (st.round + 1) & 1;
         ctx.send_dram_read(added.word(next_parity), 1, added_ret);
     });
     let round_start = {
@@ -414,6 +422,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let dist_out: Vec<u64> = (0..n).map(|v| mem.read_u64(dist.word(v)).unwrap()).collect();
     let round_ticks_out = round_ticks.borrow().clone();
     let traversed_out = *traversed.borrow();
+    let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     BfsResult {
         dist: dist_out,
         rounds: round_ticks_out.len() as u32,
@@ -421,6 +430,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
         final_tick: report.final_tick,
         traversed_edges: traversed_out,
         report,
+        trace_json,
     }
 }
 

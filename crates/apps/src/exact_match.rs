@@ -15,7 +15,7 @@ use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
 use udweave::LaneSet;
 use updown_graph::pga::edge_key;
 use updown_graph::{ShtLib, ShtOp};
-use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, Metrics};
 
 use crate::ingest::tform::{RawRecord, RECORD_WORDS};
 
@@ -23,6 +23,8 @@ use crate::ingest::tform::{RawRecord, RECORD_WORDS};
 pub struct EmConfig {
     pub machine: MachineConfig,
     pub lanes: Option<u32>,
+    /// Record an event trace; the result carries the Chrome-trace JSON.
+    pub trace: bool,
 }
 
 impl EmConfig {
@@ -30,6 +32,7 @@ impl EmConfig {
         EmConfig {
             machine: MachineConfig::with_nodes(nodes),
             lanes: None,
+            trace: false,
         }
     }
 }
@@ -38,7 +41,9 @@ pub struct EmResult {
     /// Indices of records that matched a registered query.
     pub hits: Vec<u64>,
     pub final_tick: u64,
-    pub report: RunReport,
+    pub report: Metrics,
+    /// Chrome-trace JSON, present when the config asked for a trace.
+    pub trace_json: Option<String>,
 }
 
 /// A registered exact query over edge records.
@@ -79,6 +84,9 @@ struct EmSt {
 pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig) -> EmResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    if cfg.trace {
+        eng.enable_event_trace();
+    }
     let layout = Layout::cyclic(mc.nodes);
     let n = records.len() as u64;
 
@@ -177,10 +185,12 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
 
     let mut out = hits.borrow().clone();
     out.sort_unstable();
+    let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     EmResult {
         hits: out,
         final_tick: report.final_tick,
         report,
+        trace_json,
     }
 }
 

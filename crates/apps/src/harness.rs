@@ -45,6 +45,8 @@ pub fn print_speedup_table(title: &str, x_label: &str, series: &[Series]) {
     println!();
     let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     let sp: Vec<Vec<f64>> = series.iter().map(|s| s.speedups()).collect();
+    // Row-major print over column-major data: index, don't iterate.
+    #[allow(clippy::needless_range_loop)]
     for r in 0..rows {
         let x = series
             .iter()

@@ -3,8 +3,7 @@
 //! typed vertex and edge records with skewed (RMAT-style) endpoints, plus
 //! the `data <m>` size multipliers the paper sweeps in Figure 10.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use updown_graph::rng::Rng;
 
 use super::tform::RawRecord;
 
@@ -18,24 +17,24 @@ pub struct Dataset {
 /// ids. Roughly 1/4 vertex records, 3/4 edges; endpoints skewed toward
 /// low ids (social-network-like).
 pub fn generate(n_records: usize, n_entities: u64, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut csv = Vec::with_capacity(n_records * 16);
     let mut records = Vec::with_capacity(n_records);
-    let skewed = |rng: &mut StdRng| -> u64 {
+    let skewed = |rng: &mut Rng| -> u64 {
         // Square a uniform draw: density ~ 1/sqrt(id), a heavy head.
-        let u: f64 = rng.random();
+        let u: f64 = rng.f64();
         ((u * u) * n_entities as f64) as u64
     };
     for _ in 0..n_records {
-        if rng.random_range(0..4) == 0 {
+        if rng.below_u64(4) == 0 {
             let id = skewed(&mut rng);
-            let vt = rng.random_range(1..5u64);
+            let vt = 1 + rng.below_u64(4);
             csv.extend_from_slice(format!("V,{id},{vt}\n").as_bytes());
             records.push(RawRecord::vertex(id, vt));
         } else {
             let src = skewed(&mut rng);
-            let dst = rng.random_range(0..n_entities);
-            let et = rng.random_range(1..4u64);
+            let dst = rng.below_u64(n_entities);
+            let et = 1 + rng.below_u64(3);
             csv.extend_from_slice(format!("E,{src},{dst},{et}\n").as_bytes());
             records.push(RawRecord::edge(src, dst, et));
         }

@@ -14,7 +14,7 @@ use drammalloc::{Layout, Region};
 use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
 use udweave::LaneSet;
 use updown_graph::{Pga, ShtLib};
-use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, Metrics};
 
 use datagen::Dataset;
 use tform::{parse_block, RawRecord, RECORD_WORDS};
@@ -32,6 +32,8 @@ pub struct IngestConfig {
     pub vertex_eb: u32,
     pub edge_bl: u32,
     pub edge_eb: u32,
+    /// Record an event trace; the result carries the Chrome-trace JSON.
+    pub trace: bool,
 }
 
 impl IngestConfig {
@@ -44,6 +46,7 @@ impl IngestConfig {
             vertex_eb: 16,
             edge_bl: 64,
             edge_eb: 64,
+            trace: false,
         }
     }
 }
@@ -57,7 +60,9 @@ pub struct IngestResult {
     pub n_records: u64,
     pub vertices: usize,
     pub edges: usize,
-    pub report: RunReport,
+    pub report: Metrics,
+    /// Chrome-trace JSON, present when the config asked for a trace.
+    pub trace_json: Option<String>,
 }
 
 impl IngestResult {
@@ -101,6 +106,9 @@ pub fn expected_graph(records: &[RawRecord]) -> (usize, usize) {
 pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    if cfg.trace {
+        eng.enable_event_trace();
+    }
     let nodes = mc.nodes;
     let layout = Layout::cyclic(nodes);
 
@@ -296,6 +304,7 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     let (vertices, edges) = pga.counts(&sht);
     let phase1_tick = *p1_tick.borrow();
     let phase2_tick = *p2_tick.borrow();
+    let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     IngestResult {
         phase1_tick,
         phase2_tick,
@@ -304,6 +313,7 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
         vertices,
         edges,
         report,
+        trace_json,
     }
 }
 

@@ -30,7 +30,7 @@ use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
 use udweave::{CombiningCache, Kind, LaneSet};
 use updown_graph::preprocess::SplitGraph;
 use updown_graph::DeviceSplit;
-use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport, VAddr};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, Metrics, VAddr};
 
 /// PageRank configuration.
 #[derive(Clone, Debug)]
@@ -46,6 +46,8 @@ pub struct PrConfig {
     pub combining: bool,
     /// DRAMmalloc block size for the graph arrays (32 KiB in §4.1.1).
     pub block_size: u64,
+    /// Record an event trace; the result carries the Chrome-trace JSON.
+    pub trace: bool,
 }
 
 impl PrConfig {
@@ -57,6 +59,7 @@ impl PrConfig {
             damping: 0.85,
             combining: false,
             block_size: 32 * 1024,
+            trace: false,
         }
     }
 }
@@ -68,9 +71,11 @@ pub struct PrResult {
     /// Tick at which each iteration completed.
     pub iter_ticks: Vec<u64>,
     pub final_tick: u64,
-    pub report: RunReport,
+    pub report: Metrics,
     /// Edge updates (emits) per iteration.
     pub updates_per_iter: u64,
+    /// Chrome-trace JSON, present when the config asked for a trace.
+    pub trace_json: Option<String>,
 }
 
 impl PrResult {
@@ -118,6 +123,9 @@ struct DriverSt {
 /// Run PageRank over a pre-split graph (either splitting regime).
 pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let mut eng = Engine::new(cfg.machine.clone());
+    if cfg.trace {
+        eng.enable_event_trace();
+    }
     let nodes = cfg.machine.nodes;
     let mem_nodes = cfg.mem_nodes.unwrap_or(nodes).min(nodes);
     let layout = Layout::cyclic_bs(mem_nodes, cfg.block_size);
@@ -458,12 +466,14 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     };
     let iter_ticks_out = iter_ticks.borrow().clone();
     let emitted_out = *emitted.borrow();
+    let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     PrResult {
         values,
         iter_ticks: iter_ticks_out,
         final_tick: report.final_tick,
         report,
         updates_per_iter: emitted_out,
+        trace_json,
     }
 }
 
@@ -477,9 +487,9 @@ mod tests {
 
     fn check_result(res: &PrResult, g: &Csr, iters: u32, damping: f64) {
         let oracle = algorithms::pagerank(g, iters, damping);
-        for v in 0..g.n() as usize {
+        for (v, &ov) in oracle.iter().enumerate() {
             assert!(
-                (res.values[v] - oracle[v]).abs() < 1e-9,
+                (res.values[v] - ov).abs() < 1e-9,
                 "v{} sim={} oracle={}",
                 v,
                 res.values[v],

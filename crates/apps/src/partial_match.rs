@@ -21,7 +21,7 @@ use std::rc::Rc;
 use drammalloc::{Layout, Region};
 use udweave::LaneSet;
 use updown_graph::{Pga, ShtLib};
-use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, Metrics};
 
 use crate::ingest::tform::RawRecord;
 
@@ -43,6 +43,8 @@ pub struct PmConfig {
     pub inflight_per_lane: u32,
     pub vertex_bl: u32,
     pub vertex_eb: u32,
+    /// Record an event trace; the result carries the Chrome-trace JSON.
+    pub trace: bool,
 }
 
 impl PmConfig {
@@ -59,6 +61,7 @@ impl PmConfig {
             inflight_per_lane: 96,
             vertex_bl: 128,
             vertex_eb: 16,
+            trace: false,
         }
     }
 }
@@ -68,7 +71,9 @@ pub struct PmResult {
     /// Per-record latency in ticks (arrival -> processing complete).
     pub latencies: Vec<u64>,
     pub final_tick: u64,
-    pub report: RunReport,
+    pub report: Metrics,
+    /// Chrome-trace JSON, present when the config asked for a trace.
+    pub trace_json: Option<String>,
 }
 
 impl PmResult {
@@ -138,6 +143,9 @@ struct FeedSt {
 pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    if cfg.trace {
+        eng.enable_event_trace();
+    }
     assert!(cfg.lanes >= 2 && cfg.lanes <= mc.total_lanes());
     assert!(cfg.pattern.len() < 48, "pattern too long for the bitmask");
     let set = LaneSet::new(NetworkId(0), cfg.lanes);
@@ -318,11 +326,13 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     }
     lat.sort_unstable();
     let matches_out = *matches.borrow();
+    let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     PmResult {
         matches: matches_out,
         latencies: lat.into_iter().map(|(_, l)| l).collect(),
         final_tick: report.final_tick,
         report,
+        trace_json,
     }
 }
 

@@ -16,7 +16,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use udweave::LaneSet;
 use updown_graph::{Csr, DeviceCsr};
-use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, RunReport, VAddr};
+use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, Metrics, VAddr};
 
 /// Which reduce implementation to use (the §4.3.3 ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,6 +36,8 @@ pub struct TcConfig {
     pub variant: TcVariant,
     /// Map binding: Block (default) or PBMW (robust to skew, §4.3.3).
     pub map_binding: MapBinding,
+    /// Record an event trace; the result carries the Chrome-trace JSON.
+    pub trace: bool,
 }
 
 impl TcConfig {
@@ -46,6 +48,7 @@ impl TcConfig {
             block_size: 32 * 1024,
             variant: TcVariant::DualStream,
             map_binding: MapBinding::Block,
+            trace: false,
         }
     }
 }
@@ -54,7 +57,9 @@ pub struct TcResult {
     pub triangles: u64,
     pub final_tick: u64,
     pub pairs: u64,
-    pub report: RunReport,
+    pub report: Metrics,
+    /// Chrome-trace JSON, present when the config asked for a trace.
+    pub trace_json: Option<String>,
 }
 
 #[derive(Default)]
@@ -98,6 +103,9 @@ struct TcRedSt {
 pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    if cfg.trace {
+        eng.enable_event_trace();
+    }
     let mem_nodes = cfg.mem_nodes.unwrap_or(mc.nodes).min(mc.nodes);
     let layout = Layout::cyclic_bs(mem_nodes, cfg.block_size);
 
@@ -385,11 +393,13 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     let raw = eng.mem().read_u64(total.base).unwrap();
     assert_eq!(raw % 3, 0, "pair-intersection total must be 3 × triangles");
     let pairs_out = *pairs.borrow();
+    let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     TcResult {
         triangles: raw / 3,
         final_tick: report.final_tick,
         pairs: pairs_out,
         report,
+        trace_json,
     }
 }
 

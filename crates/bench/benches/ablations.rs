@@ -1,12 +1,12 @@
 //! Design-choice ablations called out in DESIGN.md §5, reported in
-//! *simulated ticks* (printed) with criterion measuring host cost:
+//! *simulated ticks* (printed) with host wall time measured alongside:
 //!
 //! 1. PR reduce: direct fetch-and-add vs combining cache.
 //! 2. TC reduce: dual-stream vs scratchpad-reuse (§4.3.3).
 //! 3. Map binding under skew: Block vs Cyclic vs PBMW (§2.3/§4.3.3).
 //! 4. KVMSR in-flight window sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::bench_host;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -104,7 +104,7 @@ fn window_job_ticks(window: u32) -> u64 {
     r.final_tick
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\n--- ablation: PR reduce accumulation (simulated ticks) ---");
     let direct = pr_ticks(false);
     let combining = pr_ticks(true);
@@ -132,17 +132,10 @@ fn bench(c: &mut Criterion) {
         println!("  window {w:>3}: {}", window_job_ticks(w));
     }
 
-    c.bench_function("ablation_skew_block", |b| {
-        b.iter(|| skew_job_ticks(MapBinding::Block, 64))
+    bench_host("ablation_skew_block", 10, || {
+        skew_job_ticks(MapBinding::Block, 64)
     });
-    c.bench_function("ablation_skew_pbmw", |b| {
-        b.iter(|| skew_job_ticks(MapBinding::Pbmw { chunk: 16 }, 64))
+    bench_host("ablation_skew_pbmw", 10, || {
+        skew_job_ticks(MapBinding::Pbmw { chunk: 16 }, 64)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! count, SHT operation throughput, combining cache, and the collective
 //! tree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::bench_host;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -66,9 +66,9 @@ fn tree_broadcast_ticks(lanes: u32) -> u64 {
     r.final_tick
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     // Report the simulated launch-overhead curve once (this is the
-    // interesting number; criterion then measures host cost).
+    // interesting number; the host-time loops below measure sim speed).
     println!("\nKVMSR empty-job launch overhead (simulated ticks):");
     for lanes in [16u32, 128, 1024, 4096] {
         println!("  {lanes:>6} lanes: {:>8}", kvmsr_launch_ticks(lanes));
@@ -78,25 +78,14 @@ fn bench(c: &mut Criterion) {
         println!("  {lanes:>6} lanes: {:>8}", tree_broadcast_ticks(lanes));
     }
 
-    let mut g = c.benchmark_group("abstractions");
     for lanes in [16u32, 1024] {
-        g.bench_with_input(BenchmarkId::new("kvmsr_launch", lanes), &lanes, |b, &l| {
-            b.iter(|| kvmsr_launch_ticks(l))
+        bench_host(&format!("kvmsr_launch/{lanes}_lanes"), 10, || {
+            kvmsr_launch_ticks(lanes)
         });
     }
-    g.bench_function("sht_insert_512", |b| {
-        b.iter(|| {
-            let n = sht_insert_run(512);
-            assert_eq!(n, 512);
-            n
-        })
+    bench_host("sht_insert_512", 10, || {
+        let n = sht_insert_run(512);
+        assert_eq!(n, 512);
+        n
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Simulator micro-benchmarks: event throughput, fan-out delivery, DRAM
 //! transaction pipeline, and swizzle translation speed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::timing::bench_host;
+use std::hint::black_box;
 use std::rc::Rc;
 use updown_sim::{
     Engine, EventCtx, EventWord, MachineConfig, NetworkId, TranslationDescriptor, VAddr,
@@ -49,17 +50,13 @@ fn dram_pipeline_run(reads: u64) -> u64 {
     eng.run().stats.dram_reads
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
+fn main() {
     for lanes in [4u32, 16, 64] {
-        g.throughput(Throughput::Elements(4096));
-        g.bench_with_input(BenchmarkId::new("fanout_4096", lanes), &lanes, |b, &l| {
-            b.iter(|| fanout_run(l, 4096))
+        bench_host(&format!("fanout_4096/{lanes}_lanes"), 15, || {
+            fanout_run(lanes, 4096)
         });
     }
-    g.throughput(Throughput::Elements(2048));
-    g.bench_function("dram_pipeline_2048", |b| b.iter(|| dram_pipeline_run(2048)));
-    g.finish();
+    bench_host("dram_pipeline_2048", 15, || dram_pipeline_run(2048));
 
     let d = TranslationDescriptor {
         base: VAddr(0x1000_0000),
@@ -68,19 +65,14 @@ fn bench(c: &mut Criterion) {
         nr_nodes: 64,
         block_size: 32 * 1024,
     };
-    c.bench_function("swizzle_translate", |b| {
-        let mut x = 0u64;
-        b.iter(|| {
+    let mut x = 0u64;
+    bench_host("swizzle_translate_x1e6", 15, || {
+        let mut acc = 0u32;
+        for _ in 0..1_000_000 {
             x = x.wrapping_add(0x9E37_79B9);
             let va = VAddr(d.base.0 + (x % d.size));
-            criterion::black_box(d.pnn(va))
-        })
+            acc = acc.wrapping_add(black_box(d.pnn(va)));
+        }
+        acc
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench
-}
-criterion_main!(benches);

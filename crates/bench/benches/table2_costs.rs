@@ -2,7 +2,7 @@
 //! each lane operation matches the paper's table, and measure the host
 //! cost of simulating them (the simulator's own speed).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::bench_host;
 use std::rc::Rc;
 use updown_sim::{Engine, EventCtx, EventWord, MachineConfig, NetworkId};
 
@@ -32,11 +32,6 @@ fn assert_table2() {
     });
     assert_eq!(spd, base + 2 * c.spd_access);
     // Send message: 2 cycles.
-    let send = event_cost(|ctx| {
-        let w = EventWord::new(ctx.nwid().next(), EventWord::new(ctx.nwid(), ctx.cur_evw().label()).label());
-        let _ = w;
-    });
-    let _ = send;
     let send = {
         let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
         let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
@@ -55,37 +50,29 @@ fn assert_table2() {
     assert_eq!(send, c.event_dispatch + c.send_msg + c.thread_dealloc);
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     assert_table2();
+    println!("Table-2 cost assertions passed.");
 
     // Host-side throughput of simulating a self-sending event chain.
-    c.bench_function("engine_event_chain_1000", |b| {
-        b.iter(|| {
-            let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
-            let l = eng.register(
-                "spin",
-                Rc::new(|ctx: &mut EventCtx| {
-                    if ctx.arg(0) < 1000 {
-                        let me = ctx.cur_evw();
-                        let n = ctx.arg(0) + 1;
-                        ctx.send_event(me, [n], EventWord::IGNORE);
-                    } else {
-                        ctx.yield_terminate();
-                    }
-                }),
-            );
-            eng.send(EventWord::new(NetworkId(0), l), [0], EventWord::IGNORE);
-            eng.run().stats.events_executed
-        })
+    bench_host("engine_event_chain_1000", 20, || {
+        let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
+        let l = eng.register(
+            "spin",
+            Rc::new(|ctx: &mut EventCtx| {
+                if ctx.arg(0) < 1000 {
+                    let me = ctx.cur_evw();
+                    let n = ctx.arg(0) + 1;
+                    ctx.send_event(me, [n], EventWord::IGNORE);
+                } else {
+                    ctx.yield_terminate();
+                }
+            }),
+        );
+        eng.send(EventWord::new(NetworkId(0), l), [0], EventWord::IGNORE);
+        eng.run().stats.events_executed
     });
 
     // Table-2 cost probe as a benchmark (exercises engine setup + run).
-    c.bench_function("table2_probe", |b| b.iter(assert_table2));
+    bench_host("table2_probe", 20, assert_table2);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

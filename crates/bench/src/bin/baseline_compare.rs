@@ -7,9 +7,15 @@
 //! to reproduce: the (simulated) fine-grained machine exceeds a
 //! conventional processor by orders of magnitude on irregular graph rates.
 //!
-//! `cargo run --release -p bench --bin baseline_compare -- [--scale 14]`
+//! ```text
+//! cargo run --release -p bench --bin baseline_compare -- [--scale 14]
+//!     [--nodes 16] [--seed 0] [--trace out.trace.json]
+//!     [--metrics-json out.metrics.json]
+//! ```
+//!
+//! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine, Cli};
+use bench::{bench_machine, Cli, Exporter};
 use updown_apps::baseline;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -22,9 +28,11 @@ fn main() {
     let cli = Cli::parse();
     let scale: u32 = cli.get("scale", 14);
     let nodes: u32 = cli.get("nodes", 16);
+    let seed: u64 = cli.get("seed", 0);
+    let mut ex = Exporter::from_cli(&cli);
     let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
 
-    let el = dedup_sort(rmat(scale, RmatParams::default(), 48));
+    let el = dedup_sort(rmat(scale, RmatParams::default(), 48 ^ seed));
     let g = Csr::from_edges(&el);
     let mut gu = Csr::from_edges(&dedup_sort(el.clone().symmetrize()));
     gu.sort_neighbors();
@@ -48,7 +56,9 @@ fn main() {
     let mut pc = PrConfig::new(nodes);
     pc.machine = bench_machine(nodes);
     pc.iterations = 2;
+    pc.trace = ex.want_trace();
     let pr = run_pagerank(&sg, &pc);
+    ex.export("pr", &pr.report, pr.trace_json.as_deref());
     let ud_gups = pr.gups(&pc.machine);
     let (host_pr, host_secs) = baseline::time(|| baseline::pagerank_parallel(&g, 2, 0.85, threads));
     // Validate both against each other.

@@ -2,20 +2,22 @@
 //! over machine size for the `data <m>` multiplier family.
 //!
 //! ```text
-//! cargo run --release -p bench --bin figure10 -- [--max-nodes 32]
-//!     [--base-records 20000] [--full]
+//! cargo run --release -p bench --bin figure10 -- [--nodes 32]
+//!     [--base-records 20000] [--seed 0] [--full]
+//!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{bench_machine, node_sweep, Cli};
+use bench::{bench_machine, node_sweep, Cli, StdOpts};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
 fn main() {
     let cli = Cli::parse();
-    let full = cli.has("full");
-    let max_nodes: u32 = cli.get("max-nodes", if full { 256 } else { 32 });
+    let opts = StdOpts::parse(&cli, (32, 256), (0, 0));
+    let full = opts.full;
     let base: usize = cli.get("base-records", if full { 400_000 } else { 60_000 });
-    let nodes = node_sweep(max_nodes);
+    let nodes = node_sweep(opts.max_nodes);
+    let mut ex = opts.exporter;
 
     println!("Figure 10 reproduction — ingestion scaling (records = {base} x multiplier)");
     let mut series = Vec::new();
@@ -25,12 +27,14 @@ fn main() {
         ("data", 1.0),
         ("data 2x", 2.0),
     ] {
-        let ds = datagen::sized(base, mult, (base / 4) as u64, 13);
+        let ds = datagen::sized(base, mult, (base / 4) as u64, 13 ^ opts.seed);
         let mut s = Series::new(label);
         for &n in &nodes {
             let mut cfg = IngestConfig::new(n);
             cfg.machine = bench_machine(n);
+            cfg.trace = ex.want_trace();
             let r = run_ingest(&ds, &cfg);
+            ex.export(&format!("ingest {label} nodes={n}"), &r.report, r.trace_json.as_deref());
             eprintln!(
                 "  {label} nodes={n}: {} ticks ({:.1} MRecords/s, phase1 {} / phase2 {})",
                 r.final_tick,

@@ -2,10 +2,11 @@
 //! resources (fractions of a node up to several nodes).
 //!
 //! ```text
-//! cargo run --release -p bench --bin figure11 -- [--records 4000] [--full]
+//! cargo run --release -p bench --bin figure11 -- [--records 4000] [--seed 0]
+//!     [--full] [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{Cli, BENCH_ACCELS, BENCH_LANES};
+use bench::{Cli, Exporter, BENCH_ACCELS, BENCH_LANES};
 use updown_apps::ingest::datagen;
 use updown_apps::partial_match::{run_partial_match, sequential_matches, PmConfig};
 use updown_sim::MachineConfig;
@@ -14,9 +15,11 @@ fn main() {
     let cli = Cli::parse();
     let full = cli.has("full");
     let n_records: usize = cli.get("records", if full { 400_000 } else { 150_000 });
+    let seed: u64 = cli.get("seed", 0);
+    let mut ex = Exporter::from_cli(&cli);
     let lanes_per_node = BENCH_ACCELS * BENCH_LANES;
 
-    let ds = datagen::generate(n_records, (n_records / 8) as u64, 21);
+    let ds = datagen::generate(n_records, (n_records / 8) as u64, 21 ^ seed);
     let pattern = vec![1u16, 2, 3];
     let expected = sequential_matches(&ds.records, &pattern);
     println!(
@@ -42,7 +45,9 @@ fn main() {
         cfg.batch = cli.get("batch", 96);
         cfg.interval = cli.get("interval", 32);
         cfg.feeders = 8;
+        cfg.trace = ex.want_trace();
         let r = run_partial_match(&ds.records, &cfg);
+        ex.export(&format!("pm {label}"), &r.report, r.trace_json.as_deref());
         let mean = r.mean_latency();
         if base == 0.0 {
             base = mean;

@@ -3,10 +3,13 @@
 //! memory parallelism with compute fixed.
 //!
 //! ```text
-//! cargo run --release -p bench --bin figure12 -- [--nodes 64] [--full]
+//! cargo run --release -p bench --bin figure12 -- [--nodes 64] [--seed 0]
+//!     [--full] [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
+//!
+//! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine, prepared, Cli};
+use bench::{bench_machine, prepared, Cli, Exporter};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
@@ -17,8 +20,10 @@ fn main() {
     let full = cli.has("full");
     let compute_nodes: u32 = cli.get("nodes", 64);
     let scale: u32 = cli.get("scale", if full { 17 } else { 16 });
+    let seed: u64 = cli.get("seed", 0);
+    let mut ex = Exporter::from_cli(&cli);
 
-    let el = rmat(scale, RmatParams::default(), 48);
+    let el = rmat(scale, RmatParams::default(), 48 ^ seed);
     let (sg, _) = split_and_shuffle(&el, 512, 7);
     let g = prepared(&el.clone().symmetrize());
 
@@ -38,7 +43,9 @@ fn main() {
         pc.machine = bench_machine(compute_nodes);
         pc.mem_nodes = Some(mem);
         pc.iterations = 1;
+        pc.trace = ex.want_trace();
         let pr = run_pagerank(&sg, &pc);
+        ex.export(&format!("pr mem_nodes={mem}"), &pr.report, pr.trace_json.as_deref());
 
         let mut bc = BfsConfig::new(compute_nodes, 0);
         bc.machine = bench_machine(compute_nodes);

@@ -3,21 +3,27 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
-//!     [--max-nodes 32] [--scale-shift 0] [--iters 2] [--full]
+//!     [--nodes 32] [--scale 0] [--seed 0] [--iters 2] [--full]
+//!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 //!
 //! `--full` raises the sweep to 256 nodes (TC: 1024) and the graphs by two
-//! scales — closer to the paper, at many minutes of host time.
+//! scales — closer to the paper, at many minutes of host time. `--trace`
+//! and `--metrics-json` export the first simulated run of the sweep as a
+//! Chrome trace / metrics document (see docs/observability.md).
 
-use bench::{bench_machine, graph_menu, node_sweep, prepared, prepared_undirected, Cli};
+use bench::{
+    bench_machine, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli, Exporter,
+    StdOpts,
+};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_apps::tc::{run_tc, TcConfig};
 
-fn pr_sweep(shift: i32, nodes: &[u32], iters: u32) -> Vec<Series> {
+fn pr_sweep(shift: i32, seed: u64, nodes: &[u32], iters: u32, ex: &mut Exporter) -> Vec<Series> {
     let mut out = Vec::new();
-    for (name, el) in graph_menu(shift) {
+    for (name, el) in graph_menu_seeded(shift, seed) {
         let (sh, _) = updown_graph::preprocess::shuffle_ids(&el, 7);
         let sg = updown_graph::preprocess::split_in_out(&updown_graph::Csr::from_edges(&sh), 512);
         let mut s = Series::new(&name);
@@ -25,7 +31,9 @@ fn pr_sweep(shift: i32, nodes: &[u32], iters: u32) -> Vec<Series> {
             let mut cfg = PrConfig::new(n);
             cfg.machine = bench_machine(n);
             cfg.iterations = iters;
+            cfg.trace = ex.want_trace();
             let r = run_pagerank(&sg, &cfg);
+            ex.export(&format!("pr {name} nodes={n}"), &r.report, r.trace_json.as_deref());
             eprintln!(
                 "  pr {name} nodes={n}: {} ticks ({:.2} GUPS)",
                 r.final_tick,
@@ -38,15 +46,17 @@ fn pr_sweep(shift: i32, nodes: &[u32], iters: u32) -> Vec<Series> {
     out
 }
 
-fn bfs_sweep(shift: i32, nodes: &[u32]) -> Vec<Series> {
+fn bfs_sweep(shift: i32, seed: u64, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
     let mut out = Vec::new();
-    for (name, el) in graph_menu(shift) {
+    for (name, el) in graph_menu_seeded(shift, seed) {
         let g = prepared(&el.clone().symmetrize());
         let mut s = Series::new(&name);
         for &n in nodes {
             let mut cfg = BfsConfig::new(n, 0);
             cfg.machine = bench_machine(n);
+            cfg.trace = ex.want_trace();
             let r = run_bfs(&g, &cfg);
+            ex.export(&format!("bfs {name} nodes={n}"), &r.report, r.trace_json.as_deref());
             eprintln!(
                 "  bfs {name} nodes={n}: {} ticks, {} rounds, {:.2} GTEPS",
                 r.final_tick,
@@ -60,18 +70,20 @@ fn bfs_sweep(shift: i32, nodes: &[u32]) -> Vec<Series> {
     out
 }
 
-fn tc_sweep(shift: i32, nodes: &[u32]) -> Vec<Series> {
+fn tc_sweep(shift: i32, seed: u64, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
     let mut out = Vec::new();
     // TC is intersection-heavy: drop the graphs three scales relative to
     // PR/BFS (the paper similarly uses s25 for TC vs s28 elsewhere).
-    for (name, el) in graph_menu(shift - 3) {
+    for (name, el) in graph_menu_seeded(shift - 3, seed) {
         let g = prepared_undirected(&el);
         let mut s = Series::new(&name);
         let mut triangles = None;
         for &n in nodes {
             let mut cfg = TcConfig::new(n);
             cfg.machine = bench_machine(n);
+            cfg.trace = ex.want_trace();
             let r = run_tc(&g, &cfg);
+            ex.export(&format!("tc {name} nodes={n}"), &r.report, r.trace_json.as_deref());
             match triangles {
                 None => triangles = Some(r.triangles),
                 Some(t) => assert_eq!(t, r.triangles, "count must not depend on machine"),
@@ -94,11 +106,10 @@ fn main() {
         .first()
         .cloned()
         .unwrap_or_else(|| "all".into());
-    let full = cli.has("full");
-    let shift: i32 = cli.get("scale-shift", if full { 3 } else { 1 });
-    let max_nodes: u32 = cli.get("max-nodes", if full { 256 } else { 32 });
+    let opts = StdOpts::parse(&cli, (32, 256), (1, 3));
     let iters: u32 = cli.get("iters", 2);
-    let nodes = node_sweep(max_nodes);
+    let nodes = node_sweep(opts.max_nodes);
+    let mut ex = opts.exporter;
 
     println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
     println!(
@@ -109,7 +120,7 @@ fn main() {
     );
 
     if which == "pr" || which == "all" {
-        let series = pr_sweep(shift, &nodes, iters);
+        let series = pr_sweep(opts.scale_shift, opts.seed, &nodes, iters, &mut ex);
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
             "nodes",
@@ -117,7 +128,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(shift, &nodes);
+        let series = bfs_sweep(opts.scale_shift, opts.seed, &nodes, &mut ex);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -125,8 +136,8 @@ fn main() {
         );
     }
     if which == "tc" || which == "all" {
-        let tc_nodes = node_sweep(if full { 1024 } else { max_nodes });
-        let series = tc_sweep(shift, &tc_nodes);
+        let tc_nodes = node_sweep(if opts.full { 1024 } else { opts.max_nodes });
+        let series = tc_sweep(opts.scale_shift, opts.seed, &tc_nodes, &mut ex);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",

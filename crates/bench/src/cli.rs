@@ -1,0 +1,242 @@
+//! The unified command-line surface of the figure binaries.
+//!
+//! Every binary parses [`Cli`] and understands the shared flags in
+//! [`StdOpts`] (`--nodes`, `--scale`, `--seed`, `--trace`,
+//! `--metrics-json`, `--full`) on top of its own specifics. The
+//! [`Exporter`] turns the observability flags into files: when a binary
+//! sweeps many configurations, the *first* simulated run is the one that
+//! gets traced and exported — enough to inspect one representative run in
+//! `chrome://tracing` without multi-gigabyte outputs.
+
+use updown_sim::Metrics;
+
+/// Minimal flag parsing: `--key value` pairs plus positional args.
+pub struct Cli {
+    pub positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Cli {
+    pub fn parse() -> Cli {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Cli {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut args = args.into_iter().peekable();
+        while let Some(a) = args.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match args.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        pairs.push((key.to_string(), args.next().unwrap()));
+                    }
+                    _ => flags.push(key.to_string()),
+                }
+            } else {
+                positional.push(a);
+            }
+        }
+        Cli {
+            positional,
+            pairs,
+            flags,
+        }
+    }
+
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.opt(key).unwrap_or(default)
+    }
+
+    /// Last `--key value` occurrence parsed as `T`, `None` if absent.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+    }
+
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key) || self.pairs.iter().any(|(k, _)| k == key)
+    }
+}
+
+/// The flags every figure binary shares.
+pub struct StdOpts {
+    /// `--nodes` / legacy `--max-nodes`: top of the node sweep.
+    pub max_nodes: u32,
+    /// `--scale` / legacy `--scale-shift`: graph-scale shift vs defaults.
+    pub scale_shift: i32,
+    /// `--seed`: generator seed.
+    pub seed: u64,
+    /// `--full`: paper-sized sweep.
+    pub full: bool,
+    /// `--trace <path>` / `--metrics-json <path>` exporter.
+    pub exporter: Exporter,
+}
+
+impl StdOpts {
+    /// Parse the shared flags with per-binary defaults: `nodes_default`
+    /// applies without `--full`, `nodes_full` with it (same for shift).
+    pub fn parse(
+        cli: &Cli,
+        (nodes_default, nodes_full): (u32, u32),
+        (shift_default, shift_full): (i32, i32),
+    ) -> StdOpts {
+        let full = cli.has("full");
+        let max_nodes = cli
+            .opt("nodes")
+            .or_else(|| cli.opt("max-nodes"))
+            .unwrap_or(if full { nodes_full } else { nodes_default });
+        let scale_shift = cli
+            .opt("scale")
+            .or_else(|| cli.opt("scale-shift"))
+            .unwrap_or(if full { shift_full } else { shift_default });
+        StdOpts {
+            max_nodes,
+            scale_shift,
+            seed: cli.get("seed", 0),
+            full,
+            exporter: Exporter::from_cli(cli),
+        }
+    }
+}
+
+/// Writes the `--trace` and `--metrics-json` files for the first run of a
+/// sweep; subsequent calls are no-ops.
+pub struct Exporter {
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    exported: bool,
+}
+
+impl Exporter {
+    pub fn from_cli(cli: &Cli) -> Exporter {
+        Exporter {
+            trace_path: cli.opt("trace"),
+            metrics_path: cli.opt("metrics-json"),
+            exported: false,
+        }
+    }
+
+    /// Should the *next* simulated run record an event trace? True until
+    /// the first export happens, and only when `--trace` was given.
+    pub fn want_trace(&self) -> bool {
+        self.trace_path.is_some() && !self.exported
+    }
+
+    /// True when either output flag was given and nothing is written yet.
+    pub fn pending(&self) -> bool {
+        !self.exported && (self.trace_path.is_some() || self.metrics_path.is_some())
+    }
+
+    /// Export the run (first call wins). `trace_json` is the Chrome-trace
+    /// JSON from the app result; pass `None` when tracing was off.
+    pub fn export(&mut self, label: &str, metrics: &Metrics, trace_json: Option<&str>) {
+        if self.exported {
+            return;
+        }
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, metrics.to_json())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("  [{label}] metrics JSON -> {path}");
+        }
+        if let Some(path) = &self.trace_path {
+            match trace_json {
+                Some(json) => {
+                    std::fs::write(path, json)
+                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    eprintln!("  [{label}] Chrome trace -> {path} (open in chrome://tracing)");
+                }
+                None => eprintln!("  [{label}] --trace given but the run recorded no trace"),
+            }
+        }
+        self.exported = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn std_opts_parse_shared_flags() {
+        let c = cli(&[
+            "pr",
+            "--nodes",
+            "8",
+            "--scale",
+            "-2",
+            "--seed",
+            "7",
+            "--trace",
+            "/tmp/t.json",
+        ]);
+        let o = StdOpts::parse(&c, (32, 256), (1, 3));
+        assert_eq!(o.max_nodes, 8);
+        assert_eq!(o.scale_shift, -2);
+        assert_eq!(o.seed, 7);
+        assert!(!o.full);
+        assert!(o.exporter.want_trace());
+        assert_eq!(c.positional, vec!["pr"]);
+    }
+
+    #[test]
+    fn std_opts_defaults_follow_full() {
+        let o = StdOpts::parse(&cli(&["--full"]), (32, 256), (1, 3));
+        assert_eq!(o.max_nodes, 256);
+        assert_eq!(o.scale_shift, 3);
+        assert!(!o.exporter.want_trace());
+    }
+
+    #[test]
+    fn legacy_flag_names_still_work() {
+        let o = StdOpts::parse(&cli(&["--max-nodes", "4", "--scale-shift", "0"]), (32, 256), (1, 3));
+        assert_eq!(o.max_nodes, 4);
+        assert_eq!(o.scale_shift, 0);
+    }
+
+    #[test]
+    fn exporter_writes_first_run_only() {
+        let dir = std::env::temp_dir();
+        let mp = dir.join("updown_cli_test.metrics.json");
+        let mp_s = mp.to_str().unwrap().to_string();
+        let mut ex = Exporter {
+            trace_path: None,
+            metrics_path: Some(mp_s.clone()),
+            exported: false,
+        };
+        assert!(ex.pending());
+        let m = sample_metrics(100);
+        ex.export("first", &m, None);
+        assert!(!ex.pending());
+        let m2 = sample_metrics(999);
+        ex.export("second", &m2, None);
+        let written = std::fs::read_to_string(&mp).unwrap();
+        let v = updown_sim::json::JsonValue::parse(&written).unwrap();
+        assert_eq!(v.get("final_tick").unwrap().as_u64(), Some(100));
+        let _ = std::fs::remove_file(&mp);
+    }
+
+    fn sample_metrics(final_tick: u64) -> Metrics {
+        Metrics {
+            final_tick,
+            clock_ghz: 2.0,
+            stats: Default::default(),
+            total_busy: 0,
+            active_lanes: 0,
+            total_lanes: 4,
+            nodes: vec![],
+            hot_lanes: vec![],
+            phases: vec![],
+            custom: Default::default(),
+        }
+    }
+}

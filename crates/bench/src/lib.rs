@@ -8,6 +8,11 @@
 //! `--full` raises both. Strong-scaling *shape* depends on keys-per-lane
 //! and skew, which these settings preserve.
 
+pub mod cli;
+pub mod timing;
+
+pub use cli::{Cli, Exporter, StdOpts};
+
 use updown_graph::generators::{erdos_renyi, forest_fire, rmat, RmatParams};
 use updown_graph::preprocess::dedup_sort;
 use updown_graph::{Csr, EdgeList};
@@ -25,37 +30,40 @@ pub const BENCH_LANES: u32 = 32;
 /// shrunken node is never bandwidth-bound and placement effects
 /// (Figure 12) vanish.
 pub fn bench_machine(nodes: u32) -> MachineConfig {
-    let mut cfg = MachineConfig::small(nodes, BENCH_ACCELS, BENCH_LANES);
-    let full = MachineConfig::default();
-    let factor = cfg.lanes_per_node() as f64 / full.lanes_per_node() as f64;
-    cfg.mem.node_bytes_per_cycle =
-        ((full.mem.node_bytes_per_cycle as f64 * factor) as u64).max(64);
-    cfg.net.nic_bytes_per_cycle =
-        ((full.net.nic_bytes_per_cycle as f64 * factor) as u64).max(64);
-    cfg
+    MachineConfig::builder()
+        .nodes(nodes)
+        .accels_per_node(BENCH_ACCELS)
+        .lanes_per_accel(BENCH_LANES)
+        .scaled_bandwidth()
+        .build()
 }
 
 /// The graph menu used across Figure 9 (names echo the paper's inputs).
 pub fn graph_menu(scale_shift: i32) -> Vec<(String, EdgeList)> {
+    graph_menu_seeded(scale_shift, 0)
+}
+
+/// [`graph_menu`] with a `--seed` offset folded into every generator.
+pub fn graph_menu_seeded(scale_shift: i32, seed: u64) -> Vec<(String, EdgeList)> {
     let s = |base: u32| (base as i32 + scale_shift).max(6) as u32;
     vec![
         (
             format!("RMAT s{}", s(14)),
-            rmat(s(14), RmatParams::default(), 48),
+            rmat(s(14), RmatParams::default(), 48 ^ seed),
         ),
         (
             format!("Erdos-Renyi s{}", s(14)),
-            erdos_renyi(s(14), 16, 48),
+            erdos_renyi(s(14), 16, 48 ^ seed),
         ),
         (
             format!("ForestFire s{}", s(14)),
-            forest_fire(s(14), 0.4, 48),
+            forest_fire(s(14), 0.4, 48 ^ seed),
         ),
         // A deliberately small graph: the soc-livej role in the paper's
         // plots — strong scaling saturates early.
         (
             format!("small s{}", s(11)),
-            rmat(s(11), RmatParams::default(), 7),
+            rmat(s(11), RmatParams::default(), 7 ^ seed),
         ),
     ]
 }
@@ -81,52 +89,6 @@ pub fn node_sweep(max: u32) -> Vec<u32> {
         n *= 2;
     }
     v
-}
-
-/// Minimal flag parsing: `--key value` pairs plus positional args.
-pub struct Cli {
-    pub positional: Vec<String>,
-    pairs: Vec<(String, String)>,
-    flags: Vec<String>,
-}
-
-impl Cli {
-    pub fn parse() -> Cli {
-        let mut positional = Vec::new();
-        let mut pairs = Vec::new();
-        let mut flags = Vec::new();
-        let mut args = std::env::args().skip(1).peekable();
-        while let Some(a) = args.next() {
-            if let Some(key) = a.strip_prefix("--") {
-                match args.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        pairs.push((key.to_string(), args.next().unwrap()));
-                    }
-                    _ => flags.push(key.to_string()),
-                }
-            } else {
-                positional.push(a);
-            }
-        }
-        Cli {
-            positional,
-            pairs,
-            flags,
-        }
-    }
-
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    pub fn has(&self, key: &str) -> bool {
-        self.flags.iter().any(|f| f == key) || self.pairs.iter().any(|(k, _)| k == key)
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,31 @@
+//! Minimal wall-clock measurement used by the `[[bench]]` targets in place
+//! of an external benchmarking framework: run a closure `iters` times and
+//! report mean host time per iteration. The simulated-tick numbers the
+//! benches print are deterministic; only these host-time figures vary.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Run `f` once to warm up, then `iters` times; print the mean per-call
+/// wall time as `name ... mean <t> (N iters)`.
+pub fn bench_host<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<32} mean {} ({iters} iters)", fmt_secs(per));
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}

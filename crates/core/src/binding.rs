@@ -120,8 +120,11 @@ pub enum ReduceBinding {
     /// space size).
     Block { keys: u64 },
     /// Application-supplied mapping.
-    Custom(Rc<dyn Fn(u64, &LaneSet) -> NetworkId>),
+    Custom(CustomBindingFn),
 }
+
+/// Application-supplied key → lane mapping for [`ReduceBinding::Custom`].
+pub type CustomBindingFn = Rc<dyn Fn(u64, &LaneSet) -> NetworkId>;
 
 impl std::fmt::Debug for ReduceBinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -35,6 +35,8 @@ use crate::task::{JobId, MapTask, Outcome, ReduceTask};
 pub type MapFn = Rc<dyn Fn(&mut EventCtx<'_>, &mut MapTask, &Kvmsr) -> Outcome>;
 /// Application reduce function over one intermediate tuple.
 pub type ReduceFn = Rc<dyn Fn(&mut EventCtx<'_>, &ReduceTask, &[u64], &Kvmsr) -> Outcome>;
+/// Per-lane epilogue handler (see [`JobSpec::epilogue`]).
+pub type EpilogueFn = Rc<dyn Fn(&mut EventCtx<'_>, EventWord) -> Outcome>;
 
 /// A KVMSR job definition.
 pub struct JobSpec {
@@ -55,7 +57,7 @@ pub struct JobSpec {
     /// [`Outcome::Done`] to complete immediately, or [`Outcome::Async`]
     /// and send two zero words to the completion word when finished (so
     /// acked flushes hold the job open until their effects landed).
-    pub epilogue: Option<Rc<dyn Fn(&mut EventCtx<'_>, EventWord) -> Outcome>>,
+    pub epilogue: Option<EpilogueFn>,
 }
 
 impl JobSpec {
@@ -253,6 +255,8 @@ impl Kvmsr {
                     (set, wm)
                 };
                 let _ = watermark;
+                ctx.bump("kvmsr.jobs", 1);
+                ctx.phase_begin("map");
                 // Launch broadcast; acks aggregate to maps_done.
                 let lb = rt.labels.borrow();
                 let args =
@@ -283,10 +287,12 @@ impl Kvmsr {
                         lb.poll_result,
                     )
                 };
+                ctx.phase_end("map");
                 if !has_reduce || st.emitted == 0 {
                     rt.finish_or_epilogue(ctx, st);
                     return;
                 }
+                ctx.phase_begin("reduce");
                 // First reduce-termination poll, immediately.
                 let args = rt.tree.start_args(set, poll_probe, &[st.job as u64]);
                 let pr = ctx.self_event(poll_result);
@@ -354,6 +360,7 @@ impl Kvmsr {
             let rt = rt.clone();
             launcher.event(eng, "task_done", move |ctx, st| {
                 st.in_flight -= 1;
+                ctx.trace_counter_add("kvmsr.in_flight", -1);
                 st.processed += 1;
                 st.emitted += ctx.arg(0);
                 ctx.charge(2);
@@ -510,10 +517,12 @@ impl Kvmsr {
             let spec = &inner.jobs[st.job as usize];
             (spec.epilogue.is_some(), spec.set)
         };
+        ctx.phase_end("reduce");
         if !has_epi {
             self.finish(ctx, st);
             return;
         }
+        ctx.phase_begin("epilogue");
         let lb = *self.labels.borrow();
         let args = self.tree.start_args(set, lb.epilogue_probe, &[st.job as u64]);
         let done = ctx.self_event(lb.epilogue_done);
@@ -522,6 +531,7 @@ impl Kvmsr {
     }
 
     fn finish(&self, ctx: &mut EventCtx<'_>, st: &mut MasterState) {
+        ctx.phase_end("epilogue");
         {
             let mut inner = self.inner.borrow_mut();
             inner.runs[st.job as usize].active = false;
@@ -539,6 +549,9 @@ impl Kvmsr {
         match st.range.take() {
             Some(key) => {
                 st.in_flight += 1;
+                ctx.bump("kvmsr.map_tasks", 1);
+                ctx.peak("kvmsr.window_peak", st.in_flight as u64);
+                ctx.trace_counter_add("kvmsr.in_flight", 1);
                 let lb = self.labels.borrow();
                 let td = ctx.self_event(lb.task_done);
                 let w = EventWord::new(ctx.nwid(), lb.map_task);

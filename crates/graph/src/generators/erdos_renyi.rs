@@ -1,19 +1,17 @@
 //! Erdős–Rényi G(n, m) generator: m uniformly random directed edges —
 //! the paper's unskewed comparison graph (scale-28 ER in §5.2.1).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::csr::EdgeList;
+use crate::rng::Rng;
 
 /// `n = 2^scale` vertices, `edge_factor * n` uniform random edges.
 pub fn erdos_renyi(scale: u32, edge_factor: u64, seed: u64) -> EdgeList {
-    assert!(scale >= 1 && scale <= 31);
+    assert!((1..=31).contains(&scale));
     let n = 1u32 << scale;
     let m = edge_factor * n as u64;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let edges = (0..m)
-        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .map(|_| (rng.below_u32(n), rng.below_u32(n)))
         .collect();
     EdgeList::new(n, edges)
 }

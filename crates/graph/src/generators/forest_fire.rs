@@ -3,24 +3,22 @@
 //! diameters and heavy-tailed in-degrees — the paper's "Forest Fire s28"
 //! input, scaled down.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::csr::EdgeList;
+use crate::rng::Rng;
 
 /// `n = 2^scale` vertices; `p` is the forward-burning probability
 /// (0 < p < 1; ~0.35 gives realistic densification without blow-up).
 pub fn forest_fire(scale: u32, p: f64, seed: u64) -> EdgeList {
-    assert!(scale >= 1 && scale <= 28);
+    assert!((1..=28).contains(&scale));
     assert!(p > 0.0 && p < 0.95);
     let n = 1u32 << scale;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out_adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
     let mut edges: Vec<(u32, u32)> = Vec::new();
     // Geometric mean fanout p/(1-p).
     let mut burned = vec![u32::MAX; n as usize]; // epoch marks
     for v in 1..n {
-        let amb = rng.random_range(0..v);
+        let amb = rng.below_u32(v);
         let mut frontier = vec![amb];
         burned[v as usize] = v;
         burned[amb as usize] = v;
@@ -40,8 +38,8 @@ pub fn forest_fire(scale: u32, p: f64, seed: u64) -> EdgeList {
                 .copied()
                 .filter(|&x| burned[x as usize] != v)
                 .collect();
-            while !links.is_empty() && rng.random::<f64>() < p {
-                let i = rng.random_range(0..links.len());
+            while !links.is_empty() && rng.f64() < p {
+                let i = rng.below_usize(links.len());
                 let x = links.swap_remove(i);
                 burned[x as usize] = v;
                 frontier.push(x);

@@ -2,10 +2,8 @@
 //! the artifact: `a = 0.57, b = 0.19, c = 0.19` (d = 0.05) with edge
 //! factor 16 — the standard Graph500 skew.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::csr::EdgeList;
+use crate::rng::Rng;
 
 #[derive(Clone, Copy, Debug)]
 pub struct RmatParams {
@@ -36,20 +34,20 @@ impl Default for RmatParams {
 /// produce; run [`crate::preprocess::dedup_sort`] like the artifact's `tsv`
 /// tool).
 pub fn rmat(scale: u32, params: RmatParams, seed: u64) -> EdgeList {
-    assert!(scale >= 1 && scale <= 31);
+    assert!((1..=31).contains(&scale));
     let n = 1u32 << scale;
     let m = params.edge_factor * n as u64;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(m as usize);
     for _ in 0..m {
         let (mut src, mut dst) = (0u32, 0u32);
         for level in 0..scale {
             // Mildly perturb quadrant probabilities per level.
-            let jitter = 1.0 + params.noise * (rng.random::<f64>() - 0.5);
+            let jitter = 1.0 + params.noise * (rng.f64() - 0.5);
             let a = params.a * jitter;
             let b = params.b * jitter;
             let c = params.c * jitter;
-            let r: f64 = rng.random();
+            let r: f64 = rng.f64();
             let (sb, db) = if r < a {
                 (0, 0)
             } else if r < a + b {

@@ -13,6 +13,7 @@ pub mod generators;
 pub mod io;
 pub mod pga;
 pub mod preprocess;
+pub mod rng;
 pub mod sht;
 
 pub use csr::{Csr, EdgeList};

@@ -9,11 +9,8 @@
 //!   preserves PageRank and BFS results for the original graph (tested in
 //!   `algorithms`).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use crate::csr::{Csr, EdgeList};
+use crate::rng::Rng;
 
 /// The `tsv` tool: dedup, drop self-loops, sort by (src, dst).
 pub fn dedup_sort(mut el: EdgeList) -> EdgeList {
@@ -27,8 +24,8 @@ pub fn dedup_sort(mut el: EdgeList) -> EdgeList {
 /// returns the renumbered edge list and the permutation (`perm[old] = new`).
 pub fn shuffle_ids(el: &EdgeList, seed: u64) -> (EdgeList, Vec<u32>) {
     let mut perm: Vec<u32> = (0..el.n).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    perm.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(&mut perm);
     let edges = el
         .edges
         .iter()
@@ -142,11 +139,11 @@ pub fn split_in_out(g: &Csr, max_degree: u32) -> SplitGraph {
     // Sub counts and index ranges.
     let mut first_sub = Vec::with_capacity(n + 1);
     let mut sub_root = Vec::new();
-    for v in 0..n {
+    for (v, &ind) in in_deg.iter().enumerate().take(n) {
         first_sub.push(sub_root.len() as u32);
         let k = g
             .degree(v as u32)
-            .max(in_deg[v])
+            .max(ind)
             .div_ceil(max_degree)
             .max(1);
         for _ in 0..k {

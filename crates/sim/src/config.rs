@@ -129,23 +129,112 @@ impl Default for MachineConfig {
     }
 }
 
+/// Fluent constructor for [`MachineConfig`], starting from the paper's
+/// defaults. Obtained via [`MachineConfig::builder`]:
+///
+/// ```
+/// use updown_sim::MachineConfig;
+/// let cfg = MachineConfig::builder()
+///     .nodes(4)
+///     .accels_per_node(4)
+///     .lanes_per_accel(32)
+///     .scaled_bandwidth()
+///     .build();
+/// assert_eq!(cfg.lanes_per_node(), 128);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.cfg.nodes = n;
+        self
+    }
+
+    pub fn accels_per_node(mut self, n: u32) -> Self {
+        self.cfg.accels_per_node = n;
+        self
+    }
+
+    pub fn lanes_per_accel(mut self, n: u32) -> Self {
+        self.cfg.lanes_per_accel = n;
+        self
+    }
+
+    pub fn clock_ghz(mut self, ghz: f64) -> Self {
+        self.cfg.clock_ghz = ghz;
+        self
+    }
+
+    pub fn max_threads_per_lane(mut self, n: u16) -> Self {
+        self.cfg.max_threads_per_lane = n;
+        self
+    }
+
+    pub fn spm_words(mut self, n: u32) -> Self {
+        self.cfg.spm_words = n;
+        self
+    }
+
+    pub fn costs(mut self, costs: OpCosts) -> Self {
+        self.cfg.costs = costs;
+        self
+    }
+
+    pub fn net(mut self, net: NetworkConfig) -> Self {
+        self.cfg.net = net;
+        self
+    }
+
+    pub fn mem(mut self, mem: MemoryConfig) -> Self {
+        self.cfg.mem = mem;
+        self
+    }
+
+    /// Scale per-node memory and NIC bandwidth to the configured lane
+    /// count so bytes-per-cycle-per-lane matches the full 2048-lane node.
+    /// Call after setting the topology; a shrunken node with full-node
+    /// bandwidth is never bandwidth-bound, which hides placement effects.
+    pub fn scaled_bandwidth(mut self) -> Self {
+        let full = MachineConfig::default();
+        let factor = self.cfg.lanes_per_node() as f64 / full.lanes_per_node() as f64;
+        self.cfg.mem.node_bytes_per_cycle =
+            ((full.mem.node_bytes_per_cycle as f64 * factor) as u64).max(64);
+        self.cfg.net.nic_bytes_per_cycle =
+            ((full.net.nic_bytes_per_cycle as f64 * factor) as u64).max(64);
+        self
+    }
+
+    pub fn build(self) -> MachineConfig {
+        assert!(self.cfg.nodes >= 1, "machine needs at least one node");
+        assert!(
+            self.cfg.accels_per_node >= 1 && self.cfg.lanes_per_accel >= 1,
+            "machine needs at least one lane"
+        );
+        self.cfg
+    }
+}
+
 impl MachineConfig {
+    /// Start building a config from the paper's defaults.
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder::default()
+    }
+
     /// A full-size UpDown node count with default node internals.
     pub fn with_nodes(nodes: u32) -> MachineConfig {
-        MachineConfig {
-            nodes,
-            ..Default::default()
-        }
+        MachineConfig::builder().nodes(nodes).build()
     }
 
     /// A reduced machine for unit tests: `nodes × accels × lanes`.
     pub fn small(nodes: u32, accels_per_node: u32, lanes_per_accel: u32) -> MachineConfig {
-        MachineConfig {
-            nodes,
-            accels_per_node,
-            lanes_per_accel,
-            ..Default::default()
-        }
+        MachineConfig::builder()
+            .nodes(nodes)
+            .accels_per_node(accels_per_node)
+            .lanes_per_accel(lanes_per_accel)
+            .build()
     }
 
     #[inline]
@@ -249,5 +338,31 @@ mod tests {
     fn default_is_one_full_node() {
         let cfg = MachineConfig::default();
         assert_eq!(cfg.total_lanes(), 2048);
+    }
+
+    #[test]
+    fn builder_matches_struct_forms() {
+        let a = MachineConfig::small(2, 4, 8);
+        let b = MachineConfig::builder()
+            .nodes(2)
+            .accels_per_node(4)
+            .lanes_per_accel(8)
+            .build();
+        assert_eq!(a.total_lanes(), b.total_lanes());
+        assert_eq!(a.mem.node_bytes_per_cycle, b.mem.node_bytes_per_cycle);
+    }
+
+    #[test]
+    fn scaled_bandwidth_preserves_per_lane_ratio() {
+        let full = MachineConfig::default();
+        let cfg = MachineConfig::builder()
+            .nodes(4)
+            .accels_per_node(4)
+            .lanes_per_accel(32)
+            .scaled_bandwidth()
+            .build();
+        let r_full = full.mem.node_bytes_per_cycle as f64 / full.lanes_per_node() as f64;
+        let r_cfg = cfg.mem.node_bytes_per_cycle as f64 / cfg.lanes_per_node() as f64;
+        assert!((r_full - r_cfg).abs() / r_full < 0.05);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::rc::Rc;
 
 use crate::config::MachineConfig;
@@ -19,7 +19,11 @@ use crate::lane::Lane;
 use crate::memory::{GlobalMemory, MemChannels, VAddr};
 use crate::message::Message;
 use crate::network::Nics;
-use crate::stats::{RunReport, Stats};
+use crate::stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
+use crate::trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
+
+/// Number of lanes in the [`Metrics::hot_lanes`] report.
+const HOT_LANES_TOP_K: usize = 8;
 
 /// A handler executes one event. It may read/write its thread state, send
 /// messages, and issue DRAM requests through the [`EventCtx`].
@@ -74,6 +78,10 @@ impl MemOp {
             MemOp::AddU64 { .. } | MemOp::AddF64 { .. } => 8,
         }
     }
+
+    fn is_write(&self) -> bool {
+        !matches!(self, MemOp::Read { .. })
+    }
 }
 
 /// DRAM transactions are staged through the calendar so each shared
@@ -85,11 +93,27 @@ enum Action {
     Deliver(Message),
     LaneRun(u32),
     /// Request has arrived at the owning node's memory channel.
-    MemArrive { op: MemOp, src_node: u32, owner: u32 },
+    /// `trace_id` correlates the stages of one transaction in the event
+    /// trace; 0 when tracing is off.
+    MemArrive {
+        op: MemOp,
+        src_node: u32,
+        owner: u32,
+        trace_id: u64,
+    },
     /// Channel service complete; send the response back.
-    MemServed { op: MemOp, src_node: u32, owner: u32 },
+    MemServed {
+        op: MemOp,
+        src_node: u32,
+        owner: u32,
+        trace_id: u64,
+    },
     /// Response arrived at the issuing lane: apply and deliver.
-    MemDone { op: MemOp },
+    MemDone {
+        op: MemOp,
+        owner: u32,
+        trace_id: u64,
+    },
 }
 
 struct Sched {
@@ -154,10 +178,18 @@ struct Core {
     mem: GlobalMemory,
     channels: MemChannels,
     nics: Nics,
-    stats: Stats,
+    stats: Counters,
     stop: bool,
     event_limit: u64,
     trace: Option<Vec<String>>,
+    /// Event tracer; present only when event tracing is enabled. All
+    /// recording paths are read-only with respect to simulated time,
+    /// costs, and calendar sequence numbers (zero observer effect).
+    tracer: Option<Tracer>,
+    /// Phase spans (`phase_begin`/`phase_end`), in begin order.
+    phases: Vec<PhaseSpan>,
+    /// Runtime-defined counters (`EventCtx::bump` / `EventCtx::peak`).
+    custom: BTreeMap<&'static str, u64>,
     /// Completion time of the latest-finishing executed event.
     last_completion: u64,
 }
@@ -219,12 +251,47 @@ impl Core {
         } else {
             t + self.mem_hop_latency(src_node, owner)
         };
-        self.schedule(arrival, Action::MemArrive { op, src_node, owner });
+        let trace_id = match &mut self.tracer {
+            Some(tr) => tr.alloc_id(),
+            None => 0,
+        };
+        self.schedule(
+            arrival,
+            Action::MemArrive {
+                op,
+                src_node,
+                owner,
+                trace_id,
+            },
+        );
     }
 
     fn trace_line(&mut self, line: String) {
         if let Some(t) = &mut self.trace {
             t.push(line);
+        }
+    }
+
+    fn phase_begin(&mut self, name: &str) {
+        let now = self.now;
+        self.phases.push(PhaseSpan {
+            name: name.to_string(),
+            start: now,
+            end: u64::MAX,
+        });
+    }
+
+    /// Close the most recent open span with this name; ignored when no
+    /// such span exists (so instrumentation is safe on partial runs).
+    fn phase_end(&mut self, name: &str) {
+        let now = self.now;
+        if let Some(p) = self
+            .phases
+            .iter_mut()
+            .rev()
+            .find(|p| p.is_open() && p.name == name)
+        {
+            p.end = now;
         }
     }
 }
@@ -253,10 +320,13 @@ impl Engine {
                 mem,
                 channels,
                 nics,
-                stats: Stats::default(),
+                stats: Counters::default(),
                 stop: false,
                 event_limit: u64::MAX,
                 trace: None,
+                tracer: None,
+                phases: Vec::new(),
+                custom: BTreeMap::new(),
                 last_completion: 0,
             },
             handlers: Vec::new(),
@@ -304,7 +374,7 @@ impl Engine {
     }
 
     /// Cap the number of executed events (runaway guard). The run stops
-    /// with `RunReport` when exceeded.
+    /// with [`Metrics`] when exceeded.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.core.event_limit = limit;
     }
@@ -318,7 +388,68 @@ impl Engine {
         self.core.trace.as_deref().unwrap_or(&[])
     }
 
-    pub fn stats(&self) -> &Stats {
+    /// Enable the structured event trace (lane busy spans, message
+    /// transits, DRAM stages, counters). Recording has **zero observer
+    /// effect**: simulated cycle counts are byte-identical with tracing
+    /// on or off. Export with [`Engine::chrome_trace_json`].
+    pub fn enable_event_trace(&mut self) {
+        if self.core.tracer.is_none() {
+            self.core.tracer = Some(Tracer::new());
+        }
+    }
+
+    pub fn event_trace_enabled(&self) -> bool {
+        self.core.tracer.is_some()
+    }
+
+    /// Recorded trace events (empty when event tracing is disabled).
+    pub fn event_trace(&self) -> &[TraceEvent] {
+        self.core
+            .tracer
+            .as_ref()
+            .map(|t| t.events.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Begin a named phase span at the current simulation time (host
+    /// side; device code uses [`EventCtx::phase_begin`]).
+    pub fn phase_begin(&mut self, name: &str) {
+        self.core.phase_begin(name);
+    }
+
+    /// End the most recent open span with this name.
+    pub fn phase_end(&mut self, name: &str) {
+        self.core.phase_end(name);
+    }
+
+    /// Phase spans recorded so far (open spans have `end == u64::MAX`).
+    pub fn phases(&self) -> &[PhaseSpan] {
+        &self.core.phases
+    }
+
+    /// Export the event trace in Chrome `trace_event` JSON format (open
+    /// in `chrome://tracing` or Perfetto). Includes phase spans even when
+    /// event tracing is disabled.
+    pub fn chrome_trace_json(&self) -> String {
+        let names: Vec<String> = self.handlers.iter().map(|h| h.name.clone()).collect();
+        let events = self.event_trace();
+        let final_tick = self.core.now.max(self.core.last_completion);
+        crate::trace::chrome_trace_json(
+            events,
+            &self.core.phases,
+            &names,
+            self.core.cfg.lanes_per_node(),
+            self.core.cfg.clock_ghz,
+            final_tick,
+        )
+    }
+
+    /// Write the Chrome trace JSON to `path`.
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace_json())
+    }
+
+    pub fn stats(&self) -> &Counters {
         &self.core.stats
     }
 
@@ -353,7 +484,7 @@ impl Engine {
             .filter(|h| h.count > 0)
             .map(|h| (format!("{} (last @{})", h.name, h.last_tick), h.count))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 
@@ -364,7 +495,7 @@ impl Engine {
     /// Run until the calendar drains, `stop()` is called, or the event
     /// limit is hit. A stopped engine can be run again: the stop flag is
     /// cleared on entry (pending calendar actions resume).
-    pub fn run(&mut self) -> RunReport {
+    pub fn run(&mut self) -> Metrics {
         self.core.stop = false;
         while !self.core.stop && self.core.stats.events_executed < self.core.event_limit {
             let Some(Reverse(s)) = self.core.calendar.pop() else {
@@ -378,113 +509,156 @@ impl Engine {
                     self.core.deliver(t, msg);
                 }
                 Action::LaneRun(l) => self.lane_run(l),
-                Action::MemArrive { op, src_node, owner } => {
+                Action::MemArrive {
+                    op,
+                    src_node,
+                    owner,
+                    trace_id,
+                } => {
                     let now = self.core.now;
                     let bytes = op.bytes();
+                    if let Some(tr) = &mut self.core.tracer {
+                        tr.record(TraceEvent::Dram {
+                            id: trace_id,
+                            stage: DramStage::Arrive,
+                            node: owner,
+                            time: now,
+                            bytes,
+                            write: op.is_write(),
+                        });
+                    }
                     let served = self.core.channels.service(owner, now, bytes);
-                    self.core
-                        .schedule(served, Action::MemServed { op, src_node, owner });
+                    self.core.schedule(
+                        served,
+                        Action::MemServed {
+                            op,
+                            src_node,
+                            owner,
+                            trace_id,
+                        },
+                    );
                 }
-                Action::MemServed { op, src_node, owner } => {
+                Action::MemServed {
+                    op,
+                    src_node,
+                    owner,
+                    trace_id,
+                } => {
                     let now = self.core.now;
                     let bytes = op.bytes();
+                    if let Some(tr) = &mut self.core.tracer {
+                        tr.record(TraceEvent::Dram {
+                            id: trace_id,
+                            stage: DramStage::Served,
+                            node: owner,
+                            time: now,
+                            bytes,
+                            write: op.is_write(),
+                        });
+                    }
                     let arrival = if owner != src_node {
                         let depart = self.core.nics.inject(owner, now, 8 + bytes);
                         depart + self.core.cfg.net.inter_node_latency
                     } else {
                         now + self.core.mem_hop_latency(src_node, owner)
                     };
-                    self.core.schedule(arrival, Action::MemDone { op });
+                    self.core
+                        .schedule(arrival, Action::MemDone { op, owner, trace_id });
                 }
-                Action::MemDone {
-                    op:
+                Action::MemDone { op, owner, trace_id } => {
+                    let t = self.core.now;
+                    if let Some(tr) = &mut self.core.tracer {
+                        tr.record(TraceEvent::Dram {
+                            id: trace_id,
+                            stage: DramStage::Respond,
+                            node: owner,
+                            time: t,
+                            bytes: op.bytes(),
+                            write: op.is_write(),
+                        });
+                    }
+                    match op {
                         MemOp::Read {
                             va,
                             nwords,
                             ret,
                             tag,
-                        },
-                } => {
-                    let mut words = match self.core.mem.read_words(va, nwords as usize) {
-                        Ok(w) => w,
-                        Err(e) => panic!("DRAM read fault at service time: {e}"),
-                    };
-                    if let Some(tag) = tag {
-                        words.push(tag);
-                    }
-                    let t = self.core.now;
-                    self.core
-                        .deliver(t, Message::new(ret, words, EventWord::IGNORE, ret.nwid()));
-                }
-                Action::MemDone {
-                    op:
+                        } => {
+                            let mut words = match self.core.mem.read_words(va, nwords as usize) {
+                                Ok(w) => w,
+                                Err(e) => panic!("DRAM read fault at service time: {e}"),
+                            };
+                            if let Some(tag) = tag {
+                                words.push(tag);
+                            }
+                            self.core
+                                .deliver(t, Message::new(ret, words, EventWord::IGNORE, ret.nwid()));
+                        }
                         MemOp::Write {
                             va,
                             words,
                             ack,
                             tag,
-                        },
-                } => {
-                    self.core
-                        .mem
-                        .write_words(va, &words)
-                        .unwrap_or_else(|e| panic!("DRAM write fault at service time: {e}"));
-                    if let Some(ack) = ack {
-                        let mut args = vec![va.0];
-                        if let Some(tag) = tag {
-                            args.push(tag);
+                        } => {
+                            self.core
+                                .mem
+                                .write_words(va, &words)
+                                .unwrap_or_else(|e| panic!("DRAM write fault at service time: {e}"));
+                            if let Some(ack) = ack {
+                                let mut args = vec![va.0];
+                                if let Some(tag) = tag {
+                                    args.push(tag);
+                                }
+                                self.core.deliver(
+                                    t,
+                                    Message::new(ack, args, EventWord::IGNORE, ack.nwid()),
+                                );
+                            }
                         }
-                        let t = self.core.now;
-                        self.core
-                            .deliver(t, Message::new(ack, args, EventWord::IGNORE, ack.nwid()));
-                    }
-                }
-                Action::MemDone {
-                    op:
                         MemOp::AddU64 {
                             va,
                             delta,
                             ret,
                             tag,
-                        },
-                } => {
-                    let old = self
-                        .core
-                        .mem
-                        .fetch_add_u64(va, delta)
-                        .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
-                    if let Some(ret) = ret {
-                        let mut args = vec![old];
-                        if let Some(tag) = tag {
-                            args.push(tag);
+                        } => {
+                            let old = self
+                                .core
+                                .mem
+                                .fetch_add_u64(va, delta)
+                                .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
+                            if let Some(ret) = ret {
+                                let mut args = vec![old];
+                                if let Some(tag) = tag {
+                                    args.push(tag);
+                                }
+                                self.core.deliver(
+                                    t,
+                                    Message::new(ret, args, EventWord::IGNORE, ret.nwid()),
+                                );
+                            }
                         }
-                        let t = self.core.now;
-                        self.core
-                            .deliver(t, Message::new(ret, args, EventWord::IGNORE, ret.nwid()));
-                    }
-                }
-                Action::MemDone {
-                    op:
                         MemOp::AddF64 {
                             va,
                             delta,
                             ret,
                             tag,
-                        },
-                } => {
-                    let old = self
-                        .core
-                        .mem
-                        .fetch_add_f64(va, delta)
-                        .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
-                    if let Some(ret) = ret {
-                        let mut args = vec![old.to_bits()];
-                        if let Some(tag) = tag {
-                            args.push(tag);
+                        } => {
+                            let old = self
+                                .core
+                                .mem
+                                .fetch_add_f64(va, delta)
+                                .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
+                            if let Some(ret) = ret {
+                                let mut args = vec![old.to_bits()];
+                                if let Some(tag) = tag {
+                                    args.push(tag);
+                                }
+                                self.core.deliver(
+                                    t,
+                                    Message::new(ret, args, EventWord::IGNORE, ret.nwid()),
+                                );
+                            }
                         }
-                        let t = self.core.now;
-                        self.core
-                            .deliver(t, Message::new(ret, args, EventWord::IGNORE, ret.nwid()));
                     }
                 }
             }
@@ -497,7 +671,7 @@ impl Engine {
                 let op = match s.action {
                     Action::MemArrive { op, .. }
                     | Action::MemServed { op, .. }
-                    | Action::MemDone { op } => op,
+                    | Action::MemDone { op, .. } => op,
                     Action::Deliver(_) | Action::LaneRun(_) => continue,
                 };
                 match op {
@@ -517,20 +691,84 @@ impl Engine {
                 }
             }
         }
-        self.report()
+        self.metrics()
     }
 
-    /// Build the final report without running.
-    pub fn report(&self) -> RunReport {
-        let total_busy = self.core.lanes.iter().map(|l| l.busy).sum();
-        let active_lanes = self.core.lanes.iter().filter(|l| l.events > 0).count() as u64;
-        RunReport {
-            final_tick: self.core.now.max(self.core.last_completion),
+    /// Build the final [`Metrics`] without running: machine-wide counters
+    /// plus per-node rollups, lane-utilization histograms, the top-K
+    /// hottest lanes, and any recorded phase spans.
+    pub fn metrics(&self) -> Metrics {
+        let final_tick = self.core.now.max(self.core.last_completion);
+        let lanes_per_node = self.core.cfg.lanes_per_node().max(1) as usize;
+        let n_nodes = self.core.cfg.nodes as usize;
+
+        let mut nodes: Vec<NodeMetrics> = (0..n_nodes)
+            .map(|n| NodeMetrics {
+                node: n as u32,
+                lanes: lanes_per_node as u64,
+                dram_served_bytes: self.core.channels.served_bytes.get(n).copied().unwrap_or(0),
+                nic_injected_bytes: self.core.nics.injected_bytes.get(n).copied().unwrap_or(0),
+                ..NodeMetrics::default()
+            })
+            .collect();
+
+        let mut total_busy = 0u64;
+        let mut active_lanes = 0u64;
+        let mut hot: Vec<LaneMetrics> = Vec::new();
+        for (i, lane) in self.core.lanes.iter().enumerate() {
+            total_busy += lane.busy;
+            let node = i / lanes_per_node;
+            let nm = &mut nodes[node.min(n_nodes.saturating_sub(1))];
+            nm.busy += lane.busy;
+            nm.events += lane.events;
+            nm.max_lane_busy = nm.max_lane_busy.max(lane.busy);
+            if lane.events > 0 {
+                active_lanes += 1;
+                nm.active_lanes += 1;
+            }
+            let bucket = if final_tick == 0 {
+                0
+            } else {
+                ((lane.busy as u128 * UTIL_HIST_BUCKETS as u128 / final_tick as u128) as usize)
+                    .min(UTIL_HIST_BUCKETS - 1)
+            };
+            nm.lane_util_hist[bucket] += 1;
+            if lane.busy > 0 {
+                hot.push(LaneMetrics {
+                    lane: i as u32,
+                    node: node as u32,
+                    busy: lane.busy,
+                    events: lane.events,
+                });
+            }
+        }
+        hot.sort_by(|a, b| b.busy.cmp(&a.busy).then(a.lane.cmp(&b.lane)));
+        hot.truncate(HOT_LANES_TOP_K);
+
+        let mut phases = self.core.phases.clone();
+        for p in &mut phases {
+            if p.is_open() {
+                p.end = final_tick;
+            }
+        }
+
+        Metrics {
+            final_tick,
+            clock_ghz: self.core.cfg.clock_ghz,
             stats: self.core.stats.clone(),
             total_busy,
             active_lanes,
             total_lanes: self.core.lanes.len() as u64,
+            nodes,
+            hot_lanes: hot,
+            phases,
+            custom: self.core.custom.clone(),
         }
+    }
+
+    /// Back-compat alias for [`Engine::metrics`].
+    pub fn report(&self) -> Metrics {
+        self.metrics()
     }
 
     fn lane_run(&mut self, l: u32) {
@@ -623,6 +861,15 @@ impl Engine {
         lane.free_at = t_end;
         self.core.stats.events_executed += 1;
         self.core.last_completion = self.core.last_completion.max(t_end);
+        if let Some(tr) = &mut self.core.tracer {
+            tr.record(TraceEvent::Exec {
+                lane: l,
+                label: label.0,
+                tid: tid.0,
+                start: t,
+                end: t_end,
+            });
+        }
 
         if terminated {
             let lane = &mut self.core.lanes[l as usize];
@@ -651,20 +898,30 @@ impl Engine {
                     let dst = msg.dst.nwid();
                     let bytes = msg.wire_bytes(self.core.cfg.net.msg_header_bytes);
                     let dst_node = self.core.cfg.node_of(dst);
-                    if dst_node != src_node {
+                    let (depart, arrival) = if dst_node != src_node {
                         self.core.stats.msgs_inter_node += 1;
                         let depart = self.core.nics.inject(src_node, ready, bytes);
-                        let arrival = depart + self.core.cfg.net.inter_node_latency;
-                        self.core.schedule(arrival, Action::Deliver(msg));
+                        (depart, depart + self.core.cfg.net.inter_node_latency)
                     } else {
                         if self.core.cfg.accel_of(src) == self.core.cfg.accel_of(dst) {
                             self.core.stats.msgs_intra_accel += 1;
                         } else {
                             self.core.stats.msgs_intra_node += 1;
                         }
-                        let arrival = ready + self.core.cfg.msg_latency(src, dst);
-                        self.core.schedule(arrival, Action::Deliver(msg));
+                        (ready, ready + self.core.cfg.msg_latency(src, dst))
+                    };
+                    if let Some(tr) = &mut self.core.tracer {
+                        let id = tr.alloc_id();
+                        tr.record(TraceEvent::MsgTransit {
+                            id,
+                            src: l,
+                            dst: dst.0,
+                            label: msg.dst.label().0,
+                            depart,
+                            arrive: arrival,
+                        });
                     }
+                    self.core.schedule(arrival, Action::Deliver(msg));
                 }
                 Outgoing::DramRead {
                     va,
@@ -912,7 +1169,7 @@ impl<'a> EventCtx<'a> {
         ret_label: EventLabel,
         tag: Option<u64>,
     ) {
-        assert!(nwords >= 1 && nwords <= 8, "hardware reads 1..=8 words");
+        assert!((1..=8).contains(&nwords), "hardware reads 1..=8 words");
         self.cost += self.core.cfg.costs.send_dram;
         let ret = self.self_event(ret_label);
         self.out.push(Outgoing::DramRead {
@@ -1060,6 +1317,44 @@ impl<'a> EventCtx<'a> {
                 self.core.now, self.lane, self.tid.0, self.event_name, text
             );
             self.core.trace_line(line);
+        }
+    }
+
+    // ---- observability (all zero-cost: never charges cycles) ---------------
+
+    /// Open a named phase span at the current tick (e.g. a KVMSR map
+    /// phase). Spans nest and repeat freely; [`Metrics::phase_cycles`]
+    /// accumulates same-named spans. Free — charges no cycles.
+    pub fn phase_begin(&mut self, name: &str) {
+        self.core.phase_begin(name);
+    }
+
+    /// Close the most recent open phase span with this name. A close
+    /// without a matching open is ignored. Free — charges no cycles.
+    pub fn phase_end(&mut self, name: &str) {
+        self.core.phase_end(name);
+    }
+
+    /// Add `delta` to a named custom counter reported in
+    /// [`Metrics::custom`]. Free — charges no cycles.
+    pub fn bump(&mut self, name: &'static str, delta: u64) {
+        *self.core.custom.entry(name).or_insert(0) += delta;
+    }
+
+    /// Raise a named custom high-water mark to at least `value`. Free —
+    /// charges no cycles.
+    pub fn peak(&mut self, name: &'static str, value: u64) {
+        let e = self.core.custom.entry(name).or_insert(0);
+        *e = (*e).max(value);
+    }
+
+    /// Sample a running counter into the event trace (rendered as a
+    /// Chrome-trace counter track). No-op unless event tracing is on;
+    /// free — charges no cycles.
+    pub fn trace_counter_add(&mut self, name: &'static str, delta: i64) {
+        let now = self.core.now;
+        if let Some(tr) = &mut self.core.tracer {
+            tr.counter_add(name, delta, now);
         }
     }
 }
@@ -1434,5 +1729,89 @@ mod tests {
         eng.run();
         assert_eq!(*old.borrow(), 1.5);
         assert_eq!(eng.mem().read_f64(a).unwrap(), 3.75);
+    }
+
+    /// A program touching every traced subsystem — fan-out messages
+    /// (local + remote), DRAM write/read, phases, custom and sampled
+    /// counters — run with and without the event trace.
+    fn observed_run(traced: bool) -> Engine {
+        let mut eng = Engine::new(tiny());
+        if traced {
+            eng.enable_event_trace();
+        }
+        let a = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
+        let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        // DRAM responses come back to the issuing thread: count both
+        // (write ack + read data) before terminating.
+        let fin = eng.register(
+            "fin",
+            Rc::new(|ctx: &mut EventCtx| {
+                let n = ctx.state_mut::<u64>();
+                *n += 1;
+                if *n == 2 {
+                    ctx.trace_counter_add("inflight", -1);
+                    ctx.phase_end("io");
+                    ctx.yield_terminate();
+                }
+            }),
+        );
+        let go = eng.register(
+            "go",
+            Rc::new(move |ctx| {
+                ctx.phase_begin("io");
+                ctx.bump("kicks", 1);
+                ctx.trace_counter_add("inflight", 1);
+                let n = ctx.config().total_lanes();
+                for i in 0..n {
+                    ctx.send_event(EventWord::new(NetworkId(i), sink), [i as u64], EventWord::IGNORE);
+                }
+                ctx.send_dram_write(VAddr(a.0), &[7], Some(fin));
+                ctx.send_dram_read(VAddr(a.0), 1, fin);
+            }),
+        );
+        eng.send(EventWord::new(NetworkId(0), go), [], EventWord::IGNORE);
+        eng.run();
+        eng
+    }
+
+    #[test]
+    fn event_trace_has_zero_observer_effect() {
+        let off = observed_run(false);
+        let on = observed_run(true);
+        assert!(off.event_trace().is_empty());
+        assert!(!on.event_trace().is_empty());
+        // Byte-identical metrics: same ticks, counters, phases, custom.
+        assert_eq!(off.metrics().to_json(), on.metrics().to_json());
+    }
+
+    #[test]
+    fn event_trace_covers_all_subsystems() {
+        let eng = observed_run(true);
+        let evs = eng.event_trace();
+        let mut execs = 0;
+        let mut msgs = 0;
+        let mut drams = 0;
+        let mut counters = 0;
+        for e in evs {
+            match e {
+                TraceEvent::Exec { start, end, .. } => {
+                    assert!(start <= end);
+                    execs += 1;
+                }
+                TraceEvent::MsgTransit { depart, arrive, .. } => {
+                    assert!(depart < arrive);
+                    msgs += 1;
+                }
+                TraceEvent::Dram { .. } => drams += 1,
+                TraceEvent::Counter { .. } => counters += 1,
+            }
+        }
+        // go + 16 sinks + dram ack + dram data, at least.
+        assert!(execs >= 18, "execs = {execs}");
+        assert!(msgs >= 16, "msgs = {msgs}");
+        assert_eq!(drams, 6, "2 transactions x 3 stages");
+        assert_eq!(counters, 2);
+        assert_eq!(eng.phases().len(), 1);
+        assert!(!eng.phases()[0].is_open());
     }
 }

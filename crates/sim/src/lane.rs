@@ -50,6 +50,7 @@ impl Scratchpad {
 }
 
 /// One lane of the machine.
+#[derive(Default)]
 pub struct Lane {
     /// Messages waiting to execute on this lane, FIFO.
     pub inbox: VecDeque<Message>,
@@ -71,23 +72,6 @@ pub struct Lane {
     pub busy: u64,
     /// Events executed on this lane (stats).
     pub events: u64,
-}
-
-impl Default for Lane {
-    fn default() -> Self {
-        Lane {
-            inbox: VecDeque::new(),
-            threads: HashMap::new(),
-            next_tid: 0,
-            parked: VecDeque::new(),
-            free_at: 0,
-            scheduled: false,
-            spm: Scratchpad::default(),
-            spm_brk: 0,
-            busy: 0,
-            events: 0,
-        }
-    }
 }
 
 impl Lane {

@@ -37,15 +37,21 @@
 pub mod config;
 pub mod engine;
 pub mod ids;
+pub mod json;
 pub mod lane;
 pub mod memory;
 pub mod message;
 pub mod network;
 pub mod stats;
+pub mod trace;
 
 pub use config::{MachineConfig, MemoryConfig, NetworkConfig, OpCosts};
 pub use engine::{Engine, EventCtx, Handler};
 pub use ids::{EventLabel, EventWord, NetworkId, ThreadId};
 pub use memory::{GlobalMemory, MemError, TranslationDescriptor, VAddr};
 pub use message::Message;
+pub use stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
+pub use trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
+
+#[allow(deprecated)]
 pub use stats::{RunReport, Stats};

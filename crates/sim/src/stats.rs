@@ -1,8 +1,23 @@
-//! Aggregate simulation statistics: event counts, message traffic by tier,
-//! memory traffic, and utilization summaries used by the experiment harness.
+//! The unified metrics API: machine-wide [`Counters`], the hierarchical
+//! per-node / per-lane breakdown, phase spans, and the [`Metrics`] report
+//! returned by [`crate::Engine::run`] with a stable JSON export
+//! (`updown-metrics/v1`).
+//!
+//! The pre-observability names are kept as thin deprecated aliases:
+//! `Stats` → [`Counters`], `RunReport` → [`Metrics`]. `Metrics` is a
+//! field-level superset of the old `RunReport`, so existing code that
+//! reads `report.stats.events_executed` or calls `utilization()` keeps
+//! working unchanged.
 
+use std::collections::BTreeMap;
+
+use crate::json::JsonWriter;
+use crate::trace::PhaseSpan;
+
+/// Machine-wide monotone counters: event counts, message traffic by tier,
+/// memory traffic, and simulator health numbers.
 #[derive(Clone, Debug, Default)]
-pub struct Stats {
+pub struct Counters {
     pub events_executed: u64,
     pub threads_created: u64,
     pub threads_terminated: u64,
@@ -20,7 +35,7 @@ pub struct Stats {
     pub peak_calendar: usize,
 }
 
-impl Stats {
+impl Counters {
     pub fn total_msgs(&self) -> u64 {
         self.msgs_intra_accel + self.msgs_intra_node + self.msgs_inter_node
     }
@@ -30,25 +45,328 @@ impl Stats {
     }
 }
 
-/// Final report of a simulation run.
+/// Deprecated name of [`Counters`].
+#[deprecated(since = "0.2.0", note = "renamed to `Counters`")]
+pub type Stats = Counters;
+
+/// Number of buckets in the per-node lane-utilization histogram.
+pub const UTIL_HIST_BUCKETS: usize = 10;
+
+/// Aggregates for one node.
+#[derive(Clone, Debug, Default)]
+pub struct NodeMetrics {
+    pub node: u32,
+    pub lanes: u64,
+    /// Lanes on this node that executed at least one event.
+    pub active_lanes: u64,
+    /// Sum of busy cycles over this node's lanes.
+    pub busy: u64,
+    /// Events executed on this node.
+    pub events: u64,
+    /// Bytes serviced by this node's DRAM channels.
+    pub dram_served_bytes: u64,
+    /// Bytes injected into the network by this node's NIC.
+    pub nic_injected_bytes: u64,
+    /// Busy cycles of this node's busiest lane.
+    pub max_lane_busy: u64,
+    /// Histogram of per-lane utilization (busy / final_tick): bucket `i`
+    /// covers `[i/10, (i+1)/10)`, with 1.0 landing in the last bucket.
+    pub lane_util_hist: [u64; UTIL_HIST_BUCKETS],
+}
+
+impl NodeMetrics {
+    /// Mean utilization of this node's lanes over the run (0..1).
+    pub fn utilization(&self, final_tick: u64) -> f64 {
+        if final_tick == 0 || self.lanes == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / (final_tick as f64 * self.lanes as f64)
+    }
+}
+
+/// One lane's totals, used for the top-K hot-lane report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneMetrics {
+    pub lane: u32,
+    pub node: u32,
+    pub busy: u64,
+    pub events: u64,
+}
+
+/// Final report of a simulation run: the machine-wide [`Counters`] plus
+/// lane/node utilization, phase spans, and runtime-defined custom
+/// counters. Returned by [`crate::Engine::run`]; exportable as stable
+/// JSON via [`Metrics::to_json`].
 #[derive(Clone, Debug)]
-pub struct RunReport {
+pub struct Metrics {
     /// Tick at which the last event completed (or `stop()` was called).
     pub final_tick: u64,
-    pub stats: Stats,
+    /// Lane clock, for converting ticks to seconds.
+    pub clock_ghz: f64,
+    pub stats: Counters,
     /// Sum of busy cycles over all lanes.
     pub total_busy: u64,
     /// Number of lanes that executed at least one event.
     pub active_lanes: u64,
     pub total_lanes: u64,
+    /// Per-node breakdown, indexed by node id.
+    pub nodes: Vec<NodeMetrics>,
+    /// Top lanes by busy cycles, descending (serialization hot spots).
+    pub hot_lanes: Vec<LaneMetrics>,
+    /// Phase spans recorded via `phase_begin`/`phase_end`, in begin order.
+    /// Open spans are clamped to `final_tick` at report time.
+    pub phases: Vec<PhaseSpan>,
+    /// Runtime-defined counters (`EventCtx::bump` / `EventCtx::peak`).
+    pub custom: BTreeMap<&'static str, u64>,
 }
 
-impl RunReport {
-    /// Mean utilization of active lanes over the run (0..1).
+impl Metrics {
+    /// Mean utilization of all lanes over the run (0..1).
     pub fn utilization(&self) -> f64 {
         if self.final_tick == 0 || self.total_lanes == 0 {
             return 0.0;
         }
         self.total_busy as f64 / (self.final_tick as f64 * self.total_lanes as f64)
+    }
+
+    /// Simulated wall time of the run.
+    pub fn seconds(&self) -> f64 {
+        self.final_tick as f64 / (self.clock_ghz * 1e9)
+    }
+
+    /// `count` items over the run, in giga-items per simulated second —
+    /// the GTEPS/GUPS helper (pass traversed edges or updates).
+    pub fn giga_rate(&self, count: u64) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            return 0.0;
+        }
+        count as f64 / s / 1e9
+    }
+
+    /// Total cycles per phase name (spans with the same name accumulate).
+    pub fn phase_cycles(&self) -> BTreeMap<String, u64> {
+        let mut m = BTreeMap::new();
+        for p in &self.phases {
+            *m.entry(p.name.clone()).or_insert(0) += p.cycles(self.final_tick);
+        }
+        m
+    }
+
+    /// Stable JSON export (schema `updown-metrics/v1`).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("schema").string("updown-metrics/v1");
+        w.key("final_tick").u64(self.final_tick);
+        w.key("clock_ghz").f64(self.clock_ghz);
+        w.key("seconds").f64(self.seconds());
+        w.key("utilization").f64(self.utilization());
+        w.key("total_busy").u64(self.total_busy);
+        w.key("active_lanes").u64(self.active_lanes);
+        w.key("total_lanes").u64(self.total_lanes);
+
+        w.key("counters").begin_obj();
+        let c = &self.stats;
+        w.key("events_executed").u64(c.events_executed);
+        w.key("threads_created").u64(c.threads_created);
+        w.key("threads_terminated").u64(c.threads_terminated);
+        w.key("msgs_intra_accel").u64(c.msgs_intra_accel);
+        w.key("msgs_intra_node").u64(c.msgs_intra_node);
+        w.key("msgs_inter_node").u64(c.msgs_inter_node);
+        w.key("total_msgs").u64(c.total_msgs());
+        w.key("dram_reads").u64(c.dram_reads);
+        w.key("dram_writes").u64(c.dram_writes);
+        w.key("dram_read_bytes").u64(c.dram_read_bytes);
+        w.key("dram_write_bytes").u64(c.dram_write_bytes);
+        w.key("dram_remote_accesses").u64(c.dram_remote_accesses);
+        w.key("thread_table_stalls").u64(c.thread_table_stalls);
+        w.key("peak_calendar").u64(c.peak_calendar as u64);
+        w.end_obj();
+
+        w.key("custom").begin_obj();
+        for (k, v) in &self.custom {
+            w.key(k).u64(*v);
+        }
+        w.end_obj();
+
+        w.key("phases").begin_arr();
+        for p in &self.phases {
+            let end = p.end.min(self.final_tick);
+            w.begin_obj()
+                .key("name")
+                .string(&p.name)
+                .key("start")
+                .u64(p.start)
+                .key("end")
+                .u64(end)
+                .key("cycles")
+                .u64(p.cycles(self.final_tick))
+                .end_obj();
+        }
+        w.end_arr();
+
+        w.key("phase_cycles").begin_obj();
+        for (name, cycles) in self.phase_cycles() {
+            w.key(&name).u64(cycles);
+        }
+        w.end_obj();
+
+        w.key("nodes").begin_arr();
+        for n in &self.nodes {
+            w.begin_obj()
+                .key("node")
+                .u64(n.node as u64)
+                .key("lanes")
+                .u64(n.lanes)
+                .key("active_lanes")
+                .u64(n.active_lanes)
+                .key("busy")
+                .u64(n.busy)
+                .key("events")
+                .u64(n.events)
+                .key("dram_served_bytes")
+                .u64(n.dram_served_bytes)
+                .key("nic_injected_bytes")
+                .u64(n.nic_injected_bytes)
+                .key("max_lane_busy")
+                .u64(n.max_lane_busy)
+                .key("utilization")
+                .f64(n.utilization(self.final_tick));
+            w.key("lane_util_hist").begin_arr();
+            for b in n.lane_util_hist {
+                w.u64(b);
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_arr();
+
+        w.key("hot_lanes").begin_arr();
+        for l in &self.hot_lanes {
+            w.begin_obj()
+                .key("lane")
+                .u64(l.lane as u64)
+                .key("node")
+                .u64(l.node as u64)
+                .key("busy")
+                .u64(l.busy)
+                .key("events")
+                .u64(l.events)
+                .end_obj();
+        }
+        w.end_arr();
+
+        w.end_obj();
+        w.finish()
+    }
+}
+
+/// Deprecated name of [`Metrics`].
+#[deprecated(since = "0.2.0", note = "replaced by `Metrics`")]
+pub type RunReport = Metrics;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn sample() -> Metrics {
+        Metrics {
+            final_tick: 1000,
+            clock_ghz: 2.0,
+            stats: Counters {
+                events_executed: 10,
+                ..Counters::default()
+            },
+            total_busy: 500,
+            active_lanes: 2,
+            total_lanes: 4,
+            nodes: vec![NodeMetrics {
+                node: 0,
+                lanes: 4,
+                active_lanes: 2,
+                busy: 500,
+                events: 10,
+                lane_util_hist: [2, 0, 1, 0, 0, 1, 0, 0, 0, 0],
+                ..NodeMetrics::default()
+            }],
+            hot_lanes: vec![LaneMetrics {
+                lane: 1,
+                node: 0,
+                busy: 400,
+                events: 7,
+            }],
+            phases: vec![
+                PhaseSpan {
+                    name: "map".into(),
+                    start: 0,
+                    end: 600,
+                },
+                PhaseSpan {
+                    name: "reduce".into(),
+                    start: 600,
+                    end: u64::MAX,
+                },
+            ],
+            custom: BTreeMap::from([("kvmsr.map_tasks", 64u64)]),
+        }
+    }
+
+    #[test]
+    fn utilization_and_seconds() {
+        let m = sample();
+        assert_eq!(m.utilization(), 500.0 / 4000.0);
+        assert_eq!(m.seconds(), 1000.0 / 2e9);
+        assert_eq!(m.giga_rate(1000), 1000.0 / m.seconds() / 1e9);
+    }
+
+    #[test]
+    fn phase_cycles_clamp_open_spans() {
+        let m = sample();
+        let pc = m.phase_cycles();
+        assert_eq!(pc["map"], 600);
+        assert_eq!(pc["reduce"], 400); // clamped to final_tick 1000
+    }
+
+    #[test]
+    fn json_has_stable_schema() {
+        let m = sample();
+        let v = JsonValue::parse(&m.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").unwrap().as_str(),
+            Some("updown-metrics/v1")
+        );
+        assert_eq!(v.get("final_tick").unwrap().as_u64(), Some(1000));
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("events_executed")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
+        assert_eq!(
+            v.get("custom")
+                .unwrap()
+                .get("kvmsr.map_tasks")
+                .unwrap()
+                .as_u64(),
+            Some(64)
+        );
+        assert_eq!(
+            v.get("phase_cycles")
+                .unwrap()
+                .get("reduce")
+                .unwrap()
+                .as_u64(),
+            Some(400)
+        );
+        let node = &v.get("nodes").unwrap().as_arr().unwrap()[0];
+        let hist = node.get("lane_util_hist").unwrap().as_arr().unwrap();
+        assert_eq!(hist.len(), UTIL_HIST_BUCKETS);
+        assert_eq!(hist[0].as_u64(), Some(2));
+        let hot = &v.get("hot_lanes").unwrap().as_arr().unwrap()[0];
+        assert_eq!(hot.get("busy").unwrap().as_u64(), Some(400));
     }
 }

@@ -1,0 +1,421 @@
+//! Event tracing for the simulator: a zero-cost-when-disabled record of
+//! lane executions, message transits, DRAM transaction stages, phase
+//! markers and counter samples, plus an exporter to the Chrome
+//! `trace_event` JSON format (open the file in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)).
+//!
+//! **Observer-effect guarantee:** recording never touches simulated time,
+//! costs, or calendar sequence numbers. A traced run and an untraced run
+//! of the same program produce byte-identical simulated results; the
+//! engine's tests assert this.
+
+use std::collections::HashMap;
+
+use crate::json::JsonWriter;
+
+/// Stage of a DRAM transaction as it moves through the memory pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DramStage {
+    /// Request reached the owning node's memory channel queue.
+    Arrive,
+    /// Channel service (bandwidth + latency) complete.
+    Served,
+    /// Response arrived back at the issuing lane.
+    Respond,
+}
+
+/// One recorded trace event. Times are simulated ticks.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A lane executed one event handler from `start` to `end` (busy span).
+    Exec {
+        lane: u32,
+        /// Handler label; resolve to a name via the engine's handler table.
+        label: u16,
+        tid: u16,
+        start: u64,
+        end: u64,
+    },
+    /// A message in flight from lane `src` to lane `dst`.
+    MsgTransit {
+        id: u64,
+        src: u32,
+        dst: u32,
+        label: u16,
+        depart: u64,
+        arrive: u64,
+    },
+    /// A DRAM transaction stage on `node`'s memory channel.
+    Dram {
+        id: u64,
+        stage: DramStage,
+        node: u32,
+        time: u64,
+        bytes: u64,
+        write: bool,
+    },
+    /// A named counter sample (running machine-wide value).
+    Counter {
+        name: &'static str,
+        time: u64,
+        value: i64,
+    },
+}
+
+/// A named interval of the run (e.g. a KVMSR map phase). `end` is
+/// `u64::MAX` while the span is open.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSpan {
+    pub name: String,
+    pub start: u64,
+    pub end: u64,
+}
+
+impl PhaseSpan {
+    pub fn is_open(&self) -> bool {
+        self.end == u64::MAX
+    }
+
+    /// Span length with the open end clamped to `final_tick`.
+    pub fn cycles(&self, final_tick: u64) -> u64 {
+        self.end.min(final_tick).saturating_sub(self.start)
+    }
+}
+
+/// Collects [`TraceEvent`]s during a run. Owned by the engine; present
+/// only when event tracing is enabled.
+#[derive(Default)]
+pub struct Tracer {
+    pub events: Vec<TraceEvent>,
+    next_id: u64,
+    counters: HashMap<&'static str, i64>,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Fresh id correlating the stages of an async operation. Allocated
+    /// from a tracer-private counter so tracing cannot perturb the
+    /// engine's calendar sequence numbers.
+    pub fn alloc_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// Adjust the named running counter by `delta` and record a sample.
+    pub fn counter_add(&mut self, name: &'static str, delta: i64, time: u64) {
+        let v = self.counters.entry(name).or_insert(0);
+        *v += delta;
+        let value = *v;
+        self.events.push(TraceEvent::Counter { name, time, value });
+    }
+}
+
+/// Export to Chrome `trace_event` JSON.
+///
+/// Track layout: process 0 is the "machine" (phase spans and counters);
+/// process `n + 1` is node `n`, with one thread row per lane (lane index
+/// within the node). Message transits and DRAM transactions render as
+/// legacy async `b`/`n`/`e` events correlated by id.
+///
+/// `names` maps handler labels to event names; `final_tick` clamps open
+/// phase spans. Timestamps are microseconds of simulated time
+/// (`ticks / (clock_ghz * 1000)`).
+pub fn chrome_trace_json(
+    events: &[TraceEvent],
+    phases: &[PhaseSpan],
+    names: &[String],
+    lanes_per_node: u32,
+    clock_ghz: f64,
+    final_tick: u64,
+) -> String {
+    let ts = |ticks: u64| -> f64 { ticks as f64 / (clock_ghz * 1000.0) };
+    let name_of = |label: u16| -> &str {
+        names
+            .get(label as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("<unknown>")
+    };
+    let lanes_per_node = lanes_per_node.max(1);
+
+    let mut w = JsonWriter::new();
+    w.begin_obj().key("displayTimeUnit").string("ms");
+    w.key("traceEvents").begin_arr();
+
+    let mut max_pid = 0u32;
+
+    // Phase spans on the machine track.
+    for p in phases {
+        let end = p.end.min(final_tick);
+        w.begin_obj()
+            .key("name")
+            .string(&p.name)
+            .key("cat")
+            .string("phase")
+            .key("ph")
+            .string("X")
+            .key("pid")
+            .u64(0)
+            .key("tid")
+            .u64(0)
+            .key("ts")
+            .f64(ts(p.start))
+            .key("dur")
+            .f64(ts(end.saturating_sub(p.start)))
+            .end_obj();
+    }
+
+    for ev in events {
+        match ev {
+            TraceEvent::Exec {
+                lane,
+                label,
+                tid,
+                start,
+                end,
+            } => {
+                let pid = lane / lanes_per_node + 1;
+                max_pid = max_pid.max(pid);
+                w.begin_obj()
+                    .key("name")
+                    .string(name_of(*label))
+                    .key("cat")
+                    .string("lane")
+                    .key("ph")
+                    .string("X")
+                    .key("pid")
+                    .u64(pid as u64)
+                    .key("tid")
+                    .u64((lane % lanes_per_node) as u64)
+                    .key("ts")
+                    .f64(ts(*start))
+                    .key("dur")
+                    .f64(ts(end - start))
+                    .key("args")
+                    .begin_obj()
+                    .key("sim_tid")
+                    .u64(*tid as u64)
+                    .end_obj()
+                    .end_obj();
+            }
+            TraceEvent::MsgTransit {
+                id,
+                src,
+                dst,
+                label,
+                depart,
+                arrive,
+            } => {
+                let pid = src / lanes_per_node + 1;
+                max_pid = max_pid.max(pid);
+                for (ph, t) in [("b", *depart), ("e", *arrive)] {
+                    w.begin_obj()
+                        .key("name")
+                        .string(name_of(*label))
+                        .key("cat")
+                        .string("msg")
+                        .key("ph")
+                        .string(ph)
+                        .key("id")
+                        .u64(*id)
+                        .key("pid")
+                        .u64(pid as u64)
+                        .key("tid")
+                        .u64((src % lanes_per_node) as u64)
+                        .key("ts")
+                        .f64(ts(t));
+                    if ph == "b" {
+                        w.key("args")
+                            .begin_obj()
+                            .key("dst_lane")
+                            .u64(*dst as u64)
+                            .end_obj();
+                    }
+                    w.end_obj();
+                }
+            }
+            TraceEvent::Dram {
+                id,
+                stage,
+                node,
+                time,
+                bytes,
+                write,
+            } => {
+                let pid = node + 1;
+                max_pid = max_pid.max(pid);
+                let ph = match stage {
+                    DramStage::Arrive => "b",
+                    DramStage::Served => "n",
+                    DramStage::Respond => "e",
+                };
+                w.begin_obj()
+                    .key("name")
+                    .string(if *write { "dram_write" } else { "dram_read" })
+                    .key("cat")
+                    .string("dram")
+                    .key("ph")
+                    .string(ph)
+                    .key("id")
+                    .u64(*id)
+                    .key("pid")
+                    .u64(pid as u64)
+                    .key("tid")
+                    .u64(lanes_per_node as u64) // a dedicated row below the lanes
+                    .key("ts")
+                    .f64(ts(*time));
+                if *stage == DramStage::Arrive {
+                    w.key("args")
+                        .begin_obj()
+                        .key("bytes")
+                        .u64(*bytes)
+                        .end_obj();
+                }
+                w.end_obj();
+            }
+            TraceEvent::Counter { name, time, value } => {
+                w.begin_obj()
+                    .key("name")
+                    .string(name)
+                    .key("ph")
+                    .string("C")
+                    .key("pid")
+                    .u64(0)
+                    .key("ts")
+                    .f64(ts(*time))
+                    .key("args")
+                    .begin_obj()
+                    .key("value")
+                    .i64(*value)
+                    .end_obj()
+                    .end_obj();
+            }
+        }
+    }
+
+    // Process-name metadata rows.
+    for pid in 0..=max_pid {
+        let pname = if pid == 0 {
+            "machine".to_string()
+        } else {
+            format!("node {}", pid - 1)
+        };
+        w.begin_obj()
+            .key("name")
+            .string("process_name")
+            .key("ph")
+            .string("M")
+            .key("pid")
+            .u64(pid as u64)
+            .key("args")
+            .begin_obj()
+            .key("name")
+            .string(&pname)
+            .end_obj()
+            .end_obj();
+    }
+
+    w.end_arr().end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn phase_span_clamps_open_end() {
+        let p = PhaseSpan {
+            name: "map".into(),
+            start: 100,
+            end: u64::MAX,
+        };
+        assert!(p.is_open());
+        assert_eq!(p.cycles(500), 400);
+    }
+
+    #[test]
+    fn counter_tracks_running_value() {
+        let mut t = Tracer::new();
+        t.counter_add("x", 2, 10);
+        t.counter_add("x", -1, 20);
+        let vals: Vec<i64> = t
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Counter { value, .. } => *value,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(vals, vec![2, 1]);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_shape() {
+        let events = vec![
+            TraceEvent::Exec {
+                lane: 5,
+                label: 0,
+                tid: 1,
+                start: 0,
+                end: 10,
+            },
+            TraceEvent::MsgTransit {
+                id: 1,
+                src: 5,
+                dst: 9,
+                label: 0,
+                depart: 10,
+                arrive: 14,
+            },
+            TraceEvent::Dram {
+                id: 2,
+                stage: DramStage::Arrive,
+                node: 1,
+                time: 30,
+                bytes: 64,
+                write: false,
+            },
+            TraceEvent::Counter {
+                name: "inflight",
+                time: 12,
+                value: 3,
+            },
+        ];
+        let phases = vec![PhaseSpan {
+            name: "map".into(),
+            start: 0,
+            end: u64::MAX,
+        }];
+        let names = vec!["handler_a".to_string()];
+        let s = chrome_trace_json(&events, &phases, &names, 8, 2.0, 100);
+        let v = JsonValue::parse(&s).expect("valid JSON");
+        assert_eq!(v.get("displayTimeUnit").unwrap().as_str(), Some("ms"));
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 phase + 1 exec + 2 msg halves + 1 dram + 1 counter + metadata.
+        assert!(evs.len() >= 6);
+        // Exec lane 5 of 8-lane nodes -> pid 1, tid 5.
+        let exec = evs
+            .iter()
+            .find(|e| e.get("cat").map(|c| c.as_str()) == Some(Some("lane")))
+            .unwrap();
+        assert_eq!(exec.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(exec.get("tid").unwrap().as_u64(), Some(5));
+        // 10 ticks at 2 GHz = 5 ns = 0.005 us.
+        assert_eq!(exec.get("dur").unwrap().as_f64(), Some(0.005));
+        // Metadata names both processes.
+        let metas: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").map(|c| c.as_str()) == Some(Some("M")))
+            .collect();
+        assert!(metas.len() >= 2);
+    }
+}

@@ -51,10 +51,13 @@ impl CombiningCache {
         let s = self.slot_of(va);
         let tag = self.table.get(ctx, s * 2);
         if tag == va.0 {
+            ctx.bump("combining.hit", 1);
             let cur = self.table.get_f64(ctx, s * 2 + 1);
             self.table.set_f64(ctx, s * 2 + 1, cur + delta);
         } else {
+            ctx.bump("combining.miss", 1);
             if tag != 0 {
+                ctx.bump("combining.evict", 1);
                 let old = self.table.get_f64(ctx, s * 2 + 1);
                 ctx.dram_fetch_add_f64(VAddr(tag), old, None, None);
             }
@@ -69,10 +72,13 @@ impl CombiningCache {
         let s = self.slot_of(va);
         let tag = self.table.get(ctx, s * 2);
         if tag == va.0 {
+            ctx.bump("combining.hit", 1);
             let cur = self.table.get(ctx, s * 2 + 1);
             self.table.set(ctx, s * 2 + 1, cur.wrapping_add(delta));
         } else {
+            ctx.bump("combining.miss", 1);
             if tag != 0 {
+                ctx.bump("combining.evict", 1);
                 let old = self.table.get(ctx, s * 2 + 1);
                 ctx.dram_fetch_add_u64(VAddr(tag), old, None, None);
             }
@@ -150,6 +156,9 @@ mod tests {
         }
         // The whole point: far fewer DRAM writes than adds.
         assert!(r.stats.dram_writes <= 8, "combining reduced memory traffic");
+        // 3 distinct cells -> 3 cold misses, the other 27 adds hit.
+        assert_eq!(r.custom.get("combining.hit"), Some(&27));
+        assert_eq!(r.custom.get("combining.miss"), Some(&3));
     }
 
     #[test]

@@ -1,39 +1,43 @@
-//! Property-based tests (proptest) on the core invariants: translation
+//! Randomized property tests on the core invariants: translation
 //! coverage, split preservation, KVMSR delivery, SHT-vs-HashMap
 //! equivalence, sort correctness, and block-parse partitioning.
+//!
+//! Each property is exercised over a deterministic sweep of seeded random
+//! cases (xoshiro256++ from `updown_graph::rng`), so failures reproduce
+//! exactly without an external property-testing framework.
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use kvmsr::{JobSpec, Kvmsr, Outcome};
 use udweave::LaneSet;
 use updown_graph::preprocess::{dedup_sort, split, split_in_out};
+use updown_graph::rng::Rng;
 use updown_graph::{Csr, EdgeList};
 use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, TranslationDescriptor, VAddr};
 
-fn arb_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = EdgeList> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n), 0..max_m)
-            .prop_map(move |edges| EdgeList::new(n, edges))
-    })
+const CASES: u64 = 24;
+
+fn random_edges(rng: &mut Rng, max_n: u32, max_m: usize) -> EdgeList {
+    let n = 2 + rng.below_u32(max_n - 2);
+    let m = rng.below_usize(max_m);
+    let edges = (0..m)
+        .map(|_| (rng.below_u32(n), rng.below_u32(n)))
+        .collect();
+    EdgeList::new(n, edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every byte of a region maps to exactly one node, and per-node byte
-    /// counts sum to the region size.
-    #[test]
-    fn swizzle_partitions_address_space(
-        size_blocks in 1u64..64,
-        tail in 0u64..4096,
-        first in 0u32..4,
-        nr_pow in 0u32..3,
-        bs_pow in 12u64..15,
-    ) {
-        let nr = 1u32 << nr_pow;
-        let bs = 1u64 << bs_pow;
+/// Every byte of a region maps to exactly one node, and per-node byte
+/// counts sum to the region size.
+#[test]
+fn swizzle_partitions_address_space() {
+    let mut rng = Rng::seed_from_u64(0x5117);
+    for _ in 0..CASES {
+        let size_blocks = 1 + rng.below_u64(63);
+        let tail = rng.below_u64(4096);
+        let first = rng.below_u32(4);
+        let nr = 1u32 << rng.below_u32(3);
+        let bs = 1u64 << (12 + rng.below_u64(3));
         let size = size_blocks * bs + tail;
         let d = TranslationDescriptor {
             base: VAddr(0x1000_0000),
@@ -43,19 +47,24 @@ proptest! {
             block_size: bs,
         };
         let total: u64 = (0..first + nr).map(|n| d.bytes_on_node(n)).sum();
-        prop_assert_eq!(total, size);
+        assert_eq!(total, size);
         // Probe addresses: pnn within range, node_offset under footprint.
         for probe in [0, size / 3, size / 2, size - 1] {
             let va = VAddr(d.base.0 + probe);
             let node = d.pnn(va);
-            prop_assert!(node >= first && node < first + nr);
-            prop_assert!(d.node_offset(va) < d.bytes_on_node(node));
+            assert!(node >= first && node < first + nr);
+            assert!(d.node_offset(va) < d.bytes_on_node(node));
         }
     }
+}
 
-    /// Vertex splitting (both regimes) preserves the multiset of edges.
-    #[test]
-    fn splits_preserve_edges(el in arb_edges(64, 400), max_deg in 1u32..16) {
+/// Vertex splitting (both regimes) preserves the multiset of edges.
+#[test]
+fn splits_preserve_edges() {
+    let mut rng = Rng::seed_from_u64(0x5217);
+    for _ in 0..CASES {
+        let el = random_edges(&mut rng, 64, 400);
+        let max_deg = 1 + rng.below_u32(15);
         let g = Csr::from_edges(&dedup_sort(el));
         let mut orig: Vec<(u32, u32)> = (0..g.n())
             .flat_map(|v| g.neigh(v).iter().map(move |&d| (v, d)))
@@ -63,18 +72,21 @@ proptest! {
         orig.sort_unstable();
 
         let sg = split(&g, max_deg);
-        prop_assert!(sg.max_sub_degree() <= max_deg);
+        assert!(sg.max_sub_degree() <= max_deg);
         let mut back: Vec<(u32, u32)> = (0..sg.n_sub())
             .flat_map(|s| {
                 let r = sg.sub_root[s as usize];
-                sg.sub_neigh(s).iter().map(move |&d| (r, d)).collect::<Vec<_>>()
+                sg.sub_neigh(s)
+                    .iter()
+                    .map(move |&d| (r, d))
+                    .collect::<Vec<_>>()
             })
             .collect();
         back.sort_unstable();
-        prop_assert_eq!(&back, &orig);
+        assert_eq!(back, orig);
 
         let sg2 = split_in_out(&g, max_deg);
-        prop_assert!(sg2.max_sub_degree() <= max_deg);
+        assert!(sg2.max_sub_degree() <= max_deg);
         let mut back2: Vec<(u32, u32)> = (0..sg2.n_sub())
             .flat_map(|s| {
                 let r = sg2.sub_root[s as usize];
@@ -85,13 +97,18 @@ proptest! {
             })
             .collect();
         back2.sort_unstable();
-        prop_assert_eq!(&back2, &orig);
+        assert_eq!(back2, orig);
     }
+}
 
-    /// A KVMSR map/reduce job delivers every emitted tuple exactly once,
-    /// for arbitrary key counts and fan-outs.
-    #[test]
-    fn kvmsr_delivers_exactly_once(keys in 0u64..300, fanout in 0u64..5) {
+/// A KVMSR map/reduce job delivers every emitted tuple exactly once,
+/// for arbitrary key counts and fan-outs.
+#[test]
+fn kvmsr_delivers_exactly_once() {
+    let mut rng = Rng::seed_from_u64(0x5317);
+    for _ in 0..CASES {
+        let keys = rng.below_u64(300);
+        let fanout = rng.below_u64(5);
         let mut eng = Engine::new(MachineConfig::small(2, 2, 4));
         let rt = Kvmsr::install(&mut eng);
         let set = LaneSet::all(eng.config());
@@ -122,18 +139,31 @@ proptest! {
         eng.send(evw, args, EventWord::new(NetworkId(0), fin));
         eng.run();
         let (processed, emitted) = done.borrow().expect("job completed");
-        prop_assert_eq!(processed, keys);
-        prop_assert_eq!(emitted, keys * fanout);
+        assert_eq!(processed, keys);
+        assert_eq!(emitted, keys * fanout);
         let s = seen.borrow();
-        prop_assert_eq!(s.len() as u64, keys * fanout);
-        prop_assert!(s.values().all(|&c| c == 1));
+        assert_eq!(s.len() as u64, keys * fanout);
+        assert!(s.values().all(|&c| c == 1));
     }
+}
 
-    /// The device SHT behaves exactly like a HashMap under a random
-    /// serialized op sequence, and its DRAM image matches.
-    #[test]
-    fn sht_matches_hashmap(ops in proptest::collection::vec((0u8..4, 0u64..40, 1u64..100), 1..60)) {
+/// The device SHT behaves exactly like a HashMap under a random
+/// serialized op sequence, and its DRAM image matches.
+#[test]
+fn sht_matches_hashmap() {
+    let mut rng = Rng::seed_from_u64(0x5417);
+    for _ in 0..CASES {
         use updown_graph::{ShtLib, ShtOp};
+        let n_ops = 1 + rng.below_usize(59);
+        let ops: Vec<(u8, u64, u64)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.below_u64(4) as u8,
+                    rng.below_u64(40),
+                    1 + rng.below_u64(99),
+                )
+            })
+            .collect();
         let mut eng = Engine::new(MachineConfig::small(1, 2, 4));
         let lib = ShtLib::install(&mut eng);
         let set = LaneSet::all(eng.config());
@@ -185,17 +215,22 @@ proptest! {
             }
         }
         for (&k, &v) in &model {
-            prop_assert_eq!(lib.host_get(sht, k), Some(v));
+            assert_eq!(lib.host_get(sht, k), Some(v));
         }
-        prop_assert_eq!(lib.len(sht), model.len());
+        assert_eq!(lib.len(sht), model.len());
         let dram = lib.dump_from_dram(eng.mem(), sht);
-        prop_assert_eq!(dram, model);
+        assert_eq!(dram, model);
     }
+}
 
-    /// The KVMSR bucket sort sorts arbitrary inputs.
-    #[test]
-    fn global_sort_sorts(vals in proptest::collection::vec(0u64..5000, 1..200)) {
+/// The KVMSR bucket sort sorts arbitrary inputs.
+#[test]
+fn global_sort_sorts() {
+    let mut rng = Rng::seed_from_u64(0x5517);
+    for _ in 0..CASES {
         use kvmsr::sort::{install_sort, read_sorted, SortPlan};
+        let len = 1 + rng.below_usize(199);
+        let vals: Vec<u64> = (0..len).map(|_| rng.below_u64(5000)).collect();
         let mut eng = Engine::new(MachineConfig::small(1, 2, 8));
         let n = vals.len() as u64;
         let input = eng.mem_mut().alloc(n * 8, 0, 1, 4096).unwrap();
@@ -222,14 +257,22 @@ proptest! {
         let got = read_sorted(eng.mem(), &plan);
         let mut expect = vals.clone();
         expect.sort_unstable();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    /// parse_block partitions any byte stream: blocks concatenate to the
-    /// full parse for every block size.
-    #[test]
-    fn block_parse_partitions(recs in proptest::collection::vec((0u64..500, 0u64..500, 1u64..5), 0..60), bs in 3usize..200) {
+/// parse_block partitions any byte stream: blocks concatenate to the
+/// full parse for every block size.
+#[test]
+fn block_parse_partitions() {
+    let mut rng = Rng::seed_from_u64(0x5617);
+    for _ in 0..CASES {
         use updown_apps::ingest::tform::{parse_block, Transducer};
+        let n_recs = rng.below_usize(60);
+        let recs: Vec<(u64, u64, u64)> = (0..n_recs)
+            .map(|_| (rng.below_u64(500), rng.below_u64(500), 1 + rng.below_u64(4)))
+            .collect();
+        let bs = 3 + rng.below_usize(197);
         let mut csv = String::new();
         for (a, b, t) in &recs {
             csv.push_str(&format!("E,{a},{b},{t}\n"));
@@ -243,6 +286,6 @@ proptest! {
             got.extend(parse_block(bytes, start, end));
             start = end;
         }
-        prop_assert_eq!(got, full);
+        assert_eq!(got, full);
     }
 }
