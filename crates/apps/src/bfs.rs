@@ -17,9 +17,9 @@
 //!   next-round frontier segment.
 //! - A driver thread chains rounds until no vertex was added.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use drammalloc::{Layout, Region};
 use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
@@ -168,19 +168,19 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let rt = Kvmsr::install(&mut eng);
     let set = LaneSet::all(mc);
 
-    let visited: Rc<RefCell<HashSet<u64>>> =
-        Rc::new(RefCell::new(HashSet::from([cfg.root as u64])));
-    let cursors: Rc<RefCell<HashMap<(u64, u32), u64>>> = Rc::default();
+    let visited: Arc<Mutex<HashSet<u64>>> =
+        Arc::new(Mutex::new(HashSet::from([cfg.root as u64])));
+    let cursors: Arc<Mutex<HashMap<(u64, u32), u64>>> = Arc::default();
 
     // ---- worker thread ---------------------------------------------------
-    let job_cell: Rc<RefCell<u32>> = Rc::default();
+    let job_cell: Arc<Mutex<u32>> = Arc::default();
     let w_nl_label = {
         let rt = rt.clone();
         let jc = job_cell.clone();
         udweave::event::<WorkerSt>(&mut eng, "bfs_worker::returnNl", move |ctx, st| {
             let nargs = ctx.args().len();
             let round = st.round;
-            let job = kvmsr::JobId(*jc.borrow());
+            let job = kvmsr::JobId(*jc.lock().unwrap());
             for i in 0..nargs {
                 let d = ctx.arg(i);
                 rt.emit_uncounted(ctx, job, d, &[round]);
@@ -329,7 +329,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
                 let d = task.key;
                 let round = vals[0];
                 ctx.charge(2); // visited probe
-                if !visited.borrow_mut().insert(d) {
+                if !visited.lock().unwrap().insert(d) {
                     return Outcome::Done;
                 }
                 let next_parity = ((round + 1) & 1) as usize;
@@ -337,7 +337,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
                 // Append to this lane's accelerator-local next frontier.
                 let my_accel = ctx.nwid().0 / lanes_per_accel;
                 let slot = {
-                    let mut c = cursors.borrow_mut();
+                    let mut c = cursors.lock().unwrap();
                     let e = c.entry((round + 1, my_accel)).or_insert(0);
                     let s = *e;
                     *e += 1;
@@ -367,22 +367,22 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
             }),
         )
     };
-    *job_cell.borrow_mut() = bfs_job.0;
+    *job_cell.lock().unwrap() = bfs_job.0;
 
     // ---- round driver ----------------------------------------------------
-    let round_ticks: Rc<RefCell<Vec<u64>>> = Rc::default();
-    let traversed: Rc<RefCell<u64>> = Rc::default();
+    let round_ticks: Arc<Mutex<Vec<u64>>> = Arc::default();
+    let traversed: Arc<Mutex<u64>> = Arc::default();
     let mut driver = udweave::ThreadType::<DriverSt>::new("main_master");
-    let start_label: Rc<RefCell<u16>> = Rc::default();
+    let start_label: Arc<Mutex<u16>> = Arc::default();
     let added_ret = {
         let start_label = start_label.clone();
         let round_ticks = round_ticks.clone();
         let traversed = traversed.clone();
         driver.event(&mut eng, "reduce_launcher_done", move |ctx, st| {
             let new_added = ctx.arg(0);
-            round_ticks.borrow_mut().push(ctx.now());
+            round_ticks.lock().unwrap().push(ctx.now());
             if new_added == 0 {
-                *traversed.borrow_mut() = st.traversed;
+                *traversed.lock().unwrap() = st.traversed;
                 ctx.stop();
                 ctx.yield_terminate();
                 return;
@@ -391,7 +391,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
             let parity = (st.round + 1) & 1;
             ctx.send_dram_write(added.word(parity), &[0], None);
             st.round += 1;
-            let rs = updown_sim::EventLabel(*start_label.borrow());
+            let rs = updown_sim::EventLabel(*start_label.lock().unwrap());
             let me = ctx.self_event(rs);
             ctx.send_event(me, [], EventWord::IGNORE);
         })
@@ -409,7 +409,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
             rt.start_from(ctx, bfs_job, n_accels as u64, st.round, cont);
         })
     };
-    *start_label.borrow_mut() = round_start.0;
+    *start_label.lock().unwrap() = round_start.0;
 
     eng.send(
         EventWord::new(NetworkId(0), round_start),
@@ -420,8 +420,8 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
 
     let mem = eng.mem();
     let dist_out: Vec<u64> = (0..n).map(|v| mem.read_u64(dist.word(v)).unwrap()).collect();
-    let round_ticks_out = round_ticks.borrow().clone();
-    let traversed_out = *traversed.borrow();
+    let round_ticks_out = round_ticks.lock().unwrap().clone();
+    let traversed_out = *traversed.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     BfsResult {
         dist: dist_out,

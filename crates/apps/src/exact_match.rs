@@ -7,8 +7,8 @@
 //! probing the SHT and appending hits to a result region. The reduction
 //! provides only synchronization, exactly the Table-3 characterization.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use drammalloc::{Layout, Region};
 use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
@@ -110,7 +110,7 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
     // Registered queries: a device-resident table. Loaded in-sim so the
     // load is part of the machine's work (it is tiny next to the scan).
     let qtable = sht.create(&mut eng, set, 64, 16, layout);
-    let hits: Rc<RefCell<Vec<u64>>> = Rc::default();
+    let hits: Arc<Mutex<Vec<u64>>> = Arc::default();
 
     let probe_ret = {
         let rt = rt.clone();
@@ -119,7 +119,7 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
             let found = ctx.arg(0);
             if found != 0 {
                 // A hit: record it (stands for the artifact's alert print).
-                hits.borrow_mut().push(st.recid);
+                hits.lock().unwrap().push(st.recid);
                 ctx.charge(2);
                 ctx.print(&format!("ExactMatch: record {} matched", st.recid));
             }
@@ -154,7 +154,7 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
     }));
 
     // Query loading as a tiny do_all over the query list.
-    let queries_vec: Rc<Vec<Query>> = Rc::new(queries.to_vec());
+    let queries_vec: Arc<Vec<Query>> = Arc::new(queries.to_vec());
     let load_job = {
         let sht2 = sht.clone();
         let queries_vec = queries_vec.clone();
@@ -183,7 +183,7 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
     eng.send(EventWord::new(NetworkId(0), init), [], EventWord::IGNORE);
     let report = eng.run();
 
-    let mut out = hits.borrow().clone();
+    let mut out = hits.lock().unwrap().clone();
     out.sort_unstable();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     EmResult {

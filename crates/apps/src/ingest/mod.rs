@@ -7,8 +7,8 @@
 pub mod datagen;
 pub mod tform;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use drammalloc::{Layout, Region};
 use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
@@ -163,8 +163,8 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     );
 
     // ---- phase 1: TFORM parse over blocks ------------------------------------
-    let per_block = Rc::new(per_block);
-    let prefix = Rc::new(prefix);
+    let per_block = Arc::new(per_block);
+    let prefix = Arc::new(prefix);
     // Record writes are acked so phase 2 can never read a record slot
     // before its write has been serviced ("synchronizing and ordering as
     // necessary", §5.2.4).
@@ -276,17 +276,17 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     }));
 
     // ---- driver: phase 1 then phase 2 ---------------------------------------
-    let p1_tick: Rc<RefCell<u64>> = Rc::default();
-    let p2_tick: Rc<RefCell<u64>> = Rc::default();
+    let p1_tick: Arc<Mutex<u64>> = Arc::default();
+    let p2_tick: Arc<Mutex<u64>> = Arc::default();
     let p2t = p2_tick.clone();
     let p2_done = udweave::simple_event(&mut eng, "main::phase2_done", move |ctx| {
-        *p2t.borrow_mut() = ctx.now();
+        *p2t.lock().unwrap() = ctx.now();
         ctx.stop();
     });
     let p1t = p1_tick.clone();
     let rt2 = rt.clone();
     let p1_done = udweave::simple_event(&mut eng, "main::phase1_done", move |ctx| {
-        *p1t.borrow_mut() = ctx.now();
+        *p1t.lock().unwrap() = ctx.now();
         let cont = EventWord::new(ctx.nwid(), p2_done);
         rt2.start_from(ctx, phase2, n_records, 0, cont);
         ctx.yield_terminate();
@@ -302,8 +302,8 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     let report = eng.run();
 
     let (vertices, edges) = pga.counts(&sht);
-    let phase1_tick = *p1_tick.borrow();
-    let phase2_tick = *p2_tick.borrow();
+    let phase1_tick = *p1_tick.lock().unwrap();
+    let phase2_tick = *p2_tick.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     IngestResult {
         phase1_tick,

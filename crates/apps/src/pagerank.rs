@@ -22,8 +22,8 @@
 //! The stored arrays keep the "raw sum" `S`; `pr = (1-d)/n + d·S` is
 //! applied on read, avoiding an extra finalize sweep.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use drammalloc::{Layout, Region};
 use kvmsr::{JobSpec, Kvmsr, MapTask, Outcome};
@@ -175,9 +175,9 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
 
     // Current iteration, shared with reduce/map closures (sequential jobs,
     // a host cell shadowing a broadcast register).
-    let cur_iter: Rc<RefCell<u32>> = Rc::default();
-    let iter_ticks: Rc<RefCell<Vec<u64>>> = Rc::default();
-    let emitted: Rc<RefCell<u64>> = Rc::default();
+    let cur_iter: Arc<Mutex<u32>> = Arc::default();
+    let iter_ticks: Arc<Mutex<Vec<u64>>> = Arc::default();
+    let emitted: Arc<Mutex<u64>> = Arc::default();
 
     // ---- the kv_map / returnRead structure of Listing 3 -----------------
     let ret_nl = {
@@ -230,7 +230,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
             let src = if use_subs {
                 totals.word(st.root)
             } else {
-                let parity = (*cur_iter.borrow() % 2) as usize;
+                let parity = (*cur_iter.lock().unwrap() % 2) as usize;
                 arrays[parity].word(st.root)
             };
             ctx.send_dram_read(src, 1, ret_s);
@@ -238,7 +238,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     };
 
     // kv_reduce: accumulate into the next array (key = sub or root id).
-    let reduce_cache: Rc<RefCell<std::collections::HashMap<u32, CombiningCache>>> = Rc::default();
+    let reduce_cache: Arc<Mutex<std::collections::HashMap<u32, CombiningCache>>> = Arc::default();
     let combining = cfg.combining;
     // Acked flush: the epilogue completes only after every drained entry's
     // fetch-and-add has been serviced, so the aggregate job (or the next
@@ -275,7 +275,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
                 Outcome::Async
             })
             .with_reduce(move |ctx, task, vals, _rt| {
-                let parity = *cur_iter.borrow() % 2;
+                let parity = *cur_iter.lock().unwrap() % 2;
                 let next = arrays[1 - parity as usize];
                 let va = next.word(task.key);
                 let delta = f64::from_bits(vals[0]);
@@ -283,7 +283,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
                 if combining {
                     let lane = ctx.nwid().0;
                     let cache = {
-                        let mut rc = reduce_cache.borrow_mut();
+                        let mut rc = reduce_cache.lock().unwrap();
                         match rc.get(&lane) {
                             Some(c) => *c,
                             None => {
@@ -305,7 +305,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
                 if !combining {
                     return Outcome::Done;
                 }
-                let cache = reduce_cache_epi.borrow().get(&ctx.nwid().0).copied();
+                let cache = reduce_cache_epi.lock().unwrap().get(&ctx.nwid().0).copied();
                 let entries = match cache {
                     Some(c) => c.drain(ctx),
                     None => Vec::new(),
@@ -327,7 +327,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let zero_job = {
         let cur_iter = cur_iter.clone();
         kvmsr::define_do_all(&rt, "pagerank_zero", set, move |ctx, key, _arg| {
-            let parity = *cur_iter.borrow() % 2;
+            let parity = *cur_iter.lock().unwrap() % 2;
             let next = arrays[1 - parity as usize];
             ctx.send_dram_write(next.word(key), &[0f64.to_bits()], None);
         })
@@ -358,7 +358,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
             debug_assert!(b > a, "every vertex has at least one sub");
             // cur_iter has not advanced yet: the freshly accumulated array
             // is 1 - parity.
-            let parity = (*cur_iter.borrow() % 2) as usize;
+            let parity = (*cur_iter.lock().unwrap() % 2) as usize;
             let acc = arrays[1 - parity];
             let mut off = a;
             while off < b {
@@ -383,22 +383,22 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let iters = cfg.iterations;
     let n_sub = dsg.n_sub;
     let mut driver = udweave::ThreadType::<DriverSt>::new("pr_driver");
-    let zero_label: Rc<RefCell<u16>> = Rc::default();
+    let zero_label: Arc<Mutex<u16>> = Arc::default();
     let iter_done_body = {
         let cur_iter = cur_iter.clone();
         let iter_ticks = iter_ticks.clone();
         let rt = rt.clone();
         let zero_label = zero_label.clone();
-        Rc::new(
+        Arc::new(
             move |ctx: &mut updown_sim::EventCtx<'_>, st: &mut DriverSt| {
-                iter_ticks.borrow_mut().push(ctx.now());
+                iter_ticks.lock().unwrap().push(ctx.now());
                 st.iter += 1;
-                *cur_iter.borrow_mut() = st.iter;
+                *cur_iter.lock().unwrap() = st.iter;
                 if st.iter == iters {
                     ctx.stop();
                     ctx.yield_terminate();
                 } else {
-                    let zd = updown_sim::EventLabel(*zero_label.borrow());
+                    let zd = updown_sim::EventLabel(*zero_label.lock().unwrap());
                     let cont = ctx.self_event(zd);
                     rt.start_from(ctx, zero_job, n_acc, 0, cont);
                 }
@@ -414,7 +414,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
         let emitted = emitted.clone();
         let body = iter_done_body.clone();
         driver.event(&mut eng, "iter_done", move |ctx, st| {
-            *emitted.borrow_mut() = ctx.arg(1);
+            *emitted.lock().unwrap() = ctx.arg(1);
             if use_subs {
                 let cont = ctx.self_event(agg_done_l);
                 rt.start_from(ctx, agg_job, n, 0, cont);
@@ -430,7 +430,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
             rt.start_from(ctx, map_job, n_sub, 0, cont);
         })
     };
-    *zero_label.borrow_mut() = zero_done_l.0;
+    *zero_label.lock().unwrap() = zero_done_l.0;
     let init_l = {
         let rt = rt.clone();
         driver.event(&mut eng, "updown_init", move |ctx, _st| {
@@ -464,8 +464,8 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
             .map(|v| base + damping * mem.read_f64(arrays[final_parity].word(v)).unwrap())
             .collect()
     };
-    let iter_ticks_out = iter_ticks.borrow().clone();
-    let emitted_out = *emitted.borrow();
+    let iter_ticks_out = iter_ticks.lock().unwrap().clone();
+    let emitted_out = *emitted.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     PrResult {
         values,

@@ -14,9 +14,9 @@
 //! re-propagate existing state through older edges) — the streaming
 //! partial-match semantics, not an offline subgraph enumeration.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use drammalloc::{Layout, Region};
 use udweave::LaneSet;
@@ -163,10 +163,10 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     let state = sht.create(&mut eng, set, bl, eb, layout);
     let match_cell = Region::alloc_words(&mut eng, 1, Layout::cyclic(1)).expect("matches");
 
-    let inject_time: Rc<RefCell<HashMap<u64, u64>>> = Rc::default();
-    let latencies: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
-    let matches: Rc<RefCell<u64>> = Rc::default();
-    let in_flight: Rc<std::cell::Cell<u64>> = Rc::default();
+    let inject_time: Arc<Mutex<HashMap<u64, u64>>> = Arc::default();
+    let latencies: Arc<Mutex<Vec<(u64, u64)>>> = Arc::default();
+    let matches: Arc<Mutex<u64>> = Arc::default();
+    let in_flight: Arc<std::sync::atomic::AtomicU64> = Arc::default();
     let credit_cap = cfg.inflight_per_lane as u64 * cfg.lanes as u64;
     let pattern = cfg.pattern.clone();
     let plen = pattern.len() as u64;
@@ -177,11 +177,11 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
         let latencies = latencies.clone();
         let in_flight = in_flight.clone();
         udweave::event::<RecSt>(&mut eng, "pm::complete", move |ctx, st| {
-            let t0 = inject_time.borrow()[&st.recid];
+            let t0 = inject_time.lock().unwrap()[&st.recid];
             latencies
-                .borrow_mut()
+                .lock().unwrap()
                 .push((st.recid, ctx.now().saturating_sub(t0)));
-            in_flight.set(in_flight.get() - 1);
+            in_flight.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
             ctx.yield_terminate();
         })
     };
@@ -210,7 +210,7 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
             }
             if new & (1 << plen) != 0 {
                 // Full match: the alert the artifact prints to the terminal.
-                *matches.borrow_mut() += 1;
+                *matches.lock().unwrap() += 1;
                 ctx.dram_fetch_add_u64(match_cell.base, 1, None, None);
                 ctx.print(&format!(
                     "startPartialMatch: srcID: {}, dstID: {}, type_oid: {} -- MATCH",
@@ -247,7 +247,7 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     };
 
     // ---- feeders: the network stream arrives at several ingress lanes ----
-    let recs: Rc<Vec<RawRecord>> = Rc::new(records.to_vec());
+    let recs: Arc<Vec<RawRecord>> = Arc::new(records.to_vec());
     let n_feeders = cfg.feeders.clamp(1, cfg.lanes);
     let batch = cfg.batch.max(1);
     let per_batch = batch.div_ceil(n_feeders as usize).max(1);
@@ -267,7 +267,7 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
             let mut sent = 0;
             while sent < st.per_batch
                 && st.next < recs.len()
-                && in_flight.get() < credit_cap
+                && in_flight.load(std::sync::atomic::Ordering::Relaxed) < credit_cap
             {
                 let idx = st.next;
                 let r = &recs[idx];
@@ -275,8 +275,8 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
                 // the port (its place in the stream schedule), so port
                 // backpressure queueing is included.
                 let nominal = (idx as u64 / batch as u64) * interval;
-                inject_time.borrow_mut().insert(idx as u64, nominal);
-                in_flight.set(in_flight.get() + 1);
+                inject_time.lock().unwrap().insert(idx as u64, nominal);
+                in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let lane = set.lane(idx as u32 % lanes);
                 ctx.send_event(
                     EventWord::new(lane, rec_proc),
@@ -305,7 +305,7 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     }
     let report = eng.run();
 
-    let mut lat = latencies.borrow().clone();
+    let mut lat = latencies.lock().unwrap().clone();
     if lat.len() != records.len() {
         let mut seen = std::collections::HashMap::new();
         for (id, _) in &lat {
@@ -325,7 +325,7 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
         );
     }
     lat.sort_unstable();
-    let matches_out = *matches.borrow();
+    let matches_out = *matches.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     PmResult {
         matches: matches_out,

@@ -12,8 +12,8 @@
 
 use drammalloc::{Layout, Region};
 use kvmsr::{JobSpec, Kvmsr, MapBinding, MapTask, Outcome};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 use udweave::LaneSet;
 use updown_graph::{Csr, DeviceCsr};
 use updown_sim::{Engine, EventWord, MachineConfig, NetworkId, Metrics, VAddr};
@@ -179,8 +179,8 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     }
 
     let red_fin2 = red_fin.clone();
-    let red_chunk_label: Rc<RefCell<updown_sim::EventLabel>> =
-        Rc::new(RefCell::new(updown_sim::EventLabel(u16::MAX)));
+    let red_chunk_label: Arc<Mutex<updown_sim::EventLabel>> =
+        Arc::new(Mutex::new(updown_sim::EventLabel(u16::MAX)));
     let red_chunk = {
         let rcl = red_chunk_label.clone();
         udweave::event::<TcRedSt>(&mut eng, "tc_reduce::returnChunk", move |ctx, st| {
@@ -207,12 +207,12 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
                 }
                 return;
             }
-            let me = *rcl.borrow();
+            let me = *rcl.lock().unwrap();
             request_next(st, ctx, 0, me);
             request_next(st, ctx, 1, me);
         })
     };
-    *red_chunk_label.borrow_mut() = red_chunk;
+    *red_chunk_label.lock().unwrap() = red_chunk;
 
     // SpdReuse: the smaller list is already in scratchpad (st.spd_list);
     // stream the larger one against it.
@@ -374,10 +374,10 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     );
 
     // ---- driver -----------------------------------------------------------
-    let pairs: Rc<RefCell<u64>> = Rc::default();
+    let pairs: Arc<Mutex<u64>> = Arc::default();
     let p2 = pairs.clone();
     let done = udweave::simple_event(&mut eng, "main_master::tc_launcher_done", move |ctx| {
-        *p2.borrow_mut() = ctx.arg(1);
+        *p2.lock().unwrap() = ctx.arg(1);
         ctx.stop();
     });
     let rt2 = rt.clone();
@@ -392,7 +392,7 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
 
     let raw = eng.mem().read_u64(total.base).unwrap();
     assert_eq!(raw % 3, 0, "pair-intersection total must be 3 × triangles");
-    let pairs_out = *pairs.borrow();
+    let pairs_out = *pairs.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
     TcResult {
         triangles: raw / 3,

@@ -7,8 +7,8 @@
 //! 4. KVMSR in-flight window sweep.
 
 use bench::timing::bench_host;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use kvmsr::{JobSpec, Kvmsr, MapBinding, Outcome};
 use udweave::{simple_event, LaneSet};
@@ -51,16 +51,16 @@ fn skew_job_ticks(binding: MapBinding, window: u32) -> u64 {
         .map_binding(binding)
         .window(window),
     );
-    let done: Rc<RefCell<bool>> = Rc::default();
+    let done: Arc<Mutex<bool>> = Arc::default();
     let d = done.clone();
     let fin = simple_event(&mut eng, "fin", move |ctx| {
-        *d.borrow_mut() = true;
+        *d.lock().unwrap() = true;
         ctx.stop();
     });
     let (evw, args) = rt.start_msg(job, 8192, 0);
     eng.send(evw, args, EventWord::new(NetworkId(0), fin));
     let r = eng.run();
-    assert!(*done.borrow());
+    assert!(*done.lock().unwrap());
     r.final_tick
 }
 
@@ -91,16 +91,16 @@ fn window_job_ticks(window: u32) -> u64 {
         })
         .window(window),
     );
-    let done: Rc<RefCell<bool>> = Rc::default();
+    let done: Arc<Mutex<bool>> = Arc::default();
     let d = done.clone();
     let fin = simple_event(&mut eng, "fin", move |ctx| {
-        *d.borrow_mut() = true;
+        *d.lock().unwrap() = true;
         ctx.stop();
     });
     let (evw, args) = rt.start_msg(job, 8192, 0);
     eng.send(evw, args, EventWord::new(NetworkId(0), fin));
     let r = eng.run();
-    assert!(*done.borrow());
+    assert!(*done.lock().unwrap());
     r.final_tick
 }
 

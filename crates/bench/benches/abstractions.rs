@@ -3,8 +3,8 @@
 //! tree.
 
 use bench::timing::bench_host;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use drammalloc::Layout;
 use kvmsr::{JobSpec, Kvmsr, Outcome};
@@ -48,10 +48,10 @@ fn tree_broadcast_ticks(lanes: u32) -> u64 {
     });
     let tree = TreeComm::install(&mut eng, "t", 8);
     let set = LaneSet::new(NetworkId(0), lanes);
-    let done: Rc<RefCell<bool>> = Rc::default();
+    let done: Arc<Mutex<bool>> = Arc::default();
     let d = done.clone();
     let fin = simple_event(&mut eng, "fin", move |ctx| {
-        *d.borrow_mut() = true;
+        *d.lock().unwrap() = true;
         ctx.stop();
     });
     let kick = simple_event(&mut eng, "kick", move |ctx| {
@@ -62,7 +62,7 @@ fn tree_broadcast_ticks(lanes: u32) -> u64 {
     });
     eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
     let r = eng.run();
-    assert!(*done.borrow());
+    assert!(*done.lock().unwrap());
     r.final_tick
 }
 

@@ -3,17 +3,17 @@
 
 use bench::timing::bench_host;
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use updown_sim::{
     Engine, EventCtx, EventWord, MachineConfig, NetworkId, TranslationDescriptor, VAddr,
 };
 
 fn fanout_run(lanes: u32, msgs: u32) -> u64 {
     let mut eng = Engine::new(MachineConfig::small(1, 1, lanes));
-    let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+    let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
     let fan = eng.register(
         "fan",
-        Rc::new(move |ctx: &mut EventCtx| {
+        Arc::new(move |ctx: &mut EventCtx| {
             for i in 0..msgs {
                 ctx.send_event(
                     EventWord::new(NetworkId(i % lanes), sink),
@@ -40,7 +40,7 @@ fn dram_pipeline_run(reads: u64) -> u64 {
     });
     let go = eng.register(
         "go",
-        Rc::new(move |ctx: &mut EventCtx| {
+        Arc::new(move |ctx: &mut EventCtx| {
             for i in 0..reads {
                 ctx.send_dram_read(VAddr(data.0).word(i), 1, ret);
             }

@@ -3,14 +3,14 @@
 //! cost of simulating them (the simulator's own speed).
 
 use bench::timing::bench_host;
-use std::rc::Rc;
+use std::sync::Arc;
 use updown_sim::{Engine, EventCtx, EventWord, MachineConfig, NetworkId};
 
 /// Simulated busy-cycles of one event whose body is `f`.
-fn event_cost(f: impl Fn(&mut EventCtx<'_>) + 'static) -> u64 {
+fn event_cost(f: impl Fn(&mut EventCtx<'_>) + Send + Sync + 'static) -> u64 {
     let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
     eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
-    let l = eng.register("probe", Rc::new(f));
+    let l = eng.register("probe", Arc::new(f));
     eng.send(EventWord::new(NetworkId(0), l), [], EventWord::IGNORE);
     let r = eng.run();
     // Only lane 0's busy time for the probe event itself.
@@ -34,10 +34,10 @@ fn assert_table2() {
     // Send message: 2 cycles.
     let send = {
         let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
-        let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
         let l = eng.register(
             "send",
-            Rc::new(move |ctx: &mut EventCtx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 ctx.send_event(EventWord::new(ctx.nwid().next(), sink), [], EventWord::IGNORE);
                 ctx.yield_terminate();
             }),
@@ -59,7 +59,7 @@ fn main() {
         let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
         let l = eng.register(
             "spin",
-            Rc::new(|ctx: &mut EventCtx| {
+            Arc::new(|ctx: &mut EventCtx| {
                 if ctx.arg(0) < 1000 {
                     let me = ctx.cur_evw();
                     let n = ctx.arg(0) + 1;

@@ -9,13 +9,13 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline_compare -- [--scale 14]
-//!     [--nodes 16] [--seed 0] [--trace out.trace.json]
+//!     [--nodes 16] [--seed 0] [--threads 1] [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine, Cli, Exporter};
+use bench::{bench_machine, bench_machine_threads, Cli, Exporter};
 use updown_apps::baseline;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -29,6 +29,7 @@ fn main() {
     let scale: u32 = cli.get("scale", 14);
     let nodes: u32 = cli.get("nodes", 16);
     let seed: u64 = cli.get("seed", 0);
+    let sim_threads: u32 = cli.get("threads", 1).max(1);
     let mut ex = Exporter::from_cli(&cli);
     let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
 
@@ -54,7 +55,7 @@ fn main() {
     // ---- PageRank: giga-updates/second ---------------------------------
     let sg = split_in_out(&g, 512);
     let mut pc = PrConfig::new(nodes);
-    pc.machine = bench_machine(nodes);
+    pc.machine = bench_machine_threads(nodes, sim_threads);
     pc.iterations = 2;
     pc.trace = ex.want_trace();
     let pr = run_pagerank(&sg, &pc);
@@ -78,7 +79,7 @@ fn main() {
 
     // ---- BFS: giga-traversed-edges/second --------------------------------
     let mut bc = BfsConfig::new(nodes, 0);
-    bc.machine = bench_machine(nodes);
+    bc.machine = bench_machine_threads(nodes, sim_threads);
     let bfs = run_bfs(&gu, &bc);
     assert_eq!(bfs.dist, algorithms::bfs(&gu, 0));
     let ud_gteps = bfs.gteps(&bc.machine);
@@ -95,7 +96,7 @@ fn main() {
 
     // ---- TC: edges/second ---------------------------------------------------
     let mut tcfg = TcConfig::new(nodes);
-    tcfg.machine = bench_machine(nodes);
+    tcfg.machine = bench_machine_threads(nodes, sim_threads);
     let tc = run_tc(&gu, &tcfg);
     let ud_eps = gu.m() as f64 / tcfg.machine.ticks_to_seconds(tc.final_tick) / 1e9;
     let (host_tc, host_secs) = baseline::time(|| baseline::tc_parallel(&gu, threads));

@@ -3,11 +3,11 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure10 -- [--nodes 32]
-//!     [--base-records 20000] [--seed 0] [--full]
+//!     [--base-records 20000] [--seed 0] [--threads 1] [--full]
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{bench_machine, node_sweep, Cli, StdOpts};
+use bench::{bench_machine_threads, node_sweep, Cli, StdOpts};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -31,7 +31,7 @@ fn main() {
         let mut s = Series::new(label);
         for &n in &nodes {
             let mut cfg = IngestConfig::new(n);
-            cfg.machine = bench_machine(n);
+            cfg.machine = bench_machine_threads(n, opts.threads);
             cfg.trace = ex.want_trace();
             let r = run_ingest(&ds, &cfg);
             ex.export(&format!("ingest {label} nodes={n}"), &r.report, r.trace_json.as_deref());

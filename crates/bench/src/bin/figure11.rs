@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure11 -- [--records 4000] [--seed 0]
-//!     [--full] [--trace out.trace.json] [--metrics-json out.metrics.json]
+//!     [--threads 1] [--full] [--trace out.trace.json]
+//!     [--metrics-json out.metrics.json]
 //! ```
 
 use bench::{Cli, Exporter, BENCH_ACCELS, BENCH_LANES};
@@ -16,6 +17,7 @@ fn main() {
     let full = cli.has("full");
     let n_records: usize = cli.get("records", if full { 400_000 } else { 150_000 });
     let seed: u64 = cli.get("seed", 0);
+    let threads: u32 = cli.get("threads", 1).max(1);
     let mut ex = Exporter::from_cli(&cli);
     let lanes_per_node = BENCH_ACCELS * BENCH_LANES;
 
@@ -42,6 +44,7 @@ fn main() {
         let nodes = frac_num.div_ceil(frac_den).max(1);
         let mut cfg = PmConfig::new(lanes, pattern.clone());
         cfg.machine = MachineConfig::small(nodes, BENCH_ACCELS, BENCH_LANES);
+        cfg.machine.threads = threads;
         cfg.batch = cli.get("batch", 96);
         cfg.interval = cli.get("interval", 32);
         cfg.feeders = 8;

@@ -4,12 +4,13 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure12 -- [--nodes 64] [--seed 0]
-//!     [--full] [--trace out.trace.json] [--metrics-json out.metrics.json]
+//!     [--threads 1] [--full] [--trace out.trace.json]
+//!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine, prepared, Cli, Exporter};
+use bench::{bench_machine_threads, prepared, Cli, Exporter};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
@@ -21,6 +22,7 @@ fn main() {
     let compute_nodes: u32 = cli.get("nodes", 64);
     let scale: u32 = cli.get("scale", if full { 17 } else { 16 });
     let seed: u64 = cli.get("seed", 0);
+    let threads: u32 = cli.get("threads", 1).max(1);
     let mut ex = Exporter::from_cli(&cli);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
@@ -40,7 +42,7 @@ fn main() {
     let mut mem = 2u32;
     while mem <= compute_nodes {
         let mut pc = PrConfig::new(compute_nodes);
-        pc.machine = bench_machine(compute_nodes);
+        pc.machine = bench_machine_threads(compute_nodes, threads);
         pc.mem_nodes = Some(mem);
         pc.iterations = 1;
         pc.trace = ex.want_trace();
@@ -48,7 +50,7 @@ fn main() {
         ex.export(&format!("pr mem_nodes={mem}"), &pr.report, pr.trace_json.as_deref());
 
         let mut bc = BfsConfig::new(compute_nodes, 0);
-        bc.machine = bench_machine(compute_nodes);
+        bc.machine = bench_machine_threads(compute_nodes, threads);
         bc.mem_nodes = Some(mem);
         let bfs = run_bfs(&g, &bc);
 

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
-//!     [--nodes 32] [--scale 0] [--seed 0] [--iters 2] [--full]
+//!     [--nodes 32] [--scale 0] [--seed 0] [--iters 2] [--threads 1] [--full]
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 //!
@@ -13,15 +13,22 @@
 //! Chrome trace / metrics document (see docs/observability.md).
 
 use bench::{
-    bench_machine, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli, Exporter,
-    StdOpts,
+    bench_machine_threads, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli,
+    Exporter, StdOpts,
 };
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_apps::tc::{run_tc, TcConfig};
 
-fn pr_sweep(shift: i32, seed: u64, nodes: &[u32], iters: u32, ex: &mut Exporter) -> Vec<Series> {
+fn pr_sweep(
+    shift: i32,
+    seed: u64,
+    threads: u32,
+    nodes: &[u32],
+    iters: u32,
+    ex: &mut Exporter,
+) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
         let (sh, _) = updown_graph::preprocess::shuffle_ids(&el, 7);
@@ -29,7 +36,7 @@ fn pr_sweep(shift: i32, seed: u64, nodes: &[u32], iters: u32, ex: &mut Exporter)
         let mut s = Series::new(&name);
         for &n in nodes {
             let mut cfg = PrConfig::new(n);
-            cfg.machine = bench_machine(n);
+            cfg.machine = bench_machine_threads(n, threads);
             cfg.iterations = iters;
             cfg.trace = ex.want_trace();
             let r = run_pagerank(&sg, &cfg);
@@ -46,14 +53,14 @@ fn pr_sweep(shift: i32, seed: u64, nodes: &[u32], iters: u32, ex: &mut Exporter)
     out
 }
 
-fn bfs_sweep(shift: i32, seed: u64, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
+fn bfs_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
         let g = prepared(&el.clone().symmetrize());
         let mut s = Series::new(&name);
         for &n in nodes {
             let mut cfg = BfsConfig::new(n, 0);
-            cfg.machine = bench_machine(n);
+            cfg.machine = bench_machine_threads(n, threads);
             cfg.trace = ex.want_trace();
             let r = run_bfs(&g, &cfg);
             ex.export(&format!("bfs {name} nodes={n}"), &r.report, r.trace_json.as_deref());
@@ -70,7 +77,7 @@ fn bfs_sweep(shift: i32, seed: u64, nodes: &[u32], ex: &mut Exporter) -> Vec<Ser
     out
 }
 
-fn tc_sweep(shift: i32, seed: u64, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
+fn tc_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
     let mut out = Vec::new();
     // TC is intersection-heavy: drop the graphs three scales relative to
     // PR/BFS (the paper similarly uses s25 for TC vs s28 elsewhere).
@@ -80,7 +87,7 @@ fn tc_sweep(shift: i32, seed: u64, nodes: &[u32], ex: &mut Exporter) -> Vec<Seri
         let mut triangles = None;
         for &n in nodes {
             let mut cfg = TcConfig::new(n);
-            cfg.machine = bench_machine(n);
+            cfg.machine = bench_machine_threads(n, threads);
             cfg.trace = ex.want_trace();
             let r = run_tc(&g, &cfg);
             ex.export(&format!("tc {name} nodes={n}"), &r.report, r.trace_json.as_deref());
@@ -120,7 +127,7 @@ fn main() {
     );
 
     if which == "pr" || which == "all" {
-        let series = pr_sweep(opts.scale_shift, opts.seed, &nodes, iters, &mut ex);
+        let series = pr_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, iters, &mut ex);
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
             "nodes",
@@ -128,7 +135,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(opts.scale_shift, opts.seed, &nodes, &mut ex);
+        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, &mut ex);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -137,7 +144,7 @@ fn main() {
     }
     if which == "tc" || which == "all" {
         let tc_nodes = node_sweep(if opts.full { 1024 } else { opts.max_nodes });
-        let series = tc_sweep(opts.scale_shift, opts.seed, &tc_nodes, &mut ex);
+        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, &tc_nodes, &mut ex);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",

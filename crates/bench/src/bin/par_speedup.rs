@@ -1,0 +1,89 @@
+//! Parallel-engine wall-clock speedup: the same figure9-style PageRank
+//! run executed by the sequential engine and by the parallel engine at a
+//! sweep of thread counts. Simulated results must be identical (the
+//! binary asserts it); only host wall-clock changes.
+//!
+//! ```text
+//! cargo run --release -p bench --bin par_speedup -- [--nodes 64]
+//!     [--scale 13] [--seed 0] [--iters 1] [--threads 1,2,4]
+//!     [--min-speedup 0]
+//! ```
+//!
+//! Here `--scale` is the absolute RMAT scale and `--threads` a
+//! comma-separated list of parallel thread counts to compare against the
+//! sequential baseline. `--min-speedup` (e.g. `1.5`) makes the binary
+//! exit non-zero when the best parallel speedup falls short — the
+//! acceptance gate used by CI.
+
+use bench::{bench_machine_threads, Cli};
+use updown_apps::pagerank::{run_pagerank, PrConfig};
+use updown_graph::generators::{rmat, RmatParams};
+use updown_graph::preprocess::split_and_shuffle;
+
+fn main() {
+    let cli = Cli::parse();
+    let nodes: u32 = cli.get("nodes", 64);
+    let scale: u32 = cli.get("scale", 13);
+    let seed: u64 = cli.get("seed", 0);
+    let iters: u32 = cli.get("iters", 1);
+    let threads_list: Vec<u32> = cli
+        .opt::<String>("threads")
+        .unwrap_or_else(|| "1,2,4".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&t| t > 1)
+        .collect();
+    let min_speedup: f64 = cli.get("min-speedup", 0.0);
+
+    let el = rmat(scale, RmatParams::default(), 48 ^ seed);
+    let (sg, _) = split_and_shuffle(&el, 512, 7);
+
+    println!(
+        "Parallel-engine speedup — PageRank, RMAT s{scale}, {nodes} nodes, \
+         {iters} iteration(s)"
+    );
+
+    let run = |threads: u32| {
+        let mut cfg = PrConfig::new(nodes);
+        cfg.machine = bench_machine_threads(nodes, threads);
+        cfg.iterations = iters;
+        let t0 = std::time::Instant::now();
+        let r = run_pagerank(&sg, &cfg);
+        (r, t0.elapsed().as_secs_f64())
+    };
+
+    let (base, base_secs) = run(1);
+    let base_json = base.report.to_json();
+    println!(
+        "\n{:>10} {:>12} {:>14} {:>10} {:>10}",
+        "threads", "wall (s)", "final tick", "speedup", "identical"
+    );
+    println!(
+        "{:>10} {:>12.3} {:>14} {:>10.2} {:>10}",
+        1, base_secs, base.final_tick, 1.0, "-"
+    );
+
+    let mut best = 0.0f64;
+    for &t in &threads_list {
+        let (r, secs) = run(t);
+        let same = r.final_tick == base.final_tick && r.report.to_json() == base_json;
+        assert!(
+            same,
+            "parallel run at {t} threads diverged from the sequential engine"
+        );
+        let sp = base_secs / secs;
+        best = best.max(sp);
+        println!(
+            "{:>10} {:>12.3} {:>14} {:>10.2} {:>10}",
+            t, secs, r.final_tick, sp, "yes"
+        );
+    }
+
+    if min_speedup > 0.0 {
+        assert!(
+            best >= min_speedup,
+            "best parallel speedup {best:.2}x is below the required {min_speedup:.2}x"
+        );
+        println!("\nbest speedup {best:.2}x >= required {min_speedup:.2}x");
+    }
+}

@@ -1,7 +1,7 @@
 //! The unified command-line surface of the figure binaries.
 //!
 //! Every binary parses [`Cli`] and understands the shared flags in
-//! [`StdOpts`] (`--nodes`, `--scale`, `--seed`, `--trace`,
+//! [`StdOpts`] (`--nodes`, `--scale`, `--seed`, `--threads`, `--trace`,
 //! `--metrics-json`, `--full`) on top of its own specifics. The
 //! [`Exporter`] turns the observability flags into files: when a binary
 //! sweeps many configurations, the *first* simulated run is the one that
@@ -72,6 +72,9 @@ pub struct StdOpts {
     pub scale_shift: i32,
     /// `--seed`: generator seed.
     pub seed: u64,
+    /// `--threads`: simulator worker threads (1 = sequential engine).
+    /// Results are byte-identical across values; only wall-clock changes.
+    pub threads: u32,
     /// `--full`: paper-sized sweep.
     pub full: bool,
     /// `--trace <path>` / `--metrics-json <path>` exporter.
@@ -99,6 +102,7 @@ impl StdOpts {
             max_nodes,
             scale_shift,
             seed: cli.get("seed", 0),
+            threads: cli.get("threads", 1).max(1),
             full,
             exporter: Exporter::from_cli(cli),
         }
@@ -183,6 +187,7 @@ mod tests {
         assert_eq!(o.max_nodes, 8);
         assert_eq!(o.scale_shift, -2);
         assert_eq!(o.seed, 7);
+        assert_eq!(o.threads, 1, "sequential engine by default");
         assert!(!o.full);
         assert!(o.exporter.want_trace());
         assert_eq!(c.positional, vec!["pr"]);
@@ -194,6 +199,14 @@ mod tests {
         assert_eq!(o.max_nodes, 256);
         assert_eq!(o.scale_shift, 3);
         assert!(!o.exporter.want_trace());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_clamps() {
+        let o = StdOpts::parse(&cli(&["--threads", "4"]), (32, 256), (1, 3));
+        assert_eq!(o.threads, 4);
+        let o = StdOpts::parse(&cli(&["--threads", "0"]), (32, 256), (1, 3));
+        assert_eq!(o.threads, 1, "0 clamps to the sequential engine");
     }
 
     #[test]

@@ -38,6 +38,15 @@ pub fn bench_machine(nodes: u32) -> MachineConfig {
         .build()
 }
 
+/// [`bench_machine`] with the simulator's parallel engine enabled when
+/// `threads > 1`. Simulated results are byte-identical either way — the
+/// flag only changes host wall-clock (see docs/parallel-engine.md).
+pub fn bench_machine_threads(nodes: u32, threads: u32) -> MachineConfig {
+    let mut cfg = bench_machine(nodes);
+    cfg.threads = threads.max(1);
+    cfg
+}
+
 /// The graph menu used across Figure 9 (names echo the paper's inputs).
 pub fn graph_menu(scale_shift: i32) -> Vec<(String, EdgeList)> {
     graph_menu_seeded(scale_shift, 0)

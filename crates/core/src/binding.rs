@@ -13,7 +13,7 @@
 //! - **Custom** — any application-computed mapping, as in the paper's
 //!   `LaneID = (hash(key) % NRLanes) + 1stLane` pseudocode.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use udweave::LaneSet;
 use updown_sim::NetworkId;
@@ -124,7 +124,7 @@ pub enum ReduceBinding {
 }
 
 /// Application-supplied key → lane mapping for [`ReduceBinding::Custom`].
-pub type CustomBindingFn = Rc<dyn Fn(u64, &LaneSet) -> NetworkId>;
+pub type CustomBindingFn = Arc<dyn Fn(u64, &LaneSet) -> NetworkId + Send + Sync>;
 
 impl std::fmt::Debug for ReduceBinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -249,7 +249,7 @@ mod tests {
     fn custom_binding_matches_paper_pseudocode() {
         // LaneID = (hash(key) % NRLanes) + 1stLane
         let set = LaneSet::new(NetworkId(100), 16);
-        let b = ReduceBinding::Custom(Rc::new(|key, set| {
+        let b = ReduceBinding::Custom(Arc::new(|key, set| {
             set.lane((key_hash(key) % set.count as u64) as u32)
         }));
         for k in 0..100 {

@@ -14,7 +14,7 @@ pub fn define_do_all(
     rt: &Kvmsr,
     name: &str,
     set: LaneSet,
-    f: impl Fn(&mut EventCtx<'_>, u64, u64) + 'static,
+    f: impl Fn(&mut EventCtx<'_>, u64, u64) + Send + Sync + 'static,
 ) -> JobId {
     rt.define_job(JobSpec::new(name, set, move |ctx, task, _rt| {
         f(ctx, task.key, task.arg);
@@ -25,8 +25,8 @@ pub fn define_do_all(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
+    use std::sync::Arc;
     use udweave::simple_event;
     use updown_sim::{Engine, EventWord, MachineConfig, NetworkId};
 
@@ -34,17 +34,17 @@ mod tests {
     fn do_all_runs_per_key() {
         let mut eng = Engine::new(MachineConfig::small(1, 2, 4));
         let rt = Kvmsr::install(&mut eng);
-        let acc: Rc<RefCell<u64>> = Rc::default();
+        let acc: Arc<Mutex<u64>> = Arc::default();
         let acc2 = acc.clone();
         let set = LaneSet::new(NetworkId(0), 8);
         let job = define_do_all(&rt, "sum", set, move |ctx, key, arg| {
-            *acc2.borrow_mut() += key * arg;
+            *acc2.lock().unwrap() += key * arg;
             ctx.charge(2);
         });
         let done = simple_event(&mut eng, "done", |ctx| ctx.stop());
         let (evw, args) = rt.start_msg(job, 100, 3);
         eng.send(evw, args, EventWord::new(NetworkId(0), done));
         eng.run();
-        assert_eq!(*acc.borrow(), (0..100u64).sum::<u64>() * 3);
+        assert_eq!(*acc.lock().unwrap(), (0..100u64).sum::<u64>() * 3);
     }
 }

@@ -20,9 +20,9 @@
 //! PBMW launchers additionally request key chunks from the master lane
 //! when their initial block runs dry.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use udweave::{LaneSet, TreeComm};
 use updown_sim::{Engine, EventCtx, EventLabel, EventWord, NetworkId};
@@ -32,11 +32,12 @@ use crate::task::{JobId, MapTask, Outcome, ReduceTask};
 
 /// Application map function: may return [`Outcome::Async`] and finish in
 /// later events via [`Kvmsr::map_done`].
-pub type MapFn = Rc<dyn Fn(&mut EventCtx<'_>, &mut MapTask, &Kvmsr) -> Outcome>;
+pub type MapFn = Arc<dyn Fn(&mut EventCtx<'_>, &mut MapTask, &Kvmsr) -> Outcome + Send + Sync>;
 /// Application reduce function over one intermediate tuple.
-pub type ReduceFn = Rc<dyn Fn(&mut EventCtx<'_>, &ReduceTask, &[u64], &Kvmsr) -> Outcome>;
+pub type ReduceFn =
+    Arc<dyn Fn(&mut EventCtx<'_>, &ReduceTask, &[u64], &Kvmsr) -> Outcome + Send + Sync>;
 /// Per-lane epilogue handler (see [`JobSpec::epilogue`]).
-pub type EpilogueFn = Rc<dyn Fn(&mut EventCtx<'_>, EventWord) -> Outcome>;
+pub type EpilogueFn = Arc<dyn Fn(&mut EventCtx<'_>, EventWord) -> Outcome + Send + Sync>;
 
 /// A KVMSR job definition.
 pub struct JobSpec {
@@ -65,7 +66,7 @@ impl JobSpec {
     pub fn new(
         name: &str,
         set: LaneSet,
-        map: impl Fn(&mut EventCtx<'_>, &mut MapTask, &Kvmsr) -> Outcome + 'static,
+        map: impl Fn(&mut EventCtx<'_>, &mut MapTask, &Kvmsr) -> Outcome + Send + Sync + 'static,
     ) -> JobSpec {
         JobSpec {
             name: name.to_string(),
@@ -74,7 +75,7 @@ impl JobSpec {
             reduce_binding: ReduceBinding::Hash,
             window: 64,
             poll_interval: 400,
-            map: Rc::new(map),
+            map: Arc::new(map),
             reduce: None,
             epilogue: None,
         }
@@ -82,9 +83,9 @@ impl JobSpec {
 
     pub fn with_reduce(
         mut self,
-        f: impl Fn(&mut EventCtx<'_>, &ReduceTask, &[u64], &Kvmsr) -> Outcome + 'static,
+        f: impl Fn(&mut EventCtx<'_>, &ReduceTask, &[u64], &Kvmsr) -> Outcome + Send + Sync + 'static,
     ) -> JobSpec {
-        self.reduce = Some(Rc::new(f));
+        self.reduce = Some(Arc::new(f));
         self
     }
 
@@ -110,9 +111,9 @@ impl JobSpec {
 
     pub fn epilogue(
         mut self,
-        f: impl Fn(&mut EventCtx<'_>, EventWord) -> Outcome + 'static,
+        f: impl Fn(&mut EventCtx<'_>, EventWord) -> Outcome + Send + Sync + 'static,
     ) -> JobSpec {
-        self.epilogue = Some(Rc::new(f));
+        self.epilogue = Some(Arc::new(f));
         self
     }
 }
@@ -173,8 +174,8 @@ impl Default for Labels {
 /// The installed KVMSR runtime. Cheap to clone (shared internals).
 #[derive(Clone)]
 pub struct Kvmsr {
-    inner: Rc<RefCell<Inner>>,
-    labels: Rc<RefCell<Labels>>,
+    inner: Arc<Mutex<Inner>>,
+    labels: Arc<Mutex<Labels>>,
     tree: TreeComm,
 }
 
@@ -220,8 +221,8 @@ impl Kvmsr {
     /// Install the runtime's event handlers on an engine. Call once, before
     /// defining jobs.
     pub fn install(eng: &mut Engine) -> Kvmsr {
-        let inner: Rc<RefCell<Inner>> = Rc::default();
-        let labels: Rc<RefCell<Labels>> = Rc::default();
+        let inner: Arc<Mutex<Inner>> = Arc::default();
+        let labels: Arc<Mutex<Labels>> = Arc::default();
         let tree = TreeComm::install(eng, "kvmsr_tree", 8);
         let rt = Kvmsr {
             inner: inner.clone(),
@@ -239,7 +240,7 @@ impl Kvmsr {
                 let user_arg = ctx.arg(2);
                 st.cont_raw = ctx.cont().raw();
                 let (set, watermark) = {
-                    let mut inner = rt.inner.borrow_mut();
+                    let mut inner = rt.inner.lock().unwrap();
                     let spec = &inner.jobs[st.job as usize];
                     let set = spec.set;
                     let wm = spec.map_binding.pbmw_watermark(st.keys, set.count);
@@ -258,7 +259,7 @@ impl Kvmsr {
                 ctx.bump("kvmsr.jobs", 1);
                 ctx.phase_begin("map");
                 // Launch broadcast; acks aggregate to maps_done.
-                let lb = rt.labels.borrow();
+                let lb = rt.labels.lock().unwrap();
                 let args =
                     rt.tree
                         .start_args(set, lb.launch, &[st.job as u64, st.keys, user_arg]);
@@ -278,8 +279,8 @@ impl Kvmsr {
                     st.job
                 );
                 let (has_reduce, set, poll_probe, poll_result) = {
-                    let inner = rt.inner.borrow();
-                    let lb = rt.labels.borrow();
+                    let inner = rt.inner.lock().unwrap();
+                    let lb = rt.labels.lock().unwrap();
                     (
                         inner.jobs[st.job as usize].reduce.is_some(),
                         inner.jobs[st.job as usize].set,
@@ -310,8 +311,8 @@ impl Kvmsr {
                     return;
                 }
                 let (set, interval, poll_probe, poll_result) = {
-                    let inner = rt.inner.borrow();
-                    let lb = rt.labels.borrow();
+                    let inner = rt.inner.lock().unwrap();
+                    let lb = rt.labels.lock().unwrap();
                     let spec = &inner.jobs[st.job as usize];
                     (spec.set, spec.poll_interval, lb.poll_probe, lb.poll_result)
                 };
@@ -340,7 +341,7 @@ impl Kvmsr {
                 st.user_arg = ctx.arg(2);
                 st.ack = ctx.cont();
                 let (window, binding, set) = {
-                    let inner = rt.inner.borrow();
+                    let inner = rt.inner.lock().unwrap();
                     let spec = &inner.jobs[st.job as usize];
                     (spec.window, spec.map_binding, spec.set)
                 };
@@ -384,7 +385,7 @@ impl Kvmsr {
                         stride: 1,
                     };
                     let window = {
-                        let inner = rt.inner.borrow();
+                        let inner = rt.inner.lock().unwrap();
                         inner.jobs[st.job as usize].window
                     };
                     while st.in_flight < window {
@@ -402,7 +403,7 @@ impl Kvmsr {
             let rt = rt.clone();
             udweave::simple_event(eng, "kvmsr::kv_map", move |ctx| {
                 let mut task = MapTask::parse(ctx);
-                let f = rt.inner.borrow().jobs[task.job.0 as usize].map.clone();
+                let f = rt.inner.lock().unwrap().jobs[task.job.0 as usize].map.clone();
                 match f(ctx, &mut task, &rt) {
                     Outcome::Done => {
                         rt.map_done(ctx, &task);
@@ -422,7 +423,7 @@ impl Kvmsr {
                     job,
                     key: ctx.arg(1),
                 };
-                let f = rt.inner.borrow().jobs[job.0 as usize]
+                let f = rt.inner.lock().unwrap().jobs[job.0 as usize]
                     .reduce
                     .clone()
                     .expect("reduce tuple for map-only job");
@@ -443,7 +444,7 @@ impl Kvmsr {
             udweave::simple_event(eng, "kvmsr::poll_probe", move |ctx| {
                 let job = ctx.arg(0) as u32;
                 let count = inner
-                    .borrow()
+                    .lock().unwrap()
                     .reduce_counts
                     .get(&(job, ctx.nwid().0))
                     .copied()
@@ -460,7 +461,7 @@ impl Kvmsr {
             udweave::simple_event(eng, "kvmsr::epilogue", move |ctx| {
                 let job = ctx.arg(0) as u32;
                 let done = ctx.cont();
-                let f = inner.borrow().jobs[job as usize].epilogue.clone();
+                let f = inner.lock().unwrap().jobs[job as usize].epilogue.clone();
                 let outcome = match f {
                     Some(f) => f(ctx, done),
                     None => Outcome::Done,
@@ -477,7 +478,7 @@ impl Kvmsr {
             let inner = inner.clone();
             udweave::simple_event(eng, "kvmsr::pbmw_request", move |ctx| {
                 let job = ctx.arg(0) as u32;
-                let mut inner = inner.borrow_mut();
+                let mut inner = inner.lock().unwrap();
                 let chunk = match inner.jobs[job as usize].map_binding {
                     MapBinding::Pbmw { chunk } => chunk,
                     _ => unreachable!("PBMW request for non-PBMW job"),
@@ -493,7 +494,7 @@ impl Kvmsr {
             })
         };
 
-        *labels.borrow_mut() = Labels {
+        *labels.lock().unwrap() = Labels {
             start,
             maps_done,
             poll_result,
@@ -513,7 +514,7 @@ impl Kvmsr {
     /// Run the epilogue broadcast if the job has one, else finish directly.
     fn finish_or_epilogue(&self, ctx: &mut EventCtx<'_>, st: &mut MasterState) {
         let (has_epi, set) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock().unwrap();
             let spec = &inner.jobs[st.job as usize];
             (spec.epilogue.is_some(), spec.set)
         };
@@ -523,7 +524,7 @@ impl Kvmsr {
             return;
         }
         ctx.phase_begin("epilogue");
-        let lb = *self.labels.borrow();
+        let lb = *self.labels.lock().unwrap();
         let args = self.tree.start_args(set, lb.epilogue_probe, &[st.job as u64]);
         let done = ctx.self_event(lb.epilogue_done);
         ctx.charge(2);
@@ -533,7 +534,7 @@ impl Kvmsr {
     fn finish(&self, ctx: &mut EventCtx<'_>, st: &mut MasterState) {
         ctx.phase_end("epilogue");
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock().unwrap();
             inner.runs[st.job as usize].active = false;
         }
         let cont = EventWord::from_raw(st.cont_raw);
@@ -552,7 +553,7 @@ impl Kvmsr {
                 ctx.bump("kvmsr.map_tasks", 1);
                 ctx.peak("kvmsr.window_peak", st.in_flight as u64);
                 ctx.trace_counter_add("kvmsr.in_flight", 1);
-                let lb = self.labels.borrow();
+                let lb = self.labels.lock().unwrap();
                 let td = ctx.self_event(lb.task_done);
                 let w = EventWord::new(ctx.nwid(), lb.map_task);
                 drop(lb);
@@ -567,8 +568,8 @@ impl Kvmsr {
                 if st.pbmw && !st.requested && !st.drained {
                     st.requested = true;
                     let (set, lb) = {
-                        let inner = self.inner.borrow();
-                        (inner.jobs[st.job as usize].set, *self.labels.borrow())
+                        let inner = self.inner.lock().unwrap();
+                        (inner.jobs[st.job as usize].set, *self.labels.lock().unwrap())
                     };
                     let dst = EventWord::new(set.lane(0), lb.pbmw_request);
                     let grant = ctx.self_event(lb.pbmw_grant);
@@ -591,7 +592,7 @@ impl Kvmsr {
 
     /// Define a job; returns its id for `start` calls.
     pub fn define_job(&self, spec: JobSpec) -> JobId {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let id = JobId(inner.jobs.len() as u32);
         inner.jobs.push(spec);
         inner.runs.push(RunState::default());
@@ -600,7 +601,7 @@ impl Kvmsr {
 
     /// The lane set a job targets.
     pub fn job_set(&self, job: JobId) -> LaneSet {
-        self.inner.borrow().jobs[job.0 as usize].set
+        self.inner.lock().unwrap().jobs[job.0 as usize].set
     }
 
     /// Master lane of a job (where `start` messages go).
@@ -611,7 +612,7 @@ impl Kvmsr {
     /// Build the start message for host-side injection:
     /// `engine.send(evw, args, completion_cont)`.
     pub fn start_msg(&self, job: JobId, keys: u64, user_arg: u64) -> (EventWord, Vec<u64>) {
-        let lb = self.labels.borrow();
+        let lb = self.labels.lock().unwrap();
         (
             EventWord::new(self.master_lane(job), lb.start),
             vec![job.0 as u64, keys, user_arg],
@@ -635,11 +636,11 @@ impl Kvmsr {
     /// `kv_map_emit`: route an intermediate tuple to its reduce lane.
     pub fn emit(&self, ctx: &mut EventCtx<'_>, task: &mut MapTask, key: u64, vals: &[u64]) {
         let (lane, label) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock().unwrap();
             let spec = &inner.jobs[task.job.0 as usize];
             (
                 spec.reduce_binding.lane_for(key, &spec.set),
-                self.labels.borrow().reduce_exec,
+                self.labels.lock().unwrap().reduce_exec,
             )
         };
         task.emits += 1;
@@ -656,11 +657,11 @@ impl Kvmsr {
     /// job's reduce termination.
     pub fn emit_uncounted(&self, ctx: &mut EventCtx<'_>, job: JobId, key: u64, vals: &[u64]) {
         let (lane, label) = {
-            let inner = self.inner.borrow();
+            let inner = self.inner.lock().unwrap();
             let spec = &inner.jobs[job.0 as usize];
             (
                 spec.reduce_binding.lane_for(key, &spec.set),
-                self.labels.borrow().reduce_exec,
+                self.labels.lock().unwrap().reduce_exec,
             )
         };
         let mut args = vec![job.0 as u64, key];
@@ -678,7 +679,7 @@ impl Kvmsr {
     /// Retire an async reduce task (the wrapper does it for
     /// [`Outcome::Done`] reduces).
     pub fn reduce_done(&self, ctx: &mut EventCtx<'_>, job: JobId) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         *inner.reduce_counts.entry((job.0, ctx.nwid().0)).or_insert(0) += 1;
         ctx.charge(1);
     }
@@ -687,7 +688,7 @@ impl Kvmsr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
+    use std::sync::Mutex;
     use udweave::simple_event;
     use updown_sim::{Engine, MachineConfig, VAddr};
 
@@ -698,17 +699,17 @@ mod tests {
     /// Run a job from the host and stop the sim at completion; returns
     /// (processed, emitted, final_tick).
     fn run_job(eng: &mut Engine, rt: &Kvmsr, job: JobId, keys: u64, arg: u64) -> (u64, u64, u64) {
-        let out: Rc<RefCell<(u64, u64)>> = Rc::default();
+        let out: Arc<Mutex<(u64, u64)>> = Arc::default();
         let out2 = out.clone();
         let done = simple_event(eng, "job_done", move |ctx| {
-            *out2.borrow_mut() = (ctx.arg(0), ctx.arg(1));
+            *out2.lock().unwrap() = (ctx.arg(0), ctx.arg(1));
             ctx.stop();
         });
         let (evw, args) = rt.start_msg(job, keys, arg);
         let cont = EventWord::new(NetworkId(0), done);
         eng.send(evw, args, cont);
         let r = eng.run();
-        let (p, e) = *out.borrow();
+        let (p, e) = *out.lock().unwrap();
         (p, e, r.final_tick)
     }
 
@@ -716,18 +717,18 @@ mod tests {
     fn map_only_job_visits_every_key() {
         let mut eng = engine(1, 2, 4);
         let rt = Kvmsr::install(&mut eng);
-        let seen: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::default();
         let seen2 = seen.clone();
         let set = LaneSet::new(NetworkId(0), 8);
         let job = rt.define_job(JobSpec::new("visit", set, move |ctx, task, _rt| {
-            seen2.borrow_mut().push(task.key);
+            seen2.lock().unwrap().push(task.key);
             ctx.charge(5);
             Outcome::Done
         }));
         let (p, e, _) = run_job(&mut eng, &rt, job, 100, 0);
         assert_eq!(p, 100);
         assert_eq!(e, 0);
-        let mut s = seen.borrow().clone();
+        let mut s = seen.lock().unwrap().clone();
         s.sort_unstable();
         assert_eq!(s, (0..100).collect::<Vec<u64>>());
     }
@@ -772,11 +773,11 @@ mod tests {
             eng.mem_mut().write_u64(data.word(i), i * 2).unwrap();
         }
         let rt = Kvmsr::install(&mut eng);
-        let sum: Rc<RefCell<u64>> = Rc::default();
+        let sum: Arc<Mutex<u64>> = Arc::default();
         let sum2 = sum.clone();
         let rt2 = rt.clone();
         let on_read = udweave::event::<St>(&mut eng, "on_read", move |ctx, st| {
-            *sum2.borrow_mut() += ctx.arg(0);
+            *sum2.lock().unwrap() += ctx.arg(0);
             let task = st.task.unwrap();
             rt2.map_done(ctx, &task);
             ctx.yield_terminate();
@@ -789,7 +790,7 @@ mod tests {
         }));
         let (p, _, _) = run_job(&mut eng, &rt, job, 200, 0);
         assert_eq!(p, 200);
-        assert_eq!(*sum.borrow(), (0..200u64).map(|i| i * 2).sum());
+        assert_eq!(*sum.lock().unwrap(), (0..200u64).map(|i| i * 2).sum());
     }
 
     #[test]
@@ -811,16 +812,16 @@ mod tests {
                 .window(2),
             );
             let (p, _, t) = {
-                let out: Rc<RefCell<(u64, u64)>> = Rc::default();
+                let out: Arc<Mutex<(u64, u64)>> = Arc::default();
                 let out2 = out.clone();
                 let done = simple_event(&mut eng, "done", move |ctx| {
-                    *out2.borrow_mut() = (ctx.arg(0), ctx.arg(1));
+                    *out2.lock().unwrap() = (ctx.arg(0), ctx.arg(1));
                     ctx.stop();
                 });
                 let (evw, args) = rt.start_msg(job, 1024, 0);
                 eng.send(evw, args, EventWord::new(NetworkId(0), done));
                 let r = eng.run();
-                let (p, e) = *out.borrow();
+                let (p, e) = *out.lock().unwrap();
                 (p, e, r.final_tick)
             };
             assert_eq!(p, 1024);
@@ -894,33 +895,33 @@ mod tests {
     fn user_arg_reaches_tasks() {
         let mut eng = engine(1, 1, 2);
         let rt = Kvmsr::install(&mut eng);
-        let ok: Rc<RefCell<bool>> = Rc::new(RefCell::new(true));
+        let ok: Arc<Mutex<bool>> = Arc::new(Mutex::new(true));
         let ok2 = ok.clone();
         let set = LaneSet::new(NetworkId(0), 2);
         let job = rt.define_job(JobSpec::new("arg", set, move |_ctx, task, _rt| {
             if task.arg != 777 {
-                *ok2.borrow_mut() = false;
+                *ok2.lock().unwrap() = false;
             }
             Outcome::Done
         }));
         run_job(&mut eng, &rt, job, 10, 777);
-        assert!(*ok.borrow());
+        assert!(*ok.lock().unwrap());
     }
 
     #[test]
     fn sequential_runs_of_same_job() {
         let mut eng = engine(1, 1, 4);
         let rt = Kvmsr::install(&mut eng);
-        let count: Rc<RefCell<u64>> = Rc::default();
+        let count: Arc<Mutex<u64>> = Arc::default();
         let c2 = count.clone();
         let set = LaneSet::new(NetworkId(0), 4);
         let job = rt.define_job(JobSpec::new("again", set, move |_ctx, _task, _rt| {
-            *c2.borrow_mut() += 1;
+            *c2.lock().unwrap() += 1;
             Outcome::Done
         }));
         run_job(&mut eng, &rt, job, 50, 0);
         run_job(&mut eng, &rt, job, 30, 0);
-        assert_eq!(*count.borrow(), 80);
+        assert_eq!(*count.lock().unwrap(), 80);
     }
 
     #[test]
@@ -934,16 +935,16 @@ mod tests {
                 Outcome::Done
             }));
             let (p, _, tick) = {
-                let out: Rc<RefCell<(u64, u64)>> = Rc::default();
+                let out: Arc<Mutex<(u64, u64)>> = Arc::default();
                 let out2 = out.clone();
                 let done = simple_event(&mut eng, "done", move |ctx| {
-                    *out2.borrow_mut() = (ctx.arg(0), ctx.arg(1));
+                    *out2.lock().unwrap() = (ctx.arg(0), ctx.arg(1));
                     ctx.stop();
                 });
                 let (evw, args) = rt.start_msg(job, 2048, 0);
                 eng.send(evw, args, EventWord::new(NetworkId(0), done));
                 let r = eng.run();
-                let p = out.borrow().0;
+                let p = out.lock().unwrap().0;
                 (p, 0u64, r.final_tick)
             };
             assert_eq!(p, 2048);

@@ -58,8 +58,8 @@ pub fn install_sort(eng: &mut updown_sim::Engine, rt: &Kvmsr, set: LaneSet, plan
     // hardware; shadowed host-side with spd costs charged) hands out unique
     // slots race-free. The DRAM length cell is updated with an atomic add
     // so `read_sorted` sees the final count.
-    let cursors: std::rc::Rc<std::cell::RefCell<std::collections::HashMap<u64, u64>>> =
-        std::rc::Rc::default();
+    let cursors: std::sync::Arc<std::sync::Mutex<std::collections::HashMap<u64, u64>>> =
+        std::sync::Arc::default();
     let spec = JobSpec::new("global_sort", set, move |ctx, task, _rt| {
         ctx.state_mut::<MapSt>().task = Some(*task);
         ctx.send_dram_read(plan.input.word(task.key), 1, on_read);
@@ -69,7 +69,7 @@ pub fn install_sort(eng: &mut updown_sim::Engine, rt: &Kvmsr, set: LaneSet, plan
         let bucket = task.key;
         let v = vals[0];
         let idx = {
-            let mut c = cursors.borrow_mut();
+            let mut c = cursors.lock().unwrap();
             let e = c.entry(bucket).or_insert(0);
             let idx = *e;
             *e += 1;

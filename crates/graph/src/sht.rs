@@ -11,9 +11,9 @@
 //! must be sized for the load (the artifact's configuration files expose
 //! exactly these knobs: `VERTEX_EB`, `EDGE_EB`, `VERTEX_BL`, `EDGE_BL`).
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use drammalloc::{Layout, Region};
 use kvmsr::key_hash;
@@ -93,7 +93,7 @@ struct Inner {
 /// The installed SHT library (shared handlers for all tables).
 #[derive(Clone)]
 pub struct ShtLib {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
     op_label: EventLabel,
 }
 
@@ -108,14 +108,14 @@ struct Pending {
 
 impl ShtLib {
     pub fn install(eng: &mut Engine) -> ShtLib {
-        let inner: Rc<RefCell<Inner>> = Rc::default();
+        let inner: Arc<Mutex<Inner>> = Arc::default();
 
         // Second event of the op thread: the bucket line has arrived from
         // DRAM; apply the operation and reply.
         let fin = {
             let inner = inner.clone();
             udweave::event::<Pending>(eng, "sht::op_fin", move |ctx, st| {
-                let mut inn = inner.borrow_mut();
+                let mut inn = inner.lock().unwrap();
                 let t = &mut inn.tables[st.sht as usize];
                 let op = ShtOp::from_u64(st.op);
                 let b = t.bucket_of(st.key);
@@ -196,7 +196,7 @@ impl ShtLib {
                     reply_raw: ctx.cont().raw(),
                 };
                 let (va, words) = {
-                    let inn = inner.borrow();
+                    let inn = inner.lock().unwrap();
                     let t = &inn.tables[st.sht as usize];
                     let b = t.bucket_of(st.key);
                     let blen = t.lens.get(&b).copied().unwrap_or(0);
@@ -224,7 +224,7 @@ impl ShtLib {
         let words =
             set.count as u64 * buckets_per_lane as u64 * (1 + 2 * entries_per_bucket as u64);
         let region = Region::alloc_words(eng, words, layout).expect("SHT region");
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().unwrap();
         let id = ShtId(inner.tables.len() as u32);
         inner.tables.push(ShtDef {
             set,
@@ -249,7 +249,7 @@ impl ShtLib {
         value: u64,
         cont: EventWord,
     ) {
-        let owner = self.inner.borrow().tables[sht.0 as usize].owner(key);
+        let owner = self.inner.lock().unwrap().tables[sht.0 as usize].owner(key);
         let w = EventWord::new(owner, self.op_label);
         ctx.send_event(w, [sht.0 as u64, op as u64, key, value], cont);
     }
@@ -280,24 +280,24 @@ impl ShtLib {
     // ---- host-side inspection -------------------------------------------
 
     pub fn host_get(&self, sht: ShtId, key: u64) -> Option<u64> {
-        self.inner.borrow().tables[sht.0 as usize]
+        self.inner.lock().unwrap().tables[sht.0 as usize]
             .shadow
             .get(&key)
             .map(|&(_, v)| v)
     }
 
     pub fn len(&self, sht: ShtId) -> usize {
-        self.inner.borrow().tables[sht.0 as usize].shadow.len()
+        self.inner.lock().unwrap().tables[sht.0 as usize].shadow.len()
     }
 
     pub fn max_bucket_occupancy(&self, sht: ShtId) -> u32 {
-        self.inner.borrow().tables[sht.0 as usize].max_bucket
+        self.inner.lock().unwrap().tables[sht.0 as usize].max_bucket
     }
 
     /// Rebuild the table's contents from the DRAM image (ignores the
     /// shadow): used to verify the device-resident data is complete.
     pub fn dump_from_dram(&self, mem: &updown_sim::GlobalMemory, sht: ShtId) -> HashMap<u64, u64> {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         let t = &inner.tables[sht.0 as usize];
         let mut out = HashMap::new();
         for b in 0..t.total_buckets() {
@@ -314,12 +314,12 @@ impl ShtLib {
 
     /// Owner lane of a key (for co-locating follow-up work).
     pub fn owner(&self, sht: ShtId, key: u64) -> NetworkId {
-        self.inner.borrow().tables[sht.0 as usize].owner(key)
+        self.inner.lock().unwrap().tables[sht.0 as usize].owner(key)
     }
 
     /// The backing region base (diagnostics).
     pub fn region_base(&self, sht: ShtId) -> VAddr {
-        self.inner.borrow().tables[sht.0 as usize].region.base
+        self.inner.lock().unwrap().tables[sht.0 as usize].region.base
     }
 }
 
@@ -341,10 +341,10 @@ mod tests {
     #[test]
     fn insert_get_roundtrip() {
         let (mut eng, lib, sht) = setup(1);
-        let got: Rc<RefCell<Vec<(u64, u64)>>> = Rc::default();
+        let got: Arc<Mutex<Vec<(u64, u64)>>> = Arc::default();
         let got2 = got.clone();
         let on_get = simple_event(&mut eng, "on_get", move |ctx| {
-            got2.borrow_mut().push((ctx.arg(0), ctx.arg(1)));
+            got2.lock().unwrap().push((ctx.arg(0), ctx.arg(1)));
             ctx.yield_terminate();
         });
         let lib2 = lib.clone();
@@ -380,7 +380,7 @@ mod tests {
         });
         eng.send(EventWord::new(NetworkId(0), go2), [], EventWord::IGNORE);
         eng.run();
-        let mut res = got.borrow().clone();
+        let mut res = got.lock().unwrap().clone();
         res.sort_unstable();
         assert_eq!(res, vec![(0, 0), (1, 777)]);
         assert_eq!(lib.host_get(sht, 43), Some(888));

@@ -121,12 +121,12 @@ struct RedSt {
 /// This is the library-side "reduction" of Table 5: a gather over the
 /// symmetric address space, not a tree (PE counts are node counts, small).
 pub fn install_reduce(eng: &mut Engine) -> EventLabel {
-    let ret: std::rc::Rc<std::cell::RefCell<EventLabel>> =
-        std::rc::Rc::new(std::cell::RefCell::new(EventLabel(u16::MAX)));
+    let ret: std::sync::Arc<std::sync::Mutex<EventLabel>> =
+        std::sync::Arc::new(std::sync::Mutex::new(EventLabel(u16::MAX)));
     let ret2 = ret.clone();
     let gather = eng.register(
         "shmem::reduce_gather",
-        std::rc::Rc::new(move |ctx: &mut EventCtx<'_>| {
+        std::sync::Arc::new(move |ctx: &mut EventCtx<'_>| {
             let v = ctx.arg(0);
             // Manual typed-state dance (registered without the ThreadType
             // helper to keep this crate's deps minimal).
@@ -153,7 +153,7 @@ pub fn install_reduce(eng: &mut Engine) -> EventLabel {
     );
     let start = eng.register(
         "shmem::reduce",
-        std::rc::Rc::new(move |ctx: &mut EventCtx<'_>| {
+        std::sync::Arc::new(move |ctx: &mut EventCtx<'_>| {
             let heap = SymmetricHeap {
                 base: VAddr(ctx.arg(0)),
                 words_per_pe: ctx.arg(1),
@@ -171,13 +171,13 @@ pub fn install_reduce(eng: &mut Engine) -> EventLabel {
                     reply_raw,
                 };
             }
-            let gather = *ret2.borrow();
+            let gather = *ret2.lock().unwrap();
             for pe in 0..heap.pes {
                 heap.get(ctx, pe, off, 1, gather);
             }
         }),
     );
-    *ret.borrow_mut() = gather;
+    *ret.lock().unwrap() = gather;
     start
 }
 
@@ -195,8 +195,8 @@ pub fn reduce_args(heap: &SymmetricHeap, off: u64, op: ReduceOp) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
+    use std::sync::Arc;
     use updown_sim::{EventWord, MachineConfig, NetworkId};
 
     fn eng(nodes: u32) -> Engine {
@@ -217,24 +217,24 @@ mod tests {
     fn put_get_roundtrip_one_sided() {
         let mut e = eng(2);
         let h = SymmetricHeap::create(&mut e, 2, 64).unwrap();
-        let got: Rc<RefCell<u64>> = Rc::default();
+        let got: Arc<Mutex<u64>> = Arc::default();
         let g2 = got.clone();
         let on_get = e.register(
             "on_get",
-            Rc::new(move |ctx: &mut EventCtx| {
-                *g2.borrow_mut() = ctx.arg(0);
+            Arc::new(move |ctx: &mut EventCtx| {
+                *g2.lock().unwrap() = ctx.arg(0);
                 ctx.stop();
             }),
         );
         let phase2 = e.register(
             "phase2",
-            Rc::new(move |ctx: &mut EventCtx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 h.get(ctx, 1, 7, 1, on_get);
             }),
         );
         let go = e.register(
             "go",
-            Rc::new(move |ctx: &mut EventCtx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 h.put(ctx, 1, 7, &[1234], None);
                 let me = ctx.self_event(phase2);
                 ctx.send_event_after(5000, me, [], EventWord::IGNORE);
@@ -242,7 +242,7 @@ mod tests {
         );
         e.send(EventWord::new(NetworkId(0), go), [], EventWord::IGNORE);
         e.run();
-        assert_eq!(*got.borrow(), 1234);
+        assert_eq!(*got.lock().unwrap(), 1234);
         assert_eq!(h.host_read(&e, 1, 7), 1234);
     }
 
@@ -254,12 +254,12 @@ mod tests {
             h.host_write(&mut e, pe, 3, (pe as u64 + 1) * 10);
         }
         let reduce = install_reduce(&mut e);
-        let out: Rc<RefCell<u64>> = Rc::default();
+        let out: Arc<Mutex<u64>> = Arc::default();
         let o2 = out.clone();
         let fin = e.register(
             "fin",
-            Rc::new(move |ctx: &mut EventCtx| {
-                *o2.borrow_mut() = ctx.arg(0);
+            Arc::new(move |ctx: &mut EventCtx| {
+                *o2.lock().unwrap() = ctx.arg(0);
                 ctx.stop();
             }),
         );
@@ -267,7 +267,7 @@ mod tests {
         let cont = EventWord::new(NetworkId(0), fin);
         e.send(EventWord::new(NetworkId(2), reduce), args, cont);
         e.run();
-        assert_eq!(*out.borrow(), 10 + 20 + 30 + 40);
+        assert_eq!(*out.lock().unwrap(), 10 + 20 + 30 + 40);
     }
 
     #[test]
@@ -277,12 +277,12 @@ mod tests {
         h.host_write(&mut e, 0, 0, 17);
         h.host_write(&mut e, 1, 0, 99);
         let reduce = install_reduce(&mut e);
-        let out: Rc<RefCell<u64>> = Rc::default();
+        let out: Arc<Mutex<u64>> = Arc::default();
         let o2 = out.clone();
         let fin = e.register(
             "fin",
-            Rc::new(move |ctx: &mut EventCtx| {
-                *o2.borrow_mut() = ctx.arg(0);
+            Arc::new(move |ctx: &mut EventCtx| {
+                *o2.lock().unwrap() = ctx.arg(0);
                 ctx.stop();
             }),
         );
@@ -292,7 +292,7 @@ mod tests {
             EventWord::new(NetworkId(0), fin),
         );
         e.run();
-        assert_eq!(*out.borrow(), 99);
+        assert_eq!(*out.lock().unwrap(), 99);
     }
 
     #[test]
@@ -301,7 +301,7 @@ mod tests {
         let h = SymmetricHeap::create(&mut e, 2, 16).unwrap();
         let go = e.register(
             "go",
-            Rc::new(move |ctx: &mut EventCtx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 for _ in 0..5 {
                     h.add_u64(ctx, 1, 2, 3);
                 }

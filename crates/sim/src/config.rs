@@ -111,6 +111,11 @@ pub struct MachineConfig {
     pub max_threads_per_lane: u16,
     /// Scratchpad capacity per lane in 8-byte words (64 KiB default).
     pub spm_words: u32,
+    /// Host worker threads for the parallel scheduler (`1` = sequential).
+    /// The machine is always sharded one node per shard, so results are
+    /// byte-identical for every thread count; this only selects how many
+    /// OS threads execute the shards.
+    pub threads: u32,
 }
 
 impl Default for MachineConfig {
@@ -125,6 +130,7 @@ impl Default for MachineConfig {
             mem: MemoryConfig::default(),
             max_threads_per_lane: 512,
             spm_words: 8192,
+            threads: 1,
         }
     }
 }
@@ -175,6 +181,13 @@ impl MachineConfigBuilder {
 
     pub fn spm_words(mut self, n: u32) -> Self {
         self.cfg.spm_words = n;
+        self
+    }
+
+    /// Host worker threads for the parallel scheduler (`1` = sequential;
+    /// results are identical for every value).
+    pub fn threads(mut self, n: u32) -> Self {
+        self.cfg.threads = n.max(1);
         self
     }
 

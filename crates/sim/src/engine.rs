@@ -2,16 +2,36 @@
 //! cost model, routes messages through the network model, and services DRAM
 //! requests through per-node memory channels.
 //!
-//! The engine is deterministic: the calendar orders actions by
-//! `(time, sequence)` where sequence numbers are issued in creation order.
-//! Handlers are single-threaded `Rc` closures that capture whatever
-//! host-side state the program needs (the UDWeave layer builds a typed API
-//! on top).
+//! # Sharded conservative-window execution
+//!
+//! The machine is partitioned into **shards, one per node**. Each shard
+//! ([`EngineCore`]) owns its node's lanes, event calendar, NIC and memory
+//! channel, so a shard can execute independently as long as it does not run
+//! past the point where another shard could still affect it.
+//!
+//! That point is governed by the **lookahead**: every cross-node effect
+//! (message delivery, remote DRAM request or response) pays at least the
+//! inter-node network latency, so an event executing at time `t` on one
+//! shard cannot influence another shard before `t + lookahead`. The
+//! scheduler therefore runs in *windows*: a coordinator computes the global
+//! floor (earliest pending entry anywhere), opens the window
+//! `[floor, floor + lookahead)`, and every shard executes exactly its
+//! calendar entries below the horizon. Cross-shard effects produced inside
+//! a window land at or beyond the horizon and are exchanged through
+//! deterministic per-destination mailboxes at the window boundary.
+//!
+//! **Determinism:** shard count equals node count (fixed by the
+//! [`MachineConfig`]), mailbox entries are merged in `(source shard,
+//! source sequence)` order, and the single-threaded scheduler runs the
+//! *same* window loop with one worker — so the merged event order, every
+//! counter, and every trace span are byte-identical across schedulers and
+//! thread counts.
 
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Barrier, Mutex};
 
 use crate::config::MachineConfig;
 use crate::ids::{EventLabel, EventWord, NetworkId, ThreadId};
@@ -19,6 +39,7 @@ use crate::lane::Lane;
 use crate::memory::{GlobalMemory, MemChannels, VAddr};
 use crate::message::Message;
 use crate::network::Nics;
+use crate::sched::{Parallel, Scheduler, Sequential};
 use crate::stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
 use crate::trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 
@@ -26,20 +47,17 @@ use crate::trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 const HOT_LANES_TOP_K: usize = 8;
 
 /// A handler executes one event. It may read/write its thread state, send
-/// messages, and issue DRAM requests through the [`EventCtx`].
-pub type Handler = Rc<dyn Fn(&mut EventCtx<'_>)>;
+/// messages, and issue DRAM requests through the [`EventCtx`]. Handlers
+/// are `Send + Sync` so shards can execute on scheduler worker threads.
+pub type Handler = Arc<dyn Fn(&mut EventCtx<'_>) + Send + Sync>;
 
 struct HandlerEntry {
     name: String,
     f: Handler,
-    /// Executions of this event (diagnostics).
-    count: u64,
-    /// Tick of the most recent execution (diagnostics).
-    last_tick: u64,
 }
 
-/// A DRAM transaction payload, applied when its response arrives back at
-/// the issuing lane.
+/// A DRAM transaction payload, applied when channel service completes on
+/// the owning shard.
 #[derive(Clone, Debug)]
 enum MemOp {
     Read {
@@ -84,6 +102,17 @@ impl MemOp {
     }
 }
 
+/// The response of a completed DRAM transaction travelling back to the
+/// issuing shard. Memory contents were already updated at service time on
+/// the owning shard (the deterministic serialization point); only the
+/// pre-built reply message is still in flight.
+#[derive(Clone, Debug)]
+struct MemResp {
+    reply: Option<Message>,
+    bytes: u64,
+    write: bool,
+}
+
 /// DRAM transactions are staged through the calendar so each shared
 /// resource (source NIC, memory channel, owner NIC) is reserved at the
 /// moment the transaction actually reaches it — reservations happen in
@@ -101,16 +130,17 @@ enum Action {
         owner: u32,
         trace_id: u64,
     },
-    /// Channel service complete; send the response back.
+    /// Channel service complete (memory already updated); send the
+    /// response back.
     MemServed {
         op: MemOp,
         src_node: u32,
         owner: u32,
         trace_id: u64,
     },
-    /// Response arrived at the issuing lane: apply and deliver.
+    /// Response arrived back at the issuing shard: deliver the reply.
     MemDone {
-        op: MemOp,
+        resp: MemResp,
         owner: u32,
         trace_id: u64,
     },
@@ -169,32 +199,67 @@ enum Outgoing {
     },
 }
 
-struct Core {
+/// A calendar entry crossing shards at a window boundary. Merged into the
+/// destination calendar in `(src, order)` order, which reproduces the
+/// exact creation order a serial exchange would have produced.
+struct XEntry {
+    time: u64,
+    src: u32,
+    order: u64,
+    action: Action,
+}
+
+/// State shared read-only by all shards during a run.
+pub(crate) struct Shared {
     cfg: MachineConfig,
+    mem: Arc<GlobalMemory>,
+    handlers: Vec<HandlerEntry>,
+    /// Conservative time-window length: the minimum latency of any
+    /// cross-node effect (`inter_node_latency`, floored at 1).
+    lookahead: u64,
+}
+
+/// One shard of the machine: a node's lanes, calendar and per-node
+/// resources. The unit of parallel execution.
+pub(crate) struct EngineCore {
+    /// Shard id == node id.
+    id: u32,
+    /// Global network id of this shard's first lane.
+    base_lane: u32,
     now: u64,
     seq: u64,
     calendar: BinaryHeap<Reverse<Sched>>,
     lanes: Vec<Lane>,
-    mem: GlobalMemory,
-    channels: MemChannels,
-    nics: Nics,
+    /// This node's memory channel (single-node instance, index 0).
+    channel: MemChannels,
+    /// This node's NIC (single-node instance, index 0).
+    nic: Nics,
     stats: Counters,
     stop: bool,
-    event_limit: u64,
     trace: Option<Vec<String>>,
     /// Event tracer; present only when event tracing is enabled. All
     /// recording paths are read-only with respect to simulated time,
     /// costs, and calendar sequence numbers (zero observer effect).
     tracer: Option<Tracer>,
-    /// Phase spans (`phase_begin`/`phase_end`), in begin order.
+    /// Device-side phase spans opened on this shard, in begin order.
     phases: Vec<PhaseSpan>,
-    /// Runtime-defined counters (`EventCtx::bump` / `EventCtx::peak`).
-    custom: BTreeMap<&'static str, u64>,
+    /// Runtime-defined counters, split by merge rule: `custom_add`
+    /// entries are summed across shards, `custom_peak` entries are
+    /// max-merged.
+    custom_add: BTreeMap<&'static str, u64>,
+    custom_peak: BTreeMap<&'static str, u64>,
     /// Completion time of the latest-finishing executed event.
     last_completion: u64,
+    /// Per-handler (execution count, last tick) for diagnostics.
+    handler_stats: Vec<(u64, u64)>,
+    /// Monotone order stamp for cross-shard entries produced here.
+    sent_seq: u64,
+    /// Cross-shard entries buffered during a window, per destination
+    /// shard; flushed into the mailboxes at the window boundary.
+    outbuf: Vec<Vec<XEntry>>,
 }
 
-impl Core {
+impl EngineCore {
     fn schedule(&mut self, time: u64, action: Action) {
         self.seq += 1;
         self.calendar.push(Reverse(Sched {
@@ -205,19 +270,27 @@ impl Core {
         self.stats.peak_calendar = self.stats.peak_calendar.max(self.calendar.len());
     }
 
-    fn lane_mut(&mut self, nwid: NetworkId) -> &mut Lane {
-        &mut self.lanes[nwid.0 as usize]
+    /// Time of the earliest pending calendar entry, `u64::MAX` when empty.
+    fn next_time(&self) -> u64 {
+        self.calendar.peek().map(|Reverse(s)| s.time).unwrap_or(u64::MAX)
+    }
+
+    fn local_lane(&mut self, nwid: NetworkId) -> &mut Lane {
+        let idx = (nwid.0 - self.base_lane) as usize;
+        assert!(
+            nwid.0 >= self.base_lane && idx < self.lanes.len(),
+            "message to nonexistent lane {} (shard {} owns {}..{})",
+            nwid.0,
+            self.id,
+            self.base_lane,
+            self.base_lane + self.lanes.len() as u32
+        );
+        &mut self.lanes[idx]
     }
 
     fn deliver(&mut self, t: u64, msg: Message) {
         let l = msg.dst.nwid();
-        assert!(
-            (l.0 as usize) < self.lanes.len(),
-            "message to nonexistent lane {} (machine has {})",
-            l.0,
-            self.lanes.len()
-        );
-        let lane = self.lane_mut(l);
+        let lane = self.local_lane(l);
         lane.inbox.push_back(msg);
         if !lane.scheduled {
             lane.scheduled = true;
@@ -226,44 +299,67 @@ impl Core {
         }
     }
 
+    /// Buffer a cross-shard calendar entry for delivery at the next
+    /// window boundary.
+    fn push_cross(&mut self, dst: u32, time: u64, action: Action) {
+        self.sent_seq += 1;
+        self.outbuf[dst as usize].push(XEntry {
+            time,
+            src: self.id,
+            order: self.sent_seq,
+            action,
+        });
+    }
+
     /// Latency for a lane->memory or memory->lane hop.
-    fn mem_hop_latency(&self, lane_node: u32, mem_node: u32) -> u64 {
+    fn mem_hop_latency(shared: &Shared, lane_node: u32, mem_node: u32) -> u64 {
         if lane_node == mem_node {
-            self.cfg.net.intra_node_latency
+            shared.cfg.net.intra_node_latency
         } else {
-            self.cfg.net.inter_node_latency
+            shared.cfg.net.inter_node_latency
         }
     }
 
     /// Issue a DRAM transaction at `t` from `src`: reserve the source NIC
-    /// (remote targets) and schedule the channel-arrival stage.
-    fn dram_issue(&mut self, t: u64, src: NetworkId, va: VAddr, op: MemOp) {
-        let owner = match self.mem.owner_node(va) {
+    /// (remote targets) and route the channel-arrival stage to the owning
+    /// shard.
+    fn dram_issue(&mut self, shared: &Shared, t: u64, src: NetworkId, va: VAddr, op: MemOp) {
+        let owner = match shared.mem.owner_node(va) {
             Ok(n) => n,
             Err(e) => panic!("DRAM access fault from lane {}: {e} ({va:?})", src.0),
         };
-        let src_node = self.cfg.node_of(src);
-        let arrival = if owner != src_node {
-            self.stats.dram_remote_accesses += 1;
-            // Request messages are one 72-byte unit regardless of payload.
-            let depart = self.nics.inject(src_node, t, 72);
-            depart + self.cfg.net.inter_node_latency
-        } else {
-            t + self.mem_hop_latency(src_node, owner)
-        };
+        let src_node = shared.cfg.node_of(src);
         let trace_id = match &mut self.tracer {
             Some(tr) => tr.alloc_id(),
             None => 0,
         };
-        self.schedule(
-            arrival,
-            Action::MemArrive {
-                op,
-                src_node,
+        if owner != src_node {
+            self.stats.dram_remote_accesses += 1;
+            // Request messages are one 72-byte unit regardless of payload.
+            let depart = self.nic.inject(0, t, 72);
+            let arrival = depart + shared.cfg.net.inter_node_latency;
+            self.push_cross(
                 owner,
-                trace_id,
-            },
-        );
+                arrival,
+                Action::MemArrive {
+                    op,
+                    src_node,
+                    owner,
+                    trace_id,
+                },
+            );
+        } else {
+            let arrival = t + Self::mem_hop_latency(shared, src_node, owner);
+            self.schedule(
+                arrival,
+                Action::MemArrive {
+                    op,
+                    src_node,
+                    owner,
+                    trace_id,
+                },
+            );
+        }
     }
 
     fn trace_line(&mut self, line: String) {
@@ -294,487 +390,218 @@ impl Core {
             p.end = now;
         }
     }
-}
 
-/// The simulator.
-pub struct Engine {
-    core: Core,
-    handlers: Vec<HandlerEntry>,
-}
-
-impl Engine {
-    pub fn new(cfg: MachineConfig) -> Engine {
-        let total = cfg.total_lanes() as usize;
-        let mut lanes = Vec::with_capacity(total);
-        lanes.resize_with(total, Lane::default);
-        let mem = GlobalMemory::new(cfg.nodes);
-        let channels = MemChannels::new(cfg.nodes, &cfg.mem);
-        let nics = Nics::new(cfg.nodes, &cfg.net);
-        Engine {
-            core: Core {
-                cfg,
-                now: 0,
-                seq: 0,
-                calendar: BinaryHeap::new(),
-                lanes,
-                mem,
-                channels,
-                nics,
-                stats: Counters::default(),
-                stop: false,
-                event_limit: u64::MAX,
-                trace: None,
-                tracer: None,
-                phases: Vec::new(),
-                custom: BTreeMap::new(),
-                last_completion: 0,
-            },
-            handlers: Vec::new(),
-        }
-    }
-
-    pub fn config(&self) -> &MachineConfig {
-        &self.core.cfg
-    }
-
-    /// Register an event handler; returns its label.
-    pub fn register(&mut self, name: &str, f: Handler) -> EventLabel {
-        assert!(self.handlers.len() < u16::MAX as usize, "handler table full");
-        let label = EventLabel(self.handlers.len() as u16);
-        self.handlers.push(HandlerEntry {
-            name: name.to_string(),
-            f,
-            count: 0,
-            last_tick: 0,
-        });
-        label
-    }
-
-    /// Name of a registered event (for traces and diagnostics).
-    pub fn event_name(&self, label: EventLabel) -> &str {
-        &self.handlers[label.0 as usize].name
-    }
-
-    /// Host-side (TOP core) injection of an initial event at the current
-    /// simulation time.
-    pub fn send(&mut self, dst: EventWord, args: impl Into<Vec<u64>>, cont: EventWord) {
-        let msg = Message::new(dst, args, cont, NetworkId(0));
-        let t = self.core.now;
-        self.core.deliver(t, msg);
-    }
-
-    /// Functional access to global memory for host-side setup/inspection
-    /// (the TOP core's mmap-style access; not charged simulation time).
-    pub fn mem(&self) -> &GlobalMemory {
-        &self.core.mem
-    }
-
-    pub fn mem_mut(&mut self) -> &mut GlobalMemory {
-        &mut self.core.mem
-    }
-
-    /// Cap the number of executed events (runaway guard). The run stops
-    /// with [`Metrics`] when exceeded.
-    pub fn set_event_limit(&mut self, limit: u64) {
-        self.core.event_limit = limit;
-    }
-
-    /// Record `[PRINT]`-style trace lines emitted via [`EventCtx::print`].
-    pub fn enable_trace(&mut self) {
-        self.core.trace = Some(Vec::new());
-    }
-
-    pub fn trace(&self) -> &[String] {
-        self.core.trace.as_deref().unwrap_or(&[])
-    }
-
-    /// Enable the structured event trace (lane busy spans, message
-    /// transits, DRAM stages, counters). Recording has **zero observer
-    /// effect**: simulated cycle counts are byte-identical with tracing
-    /// on or off. Export with [`Engine::chrome_trace_json`].
-    pub fn enable_event_trace(&mut self) {
-        if self.core.tracer.is_none() {
-            self.core.tracer = Some(Tracer::new());
-        }
-    }
-
-    pub fn event_trace_enabled(&self) -> bool {
-        self.core.tracer.is_some()
-    }
-
-    /// Recorded trace events (empty when event tracing is disabled).
-    pub fn event_trace(&self) -> &[TraceEvent] {
-        self.core
-            .tracer
-            .as_ref()
-            .map(|t| t.events.as_slice())
-            .unwrap_or(&[])
-    }
-
-    /// Begin a named phase span at the current simulation time (host
-    /// side; device code uses [`EventCtx::phase_begin`]).
-    pub fn phase_begin(&mut self, name: &str) {
-        self.core.phase_begin(name);
-    }
-
-    /// End the most recent open span with this name.
-    pub fn phase_end(&mut self, name: &str) {
-        self.core.phase_end(name);
-    }
-
-    /// Phase spans recorded so far (open spans have `end == u64::MAX`).
-    pub fn phases(&self) -> &[PhaseSpan] {
-        &self.core.phases
-    }
-
-    /// Export the event trace in Chrome `trace_event` JSON format (open
-    /// in `chrome://tracing` or Perfetto). Includes phase spans even when
-    /// event tracing is disabled.
-    pub fn chrome_trace_json(&self) -> String {
-        let names: Vec<String> = self.handlers.iter().map(|h| h.name.clone()).collect();
-        let events = self.event_trace();
-        let final_tick = self.core.now.max(self.core.last_completion);
-        crate::trace::chrome_trace_json(
-            events,
-            &self.core.phases,
-            &names,
-            self.core.cfg.lanes_per_node(),
-            self.core.cfg.clock_ghz,
-            final_tick,
-        )
-    }
-
-    /// Write the Chrome trace JSON to `path`.
-    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.chrome_trace_json())
-    }
-
-    pub fn stats(&self) -> &Counters {
-        &self.core.stats
-    }
-
-    /// Per-lane busy-cycle maximum and its lane id (diagnostics: detects
-    /// serialization hot spots).
-    pub fn busiest_lane(&self) -> (u32, u64) {
-        let mut best = (0u32, 0u64);
-        for (i, l) in self.core.lanes.iter().enumerate() {
-            if l.busy > best.1 {
-                best = (i as u32, l.busy);
-            }
-        }
-        best
-    }
-
-    /// Lane with the most executed events (diagnostics).
-    pub fn most_events_lane(&self) -> (u32, u64) {
-        let mut best = (0u32, 0u64);
-        for (i, l) in self.core.lanes.iter().enumerate() {
-            if l.events > best.1 {
-                best = (i as u32, l.events);
-            }
-        }
-        best
-    }
-
-    /// Execution counts per event name, descending (diagnostics).
-    pub fn event_counts(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self
-            .handlers
-            .iter()
-            .filter(|h| h.count > 0)
-            .map(|h| (format!("{} (last @{})", h.name, h.last_tick), h.count))
-            .collect();
-        v.sort_by_key(|e| std::cmp::Reverse(e.1));
-        v
-    }
-
-    pub fn now(&self) -> u64 {
-        self.core.now
-    }
-
-    /// Run until the calendar drains, `stop()` is called, or the event
-    /// limit is hit. A stopped engine can be run again: the stop flag is
-    /// cleared on entry (pending calendar actions resume).
-    pub fn run(&mut self) -> Metrics {
-        self.core.stop = false;
-        while !self.core.stop && self.core.stats.events_executed < self.core.event_limit {
-            let Some(Reverse(s)) = self.core.calendar.pop() else {
+    /// Execute calendar entries strictly below `horizon`, up to `budget`
+    /// events. Returns the number of events executed in this window.
+    fn window(&mut self, shared: &Shared, horizon: u64, budget: u64) -> u64 {
+        let before = self.stats.events_executed;
+        while !self.stop && self.stats.events_executed - before < budget {
+            let Some(next) = self.calendar.peek().map(|Reverse(s)| s.time) else {
                 break;
             };
-            debug_assert!(s.time >= self.core.now, "time went backwards");
-            self.core.now = s.time;
-            match s.action {
-                Action::Deliver(msg) => {
-                    let t = self.core.now;
-                    self.core.deliver(t, msg);
+            if next >= horizon {
+                break;
+            }
+            let Reverse(s) = self.calendar.pop().unwrap();
+            if s.time < self.now {
+                panic!(
+                    "time went backwards on shard {}: popped t={} behind clock t={}",
+                    self.id, s.time, self.now
+                );
+            }
+            self.now = s.time;
+            self.dispatch(shared, s.action);
+        }
+        self.stats.events_executed - before
+    }
+
+    fn dispatch(&mut self, shared: &Shared, action: Action) {
+        match action {
+            Action::Deliver(msg) => {
+                let t = self.now;
+                self.stats.msgs_delivered += 1;
+                self.deliver(t, msg);
+            }
+            Action::LaneRun(l) => self.lane_run(shared, l),
+            Action::MemArrive {
+                op,
+                src_node,
+                owner,
+                trace_id,
+            } => {
+                let now = self.now;
+                let bytes = op.bytes();
+                if let Some(tr) = &mut self.tracer {
+                    tr.record(TraceEvent::Dram {
+                        id: trace_id,
+                        stage: DramStage::Arrive,
+                        node: owner,
+                        time: now,
+                        bytes,
+                        write: op.is_write(),
+                    });
                 }
-                Action::LaneRun(l) => self.lane_run(l),
-                Action::MemArrive {
-                    op,
-                    src_node,
-                    owner,
-                    trace_id,
-                } => {
-                    let now = self.core.now;
-                    let bytes = op.bytes();
-                    if let Some(tr) = &mut self.core.tracer {
-                        tr.record(TraceEvent::Dram {
-                            id: trace_id,
-                            stage: DramStage::Arrive,
-                            node: owner,
-                            time: now,
-                            bytes,
-                            write: op.is_write(),
-                        });
+                let served = self.channel.service(0, now, bytes);
+                self.schedule(
+                    served,
+                    Action::MemServed {
+                        op,
+                        src_node,
+                        owner,
+                        trace_id,
+                    },
+                );
+            }
+            Action::MemServed {
+                op,
+                src_node,
+                owner,
+                trace_id,
+            } => {
+                let now = self.now;
+                let bytes = op.bytes();
+                let write = op.is_write();
+                if let Some(tr) = &mut self.tracer {
+                    tr.record(TraceEvent::Dram {
+                        id: trace_id,
+                        stage: DramStage::Served,
+                        node: owner,
+                        time: now,
+                        bytes,
+                        write,
+                    });
+                }
+                // Apply the memory effect now, on the owning shard: channel
+                // service order is the deterministic serialization point
+                // for all accesses to this node's memory.
+                let reply = match op {
+                    MemOp::Read {
+                        va,
+                        nwords,
+                        ret,
+                        tag,
+                    } => {
+                        let mut words = match shared.mem.read_words(va, nwords as usize) {
+                            Ok(w) => w,
+                            Err(e) => panic!("DRAM read fault at service time: {e}"),
+                        };
+                        if let Some(tag) = tag {
+                            words.push(tag);
+                        }
+                        Some(Message::new(ret, words, EventWord::IGNORE, ret.nwid()))
                     }
-                    let served = self.core.channels.service(owner, now, bytes);
-                    self.core.schedule(
-                        served,
-                        Action::MemServed {
-                            op,
-                            src_node,
+                    MemOp::Write {
+                        va,
+                        words,
+                        ack,
+                        tag,
+                    } => {
+                        shared
+                            .mem
+                            .write_words(va, &words)
+                            .unwrap_or_else(|e| panic!("DRAM write fault at service time: {e}"));
+                        ack.map(|ack| {
+                            let mut args = vec![va.0];
+                            if let Some(tag) = tag {
+                                args.push(tag);
+                            }
+                            Message::new(ack, args, EventWord::IGNORE, ack.nwid())
+                        })
+                    }
+                    MemOp::AddU64 {
+                        va,
+                        delta,
+                        ret,
+                        tag,
+                    } => {
+                        let old = shared
+                            .mem
+                            .fetch_add_u64(va, delta)
+                            .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
+                        ret.map(|ret| {
+                            let mut args = vec![old];
+                            if let Some(tag) = tag {
+                                args.push(tag);
+                            }
+                            Message::new(ret, args, EventWord::IGNORE, ret.nwid())
+                        })
+                    }
+                    MemOp::AddF64 {
+                        va,
+                        delta,
+                        ret,
+                        tag,
+                    } => {
+                        let old = shared
+                            .mem
+                            .fetch_add_f64(va, delta)
+                            .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
+                        ret.map(|ret| {
+                            let mut args = vec![old.to_bits()];
+                            if let Some(tag) = tag {
+                                args.push(tag);
+                            }
+                            Message::new(ret, args, EventWord::IGNORE, ret.nwid())
+                        })
+                    }
+                };
+                let resp = MemResp {
+                    reply,
+                    bytes,
+                    write,
+                };
+                if owner != src_node {
+                    let depart = self.nic.inject(0, now, 8 + bytes);
+                    let arrival = depart + shared.cfg.net.inter_node_latency;
+                    self.push_cross(
+                        src_node,
+                        arrival,
+                        Action::MemDone {
+                            resp,
+                            owner,
+                            trace_id,
+                        },
+                    );
+                } else {
+                    let arrival = now + Self::mem_hop_latency(shared, src_node, owner);
+                    self.schedule(
+                        arrival,
+                        Action::MemDone {
+                            resp,
                             owner,
                             trace_id,
                         },
                     );
                 }
-                Action::MemServed {
-                    op,
-                    src_node,
-                    owner,
-                    trace_id,
-                } => {
-                    let now = self.core.now;
-                    let bytes = op.bytes();
-                    if let Some(tr) = &mut self.core.tracer {
-                        tr.record(TraceEvent::Dram {
-                            id: trace_id,
-                            stage: DramStage::Served,
-                            node: owner,
-                            time: now,
-                            bytes,
-                            write: op.is_write(),
-                        });
-                    }
-                    let arrival = if owner != src_node {
-                        let depart = self.core.nics.inject(owner, now, 8 + bytes);
-                        depart + self.core.cfg.net.inter_node_latency
-                    } else {
-                        now + self.core.mem_hop_latency(src_node, owner)
-                    };
-                    self.core
-                        .schedule(arrival, Action::MemDone { op, owner, trace_id });
+            }
+            Action::MemDone {
+                resp,
+                owner,
+                trace_id,
+            } => {
+                let t = self.now;
+                if let Some(tr) = &mut self.tracer {
+                    tr.record(TraceEvent::Dram {
+                        id: trace_id,
+                        stage: DramStage::Respond,
+                        node: owner,
+                        time: t,
+                        bytes: resp.bytes,
+                        write: resp.write,
+                    });
                 }
-                Action::MemDone { op, owner, trace_id } => {
-                    let t = self.core.now;
-                    if let Some(tr) = &mut self.core.tracer {
-                        tr.record(TraceEvent::Dram {
-                            id: trace_id,
-                            stage: DramStage::Respond,
-                            node: owner,
-                            time: t,
-                            bytes: op.bytes(),
-                            write: op.is_write(),
-                        });
-                    }
-                    match op {
-                        MemOp::Read {
-                            va,
-                            nwords,
-                            ret,
-                            tag,
-                        } => {
-                            let mut words = match self.core.mem.read_words(va, nwords as usize) {
-                                Ok(w) => w,
-                                Err(e) => panic!("DRAM read fault at service time: {e}"),
-                            };
-                            if let Some(tag) = tag {
-                                words.push(tag);
-                            }
-                            self.core
-                                .deliver(t, Message::new(ret, words, EventWord::IGNORE, ret.nwid()));
-                        }
-                        MemOp::Write {
-                            va,
-                            words,
-                            ack,
-                            tag,
-                        } => {
-                            self.core
-                                .mem
-                                .write_words(va, &words)
-                                .unwrap_or_else(|e| panic!("DRAM write fault at service time: {e}"));
-                            if let Some(ack) = ack {
-                                let mut args = vec![va.0];
-                                if let Some(tag) = tag {
-                                    args.push(tag);
-                                }
-                                self.core.deliver(
-                                    t,
-                                    Message::new(ack, args, EventWord::IGNORE, ack.nwid()),
-                                );
-                            }
-                        }
-                        MemOp::AddU64 {
-                            va,
-                            delta,
-                            ret,
-                            tag,
-                        } => {
-                            let old = self
-                                .core
-                                .mem
-                                .fetch_add_u64(va, delta)
-                                .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
-                            if let Some(ret) = ret {
-                                let mut args = vec![old];
-                                if let Some(tag) = tag {
-                                    args.push(tag);
-                                }
-                                self.core.deliver(
-                                    t,
-                                    Message::new(ret, args, EventWord::IGNORE, ret.nwid()),
-                                );
-                            }
-                        }
-                        MemOp::AddF64 {
-                            va,
-                            delta,
-                            ret,
-                            tag,
-                        } => {
-                            let old = self
-                                .core
-                                .mem
-                                .fetch_add_f64(va, delta)
-                                .unwrap_or_else(|e| panic!("DRAM atomic fault: {e}"));
-                            if let Some(ret) = ret {
-                                let mut args = vec![old.to_bits()];
-                                if let Some(tag) = tag {
-                                    args.push(tag);
-                                }
-                                self.core.deliver(
-                                    t,
-                                    Message::new(ret, args, EventWord::IGNORE, ret.nwid()),
-                                );
-                            }
-                        }
-                    }
+                if let Some(msg) = resp.reply {
+                    self.deliver(t, msg);
                 }
             }
         }
-        // Graceful stop: apply all in-flight memory effects so host-visible
-        // memory is consistent (message deliveries and lane work are
-        // discarded; acks/read-returns have no one left to run them).
-        if self.core.stop {
-            while let Some(Reverse(s)) = self.core.calendar.pop() {
-                let op = match s.action {
-                    Action::MemArrive { op, .. }
-                    | Action::MemServed { op, .. }
-                    | Action::MemDone { op, .. } => op,
-                    Action::Deliver(_) | Action::LaneRun(_) => continue,
-                };
-                match op {
-                    MemOp::Write { va, words, .. } => {
-                        self.core
-                            .mem
-                            .write_words(va, &words)
-                            .unwrap_or_else(|e| panic!("DRAM write fault at drain: {e}"));
-                    }
-                    MemOp::AddU64 { va, delta, .. } => {
-                        let _ = self.core.mem.fetch_add_u64(va, delta);
-                    }
-                    MemOp::AddF64 { va, delta, .. } => {
-                        let _ = self.core.mem.fetch_add_f64(va, delta);
-                    }
-                    MemOp::Read { .. } => {}
-                }
-            }
-        }
-        self.metrics()
     }
 
-    /// Build the final [`Metrics`] without running: machine-wide counters
-    /// plus per-node rollups, lane-utilization histograms, the top-K
-    /// hottest lanes, and any recorded phase spans.
-    pub fn metrics(&self) -> Metrics {
-        let final_tick = self.core.now.max(self.core.last_completion);
-        let lanes_per_node = self.core.cfg.lanes_per_node().max(1) as usize;
-        let n_nodes = self.core.cfg.nodes as usize;
-
-        let mut nodes: Vec<NodeMetrics> = (0..n_nodes)
-            .map(|n| NodeMetrics {
-                node: n as u32,
-                lanes: lanes_per_node as u64,
-                dram_served_bytes: self.core.channels.served_bytes.get(n).copied().unwrap_or(0),
-                nic_injected_bytes: self.core.nics.injected_bytes.get(n).copied().unwrap_or(0),
-                ..NodeMetrics::default()
-            })
-            .collect();
-
-        let mut total_busy = 0u64;
-        let mut active_lanes = 0u64;
-        let mut hot: Vec<LaneMetrics> = Vec::new();
-        for (i, lane) in self.core.lanes.iter().enumerate() {
-            total_busy += lane.busy;
-            let node = i / lanes_per_node;
-            let nm = &mut nodes[node.min(n_nodes.saturating_sub(1))];
-            nm.busy += lane.busy;
-            nm.events += lane.events;
-            nm.max_lane_busy = nm.max_lane_busy.max(lane.busy);
-            if lane.events > 0 {
-                active_lanes += 1;
-                nm.active_lanes += 1;
-            }
-            let bucket = if final_tick == 0 {
-                0
-            } else {
-                ((lane.busy as u128 * UTIL_HIST_BUCKETS as u128 / final_tick as u128) as usize)
-                    .min(UTIL_HIST_BUCKETS - 1)
-            };
-            nm.lane_util_hist[bucket] += 1;
-            if lane.busy > 0 {
-                hot.push(LaneMetrics {
-                    lane: i as u32,
-                    node: node as u32,
-                    busy: lane.busy,
-                    events: lane.events,
-                });
-            }
-        }
-        hot.sort_by(|a, b| b.busy.cmp(&a.busy).then(a.lane.cmp(&b.lane)));
-        hot.truncate(HOT_LANES_TOP_K);
-
-        let mut phases = self.core.phases.clone();
-        for p in &mut phases {
-            if p.is_open() {
-                p.end = final_tick;
-            }
-        }
-
-        Metrics {
-            final_tick,
-            clock_ghz: self.core.cfg.clock_ghz,
-            stats: self.core.stats.clone(),
-            total_busy,
-            active_lanes,
-            total_lanes: self.core.lanes.len() as u64,
-            nodes,
-            hot_lanes: hot,
-            phases,
-            custom: self.core.custom.clone(),
-        }
-    }
-
-    /// Back-compat alias for [`Engine::metrics`].
-    pub fn report(&self) -> Metrics {
-        self.metrics()
-    }
-
-    fn lane_run(&mut self, l: u32) {
-        let t = self.core.now;
-        let max_threads = self.core.cfg.max_threads_per_lane;
-        let lane = &mut self.core.lanes[l as usize];
+    fn lane_run(&mut self, shared: &Shared, l: u32) {
+        let t = self.now;
+        let max_threads = shared.cfg.max_threads_per_lane;
+        let li = (l - self.base_lane) as usize;
+        let lane = &mut self.lanes[li];
         debug_assert!(lane.scheduled);
         let Some(msg) = lane.inbox.pop_front() else {
             lane.scheduled = false;
@@ -787,47 +614,45 @@ impl Engine {
             None => {
                 // Thread table full: park this message and try the next.
                 lane.parked.push_back(msg);
-                self.core.stats.thread_table_stalls += 1;
-                if lane.inbox.is_empty() {
+                let more = !lane.inbox.is_empty();
+                if !more {
                     lane.scheduled = false;
-                } else {
-                    self.core.schedule(t, Action::LaneRun(l));
+                }
+                self.stats.thread_table_stalls += 1;
+                if more {
+                    self.schedule(t, Action::LaneRun(l));
                 }
                 return;
             }
         };
         if is_new {
-            self.core.stats.threads_created += 1;
+            self.stats.threads_created += 1;
         }
         let state = lane
             .threads
             .get_mut(&tid.0)
-            .unwrap_or_else(|| {
-                panic!(
-                    "event {:?} targets dead thread on lane {l}",
-                    msg.dst
-                )
-            })
+            .unwrap_or_else(|| panic!("event {:?} targets dead thread on lane {l}", msg.dst))
             .state
             .take();
         let label = msg.dst.label();
-        let entry = &mut self.handlers[label.0 as usize];
-        entry.count += 1;
-        entry.last_tick = t;
-        let name = entry.name.clone();
-        let f = Rc::clone(&entry.f);
+        let entry = &shared.handlers[label.0 as usize];
+        let hs = &mut self.handler_stats[label.0 as usize];
+        hs.0 += 1;
+        hs.1 = t;
+        let f = Arc::clone(&entry.f);
 
-        let base = self.core.cfg.costs.event_dispatch
+        let base = shared.cfg.costs.event_dispatch
             + if is_new {
-                self.core.cfg.costs.thread_create
+                shared.cfg.costs.thread_create
             } else {
                 0
             };
         let mut ctx = EventCtx {
-            core: &mut self.core,
+            shard: self,
+            shared,
             lane: l,
             tid,
-            event_name: &name,
+            event_name: &entry.name,
             msg: &msg,
             cost: base,
             out: Vec::new(),
@@ -848,20 +673,20 @@ impl Engine {
 
         // Every event ends in yield or yield_terminate (§2.1.1).
         let end_cost = if terminated {
-            self.core.cfg.costs.thread_dealloc
+            shared.cfg.costs.thread_dealloc
         } else {
-            self.core.cfg.costs.yield_
+            shared.cfg.costs.yield_
         };
         let total = cost + end_cost;
         let t_end = t + total;
 
-        let lane = &mut self.core.lanes[l as usize];
+        let lane = &mut self.lanes[li];
         lane.busy += total;
         lane.events += 1;
         lane.free_at = t_end;
-        self.core.stats.events_executed += 1;
-        self.core.last_completion = self.core.last_completion.max(t_end);
-        if let Some(tr) = &mut self.core.tracer {
+        self.stats.events_executed += 1;
+        self.last_completion = self.last_completion.max(t_end);
+        if let Some(tr) = &mut self.tracer {
             tr.record(TraceEvent::Exec {
                 lane: l,
                 label: label.0,
@@ -872,16 +697,15 @@ impl Engine {
         }
 
         if terminated {
-            let lane = &mut self.core.lanes[l as usize];
+            let lane = &mut self.lanes[li];
             lane.dealloc_thread(tid);
-            self.core.stats.threads_terminated += 1;
             // A freed context unparks one waiting creation.
-            let lane = &mut self.core.lanes[l as usize];
             if let Some(parked) = lane.parked.pop_front() {
                 lane.inbox.push_front(parked);
             }
+            self.stats.threads_terminated += 1;
         } else {
-            self.core.lanes[l as usize]
+            self.lanes[li]
                 .threads
                 .get_mut(&tid.0)
                 .expect("live thread")
@@ -890,27 +714,33 @@ impl Engine {
 
         // Emit collected effects at completion time.
         let src = NetworkId(l);
-        let src_node = self.core.cfg.node_of(src);
+        let src_node = self.id;
         for o in out {
             match o {
                 Outgoing::Msg(msg, delay) => {
                     let ready = t_end + delay;
                     let dst = msg.dst.nwid();
-                    let bytes = msg.wire_bytes(self.core.cfg.net.msg_header_bytes);
-                    let dst_node = self.core.cfg.node_of(dst);
+                    assert!(
+                        dst.0 < shared.cfg.total_lanes(),
+                        "message to nonexistent lane {} (machine has {})",
+                        dst.0,
+                        shared.cfg.total_lanes()
+                    );
+                    let bytes = msg.wire_bytes(shared.cfg.net.msg_header_bytes);
+                    let dst_node = shared.cfg.node_of(dst);
                     let (depart, arrival) = if dst_node != src_node {
-                        self.core.stats.msgs_inter_node += 1;
-                        let depart = self.core.nics.inject(src_node, ready, bytes);
-                        (depart, depart + self.core.cfg.net.inter_node_latency)
+                        self.stats.msgs_inter_node += 1;
+                        let depart = self.nic.inject(0, ready, bytes);
+                        (depart, depart + shared.cfg.net.inter_node_latency)
                     } else {
-                        if self.core.cfg.accel_of(src) == self.core.cfg.accel_of(dst) {
-                            self.core.stats.msgs_intra_accel += 1;
+                        if shared.cfg.accel_of(src) == shared.cfg.accel_of(dst) {
+                            self.stats.msgs_intra_accel += 1;
                         } else {
-                            self.core.stats.msgs_intra_node += 1;
+                            self.stats.msgs_intra_node += 1;
                         }
-                        (ready, ready + self.core.cfg.msg_latency(src, dst))
+                        (ready, ready + shared.cfg.msg_latency(src, dst))
                     };
-                    if let Some(tr) = &mut self.core.tracer {
+                    if let Some(tr) = &mut self.tracer {
                         let id = tr.alloc_id();
                         tr.record(TraceEvent::MsgTransit {
                             id,
@@ -921,7 +751,11 @@ impl Engine {
                             arrive: arrival,
                         });
                     }
-                    self.core.schedule(arrival, Action::Deliver(msg));
+                    if dst_node != src_node {
+                        self.push_cross(dst_node, arrival, Action::Deliver(msg));
+                    } else {
+                        self.schedule(arrival, Action::Deliver(msg));
+                    }
                 }
                 Outgoing::DramRead {
                     va,
@@ -929,9 +763,10 @@ impl Engine {
                     ret,
                     tag,
                 } => {
-                    self.core.stats.dram_reads += 1;
-                    self.core.stats.dram_read_bytes += nwords as u64 * 8;
-                    self.core.dram_issue(
+                    self.stats.dram_reads += 1;
+                    self.stats.dram_read_bytes += nwords as u64 * 8;
+                    self.dram_issue(
+                        shared,
                         t_end,
                         src,
                         va,
@@ -949,9 +784,10 @@ impl Engine {
                     ack,
                     tag,
                 } => {
-                    self.core.stats.dram_writes += 1;
-                    self.core.stats.dram_write_bytes += words.len() as u64 * 8;
-                    self.core.dram_issue(
+                    self.stats.dram_writes += 1;
+                    self.stats.dram_write_bytes += words.len() as u64 * 8;
+                    self.dram_issue(
+                        shared,
                         t_end,
                         src,
                         va,
@@ -969,10 +805,9 @@ impl Engine {
                     ret,
                     tag,
                 } => {
-                    self.core.stats.dram_writes += 1;
-                    self.core.stats.dram_write_bytes += 8;
-                    self.core
-                        .dram_issue(t_end, src, va, MemOp::AddU64 { va, delta, ret, tag });
+                    self.stats.dram_writes += 1;
+                    self.stats.dram_write_bytes += 8;
+                    self.dram_issue(shared, t_end, src, va, MemOp::AddU64 { va, delta, ret, tag });
                 }
                 Outgoing::AtomicAddF64 {
                     va,
@@ -980,23 +815,737 @@ impl Engine {
                     ret,
                     tag,
                 } => {
-                    self.core.stats.dram_writes += 1;
-                    self.core.stats.dram_write_bytes += 8;
-                    self.core
-                        .dram_issue(t_end, src, va, MemOp::AddF64 { va, delta, ret, tag });
+                    self.stats.dram_writes += 1;
+                    self.stats.dram_write_bytes += 8;
+                    self.dram_issue(shared, t_end, src, va, MemOp::AddF64 { va, delta, ret, tag });
                 }
             }
         }
 
         if stopped {
-            self.core.stop = true;
+            self.stop = true;
         }
 
-        let lane = &mut self.core.lanes[l as usize];
+        let lane = &mut self.lanes[li];
         if lane.inbox.is_empty() {
             lane.scheduled = false;
         } else {
-            self.core.schedule(t_end, Action::LaneRun(l));
+            self.schedule(t_end, Action::LaneRun(l));
+        }
+    }
+
+    /// Move all entries out of `mb` into this shard's calendar, in
+    /// deterministic `(source shard, source order)` order.
+    fn drain_mailbox(&mut self, mb: &Mailbox) {
+        let mut entries = std::mem::take(&mut *mb.q.lock().unwrap());
+        mb.min.store(u64::MAX, Relaxed);
+        if entries.is_empty() {
+            return;
+        }
+        entries.sort_unstable_by_key(|e| (e.src, e.order));
+        for e in entries {
+            self.schedule(e.time, e.action);
+        }
+    }
+
+    /// Publish this window's buffered cross-shard entries into the
+    /// destination mailboxes (parity `par`).
+    fn flush_outbuf(&mut self, mailboxes: &[[Mailbox; 2]], par: usize) {
+        for (dst, buf) in self.outbuf.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let mb = &mailboxes[dst][par];
+            let mut min = u64::MAX;
+            for e in buf.iter() {
+                min = min.min(e.time);
+            }
+            mb.min.fetch_min(min, Relaxed);
+            mb.q.lock().unwrap().append(buf);
+        }
+    }
+}
+
+/// A per-(destination, parity) queue of cross-shard calendar entries.
+/// Double-buffered by round parity: pushes in round `r` go to parity
+/// `r % 2` and are drained at the start of round `r + 1` — a fast worker
+/// can never consume entries from the round still in progress.
+struct Mailbox {
+    q: Mutex<Vec<XEntry>>,
+    /// Earliest entry time in `q` (for the coordinator's floor), reset to
+    /// `u64::MAX` on drain.
+    min: AtomicU64,
+}
+
+impl Default for Mailbox {
+    fn default() -> Mailbox {
+        Mailbox {
+            q: Mutex::new(Vec::new()),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// Shared control block for one scheduler invocation.
+struct Ctl {
+    barrier: Barrier,
+    /// Upper bound (exclusive) of the current window; `u64::MAX` signals
+    /// completion.
+    horizon: AtomicU64,
+    /// Per-shard earliest pending calendar time, published at window end.
+    next_time: Vec<AtomicU64>,
+    /// Per-destination double-buffered cross-shard queues.
+    mailboxes: Vec<[Mailbox; 2]>,
+    stop: AtomicBool,
+    /// Cumulative executed events (seeded with the pre-run total so the
+    /// event limit is cumulative across runs, like the serial engine).
+    events: AtomicU64,
+    rounds: AtomicU64,
+    event_limit: u64,
+    lookahead: u64,
+}
+
+/// One scheduler worker: processes `chunk` of the shards through the
+/// window-barrier rounds. The coordinator (worker 0) additionally computes
+/// each round's horizon between the two barrier waits.
+fn worker_loop(chunk: &mut [EngineCore], is_coord: bool, ctl: &Ctl, shared: &Shared) {
+    let mut round: u64 = 0;
+    loop {
+        ctl.barrier.wait();
+        if is_coord {
+            let drain_par = ((round + 1) % 2) as usize;
+            let mut floor = u64::MAX;
+            for t in &ctl.next_time {
+                floor = floor.min(t.load(Relaxed));
+            }
+            for mb in &ctl.mailboxes {
+                floor = floor.min(mb[drain_par].min.load(Relaxed));
+            }
+            let done = floor == u64::MAX
+                || ctl.stop.load(Relaxed)
+                || ctl.events.load(Relaxed) >= ctl.event_limit;
+            if done {
+                ctl.horizon.store(u64::MAX, Relaxed);
+            } else {
+                ctl.rounds.fetch_add(1, Relaxed);
+                let h = floor.saturating_add(ctl.lookahead).min(u64::MAX - 1);
+                ctl.horizon.store(h, Relaxed);
+            }
+        }
+        ctl.barrier.wait();
+        let horizon = ctl.horizon.load(Relaxed);
+        if horizon == u64::MAX {
+            break;
+        }
+        let drain_par = ((round + 1) % 2) as usize;
+        let push_par = (round % 2) as usize;
+        // Same snapshot on every worker => the per-window budget is
+        // thread-count invariant.
+        let budget_base = ctl.events.load(Relaxed);
+        let budget = ctl.event_limit.saturating_sub(budget_base);
+        for core in chunk.iter_mut() {
+            core.drain_mailbox(&ctl.mailboxes[core.id as usize][drain_par]);
+            let executed = core.window(shared, horizon, budget);
+            if executed > 0 {
+                ctl.events.fetch_add(executed, Relaxed);
+            }
+            core.flush_outbuf(&ctl.mailboxes, push_par);
+            ctl.next_time[core.id as usize].store(core.next_time(), Relaxed);
+            if core.stop {
+                ctl.stop.store(true, Relaxed);
+            }
+        }
+        round += 1;
+    }
+}
+
+/// One scheduler invocation over the engine's shards. Constructed by
+/// [`Engine::run_with`] and consumed by a [`Scheduler`] implementation.
+pub struct EngineRun<'a> {
+    pub(crate) shards: &'a mut [EngineCore],
+    pub(crate) shared: &'a Shared,
+    pub(crate) event_limit: u64,
+    pub(crate) events_before: u64,
+    pub(crate) rounds: u64,
+    pub(crate) stopped: bool,
+}
+
+/// Execute the conservative window rounds with `workers` OS threads.
+/// `workers == 1` runs the identical loop inline — the sequential engine
+/// *is* the parallel engine with one worker, so results agree by
+/// construction.
+pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
+    let n = run.shards.len();
+    let workers = workers.min(n).max(1);
+    let ctl = Ctl {
+        barrier: Barrier::new(workers),
+        horizon: AtomicU64::new(0),
+        next_time: run
+            .shards
+            .iter()
+            .map(|s| AtomicU64::new(s.next_time()))
+            .collect(),
+        mailboxes: (0..n).map(|_| [Mailbox::default(), Mailbox::default()]).collect(),
+        stop: AtomicBool::new(false),
+        events: AtomicU64::new(run.events_before),
+        rounds: AtomicU64::new(0),
+        event_limit: run.event_limit,
+        lookahead: run.shared.lookahead,
+    };
+    if workers == 1 {
+        worker_loop(run.shards, true, &ctl, run.shared);
+    } else {
+        // Split into exactly `workers` non-empty chunks (sizes differ by at
+        // most one) — the barrier counts every worker, so the chunk count
+        // must match it exactly.
+        let shared = run.shared;
+        let base = n / workers;
+        let extra = n % workers;
+        let mut rest: &mut [EngineCore] = run.shards;
+        let mut chunks: Vec<&mut [EngineCore]> = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let take = base + usize::from(i < extra);
+            let (head, tail) = rest.split_at_mut(take);
+            chunks.push(head);
+            rest = tail;
+        }
+        let mut iter = chunks.into_iter();
+        let first = iter.next().expect("at least one worker");
+        std::thread::scope(|s| {
+            for ch in iter {
+                let ctl = &ctl;
+                s.spawn(move || worker_loop(ch, false, ctl, shared));
+            }
+            worker_loop(first, true, &ctl, shared);
+        });
+    }
+    // Entries still parked in the mailboxes (stop or event-limit endings)
+    // go back into the destination calendars so a later `run()` resumes
+    // them; drain order is deterministic (parity, then (src, order)).
+    let rounds = ctl.rounds.load(Relaxed);
+    for core in run.shards.iter_mut() {
+        let mb = &ctl.mailboxes[core.id as usize];
+        for par in [(rounds % 2) as usize, ((rounds + 1) % 2) as usize] {
+            core.drain_mailbox(&mb[par]);
+        }
+    }
+    run.rounds = rounds;
+    run.stopped = ctl.stop.load(Relaxed);
+}
+
+/// The simulator.
+pub struct Engine {
+    shared: Shared,
+    shards: Vec<EngineCore>,
+    event_limit: u64,
+    /// Barrier rounds accumulated over all runs (reported as
+    /// `Counters::windows`).
+    windows: u64,
+    /// Host-side phase spans (`Engine::phase_begin`), in begin order.
+    host_phases: Vec<PhaseSpan>,
+    /// Host + device phase spans, stable-sorted by start time.
+    phases_cache: Vec<PhaseSpan>,
+    /// Trace events drained from the shard tracers after each run, in
+    /// shard order.
+    merged_trace: Vec<TraceEvent>,
+    /// `[PRINT]` lines drained from the shards after each run, in shard
+    /// order.
+    merged_print: Vec<String>,
+    /// Counters merged across shards after each run (for `stats()`).
+    merged_stats: Counters,
+}
+
+impl Engine {
+    pub fn new(cfg: MachineConfig) -> Engine {
+        let lanes_per_node = cfg.lanes_per_node();
+        let mem = Arc::new(GlobalMemory::new(cfg.nodes));
+        let n = cfg.nodes;
+        let shards = (0..n)
+            .map(|id| EngineCore {
+                id,
+                base_lane: id * lanes_per_node,
+                now: 0,
+                seq: 0,
+                calendar: BinaryHeap::new(),
+                lanes: {
+                    let mut v = Vec::with_capacity(lanes_per_node as usize);
+                    v.resize_with(lanes_per_node as usize, Lane::default);
+                    v
+                },
+                channel: MemChannels::new(1, &cfg.mem),
+                nic: Nics::new(1, &cfg.net),
+                stats: Counters::default(),
+                stop: false,
+                trace: None,
+                tracer: None,
+                phases: Vec::new(),
+                custom_add: BTreeMap::new(),
+                custom_peak: BTreeMap::new(),
+                last_completion: 0,
+                handler_stats: Vec::new(),
+                sent_seq: 0,
+                outbuf: (0..n).map(|_| Vec::new()).collect(),
+            })
+            .collect();
+        let lookahead = cfg.net.inter_node_latency.max(1);
+        Engine {
+            shared: Shared {
+                cfg,
+                mem,
+                handlers: Vec::new(),
+                lookahead,
+            },
+            shards,
+            event_limit: u64::MAX,
+            windows: 0,
+            host_phases: Vec::new(),
+            phases_cache: Vec::new(),
+            merged_trace: Vec::new(),
+            merged_print: Vec::new(),
+            merged_stats: Counters::default(),
+        }
+    }
+
+    pub fn config(&self) -> &MachineConfig {
+        &self.shared.cfg
+    }
+
+    /// The conservative window length used by the schedulers: the minimum
+    /// latency of any cross-node effect.
+    pub fn lookahead(&self) -> u64 {
+        self.shared.lookahead
+    }
+
+    /// Register an event handler; returns its label.
+    pub fn register(&mut self, name: &str, f: Handler) -> EventLabel {
+        assert!(
+            self.shared.handlers.len() < u16::MAX as usize,
+            "handler table full"
+        );
+        let label = EventLabel(self.shared.handlers.len() as u16);
+        self.shared.handlers.push(HandlerEntry {
+            name: name.to_string(),
+            f,
+        });
+        label
+    }
+
+    /// Name of a registered event (for traces and diagnostics).
+    pub fn event_name(&self, label: EventLabel) -> &str {
+        &self.shared.handlers[label.0 as usize].name
+    }
+
+    /// Host-side (TOP core) injection of an initial event at the current
+    /// simulation time.
+    pub fn send(&mut self, dst: EventWord, args: impl Into<Vec<u64>>, cont: EventWord) {
+        let l = dst.nwid();
+        assert!(
+            l.0 < self.shared.cfg.total_lanes(),
+            "message to nonexistent lane {} (machine has {})",
+            l.0,
+            self.shared.cfg.total_lanes()
+        );
+        let msg = Message::new(dst, args, cont, NetworkId(0));
+        let t = self.now();
+        let node = self.shared.cfg.node_of(l);
+        self.shards[node as usize].deliver(t, msg);
+    }
+
+    /// Functional access to global memory for host-side setup/inspection
+    /// (the TOP core's mmap-style access; not charged simulation time).
+    pub fn mem(&self) -> &GlobalMemory {
+        &self.shared.mem
+    }
+
+    pub fn mem_mut(&mut self) -> &mut GlobalMemory {
+        Arc::get_mut(&mut self.shared.mem)
+            .expect("exclusive memory access outside a run")
+    }
+
+    /// Cap the number of executed events (runaway guard). The run stops
+    /// with [`Metrics`] when exceeded.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Record `[PRINT]`-style trace lines emitted via [`EventCtx::print`].
+    pub fn enable_trace(&mut self) {
+        for s in &mut self.shards {
+            if s.trace.is_none() {
+                s.trace = Some(Vec::new());
+            }
+        }
+    }
+
+    pub fn trace(&self) -> &[String] {
+        &self.merged_print
+    }
+
+    /// Enable the structured event trace (lane busy spans, message
+    /// transits, DRAM stages, counters). Recording has **zero observer
+    /// effect**: simulated cycle counts are byte-identical with tracing
+    /// on or off. Export with [`Engine::chrome_trace_json`].
+    pub fn enable_event_trace(&mut self) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if s.tracer.is_none() {
+                s.tracer = Some(Tracer::with_id_base((i as u64) << 48));
+            }
+        }
+    }
+
+    pub fn event_trace_enabled(&self) -> bool {
+        self.shards.first().map(|s| s.tracer.is_some()).unwrap_or(false)
+    }
+
+    /// Recorded trace events (empty when event tracing is disabled),
+    /// merged in shard order after each run.
+    pub fn event_trace(&self) -> &[TraceEvent] {
+        &self.merged_trace
+    }
+
+    /// Begin a named phase span at the current simulation time (host
+    /// side; device code uses [`EventCtx::phase_begin`]).
+    pub fn phase_begin(&mut self, name: &str) {
+        let now = self.now();
+        self.host_phases.push(PhaseSpan {
+            name: name.to_string(),
+            start: now,
+            end: u64::MAX,
+        });
+        self.rebuild_phases();
+    }
+
+    /// End the open span with this name that started most recently,
+    /// searching host-side and device-side spans.
+    pub fn phase_end(&mut self, name: &str) {
+        let now = self.now();
+        let mut best: Option<(&mut PhaseSpan, u64)> = None;
+        for p in self
+            .host_phases
+            .iter_mut()
+            .chain(self.shards.iter_mut().flat_map(|s| s.phases.iter_mut()))
+        {
+            if p.is_open() && p.name == name {
+                let start = p.start;
+                if best.as_ref().map(|(_, s)| start >= *s).unwrap_or(true) {
+                    best = Some((p, start));
+                }
+            }
+        }
+        if let Some((p, _)) = best {
+            p.end = now;
+        }
+        self.rebuild_phases();
+    }
+
+    /// Phase spans recorded so far (open spans have `end == u64::MAX`),
+    /// host and device combined, stable-sorted by start time.
+    pub fn phases(&self) -> &[PhaseSpan] {
+        &self.phases_cache
+    }
+
+    fn rebuild_phases(&mut self) {
+        let mut all: Vec<PhaseSpan> = self.host_phases.clone();
+        for s in &self.shards {
+            all.extend(s.phases.iter().cloned());
+        }
+        all.sort_by_key(|p| p.start);
+        self.phases_cache = all;
+    }
+
+    /// Export the event trace in Chrome `trace_event` JSON format (open
+    /// in `chrome://tracing` or Perfetto). Includes phase spans even when
+    /// event tracing is disabled.
+    pub fn chrome_trace_json(&self) -> String {
+        let names: Vec<String> = self
+            .shared
+            .handlers
+            .iter()
+            .map(|h| h.name.clone())
+            .collect();
+        crate::trace::chrome_trace_json(
+            &self.merged_trace,
+            &self.phases_cache,
+            &names,
+            self.shared.cfg.lanes_per_node(),
+            self.shared.cfg.clock_ghz,
+            self.final_tick(),
+        )
+    }
+
+    /// Write the Chrome trace JSON to `path`.
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace_json())
+    }
+
+    /// Machine-wide counters, merged across shards after each run.
+    pub fn stats(&self) -> &Counters {
+        &self.merged_stats
+    }
+
+    fn merged_counters(&self) -> Counters {
+        let mut c = Counters::default();
+        for s in &self.shards {
+            c.merge_from(&s.stats);
+        }
+        c.windows = self.windows;
+        c
+    }
+
+    /// Per-lane busy-cycle maximum and its lane id (diagnostics: detects
+    /// serialization hot spots).
+    pub fn busiest_lane(&self) -> (u32, u64) {
+        let mut best = (0u32, 0u64);
+        for s in &self.shards {
+            for (i, l) in s.lanes.iter().enumerate() {
+                if l.busy > best.1 {
+                    best = (s.base_lane + i as u32, l.busy);
+                }
+            }
+        }
+        best
+    }
+
+    /// Lane with the most executed events (diagnostics).
+    pub fn most_events_lane(&self) -> (u32, u64) {
+        let mut best = (0u32, 0u64);
+        for s in &self.shards {
+            for (i, l) in s.lanes.iter().enumerate() {
+                if l.events > best.1 {
+                    best = (s.base_lane + i as u32, l.events);
+                }
+            }
+        }
+        best
+    }
+
+    /// Execution counts per event name, descending (diagnostics).
+    pub fn event_counts(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = Vec::new();
+        for (i, h) in self.shared.handlers.iter().enumerate() {
+            let mut count = 0u64;
+            let mut last = 0u64;
+            for s in &self.shards {
+                if let Some((c, t)) = s.handler_stats.get(i) {
+                    count += c;
+                    last = last.max(*t);
+                }
+            }
+            if count > 0 {
+                v.push((format!("{} (last @{})", h.name, last), count));
+            }
+        }
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
+        v
+    }
+
+    /// Current simulation time: the maximum of the shard clocks.
+    pub fn now(&self) -> u64 {
+        self.shards.iter().map(|s| s.now).max().unwrap_or(0)
+    }
+
+    fn final_tick(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.now.max(s.last_completion))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Run until the calendars drain, `stop()` is called, or the event
+    /// limit is hit. A stopped engine can be run again: the stop flag is
+    /// cleared on entry (pending calendar actions resume).
+    ///
+    /// Dispatches on [`MachineConfig::threads`]: `1` uses the
+    /// [`Sequential`] scheduler, more uses [`Parallel`]. Results are
+    /// byte-identical either way.
+    pub fn run(&mut self) -> Metrics {
+        if self.shared.cfg.threads > 1 {
+            let threads = self.shared.cfg.threads as usize;
+            self.run_with(&Parallel { threads })
+        } else {
+            self.run_with(&Sequential)
+        }
+    }
+
+    /// Run under an explicit [`Scheduler`].
+    pub fn run_with(&mut self, sched: &dyn Scheduler) -> Metrics {
+        for s in &mut self.shards {
+            s.stop = false;
+            s.handler_stats.resize(self.shared.handlers.len(), (0, 0));
+        }
+        let events_before: u64 = self.shards.iter().map(|s| s.stats.events_executed).sum();
+        let mut run = EngineRun {
+            shards: &mut self.shards,
+            shared: &self.shared,
+            event_limit: self.event_limit,
+            events_before,
+            rounds: 0,
+            stopped: false,
+        };
+        sched.run(&mut run);
+        let (rounds, stopped) = (run.rounds, run.stopped);
+        self.windows += rounds;
+        if stopped {
+            self.drain_in_flight();
+        }
+        self.collect_run_artifacts();
+        self.metrics()
+    }
+
+    /// Graceful stop: apply all in-flight memory effects so host-visible
+    /// memory is consistent (message deliveries and lane work are
+    /// discarded; acks/read-returns have no one left to run them).
+    fn drain_in_flight(&mut self) {
+        for core in &mut self.shards {
+            while let Some(Reverse(s)) = core.calendar.pop() {
+                let op = match s.action {
+                    // Not-yet-applied stages carry the op; apply effects.
+                    Action::MemArrive { op, .. } | Action::MemServed { op, .. } => op,
+                    Action::Deliver(_) => {
+                        core.stats.msgs_dropped += 1;
+                        continue;
+                    }
+                    // MemDone responses were already applied at service
+                    // time on the owning shard.
+                    Action::LaneRun(_) | Action::MemDone { .. } => continue,
+                };
+                match op {
+                    MemOp::Write { va, words, .. } => {
+                        self.shared
+                            .mem
+                            .write_words(va, &words)
+                            .unwrap_or_else(|e| panic!("DRAM write fault at drain: {e}"));
+                    }
+                    MemOp::AddU64 { va, delta, .. } => {
+                        let _ = self.shared.mem.fetch_add_u64(va, delta);
+                    }
+                    MemOp::AddF64 { va, delta, .. } => {
+                        let _ = self.shared.mem.fetch_add_f64(va, delta);
+                    }
+                    MemOp::Read { .. } => {}
+                }
+            }
+        }
+    }
+
+    /// Merge per-shard run artifacts into the engine-level views: trace
+    /// events, print lines (both drained in shard order), the counters
+    /// cache, and the phase cache.
+    fn collect_run_artifacts(&mut self) {
+        for core in &mut self.shards {
+            if let Some(t) = &mut core.trace {
+                self.merged_print.append(t);
+            }
+            if let Some(tr) = &mut core.tracer {
+                self.merged_trace.append(&mut tr.events);
+            }
+        }
+        self.merged_stats = self.merged_counters();
+        self.rebuild_phases();
+    }
+
+    /// Build the final [`Metrics`] without running: machine-wide counters
+    /// plus per-node rollups, lane-utilization histograms, the top-K
+    /// hottest lanes, and any recorded phase spans.
+    pub fn metrics(&self) -> Metrics {
+        let final_tick = self.final_tick();
+        let lanes_per_node = self.shared.cfg.lanes_per_node().max(1) as usize;
+        let n_nodes = self.shared.cfg.nodes as usize;
+
+        let mut nodes: Vec<NodeMetrics> = (0..n_nodes)
+            .map(|n| NodeMetrics {
+                node: n as u32,
+                lanes: lanes_per_node as u64,
+                dram_served_bytes: self.shards[n].channel.served_bytes.first().copied().unwrap_or(0),
+                nic_injected_bytes: self.shards[n].nic.injected_bytes.first().copied().unwrap_or(0),
+                ..NodeMetrics::default()
+            })
+            .collect();
+
+        let mut total_busy = 0u64;
+        let mut active_lanes = 0u64;
+        let mut hot: Vec<LaneMetrics> = Vec::new();
+        for shard in &self.shards {
+            let nm = &mut nodes[shard.id as usize];
+            for (i, lane) in shard.lanes.iter().enumerate() {
+                total_busy += lane.busy;
+                nm.busy += lane.busy;
+                nm.events += lane.events;
+                nm.max_lane_busy = nm.max_lane_busy.max(lane.busy);
+                if lane.events > 0 {
+                    active_lanes += 1;
+                    nm.active_lanes += 1;
+                }
+                let bucket = if final_tick == 0 {
+                    0
+                } else {
+                    ((lane.busy as u128 * UTIL_HIST_BUCKETS as u128 / final_tick as u128) as usize)
+                        .min(UTIL_HIST_BUCKETS - 1)
+                };
+                nm.lane_util_hist[bucket] += 1;
+                if lane.busy > 0 {
+                    hot.push(LaneMetrics {
+                        lane: shard.base_lane + i as u32,
+                        node: shard.id,
+                        busy: lane.busy,
+                        events: lane.events,
+                    });
+                }
+            }
+        }
+        hot.sort_by(|a, b| b.busy.cmp(&a.busy).then(a.lane.cmp(&b.lane)));
+        hot.truncate(HOT_LANES_TOP_K);
+
+        let mut phases: Vec<PhaseSpan> = self.host_phases.clone();
+        for s in &self.shards {
+            phases.extend(s.phases.iter().cloned());
+        }
+        phases.sort_by_key(|p| p.start);
+        for p in &mut phases {
+            if p.is_open() {
+                p.end = final_tick;
+            }
+        }
+
+        let mut custom: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in &self.shards {
+            for (k, v) in &s.custom_add {
+                *custom.entry(k).or_insert(0) += v;
+            }
+        }
+        for s in &self.shards {
+            for (k, v) in &s.custom_peak {
+                let e = custom.entry(k).or_insert(0);
+                *e = (*e).max(*v);
+            }
+        }
+
+        Metrics {
+            final_tick,
+            clock_ghz: self.shared.cfg.clock_ghz,
+            stats: self.merged_counters(),
+            total_busy,
+            active_lanes,
+            total_lanes: self.shared.cfg.total_lanes() as u64,
+            nodes,
+            hot_lanes: hot,
+            phases,
+            custom,
+        }
+    }
+
+    /// Back-compat alias for [`Engine::metrics`].
+    pub fn report(&self) -> Metrics {
+        self.metrics()
+    }
+
+    /// Force every shard clock to `t` — test hook for the
+    /// time-went-backwards invariant. Not part of the public API.
+    #[doc(hidden)]
+    pub fn force_clock_for_test(&mut self, t: u64) {
+        for s in &mut self.shards {
+            s.now = t;
         }
     }
 }
@@ -1004,7 +1553,8 @@ impl Engine {
 /// Execution context handed to event handlers: the UDWeave "machine
 /// interface". Every operation charges its Table-2 cost.
 pub struct EventCtx<'a> {
-    core: &'a mut Core,
+    shard: &'a mut EngineCore,
+    shared: &'a Shared,
     lane: u32,
     tid: ThreadId,
     event_name: &'a str,
@@ -1012,7 +1562,7 @@ pub struct EventCtx<'a> {
     cost: u64,
     out: Vec<Outgoing>,
     terminated: bool,
-    state: Option<Box<dyn Any>>,
+    state: Option<Box<dyn Any + Send>>,
     stopped: bool,
 }
 
@@ -1028,7 +1578,7 @@ impl<'a> EventCtx<'a> {
     /// Node index of this lane.
     #[inline]
     pub fn node(&self) -> u32 {
-        self.core.cfg.node_of(self.nwid())
+        self.shared.cfg.node_of(self.nwid())
     }
 
     #[inline]
@@ -1056,13 +1606,13 @@ impl<'a> EventCtx<'a> {
 
     #[inline]
     pub fn config(&self) -> &MachineConfig {
-        &self.core.cfg
+        &self.shared.cfg
     }
 
     /// Current simulation time (start of this event).
     #[inline]
     pub fn now(&self) -> u64 {
-        self.core.now
+        self.shard.now
     }
 
     // ---- operands ------------------------------------------------------
@@ -1087,7 +1637,7 @@ impl<'a> EventCtx<'a> {
 
     /// Typed access to the thread's persistent state, default-initialized
     /// on first use.
-    pub fn state_mut<T: Default + 'static>(&mut self) -> &mut T {
+    pub fn state_mut<T: Default + Send + 'static>(&mut self) -> &mut T {
         if self.state.is_none() || self.state.as_ref().unwrap().downcast_ref::<T>().is_none() {
             self.state = Some(Box::<T>::default());
         }
@@ -1095,7 +1645,7 @@ impl<'a> EventCtx<'a> {
     }
 
     /// Replace the thread state wholesale.
-    pub fn set_state<T: 'static>(&mut self, v: T) {
+    pub fn set_state<T: Send + 'static>(&mut self, v: T) {
         self.state = Some(Box::new(v));
     }
 
@@ -1122,7 +1672,7 @@ impl<'a> EventCtx<'a> {
         cont: EventWord,
     ) {
         assert!(!dst.is_ignore(), "send_event to IGNORE");
-        self.cost += self.core.cfg.costs.send_msg;
+        self.cost += self.shared.cfg.costs.send_msg;
         self.out.push(Outgoing::Msg(
             Message {
                 dst,
@@ -1170,7 +1720,7 @@ impl<'a> EventCtx<'a> {
         tag: Option<u64>,
     ) {
         assert!((1..=8).contains(&nwords), "hardware reads 1..=8 words");
-        self.cost += self.core.cfg.costs.send_dram;
+        self.cost += self.shared.cfg.costs.send_dram;
         let ret = self.self_event(ret_label);
         self.out.push(Outgoing::DramRead {
             va,
@@ -1202,8 +1752,11 @@ impl<'a> EventCtx<'a> {
         ack_label: Option<EventLabel>,
         tag: Option<u64>,
     ) {
-        assert!(!words.is_empty() && words.len() <= 8, "hardware writes 1..=8 words");
-        self.cost += self.core.cfg.costs.send_dram;
+        assert!(
+            !words.is_empty() && words.len() <= 8,
+            "hardware writes 1..=8 words"
+        );
+        self.cost += self.shared.cfg.costs.send_dram;
         let ack = ack_label.map(|l| self.self_event(l));
         self.out.push(Outgoing::DramWrite {
             va,
@@ -1223,7 +1776,7 @@ impl<'a> EventCtx<'a> {
         ret_label: Option<EventLabel>,
         tag: Option<u64>,
     ) {
-        self.cost += self.core.cfg.costs.send_dram;
+        self.cost += self.shared.cfg.costs.send_dram;
         let ret = ret_label.map(|l| self.self_event(l));
         self.out.push(Outgoing::AtomicAddU64 {
             va,
@@ -1241,7 +1794,7 @@ impl<'a> EventCtx<'a> {
         ret_label: Option<EventLabel>,
         tag: Option<u64>,
     ) {
-        self.cost += self.core.cfg.costs.send_dram;
+        self.cost += self.shared.cfg.costs.send_dram;
         let ret = ret_label.map(|l| self.self_event(l));
         self.out.push(Outgoing::AtomicAddF64 {
             va,
@@ -1255,37 +1808,45 @@ impl<'a> EventCtx<'a> {
     /// machine model: intended for assertions, oracles and trace output
     /// only. Timed code must use `send_dram_read`.
     pub fn dram_peek_u64(&self, va: VAddr) -> u64 {
-        self.core.mem.read_u64(va).expect("peek fault")
+        self.shared.mem.read_u64(va).expect("peek fault")
     }
 
     // ---- scratchpad --------------------------------------------------------
 
+    #[inline]
+    fn local_lane_idx(&self) -> usize {
+        (self.lane - self.shard.base_lane) as usize
+    }
+
     /// Scratchpad load (1 cycle), word-addressed.
     pub fn spm_read(&mut self, off: u32) -> u64 {
-        assert!(off < self.core.cfg.spm_words, "scratchpad overflow");
-        self.cost += self.core.cfg.costs.spd_access;
-        self.core.lanes[self.lane as usize].spm.read(off)
+        assert!(off < self.shared.cfg.spm_words, "scratchpad overflow");
+        self.cost += self.shared.cfg.costs.spd_access;
+        let idx = self.local_lane_idx();
+        self.shard.lanes[idx].spm.read(off)
     }
 
     /// Scratchpad store (1 cycle), word-addressed.
     pub fn spm_write(&mut self, off: u32, v: u64) {
-        assert!(off < self.core.cfg.spm_words, "scratchpad overflow");
-        self.cost += self.core.cfg.costs.spd_access;
-        self.core.lanes[self.lane as usize].spm.write(off, v);
+        assert!(off < self.shared.cfg.spm_words, "scratchpad overflow");
+        self.cost += self.shared.cfg.costs.spd_access;
+        let idx = self.local_lane_idx();
+        self.shard.lanes[idx].spm.write(off, v);
     }
 
     /// Raw bump-allocate `words` of this lane's scratchpad (spMalloc's
     /// backing primitive). Panics when the scratchpad is exhausted.
     pub fn spm_alloc(&mut self, words: u32) -> u32 {
-        let lane = &mut self.core.lanes[self.lane as usize];
+        let idx = self.local_lane_idx();
+        let lane = &mut self.shard.lanes[idx];
         let base = lane.spm_brk;
         assert!(
-            base + words <= self.core.cfg.spm_words,
+            base + words <= self.shared.cfg.spm_words,
             "spMalloc: scratchpad exhausted on lane {} ({} + {} > {})",
             self.lane,
             base,
             words,
-            self.core.cfg.spm_words
+            self.shared.cfg.spm_words
         );
         lane.spm_brk += words;
         base
@@ -1304,19 +1865,21 @@ impl<'a> EventCtx<'a> {
         self.terminated = true;
     }
 
-    /// Stop the whole simulation after this event completes.
+    /// Stop the whole simulation after this event completes. Other shards
+    /// finish the current conservative window (deterministically), then
+    /// the scheduler halts and drains in-flight memory effects.
     pub fn stop(&mut self) {
         self.stopped = true;
     }
 
     /// Emit a BASIM_PRINT-style trace line (if tracing is enabled).
     pub fn print(&mut self, text: &str) {
-        if self.core.trace.is_some() {
+        if self.shard.trace.is_some() {
             let line = format!(
                 "[PRINT] {}: [NWID {}][TID {}][{}] {}",
-                self.core.now, self.lane, self.tid.0, self.event_name, text
+                self.shard.now, self.lane, self.tid.0, self.event_name, text
             );
-            self.core.trace_line(line);
+            self.shard.trace_line(line);
         }
     }
 
@@ -1326,25 +1889,26 @@ impl<'a> EventCtx<'a> {
     /// phase). Spans nest and repeat freely; [`Metrics::phase_cycles`]
     /// accumulates same-named spans. Free — charges no cycles.
     pub fn phase_begin(&mut self, name: &str) {
-        self.core.phase_begin(name);
+        self.shard.phase_begin(name);
     }
 
     /// Close the most recent open phase span with this name. A close
     /// without a matching open is ignored. Free — charges no cycles.
     pub fn phase_end(&mut self, name: &str) {
-        self.core.phase_end(name);
+        self.shard.phase_end(name);
     }
 
     /// Add `delta` to a named custom counter reported in
-    /// [`Metrics::custom`]. Free — charges no cycles.
+    /// [`Metrics::custom`]. Summed across shards. Free — charges no
+    /// cycles.
     pub fn bump(&mut self, name: &'static str, delta: u64) {
-        *self.core.custom.entry(name).or_insert(0) += delta;
+        *self.shard.custom_add.entry(name).or_insert(0) += delta;
     }
 
-    /// Raise a named custom high-water mark to at least `value`. Free —
-    /// charges no cycles.
+    /// Raise a named custom high-water mark to at least `value`.
+    /// Max-merged across shards. Free — charges no cycles.
     pub fn peak(&mut self, name: &'static str, value: u64) {
-        let e = self.core.custom.entry(name).or_insert(0);
+        let e = self.shard.custom_peak.entry(name).or_insert(0);
         *e = (*e).max(value);
     }
 
@@ -1352,8 +1916,8 @@ impl<'a> EventCtx<'a> {
     /// Chrome-trace counter track). No-op unless event tracing is on;
     /// free — charges no cycles.
     pub fn trace_counter_add(&mut self, name: &'static str, delta: i64) {
-        let now = self.core.now;
-        if let Some(tr) = &mut self.core.tracer {
+        let now = self.shard.now;
+        if let Some(tr) = &mut self.shard.tracer {
             tr.counter_add(name, delta, now);
         }
     }
@@ -1363,8 +1927,7 @@ impl<'a> EventCtx<'a> {
 mod tests {
     use super::*;
     use crate::config::MachineConfig;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn tiny() -> MachineConfig {
         MachineConfig::small(2, 2, 4)
@@ -1374,14 +1937,14 @@ mod tests {
     fn call_return_composition() {
         // Listing 2 of the paper: e1 -> e2 (new thread, next lane) -> e3 (back).
         let mut eng = Engine::new(tiny());
-        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let log: Arc<Mutex<Vec<&'static str>>> = Arc::default();
 
         let l3 = {
             let log = log.clone();
             eng.register(
                 "e3",
-                Rc::new(move |ctx| {
-                    log.borrow_mut().push("e3");
+                Arc::new(move |ctx: &mut EventCtx| {
+                    log.lock().unwrap().push("e3");
                     ctx.yield_terminate();
                 }),
             )
@@ -1390,8 +1953,8 @@ mod tests {
             let log = log.clone();
             eng.register(
                 "e2",
-                Rc::new(move |ctx| {
-                    log.borrow_mut().push("e2");
+                Arc::new(move |ctx: &mut EventCtx| {
+                    log.lock().unwrap().push("e2");
                     assert_eq!(ctx.args(), &[0, 1]);
                     ctx.send_reply([]);
                     ctx.yield_terminate();
@@ -1402,8 +1965,8 @@ mod tests {
             let log = log.clone();
             eng.register(
                 "e1",
-                Rc::new(move |ctx| {
-                    log.borrow_mut().push("e1");
+                Arc::new(move |ctx: &mut EventCtx| {
+                    log.lock().unwrap().push("e1");
                     let evw = EventWord::new(ctx.nwid().next(), l2);
                     let ct = ctx.self_event(l3);
                     ctx.send_event(evw, [0, 1], ct);
@@ -1413,7 +1976,7 @@ mod tests {
 
         eng.send(EventWord::new(NetworkId(0), l1), [], EventWord::IGNORE);
         let report = eng.run();
-        assert_eq!(&*log.borrow(), &["e1", "e2", "e3"]);
+        assert_eq!(&*log.lock().unwrap(), &["e1", "e2", "e3"]);
         assert_eq!(report.stats.events_executed, 3);
         assert_eq!(report.stats.threads_created, 2);
         assert_eq!(report.stats.threads_terminated, 2);
@@ -1423,10 +1986,10 @@ mod tests {
     fn cost_model_exact() {
         // One event: dispatch(2) + send_msg(2) + yield(1) = 5 cycles busy.
         let mut eng = Engine::new(tiny());
-        let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
         let l1 = eng.register(
             "one_send",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let w = EventWord::new(ctx.nwid().next(), sink);
                 ctx.send_event(w, [], EventWord::IGNORE);
                 ctx.yield_terminate();
@@ -1446,10 +2009,10 @@ mod tests {
         let cfg = tiny();
         let lanes_per_node = cfg.lanes_per_node();
         let mut eng = Engine::new(cfg);
-        let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
         let l1 = eng.register(
             "cross",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let w = EventWord::new(NetworkId(lanes_per_node), sink); // node 1
                 ctx.send_event(w, [], EventWord::IGNORE);
                 ctx.yield_terminate();
@@ -1470,25 +2033,25 @@ mod tests {
         let a = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
         eng.mem_mut().write_words(a, &[10, 20, 30]).unwrap();
 
-        let got: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let got: Arc<Mutex<Vec<u64>>> = Arc::default();
         let got2 = got.clone();
         let ret = eng.register(
             "ret",
-            Rc::new(move |ctx| {
-                got2.borrow_mut().extend_from_slice(ctx.args());
+            Arc::new(move |ctx: &mut EventCtx| {
+                got2.lock().unwrap().extend_from_slice(ctx.args());
                 ctx.yield_terminate();
             }),
         );
         let start = eng.register(
             "start",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let a = VAddr(ctx.arg(0));
                 ctx.send_dram_read(a, 3, ret);
             }),
         );
         eng.send(EventWord::new(NetworkId(0), start), [a.0], EventWord::IGNORE);
         let r = eng.run();
-        assert_eq!(&*got.borrow(), &[10, 20, 30]);
+        assert_eq!(&*got.lock().unwrap(), &[10, 20, 30]);
         // Issue done t = 2+2+1 = 5; request hop 30; channel: 64B at 4700B/cy
         // = 1 cycle + 200 latency => served at 5+30+1+200 = 236; return hop 30
         // => arrives 266; handler runs 3 cycles (2+1).
@@ -1500,25 +2063,25 @@ mod tests {
     fn dram_write_and_ack() {
         let mut eng = Engine::new(tiny());
         let a = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
-        let acked: Rc<RefCell<u32>> = Rc::default();
+        let acked: Arc<Mutex<u32>> = Arc::default();
         let acked2 = acked.clone();
         let ack = eng.register(
             "ack",
-            Rc::new(move |ctx| {
-                *acked2.borrow_mut() += 1;
+            Arc::new(move |ctx: &mut EventCtx| {
+                *acked2.lock().unwrap() += 1;
                 ctx.yield_terminate();
             }),
         );
         let start = eng.register(
             "start",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let a = VAddr(ctx.arg(0));
                 ctx.send_dram_write(a.word(2), &[99], Some(ack));
             }),
         );
         eng.send(EventWord::new(NetworkId(0), start), [a.0], EventWord::IGNORE);
         eng.run();
-        assert_eq!(*acked.borrow(), 1);
+        assert_eq!(*acked.lock().unwrap(), 1);
         assert_eq!(eng.mem().read_u64(a.word(2)).unwrap(), 99);
     }
 
@@ -1530,20 +2093,20 @@ mod tests {
             n: u64,
         }
         let mut eng = Engine::new(tiny());
-        let done: Rc<RefCell<u64>> = Rc::default();
+        let done: Arc<Mutex<u64>> = Arc::default();
         let done2 = done.clone();
         // The thread accumulates across three events of itself, self-sending
         // follow-ups (same thread context, state preserved by yield).
         let step = eng.register(
             "step",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let v = ctx.arg(0);
                 let acc = ctx.state_mut::<Acc>();
                 acc.sum += v;
                 acc.n += 1;
                 if acc.n == 3 {
                     let sum = acc.sum;
-                    *done2.borrow_mut() = sum;
+                    *done2.lock().unwrap() = sum;
                     ctx.yield_terminate();
                 } else {
                     let me = ctx.cur_evw();
@@ -1553,26 +2116,26 @@ mod tests {
         );
         eng.send(EventWord::new(NetworkId(1), step), [5], EventWord::IGNORE);
         eng.run();
-        assert_eq!(*done.borrow(), 5 + 6 + 7);
+        assert_eq!(*done.lock().unwrap(), 5 + 6 + 7);
     }
 
     #[test]
     fn lane_serializes_events() {
         // Two messages to the same lane: second starts after first ends.
         let mut eng = Engine::new(tiny());
-        let times: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let times: Arc<Mutex<Vec<u64>>> = Arc::default();
         let t2 = times.clone();
         let busy = eng.register(
             "busy",
-            Rc::new(move |ctx| {
-                t2.borrow_mut().push(ctx.now());
+            Arc::new(move |ctx: &mut EventCtx| {
+                t2.lock().unwrap().push(ctx.now());
                 ctx.charge(100);
                 ctx.yield_terminate();
             }),
         );
         let kick = eng.register(
             "kick",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let w = EventWord::new(NetworkId(2), busy);
                 ctx.send_event(w, [], EventWord::IGNORE);
                 ctx.send_event(w, [], EventWord::IGNORE);
@@ -1581,7 +2144,7 @@ mod tests {
         );
         eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
         eng.run();
-        let ts = times.borrow();
+        let ts = times.lock().unwrap();
         assert_eq!(ts.len(), 2);
         // First event takes 2 + 100 + 1 = 103 cycles.
         assert_eq!(ts[1] - ts[0], 103);
@@ -1592,7 +2155,7 @@ mod tests {
         let mut eng = Engine::new(tiny());
         let spin = eng.register(
             "spin",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let me = ctx.cur_evw();
                 if ctx.now() > 10_000 {
                     ctx.stop();
@@ -1612,7 +2175,7 @@ mod tests {
         let mut eng = Engine::new(tiny());
         let spin = eng.register(
             "spin",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let me = ctx.cur_evw();
                 ctx.send_event(me, [], EventWord::IGNORE);
             }),
@@ -1628,19 +2191,19 @@ mod tests {
         let mut cfg = tiny();
         cfg.max_threads_per_lane = 2;
         let mut eng = Engine::new(cfg);
-        let ran: Rc<RefCell<u32>> = Rc::default();
+        let ran: Arc<Mutex<u32>> = Arc::default();
         let ran2 = ran.clone();
         // Each hold thread waits for a poke before terminating.
         let poke = eng.register(
             "poke",
-            Rc::new(move |ctx| {
-                *ran2.borrow_mut() += 1;
+            Arc::new(move |ctx: &mut EventCtx| {
+                *ran2.lock().unwrap() += 1;
                 ctx.yield_terminate();
             }),
         );
         let hold = eng.register(
             "hold",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 // Self-poke after a while: second event of same thread.
                 let me = ctx.self_event(poke);
                 ctx.charge(50);
@@ -1649,7 +2212,7 @@ mod tests {
         );
         let kick = eng.register(
             "kick",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 let w = EventWord::new(NetworkId(1), hold);
                 for _ in 0..4 {
                     ctx.send_event(w, [], EventWord::IGNORE);
@@ -1659,7 +2222,7 @@ mod tests {
         );
         eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
         let r = eng.run();
-        assert_eq!(*ran.borrow(), 4, "all four threads eventually ran");
+        assert_eq!(*ran.lock().unwrap(), 4, "all four threads eventually ran");
         assert!(r.stats.thread_table_stalls > 0);
     }
 
@@ -1667,13 +2230,17 @@ mod tests {
     fn determinism() {
         fn run_once() -> (u64, u64) {
             let mut eng = Engine::new(tiny());
-            let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+            let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
             let fan = eng.register(
                 "fan",
-                Rc::new(move |ctx| {
+                Arc::new(move |ctx: &mut EventCtx| {
                     let n = ctx.config().total_lanes();
                     for i in 0..n {
-                        ctx.send_event(EventWord::new(NetworkId(i), sink), [i as u64], EventWord::IGNORE);
+                        ctx.send_event(
+                            EventWord::new(NetworkId(i), sink),
+                            [i as u64],
+                            EventWord::IGNORE,
+                        );
                     }
                     ctx.yield_terminate();
                 }),
@@ -1691,7 +2258,7 @@ mod tests {
         eng.enable_trace();
         let hello = eng.register(
             "updown_init",
-            Rc::new(|ctx: &mut EventCtx| {
+            Arc::new(|ctx: &mut EventCtx| {
                 ctx.print("initialization done");
                 ctx.yield_terminate();
             }),
@@ -1710,24 +2277,24 @@ mod tests {
         let mut eng = Engine::new(tiny());
         let a = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
         eng.mem_mut().write_f64(a, 1.5).unwrap();
-        let old: Rc<RefCell<f64>> = Rc::default();
+        let old: Arc<Mutex<f64>> = Arc::default();
         let old2 = old.clone();
         let ret = eng.register(
             "ret",
-            Rc::new(move |ctx| {
-                *old2.borrow_mut() = ctx.argf(0);
+            Arc::new(move |ctx: &mut EventCtx| {
+                *old2.lock().unwrap() = ctx.argf(0);
                 ctx.yield_terminate();
             }),
         );
         let go = eng.register(
             "go",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 ctx.dram_fetch_add_f64(VAddr(ctx.arg(0)), 2.25, Some(ret), None);
             }),
         );
         eng.send(EventWord::new(NetworkId(0), go), [a.0], EventWord::IGNORE);
         eng.run();
-        assert_eq!(*old.borrow(), 1.5);
+        assert_eq!(*old.lock().unwrap(), 1.5);
         assert_eq!(eng.mem().read_f64(a).unwrap(), 3.75);
     }
 
@@ -1740,12 +2307,12 @@ mod tests {
             eng.enable_event_trace();
         }
         let a = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
-        let sink = eng.register("sink", Rc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
         // DRAM responses come back to the issuing thread: count both
         // (write ack + read data) before terminating.
         let fin = eng.register(
             "fin",
-            Rc::new(|ctx: &mut EventCtx| {
+            Arc::new(|ctx: &mut EventCtx| {
                 let n = ctx.state_mut::<u64>();
                 *n += 1;
                 if *n == 2 {
@@ -1757,13 +2324,17 @@ mod tests {
         );
         let go = eng.register(
             "go",
-            Rc::new(move |ctx| {
+            Arc::new(move |ctx: &mut EventCtx| {
                 ctx.phase_begin("io");
                 ctx.bump("kicks", 1);
                 ctx.trace_counter_add("inflight", 1);
                 let n = ctx.config().total_lanes();
                 for i in 0..n {
-                    ctx.send_event(EventWord::new(NetworkId(i), sink), [i as u64], EventWord::IGNORE);
+                    ctx.send_event(
+                        EventWord::new(NetworkId(i), sink),
+                        [i as u64],
+                        EventWord::IGNORE,
+                    );
                 }
                 ctx.send_dram_write(VAddr(a.0), &[7], Some(fin));
                 ctx.send_dram_read(VAddr(a.0), 1, fin);
@@ -1813,5 +2384,87 @@ mod tests {
         assert_eq!(counters, 2);
         assert_eq!(eng.phases().len(), 1);
         assert!(!eng.phases()[0].is_open());
+    }
+
+    /// A 4-node program exercising cross-node messages, remote DRAM, and
+    /// phases; used to compare schedulers.
+    fn scheduler_probe(threads: u32) -> (String, u64, u64) {
+        let mut cfg = MachineConfig::small(4, 2, 4);
+        cfg.threads = threads;
+        let lanes_per_node = cfg.lanes_per_node();
+        let mut eng = Engine::new(cfg);
+        let a = eng.mem_mut().alloc(1 << 14, 0, 4, 4096).unwrap();
+        let bounce = eng.register(
+            "bounce",
+            Arc::new(move |ctx: &mut EventCtx| {
+                let hops = ctx.arg(0);
+                ctx.dram_fetch_add_u64(VAddr(ctx.arg(1)).word(hops % 64), 1, None, None);
+                if hops > 0 {
+                    let next = (ctx.nwid().0 + lanes_per_node + 1)
+                        % ctx.config().total_lanes();
+                    let w = EventWord::new(NetworkId(next), ctx.msg.dst.label());
+                    ctx.send_event(w, [hops - 1, ctx.arg(1)], EventWord::IGNORE);
+                }
+                ctx.yield_terminate();
+            }),
+        );
+        eng.phase_begin("bounce");
+        for l in 0..4 {
+            eng.send(
+                EventWord::new(NetworkId(l * lanes_per_node), bounce),
+                [12, a.0],
+                EventWord::IGNORE,
+            );
+        }
+        let m = eng.run();
+        eng.phase_end("bounce");
+        let sum: u64 = (0..64)
+            .map(|i| eng.mem().read_u64(a.word(i)).unwrap())
+            .sum();
+        (eng.metrics().to_json(), m.final_tick, sum)
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_sequential() {
+        let seq = scheduler_probe(1);
+        for threads in [2, 3, 4, 7] {
+            let par = scheduler_probe(threads);
+            assert_eq!(seq, par, "threads={threads} diverged from sequential");
+        }
+        // 4 initial sends x 13 bounce events each.
+        assert_eq!(seq.2, 4 * 13);
+    }
+
+    #[test]
+    fn windows_counter_reported() {
+        let (json, _, _) = scheduler_probe(2);
+        assert!(json.contains("\"windows\":"));
+        let m: crate::json::JsonValue = crate::json::JsonValue::parse(&json).unwrap();
+        let w = m.get("counters").unwrap().get("windows").unwrap().as_u64().unwrap();
+        assert!(w > 0, "cross-node run must take at least one window");
+    }
+
+    #[test]
+    fn message_conservation_on_completed_run() {
+        let (json, _, _) = scheduler_probe(3);
+        let m = crate::json::JsonValue::parse(&json).unwrap();
+        let c = m.get("counters").unwrap();
+        let total = c.get("total_msgs").unwrap().as_u64().unwrap();
+        let delivered = c.get("msgs_delivered").unwrap().as_u64().unwrap();
+        let dropped = c.get("msgs_dropped").unwrap().as_u64().unwrap();
+        assert_eq!(total, delivered + dropped);
+        assert_eq!(dropped, 0, "completed run drops nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn time_went_backwards_is_a_hard_error() {
+        let mut eng = Engine::new(tiny());
+        let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        eng.send(EventWord::new(NetworkId(0), sink), [], EventWord::IGNORE);
+        // A pending entry at t=0 with the clock forced ahead of it must be
+        // rejected as a causality violation, not silently reordered.
+        eng.force_clock_for_test(1_000_000);
+        eng.run();
     }
 }

@@ -14,9 +14,10 @@ use crate::ids::{EventWord, ThreadId};
 use crate::message::Message;
 
 /// A thread context: the object-like unit whose events execute atomically.
+/// State is `Send` so whole shards can migrate between scheduler threads.
 pub struct ThreadCtx {
     /// Application state, created on first access by the handler.
-    pub state: Option<Box<dyn Any>>,
+    pub state: Option<Box<dyn Any + Send>>,
 }
 
 /// Per-lane scratchpad: word-addressed, lazily backed so that millions of

@@ -22,11 +22,11 @@
 //! ## Quick example
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use updown_sim::{Engine, EventWord, MachineConfig, NetworkId};
 //!
 //! let mut eng = Engine::new(MachineConfig::small(1, 1, 4));
-//! let hello = eng.register("hello", Rc::new(|ctx: &mut updown_sim::EventCtx| {
+//! let hello = eng.register("hello", Arc::new(|ctx: &mut updown_sim::EventCtx| {
 //!     ctx.yield_terminate();
 //! }));
 //! eng.send(EventWord::new(NetworkId(0), hello), [], EventWord::IGNORE);
@@ -42,11 +42,13 @@ pub mod lane;
 pub mod memory;
 pub mod message;
 pub mod network;
+pub mod sched;
 pub mod stats;
 pub mod trace;
 
 pub use config::{MachineConfig, MemoryConfig, NetworkConfig, OpCosts};
-pub use engine::{Engine, EventCtx, Handler};
+pub use engine::{Engine, EngineRun, EventCtx, Handler};
+pub use sched::{Parallel, Scheduler, Sequential};
 pub use ids::{EventLabel, EventWord, NetworkId, ThreadId};
 pub use memory::{GlobalMemory, MemError, TranslationDescriptor, VAddr};
 pub use message::Message;

@@ -13,6 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// A virtual address in the UpDown global address space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -138,15 +139,30 @@ impl TranslationDescriptor {
 
 struct Allocation {
     desc: TranslationDescriptor,
-    data: Vec<u8>,
+    /// Backing storage, banked per owning node (dense [`node_offset`]
+    /// indexing within each bank). Banks carry their own locks so shards
+    /// apply memory-side effects concurrently with zero contention as long
+    /// as they touch their own node's data — which the engine guarantees by
+    /// applying every timed operation on the owner shard.
+    banks: Vec<Mutex<Vec<u8>>>,
     live: bool,
+}
+
+impl Allocation {
+    #[inline]
+    fn bank(&self, node: u32) -> &Mutex<Vec<u8>> {
+        &self.banks[(node - self.desc.first_node) as usize]
+    }
 }
 
 /// Simulated global memory: all live allocations plus the swizzle index.
 ///
 /// Reads/writes here are *functional* (host-visible contents). Timing is
 /// modeled separately by [`MemChannels`] when accesses are issued from lanes
-/// through the engine.
+/// through the engine. Content access takes `&self` (per-bank interior
+/// mutability) so the parallel scheduler can share one `GlobalMemory`
+/// across shard threads; the allocation table itself only changes through
+/// `&mut self` (host-side `alloc`/`free` between runs).
 pub struct GlobalMemory {
     allocs: Vec<Allocation>,
     /// base VA -> allocation index, for translation lookup.
@@ -211,9 +227,12 @@ impl GlobalMemory {
         // for the next descriptor's arithmetic to stay simple.
         self.cursor = (self.cursor + 63) & !63;
         let id = self.allocs.len();
+        let banks = (first_node..first_node + nr_nodes)
+            .map(|n| Mutex::new(vec![0u8; desc.bytes_on_node(n) as usize]))
+            .collect();
         self.allocs.push(Allocation {
             desc,
-            data: vec![0u8; size as usize],
+            banks,
             live: true,
         });
         self.index.insert(base.0, id);
@@ -227,7 +246,7 @@ impl GlobalMemory {
             return Err(MemError::Fault(base));
         }
         self.allocs[id].live = false;
-        self.allocs[id].data = Vec::new();
+        self.allocs[id].banks = Vec::new();
         self.index.remove(&base.0);
         Ok(())
     }
@@ -259,26 +278,45 @@ impl GlobalMemory {
         Ok(self.allocs[id].desc.pnn(va))
     }
 
-    fn span(&self, va: VAddr, len: usize) -> Result<(usize, usize), MemError> {
+    /// Walk the banked storage covering `[va, va+len)`, calling `f` with
+    /// each in-block slice and its offset into the access. Spans at most one
+    /// allocation; each chunk is visited under its bank's lock.
+    fn with_span(
+        &self,
+        va: VAddr,
+        len: usize,
+        mut f: impl FnMut(&mut [u8], usize),
+    ) -> Result<(), MemError> {
         let id = self.find(va)?;
         let a = &self.allocs[id];
-        let off = (va.0 - a.desc.base.0) as usize;
-        if off + len > a.data.len() {
+        let off = va.0 - a.desc.base.0;
+        if off + len as u64 > a.desc.size {
             return Err(MemError::Fault(VAddr(va.0 + len as u64)));
         }
-        Ok((id, off))
+        let mut done = 0usize;
+        while done < len {
+            let cur = va.offset(done as u64);
+            let in_block =
+                (a.desc.block_size - ((cur.0 - a.desc.base.0) % a.desc.block_size)) as usize;
+            let n = (len - done).min(in_block);
+            let boff = a.desc.node_offset(cur) as usize;
+            let mut bank = a.bank(a.desc.pnn(cur)).lock().unwrap();
+            f(&mut bank[boff..boff + n], done);
+            done += n;
+        }
+        Ok(())
     }
 
     pub fn read_bytes(&self, va: VAddr, out: &mut [u8]) -> Result<(), MemError> {
-        let (id, off) = self.span(va, out.len())?;
-        out.copy_from_slice(&self.allocs[id].data[off..off + out.len()]);
-        Ok(())
+        self.with_span(va, out.len(), |chunk, done| {
+            out[done..done + chunk.len()].copy_from_slice(chunk);
+        })
     }
 
-    pub fn write_bytes(&mut self, va: VAddr, data: &[u8]) -> Result<(), MemError> {
-        let (id, off) = self.span(va, data.len())?;
-        self.allocs[id].data[off..off + data.len()].copy_from_slice(data);
-        Ok(())
+    pub fn write_bytes(&self, va: VAddr, data: &[u8]) -> Result<(), MemError> {
+        self.with_span(va, data.len(), |chunk, done| {
+            chunk.copy_from_slice(&data[done..done + chunk.len()]);
+        })
     }
 
     pub fn read_u64(&self, va: VAddr) -> Result<u64, MemError> {
@@ -287,7 +325,7 @@ impl GlobalMemory {
         Ok(u64::from_le_bytes(b))
     }
 
-    pub fn write_u64(&mut self, va: VAddr, v: u64) -> Result<(), MemError> {
+    pub fn write_u64(&self, va: VAddr, v: u64) -> Result<(), MemError> {
         self.write_bytes(va, &v.to_le_bytes())
     }
 
@@ -295,7 +333,7 @@ impl GlobalMemory {
         Ok(f64::from_bits(self.read_u64(va)?))
     }
 
-    pub fn write_f64(&mut self, va: VAddr, v: f64) -> Result<(), MemError> {
+    pub fn write_f64(&self, va: VAddr, v: f64) -> Result<(), MemError> {
         self.write_u64(va, v.to_bits())
     }
 
@@ -309,24 +347,45 @@ impl GlobalMemory {
     }
 
     /// Write consecutive u64 words.
-    pub fn write_words(&mut self, va: VAddr, words: &[u64]) -> Result<(), MemError> {
+    pub fn write_words(&self, va: VAddr, words: &[u64]) -> Result<(), MemError> {
         for (i, w) in words.iter().enumerate() {
             self.write_u64(va.word(i as u64), *w)?;
         }
         Ok(())
     }
 
-    /// Atomic read-modify-write (single engine thread ⇒ trivially atomic;
-    /// provided for host-side setup and the software fetch-and-add path).
-    pub fn fetch_add_u64(&mut self, va: VAddr, delta: u64) -> Result<u64, MemError> {
-        let old = self.read_u64(va)?;
-        self.write_u64(va, old.wrapping_add(delta))?;
-        Ok(old)
+    /// Atomic read-modify-write under the owning bank's lock (the engine
+    /// additionally serializes timed accesses on the owner shard, making
+    /// the application order deterministic).
+    pub fn fetch_add_u64(&self, va: VAddr, delta: u64) -> Result<u64, MemError> {
+        self.rmw_u64(va, |old| old.wrapping_add(delta))
     }
 
-    pub fn fetch_add_f64(&mut self, va: VAddr, delta: f64) -> Result<f64, MemError> {
-        let old = self.read_f64(va)?;
-        self.write_f64(va, old + delta)?;
+    pub fn fetch_add_f64(&self, va: VAddr, delta: f64) -> Result<f64, MemError> {
+        let old = self.rmw_u64(va, |bits| (f64::from_bits(bits) + delta).to_bits())?;
+        Ok(f64::from_bits(old))
+    }
+
+    fn rmw_u64(&self, va: VAddr, f: impl Fn(u64) -> u64) -> Result<u64, MemError> {
+        let mut old = 0u64;
+        let mut buf: Option<[u8; 8]> = None;
+        self.with_span(va, 8, |chunk, done| {
+            if chunk.len() == 8 && done == 0 {
+                // Fast path: the word lives in one bank; update in place.
+                let prev = u64::from_le_bytes(chunk.try_into().unwrap());
+                old = prev;
+                chunk.copy_from_slice(&f(prev).to_le_bytes());
+            } else {
+                // Block-straddling word: collect first, write back below.
+                let b = buf.get_or_insert([0u8; 8]);
+                b[done..done + chunk.len()].copy_from_slice(chunk);
+            }
+        })?;
+        if let Some(b) = buf {
+            let prev = u64::from_le_bytes(b);
+            old = prev;
+            self.write_u64(va, f(prev))?;
+        }
         Ok(old)
     }
 

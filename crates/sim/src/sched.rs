@@ -1,0 +1,48 @@
+//! Schedulers: strategies for executing an engine run's conservative
+//! time windows.
+//!
+//! Both schedulers drive the **same** window loop over the same per-node
+//! shards (see the [`crate::engine`] module docs): [`Sequential`] runs it
+//! inline with one worker, [`Parallel`] spreads the shards over scoped OS
+//! threads under a barrier. Because sharding is fixed by the machine
+//! configuration and cross-shard entries merge in a deterministic order,
+//! the two produce byte-identical results — the conformance suite in
+//! `tests/` asserts this for every application.
+
+use crate::engine::{run_rounds, EngineRun};
+
+/// A strategy for executing the conservative window rounds of a run.
+pub trait Scheduler {
+    fn name(&self) -> &'static str;
+    fn run(&self, run: &mut EngineRun<'_>);
+}
+
+/// Single-threaded execution: the window loop with one worker.
+pub struct Sequential;
+
+impl Scheduler for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run(&self, run: &mut EngineRun<'_>) {
+        run_rounds(run, 1);
+    }
+}
+
+/// Multi-threaded execution: shards are chunked over `threads` scoped
+/// worker threads synchronized by a window barrier. Results are
+/// byte-identical to [`Sequential`] for every thread count.
+pub struct Parallel {
+    pub threads: usize,
+}
+
+impl Scheduler for Parallel {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run(&self, run: &mut EngineRun<'_>) {
+        run_rounds(run, self.threads.max(1));
+    }
+}

@@ -31,11 +31,43 @@ pub struct Counters {
     pub dram_remote_accesses: u64,
     /// Messages parked because a lane's thread table was full.
     pub thread_table_stalls: u64,
-    /// Peak size of the event calendar (simulator health metric).
+    /// Peak size of the event calendar (simulator health metric). With the
+    /// sharded engine this is the sum of per-shard calendar peaks.
     pub peak_calendar: usize,
+    /// Messages actually delivered to a lane inbox. Equals
+    /// `total_msgs() + msgs_dropped` conservation-wise: on a completed run
+    /// every sent message is delivered; on `stop()` the in-flight remainder
+    /// is counted in `msgs_dropped`.
+    pub msgs_delivered: u64,
+    /// Messages discarded in flight by a graceful `stop()` drain.
+    pub msgs_dropped: u64,
+    /// Conservative time windows (barrier rounds) executed by the
+    /// scheduler. Identical for the sequential and parallel engines.
+    pub windows: u64,
 }
 
 impl Counters {
+    /// Field-wise accumulate `o` into `self` (shard-merge rule: every
+    /// counter is a sum; `windows` is engine-level and stays caller-set).
+    pub fn merge_from(&mut self, o: &Counters) {
+        self.events_executed += o.events_executed;
+        self.threads_created += o.threads_created;
+        self.threads_terminated += o.threads_terminated;
+        self.msgs_intra_accel += o.msgs_intra_accel;
+        self.msgs_intra_node += o.msgs_intra_node;
+        self.msgs_inter_node += o.msgs_inter_node;
+        self.dram_reads += o.dram_reads;
+        self.dram_writes += o.dram_writes;
+        self.dram_read_bytes += o.dram_read_bytes;
+        self.dram_write_bytes += o.dram_write_bytes;
+        self.dram_remote_accesses += o.dram_remote_accesses;
+        self.thread_table_stalls += o.thread_table_stalls;
+        self.peak_calendar += o.peak_calendar;
+        self.msgs_delivered += o.msgs_delivered;
+        self.msgs_dropped += o.msgs_dropped;
+        self.windows += o.windows;
+    }
+
     pub fn total_msgs(&self) -> u64 {
         self.msgs_intra_accel + self.msgs_intra_node + self.msgs_inter_node
     }
@@ -182,6 +214,9 @@ impl Metrics {
         w.key("dram_remote_accesses").u64(c.dram_remote_accesses);
         w.key("thread_table_stalls").u64(c.thread_table_stalls);
         w.key("peak_calendar").u64(c.peak_calendar as u64);
+        w.key("msgs_delivered").u64(c.msgs_delivered);
+        w.key("msgs_dropped").u64(c.msgs_dropped);
+        w.key("windows").u64(c.windows);
         w.end_obj();
 
         w.key("custom").begin_obj();

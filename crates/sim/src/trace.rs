@@ -96,6 +96,16 @@ impl Tracer {
         Tracer::default()
     }
 
+    /// A tracer whose ids start above `base`. Per-shard tracers use
+    /// disjoint id ranges (`shard << 48`) so correlation ids stay unique
+    /// after the per-shard traces are merged.
+    pub fn with_id_base(base: u64) -> Tracer {
+        Tracer {
+            next_id: base,
+            ..Tracer::default()
+        }
+    }
+
     /// Fresh id correlating the stages of an async operation. Allocated
     /// from a tracer-private counter so tracing cannot perturb the
     /// engine's calendar sequence numbers.

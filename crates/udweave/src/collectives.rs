@@ -184,8 +184,8 @@ impl TreeComm {
 mod tests {
     use super::*;
     use crate::program::simple_event;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
+    use std::sync::Arc;
     use updown_sim::{Engine, MachineConfig};
 
     #[test]
@@ -217,20 +217,20 @@ mod tests {
     fn broadcast_reaches_every_lane_and_sums_acks() {
         let cfg = MachineConfig::small(2, 2, 8); // 32 lanes
         let mut eng = Engine::new(cfg);
-        let hits: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let hits: Arc<Mutex<Vec<u32>>> = Arc::default();
         let hits2 = hits.clone();
         let user = simple_event(&mut eng, "user", move |ctx| {
-            hits2.borrow_mut().push(ctx.nwid().0);
+            hits2.lock().unwrap().push(ctx.nwid().0);
             // Ack: [1, payload value].
             let v = ctx.arg(0);
             ctx.send_reply([1u64, v]);
             ctx.yield_terminate();
         });
         let tree = TreeComm::install(&mut eng, "bcast", 4);
-        let result: Rc<RefCell<(u64, u64)>> = Rc::default();
+        let result: Arc<Mutex<(u64, u64)>> = Arc::default();
         let result2 = result.clone();
         let done = simple_event(&mut eng, "done", move |ctx| {
-            *result2.borrow_mut() = (ctx.arg(0), ctx.arg(1));
+            *result2.lock().unwrap() = (ctx.arg(0), ctx.arg(1));
             ctx.stop();
         });
         let set = LaneSet::new(NetworkId(0), 32);
@@ -243,20 +243,20 @@ mod tests {
         });
         eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
         eng.run();
-        let mut h = hits.borrow().clone();
+        let mut h = hits.lock().unwrap().clone();
         h.sort_unstable();
         assert_eq!(h, (0..32).collect::<Vec<u32>>(), "every lane exactly once");
-        assert_eq!(*result.borrow(), (32, 32 * 7));
+        assert_eq!(*result.lock().unwrap(), (32, 32 * 7));
     }
 
     #[test]
     fn broadcast_on_offset_subset() {
         let cfg = MachineConfig::small(1, 2, 8);
         let mut eng = Engine::new(cfg);
-        let hits: Rc<RefCell<Vec<u32>>> = Rc::default();
+        let hits: Arc<Mutex<Vec<u32>>> = Arc::default();
         let hits2 = hits.clone();
         let user = simple_event(&mut eng, "user", move |ctx| {
-            hits2.borrow_mut().push(ctx.nwid().0);
+            hits2.lock().unwrap().push(ctx.nwid().0);
             ctx.send_reply([1u64, 0]);
             ctx.yield_terminate();
         });
@@ -269,7 +269,7 @@ mod tests {
         });
         eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
         eng.run();
-        let mut h = hits.borrow().clone();
+        let mut h = hits.lock().unwrap().clone();
         h.sort_unstable();
         assert_eq!(h, (5..12).collect::<Vec<u32>>());
     }

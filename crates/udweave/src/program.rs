@@ -7,7 +7,7 @@
 //! atomically, so `&mut S` is race-free by construction — the same property
 //! the paper's model guarantees.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use updown_sim::{Engine, EventCtx, EventLabel};
 
@@ -34,7 +34,7 @@ pub struct ThreadType<S> {
     _marker: std::marker::PhantomData<fn(S)>,
 }
 
-impl<S: Default + 'static> ThreadType<S> {
+impl<S: Default + Send + 'static> ThreadType<S> {
     pub fn new(name: &str) -> ThreadType<S> {
         ThreadType {
             name: name.to_string(),
@@ -48,12 +48,12 @@ impl<S: Default + 'static> ThreadType<S> {
         &mut self,
         eng: &mut Engine,
         event_name: &str,
-        f: impl Fn(&mut EventCtx<'_>, &mut S) + 'static,
+        f: impl Fn(&mut EventCtx<'_>, &mut S) + Send + Sync + 'static,
     ) -> EventLabel {
         let full = format!("{}::{}", self.name, event_name);
         eng.register(
             &full,
-            Rc::new(move |ctx: &mut EventCtx<'_>| {
+            Arc::new(move |ctx: &mut EventCtx<'_>| {
                 // Temporarily take the state so the handler can use ctx
                 // methods freely while holding `&mut S`.
                 let mut st: S = std::mem::take(ctx.state_mut::<S>());
@@ -65,10 +65,10 @@ impl<S: Default + 'static> ThreadType<S> {
 }
 
 /// Register a standalone event with default-initialized typed state.
-pub fn event<S: Default + 'static>(
+pub fn event<S: Default + Send + 'static>(
     eng: &mut Engine,
     name: &str,
-    f: impl Fn(&mut EventCtx<'_>, &mut S) + 'static,
+    f: impl Fn(&mut EventCtx<'_>, &mut S) + Send + Sync + 'static,
 ) -> EventLabel {
     ThreadType::<S>::new("thread").event(eng, name, f)
 }
@@ -77,15 +77,15 @@ pub fn event<S: Default + 'static>(
 pub fn simple_event(
     eng: &mut Engine,
     name: &str,
-    f: impl Fn(&mut EventCtx<'_>) + 'static,
+    f: impl Fn(&mut EventCtx<'_>) + Send + Sync + 'static,
 ) -> EventLabel {
-    eng.register(name, Rc::new(f))
+    eng.register(name, Arc::new(f))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
+    use std::sync::Mutex;
     use updown_sim::{EventWord, MachineConfig, NetworkId};
 
     #[test]
@@ -95,12 +95,12 @@ mod tests {
             acc: u64,
         }
         let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
-        let out: Rc<RefCell<u64>> = Rc::default();
+        let out: Arc<Mutex<u64>> = Arc::default();
         let out2 = out.clone();
         let mut t = ThreadType::<St>::new("T");
         // Forward-declare by registering finish first.
         let finish = t.event(&mut eng, "finish", move |ctx, st| {
-            *out2.borrow_mut() = st.acc;
+            *out2.lock().unwrap() = st.acc;
             ctx.yield_terminate();
         });
         let start = t.event(&mut eng, "start", move |ctx, st| {
@@ -110,7 +110,7 @@ mod tests {
         });
         eng.send(EventWord::new(NetworkId(0), start), [21], EventWord::IGNORE);
         eng.run();
-        assert_eq!(*out.borrow(), 42);
+        assert_eq!(*out.lock().unwrap(), 42);
     }
 
     #[test]

@@ -10,9 +10,9 @@
 //! ring and reply when data arrives — the blocking-consumer pattern used
 //! by producer/consumer pipelines.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use updown_sim::{Engine, EventCtx, EventLabel, EventWord, NetworkId, VAddr};
 
@@ -37,21 +37,21 @@ struct Inner {
 /// The installed queue library (handlers shared by all queues).
 #[derive(Clone)]
 pub struct QueueLib {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
     enqueue_l: EventLabel,
     dequeue_l: EventLabel,
 }
 
 impl QueueLib {
     pub fn install(eng: &mut Engine) -> QueueLib {
-        let inner: Rc<RefCell<Inner>> = Rc::default();
+        let inner: Arc<Mutex<Inner>> = Arc::default();
 
         let enqueue_l = {
             let inner = inner.clone();
             crate::program::simple_event(eng, "mpmc::enqueue", move |ctx| {
                 let qid = ctx.arg(0) as usize;
                 let value = ctx.arg(1);
-                let mut inn = inner.borrow_mut();
+                let mut inn = inner.lock().unwrap();
                 let q = &mut inn.queues[qid];
                 debug_assert_eq!(ctx.nwid(), q.owner);
                 ctx.charge(3); // cursor load/compare/store
@@ -94,7 +94,7 @@ impl QueueLib {
                 let qid = ctx.arg(0) as usize;
                 let reply = ctx.cont();
                 assert!(!reply.is_ignore(), "dequeue needs a continuation");
-                let mut inn = inner.borrow_mut();
+                let mut inn = inner.lock().unwrap();
                 let q = &mut inn.queues[qid];
                 ctx.charge(3);
                 if q.head == q.tail {
@@ -128,7 +128,7 @@ impl QueueLib {
             .mem_mut()
             .alloc(bytes, node, 1, bytes)
             .expect("queue ring");
-        let mut inn = self.inner.borrow_mut();
+        let mut inn = self.inner.lock().unwrap();
         let id = QueueId(inn.queues.len() as u32);
         inn.queues.push(QueueDef {
             owner,
@@ -143,7 +143,7 @@ impl QueueLib {
 
     /// Enqueue `value`; optional ack (`[1, 0]`) to `cont`.
     pub fn enqueue(&self, ctx: &mut EventCtx<'_>, q: QueueId, value: u64, cont: EventWord) {
-        let owner = self.inner.borrow().queues[q.0 as usize].owner;
+        let owner = self.inner.lock().unwrap().queues[q.0 as usize].owner;
         ctx.send_event(
             EventWord::new(owner, self.enqueue_l),
             [q.0 as u64, value],
@@ -153,13 +153,13 @@ impl QueueLib {
 
     /// Dequeue: `cont` receives `[1, value]`, parking until data arrives.
     pub fn dequeue(&self, ctx: &mut EventCtx<'_>, q: QueueId, cont: EventWord) {
-        let owner = self.inner.borrow().queues[q.0 as usize].owner;
+        let owner = self.inner.lock().unwrap().queues[q.0 as usize].owner;
         ctx.send_event(EventWord::new(owner, self.dequeue_l), [q.0 as u64], cont);
     }
 
     /// Host-side occupancy.
     pub fn len(&self, q: QueueId) -> u64 {
-        let inn = self.inner.borrow();
+        let inn = self.inner.lock().unwrap();
         let q = &inn.queues[q.0 as usize];
         q.tail - q.head
     }
@@ -180,10 +180,10 @@ mod tests {
         let mut eng = Engine::new(MachineConfig::small(1, 1, 4));
         let lib = QueueLib::install(&mut eng);
         let q = lib.create(&mut eng, NetworkId(0), 64);
-        let got: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let got: Arc<Mutex<Vec<u64>>> = Arc::default();
         let g2 = got.clone();
         let on_deq = simple_event(&mut eng, "on_deq", move |ctx| {
-            g2.borrow_mut().push(ctx.arg(1));
+            g2.lock().unwrap().push(ctx.arg(1));
             ctx.yield_terminate();
         });
         let lib2 = lib.clone();
@@ -203,7 +203,7 @@ mod tests {
         });
         eng.send(EventWord::new(NetworkId(0), produce), [], EventWord::IGNORE);
         eng.run();
-        assert_eq!(&*got.borrow(), &[10, 11, 12, 13, 14]);
+        assert_eq!(&*got.lock().unwrap(), &[10, 11, 12, 13, 14]);
         assert!(lib.is_empty(q));
     }
 
@@ -212,10 +212,10 @@ mod tests {
         let mut eng = Engine::new(MachineConfig::small(1, 1, 4));
         let lib = QueueLib::install(&mut eng);
         let q = lib.create(&mut eng, NetworkId(0), 16);
-        let got: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let got: Arc<Mutex<Vec<u64>>> = Arc::default();
         let g2 = got.clone();
         let on_deq = simple_event(&mut eng, "on_deq", move |ctx| {
-            g2.borrow_mut().push(ctx.arg(1));
+            g2.lock().unwrap().push(ctx.arg(1));
             ctx.yield_terminate();
         });
         let lib2 = lib.clone();
@@ -234,7 +234,7 @@ mod tests {
         });
         eng.send(EventWord::new(NetworkId(1), consume), [], EventWord::IGNORE);
         eng.run();
-        let mut v = got.borrow().clone();
+        let mut v = got.lock().unwrap().clone();
         v.sort_unstable();
         assert_eq!(v, vec![7, 8]);
     }
@@ -244,10 +244,10 @@ mod tests {
         let mut eng = Engine::new(MachineConfig::small(2, 1, 8));
         let lib = QueueLib::install(&mut eng);
         let q = lib.create(&mut eng, NetworkId(3), 256);
-        let got: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let got: Arc<Mutex<Vec<u64>>> = Arc::default();
         let g2 = got.clone();
         let on_deq = simple_event(&mut eng, "on_deq", move |ctx| {
-            g2.borrow_mut().push(ctx.arg(1));
+            g2.lock().unwrap().push(ctx.arg(1));
             ctx.yield_terminate();
         });
         let lib2 = lib.clone();
@@ -284,7 +284,7 @@ mod tests {
         });
         eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
         eng.run();
-        let mut v = got.borrow().clone();
+        let mut v = got.lock().unwrap().clone();
         v.sort_unstable();
         let mut expect: Vec<u64> = (0..4u64)
             .flat_map(|p| (0..10u64).map(move |i| p * 100 + i))

@@ -58,14 +58,14 @@ impl SpSlice {
 mod tests {
     use super::*;
     use crate::program::simple_event;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
+    use std::sync::Arc;
     use updown_sim::{Engine, EventWord, MachineConfig, NetworkId};
 
     #[test]
     fn alloc_and_rw() {
         let mut eng = Engine::new(MachineConfig::small(1, 1, 1));
-        let ok: Rc<RefCell<bool>> = Rc::default();
+        let ok: Arc<Mutex<bool>> = Arc::default();
         let ok2 = ok.clone();
         let go = simple_event(&mut eng, "go", move |ctx| {
             let a = sp_malloc(ctx, 8);
@@ -80,12 +80,12 @@ mod tests {
             let s = a.slice(2, 2);
             s.set(ctx, 1, 99);
             assert_eq!(a.get(ctx, 3), 99);
-            *ok2.borrow_mut() = true;
+            *ok2.lock().unwrap() = true;
             ctx.yield_terminate();
         });
         eng.send(EventWord::new(NetworkId(0), go), [], EventWord::IGNORE);
         eng.run();
-        assert!(*ok.borrow());
+        assert!(*ok.lock().unwrap());
     }
 
     #[test]

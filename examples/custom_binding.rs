@@ -4,8 +4,8 @@
 //!
 //! `cargo run --release --example custom_binding`
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use kvmsr::{JobSpec, Kvmsr, MapBinding, Outcome, ReduceBinding};
 use udweave::prelude::*;
@@ -26,7 +26,7 @@ fn run(map_binding: MapBinding, label: &str) {
         })
         .map_binding(map_binding)
         // The paper's pseudocode: LaneID = hash(key) % NRLanes + 1stLane.
-        .reduce_binding(ReduceBinding::Custom(Rc::new(|key, set| {
+        .reduce_binding(ReduceBinding::Custom(Arc::new(|key, set| {
             set.lane((kvmsr::key_hash(key) % set.count as u64) as u32)
         })))
         .with_reduce(|ctx, _t, _v, _rt| {
@@ -34,16 +34,16 @@ fn run(map_binding: MapBinding, label: &str) {
             Outcome::Done
         }),
     );
-    let done: Rc<RefCell<u64>> = Rc::default();
+    let done: Arc<Mutex<u64>> = Arc::default();
     let d2 = done.clone();
     let fin = simple_event(&mut eng, "fin", move |ctx| {
-        *d2.borrow_mut() = ctx.arg(0);
+        *d2.lock().unwrap() = ctx.arg(0);
         ctx.stop();
     });
     let (evw, args) = rt.start_msg(job, 4096, 0);
     eng.send(evw, args, EventWord::new(NetworkId(0), fin));
     let r = eng.run();
-    assert_eq!(*done.borrow(), 4096);
+    assert_eq!(*done.lock().unwrap(), 4096);
     println!("{label:>28}: {:>10} ticks", r.final_tick);
 }
 

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use kvmsr::{JobSpec, Kvmsr, Outcome};
 use udweave::prelude::*;
@@ -58,17 +58,17 @@ fn main() {
             Outcome::Done
         }),
     );
-    let done: Rc<RefCell<bool>> = Rc::default();
+    let done: Arc<Mutex<bool>> = Arc::default();
     let d2 = done.clone();
     let fin = simple_event(&mut eng, "done", move |ctx| {
-        *d2.borrow_mut() = true;
+        *d2.lock().unwrap() = true;
         ctx.stop();
     });
     let (evw, args) = rt.start_msg(job, 4096, 0);
     eng.send(evw, args, EventWord::new(NetworkId(0), fin));
     let report = eng.run();
 
-    assert!(*done.borrow());
+    assert!(*done.lock().unwrap());
     println!("\nhistogram over {} lanes:", eng.config().total_lanes());
     for b in 0..16u64 {
         let v = eng.mem().read_u64(VAddr(hist.0).word(b)).unwrap();

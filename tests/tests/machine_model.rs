@@ -1,8 +1,8 @@
 //! Machine-model behavioral tests: contention, latency tiers, scratchpad
 //! sharing, backpressure — the physics the figures depend on.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use udweave::prelude::*;
 use updown_sim::{Engine, MachineConfig, MemoryConfig, NetworkConfig};
@@ -60,7 +60,7 @@ fn wider_striping_relieves_channel_contention() {
 fn latency_tiers_order() {
     // One message at each tier; completion times must order
     // intra-accel < intra-node < inter-node.
-    fn one_hop(dst_pick: impl Fn(&MachineConfig) -> NetworkId + 'static) -> u64 {
+    fn one_hop(dst_pick: impl Fn(&MachineConfig) -> NetworkId + Send + Sync + 'static) -> u64 {
         let mut eng = Engine::new(MachineConfig::small(2, 2, 4));
         let sink = simple_event(&mut eng, "sink", |ctx| ctx.yield_terminate());
         let go = simple_event(&mut eng, "go", move |ctx| {
@@ -110,10 +110,10 @@ fn scratchpad_is_lane_shared_across_threads() {
     // Two threads on the same lane see the same scratchpad (it is lane
     // memory, not thread memory).
     let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
-    let seen: Rc<RefCell<u64>> = Rc::default();
+    let seen: Arc<Mutex<u64>> = Arc::default();
     let s2 = seen.clone();
     let reader = simple_event(&mut eng, "reader", move |ctx| {
-        *s2.borrow_mut() = ctx.spm_read(5);
+        *s2.lock().unwrap() = ctx.spm_read(5);
         ctx.yield_terminate();
     });
     let writer = simple_event(&mut eng, "writer", move |ctx| {
@@ -124,16 +124,16 @@ fn scratchpad_is_lane_shared_across_threads() {
     });
     eng.send(evw_new(NetworkId(0), writer), [], IGNRCONT);
     eng.run();
-    assert_eq!(*seen.borrow(), 77);
+    assert_eq!(*seen.lock().unwrap(), 77);
 }
 
 #[test]
 fn delayed_sends_fire_in_order() {
     let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
-    let order: Rc<RefCell<Vec<u64>>> = Rc::default();
+    let order: Arc<Mutex<Vec<u64>>> = Arc::default();
     let o2 = order.clone();
     let mark = simple_event(&mut eng, "mark", move |ctx| {
-        o2.borrow_mut().push(ctx.arg(0));
+        o2.lock().unwrap().push(ctx.arg(0));
         ctx.yield_terminate();
     });
     let go = simple_event(&mut eng, "go", move |ctx| {
@@ -144,7 +144,7 @@ fn delayed_sends_fire_in_order() {
     });
     eng.send(evw_new(NetworkId(0), go), [], IGNRCONT);
     eng.run();
-    assert_eq!(&*order.borrow(), &[1, 2, 3]);
+    assert_eq!(&*order.lock().unwrap(), &[1, 2, 3]);
 }
 
 #[test]
@@ -205,12 +205,12 @@ fn thread_backpressure_preserves_all_work() {
     let mut cfg = MachineConfig::small(1, 1, 2);
     cfg.max_threads_per_lane = 4;
     let mut eng = Engine::new(cfg);
-    let count: Rc<RefCell<u64>> = Rc::default();
+    let count: Arc<Mutex<u64>> = Arc::default();
     let c2 = count.clone();
     // Two-phase threads hold their context alive long enough that the
     // 4-slot table fills and later creations park.
     let fin = simple_event(&mut eng, "fin", move |ctx| {
-        *c2.borrow_mut() += 1;
+        *c2.lock().unwrap() += 1;
         ctx.yield_terminate();
     });
     let work = simple_event(&mut eng, "work", move |ctx| {
@@ -225,6 +225,6 @@ fn thread_backpressure_preserves_all_work() {
     });
     eng.send(evw_new(NetworkId(0), go), [], IGNRCONT);
     let r = eng.run();
-    assert_eq!(*count.borrow(), 200);
+    assert_eq!(*count.lock().unwrap(), 200);
     assert!(r.stats.thread_table_stalls > 0, "parking exercised");
 }

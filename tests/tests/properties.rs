@@ -1,13 +1,15 @@
 //! Randomized property tests on the core invariants: translation
 //! coverage, split preservation, KVMSR delivery, SHT-vs-HashMap
-//! equivalence, sort correctness, and block-parse partitioning.
+//! equivalence, sort correctness, block-parse partitioning, and the
+//! engine's causality / clock-monotonicity / message-conservation laws
+//! (exercised on both the sequential and the parallel engine).
 //!
 //! Each property is exercised over a deterministic sweep of seeded random
 //! cases (xoshiro256++ from `updown_graph::rng`), so failures reproduce
 //! exactly without an external property-testing framework.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Mutex;
+use std::sync::Arc;
 
 use kvmsr::{JobSpec, Kvmsr, Outcome};
 use udweave::LaneSet;
@@ -112,7 +114,7 @@ fn kvmsr_delivers_exactly_once() {
         let mut eng = Engine::new(MachineConfig::small(2, 2, 4));
         let rt = Kvmsr::install(&mut eng);
         let set = LaneSet::all(eng.config());
-        let seen: Rc<RefCell<std::collections::HashMap<u64, u64>>> = Rc::default();
+        let seen: Arc<Mutex<std::collections::HashMap<u64, u64>>> = Arc::default();
         let seen2 = seen.clone();
         let job = rt.define_job(
             JobSpec::new("p", set, move |ctx, task, rt| {
@@ -123,25 +125,25 @@ fn kvmsr_delivers_exactly_once() {
                 Outcome::Done
             })
             .with_reduce(move |_ctx, task, vals, _rt| {
-                let mut s = seen2.borrow_mut();
+                let mut s = seen2.lock().unwrap();
                 *s.entry(task.key).or_insert(0) += 1;
                 assert_eq!(vals[0], task.key / 16);
                 Outcome::Done
             }),
         );
-        let done: Rc<RefCell<Option<(u64, u64)>>> = Rc::default();
+        let done: Arc<Mutex<Option<(u64, u64)>>> = Arc::default();
         let d2 = done.clone();
         let fin = udweave::simple_event(&mut eng, "fin", move |ctx| {
-            *d2.borrow_mut() = Some((ctx.arg(0), ctx.arg(1)));
+            *d2.lock().unwrap() = Some((ctx.arg(0), ctx.arg(1)));
             ctx.stop();
         });
         let (evw, args) = rt.start_msg(job, keys, 0);
         eng.send(evw, args, EventWord::new(NetworkId(0), fin));
         eng.run();
-        let (processed, emitted) = done.borrow().expect("job completed");
+        let (processed, emitted) = done.lock().unwrap().expect("job completed");
         assert_eq!(processed, keys);
         assert_eq!(emitted, keys * fanout);
-        let s = seen.borrow();
+        let s = seen.lock().unwrap();
         assert_eq!(s.len() as u64, keys * fanout);
         assert!(s.values().all(|&c| c == 1));
     }
@@ -169,15 +171,15 @@ fn sht_matches_hashmap() {
         let set = LaneSet::all(eng.config());
         let sht = lib.create(&mut eng, set, 8, 16, drammalloc::Layout::cyclic(1));
         // Serialize ops through a chain: each op's reply triggers the next.
-        let ops = Rc::new(ops);
-        let idx: Rc<RefCell<usize>> = Rc::default();
+        let ops = Arc::new(ops);
+        let idx: Arc<Mutex<usize>> = Arc::default();
         let lib2 = lib.clone();
         let ops2 = ops.clone();
-        let step_l: Rc<RefCell<updown_sim::EventLabel>> =
-            Rc::new(RefCell::new(updown_sim::EventLabel(0)));
+        let step_l: Arc<Mutex<updown_sim::EventLabel>> =
+            Arc::new(Mutex::new(updown_sim::EventLabel(0)));
         let sl = step_l.clone();
         let step = udweave::simple_event(&mut eng, "step", move |ctx| {
-            let mut i = idx.borrow_mut();
+            let mut i = idx.lock().unwrap();
             if *i >= ops2.len() {
                 ctx.stop();
                 ctx.yield_terminate();
@@ -191,11 +193,11 @@ fn sht_matches_hashmap() {
                 2 => ShtOp::Put,
                 _ => ShtOp::FetchOr,
             };
-            let next = EventWord::new(ctx.nwid(), *sl.borrow());
+            let next = EventWord::new(ctx.nwid(), *sl.lock().unwrap());
             lib2.op(ctx, sht, op, k, v, next);
             ctx.yield_terminate();
         });
-        *step_l.borrow_mut() = step;
+        *step_l.lock().unwrap() = step;
         eng.send(EventWord::new(NetworkId(0), step), [], EventWord::IGNORE);
         eng.run();
         // Model.
@@ -258,6 +260,141 @@ fn global_sort_sorts() {
         let mut expect = vals.clone();
         expect.sort_unstable();
         assert_eq!(got, expect);
+    }
+}
+
+/// Causality and per-shard clock monotonicity over random machines and
+/// random message cascades, on both engines: an event never executes
+/// before its send time plus the network's minimum latency for the hop it
+/// took, and each node's observed clock never decreases.
+#[test]
+fn engine_causality_and_clock_monotonicity() {
+    let mut rng = Rng::seed_from_u64(0x5717);
+    for case in 0..CASES / 2 {
+        let nodes = 1 + rng.below_u32(4);
+        let accels = 1 + rng.below_u32(2);
+        let lanes = 1 + rng.below_u32(4);
+        let threads = [1u32, 2, 4][rng.below_usize(3)];
+        let mut cfg = MachineConfig::small(nodes, accels, lanes);
+        cfg.threads = threads;
+        let inter = cfg.net.inter_node_latency;
+        let mut eng = Engine::new(cfg);
+        let total_lanes = eng.config().total_lanes();
+
+        // Per-node sequence of observed clocks, in execution order.
+        let clocks: Arc<Mutex<std::collections::HashMap<u32, Vec<u64>>>> = Arc::default();
+        let c2 = clocks.clone();
+        // args: [sent_at, cross_node (0/1), hops_left, rng_state]
+        let hop_l: Arc<Mutex<updown_sim::EventLabel>> =
+            Arc::new(Mutex::new(updown_sim::EventLabel(0)));
+        let hl = hop_l.clone();
+        let hop = udweave::simple_event(&mut eng, "hop", move |ctx| {
+            let sent_at = ctx.arg(0);
+            let cross = ctx.arg(1) != 0;
+            let hops_left = ctx.arg(2);
+            let floor = sent_at + if cross { inter } else { 0 };
+            assert!(
+                ctx.now() >= floor,
+                "causality: event at t={} but sent at t={sent_at} (cross={cross})",
+                ctx.now()
+            );
+            c2.lock()
+                .unwrap()
+                .entry(ctx.node())
+                .or_default()
+                .push(ctx.now());
+            if hops_left > 0 {
+                let mut r = Rng::seed_from_u64(ctx.arg(3));
+                let dst = NetworkId(r.below_u32(total_lanes));
+                let delay = r.below_u64(40);
+                let cross_next = ctx.config().node_of(dst) != ctx.node();
+                let args = [
+                    ctx.now() + delay,
+                    cross_next as u64,
+                    hops_left - 1,
+                    r.below_u64(u64::MAX),
+                ];
+                let l = *hl.lock().unwrap();
+                ctx.send_event_after(delay, EventWord::new(dst, l), args, EventWord::IGNORE);
+            }
+            ctx.yield_terminate();
+        });
+        *hop_l.lock().unwrap() = hop;
+
+        for i in 0..4u64 {
+            let lane = NetworkId(((case * 7 + i) % total_lanes as u64) as u32);
+            eng.send(
+                EventWord::new(lane, hop),
+                [0, 0, 6, 0x9E37 ^ (case << 8 | i)],
+                EventWord::IGNORE,
+            );
+        }
+        eng.run();
+        for (node, seq) in clocks.lock().unwrap().iter() {
+            assert!(
+                seq.windows(2).all(|w| w[0] <= w[1]),
+                "node {node} clock went backwards: {seq:?}"
+            );
+        }
+    }
+}
+
+/// Message conservation over random machines, on both engines: every sent
+/// message is either delivered or accounted as dropped at drain, whether
+/// the run completes or is stopped mid-flight.
+#[test]
+fn engine_message_conservation() {
+    let mut rng = Rng::seed_from_u64(0x5817);
+    for case in 0..CASES / 2 {
+        let nodes = 1 + rng.below_u32(4);
+        let threads = [1u32, 3][rng.below_usize(2)];
+        let stop_early = case % 3 == 0;
+        let mut cfg = MachineConfig::small(nodes, 2, 2);
+        cfg.threads = threads;
+        let mut eng = Engine::new(cfg);
+        let total_lanes = eng.config().total_lanes();
+        let fanout = 1 + rng.below_u64(3);
+
+        // args: [depth, rng_state]; each event fans out to `fanout` lanes.
+        let cascade_l: Arc<Mutex<updown_sim::EventLabel>> =
+            Arc::new(Mutex::new(updown_sim::EventLabel(0)));
+        let cl = cascade_l.clone();
+        let cascade = udweave::simple_event(&mut eng, "cascade", move |ctx| {
+            let depth = ctx.arg(0);
+            if stop_early && depth == 2 {
+                ctx.stop();
+            }
+            if depth > 0 {
+                let mut r = Rng::seed_from_u64(ctx.arg(1));
+                let l = *cl.lock().unwrap();
+                for _ in 0..fanout {
+                    let dst = NetworkId(r.below_u32(total_lanes));
+                    ctx.send_event(
+                        EventWord::new(dst, l),
+                        [depth - 1, r.below_u64(u64::MAX)],
+                        EventWord::IGNORE,
+                    );
+                }
+            }
+            ctx.yield_terminate();
+        });
+        *cascade_l.lock().unwrap() = cascade;
+
+        eng.send(
+            EventWord::new(NetworkId(0), cascade),
+            [4, 0xABCD ^ case],
+            EventWord::IGNORE,
+        );
+        let m = eng.run();
+        let c = &m.stats;
+        assert_eq!(
+            c.total_msgs(),
+            c.msgs_delivered + c.msgs_dropped,
+            "conservation: case {case} (stop_early={stop_early})"
+        );
+        if !stop_early {
+            assert_eq!(c.msgs_dropped, 0, "completed run drops nothing");
+        }
     }
 }
 
