@@ -121,7 +121,7 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
                 // A hit: record it (stands for the artifact's alert print).
                 hits.lock().unwrap().push(st.recid);
                 ctx.charge(2);
-                ctx.print(&format!("ExactMatch: record {} matched", st.recid));
+                ctx.print_with(|| format!("ExactMatch: record {} matched", st.recid));
             }
             let task = st.task.expect("probe before map");
             rt.map_done(ctx, &task);

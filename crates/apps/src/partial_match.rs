@@ -212,10 +212,12 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
                 // Full match: the alert the artifact prints to the terminal.
                 *matches.lock().unwrap() += 1;
                 ctx.dram_fetch_add_u64(match_cell.base, 1, None, None);
-                ctx.print(&format!(
-                    "startPartialMatch: srcID: {}, dstID: {}, type_oid: {} -- MATCH",
-                    st.src, st.dst, st.etype
-                ));
+                ctx.print_with(|| {
+                    format!(
+                        "startPartialMatch: srcID: {}, dstID: {}, type_oid: {} -- MATCH",
+                        st.src, st.dst, st.etype
+                    )
+                });
             }
             let ack = ctx.self_event(or_ack);
             sht2.fetch_or(ctx, state, st.dst, new, ack);

@@ -1,12 +1,125 @@
-//! Simulator micro-benchmarks: event throughput, fan-out delivery, DRAM
-//! transaction pipeline, and swizzle translation speed.
+//! Simulator micro-benchmarks for the DES hot path: calendar churn, lane
+//! dispatch, cross-window exchange, fan-out delivery, the DRAM transaction
+//! pipeline, and swizzle translation speed.
+//!
+//! The first three stress the exact structures reworked by the bucketed
+//! calendar queue / arena / slab overhaul (see docs/perf.md) and are the
+//! before/after pair recorded in `BENCH_engine.json`. They deliberately use
+//! only the stable public `Engine` API so the same source builds against
+//! older engine revisions for A/B runs.
+//!
+//! Flags (after `cargo bench --bench engine_micro --`):
+//!   `<substr>`        only run benches whose name contains the substring
+//!   `--iters N`       override every bench's iteration count
+//!   `--json <path>`   write `{ "bench_name": mean_secs, ... }` for the
+//!                     CI perf-smoke comparison (tools/perf_compare.py)
 
-use bench::timing::bench_host;
+use bench::timing::bench_host_mean;
+use bench::Cli;
 use std::hint::black_box;
 use std::sync::Arc;
 use updown_sim::{
     Engine, EventCtx, EventWord, MachineConfig, NetworkId, TranslationDescriptor, VAddr,
 };
+
+/// Calendar churn: `timers` self-rescheduling timer chains, each firing
+/// `fires` times with a pseudo-random delay drawn from a menu spanning the
+/// same-tick fast path (0), near-future ring slots (1..1000), and delays
+/// past the conservative window (5000). Handler work is trivial, so
+/// schedule/pop dominates the profile.
+fn calendar_churn_run(timers: u64, fires: u64) -> u64 {
+    let mut eng = Engine::new(MachineConfig::small(1, 1, 4));
+    let tick = eng.register(
+        "tick",
+        Arc::new(|ctx: &mut EventCtx| {
+            let remaining = ctx.arg(0);
+            if remaining > 0 {
+                let mut rng = ctx.arg(1);
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                const MENU: [u64; 8] = [0, 1, 2, 7, 30, 200, 1000, 5000];
+                let delay = MENU[((rng >> 33) % MENU.len() as u64) as usize];
+                let me = EventWord::new(ctx.nwid(), ctx.cur_evw().label());
+                ctx.send_event_after(delay, me, [remaining - 1, rng], EventWord::IGNORE);
+            }
+            ctx.yield_terminate();
+        }),
+    );
+    for i in 0..timers {
+        eng.send(
+            EventWord::new(NetworkId((i % 4) as u32), tick),
+            [fires, 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1) | 1],
+            EventWord::IGNORE,
+        );
+    }
+    eng.run().stats.events_executed
+}
+
+/// Lane dispatch: spray short-lived events round-robin over `lanes` lanes.
+/// Every event allocates a fresh thread, touches per-thread state and two
+/// scratchpad words, then terminates — thread-table and scratchpad churn
+/// with almost no queue pressure.
+fn lane_dispatch_run(lanes: u32, msgs: u32) -> u64 {
+    let mut eng = Engine::new(MachineConfig::small(1, 1, lanes));
+    let work = eng.register(
+        "work",
+        Arc::new(|ctx: &mut EventCtx| {
+            let x = ctx.arg(0);
+            let st = ctx.state_mut::<u64>();
+            *st = st.wrapping_add(x);
+            let off = (x % 64) as u32;
+            let old = ctx.spm_read(off);
+            ctx.spm_write(off, old.wrapping_add(x));
+            ctx.yield_terminate();
+        }),
+    );
+    let spray = eng.register(
+        "spray",
+        Arc::new(move |ctx: &mut EventCtx| {
+            for i in 0..msgs {
+                ctx.send_event(
+                    EventWord::new(NetworkId(i % lanes), work),
+                    [i as u64 + 1],
+                    EventWord::IGNORE,
+                );
+            }
+            ctx.yield_terminate();
+        }),
+    );
+    eng.send(EventWord::new(NetworkId(0), spray), [], EventWord::IGNORE);
+    eng.run().stats.events_executed
+}
+
+/// Cross-window exchange: `balls` messages bouncing node-to-node for
+/// `hops` hops on a `nodes`-node machine. Every hop crosses the
+/// inter-node latency (= the conservative lookahead window), so each one
+/// lands in a later window and rides the mailbox exchange + merge path.
+fn cross_window_run(nodes: u32, balls: u32, hops: u64) -> u64 {
+    let lanes_per_node = 4u32;
+    let mut eng = Engine::new(MachineConfig::small(nodes, 1, lanes_per_node));
+    let total = nodes * lanes_per_node;
+    let bounce = eng.register(
+        "bounce",
+        Arc::new(move |ctx: &mut EventCtx| {
+            let remaining = ctx.arg(0);
+            if remaining > 0 {
+                let next = (ctx.nwid().0 + lanes_per_node) % total;
+                let dst = EventWord::new(NetworkId(next), ctx.cur_evw().label());
+                ctx.send_event(dst, [remaining - 1], EventWord::IGNORE);
+            }
+            ctx.yield_terminate();
+        }),
+    );
+    for b in 0..balls {
+        eng.send(
+            EventWord::new(NetworkId(b % total), bounce),
+            [hops],
+            EventWord::IGNORE,
+        );
+    }
+    eng.run().stats.events_executed
+}
 
 fn fanout_run(lanes: u32, msgs: u32) -> u64 {
     let mut eng = Engine::new(MachineConfig::small(1, 1, lanes));
@@ -50,13 +163,59 @@ fn dram_pipeline_run(reads: u64) -> u64 {
     eng.run().stats.dram_reads
 }
 
+/// Runs benches matching the CLI filter and collects mean times for the
+/// optional `--json` report.
+struct Suite {
+    filter: Option<String>,
+    iters_override: Option<u32>,
+    results: Vec<(String, f64)>,
+}
+
+impl Suite {
+    fn run<T>(&mut self, name: &str, default_iters: u32, f: impl FnMut() -> T) {
+        if let Some(pat) = &self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
+        let iters = self.iters_override.unwrap_or(default_iters).max(1);
+        let mean = bench_host_mean(name, iters, f);
+        self.results.push((name.to_string(), mean));
+    }
+
+    fn write_json(&self, path: &str) {
+        let mut s = String::from("{\n");
+        for (i, (name, mean)) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            s.push_str(&format!("  \"{name}\": {mean:.9}{comma}\n"));
+        }
+        s.push_str("}\n");
+        std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("bench JSON -> {path}");
+    }
+}
+
 fn main() {
+    // `cargo bench` passes `--bench` through to harness = false targets.
+    let cli = Cli::from_args(std::env::args().skip(1).filter(|a| a != "--bench"));
+    let mut suite = Suite {
+        filter: cli.positional.first().cloned(),
+        iters_override: cli.opt("iters"),
+        results: Vec::new(),
+    };
+
+    suite.run("calendar_churn_64x512", 10, || calendar_churn_run(64, 512));
+    suite.run("lane_dispatch_16k/16_lanes", 10, || {
+        lane_dispatch_run(16, 16384)
+    });
+    suite.run("cross_window_4n_8x2048", 10, || cross_window_run(4, 8, 2048));
+
     for lanes in [4u32, 16, 64] {
-        bench_host(&format!("fanout_4096/{lanes}_lanes"), 15, || {
+        suite.run(&format!("fanout_4096/{lanes}_lanes"), 15, || {
             fanout_run(lanes, 4096)
         });
     }
-    bench_host("dram_pipeline_2048", 15, || dram_pipeline_run(2048));
+    suite.run("dram_pipeline_2048", 15, || dram_pipeline_run(2048));
 
     let d = TranslationDescriptor {
         base: VAddr(0x1000_0000),
@@ -66,7 +225,7 @@ fn main() {
         block_size: 32 * 1024,
     };
     let mut x = 0u64;
-    bench_host("swizzle_translate_x1e6", 15, || {
+    suite.run("swizzle_translate_x1e6", 15, || {
         let mut acc = 0u32;
         for _ in 0..1_000_000 {
             x = x.wrapping_add(0x9E37_79B9);
@@ -75,4 +234,8 @@ fn main() {
         }
         acc
     });
+
+    if let Some(path) = cli.opt::<String>("json") {
+        suite.write_json(&path);
+    }
 }

@@ -33,14 +33,17 @@ fn main() {
             let mut cfg = IngestConfig::new(n);
             cfg.machine = bench_machine_threads(n, opts.threads);
             cfg.trace = ex.want_trace();
+            let t0 = std::time::Instant::now();
             let r = run_ingest(&ds, &cfg);
+            let secs = t0.elapsed().as_secs_f64();
             ex.export(&format!("ingest {label} nodes={n}"), &r.report, r.trace_json.as_deref());
             eprintln!(
-                "  {label} nodes={n}: {} ticks ({:.1} MRecords/s, phase1 {} / phase2 {})",
+                "  {label} nodes={n}: {} ticks ({:.1} MRecords/s, phase1 {} / phase2 {}, {} host)",
                 r.final_tick,
                 r.records_per_second(&cfg.machine) / 1e6,
                 r.phase1_tick,
                 r.phase2_tick - r.phase1_tick,
+                bench::cli::host_rate(r.report.stats.events_executed, secs),
             );
             s.push(n, r.final_tick);
         }

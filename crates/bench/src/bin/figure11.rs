@@ -49,12 +49,20 @@ fn main() {
         cfg.interval = cli.get("interval", 32);
         cfg.feeders = 8;
         cfg.trace = ex.want_trace();
+        let t0 = std::time::Instant::now();
         let r = run_partial_match(&ds.records, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
         ex.export(&format!("pm {label}"), &r.report, r.trace_json.as_deref());
         let mean = r.mean_latency();
         if base == 0.0 {
             base = mean;
         }
+        // Host throughput goes to stderr: stdout stays deterministic so
+        // runs can be diffed as a conformance check.
+        eprintln!(
+            "  pm {label}: {} host",
+            bench::cli::host_rate(r.report.stats.events_executed, secs)
+        );
         println!(
             "{:>12} {:>8} {:>14.0} {:>14} {:>10.2}",
             label,

@@ -39,12 +39,15 @@ fn pr_sweep(
             cfg.machine = bench_machine_threads(n, threads);
             cfg.iterations = iters;
             cfg.trace = ex.want_trace();
+            let t0 = std::time::Instant::now();
             let r = run_pagerank(&sg, &cfg);
+            let secs = t0.elapsed().as_secs_f64();
             ex.export(&format!("pr {name} nodes={n}"), &r.report, r.trace_json.as_deref());
             eprintln!(
-                "  pr {name} nodes={n}: {} ticks ({:.2} GUPS)",
+                "  pr {name} nodes={n}: {} ticks ({:.2} GUPS, {} host)",
                 r.final_tick,
-                r.gups(&cfg.machine)
+                r.gups(&cfg.machine),
+                bench::cli::host_rate(r.report.stats.events_executed, secs)
             );
             s.push(n, r.final_tick);
         }
@@ -62,13 +65,16 @@ fn bfs_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Export
             let mut cfg = BfsConfig::new(n, 0);
             cfg.machine = bench_machine_threads(n, threads);
             cfg.trace = ex.want_trace();
+            let t0 = std::time::Instant::now();
             let r = run_bfs(&g, &cfg);
+            let secs = t0.elapsed().as_secs_f64();
             ex.export(&format!("bfs {name} nodes={n}"), &r.report, r.trace_json.as_deref());
             eprintln!(
-                "  bfs {name} nodes={n}: {} ticks, {} rounds, {:.2} GTEPS",
+                "  bfs {name} nodes={n}: {} ticks, {} rounds, {:.2} GTEPS, {} host",
                 r.final_tick,
                 r.rounds,
-                r.gteps(&cfg.machine)
+                r.gteps(&cfg.machine),
+                bench::cli::host_rate(r.report.stats.events_executed, secs)
             );
             s.push(n, r.final_tick);
         }
@@ -89,15 +95,19 @@ fn tc_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Exporte
             let mut cfg = TcConfig::new(n);
             cfg.machine = bench_machine_threads(n, threads);
             cfg.trace = ex.want_trace();
+            let t0 = std::time::Instant::now();
             let r = run_tc(&g, &cfg);
+            let secs = t0.elapsed().as_secs_f64();
             ex.export(&format!("tc {name} nodes={n}"), &r.report, r.trace_json.as_deref());
             match triangles {
                 None => triangles = Some(r.triangles),
                 Some(t) => assert_eq!(t, r.triangles, "count must not depend on machine"),
             }
             eprintln!(
-                "  tc {name} nodes={n}: {} ticks ({} triangles)",
-                r.final_tick, r.triangles
+                "  tc {name} nodes={n}: {} ticks ({} triangles, {} host)",
+                r.final_tick,
+                r.triangles,
+                bench::cli::host_rate(r.report.stats.events_executed, secs)
             );
             s.push(n, r.final_tick);
         }

@@ -54,13 +54,21 @@ fn main() {
 
     let (base, base_secs) = run(1);
     let base_json = base.report.to_json();
+    // Simulated work is identical across thread counts, so the host
+    // event rate is the honest per-configuration throughput figure.
+    let events = base.report.stats.events_executed;
     println!(
-        "\n{:>10} {:>12} {:>14} {:>10} {:>10}",
-        "threads", "wall (s)", "final tick", "speedup", "identical"
+        "\n{:>10} {:>12} {:>14} {:>12} {:>10} {:>10}",
+        "threads", "wall (s)", "final tick", "host rate", "speedup", "identical"
     );
     println!(
-        "{:>10} {:>12.3} {:>14} {:>10.2} {:>10}",
-        1, base_secs, base.final_tick, 1.0, "-"
+        "{:>10} {:>12.3} {:>14} {:>12} {:>10.2} {:>10}",
+        1,
+        base_secs,
+        base.final_tick,
+        bench::cli::host_rate(events, base_secs),
+        1.0,
+        "-"
     );
 
     let mut best = 0.0f64;
@@ -74,8 +82,13 @@ fn main() {
         let sp = base_secs / secs;
         best = best.max(sp);
         println!(
-            "{:>10} {:>12.3} {:>14} {:>10.2} {:>10}",
-            t, secs, r.final_tick, sp, "yes"
+            "{:>10} {:>12.3} {:>14} {:>12} {:>10.2} {:>10}",
+            t,
+            secs,
+            r.final_tick,
+            bench::cli::host_rate(r.report.stats.events_executed, secs),
+            sp,
+            "yes"
         );
     }
 

@@ -109,6 +109,17 @@ impl StdOpts {
     }
 }
 
+/// Host-throughput annotation for sweep progress lines: simulated events
+/// retired per *host* second, formatted via [`crate::timing::fmt_rate`].
+///
+/// This figure goes to stdout/stderr next to the simulated-cycle numbers
+/// and is deliberately kept out of every metrics JSON: host throughput
+/// varies run to run, while the metrics files are byte-compared across
+/// engines and thread counts (see docs/perf.md).
+pub fn host_rate(events: u64, secs: f64) -> String {
+    crate::timing::fmt_rate(events, secs)
+}
+
 /// Writes the `--trace` and `--metrics-json` files for the first run of a
 /// sweep; subsequent calls are no-ops.
 pub struct Exporter {

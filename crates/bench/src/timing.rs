@@ -8,7 +8,14 @@ use std::time::Instant;
 
 /// Run `f` once to warm up, then `iters` times; print the mean per-call
 /// wall time as `name ... mean <t> (N iters)`.
-pub fn bench_host<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+pub fn bench_host<T>(name: &str, iters: u32, f: impl FnMut() -> T) {
+    bench_host_mean(name, iters, f);
+}
+
+/// [`bench_host`] that also returns the mean seconds per call, so callers
+/// can collect results into a machine-readable report (see
+/// `BENCH_engine.json` and the CI perf-smoke job).
+pub fn bench_host_mean<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> f64 {
     black_box(f());
     let t0 = Instant::now();
     for _ in 0..iters {
@@ -16,6 +23,24 @@ pub fn bench_host<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
     }
     let per = t0.elapsed().as_secs_f64() / iters as f64;
     println!("{name:<32} mean {} ({iters} iters)", fmt_secs(per));
+    per
+}
+
+/// Format an events-per-second throughput figure for bench output.
+/// Deliberately *not* part of any metrics JSON: host throughput varies
+/// run to run, while the metrics files are byte-compared in CI.
+pub fn fmt_rate(events: u64, secs: f64) -> String {
+    if secs <= 0.0 {
+        return "-".to_string();
+    }
+    let r = events as f64 / secs;
+    if r >= 1e6 {
+        format!("{:.2} Mev/s", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1} kev/s", r / 1e3)
+    } else {
+        format!("{r:.0} ev/s")
+    }
 }
 
 fn fmt_secs(s: f64) -> String {

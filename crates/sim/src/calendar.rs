@@ -1,0 +1,469 @@
+//! The engine's event calendar: a bucketed calendar queue tuned for the
+//! Table-2 cost model.
+//!
+//! # Why not a binary heap
+//!
+//! Every simulated event costs a handful of cycles (Table 2: dispatch 2,
+//! send 2, yield 1) and every latency in the machine is one of a small set
+//! of constants (intra-accel 4, intra-node 30, DRAM 200, inter-node 1000).
+//! Consequently, almost every calendar insertion lands within ~2·lookahead
+//! ticks of the shard clock, and a `BinaryHeap` pays `O(log n)` moves of a
+//! large `Sched` payload for what is structurally a near-FIFO workload.
+//!
+//! # Design
+//!
+//! The queue is a classic calendar/ladder queue specialized to **width-1
+//! buckets**:
+//!
+//! - A ring of [`RING_BUCKETS`] buckets covers the absolute time window
+//!   `[base, base + RING_BUCKETS)`. Bucket `time % RING_BUCKETS` holds the
+//!   entries for exactly one tick, so ordering *within* a bucket is plain
+//!   FIFO push order — which equals `(time, seq)` order because sequence
+//!   stamps increase monotonically. Enqueue and dequeue are O(1) plus a
+//!   two-level bitmap scan to find the next occupied tick.
+//! - A **same-tick fast lane** (`cur`) takes entries scheduled for exactly
+//!   the tick currently being drained — the dominant case for lane
+//!   re-dispatch — bypassing slot arithmetic and bitmap updates entirely.
+//!   Fast-lane entries drain after the current tick's bucket (they carry
+//!   larger sequence stamps by construction).
+//! - An **overflow rung** (a small binary heap ordered by `(time, seq)`)
+//!   holds far-future entries beyond the ring window, e.g. long
+//!   `send_event_after` timers. When the ring drains, the queue *rebases*:
+//!   the ring window moves to the earliest overflow time and every
+//!   overflow entry inside the new window migrates into its bucket, in
+//!   `(time, seq)` order.
+//!
+//! # Determinism
+//!
+//! The queue dequeues in exactly the order a `BinaryHeap` over
+//! `(time, seq)` would, where `seq` is the global push counter:
+//!
+//! - within one bucket, FIFO order *is* seq order (stamps are monotone);
+//! - the fast lane only receives entries for the in-drain tick, after its
+//!   bucket stopped receiving pushes, so bucket-then-fast-lane is seq
+//!   order;
+//! - an overflow entry for tick `t` always predates (has a smaller stamp
+//!   than) any ring entry for `t`, because the ring window only moves
+//!   forward — so draining overflow before ring on a time tie, and
+//!   migrating in heap order, preserves global order.
+//!
+//! `tests/tests/properties.rs` holds a differential property test that
+//! replays randomized `(time, payload)` streams — including far-future
+//! overflow and ring wraparound — against a reference `BinaryHeap`.
+//!
+//! The payload is a `u32` slot index into the engine's per-shard action
+//! arena (see `engine.rs`), so queue operations never move action data.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Ring width in ticks. Power of two; sized so that every one-hop future
+/// under the default cost model (up to `2 × inter_node_latency` for
+/// window-boundary arrivals, plus NIC/DRAM queueing slack) stays in-ring.
+pub const RING_BUCKETS: usize = 2048;
+
+const WORDS: usize = RING_BUCKETS / 64;
+const IDX_MASK: usize = RING_BUCKETS - 1;
+
+/// One tick's entries. `items[rd..]` are pending, in push (= seq) order.
+#[derive(Default)]
+struct Bucket {
+    items: Vec<u32>,
+    rd: usize,
+}
+
+impl Bucket {
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.rd == self.items.len()
+    }
+}
+
+/// A bucketed calendar queue over `(time, payload)` entries, dequeuing in
+/// `(time, push-order)` order. See the module docs for the design.
+pub struct CalendarQueue {
+    ring: Vec<Bucket>,
+    /// Occupancy bitmap: bit `i` of `occ[i / 64]` set iff `ring[i]` is
+    /// non-empty.
+    occ: [u64; WORDS],
+    /// Second level: bit `w` set iff `occ[w] != 0`.
+    summary: u64,
+    /// Absolute time of the tick currently at the head of the ring; the
+    /// ring covers `[base, base + RING_BUCKETS)`.
+    base: u64,
+    /// Same-tick fast lane: entries for exactly `base`, pushed while that
+    /// tick is being drained.
+    cur: Vec<u32>,
+    cur_rd: usize,
+    /// Far-future (and, defensively, past-time) entries as
+    /// `(time, seq, payload)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Global push stamp; FIFO-within-a-tick follows from its monotonicity.
+    seq: u64,
+    len: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl CalendarQueue {
+    pub fn new() -> CalendarQueue {
+        CalendarQueue {
+            ring: (0..RING_BUCKETS).map(|_| Bucket::default()).collect(),
+            occ: [0; WORDS],
+            summary: 0,
+            base: 0,
+            cur: Vec::new(),
+            cur_rd: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Logical pending entries (ring + fast lane + overflow).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn base_idx(&self) -> usize {
+        (self.base as usize) & IDX_MASK
+    }
+
+    #[inline]
+    fn set_bit(&mut self, idx: usize) {
+        self.occ[idx / 64] |= 1 << (idx % 64);
+        self.summary |= 1 << (idx / 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, idx: usize) {
+        self.occ[idx / 64] &= !(1 << (idx % 64));
+        if self.occ[idx / 64] == 0 {
+            self.summary &= !(1 << (idx / 64));
+        }
+    }
+
+    /// Schedule `payload` at absolute `time`.
+    pub fn push(&mut self, time: u64, payload: u32) {
+        self.seq += 1;
+        self.len += 1;
+        if time == self.base {
+            // Same-tick fast lane: no slot arithmetic, no bitmap.
+            self.cur.push(payload);
+        } else if time > self.base && time - self.base < RING_BUCKETS as u64 {
+            let idx = (time as usize) & IDX_MASK;
+            if self.ring[idx].is_empty() {
+                // (A drained bucket was reset on its last pop.)
+                self.set_bit(idx);
+            }
+            self.ring[idx].items.push(payload);
+        } else {
+            // Far future — or, defensively, behind `base` (the engine
+            // treats a past-time pop as a hard causality error; routing
+            // through the overflow rung reproduces heap order for it).
+            self.overflow.push(Reverse((time, self.seq, payload)));
+        }
+    }
+
+    /// First occupied ring slot at cyclic distance `>= 1` from the base
+    /// slot, as `(absolute_time, idx)`.
+    fn scan_ring(&self) -> Option<(u64, usize)> {
+        if self.summary == 0 {
+            return None;
+        }
+        let start = (self.base_idx() + 1) & IDX_MASK;
+        // Walk bitmap words cyclically, starting inside `start`'s word.
+        let mut word = start / 64;
+        let mut mask = !0u64 << (start % 64);
+        for _ in 0..=WORDS {
+            let bits = self.occ[word] & mask;
+            if bits != 0 {
+                let idx = word * 64 + bits.trailing_zeros() as usize;
+                let dist = (idx.wrapping_sub(self.base_idx())) & IDX_MASK;
+                return Some((self.base + dist as u64, idx));
+            }
+            word = (word + 1) % WORDS;
+            mask = !0;
+        }
+        None
+    }
+
+    /// Earliest pending `(time)` without dequeuing, `None` when empty.
+    pub fn peek_time(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best = u64::MAX;
+        if !self.ring[self.base_idx()].is_empty() || self.cur_rd < self.cur.len() {
+            best = self.base;
+        } else if let Some((t, _)) = self.scan_ring() {
+            best = t;
+        }
+        if let Some(Reverse((t, _, _))) = self.overflow.peek() {
+            best = best.min(*t);
+        }
+        debug_assert_ne!(best, u64::MAX, "non-empty queue must have a head");
+        Some(best)
+    }
+
+    /// Dequeue the earliest entry (FIFO within a tick).
+    pub fn pop(&mut self) -> Option<(u64, u32)> {
+        self.pop_if_before(u64::MAX)
+    }
+
+    /// Dequeue the earliest entry only if its time is `< limit` —
+    /// the engine's window-horizon check fused into a single scan.
+    pub fn pop_if_before(&mut self, limit: u64) -> Option<(u64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Head of the ring side (base tick first: bucket, then fast lane).
+        let base_idx = self.base_idx();
+        let ring_head = if !self.ring[base_idx].is_empty() || self.cur_rd < self.cur.len() {
+            Some((self.base, base_idx))
+        } else {
+            self.scan_ring()
+        };
+        // On a time tie the overflow entry wins: it was pushed while its
+        // tick was still outside the ring window, i.e. earlier.
+        if let Some(&Reverse((t, _, p))) = self.overflow.peek() {
+            if ring_head.is_none_or(|(rt, _)| t <= rt) {
+                if t >= limit {
+                    return None;
+                }
+                if ring_head.is_none() {
+                    // Ring is empty: rebase the window onto the overflow
+                    // head and migrate everything now in-window, then pop
+                    // from the ring (keeps same-tick FIFO for later
+                    // pushes at these times).
+                    self.rebase(t);
+                    return self.pop_ring(limit);
+                }
+                self.overflow.pop();
+                self.len -= 1;
+                return Some((t, p));
+            }
+        }
+        self.pop_ring(limit)
+    }
+
+    /// Pop the earliest ring-side entry (bucket before fast lane at the
+    /// base tick), advancing `base` as needed.
+    fn pop_ring(&mut self, limit: u64) -> Option<(u64, u32)> {
+        let base_idx = self.base_idx();
+        if !self.ring[base_idx].is_empty() {
+            if self.base >= limit {
+                return None;
+            }
+            return Some((self.base, self.take_from(base_idx)));
+        }
+        if self.cur_rd < self.cur.len() {
+            if self.base >= limit {
+                return None;
+            }
+            let p = self.cur[self.cur_rd];
+            self.cur_rd += 1;
+            if self.cur_rd == self.cur.len() {
+                self.cur.clear();
+                self.cur_rd = 0;
+            }
+            self.len -= 1;
+            return Some((self.base, p));
+        }
+        let (t, idx) = self.scan_ring()?;
+        if t >= limit {
+            return None;
+        }
+        self.base = t; // advance the window; fast lane now serves tick t
+        Some((t, self.take_from(idx)))
+    }
+
+    /// Pop the front entry of bucket `idx`, resetting it when drained.
+    fn take_from(&mut self, idx: usize) -> u32 {
+        let b = &mut self.ring[idx];
+        let p = b.items[b.rd];
+        b.rd += 1;
+        if b.is_empty() {
+            b.items.clear();
+            b.rd = 0;
+            self.clear_bit(idx);
+        }
+        self.len -= 1;
+        p
+    }
+
+    /// Move the ring window to start at `t0` and migrate every overflow
+    /// entry inside `[t0, t0 + RING_BUCKETS)` into its bucket, in
+    /// `(time, seq)` order. Caller guarantees the ring is empty.
+    fn rebase(&mut self, t0: u64) {
+        debug_assert!(self.summary == 0 && self.cur_rd == self.cur.len());
+        self.base = t0;
+        let lim = t0.saturating_add(RING_BUCKETS as u64);
+        while let Some(&Reverse((t, _, _))) = self.overflow.peek() {
+            if t >= lim {
+                break;
+            }
+            let Reverse((t, _, p)) = self.overflow.pop().unwrap();
+            if t == self.base {
+                self.cur.push(p);
+            } else {
+                let idx = (t as usize) & IDX_MASK;
+                if self.ring[idx].is_empty() {
+                    self.set_bit(idx);
+                }
+                self.ring[idx].items.push(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: the old engine's ordering, `BinaryHeap` over
+    /// `(time, seq)`.
+    #[derive(Default)]
+    struct Reference {
+        heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+        seq: u64,
+    }
+
+    impl Reference {
+        fn push(&mut self, t: u64, p: u32) {
+            self.seq += 1;
+            self.heap.push(Reverse((t, self.seq, p)));
+        }
+
+        fn pop(&mut self) -> Option<(u64, u32)> {
+            self.heap.pop().map(|Reverse((t, _, p))| (t, p))
+        }
+    }
+
+    #[test]
+    fn fifo_within_a_tick() {
+        let mut q = CalendarQueue::new();
+        q.push(5, 1);
+        q.push(5, 2);
+        q.push(3, 3);
+        q.push(5, 4);
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.pop(), Some((3, 3)));
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 4)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_fast_lane_preserves_order() {
+        let mut q = CalendarQueue::new();
+        q.push(10, 1);
+        q.push(10, 2);
+        assert_eq!(q.pop(), Some((10, 1))); // base is now 10
+        q.push(10, 3); // fast lane
+        q.push(11, 4);
+        q.push(10, 5); // fast lane
+        assert_eq!(q.pop(), Some((10, 2))); // bucket before fast lane
+        assert_eq!(q.pop(), Some((10, 3)));
+        assert_eq!(q.pop(), Some((10, 5)));
+        assert_eq!(q.pop(), Some((11, 4)));
+    }
+
+    #[test]
+    fn far_future_goes_to_overflow_and_comes_back() {
+        let mut q = CalendarQueue::new();
+        let far = 10 + 10 * RING_BUCKETS as u64;
+        q.push(far, 1);
+        q.push(2, 2);
+        q.push(far, 3);
+        q.push(far + 1, 4);
+        assert_eq!(q.pop(), Some((2, 2)));
+        assert_eq!(q.peek_time(), Some(far));
+        assert_eq!(q.pop(), Some((far, 1)));
+        // Post-rebase push at the same tick lands behind the migrated one.
+        q.push(far, 5);
+        assert_eq!(q.pop(), Some((far, 3)));
+        assert_eq!(q.pop(), Some((far, 5)));
+        assert_eq!(q.pop(), Some((far + 1, 4)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wins_time_ties_against_ring() {
+        let mut q = CalendarQueue::new();
+        let t = RING_BUCKETS as u64 + 100; // outside the initial window
+        q.push(t, 1); // -> overflow (pushed first)
+        // Advance the window so `t` becomes coverable by the ring.
+        q.push(200, 0);
+        assert_eq!(q.pop(), Some((200, 0))); // base = 200, t now in-window
+        q.push(t, 2); // -> ring (pushed second)
+        assert_eq!(q.pop(), Some((t, 1)), "older overflow entry first");
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn pop_if_before_respects_horizon() {
+        let mut q = CalendarQueue::new();
+        q.push(7, 1);
+        q.push(9, 2);
+        assert_eq!(q.pop_if_before(7), None);
+        assert_eq!(q.pop_if_before(8), Some((7, 1)));
+        assert_eq!(q.pop_if_before(8), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_if_before(u64::MAX), Some((9, 2)));
+    }
+
+    #[test]
+    fn wraparound_across_many_ring_revolutions() {
+        // Differential check across > 3 ring revolutions with mixed
+        // same-tick, near-future, and overflow pushes.
+        let mut q = CalendarQueue::new();
+        let mut r = Reference::default();
+        let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic LCG-ish walk
+        let mut now = 0u64;
+        let mut next_p = 0u32;
+        for step in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r1 = (x >> 33) % 100;
+            if r1 < 60 {
+                let delay = match (x >> 13) % 5 {
+                    0 => 0,
+                    1 => 1 + (x >> 23) % 40,
+                    2 => 200,
+                    3 => 1000 + (x >> 23) % 1500,
+                    _ => 3000 + (x >> 23) % 20_000, // overflow rung
+                };
+                q.push(now + delay, next_p);
+                r.push(now + delay, next_p);
+                next_p += 1;
+            } else {
+                let (a, b) = (q.pop(), r.pop());
+                assert_eq!(a, b, "diverged at step {step}");
+                if let Some((t, _)) = a {
+                    now = t;
+                }
+            }
+            assert_eq!(q.len(), r.heap.len());
+        }
+        loop {
+            let (a, b) = (q.pop(), r.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -28,11 +28,11 @@
 //! thread counts.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Barrier, Mutex};
 
+use crate::calendar::CalendarQueue;
 use crate::config::MachineConfig;
 use crate::ids::{EventLabel, EventWord, NetworkId, ThreadId};
 use crate::lane::Lane;
@@ -146,26 +146,35 @@ enum Action {
     },
 }
 
-struct Sched {
-    time: u64,
-    seq: u64,
-    action: Action,
+/// Slab storage for pending [`Action`]s. The calendar holds bare `u32`
+/// slot indices, so queue operations never move action payloads, and the
+/// freelist recycles slots across windows — after warm-up the steady state
+/// allocates nothing per event.
+#[derive(Default)]
+struct ActionArena {
+    slots: Vec<Option<Action>>,
+    free: Vec<u32>,
 }
 
-impl PartialEq for Sched {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl ActionArena {
+    fn insert(&mut self, action: Action) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(action);
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(Some(action));
+                i
+            }
+        }
     }
-}
-impl Eq for Sched {}
-impl PartialOrd for Sched {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Sched {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    fn take(&mut self, i: u32) -> Action {
+        let a = self.slots[i as usize].take().expect("live arena slot");
+        self.free.push(i);
+        a
     }
 }
 
@@ -227,8 +236,8 @@ pub(crate) struct EngineCore {
     /// Global network id of this shard's first lane.
     base_lane: u32,
     now: u64,
-    seq: u64,
-    calendar: BinaryHeap<Reverse<Sched>>,
+    calendar: CalendarQueue,
+    arena: ActionArena,
     lanes: Vec<Lane>,
     /// This node's memory channel (single-node instance, index 0).
     channel: MemChannels,
@@ -257,22 +266,27 @@ pub(crate) struct EngineCore {
     /// Cross-shard entries buffered during a window, per destination
     /// shard; flushed into the mailboxes at the window boundary.
     outbuf: Vec<Vec<XEntry>>,
+    /// Recycled `Outgoing` buffer for [`EventCtx`] (capacity persists
+    /// across events; one less allocation per sending event).
+    out_scratch: Vec<Outgoing>,
+    /// Recycled mailbox-drain buffer ([`XEntry`] capacity persists across
+    /// windows, swapped with the mailbox's storage each round).
+    xentry_scratch: Vec<XEntry>,
 }
 
 impl EngineCore {
     fn schedule(&mut self, time: u64, action: Action) {
-        self.seq += 1;
-        self.calendar.push(Reverse(Sched {
-            time,
-            seq: self.seq,
-            action,
-        }));
+        let slot = self.arena.insert(action);
+        self.calendar.push(time, slot);
+        // `peak_calendar` counts logical pending entries (see `stats.rs`):
+        // `CalendarQueue::len` spans ring, fast lane, and overflow rung,
+        // matching the historical heap's `len()` exactly.
         self.stats.peak_calendar = self.stats.peak_calendar.max(self.calendar.len());
     }
 
     /// Time of the earliest pending calendar entry, `u64::MAX` when empty.
     fn next_time(&self) -> u64 {
-        self.calendar.peek().map(|Reverse(s)| s.time).unwrap_or(u64::MAX)
+        self.calendar.peek_time().unwrap_or(u64::MAX)
     }
 
     fn local_lane(&mut self, nwid: NetworkId) -> &mut Lane {
@@ -396,21 +410,18 @@ impl EngineCore {
     fn window(&mut self, shared: &Shared, horizon: u64, budget: u64) -> u64 {
         let before = self.stats.events_executed;
         while !self.stop && self.stats.events_executed - before < budget {
-            let Some(next) = self.calendar.peek().map(|Reverse(s)| s.time) else {
+            let Some((t, slot)) = self.calendar.pop_if_before(horizon) else {
                 break;
             };
-            if next >= horizon {
-                break;
-            }
-            let Reverse(s) = self.calendar.pop().unwrap();
-            if s.time < self.now {
+            if t < self.now {
                 panic!(
                     "time went backwards on shard {}: popped t={} behind clock t={}",
-                    self.id, s.time, self.now
+                    self.id, t, self.now
                 );
             }
-            self.now = s.time;
-            self.dispatch(shared, s.action);
+            self.now = t;
+            let action = self.arena.take(slot);
+            self.dispatch(shared, action);
         }
         self.stats.events_executed - before
     }
@@ -630,9 +641,8 @@ impl EngineCore {
         }
         let state = lane
             .threads
-            .get_mut(&tid.0)
+            .state_mut(tid)
             .unwrap_or_else(|| panic!("event {:?} targets dead thread on lane {l}", msg.dst))
-            .state
             .take();
         let label = msg.dst.label();
         let entry = &shared.handlers[label.0 as usize];
@@ -647,6 +657,7 @@ impl EngineCore {
             } else {
                 0
             };
+        let out_buf = std::mem::take(&mut self.out_scratch);
         let mut ctx = EventCtx {
             shard: self,
             shared,
@@ -655,7 +666,7 @@ impl EngineCore {
             event_name: &entry.name,
             msg: &msg,
             cost: base,
-            out: Vec::new(),
+            out: out_buf,
             terminated: false,
             state,
             stopped: false,
@@ -664,7 +675,7 @@ impl EngineCore {
 
         let EventCtx {
             cost,
-            out,
+            mut out,
             terminated,
             state,
             stopped,
@@ -705,17 +716,16 @@ impl EngineCore {
             }
             self.stats.threads_terminated += 1;
         } else {
-            self.lanes[li]
+            *self.lanes[li]
                 .threads
-                .get_mut(&tid.0)
-                .expect("live thread")
-                .state = state;
+                .state_mut(tid)
+                .expect("live thread") = state;
         }
 
         // Emit collected effects at completion time.
         let src = NetworkId(l);
         let src_node = self.id;
-        for o in out {
+        for o in out.drain(..) {
             match o {
                 Outgoing::Msg(msg, delay) => {
                     let ready = t_end + delay;
@@ -822,6 +832,8 @@ impl EngineCore {
             }
         }
 
+        self.out_scratch = out;
+
         if stopped {
             self.stop = true;
         }
@@ -837,15 +849,19 @@ impl EngineCore {
     /// Move all entries out of `mb` into this shard's calendar, in
     /// deterministic `(source shard, source order)` order.
     fn drain_mailbox(&mut self, mb: &Mailbox) {
-        let mut entries = std::mem::take(&mut *mb.q.lock().unwrap());
+        // Swap the mailbox's storage with the recycled drain buffer so
+        // both vectors keep their capacity across windows.
+        let mut entries = std::mem::take(&mut self.xentry_scratch);
+        debug_assert!(entries.is_empty());
+        std::mem::swap(&mut *mb.q.lock().unwrap(), &mut entries);
         mb.min.store(u64::MAX, Relaxed);
-        if entries.is_empty() {
-            return;
+        if !entries.is_empty() {
+            entries.sort_unstable_by_key(|e| (e.src, e.order));
+            for e in entries.drain(..) {
+                self.schedule(e.time, e.action);
+            }
         }
-        entries.sort_unstable_by_key(|e| (e.src, e.order));
-        for e in entries {
-            self.schedule(e.time, e.action);
-        }
+        self.xentry_scratch = entries;
     }
 
     /// Publish this window's buffered cross-shard entries into the
@@ -1065,8 +1081,8 @@ impl Engine {
                 id,
                 base_lane: id * lanes_per_node,
                 now: 0,
-                seq: 0,
-                calendar: BinaryHeap::new(),
+                calendar: CalendarQueue::new(),
+                arena: ActionArena::default(),
                 lanes: {
                     let mut v = Vec::with_capacity(lanes_per_node as usize);
                     v.resize_with(lanes_per_node as usize, Lane::default);
@@ -1085,6 +1101,8 @@ impl Engine {
                 handler_stats: Vec::new(),
                 sent_seq: 0,
                 outbuf: (0..n).map(|_| Vec::new()).collect(),
+                out_scratch: Vec::new(),
+                xentry_scratch: Vec::new(),
             })
             .collect();
         let lookahead = cfg.net.inter_node_latency.max(1);
@@ -1398,8 +1416,8 @@ impl Engine {
     /// discarded; acks/read-returns have no one left to run them).
     fn drain_in_flight(&mut self) {
         for core in &mut self.shards {
-            while let Some(Reverse(s)) = core.calendar.pop() {
-                let op = match s.action {
+            while let Some((_t, slot)) = core.calendar.pop() {
+                let op = match core.arena.take(slot) {
                     // Not-yet-applied stages carry the op; apply effects.
                     Action::MemArrive { op, .. } | Action::MemServed { op, .. } => op,
                     Action::Deliver(_) => {
@@ -1872,7 +1890,18 @@ impl<'a> EventCtx<'a> {
         self.stopped = true;
     }
 
+    /// Whether `[PRINT]` tracing is enabled. Lets handlers skip building
+    /// trace strings entirely when nobody is listening.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.shard.trace.is_some()
+    }
+
     /// Emit a BASIM_PRINT-style trace line (if tracing is enabled).
+    ///
+    /// The `text` argument is formatted by the *caller*; when it is
+    /// expensive to build, prefer [`EventCtx::print_with`] so disabled
+    /// tracing does zero string work.
     pub fn print(&mut self, text: &str) {
         if self.shard.trace.is_some() {
             let line = format!(
@@ -1880,6 +1909,17 @@ impl<'a> EventCtx<'a> {
                 self.shard.now, self.lane, self.tid.0, self.event_name, text
             );
             self.shard.trace_line(line);
+        }
+    }
+
+    /// Lazily formatted [`EventCtx::print`]: the closure runs only when
+    /// tracing is enabled, so the disabled-tracing fast path is a single
+    /// `Option` discriminant check — no formatting, no allocation.
+    #[inline]
+    pub fn print_with<F: FnOnce() -> String>(&mut self, f: F) {
+        if self.shard.trace.is_some() {
+            let text = f();
+            self.print(&text);
         }
     }
 
@@ -2298,12 +2338,66 @@ mod tests {
         assert_eq!(eng.mem().read_f64(a).unwrap(), 3.75);
     }
 
+    #[test]
+    fn peak_calendar_counts_logical_pending_entries() {
+        // Part 1: exact peak for a known program. The kick event posts
+        // three timers landing in all three physical structures of the
+        // bucketed calendar: same-window ring, near-future ring, and the
+        // far-future overflow rung. All three count while pending.
+        let mut eng = Engine::new(tiny());
+        let sink = eng.register("sink", Arc::new(|ctx: &mut EventCtx| ctx.yield_terminate()));
+        let kick = eng.register(
+            "kick",
+            Arc::new(move |ctx: &mut EventCtx| {
+                let w = EventWord::new(ctx.nwid().next(), sink);
+                ctx.send_event_after(0, w, [], EventWord::IGNORE);
+                ctx.send_event_after(10, w, [], EventWord::IGNORE);
+                ctx.send_event_after(5000, w, [], EventWord::IGNORE);
+                ctx.yield_terminate();
+            }),
+        );
+        eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
+        let r = eng.run();
+        // Peak: the three Deliver entries pending together after the kick
+        // (deliveries arrive at distinct ticks; a LaneRun replaces each
+        // popped Deliver, never exceeding three).
+        assert_eq!(r.stats.peak_calendar, 3);
+
+        // Part 2: parked messages and inbox backlogs are NOT calendar
+        // entries. Three creations race to a lane with one hardware
+        // context: two park, yet the peak stays the same three Delivers.
+        let mut cfg = tiny();
+        cfg.max_threads_per_lane = 1;
+        let mut eng = Engine::new(cfg);
+        let hold = eng.register("hold", Arc::new(|_: &mut EventCtx| {}));
+        let kick = eng.register(
+            "kick",
+            Arc::new(move |ctx: &mut EventCtx| {
+                let w = EventWord::new(ctx.nwid().next(), hold);
+                for _ in 0..3 {
+                    ctx.send_event(w, [], EventWord::IGNORE);
+                }
+                ctx.yield_terminate();
+            }),
+        );
+        eng.send(EventWord::new(NetworkId(0), kick), [], EventWord::IGNORE);
+        let r = eng.run();
+        assert_eq!(r.stats.thread_table_stalls, 2, "two creations parked");
+        assert_eq!(
+            r.stats.peak_calendar, 3,
+            "parked/inbox messages must not count as calendar entries"
+        );
+    }
+
     /// A program touching every traced subsystem — fan-out messages
     /// (local + remote), DRAM write/read, phases, custom and sampled
-    /// counters — run with and without the event trace.
-    fn observed_run(traced: bool) -> Engine {
+    /// counters, `[PRINT]` lines — run with and without tracing.
+    fn observed_run_with(print_trace: bool, event_trace: bool) -> Engine {
         let mut eng = Engine::new(tiny());
-        if traced {
+        if print_trace {
+            eng.enable_trace();
+        }
+        if event_trace {
             eng.enable_event_trace();
         }
         let a = eng.mem_mut().alloc(4096, 0, 1, 4096).unwrap();
@@ -2328,6 +2422,8 @@ mod tests {
                 ctx.phase_begin("io");
                 ctx.bump("kicks", 1);
                 ctx.trace_counter_add("inflight", 1);
+                let from = ctx.nwid().0;
+                ctx.print_with(|| format!("fan-out from lane {from}"));
                 let n = ctx.config().total_lanes();
                 for i in 0..n {
                     ctx.send_event(
@@ -2345,6 +2441,10 @@ mod tests {
         eng
     }
 
+    fn observed_run(traced: bool) -> Engine {
+        observed_run_with(false, traced)
+    }
+
     #[test]
     fn event_trace_has_zero_observer_effect() {
         let off = observed_run(false);
@@ -2353,6 +2453,27 @@ mod tests {
         assert!(!on.event_trace().is_empty());
         // Byte-identical metrics: same ticks, counters, phases, custom.
         assert_eq!(off.metrics().to_json(), on.metrics().to_json());
+    }
+
+    #[test]
+    fn tracing_never_changes_peak_calendar() {
+        // Observer-effect guard for the trace fast path: enabling either
+        // trace kind (or both) must leave every metric — `peak_calendar`
+        // in particular — byte-identical to the untraced run.
+        let off = observed_run_with(false, false);
+        let base = off.metrics();
+        for (print_trace, event_trace) in [(true, false), (false, true), (true, true)] {
+            let on = observed_run_with(print_trace, event_trace);
+            assert_eq!(
+                base.stats.peak_calendar,
+                on.metrics().stats.peak_calendar,
+                "peak_calendar changed under tracing ({print_trace}, {event_trace})"
+            );
+            assert_eq!(base.to_json(), on.metrics().to_json());
+            if print_trace {
+                assert!(!on.trace().is_empty(), "print trace recorded");
+            }
+        }
     }
 
     #[test]

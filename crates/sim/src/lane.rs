@@ -5,26 +5,127 @@
 //! the scratchpad is lane-private memory accessed at 1 cycle per word.
 //!
 //! Lanes are instantiated lazily in bulk (a 1024-node machine has 2M of
-//! them), so every container here starts unallocated.
+//! them), so every container here starts unallocated. Thread contexts and
+//! scratchpad words live in dense, slab-indexed vectors — hardware thread
+//! ids and word offsets are small dense integers, so the engine's hot path
+//! indexes instead of hashing.
 
 use std::any::Any;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::ids::{EventWord, ThreadId};
 use crate::message::Message;
 
-/// A thread context: the object-like unit whose events execute atomically.
-/// State is `Send` so whole shards can migrate between scheduler threads.
-pub struct ThreadCtx {
+/// One hardware thread-context slot of the slab. `gen` counts how many
+/// times the slot has been recycled, so a stale `ThreadId` held across a
+/// dealloc/realloc can be detected (debug assertions; the ABA guard of the
+/// slab).
+#[derive(Default)]
+struct ThreadSlot {
+    live: bool,
+    gen: u32,
     /// Application state, created on first access by the handler.
-    pub state: Option<Box<dyn Any + Send>>,
+    state: Option<Box<dyn Any + Send>>,
 }
 
-/// Per-lane scratchpad: word-addressed, lazily backed so that millions of
-/// idle lanes cost nothing. Capacity is enforced against `spm_words`.
+/// The lane's thread-context table: a slab indexed directly by `ThreadId`
+/// with a rotating allocation cursor and per-slot generation counters.
+///
+/// The allocation scan is observably identical to the historical
+/// `HashMap`-backed table: the cursor rotates over `0..max_threads`,
+/// skips `ThreadId::NEW` (`u16::MAX`) and live slots, and hands out the
+/// first free id — so the sequence of allocated thread ids (visible in
+/// traces and event words) is byte-for-byte unchanged.
+#[derive(Default)]
+pub struct ThreadTable {
+    slots: Vec<ThreadSlot>,
+    live: usize,
+    /// Next candidate thread id for the allocation scan.
+    next_tid: u16,
+}
+
+impl ThreadTable {
+    /// Number of live thread contexts.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    pub fn contains(&self, tid: ThreadId) -> bool {
+        self.slots.get(tid.0 as usize).is_some_and(|s| s.live)
+    }
+
+    /// Recycle count of the slot behind `tid` (0 for never-used slots).
+    /// Debug aid: a cached `ThreadId` is stale once this moves.
+    #[inline]
+    pub fn generation(&self, tid: ThreadId) -> u32 {
+        self.slots.get(tid.0 as usize).map_or(0, |s| s.gen)
+    }
+
+    /// Mutable access to a live thread's state cell; `None` for dead ids.
+    #[inline]
+    pub fn state_mut(&mut self, tid: ThreadId) -> Option<&mut Option<Box<dyn Any + Send>>> {
+        match self.slots.get_mut(tid.0 as usize) {
+            Some(s) if s.live => Some(&mut s.state),
+            _ => None,
+        }
+    }
+
+    fn alloc(&mut self, max_threads: u16) -> Option<ThreadId> {
+        if self.live >= max_threads as usize {
+            return None;
+        }
+        // Scan from the rotating cursor; table is below capacity so this
+        // terminates. ThreadId::NEW (u16::MAX) is never allocated.
+        loop {
+            let tid = self.next_tid;
+            self.next_tid = if self.next_tid >= max_threads - 1 {
+                0
+            } else {
+                self.next_tid + 1
+            };
+            if tid == ThreadId::NEW.0 {
+                continue;
+            }
+            let i = tid as usize;
+            if i >= self.slots.len() {
+                self.slots.resize_with(i + 1, ThreadSlot::default);
+            }
+            let s = &mut self.slots[i];
+            if !s.live {
+                s.live = true;
+                s.state = None;
+                self.live += 1;
+                return Some(ThreadId(tid));
+            }
+        }
+    }
+
+    fn dealloc(&mut self, tid: ThreadId) {
+        if let Some(s) = self.slots.get_mut(tid.0 as usize) {
+            if s.live {
+                s.live = false;
+                s.state = None;
+                s.gen = s.gen.wrapping_add(1);
+                self.live -= 1;
+            }
+        }
+    }
+}
+
+/// Per-lane scratchpad: word-addressed, lazily grown so that millions of
+/// idle lanes cost nothing. Capacity is enforced against `spm_words` by
+/// the engine; reads past the touched region return zero (uninitialized
+/// memory reads as zero, as before).
 #[derive(Default)]
 pub struct Scratchpad {
-    words: HashMap<u32, u64>,
+    words: Vec<u64>,
     /// High-water mark of touched words (for spMalloc accounting/stats).
     pub high_water: u32,
 }
@@ -32,21 +133,26 @@ pub struct Scratchpad {
 impl Scratchpad {
     #[inline]
     pub fn read(&self, off: u32) -> u64 {
-        self.words.get(&off).copied().unwrap_or(0)
+        self.words.get(off as usize).copied().unwrap_or(0)
     }
 
     #[inline]
     pub fn write(&mut self, off: u32, v: u64) {
         self.high_water = self.high_water.max(off + 1);
-        if v == 0 {
-            self.words.remove(&off);
-        } else {
-            self.words.insert(off, v);
+        let i = off as usize;
+        if i >= self.words.len() {
+            if v == 0 {
+                // Zero is what an ungrown word already reads as.
+                return;
+            }
+            self.words.resize(i + 1, 0);
         }
+        self.words[i] = v;
     }
 
+    /// Number of words currently holding a non-zero value.
     pub fn touched(&self) -> usize {
-        self.words.len()
+        self.words.iter().filter(|&&w| w != 0).count()
     }
 }
 
@@ -56,9 +162,7 @@ pub struct Lane {
     /// Messages waiting to execute on this lane, FIFO.
     pub inbox: VecDeque<Message>,
     /// Live thread contexts.
-    pub threads: HashMap<u16, ThreadCtx>,
-    /// Next candidate thread id for allocation scan.
-    next_tid: u16,
+    pub threads: ThreadTable,
     /// Messages that arrived targeting NEW threads while the context table
     /// was full; drained when a thread deallocates.
     pub parked: VecDeque<Message>,
@@ -79,27 +183,11 @@ impl Lane {
     /// Allocate a fresh thread context; `None` when all hardware contexts
     /// are in use (the message parks until one frees).
     pub fn alloc_thread(&mut self, max_threads: u16) -> Option<ThreadId> {
-        if self.threads.len() >= max_threads as usize {
-            return None;
-        }
-        // Scan from the rotating cursor; table is below capacity so this
-        // terminates. ThreadId::NEW (u16::MAX) is never allocated.
-        loop {
-            let tid = self.next_tid;
-            self.next_tid = if self.next_tid >= max_threads - 1 {
-                0
-            } else {
-                self.next_tid + 1
-            };
-            if tid != ThreadId::NEW.0 && !self.threads.contains_key(&tid) {
-                self.threads.insert(tid, ThreadCtx { state: None });
-                return Some(ThreadId(tid));
-            }
-        }
+        self.threads.alloc(max_threads)
     }
 
     pub fn dealloc_thread(&mut self, tid: ThreadId) {
-        self.threads.remove(&tid.0);
+        self.threads.dealloc(tid);
     }
 
     /// Resolve the destination thread of a message, allocating when the
@@ -109,7 +197,7 @@ impl Lane {
             self.alloc_thread(max_threads)
         } else {
             debug_assert!(
-                self.threads.contains_key(&dst.tid().0),
+                self.threads.contains(dst.tid()),
                 "message to dead thread {:?}",
                 dst
             );
@@ -149,6 +237,42 @@ mod tests {
     }
 
     #[test]
+    fn alloc_scan_matches_historical_rotating_order() {
+        // The slab must hand out the exact id sequence the HashMap-backed
+        // table did: rotating cursor, first free id wins after a dealloc.
+        let mut lane = Lane::default();
+        let ids: Vec<u16> = (0..4).map(|_| lane.alloc_thread(8).unwrap().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        lane.dealloc_thread(ThreadId(1));
+        // Cursor is at 4: 4..7 allocate before wrapping back to the hole.
+        let more: Vec<u16> = (0..5).map(|_| lane.alloc_thread(8).unwrap().0).collect();
+        assert_eq!(more, vec![4, 5, 6, 7, 1]);
+        assert!(lane.alloc_thread(8).is_none(), "table full");
+    }
+
+    #[test]
+    fn generation_counts_slot_recycling() {
+        let mut lane = Lane::default();
+        let a = lane.alloc_thread(1).unwrap();
+        assert_eq!(lane.threads.generation(a), 0);
+        lane.dealloc_thread(a);
+        assert_eq!(lane.threads.generation(a), 1, "dealloc bumps the slot gen");
+        let b = lane.alloc_thread(1).unwrap();
+        assert_eq!(a, b, "slot is recycled under a new generation");
+        assert_eq!(lane.threads.generation(b), 1);
+        assert!(lane.threads.contains(b));
+    }
+
+    #[test]
+    fn dead_thread_state_is_inaccessible() {
+        let mut lane = Lane::default();
+        let a = lane.alloc_thread(4).unwrap();
+        *lane.threads.state_mut(a).unwrap() = Some(Box::new(7u64));
+        lane.dealloc_thread(a);
+        assert!(lane.threads.state_mut(a).is_none());
+    }
+
+    #[test]
     fn scratchpad_rw() {
         let mut s = Scratchpad::default();
         assert_eq!(s.read(100), 0, "uninitialized scratchpad reads zero");
@@ -157,6 +281,20 @@ mod tests {
         s.write(100, 0);
         assert_eq!(s.read(100), 0);
         assert_eq!(s.high_water, 101);
+    }
+
+    #[test]
+    fn scratchpad_touched_counts_nonzero_words() {
+        let mut s = Scratchpad::default();
+        s.write(3, 1);
+        s.write(9, 2);
+        assert_eq!(s.touched(), 2);
+        s.write(3, 0);
+        assert_eq!(s.touched(), 1);
+        // A zero write past the touched region must not grow the backing.
+        s.write(4000, 0);
+        assert_eq!(s.touched(), 1);
+        assert_eq!(s.high_water, 4001);
     }
 
     #[test]

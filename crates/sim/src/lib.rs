@@ -34,6 +34,7 @@
 //! assert_eq!(report.stats.events_executed, 1);
 //! ```
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod ids;
@@ -46,6 +47,7 @@ pub mod sched;
 pub mod stats;
 pub mod trace;
 
+pub use calendar::CalendarQueue;
 pub use config::{MachineConfig, MemoryConfig, NetworkConfig, OpCosts};
 pub use engine::{Engine, EngineRun, EventCtx, Handler};
 pub use sched::{Parallel, Scheduler, Sequential};

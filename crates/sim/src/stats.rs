@@ -31,8 +31,18 @@ pub struct Counters {
     pub dram_remote_accesses: u64,
     /// Messages parked because a lane's thread table was full.
     pub thread_table_stalls: u64,
-    /// Peak size of the event calendar (simulator health metric). With the
-    /// sharded engine this is the sum of per-shard calendar peaks.
+    /// Peak number of **logical pending calendar entries** (simulator
+    /// health metric). A scheduled action — message delivery, lane
+    /// dispatch, DRAM pipeline stage — counts from the moment it is
+    /// scheduled until it is popped for execution, *regardless of which
+    /// physical structure holds it*: the bucketed calendar's ring, its
+    /// same-tick fast lane, its far-future overflow rung, and the arena
+    /// slots behind them are all one logical queue. Messages sitting in a
+    /// lane inbox and messages parked on a full thread table are **not**
+    /// calendar entries and are excluded (they are represented by at most
+    /// one pending `LaneRun`). Sampled after every `schedule()`; with the
+    /// sharded engine this is the sum of per-shard peaks, which keeps it
+    /// byte-identical across thread counts.
     pub peak_calendar: usize,
     /// Messages actually delivered to a lane inbox. Equals
     /// `total_msgs() + msgs_dropped` conservation-wise: on a completed run

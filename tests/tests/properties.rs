@@ -1,6 +1,7 @@
 //! Randomized property tests on the core invariants: translation
 //! coverage, split preservation, KVMSR delivery, SHT-vs-HashMap
-//! equivalence, sort correctness, block-parse partitioning, and the
+//! equivalence, sort correctness, block-parse partitioning, the bucketed
+//! calendar queue's equivalence with a `(time, seq)` binary heap, and the
 //! engine's causality / clock-monotonicity / message-conservation laws
 //! (exercised on both the sequential and the parallel engine).
 //!
@@ -394,6 +395,140 @@ fn engine_message_conservation() {
         );
         if !stop_early {
             assert_eq!(c.msgs_dropped, 0, "completed run drops nothing");
+        }
+    }
+}
+
+/// The engine's bucketed calendar queue dequeues in exactly the
+/// `(time, push-order)` sequence of a reference `BinaryHeap`, across
+/// randomized workloads that exercise the same-tick fast lane, ring
+/// wraparound over many revolutions, the far-future overflow rung, and
+/// rebase/migration after full drains.
+#[test]
+fn calendar_queue_matches_binaryheap_reference() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use updown_sim::calendar::RING_BUCKETS;
+    use updown_sim::CalendarQueue;
+
+    let mut rng = Rng::seed_from_u64(0x5917);
+    for case in 0..CASES {
+        let mut q = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64; // last popped time: pushes never go behind it
+        let mut payload = 0u32;
+        let steps = 500 + rng.below_usize(4000);
+        for step in 0..steps {
+            let push = heap.is_empty() || rng.below_u64(100) < 55;
+            if push {
+                // Delay menu: heavy on the same-tick and near-future ring
+                // cases, with far-future overflow (beyond the ring) and
+                // huge jumps that force wraparound + rebase. Occasional
+                // bursts land many entries on one tick (FIFO stress).
+                let delay = match rng.below_u64(10) {
+                    0..=2 => 0,
+                    3 | 4 => 1 + rng.below_u64(30),
+                    5 => 200,
+                    6 => 1000 + rng.below_u64(1024),
+                    7 => RING_BUCKETS as u64 + rng.below_u64(5_000),
+                    8 => 10 * RING_BUCKETS as u64 + rng.below_u64(100_000),
+                    _ => rng.below_u64(2 * RING_BUCKETS as u64),
+                };
+                let t = now + delay;
+                let burst = 1 + rng.below_u64(3);
+                for _ in 0..burst {
+                    seq += 1;
+                    q.push(t, payload);
+                    heap.push(Reverse((t, seq, payload)));
+                    payload += 1;
+                }
+            } else {
+                let expect = heap.pop().map(|Reverse((t, _, p))| (t, p));
+                let got = q.pop();
+                assert_eq!(got, expect, "case {case} diverged at step {step}");
+                if let Some((t, _)) = got {
+                    assert!(t >= now, "case {case}: time went backwards");
+                    now = t;
+                }
+            }
+            assert_eq!(q.len(), heap.len(), "case {case} length at step {step}");
+            assert_eq!(
+                q.peek_time(),
+                heap.peek().map(|Reverse((t, _, _))| *t),
+                "case {case} peek at step {step}"
+            );
+        }
+        // Full drain must agree to the last entry (exercises rebase and
+        // overflow migration ordering on the tail).
+        loop {
+            let expect = heap.pop().map(|Reverse((t, _, p))| (t, p));
+            let got = q.pop();
+            assert_eq!(got, expect, "case {case} diverged during drain");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert!(q.is_empty());
+    }
+}
+
+/// `pop_if_before` (the engine's fused horizon check) never returns an
+/// entry at or past the horizon, never skips one before it, and leaves
+/// the queue state identical to the reference when the window advances —
+/// the access pattern of the conservative window loop.
+#[test]
+fn calendar_queue_horizon_windows_match_reference() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use updown_sim::calendar::RING_BUCKETS;
+    use updown_sim::CalendarQueue;
+
+    let mut rng = Rng::seed_from_u64(0x5A17);
+    for case in 0..CASES {
+        let mut q = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let (mut seq, mut payload) = (0u64, 0u32);
+        let mut floor = 0u64;
+        let lookahead = 1 + rng.below_u64(2000);
+        for _round in 0..60 {
+            // Sprinkle entries around the current window, like a shard
+            // scheduling effects during execution.
+            for _ in 0..rng.below_usize(40) {
+                let delay = match rng.below_u64(4) {
+                    0 => rng.below_u64(lookahead.max(2)),
+                    1 => lookahead + rng.below_u64(1000),
+                    2 => rng.below_u64(50),
+                    _ => RING_BUCKETS as u64 * 3 + rng.below_u64(9_000),
+                };
+                let t = floor + delay;
+                seq += 1;
+                q.push(t, payload);
+                heap.push(Reverse((t, seq, payload)));
+                payload += 1;
+            }
+            let horizon = floor.saturating_add(lookahead);
+            // Drain the window on both structures.
+            loop {
+                let expect = match heap.peek() {
+                    Some(&Reverse((t, _, p))) if t < horizon => {
+                        heap.pop();
+                        Some((t, p))
+                    }
+                    _ => None,
+                };
+                let got = q.pop_if_before(horizon);
+                assert_eq!(got, expect, "case {case} window at floor {floor}");
+                if got.is_none() {
+                    break;
+                }
+            }
+            // Next window floor: earliest pending anywhere.
+            floor = match q.peek_time() {
+                Some(t) => t,
+                None => floor + lookahead,
+            };
+            assert_eq!(q.peek_time(), heap.peek().map(|Reverse((t, _, _))| *t));
         }
     }
 }

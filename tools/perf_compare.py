@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare a fresh engine_micro run against the checked-in baseline.
+
+Usage:
+    python3 tools/perf_compare.py BENCH_engine.json fresh_micro.json \
+        [--threshold 2.0] [--figure9-secs 0.41]
+
+`fresh_micro.json` is the `--json` output of `cargo bench --bench
+engine_micro`. Every benchmark present in both files is compared against
+the baseline's `engine_micro.after` column; a bench slower than
+`threshold x` baseline is a regression and the script exits non-zero.
+
+The threshold is deliberately generous (2x by default): shared CI runners
+are noisy, and this gate exists to catch an accidental return to
+heap-per-event behaviour, not 10% drifts. `--figure9-secs` optionally
+checks a measured small-figure9 wall time against the baseline's
+`figure9_smoke.after_secs` with the same threshold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="BENCH_engine.json")
+    ap.add_argument("fresh", help="engine_micro --json output")
+    ap.add_argument("--threshold", type=float, default=2.0)
+    ap.add_argument(
+        "--figure9-secs",
+        type=float,
+        default=None,
+        help="measured wall seconds of the figure9_smoke command",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    after = baseline["engine_micro"]["after"]
+    failures = []
+    print(f"{'bench':<32} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
+    for name, base_secs in sorted(after.items()):
+        if name not in fresh:
+            print(f"{name:<32} {base_secs:>12.6f} {'missing':>12} {'-':>8}")
+            continue
+        ratio = fresh[name] / base_secs if base_secs > 0 else float("inf")
+        flag = "  REGRESSION" if ratio > args.threshold else ""
+        print(f"{name:<32} {base_secs:>12.6f} {fresh[name]:>12.6f} {ratio:>8.2f}{flag}")
+        if ratio > args.threshold:
+            failures.append((name, ratio))
+
+    if args.figure9_secs is not None:
+        base = baseline["figure9_smoke"]["after_secs"]
+        ratio = args.figure9_secs / base
+        flag = "  REGRESSION" if ratio > args.threshold else ""
+        print(f"{'figure9_smoke':<32} {base:>12.6f} {args.figure9_secs:>12.6f} {ratio:>8.2f}{flag}")
+        if ratio > args.threshold:
+            failures.append(("figure9_smoke", ratio))
+
+    if failures:
+        names = ", ".join(f"{n} ({r:.2f}x)" for n, r in failures)
+        print(f"\nFAIL: {names} exceed {args.threshold:.1f}x baseline", file=sys.stderr)
+        return 1
+    print(f"\nOK: all benches within {args.threshold:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
