@@ -1,0 +1,798 @@
+#![forbid(unsafe_code)]
+//! # udcheck — static event-protocol analysis for UDWeave programs
+//!
+//! UDWeave programs are webs of event handlers exchanging messages with
+//! operands and continuations; the protocol invariants that make them
+//! correct (every spawned task eventually terminates, every continuation is
+//! eventually resumed, senders and receivers agree on operand counts, KVMSR
+//! tasks conserve their `emit`/`map_done` messages) live entirely in the
+//! programmer's head. `udcheck` makes them checkable:
+//!
+//! 1. the simulator's [`ProtocolProbe`](updown_sim::ProtocolProbe) records a
+//!    commutative summary of everything a (tiny, deterministic) run did,
+//! 2. [`EventFlowGraph::from_report`] lifts the summary into an event-flow
+//!    graph — handler nodes, send edges annotated with operand counts,
+//!    continuation and thread-creation flags,
+//! 3. [`analyze`] runs the static checks below over the graph and summary,
+//!    producing deterministic [`Finding`]s.
+//!
+//! The paired *runtime sanitizer* ([`MachineConfig::sanitize`](updown_sim::MachineConfig))
+//! cross-validates: every static check has a dynamic counterpart that fires
+//! at the violating event execution. `udcheck` runs with the sanitizer on,
+//! so its report carries both views.
+//!
+//! ## Checks
+//!
+//! | id                   | severity | what it catches                                      |
+//! |----------------------|----------|------------------------------------------------------|
+//! | `send-unregistered`  | error    | edges to labels no handler is registered for         |
+//! | `never-terminates`   | error/info | thread groups that spawn but never terminate       |
+//! | `unread-continuation`| error    | handlers receiving continuations they never read     |
+//! | `scratchpad-leak`    | error/info | `spm_alloc` by groups that never fully terminate   |
+//! | `operand-mismatch`   | error    | handler reads past the operand count senders supply  |
+//! | `kvmsr-conservation` | error/warning | map tasks whose `map_done` count ≠ tasks spawned |
+//!
+//! Severity softens to *info*/*warning* where the run ended via `ctx.stop()`
+//! (a stopped run legitimately leaves service threads live and may cut a
+//! KVMSR phase mid-flight); on a naturally drained run the same facts are
+//! hard errors. "Clean" means zero error-severity findings and zero
+//! sanitizer diagnostics.
+
+use std::fmt;
+
+use updown_sim::json::JsonWriter;
+use updown_sim::{ProbeReport, ProtocolProbe};
+
+// ---------------------------------------------------------------------------
+// Event-flow graph
+// ---------------------------------------------------------------------------
+
+/// One handler node of the event-flow graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowNode {
+    pub label: u16,
+    pub name: String,
+    pub executions: u64,
+    /// Executions that ended in `yield_terminate`.
+    pub terminates: u64,
+    /// Threads allocated by NEW-addressed messages to this label.
+    pub spawns: u64,
+    pub spm_alloc_words: u64,
+}
+
+/// One send edge of the event-flow graph (all sends src → dst, merged).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowEdge {
+    pub src: u16,
+    pub dst: u16,
+    pub count: u64,
+    /// Distinct operand counts observed on this edge.
+    pub argcs: Vec<u32>,
+    /// Sends carrying a (non-IGNORE) continuation.
+    pub with_cont: u64,
+    /// Sends addressed to `ThreadId::NEW` (thread-creating).
+    pub to_new: u64,
+}
+
+/// The event-flow graph of one program run, extracted from a
+/// [`ProbeReport`]. Node and edge order is deterministic (label order).
+#[derive(Clone, Debug, Default)]
+pub struct EventFlowGraph {
+    pub nodes: Vec<FlowNode>,
+    pub edges: Vec<FlowEdge>,
+}
+
+impl EventFlowGraph {
+    pub fn from_report(r: &ProbeReport) -> EventFlowGraph {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        for (&label, h) in &r.handlers {
+            nodes.push(FlowNode {
+                label,
+                name: r.handler_name(label).to_string(),
+                executions: h.executions,
+                terminates: h.terminates,
+                spawns: r.groups.get(&label).map_or(0, |g| g.spawned),
+                spm_alloc_words: h.spm_alloc_words,
+            });
+            for (&dst, e) in &h.sends {
+                edges.push(FlowEdge {
+                    src: label,
+                    dst,
+                    count: e.count,
+                    argcs: e.argcs.iter().copied().collect(),
+                    with_cont: e.with_cont,
+                    to_new: e.to_new,
+                });
+            }
+        }
+        EventFlowGraph { nodes, edges }
+    }
+
+    pub fn node(&self, label: u16) -> Option<&FlowNode> {
+        self.nodes.iter().find(|n| n.label == label)
+    }
+
+    /// Graphviz rendering (debugging aid; `udcheck --dot`).
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("digraph \"{title}\" {{\n  rankdir=LR;\n"));
+        for n in &self.nodes {
+            s.push_str(&format!(
+                "  n{} [label=\"{}\\nexec={} term={}\"];\n",
+                n.label, n.name, n.executions, n.terminates
+            ));
+        }
+        for e in &self.edges {
+            s.push_str(&format!(
+                "  n{} -> n{} [label=\"x{}{}{}\"];\n",
+                e.src,
+                e.dst,
+                e.count,
+                if e.with_cont > 0 { " cont" } else { "" },
+                if e.to_new > 0 { " new" } else { "" },
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// Finding severity; `Error` sorts first. Only `Error` findings make a
+/// program "unclean" (and fail the `udcheck` CLI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warning,
+    Info,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One static-analysis finding, attributed to a handler (or thread group,
+/// named by its creating label's handler).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Check id (kebab-case, stable — part of the `udcheck/v1` schema).
+    pub check: &'static str,
+    pub severity: Severity,
+    pub handler: String,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.check, self.handler, self.message
+        )
+    }
+}
+
+/// Run all static checks over a probe report. Findings are deterministic
+/// and sorted by (severity, check, handler, message).
+pub fn analyze(r: &ProbeReport) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_send_unregistered(r, &mut out);
+    check_never_terminates(r, &mut out);
+    check_unread_continuation(r, &mut out);
+    check_scratchpad_leak(r, &mut out);
+    check_operand_mismatch(r, &mut out);
+    check_kvmsr_conservation(r, &mut out);
+    out.sort_by(|a, b| {
+        (a.severity, a.check, &a.handler, &a.message).cmp(&(
+            b.severity,
+            b.check,
+            &b.handler,
+            &b.message,
+        ))
+    });
+    out
+}
+
+/// Check 1: sends to event labels no handler was registered for. Such a
+/// message would fault real hardware; under the sanitizer it is dropped.
+fn check_send_unregistered(r: &ProbeReport, out: &mut Vec<Finding>) {
+    for (&src, h) in &r.handlers {
+        for (&dst, e) in &h.sends {
+            if (dst as usize) >= r.handler_names.len() {
+                out.push(Finding {
+                    check: "send-unregistered",
+                    severity: Severity::Error,
+                    handler: r.handler_name(src).to_string(),
+                    message: format!(
+                        "sends to unregistered event label {dst} ({} send(s))",
+                        e.count
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Check 2: thread groups (keyed by creating label) that spawn contexts but
+/// never terminate any. On a drained run this is a proven context leak; on
+/// a stopped run it is reported as info — persistent service threads are a
+/// legitimate UDWeave idiom, but a group with *zero* terminations across a
+/// whole run is worth a look.
+fn check_never_terminates(r: &ProbeReport, out: &mut Vec<Finding>) {
+    for (&label, g) in &r.groups {
+        if g.spawned == 0 || g.terminated > 0 {
+            continue;
+        }
+        let name = r.handler_name(label).to_string();
+        if r.drained {
+            out.push(Finding {
+                check: "never-terminates",
+                severity: Severity::Error,
+                handler: name,
+                message: format!(
+                    "group spawned {} thread context(s) and terminated none; \
+                     {} still live when the run drained",
+                    g.spawned, g.live_at_exit
+                ),
+            });
+        } else {
+            out.push(Finding {
+                check: "never-terminates",
+                severity: Severity::Info,
+                handler: name,
+                message: format!(
+                    "group spawned {} thread context(s) and terminated none \
+                     (run was stopped; fine for persistent service threads)",
+                    g.spawned
+                ),
+            });
+        }
+    }
+}
+
+/// Check 3: handlers that receive continuations but never read them. The
+/// sender paid to create a resumable continuation that is provably dead —
+/// either the sender should pass `IGNORE` or the handler should reply.
+fn check_unread_continuation(r: &ProbeReport, out: &mut Vec<Finding>) {
+    for (&label, h) in &r.handlers {
+        if h.recv_with_cont > 0 && h.cont_reads == 0 {
+            out.push(Finding {
+                check: "unread-continuation",
+                severity: Severity::Error,
+                handler: r.handler_name(label).to_string(),
+                message: format!(
+                    "received {} message(s) carrying a continuation but never \
+                     read ctx.cont(); those continuations can never resume",
+                    h.recv_with_cont
+                ),
+            });
+        }
+    }
+}
+
+/// Check 4: scratchpad allocated by thread groups that never fully
+/// terminate. `spm_alloc` is a bump allocator reclaimed only by group
+/// turnover, so a group that allocates and leaks contexts pins scratchpad
+/// for the life of the lane.
+fn check_scratchpad_leak(r: &ProbeReport, out: &mut Vec<Finding>) {
+    for (&label, g) in &r.groups {
+        if g.spm_alloc_words == 0 {
+            continue;
+        }
+        let name = r.handler_name(label).to_string();
+        if r.drained && g.live_at_exit > 0 {
+            out.push(Finding {
+                check: "scratchpad-leak",
+                severity: Severity::Error,
+                handler: name,
+                message: format!(
+                    "{} scratchpad word(s) allocated by a group with {} \
+                     context(s) still live at drain",
+                    g.spm_alloc_words, g.live_at_exit
+                ),
+            });
+        } else if !r.drained && g.spawned > 0 && g.terminated == 0 {
+            out.push(Finding {
+                check: "scratchpad-leak",
+                severity: Severity::Info,
+                handler: name,
+                message: format!(
+                    "{} scratchpad word(s) allocated by a group that \
+                     terminated no contexts before the run was stopped",
+                    g.spm_alloc_words
+                ),
+            });
+        }
+    }
+}
+
+/// Check 5: operand-count mismatches between senders and handlers. The
+/// probe keys the max operand index each handler reads by the operand count
+/// of the triggering message (guarded handlers legitimately read different
+/// ranges under different arities); a max read index ≥ the arity means the
+/// handler read past what its senders supplied.
+fn check_operand_mismatch(r: &ProbeReport, out: &mut Vec<Finding>) {
+    for (&label, h) in &r.handlers {
+        for (&argc, &max_idx) in &h.reads_by_argc {
+            if max_idx < argc {
+                continue;
+            }
+            // Attribute: which senders supply this arity?
+            let senders: Vec<&str> = r
+                .handlers
+                .iter()
+                .filter(|(_, s)| s.sends.get(&label).is_some_and(|e| e.argcs.contains(&argc)))
+                .map(|(&s, _)| r.handler_name(s))
+                .collect();
+            let via = if senders.is_empty() {
+                String::from("host sends")
+            } else {
+                senders.join(", ")
+            };
+            out.push(Finding {
+                check: "operand-mismatch",
+                severity: Severity::Error,
+                handler: r.handler_name(label).to_string(),
+                message: format!(
+                    "reads operand index {max_idx} but messages of this shape \
+                     carry only {argc} operand(s) (senders: {via})"
+                ),
+            });
+        }
+    }
+}
+
+/// Check 6: KVMSR message conservation. Every map task spawned by the
+/// launcher must send exactly one `map_done` back (`kvmsr_launcher::task_done`);
+/// tasks that `emit` to the reducer but never complete, or complete more
+/// than once, break the runtime's in-flight accounting and hang or
+/// double-free the job.
+fn check_kvmsr_conservation(r: &ProbeReport, out: &mut Vec<Finding>) {
+    let label_of = |name: &str| -> Option<u16> {
+        r.handler_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u16)
+    };
+    let (Some(map), Some(done)) = (label_of("kvmsr::kv_map"), label_of("kvmsr_launcher::task_done"))
+    else {
+        return; // program does not use KVMSR
+    };
+    let reduce = label_of("kvmsr::kv_reduce");
+    let Some(g) = r.groups.get(&map) else {
+        return; // KVMSR registered but no map phase ran
+    };
+    // Sends from any label executing on map-task threads. Labels are
+    // attributed to the group they execute on, so async continuation
+    // handlers of map tasks are covered.
+    let sum_sends_to = |dst: u16| -> u64 {
+        g.labels
+            .iter()
+            .filter_map(|l| r.handlers.get(l))
+            .filter_map(|h| h.sends.get(&dst))
+            .map(|e| e.count)
+            .sum()
+    };
+    let dones = sum_sends_to(done);
+    let emits = reduce.map_or(0, sum_sends_to);
+    let name = r.handler_name(map).to_string();
+    if dones > g.spawned {
+        out.push(Finding {
+            check: "kvmsr-conservation",
+            severity: Severity::Error,
+            handler: name,
+            message: format!(
+                "{} map task(s) spawned but {dones} map_done message(s) sent — \
+                 a task completed more than once",
+                g.spawned
+            ),
+        });
+    } else if dones < g.spawned {
+        out.push(Finding {
+            check: "kvmsr-conservation",
+            severity: if r.drained {
+                Severity::Error
+            } else {
+                Severity::Warning
+            },
+            handler: name,
+            message: format!(
+                "{} map task(s) spawned but only {dones} map_done message(s) \
+                 sent ({emits} emit(s) observed){}",
+                g.spawned,
+                if r.drained {
+                    "; the job can never complete"
+                } else {
+                    "; run was stopped — possible mid-phase truncation"
+                }
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+/// Analysis of one program run: graph + findings + the sanitizer's dynamic
+/// diagnostics, bundled for rendering.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    pub app: String,
+    pub report: ProbeReport,
+    pub graph: EventFlowGraph,
+    pub findings: Vec<Finding>,
+}
+
+impl Analysis {
+    /// Analyze a finished run's probe. `app` names the program in reports.
+    pub fn of(app: &str, probe: &ProtocolProbe) -> Analysis {
+        let report = probe.snapshot();
+        let graph = EventFlowGraph::from_report(&report);
+        let findings = analyze(&report);
+        Analysis {
+            app: app.to_string(),
+            report,
+            graph,
+            findings,
+        }
+    }
+
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Clean = no error findings and no sanitizer diagnostics.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0 && self.report.diagnostics.is_empty()
+    }
+
+    /// Append this run's `udcheck/v1` object to a JSON writer (one element
+    /// of the document's `runs` array).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("app").string(&self.app);
+        w.key("drained").bool(self.report.drained);
+        w.key("clean").bool(self.is_clean());
+        w.key("graph").begin_obj();
+        w.key("nodes").begin_arr();
+        for n in &self.graph.nodes {
+            w.begin_obj();
+            w.key("label").u64(n.label as u64);
+            w.key("name").string(&n.name);
+            w.key("executions").u64(n.executions);
+            w.key("terminates").u64(n.terminates);
+            w.key("spawns").u64(n.spawns);
+            w.key("spm_alloc_words").u64(n.spm_alloc_words);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("edges").begin_arr();
+        for e in &self.graph.edges {
+            w.begin_obj();
+            w.key("src").u64(e.src as u64);
+            w.key("dst").u64(e.dst as u64);
+            w.key("count").u64(e.count);
+            w.key("argcs").begin_arr();
+            for &a in &e.argcs {
+                w.u64(a as u64);
+            }
+            w.end_arr();
+            w.key("with_cont").u64(e.with_cont);
+            w.key("to_new").u64(e.to_new);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj(); // graph
+        w.key("findings").begin_arr();
+        for f in &self.findings {
+            w.begin_obj();
+            w.key("check").string(f.check);
+            w.key("severity").string(f.severity.as_str());
+            w.key("handler").string(&f.handler);
+            w.key("message").string(&f.message);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("diagnostics").begin_arr();
+        for d in &self.report.diagnostics {
+            w.begin_obj();
+            w.key("kind").string(d.kind.as_str());
+            w.key("handler").string(&d.handler);
+            w.key("detail").string(&d.detail);
+            w.key("first_tick").u64(d.first_tick);
+            w.key("lane").u64(d.lane as u64);
+            w.key("count").u64(d.count);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("suppressed").u64(self.report.suppressed);
+        w.end_obj();
+    }
+
+    /// Human-readable rendering (the CLI's default output).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "udcheck: {}  ({} handlers, {} edges, {})\n",
+            self.app,
+            self.graph.nodes.len(),
+            self.graph.edges.len(),
+            if self.report.drained {
+                "drained"
+            } else {
+                "stopped"
+            }
+        ));
+        if self.findings.is_empty() {
+            s.push_str("  findings: none\n");
+        } else {
+            for f in &self.findings {
+                s.push_str(&format!("  {f}\n"));
+            }
+        }
+        if self.report.diagnostics.is_empty() {
+            s.push_str("  sanitizer: clean\n");
+        } else {
+            for d in &self.report.diagnostics {
+                s.push_str(&format!(
+                    "  sanitizer[{}] {}: {} (x{}, first at tick {} lane {})\n",
+                    d.kind.as_str(),
+                    d.handler,
+                    d.detail,
+                    d.count,
+                    d.first_tick,
+                    d.lane
+                ));
+            }
+        }
+        if self.report.suppressed > 0 {
+            s.push_str(&format!(
+                "  ({} diagnostic site(s) suppressed past the cap)\n",
+                self.report.suppressed
+            ));
+        }
+        s
+    }
+}
+
+/// Render a full `udcheck/v1` document over a set of analyses.
+pub fn render_document(analyses: &[Analysis]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("schema").string("udcheck/v1");
+    let errors: usize = analyses.iter().map(|a| a.errors()).sum();
+    let diags: usize = analyses.iter().map(|a| a.report.diagnostics.len()).sum();
+    w.key("errors").u64(errors as u64);
+    w.key("diagnostics").u64(diags as u64);
+    w.key("clean").bool(analyses.iter().all(|a| a.is_clean()));
+    w.key("runs").begin_arr();
+    for a in analyses {
+        a.write_json(&mut w);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use updown_sim::probe::{EdgeRecord, GroupRecord, HandlerRecord};
+
+    fn base_report(names: &[&str]) -> ProbeReport {
+        ProbeReport {
+            handler_names: names.iter().map(|s| s.to_string()).collect(),
+            drained: true,
+            ..ProbeReport::default()
+        }
+    }
+
+    fn handler(executions: u64) -> HandlerRecord {
+        HandlerRecord {
+            executions,
+            ..HandlerRecord::default()
+        }
+    }
+
+    #[test]
+    fn clean_report_has_no_findings() {
+        let mut r = base_report(&["a", "b"]);
+        let mut h = handler(3);
+        h.sends.insert(
+            1,
+            EdgeRecord {
+                count: 3,
+                ..EdgeRecord::default()
+            },
+        );
+        r.handlers.insert(0, h);
+        r.handlers.insert(1, handler(3));
+        assert!(analyze(&r).is_empty());
+    }
+
+    #[test]
+    fn flags_send_to_unregistered_label() {
+        let mut r = base_report(&["a"]);
+        let mut h = handler(1);
+        h.sends.insert(9, EdgeRecord::default());
+        r.handlers.insert(0, h);
+        let f = analyze(&r);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "send-unregistered");
+        assert_eq!(f[0].severity, Severity::Error);
+        assert_eq!(f[0].handler, "a");
+    }
+
+    #[test]
+    fn never_terminates_severity_tracks_drain() {
+        let mut r = base_report(&["spawner"]);
+        r.groups.insert(
+            0,
+            GroupRecord {
+                spawned: 4,
+                terminated: 0,
+                live_at_exit: 4,
+                ..GroupRecord::default()
+            },
+        );
+        let f = analyze(&r);
+        assert_eq!(f[0].check, "never-terminates");
+        assert_eq!(f[0].severity, Severity::Error);
+
+        r.drained = false;
+        r.groups.get_mut(&0).unwrap().live_at_exit = 0;
+        let f = analyze(&r);
+        assert_eq!(f[0].severity, Severity::Info, "stopped run softens to info");
+    }
+
+    #[test]
+    fn flags_unread_continuation() {
+        let mut r = base_report(&["replyless"]);
+        let mut h = handler(2);
+        h.recv_with_cont = 2;
+        h.cont_reads = 0;
+        r.handlers.insert(0, h);
+        let f = analyze(&r);
+        assert_eq!(f[0].check, "unread-continuation");
+        assert_eq!(f[0].severity, Severity::Error);
+
+        // Reading it even once clears the finding.
+        r.handlers.get_mut(&0).unwrap().cont_reads = 1;
+        assert!(analyze(&r).is_empty());
+    }
+
+    #[test]
+    fn flags_scratchpad_leak_on_drained_run() {
+        let mut r = base_report(&["alloc"]);
+        r.groups.insert(
+            0,
+            GroupRecord {
+                spawned: 2,
+                terminated: 2, // terminates, so never-terminates stays quiet
+                live_at_exit: 1,
+                spm_alloc_words: 64,
+                ..GroupRecord::default()
+            },
+        );
+        let f = analyze(&r);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "scratchpad-leak");
+        assert_eq!(f[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn operand_mismatch_is_keyed_by_arity() {
+        let mut r = base_report(&["sender", "guarded"]);
+        let mut s = handler(2);
+        s.sends.insert(
+            1,
+            EdgeRecord {
+                count: 2,
+                argcs: [2u32, 4].into_iter().collect(),
+                ..EdgeRecord::default()
+            },
+        );
+        r.handlers.insert(0, s);
+        let mut h = handler(2);
+        // Reads index 3 under 4-operand messages: fine. Reads index 3
+        // under 2-operand messages: out of range.
+        h.reads_by_argc.insert(4, 3);
+        h.reads_by_argc.insert(2, 1);
+        r.handlers.insert(1, h.clone());
+        assert!(analyze(&r).is_empty(), "guarded multi-arity reads are clean");
+
+        h.reads_by_argc.insert(2, 3);
+        r.handlers.insert(1, h);
+        let f = analyze(&r);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "operand-mismatch");
+        assert!(f[0].message.contains("sender"), "attributes the sender");
+    }
+
+    #[test]
+    fn kvmsr_conservation_counts_dones_against_spawns() {
+        let names = &["kvmsr::kv_map", "kvmsr_launcher::task_done", "kvmsr::kv_reduce"];
+        let mut r = base_report(names);
+        let mut map = handler(8);
+        map.terminates = 8;
+        map.sends.insert(
+            1,
+            EdgeRecord {
+                count: 8,
+                ..EdgeRecord::default()
+            },
+        );
+        map.sends.insert(
+            2,
+            EdgeRecord {
+                count: 20,
+                ..EdgeRecord::default()
+            },
+        );
+        r.handlers.insert(0, map);
+        r.groups.insert(
+            0,
+            GroupRecord {
+                spawned: 8,
+                terminated: 8,
+                labels: [0u16].into_iter().collect(),
+                ..GroupRecord::default()
+            },
+        );
+        assert!(analyze(&r).is_empty(), "balanced job is clean");
+
+        // Drop half the map_done sends: conservation violated.
+        r.handlers.get_mut(&0).unwrap().sends.get_mut(&1).unwrap().count = 4;
+        let f = analyze(&r);
+        assert_eq!(f[0].check, "kvmsr-conservation");
+        assert_eq!(f[0].severity, Severity::Error);
+        assert!(f[0].message.contains("only 4 map_done"));
+
+        // Over-completion is an error even on a stopped run.
+        r.drained = false;
+        r.handlers.get_mut(&0).unwrap().sends.get_mut(&1).unwrap().count = 12;
+        let f = analyze(&r);
+        assert_eq!(f[0].severity, Severity::Error);
+        assert!(f[0].message.contains("more than once"));
+    }
+
+    #[test]
+    fn json_document_is_parseable_and_tagged() {
+        let mut r = base_report(&["a"]);
+        r.handlers.insert(0, handler(1));
+        let graph = EventFlowGraph::from_report(&r);
+        let a = Analysis {
+            app: "unit".into(),
+            findings: analyze(&r),
+            graph,
+            report: r,
+        };
+        let doc = render_document(&[a]);
+        let v = updown_sim::json::JsonValue::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("udcheck/v1"));
+        assert_eq!(
+            v.get("runs").and_then(|r| r.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+    }
+}

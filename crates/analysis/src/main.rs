@@ -1,0 +1,190 @@
+#![forbid(unsafe_code)]
+//! `udcheck` CLI: run each application at a tiny deterministic scale with
+//! the protocol probe + runtime sanitizer attached, extract the event-flow
+//! graph, and run the static checks. Exit status is non-zero if any app is
+//! unclean (error findings or sanitizer diagnostics).
+//!
+//! ```text
+//! udcheck [APPS...] [--threads N] [--seed S] [--json] [--out PATH] [--dot]
+//! ```
+//!
+//! `APPS` defaults to all five: pagerank bfs tc ingest partial_match.
+
+use std::io::Write as _;
+
+use udcheck::{render_document, Analysis};
+use updown_apps::bfs::{run_bfs, BfsConfig};
+use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
+use updown_apps::pagerank::{run_pagerank, PrConfig};
+use updown_apps::partial_match::{run_partial_match, PmConfig};
+use updown_apps::tc::{run_tc, TcConfig};
+use updown_graph::generators::{rmat, RmatParams};
+use updown_graph::preprocess::{dedup_sort, split_in_out};
+use updown_graph::Csr;
+use updown_sim::{MachineConfig, ProtocolProbe};
+
+const ALL_APPS: &[&str] = &["pagerank", "bfs", "tc", "ingest", "partial_match"];
+
+struct Opts {
+    apps: Vec<String>,
+    threads: u32,
+    seed: u64,
+    json: bool,
+    out: Option<String>,
+    dot: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: udcheck [APPS...] [--threads N] [--seed S] [--json] [--out PATH] [--dot]\n\
+         \n\
+         APPS: pagerank|pr  bfs  tc  ingest  partial_match|pm   (default: all)\n\
+         --threads N   simulator worker threads (default 1)\n\
+         --seed S      input-generation seed (default 10)\n\
+         --json        print the udcheck/v1 JSON document instead of text\n\
+         --out PATH    also write the JSON document to PATH\n\
+         --dot         print Graphviz event-flow graphs (text mode only)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        apps: Vec::new(),
+        threads: 1,
+        seed: 10,
+        json: false,
+        out: None,
+        dot: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => o.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--json" => o.json = true,
+            "--out" => o.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--dot" => o.dot = true,
+            "--help" | "-h" => usage(),
+            app => {
+                let canon = match app {
+                    "pagerank" | "pr" => "pagerank",
+                    "bfs" => "bfs",
+                    "tc" => "tc",
+                    "ingest" => "ingest",
+                    "partial_match" | "pm" => "partial_match",
+                    _ => {
+                        eprintln!("udcheck: unknown app or flag '{app}'");
+                        usage()
+                    }
+                };
+                o.apps.push(canon.to_string());
+            }
+        }
+    }
+    if o.apps.is_empty() {
+        o.apps = ALL_APPS.iter().map(|s| s.to_string()).collect();
+    }
+    o
+}
+
+/// Tiny machine matching the conformance suite, with sanitizer + probe on.
+fn machine(nodes: u32, threads: u32, probe: &ProtocolProbe) -> MachineConfig {
+    let mut m = MachineConfig::small(nodes, 2, 8);
+    m.threads = threads;
+    m.sanitize = true;
+    m.probe = Some(probe.clone());
+    m
+}
+
+/// Run one app at conformance scale and return its analysis. The runs
+/// mirror `tests/tests/conformance.rs` so a clean bill here covers the
+/// exact protocols the conformance matrix exercises.
+fn check_app(app: &str, threads: u32, seed: u64) -> Analysis {
+    let probe = ProtocolProbe::new();
+    match app {
+        "pagerank" => {
+            let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), seed)));
+            let sg = split_in_out(&g, 64);
+            let mut cfg = PrConfig::new(2);
+            cfg.machine = machine(2, threads, &probe);
+            cfg.iterations = 2;
+            run_pagerank(&sg, &cfg);
+        }
+        "bfs" => {
+            let g = Csr::from_edges(&dedup_sort(
+                rmat(8, RmatParams::default(), seed).symmetrize(),
+            ));
+            let mut cfg = BfsConfig::new(2, 0);
+            cfg.machine = machine(2, threads, &probe);
+            run_bfs(&g, &cfg);
+        }
+        "tc" => {
+            let mut g = Csr::from_edges(&dedup_sort(
+                rmat(7, RmatParams::default(), seed).symmetrize(),
+            ));
+            g.sort_neighbors();
+            let mut cfg = TcConfig::new(2);
+            cfg.machine = machine(2, threads, &probe);
+            run_tc(&g, &cfg);
+        }
+        "ingest" => {
+            let ds = datagen::generate(250, 120, seed);
+            let mut cfg = IngestConfig::new(2);
+            cfg.machine = machine(2, threads, &probe);
+            run_ingest(&ds, &cfg);
+        }
+        "partial_match" => {
+            let ds = datagen::generate(200, 60, seed);
+            let mut cfg = PmConfig::new(8, vec![1, 2]);
+            cfg.machine = machine(2, threads, &probe);
+            cfg.batch = 16;
+            cfg.interval = 200;
+            cfg.feeders = 2;
+            run_partial_match(&ds.records, &cfg);
+        }
+        _ => unreachable!("validated in parse_opts"),
+    }
+    Analysis::of(app, &probe)
+}
+
+fn main() {
+    let o = parse_opts();
+    let analyses: Vec<Analysis> = o
+        .apps
+        .iter()
+        .map(|app| check_app(app, o.threads, o.seed))
+        .collect();
+
+    let doc = render_document(&analyses);
+    if let Some(path) = &o.out {
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("udcheck: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if o.json {
+        println!("{doc}");
+    } else {
+        let mut stdout = std::io::stdout().lock();
+        for a in &analyses {
+            let _ = stdout.write_all(a.render_text().as_bytes());
+            if o.dot {
+                let _ = stdout.write_all(a.graph.to_dot(&a.app).as_bytes());
+            }
+        }
+        let unclean: Vec<&str> = analyses
+            .iter()
+            .filter(|a| !a.is_clean())
+            .map(|a| a.app.as_str())
+            .collect();
+        if unclean.is_empty() {
+            let _ = writeln!(stdout, "udcheck: all {} app(s) clean", analyses.len());
+        } else {
+            let _ = writeln!(stdout, "udcheck: UNCLEAN: {}", unclean.join(", "));
+        }
+    }
+    if analyses.iter().any(|a| !a.is_clean()) {
+        std::process::exit(1);
+    }
+}

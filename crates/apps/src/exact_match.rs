@@ -166,7 +166,10 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
 
     let rt2 = rt.clone();
     let nrec = n;
-    let done = udweave::simple_event(&mut eng, "exact_match::done", |ctx| ctx.stop());
+    let done = udweave::simple_event(&mut eng, "exact_match::done", |ctx| {
+        ctx.stop();
+        ctx.yield_terminate();
+    });
     let loaded = udweave::simple_event(&mut eng, "exact_match::loaded", move |ctx| {
         let cont = EventWord::new(ctx.nwid(), done);
         rt2.start_from(ctx, scan_job, nrec, 0, cont);

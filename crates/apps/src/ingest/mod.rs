@@ -282,6 +282,7 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     let p2_done = udweave::simple_event(&mut eng, "main::phase2_done", move |ctx| {
         *p2t.lock().unwrap() = ctx.now();
         ctx.stop();
+        ctx.yield_terminate();
     });
     let p1t = p1_tick.clone();
     let rt2 = rt.clone();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # updown-apps
 //!
 //! The paper's graph applications on KVMSR+UDWeave: PageRank (§4.1), BFS

@@ -379,6 +379,7 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     let done = udweave::simple_event(&mut eng, "main_master::tc_launcher_done", move |ctx| {
         *p2.lock().unwrap() = ctx.arg(1);
         ctx.stop();
+        ctx.yield_terminate();
     });
     let rt2 = rt.clone();
     let init = udweave::simple_event(&mut eng, "main_master::init_tc", move |ctx| {

@@ -1,13 +1,14 @@
+#![forbid(unsafe_code)]
 //! Figure 10 (+ Table 11): ingestion (TFORM parse + PGA insert) scaling
 //! over machine size for the `data <m>` multiplier family.
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure10 -- [--nodes 32]
-//!     [--base-records 20000] [--seed 0] [--threads 1] [--full]
+//!     [--base-records 20000] [--seed 0] [--threads 1] [--full] [--sanitize]
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{bench_machine_threads, node_sweep, Cli, StdOpts};
+use bench::{bench_machine_threads, node_sweep, Cli, Sanitizer, StdOpts};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -17,6 +18,7 @@ fn main() {
     let full = opts.full;
     let base: usize = cli.get("base-records", if full { 400_000 } else { 60_000 });
     let nodes = node_sweep(opts.max_nodes);
+    let san = Sanitizer::from_cli(&cli);
     let mut ex = opts.exporter;
 
     println!("Figure 10 reproduction — ingestion scaling (records = {base} x multiplier)");
@@ -32,6 +34,7 @@ fn main() {
         for &n in &nodes {
             let mut cfg = IngestConfig::new(n);
             cfg.machine = bench_machine_threads(n, opts.threads);
+            san.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_ingest(&ds, &cfg);
@@ -54,4 +57,5 @@ fn main() {
         "\n(the paper reports 76.8 TB/s at 256 full nodes; the shape to match is\n\
          small datasets saturating early and large ones scaling further)"
     );
+    san.exit_if_dirty();
 }

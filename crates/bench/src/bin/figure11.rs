@@ -1,13 +1,14 @@
+#![forbid(unsafe_code)]
 //! Figure 11 (+ Table 12): Partial Match streaming latency vs compute
 //! resources (fractions of a node up to several nodes).
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure11 -- [--records 4000] [--seed 0]
-//!     [--threads 1] [--full] [--trace out.trace.json]
+//!     [--threads 1] [--full] [--sanitize] [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{Cli, Exporter, BENCH_ACCELS, BENCH_LANES};
+use bench::{Cli, Exporter, Sanitizer, BENCH_ACCELS, BENCH_LANES};
 use updown_apps::ingest::datagen;
 use updown_apps::partial_match::{run_partial_match, sequential_matches, PmConfig};
 use updown_sim::MachineConfig;
@@ -18,6 +19,7 @@ fn main() {
     let n_records: usize = cli.get("records", if full { 400_000 } else { 150_000 });
     let seed: u64 = cli.get("seed", 0);
     let threads: u32 = cli.get("threads", 1).max(1);
+    let san = Sanitizer::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
     let lanes_per_node = BENCH_ACCELS * BENCH_LANES;
 
@@ -45,6 +47,7 @@ fn main() {
         let mut cfg = PmConfig::new(lanes, pattern.clone());
         cfg.machine = MachineConfig::small(nodes, BENCH_ACCELS, BENCH_LANES);
         cfg.machine.threads = threads;
+        san.arm(&format!("pm {label}"), &mut cfg.machine);
         cfg.batch = cli.get("batch", 96);
         cfg.interval = cli.get("interval", 32);
         cfg.feeders = 8;
@@ -73,4 +76,5 @@ fn main() {
         );
     }
     println!("\n(the paper's Table 12: speedups 1.00 / 3.34 / 5.56 / 10.42)");
+    san.exit_if_dirty();
 }

@@ -1,10 +1,11 @@
+#![forbid(unsafe_code)]
 //! Figure 9 (+ raw-data Tables 8/9/10): strong-scaling of PageRank, BFS,
 //! and Triangle Counting across node counts and graphs.
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
 //!     [--nodes 32] [--scale 0] [--seed 0] [--iters 2] [--threads 1] [--full]
-//!     [--trace out.trace.json] [--metrics-json out.metrics.json]
+//!     [--sanitize] [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 //!
 //! `--full` raises the sweep to 256 nodes (TC: 1024) and the graphs by two
@@ -14,7 +15,7 @@
 
 use bench::{
     bench_machine_threads, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli,
-    Exporter, StdOpts,
+    Exporter, Sanitizer, StdOpts,
 };
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
@@ -28,6 +29,7 @@ fn pr_sweep(
     nodes: &[u32],
     iters: u32,
     ex: &mut Exporter,
+    san: &Sanitizer,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
@@ -37,6 +39,7 @@ fn pr_sweep(
         for &n in nodes {
             let mut cfg = PrConfig::new(n);
             cfg.machine = bench_machine_threads(n, threads);
+            san.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             cfg.iterations = iters;
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
@@ -56,7 +59,14 @@ fn pr_sweep(
     out
 }
 
-fn bfs_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
+fn bfs_sweep(
+    shift: i32,
+    seed: u64,
+    threads: u32,
+    nodes: &[u32],
+    ex: &mut Exporter,
+    san: &Sanitizer,
+) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
         let g = prepared(&el.clone().symmetrize());
@@ -64,6 +74,7 @@ fn bfs_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Export
         for &n in nodes {
             let mut cfg = BfsConfig::new(n, 0);
             cfg.machine = bench_machine_threads(n, threads);
+            san.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_bfs(&g, &cfg);
@@ -83,7 +94,14 @@ fn bfs_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Export
     out
 }
 
-fn tc_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Exporter) -> Vec<Series> {
+fn tc_sweep(
+    shift: i32,
+    seed: u64,
+    threads: u32,
+    nodes: &[u32],
+    ex: &mut Exporter,
+    san: &Sanitizer,
+) -> Vec<Series> {
     let mut out = Vec::new();
     // TC is intersection-heavy: drop the graphs three scales relative to
     // PR/BFS (the paper similarly uses s25 for TC vs s28 elsewhere).
@@ -94,6 +112,7 @@ fn tc_sweep(shift: i32, seed: u64, threads: u32, nodes: &[u32], ex: &mut Exporte
         for &n in nodes {
             let mut cfg = TcConfig::new(n);
             cfg.machine = bench_machine_threads(n, threads);
+            san.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_tc(&g, &cfg);
@@ -126,6 +145,7 @@ fn main() {
     let opts = StdOpts::parse(&cli, (32, 256), (1, 3));
     let iters: u32 = cli.get("iters", 2);
     let nodes = node_sweep(opts.max_nodes);
+    let san = Sanitizer::from_cli(&cli);
     let mut ex = opts.exporter;
 
     println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
@@ -137,7 +157,15 @@ fn main() {
     );
 
     if which == "pr" || which == "all" {
-        let series = pr_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, iters, &mut ex);
+        let series = pr_sweep(
+            opts.scale_shift,
+            opts.seed,
+            opts.threads,
+            &nodes,
+            iters,
+            &mut ex,
+            &san,
+        );
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
             "nodes",
@@ -145,7 +173,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, &mut ex);
+        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, &mut ex, &san);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -154,11 +182,12 @@ fn main() {
     }
     if which == "tc" || which == "all" {
         let tc_nodes = node_sweep(if opts.full { 1024 } else { opts.max_nodes });
-        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, &tc_nodes, &mut ex);
+        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, &tc_nodes, &mut ex, &san);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",
             &series,
         );
     }
+    san.exit_if_dirty();
 }

@@ -1,8 +1,10 @@
+#![forbid(unsafe_code)]
 //! Table 1 demonstration: the four canonical DRAMmalloc layouts, showing
 //! the node placement each translation descriptor produces.
 //!
-//! `cargo run --release -p bench --bin table1_layouts`
+//! `cargo run --release -p bench --bin table1_layouts [--sanitize]`
 
+use bench::{Cli, Sanitizer};
 use drammalloc::{dram_malloc_layout, Layout};
 use updown_sim::{Engine, MachineConfig, VAddr};
 
@@ -17,7 +19,10 @@ fn show(eng: &Engine, name: &str, base: VAddr, probes: &[u64]) {
 
 fn main() {
     println!("Table 1 reproduction — DRAMmalloc layouts (16-node machine, scaled)\n");
-    let mut eng = Engine::new(MachineConfig::small(16, 1, 1));
+    let san = Sanitizer::from_cli(&Cli::parse());
+    let mut cfg = MachineConfig::small(16, 1, 1);
+    san.arm("layouts", &mut cfg);
+    let mut eng = Engine::new(cfg);
 
     let a = dram_malloc_layout(&mut eng, 64 * 4096, Layout::cyclic(16)).unwrap();
     show(&eng, "(., 0, 16, 4KB)  cyclic over machine", a, &(0..20).collect::<Vec<_>>());
@@ -34,4 +39,5 @@ fn main() {
 
     println!("\n(each number is the physical node owning consecutive blocks of the");
     println!(" virtual region — one translation descriptor per allocation)");
+    san.exit_if_dirty();
 }

@@ -1,8 +1,11 @@
+#![forbid(unsafe_code)]
 //! Table 5 reproduction: lines-of-code metrics for the library
 //! abstractions, counted from this repository and set against the paper's
 //! UDWeave numbers.
 //!
-//! `cargo run --release -p bench --bin table5_loc`
+//! `cargo run --release -p bench --bin table5_loc [--sanitize]`
+//! (`--sanitize` is accepted for CLI uniformity; this binary runs no
+//! simulation, so there is nothing to sanitize)
 
 use std::path::Path;
 
@@ -31,6 +34,9 @@ fn loc(path: &str) -> u64 {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--sanitize") {
+        eprintln!("table5_loc: --sanitize accepted, but this binary runs no simulation");
+    }
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| format!("{d}/../.."))
         .unwrap_or_else(|_| ".".into());

@@ -8,7 +8,7 @@
 //! gets traced and exported — enough to inspect one representative run in
 //! `chrome://tracing` without multi-gigabyte outputs.
 
-use updown_sim::Metrics;
+use updown_sim::{MachineConfig, Metrics, ProtocolProbe};
 
 /// Minimal flag parsing: `--key value` pairs plus positional args.
 pub struct Cli {
@@ -77,6 +77,9 @@ pub struct StdOpts {
     pub threads: u32,
     /// `--full`: paper-sized sweep.
     pub full: bool,
+    /// `--sanitize`: arm the runtime protocol sanitizer on every run
+    /// (see [`Sanitizer`] and docs/udcheck.md).
+    pub sanitize: bool,
     /// `--trace <path>` / `--metrics-json <path>` exporter.
     pub exporter: Exporter,
 }
@@ -104,7 +107,79 @@ impl StdOpts {
             seed: cli.get("seed", 0),
             threads: cli.get("threads", 1).max(1),
             full,
+            sanitize: cli.has("sanitize"),
             exporter: Exporter::from_cli(cli),
+        }
+    }
+}
+
+/// `--sanitize` support for the figure binaries: arms every simulated run
+/// with [`MachineConfig::sanitize`] plus a fresh
+/// [`ProtocolProbe`], then reports the collected
+/// diagnostics at the end of `main`. Simulated results are unchanged for
+/// violation-free programs (see docs/udcheck.md), so sanitized sweeps
+/// reproduce the exact figures while cross-checking the event protocol.
+pub struct Sanitizer {
+    enabled: bool,
+    runs: std::sync::Mutex<Vec<(String, ProtocolProbe)>>,
+}
+
+impl Sanitizer {
+    pub fn from_cli(cli: &Cli) -> Sanitizer {
+        Sanitizer {
+            enabled: cli.has("sanitize"),
+            runs: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Arm `cfg` with the sanitizer and a fresh probe when `--sanitize`
+    /// was given; `label` names the run in the final report.
+    pub fn arm(&self, label: &str, cfg: &mut MachineConfig) {
+        if !self.enabled {
+            return;
+        }
+        let probe = ProtocolProbe::new();
+        cfg.sanitize = true;
+        cfg.probe = Some(probe.clone());
+        self.runs.lock().unwrap().push((label.to_string(), probe));
+    }
+
+    /// Print every diagnostic recorded across the armed runs to stderr;
+    /// returns whether any run reported a violation.
+    pub fn dirty(&self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let runs = self.runs.lock().unwrap();
+        let mut dirty = false;
+        for (label, probe) in runs.iter() {
+            for d in probe.diagnostics() {
+                dirty = true;
+                eprintln!(
+                    "sanitizer[{}] {label}: {} — {} (x{}, first at tick {} lane {})",
+                    d.kind.as_str(),
+                    d.handler,
+                    d.detail,
+                    d.count,
+                    d.first_tick,
+                    d.lane
+                );
+            }
+        }
+        if !dirty {
+            eprintln!("sanitizer: {} run(s), no protocol violations", runs.len());
+        }
+        dirty
+    }
+
+    /// Tail-of-`main` helper: report and exit non-zero on violations.
+    pub fn exit_if_dirty(&self) {
+        if self.dirty() {
+            std::process::exit(1);
         }
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared plumbing for the figure-regeneration binaries: scaled-down
 //! machine shapes, the graph menu standing in for the paper's inputs, and
 //! tiny CLI parsing.
@@ -11,7 +12,7 @@
 pub mod cli;
 pub mod timing;
 
-pub use cli::{Cli, Exporter, StdOpts};
+pub use cli::{Cli, Exporter, Sanitizer, StdOpts};
 
 use updown_graph::generators::{erdos_renyi, forest_fire, rmat, RmatParams};
 use updown_graph::preprocess::dedup_sort;

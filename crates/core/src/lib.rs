@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # kvmsr
 //!
 //! **KVMSR** — key-value map-shuffle-reduce (§2.2 of the paper): the

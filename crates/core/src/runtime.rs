@@ -21,7 +21,7 @@
 //! when their initial block runs dry.
 
 use std::sync::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use udweave::{LaneSet, TreeComm};
@@ -132,7 +132,9 @@ struct Inner {
     runs: Vec<RunState>,
     /// Reduce completions per (job, lane) — the per-lane scratchpad
     /// counters of the real implementation (spd costs charged at use).
-    reduce_counts: HashMap<(u32, u32), u64>,
+    /// A `BTreeMap` so any future iteration is deterministic by
+    /// construction (see tools/determinism_lint.py).
+    reduce_counts: BTreeMap<(u32, u32), u64>,
 }
 
 #[derive(Clone, Copy)]

@@ -58,6 +58,8 @@ pub fn install_sort(eng: &mut updown_sim::Engine, rt: &Kvmsr, set: LaneSet, plan
     // hardware; shadowed host-side with spd costs charged) hands out unique
     // slots race-free. The DRAM length cell is updated with an atomic add
     // so `read_sorted` sees the final count.
+    // det-lint: allow — entry-only per-bucket counters; never iterated,
+    // so hash order cannot reach any output.
     let cursors: std::sync::Arc<std::sync::Mutex<std::collections::HashMap<u64, u64>>> =
         std::sync::Arc::default();
     let spec = JobSpec::new("global_sort", set, move |ctx, task, _rt| {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # updown-graph
 //!
 //! The graph substrate for the KVMSR+UDWeave reproduction: host-side graph

@@ -12,7 +12,7 @@
 //! exactly these knobs: `VERTEX_EB`, `EDGE_EB`, `VERTEX_BL`, `EDGE_BL`).
 
 use std::sync::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use drammalloc::{Layout, Region};
@@ -56,8 +56,8 @@ struct ShtDef {
     region: Region,
     /// Functional contents + slot assignment (the DRAM image is written
     /// through and checked against this in tests).
-    shadow: HashMap<u64, (u64, u64)>, // key -> (slot word index, value)
-    lens: HashMap<u64, u32>,          // bucket -> occupancy
+    shadow: BTreeMap<u64, (u64, u64)>, // key -> (slot word index, value)
+    lens: BTreeMap<u64, u32>,         // bucket -> occupancy
     max_bucket: u32,
 }
 
@@ -231,8 +231,8 @@ impl ShtLib {
             buckets_per_lane,
             entries_per_bucket,
             region,
-            shadow: HashMap::new(),
-            lens: HashMap::new(),
+            shadow: BTreeMap::new(),
+            lens: BTreeMap::new(),
             max_bucket: 0,
         });
         id
@@ -296,10 +296,10 @@ impl ShtLib {
 
     /// Rebuild the table's contents from the DRAM image (ignores the
     /// shadow): used to verify the device-resident data is complete.
-    pub fn dump_from_dram(&self, mem: &updown_sim::GlobalMemory, sht: ShtId) -> HashMap<u64, u64> {
+    pub fn dump_from_dram(&self, mem: &updown_sim::GlobalMemory, sht: ShtId) -> BTreeMap<u64, u64> {
         let inner = self.inner.lock().unwrap();
         let t = &inner.tables[sht.0 as usize];
-        let mut out = HashMap::new();
+        let mut out = BTreeMap::new();
         for b in 0..t.total_buckets() {
             let base = t.bucket_base(b);
             let len = mem.read_u64(t.region.word(base)).unwrap();
@@ -326,7 +326,7 @@ impl ShtLib {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap as StdMap;
+    use std::collections::BTreeMap as StdMap;
     use udweave::simple_event;
     use updown_sim::MachineConfig;
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # drammalloc
 //!
 //! The DRAMmalloc user API from §2.4 of the paper: allocate a contiguous

@@ -7,6 +7,7 @@
 //! simulator tick is one lane cycle.
 
 use crate::ids::NetworkId;
+use crate::probe::ProtocolProbe;
 
 /// Per-operation lane costs in cycles (Table 2 of the paper).
 #[derive(Clone, Debug)]
@@ -116,6 +117,17 @@ pub struct MachineConfig {
     /// byte-identical for every thread count; this only selects how many
     /// OS threads execute the shards.
     pub threads: u32,
+    /// Runtime sanitizer (`--sanitize` on the bench bins): tolerate and
+    /// diagnose event-protocol violations — sends to dead threads or
+    /// unregistered labels are dropped, out-of-range operand/scratchpad
+    /// accesses read zero — instead of panicking. Off by default; for a
+    /// violation-free program enabling it changes nothing (results stay
+    /// byte-identical). When set without an explicit [`Self::probe`], the
+    /// engine creates one (see [`crate::Engine::sanitizer_diagnostics`]).
+    pub sanitize: bool,
+    /// Optional protocol recording shared with the caller; see
+    /// [`ProtocolProbe`]. Recording has zero observer effect.
+    pub probe: Option<ProtocolProbe>,
 }
 
 impl Default for MachineConfig {
@@ -131,6 +143,8 @@ impl Default for MachineConfig {
             max_threads_per_lane: 512,
             spm_words: 8192,
             threads: 1,
+            sanitize: false,
+            probe: None,
         }
     }
 }
@@ -188,6 +202,18 @@ impl MachineConfigBuilder {
     /// results are identical for every value).
     pub fn threads(mut self, n: u32) -> Self {
         self.cfg.threads = n.max(1);
+        self
+    }
+
+    /// Enable the runtime sanitizer (see [`MachineConfig::sanitize`]).
+    pub fn sanitize(mut self, on: bool) -> Self {
+        self.cfg.sanitize = on;
+        self
+    }
+
+    /// Attach a protocol recording (see [`MachineConfig::probe`]).
+    pub fn probe(mut self, probe: ProtocolProbe) -> Self {
+        self.cfg.probe = Some(probe);
         self
     }
 

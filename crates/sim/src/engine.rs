@@ -28,6 +28,7 @@
 //! thread counts.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Barrier, Mutex};
@@ -39,6 +40,7 @@ use crate::lane::Lane;
 use crate::memory::{GlobalMemory, MemChannels, VAddr};
 use crate::message::Message;
 use crate::network::Nics;
+use crate::probe::{DiagKind, Diagnostic, ProtocolProbe};
 use crate::sched::{Parallel, Scheduler, Sequential};
 use crate::stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
 use crate::trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
@@ -618,8 +620,42 @@ impl EngineCore {
             lane.scheduled = false;
             return;
         };
-        // Resolve the thread context.
+        let label = msg.dst.label();
         let is_new = msg.dst.tid() == ThreadId::NEW;
+        // Sanitizer: messages that cannot be dispatched (unregistered label
+        // or dead target thread) are diagnosed and dropped instead of
+        // panicking. Violation-free programs never reach either branch.
+        if shared.cfg.sanitize {
+            let unregistered = label.0 as usize >= shared.handlers.len();
+            let dead = !unregistered && !is_new && !lane.threads.contains(msg.dst.tid());
+            if unregistered || dead {
+                let more = !lane.inbox.is_empty();
+                if !more {
+                    lane.scheduled = false;
+                }
+                if let Some(p) = &shared.cfg.probe {
+                    if unregistered {
+                        p.diag(DiagKind::SendUnregistered, label.0, label.0 as u64, t, l, || {
+                            format!("message delivered to unregistered event label {}", label.0)
+                        });
+                    } else {
+                        let tid = msg.dst.tid().0;
+                        p.diag(DiagKind::SendToDeadThread, label.0, tid as u64, t, l, || {
+                            format!(
+                                "message for '{}' targets dead thread {tid} on lane {l}",
+                                shared.handlers[label.0 as usize].name
+                            )
+                        });
+                    }
+                }
+                self.stats.msgs_dropped += 1;
+                if more {
+                    self.schedule(t, Action::LaneRun(l));
+                }
+                return;
+            }
+        }
+        // Resolve the thread context.
         let tid = match lane.resolve_thread(msg.dst, max_threads) {
             Some(tid) => tid,
             None => {
@@ -638,13 +674,17 @@ impl EngineCore {
         };
         if is_new {
             self.stats.threads_created += 1;
+            lane.threads.set_created_by(tid, label.0);
+            if let Some(p) = &shared.cfg.probe {
+                p.spawn(label.0);
+            }
         }
+        let created_by = lane.threads.created_by(tid);
         let state = lane
             .threads
             .state_mut(tid)
             .unwrap_or_else(|| panic!("event {:?} targets dead thread on lane {l}", msg.dst))
             .take();
-        let label = msg.dst.label();
         let entry = &shared.handlers[label.0 as usize];
         let hs = &mut self.handler_stats[label.0 as usize];
         hs.0 += 1;
@@ -670,6 +710,8 @@ impl EngineCore {
             terminated: false,
             state,
             stopped: false,
+            created_by,
+            cont_read: Cell::new(false),
         };
         f(&mut ctx);
 
@@ -679,8 +721,32 @@ impl EngineCore {
             terminated,
             state,
             stopped,
+            cont_read,
             ..
         } = ctx;
+
+        if let Some(p) = &shared.cfg.probe {
+            p.exec(
+                label.0,
+                created_by,
+                msg.args.len() as u32,
+                !msg.cont.is_ignore(),
+                cont_read.get(),
+                terminated,
+            );
+            // A continuation is carried per message: once the receiving
+            // execution terminates the thread without reading it, nothing
+            // can ever resume it.
+            if terminated && !msg.cont.is_ignore() && !cont_read.get() {
+                p.diag(DiagKind::UnconsumedContinuation, label.0, 0, t, l, || {
+                    format!(
+                        "'{}' terminated its thread without reading the continuation \
+                         carried by the triggering message",
+                        entry.name
+                    )
+                });
+            }
+        }
 
         // Every event ends in yield or yield_terminate (§2.1.1).
         let end_cost = if terminated {
@@ -1072,7 +1138,12 @@ pub struct Engine {
 }
 
 impl Engine {
-    pub fn new(cfg: MachineConfig) -> Engine {
+    pub fn new(mut cfg: MachineConfig) -> Engine {
+        // The sanitizer reports through a probe; create one when the caller
+        // asked for sanitizing without supplying their own.
+        if cfg.sanitize && cfg.probe.is_none() {
+            cfg.probe = Some(ProtocolProbe::new());
+        }
         let lanes_per_node = cfg.lanes_per_node();
         let mem = Arc::new(GlobalMemory::new(cfg.nodes));
         let n = cfg.nodes;
@@ -1184,6 +1255,23 @@ impl Engine {
     /// with [`Metrics`] when exceeded.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// The attached protocol probe, if any ([`MachineConfig::probe`], or
+    /// auto-created by [`MachineConfig::sanitize`]).
+    pub fn probe(&self) -> Option<&ProtocolProbe> {
+        self.shared.cfg.probe.as_ref()
+    }
+
+    /// Diagnostics collected by the protocol probe / runtime sanitizer so
+    /// far; empty when no probe is attached (and for violation-free runs).
+    pub fn sanitizer_diagnostics(&self) -> Vec<Diagnostic> {
+        self.shared
+            .cfg
+            .probe
+            .as_ref()
+            .map(|p| p.diagnostics())
+            .unwrap_or_default()
     }
 
     /// Record `[PRINT]`-style trace lines emitted via [`EventCtx::print`].
@@ -1408,6 +1496,26 @@ impl Engine {
             self.drain_in_flight();
         }
         self.collect_run_artifacts();
+        if let Some(p) = &self.shared.cfg.probe {
+            // "Drained naturally" = every message was consumed: no
+            // `ctx.stop()`, no event-limit cut-off. Only then is a live
+            // thread a leak — a stopped run legitimately strands threads
+            // (pollers, feeders), and a truncated run proves nothing.
+            let total: u64 = self.shards.iter().map(|s| s.stats.events_executed).sum();
+            let hit_limit = self.event_limit != u64::MAX && total >= self.event_limit;
+            let drained = !stopped && !hit_limit;
+            if drained {
+                for shard in &self.shards {
+                    for lane in &shard.lanes {
+                        for created_by in lane.threads.live_created_by() {
+                            p.live_at_exit(created_by);
+                        }
+                    }
+                }
+            }
+            let names = self.shared.handlers.iter().map(|h| h.name.clone()).collect();
+            p.finish_run(names, drained, self.final_tick());
+        }
         self.metrics()
     }
 
@@ -1582,6 +1690,11 @@ pub struct EventCtx<'a> {
     terminated: bool,
     state: Option<Box<dyn Any + Send>>,
     stopped: bool,
+    /// Creating label of this thread (protocol-probe bookkeeping).
+    created_by: u16,
+    /// Whether this execution read `cont()`; a `Cell` because the reads go
+    /// through `&self` accessors. Probe bookkeeping only.
+    cont_read: Cell<bool>,
 }
 
 impl<'a> EventCtx<'a> {
@@ -1619,6 +1732,7 @@ impl<'a> EventCtx<'a> {
     /// `CCONT`: the continuation word carried by the triggering message.
     #[inline]
     pub fn cont(&self) -> EventWord {
+        self.cont_read.set(true);
         self.msg.cont
     }
 
@@ -1637,18 +1751,49 @@ impl<'a> EventCtx<'a> {
 
     #[inline]
     pub fn args(&self) -> &[u64] {
+        if let Some(p) = &self.shared.cfg.probe {
+            let n = self.msg.args.len() as u32;
+            if n > 0 {
+                p.arg_read(self.msg.dst.label().0, n, n - 1);
+            }
+        }
         &self.msg.args
     }
 
+    /// Operand `i` of the triggering message. Panics past the operand
+    /// count — unless the sanitizer is on, which diagnoses and reads zero.
     #[inline]
     pub fn arg(&self, i: usize) -> u64 {
+        if let Some(p) = &self.shared.cfg.probe {
+            let label = self.msg.dst.label().0;
+            let argc = self.msg.args.len();
+            p.arg_read(label, argc as u32, i as u32);
+            if i >= argc {
+                p.diag(
+                    DiagKind::OperandOutOfRange,
+                    label,
+                    i as u64,
+                    self.shard.now,
+                    self.lane,
+                    || {
+                        format!(
+                            "'{}' reads operand {i} of a {argc}-operand message",
+                            self.event_name
+                        )
+                    },
+                );
+                if self.shared.cfg.sanitize {
+                    return 0;
+                }
+            }
+        }
         self.msg.args[i]
     }
 
     /// Operand interpreted as f64 bits.
     #[inline]
     pub fn argf(&self, i: usize) -> f64 {
-        f64::from_bits(self.msg.args[i])
+        f64::from_bits(self.arg(i))
     }
 
     // ---- thread state ----------------------------------------------------
@@ -1691,10 +1836,37 @@ impl<'a> EventCtx<'a> {
     ) {
         assert!(!dst.is_ignore(), "send_event to IGNORE");
         self.cost += self.shared.cfg.costs.send_msg;
+        let args = args.into();
+        if let Some(p) = &self.shared.cfg.probe {
+            let src = self.msg.dst.label().0;
+            let dl = dst.label().0;
+            p.send(
+                src,
+                dl,
+                args.len() as u32,
+                !cont.is_ignore(),
+                dst.tid() == ThreadId::NEW,
+            );
+            if dl as usize >= self.shared.handlers.len() {
+                p.diag(
+                    DiagKind::SendUnregistered,
+                    src,
+                    dl as u64,
+                    self.shard.now,
+                    self.lane,
+                    || {
+                        format!(
+                            "'{}' sends to unregistered event label {dl}",
+                            self.event_name
+                        )
+                    },
+                );
+            }
+        }
         self.out.push(Outgoing::Msg(
             Message {
                 dst,
-                args: args.into(),
+                args,
                 cont,
                 src: self.nwid(),
             },
@@ -1836,16 +2008,47 @@ impl<'a> EventCtx<'a> {
         (self.lane - self.shard.base_lane) as usize
     }
 
-    /// Scratchpad load (1 cycle), word-addressed.
+    /// Sanitizer diagnostic for a scratchpad access past `spm_words`.
+    fn spm_oob_diag(&self, op: &str, off: u32) {
+        if let Some(p) = &self.shared.cfg.probe {
+            p.diag(
+                DiagKind::ScratchpadOutOfBounds,
+                self.msg.dst.label().0,
+                off as u64,
+                self.shard.now,
+                self.lane,
+                || {
+                    format!(
+                        "'{}': {op} at word {off} past scratchpad size {}",
+                        self.event_name, self.shared.cfg.spm_words
+                    )
+                },
+            );
+        }
+    }
+
+    /// Scratchpad load (1 cycle), word-addressed. Out-of-bounds panics —
+    /// unless the sanitizer is on, which diagnoses and reads zero.
     pub fn spm_read(&mut self, off: u32) -> u64 {
+        if self.shared.cfg.sanitize && off >= self.shared.cfg.spm_words {
+            self.spm_oob_diag("spm_read", off);
+            self.cost += self.shared.cfg.costs.spd_access;
+            return 0;
+        }
         assert!(off < self.shared.cfg.spm_words, "scratchpad overflow");
         self.cost += self.shared.cfg.costs.spd_access;
         let idx = self.local_lane_idx();
         self.shard.lanes[idx].spm.read(off)
     }
 
-    /// Scratchpad store (1 cycle), word-addressed.
+    /// Scratchpad store (1 cycle), word-addressed. Out-of-bounds panics —
+    /// unless the sanitizer is on, which diagnoses and drops the store.
     pub fn spm_write(&mut self, off: u32, v: u64) {
+        if self.shared.cfg.sanitize && off >= self.shared.cfg.spm_words {
+            self.spm_oob_diag("spm_write", off);
+            self.cost += self.shared.cfg.costs.spd_access;
+            return;
+        }
         assert!(off < self.shared.cfg.spm_words, "scratchpad overflow");
         self.cost += self.shared.cfg.costs.spd_access;
         let idx = self.local_lane_idx();
@@ -1853,11 +2056,31 @@ impl<'a> EventCtx<'a> {
     }
 
     /// Raw bump-allocate `words` of this lane's scratchpad (spMalloc's
-    /// backing primitive). Panics when the scratchpad is exhausted.
+    /// backing primitive). Panics when the scratchpad is exhausted —
+    /// unless the sanitizer is on, which diagnoses and refuses the bump.
     pub fn spm_alloc(&mut self, words: u32) -> u32 {
         let idx = self.local_lane_idx();
-        let lane = &mut self.shard.lanes[idx];
-        let base = lane.spm_brk;
+        let base = self.shard.lanes[idx].spm_brk;
+        if self.shared.cfg.sanitize && base + words > self.shared.cfg.spm_words {
+            if let Some(p) = &self.shared.cfg.probe {
+                let (lane, spm_words) = (self.lane, self.shared.cfg.spm_words);
+                p.diag(
+                    DiagKind::ScratchpadExhausted,
+                    self.msg.dst.label().0,
+                    words as u64,
+                    self.shard.now,
+                    lane,
+                    || {
+                        format!(
+                            "'{}': spm_alloc({words}) exhausts the scratchpad on lane \
+                             {lane} ({base} + {words} > {spm_words})",
+                            self.event_name
+                        )
+                    },
+                );
+            }
+            return base;
+        }
         assert!(
             base + words <= self.shared.cfg.spm_words,
             "spMalloc: scratchpad exhausted on lane {} ({} + {} > {})",
@@ -1866,7 +2089,10 @@ impl<'a> EventCtx<'a> {
             words,
             self.shared.cfg.spm_words
         );
-        lane.spm_brk += words;
+        self.shard.lanes[idx].spm_brk += words;
+        if let Some(p) = &self.shared.cfg.probe {
+            p.spm_alloc_rec(self.msg.dst.label().0, self.created_by, words);
+        }
         base
     }
 
@@ -1879,7 +2105,21 @@ impl<'a> EventCtx<'a> {
     }
 
     /// End this event and deallocate the thread (`yield_terminate`).
+    /// Calling it twice in one event is idempotent but almost certainly a
+    /// bug; the protocol probe diagnoses it.
     pub fn yield_terminate(&mut self) {
+        if self.terminated {
+            if let Some(p) = &self.shared.cfg.probe {
+                p.diag(
+                    DiagKind::DoubleTerminate,
+                    self.msg.dst.label().0,
+                    self.tid.0 as u64,
+                    self.shard.now,
+                    self.lane,
+                    || format!("'{}' called yield_terminate twice in one event", self.event_name),
+                );
+            }
+        }
         self.terminated = true;
     }
 

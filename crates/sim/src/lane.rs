@@ -24,6 +24,11 @@ use crate::message::Message;
 struct ThreadSlot {
     live: bool,
     gen: u32,
+    /// Label of the event that allocated this context (the thread's
+    /// "creating label" — the protocol probe groups lifecycle accounting
+    /// by it, since `ThreadType` names collide under the generic
+    /// `udweave::event` registrar).
+    created_by: u16,
     /// Application state, created on first access by the handler.
     state: Option<Box<dyn Any + Send>>,
 }
@@ -66,6 +71,27 @@ impl ThreadTable {
     #[inline]
     pub fn generation(&self, tid: ThreadId) -> u32 {
         self.slots.get(tid.0 as usize).map_or(0, |s| s.gen)
+    }
+
+    /// Label of the event that allocated the context behind `tid`
+    /// (0 for never-used slots; meaningless for dead ids).
+    #[inline]
+    pub fn created_by(&self, tid: ThreadId) -> u16 {
+        self.slots.get(tid.0 as usize).map_or(0, |s| s.created_by)
+    }
+
+    /// Stamp the creating label of a live slot (engine-side, right after
+    /// a NEW-addressed message allocates it).
+    #[inline]
+    pub fn set_created_by(&mut self, tid: ThreadId, label: u16) {
+        if let Some(s) = self.slots.get_mut(tid.0 as usize) {
+            s.created_by = label;
+        }
+    }
+
+    /// Creating labels of all live contexts (probe leak sweep at exit).
+    pub fn live_created_by(&self) -> impl Iterator<Item = u16> + '_ {
+        self.slots.iter().filter(|s| s.live).map(|s| s.created_by)
     }
 
     /// Mutable access to a live thread's state cell; `None` for dead ids.

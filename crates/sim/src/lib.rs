@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # updown-sim
 //!
 //! A deterministic discrete-event simulator for the **UpDown graph
@@ -43,6 +44,7 @@ pub mod lane;
 pub mod memory;
 pub mod message;
 pub mod network;
+pub mod probe;
 pub mod sched;
 pub mod stats;
 pub mod trace;
@@ -54,6 +56,7 @@ pub use sched::{Parallel, Scheduler, Sequential};
 pub use ids::{EventLabel, EventWord, NetworkId, ThreadId};
 pub use memory::{GlobalMemory, MemError, TranslationDescriptor, VAddr};
 pub use message::Message;
+pub use probe::{DiagKind, Diagnostic, ProbeReport, ProtocolProbe};
 pub use stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
 pub use trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 

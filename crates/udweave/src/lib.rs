@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # udweave
 //!
 //! The UDWeave programming layer (§2.1 of the paper) over the

@@ -1,1 +1,2 @@
+#![forbid(unsafe_code)]
 //! Workspace integration tests live in `tests/tests/`.

@@ -202,7 +202,7 @@ fn sht_matches_hashmap() {
         eng.send(EventWord::new(NetworkId(0), step), [], EventWord::IGNORE);
         eng.run();
         // Model.
-        let mut model = std::collections::HashMap::new();
+        let mut model = std::collections::BTreeMap::new();
         for &(op, k, v) in ops.iter() {
             match op {
                 0 => {}
@@ -559,5 +559,224 @@ fn block_parse_partitions() {
             start = end;
         }
         assert_eq!(got, full);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime sanitizer: zero observer effect + deterministic diagnostics
+// ---------------------------------------------------------------------------
+
+/// The sanitizer's contract has two halves, and both are load-bearing for
+/// `udcheck`:
+///
+/// 1. **Zero observer effect.** Attaching a [`ProtocolProbe`] — with or
+///    without `sanitize` — must leave the simulated run byte-identical on
+///    clean programs: same metrics JSON, same final tick, at every thread
+///    count. Otherwise "run the app under udcheck" would analyze a
+///    different program than the one that ships.
+/// 2. **Deterministic diagnostics.** Each injected protocol misuse must
+///    produce the same diagnostic sites at 1 thread and at 4 threads, so a
+///    violation found in CI reproduces exactly on a laptop.
+mod sanitizer {
+    use std::sync::{Arc, Mutex};
+
+    use updown_apps::ingest::datagen;
+    use updown_apps::pagerank::{run_pagerank, PrConfig};
+    use updown_apps::partial_match::{run_partial_match, PmConfig};
+    use updown_graph::generators::{rmat, RmatParams};
+    use updown_graph::preprocess::{dedup_sort, split_in_out};
+    use updown_graph::Csr;
+    use updown_sim::{
+        DiagKind, Diagnostic, Engine, EventLabel, EventWord, MachineConfig, NetworkId,
+        ProtocolProbe,
+    };
+
+    fn machine(nodes: u32, threads: u32) -> MachineConfig {
+        let mut m = MachineConfig::small(nodes, 2, 8);
+        m.threads = threads;
+        m
+    }
+
+    /// PageRank (ends via `ctx.stop()`) at conformance scale; returns the
+    /// full metrics document + final tick.
+    fn pr_run(threads: u32, probe: Option<ProtocolProbe>, sanitize: bool) -> (String, u64) {
+        let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), 10)));
+        let sg = split_in_out(&g, 64);
+        let mut cfg = PrConfig::new(2);
+        cfg.machine = machine(2, threads);
+        cfg.machine.sanitize = sanitize;
+        cfg.machine.probe = probe;
+        cfg.iterations = 2;
+        let r = run_pagerank(&sg, &cfg);
+        (r.report.to_json(), r.final_tick)
+    }
+
+    /// Partial match (drains naturally — exercises the leak sweep) at
+    /// conformance scale.
+    fn pm_run(threads: u32, probe: Option<ProtocolProbe>, sanitize: bool) -> (String, u64) {
+        let ds = datagen::generate(200, 60, 7);
+        let mut cfg = PmConfig::new(8, vec![1, 2]);
+        cfg.machine = machine(2, threads);
+        cfg.machine.sanitize = sanitize;
+        cfg.machine.probe = probe;
+        cfg.batch = 16;
+        cfg.interval = 200;
+        cfg.feeders = 2;
+        let r = run_partial_match(&ds.records, &cfg);
+        (r.report.to_json(), r.final_tick)
+    }
+
+    /// Probe recording and the armed sanitizer leave clean programs
+    /// byte-identical, sequential and parallel, stopped and drained.
+    #[test]
+    fn probe_and_sanitizer_have_zero_observer_effect() {
+        for run in [pr_run, pm_run] {
+            for threads in [1u32, 4] {
+                let base = run(threads, None, false);
+                let probe = ProtocolProbe::new();
+                let probed = run(threads, Some(probe.clone()), false);
+                assert!(
+                    probe.snapshot().diagnostics.is_empty(),
+                    "clean app produced diagnostics"
+                );
+                let sanitizer = ProtocolProbe::new();
+                let sanitized = run(threads, Some(sanitizer.clone()), true);
+                assert_eq!(base, probed, "probe recording perturbed the run (threads={threads})");
+                assert_eq!(base, sanitized, "sanitizer perturbed a clean run (threads={threads})");
+                assert!(sanitizer.snapshot().diagnostics.is_empty());
+            }
+        }
+    }
+
+    /// Run an ad-hoc program under the armed sanitizer and return its
+    /// diagnostics. `build` registers handlers and injects host messages.
+    fn diags_at(threads: u32, build: impl Fn(&mut Engine)) -> Vec<Diagnostic> {
+        let mut cfg = machine(2, threads);
+        cfg.sanitize = true;
+        let mut eng = Engine::new(cfg);
+        build(&mut eng);
+        eng.run();
+        eng.sanitizer_diagnostics()
+    }
+
+    fn kinds(diags: &[Diagnostic]) -> Vec<DiagKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn double_terminate_is_diagnosed_deterministically() {
+        let fixture = |eng: &mut Engine| {
+            let l = udweave::simple_event(eng, "fixture::double", |ctx| {
+                ctx.yield_terminate();
+                ctx.yield_terminate();
+            });
+            eng.send(EventWord::new(NetworkId(0), l), [0u64; 0], EventWord::IGNORE);
+        };
+        let d1 = diags_at(1, fixture);
+        assert_eq!(kinds(&d1), vec![DiagKind::DoubleTerminate]);
+        assert_eq!(d1[0].handler, "fixture::double");
+        assert_eq!(d1[0].count, 1);
+        assert_eq!(d1, diags_at(4, fixture), "diagnostic diverged across thread counts");
+    }
+
+    #[test]
+    fn send_to_dead_thread_is_diagnosed_deterministically() {
+        let fixture = |eng: &mut Engine| {
+            let late = udweave::simple_event(eng, "fixture::late", |_ctx| {});
+            let first = udweave::simple_event(eng, "fixture::first", move |ctx| {
+                // Schedule a message to this very thread, then terminate it:
+                // by the time the message arrives the context is dead.
+                let dst = ctx.self_event(late);
+                ctx.send_event_after(50, dst, [0u64; 0], EventWord::IGNORE);
+                ctx.yield_terminate();
+            });
+            eng.send(EventWord::new(NetworkId(0), first), [0u64; 0], EventWord::IGNORE);
+        };
+        let d1 = diags_at(1, fixture);
+        assert_eq!(kinds(&d1), vec![DiagKind::SendToDeadThread]);
+        assert_eq!(d1[0].handler, "fixture::late");
+        assert_eq!(d1, diags_at(4, fixture));
+    }
+
+    #[test]
+    fn scratchpad_leak_at_exit_is_diagnosed_deterministically() {
+        let fixture = |eng: &mut Engine| {
+            let l = udweave::simple_event(eng, "fixture::leaky", |ctx| {
+                let _ = ctx.spm_alloc(16);
+                // No yield_terminate: the thread (and its 16 words) leak.
+            });
+            eng.send(EventWord::new(NetworkId(0), l), [0u64; 0], EventWord::IGNORE);
+        };
+        let d1 = diags_at(1, fixture);
+        let mut ks = kinds(&d1);
+        ks.sort_by_key(|k| format!("{k:?}"));
+        assert_eq!(
+            ks,
+            vec![DiagKind::ScratchpadLeakAtExit, DiagKind::ThreadLeakAtExit]
+        );
+        assert_eq!(d1, diags_at(4, fixture));
+    }
+
+    #[test]
+    fn operand_out_of_range_reads_zero_and_is_diagnosed() {
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::default();
+        let seen2 = seen.clone();
+        let fixture = move |eng: &mut Engine| {
+            let s = seen2.clone();
+            let l = udweave::simple_event(eng, "fixture::oob", move |ctx| {
+                // The message carries 1 operand; index 3 is out of range.
+                s.lock().unwrap().push(ctx.arg(3));
+                ctx.yield_terminate();
+            });
+            eng.send(EventWord::new(NetworkId(0), l), [7u64], EventWord::IGNORE);
+        };
+        let d1 = diags_at(1, &fixture);
+        assert_eq!(kinds(&d1), vec![DiagKind::OperandOutOfRange]);
+        assert_eq!(d1[0].handler, "fixture::oob");
+        assert_eq!(d1, diags_at(4, &fixture));
+        // The tolerated read returns 0 — never garbage.
+        assert!(seen.lock().unwrap().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn send_to_unregistered_label_is_diagnosed_deterministically() {
+        let fixture = |eng: &mut Engine| {
+            let l = udweave::simple_event(eng, "fixture::src", |ctx| {
+                ctx.send_event(
+                    EventWord::new(NetworkId(0), EventLabel(999)),
+                    [0u64; 0],
+                    EventWord::IGNORE,
+                );
+                ctx.yield_terminate();
+            });
+            eng.send(EventWord::new(NetworkId(0), l), [0u64; 0], EventWord::IGNORE);
+        };
+        // One violation, up to two sites (send-time at the source handler,
+        // drop-time at the unregistered destination).
+        let d1 = diags_at(1, fixture);
+        assert!(!d1.is_empty());
+        assert!(kinds(&d1).iter().all(|&k| k == DiagKind::SendUnregistered));
+        assert_eq!(d1, diags_at(4, fixture));
+    }
+
+    #[test]
+    fn unconsumed_continuation_is_diagnosed_deterministically() {
+        let fixture = |eng: &mut Engine| {
+            let reply = udweave::simple_event(eng, "fixture::reply", |_ctx| {});
+            let sink = udweave::simple_event(eng, "fixture::sink", |ctx| {
+                // Terminates without ever reading ctx.cont(): the caller's
+                // continuation is silently lost.
+                ctx.yield_terminate();
+            });
+            eng.send(
+                EventWord::new(NetworkId(0), sink),
+                [0u64; 0],
+                EventWord::new(NetworkId(0), reply),
+            );
+        };
+        let d1 = diags_at(1, fixture);
+        assert_eq!(kinds(&d1), vec![DiagKind::UnconsumedContinuation]);
+        assert_eq!(d1[0].handler, "fixture::sink");
+        assert_eq!(d1, diags_at(4, fixture));
     }
 }
