@@ -1,0 +1,103 @@
+//! Shared conformance-scale application harness for the `udcheck` and
+//! `udrace` CLIs. Each app runs at the same tiny deterministic scale as
+//! `tests/tests/conformance.rs`, so a clean bill here covers the exact
+//! protocols the conformance matrix exercises.
+
+use updown_apps::bfs::{run_bfs, BfsConfig};
+use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
+use updown_apps::pagerank::{run_pagerank, PrConfig};
+use updown_apps::partial_match::{run_partial_match, PmConfig};
+use updown_apps::tc::{run_tc, TcConfig};
+use updown_graph::generators::{rmat, RmatParams};
+use updown_graph::preprocess::{dedup_sort, split_in_out};
+use updown_graph::Csr;
+use updown_sim::{MachineConfig, ProtocolProbe, RaceProbe};
+
+/// Canonical names of all five applications, in report order.
+pub const ALL_APPS: &[&str] = &["pagerank", "bfs", "tc", "ingest", "partial_match"];
+
+/// Canonicalize an app name from the command line (`pr`/`pm` aliases).
+pub fn canon_app(app: &str) -> Option<&'static str> {
+    match app {
+        "pagerank" | "pr" => Some("pagerank"),
+        "bfs" => Some("bfs"),
+        "tc" => Some("tc"),
+        "ingest" => Some("ingest"),
+        "partial_match" | "pm" => Some("partial_match"),
+        _ => None,
+    }
+}
+
+/// Instrumentation to attach to a conformance-scale run.
+#[derive(Clone, Default)]
+pub struct Probes {
+    /// Protocol probe (event-flow summary); `udcheck` always attaches one,
+    /// `udrace` attaches one to build the flow graph for may-race.
+    pub probe: Option<ProtocolProbe>,
+    /// Race probe (happens-before detector).
+    pub race: Option<RaceProbe>,
+    /// Attach the runtime sanitizer.
+    pub sanitize: bool,
+}
+
+/// Tiny machine matching the conformance suite with the probes attached.
+fn machine(nodes: u32, threads: u32, p: &Probes) -> MachineConfig {
+    let mut m = MachineConfig::small(nodes, 2, 8);
+    m.threads = threads;
+    m.sanitize = p.sanitize;
+    m.probe = p.probe.clone();
+    m.race = p.race.clone();
+    m
+}
+
+/// Run one app at conformance scale with the given probes attached.
+/// `app` must be canonical (see [`canon_app`]).
+///
+/// # Panics
+///
+/// Panics on a non-canonical app name.
+pub fn run_app(app: &str, threads: u32, seed: u64, probes: &Probes) {
+    match app {
+        "pagerank" => {
+            let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), seed)));
+            let sg = split_in_out(&g, 64);
+            let mut cfg = PrConfig::new(2);
+            cfg.machine = machine(2, threads, probes);
+            cfg.iterations = 2;
+            run_pagerank(&sg, &cfg);
+        }
+        "bfs" => {
+            let g = Csr::from_edges(&dedup_sort(
+                rmat(8, RmatParams::default(), seed).symmetrize(),
+            ));
+            let mut cfg = BfsConfig::new(2, 0);
+            cfg.machine = machine(2, threads, probes);
+            run_bfs(&g, &cfg);
+        }
+        "tc" => {
+            let mut g = Csr::from_edges(&dedup_sort(
+                rmat(7, RmatParams::default(), seed).symmetrize(),
+            ));
+            g.sort_neighbors();
+            let mut cfg = TcConfig::new(2);
+            cfg.machine = machine(2, threads, probes);
+            run_tc(&g, &cfg);
+        }
+        "ingest" => {
+            let ds = datagen::generate(250, 120, seed);
+            let mut cfg = IngestConfig::new(2);
+            cfg.machine = machine(2, threads, probes);
+            run_ingest(&ds, &cfg);
+        }
+        "partial_match" => {
+            let ds = datagen::generate(200, 60, seed);
+            let mut cfg = PmConfig::new(8, vec![1, 2]);
+            cfg.machine = machine(2, threads, probes);
+            cfg.batch = 16;
+            cfg.interval = 200;
+            cfg.feeders = 2;
+            run_partial_match(&ds.records, &cfg);
+        }
+        other => panic!("unknown app '{other}' (use canon_app first)"),
+    }
+}

@@ -1,0 +1,153 @@
+#![forbid(unsafe_code)]
+//! `udrace` CLI: happens-before race detection over the five applications
+//! at conformance scale. Each app runs with the race probe and the
+//! protocol probe attached; dynamic race sites are errors, and the static
+//! may-race pre-pass over the event-flow graph adds warnings/infos for
+//! handler pairs with conflicting footprints and no ordering path. Exit
+//! status is non-zero if any app has dynamic findings (race sites or a
+//! truncated site list).
+//!
+//! ```text
+//! udrace [APPS...] [--threads N] [--seed S] [--json] [--out PATH] [--prune]
+//! ```
+//!
+//! `--prune` runs a cheap footprint-only pass first and then monitors only
+//! regions the static pre-pass flags as conflicted (heuristic; the default
+//! full mode is what CI gates on).
+
+use std::io::Write as _;
+
+use udcheck::apps::{canon_app, run_app, Probes, ALL_APPS};
+use udcheck::{conflicted_regions, render_race_document, EventFlowGraph, RaceAnalysis};
+use updown_sim::{ProtocolProbe, RaceProbe};
+
+struct Opts {
+    apps: Vec<String>,
+    threads: u32,
+    seed: u64,
+    json: bool,
+    out: Option<String>,
+    prune: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: udrace [APPS...] [--threads N] [--seed S] [--json] [--out PATH] [--prune]\n\
+         \n\
+         APPS: pagerank|pr  bfs  tc  ingest  partial_match|pm   (default: all)\n\
+         --threads N   simulator worker threads (default 1)\n\
+         --seed S      input-generation seed (default 10)\n\
+         --json        print the udrace/v1 JSON document instead of text\n\
+         --out PATH    also write the JSON document to PATH\n\
+         --prune       footprint pass first, then monitor only conflicted regions"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        apps: Vec::new(),
+        threads: 1,
+        seed: 10,
+        json: false,
+        out: None,
+        prune: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => o.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--json" => o.json = true,
+            "--out" => o.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--prune" => o.prune = true,
+            "--help" | "-h" => usage(),
+            app => match canon_app(app) {
+                Some(canon) => o.apps.push(canon.to_string()),
+                None => {
+                    eprintln!("udrace: unknown app or flag '{app}'");
+                    usage()
+                }
+            },
+        }
+    }
+    if o.apps.is_empty() {
+        o.apps = ALL_APPS.iter().map(|s| s.to_string()).collect();
+    }
+    o
+}
+
+/// Run one app under the race detector and return its analysis. With
+/// `prune`, a footprint-only pass selects the regions worth word-granular
+/// monitoring and a second pass monitors just those.
+fn race_app(app: &str, threads: u32, seed: u64, prune: bool) -> RaceAnalysis {
+    let race = if prune {
+        let scout = RaceProbe::footprint_only();
+        let scout_flow = ProtocolProbe::new();
+        run_app(
+            app,
+            threads,
+            seed,
+            &Probes {
+                probe: Some(scout_flow.clone()),
+                race: Some(scout.clone()),
+                sanitize: false,
+            },
+        );
+        let graph = EventFlowGraph::from_report(&scout_flow.snapshot());
+        RaceProbe::with_filter(conflicted_regions(&graph, &scout.snapshot()))
+    } else {
+        RaceProbe::new()
+    };
+    let flow = ProtocolProbe::new();
+    run_app(
+        app,
+        threads,
+        seed,
+        &Probes {
+            probe: Some(flow.clone()),
+            race: Some(race.clone()),
+            sanitize: false,
+        },
+    );
+    let graph = EventFlowGraph::from_report(&flow.snapshot());
+    RaceAnalysis::of(app, &race, Some(&graph))
+}
+
+fn main() {
+    let o = parse_opts();
+    let analyses: Vec<RaceAnalysis> = o
+        .apps
+        .iter()
+        .map(|app| race_app(app, o.threads, o.seed, o.prune))
+        .collect();
+
+    let doc = render_race_document(&analyses);
+    if let Some(path) = &o.out {
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("udrace: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if o.json {
+        println!("{doc}");
+    } else {
+        let mut stdout = std::io::stdout().lock();
+        for a in &analyses {
+            let _ = stdout.write_all(a.render_text().as_bytes());
+        }
+        let unclean: Vec<&str> = analyses
+            .iter()
+            .filter(|a| !a.is_clean())
+            .map(|a| a.app.as_str())
+            .collect();
+        if unclean.is_empty() {
+            let _ = writeln!(stdout, "udrace: all {} app(s) race-free", analyses.len());
+        } else {
+            let _ = writeln!(stdout, "udrace: RACES: {}", unclean.join(", "));
+        }
+    }
+    if analyses.iter().any(|a| !a.is_clean()) {
+        std::process::exit(1);
+    }
+}

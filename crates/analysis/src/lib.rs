@@ -43,6 +43,13 @@ use std::fmt;
 use updown_sim::json::JsonWriter;
 use updown_sim::{ProbeReport, ProtocolProbe};
 
+pub mod apps;
+pub mod race;
+
+pub use race::{
+    conflicted_regions, may_race, race_findings, render_race_document, RaceAnalysis,
+};
+
 // ---------------------------------------------------------------------------
 // Event-flow graph
 // ---------------------------------------------------------------------------
@@ -526,6 +533,7 @@ impl Analysis {
         }
         w.end_arr();
         w.key("suppressed").u64(self.report.suppressed);
+        w.key("sites_truncated").u64(self.report.sites_truncated);
         w.end_obj();
     }
 
@@ -567,8 +575,9 @@ impl Analysis {
         }
         if self.report.suppressed > 0 {
             s.push_str(&format!(
-                "  ({} diagnostic site(s) suppressed past the cap)\n",
-                self.report.suppressed
+                "  warning: {} occurrence(s) at {} distinct diagnostic site(s) \
+                 dropped past the site cap\n",
+                self.report.suppressed, self.report.sites_truncated
             ));
         }
         s

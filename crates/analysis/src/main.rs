@@ -12,18 +12,9 @@
 
 use std::io::Write as _;
 
+use udcheck::apps::{canon_app, run_app, Probes, ALL_APPS};
 use udcheck::{render_document, Analysis};
-use updown_apps::bfs::{run_bfs, BfsConfig};
-use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
-use updown_apps::pagerank::{run_pagerank, PrConfig};
-use updown_apps::partial_match::{run_partial_match, PmConfig};
-use updown_apps::tc::{run_tc, TcConfig};
-use updown_graph::generators::{rmat, RmatParams};
-use updown_graph::preprocess::{dedup_sort, split_in_out};
-use updown_graph::Csr;
-use updown_sim::{MachineConfig, ProtocolProbe};
-
-const ALL_APPS: &[&str] = &["pagerank", "bfs", "tc", "ingest", "partial_match"];
+use updown_sim::ProtocolProbe;
 
 struct Opts {
     apps: Vec<String>,
@@ -66,20 +57,13 @@ fn parse_opts() -> Opts {
             "--out" => o.out = Some(it.next().unwrap_or_else(|| usage())),
             "--dot" => o.dot = true,
             "--help" | "-h" => usage(),
-            app => {
-                let canon = match app {
-                    "pagerank" | "pr" => "pagerank",
-                    "bfs" => "bfs",
-                    "tc" => "tc",
-                    "ingest" => "ingest",
-                    "partial_match" | "pm" => "partial_match",
-                    _ => {
-                        eprintln!("udcheck: unknown app or flag '{app}'");
-                        usage()
-                    }
-                };
-                o.apps.push(canon.to_string());
-            }
+            app => match canon_app(app) {
+                Some(canon) => o.apps.push(canon.to_string()),
+                None => {
+                    eprintln!("udcheck: unknown app or flag '{app}'");
+                    usage()
+                }
+            },
         }
     }
     if o.apps.is_empty() {
@@ -88,63 +72,15 @@ fn parse_opts() -> Opts {
     o
 }
 
-/// Tiny machine matching the conformance suite, with sanitizer + probe on.
-fn machine(nodes: u32, threads: u32, probe: &ProtocolProbe) -> MachineConfig {
-    let mut m = MachineConfig::small(nodes, 2, 8);
-    m.threads = threads;
-    m.sanitize = true;
-    m.probe = Some(probe.clone());
-    m
-}
-
-/// Run one app at conformance scale and return its analysis. The runs
-/// mirror `tests/tests/conformance.rs` so a clean bill here covers the
-/// exact protocols the conformance matrix exercises.
+/// Run one app at conformance scale and return its analysis.
 fn check_app(app: &str, threads: u32, seed: u64) -> Analysis {
     let probe = ProtocolProbe::new();
-    match app {
-        "pagerank" => {
-            let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), seed)));
-            let sg = split_in_out(&g, 64);
-            let mut cfg = PrConfig::new(2);
-            cfg.machine = machine(2, threads, &probe);
-            cfg.iterations = 2;
-            run_pagerank(&sg, &cfg);
-        }
-        "bfs" => {
-            let g = Csr::from_edges(&dedup_sort(
-                rmat(8, RmatParams::default(), seed).symmetrize(),
-            ));
-            let mut cfg = BfsConfig::new(2, 0);
-            cfg.machine = machine(2, threads, &probe);
-            run_bfs(&g, &cfg);
-        }
-        "tc" => {
-            let mut g = Csr::from_edges(&dedup_sort(
-                rmat(7, RmatParams::default(), seed).symmetrize(),
-            ));
-            g.sort_neighbors();
-            let mut cfg = TcConfig::new(2);
-            cfg.machine = machine(2, threads, &probe);
-            run_tc(&g, &cfg);
-        }
-        "ingest" => {
-            let ds = datagen::generate(250, 120, seed);
-            let mut cfg = IngestConfig::new(2);
-            cfg.machine = machine(2, threads, &probe);
-            run_ingest(&ds, &cfg);
-        }
-        "partial_match" => {
-            let ds = datagen::generate(200, 60, seed);
-            let mut cfg = PmConfig::new(8, vec![1, 2]);
-            cfg.machine = machine(2, threads, &probe);
-            cfg.batch = 16;
-            cfg.interval = 200;
-            cfg.feeders = 2;
-            run_partial_match(&ds.records, &cfg);
-        }
-        _ => unreachable!("validated in parse_opts"),
-    }
+    let probes = Probes {
+        probe: Some(probe.clone()),
+        race: None,
+        sanitize: true,
+    };
+    run_app(app, threads, seed, &probes);
     Analysis::of(app, &probe)
 }
 

@@ -1,0 +1,572 @@
+//! # udrace static layer — conflict-pair analysis over the event-flow graph
+//!
+//! The dynamic race probe ([`RaceProbe`](updown_sim::RaceProbe)) reports
+//! *observed* unordered conflicting accesses. This module adds the static
+//! half of `udrace`:
+//!
+//! 1. **May-race pre-pass**: handler pairs whose footprints touch the same
+//!    region (DRAM allocation or lane scratchpad) with at least one
+//!    plain-write access, and which have *no directed path either way* in
+//!    the udcheck event-flow graph. A send path is a happens-before proxy
+//!    (messages order their endpoints), so pairs without one *may* race
+//!    even when the instrumented run happened to order them.
+//! 2. **Instrumentation pruning** ([`conflicted_regions`]): the same
+//!    conflict test selects which regions are worth word-granular
+//!    monitoring; `udrace --prune` runs a cheap footprint-only pass first
+//!    and then monitors only conflicted regions.
+//!
+//! The flow-graph path test is a heuristic (it does not model barrier
+//! counts or operand-dependent joins), so may-race findings are warnings
+//! or infos, never errors; only dynamic sites are errors. Pruning inherits
+//! the same caveat — CI runs udrace unpruned.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use updown_sim::json::JsonWriter;
+use updown_sim::{RaceFilter, RaceKind, RaceProbe, RaceReport, Region};
+
+use crate::{EventFlowGraph, Finding, Severity};
+
+/// Human-readable name of a footprint region.
+pub fn region_str(r: Region) -> String {
+    match r {
+        Region::Dram(base) => format!("dram alloc {base:#x}"),
+        Region::Spm(lane) => format!("lane {lane} scratchpad"),
+    }
+}
+
+fn region_json(w: &mut JsonWriter, r: Region) {
+    w.begin_obj();
+    match r {
+        Region::Dram(base) => {
+            w.key("space").string("dram");
+            w.key("base").u64(base);
+        }
+        Region::Spm(lane) => {
+            w.key("space").string("spm");
+            w.key("lane").u64(lane as u64);
+        }
+    }
+    w.end_obj();
+}
+
+/// Per-label transitive reachability over the event-flow graph's send
+/// edges. Labels are few (tens), so dense BFS per node is fine.
+fn closure(graph: &EventFlowGraph) -> BTreeMap<u16, BTreeSet<u16>> {
+    let mut succ: BTreeMap<u16, BTreeSet<u16>> = BTreeMap::new();
+    for e in &graph.edges {
+        succ.entry(e.src).or_default().insert(e.dst);
+    }
+    let mut out = BTreeMap::new();
+    for n in &graph.nodes {
+        let mut seen = BTreeSet::new();
+        let mut work = vec![n.label];
+        while let Some(l) = work.pop() {
+            if let Some(next) = succ.get(&l) {
+                for &d in next {
+                    if seen.insert(d) {
+                        work.push(d);
+                    }
+                }
+            }
+        }
+        out.insert(n.label, seen);
+    }
+    out
+}
+
+/// Classification of one footprint pair sharing a region. `None` means the
+/// pair cannot race (reads only, or every write-class access on both sides
+/// is atomic-class — lane-serialized commutative RMW, which orders).
+fn pair_kind(
+    a: &updown_sim::Footprint,
+    b: &updown_sim::Footprint,
+) -> Option<RaceKind> {
+    let (aw, ar, aa) = (a.writes > 0, a.reads > 0, a.atomics > 0);
+    let (bw, br, ba) = (b.writes > 0, b.reads > 0, b.atomics > 0);
+    // Write-write: a plain write against any write-class access.
+    if (aw && (bw || ba)) || (bw && aa) {
+        return Some(RaceKind::WriteWrite);
+    }
+    // Read-write: a plain write (or atomic write, which still conflicts
+    // with plain accesses) against a plain read.
+    if (aw || aa) && br || (bw || ba) && ar {
+        return Some(RaceKind::ReadWrite);
+    }
+    None
+}
+
+/// The may-race pre-pass: footprint pairs sharing a region with a
+/// conflicting access mix and no directed flow-graph path either way.
+///
+/// Severity is drain-aware: an unordered write-write pair on a naturally
+/// drained run is a [`Warning`](Severity::Warning) (the program finished,
+/// but nothing orders those writes); read-write pairs and stopped runs
+/// soften to [`Info`](Severity::Info). Dynamic sites are the errors — see
+/// [`race_findings`].
+pub fn may_race(graph: &EventFlowGraph, report: &RaceReport) -> Vec<Finding> {
+    let reach = closure(graph);
+    let ordered = |a: u16, b: u16| -> bool {
+        reach.get(&a).is_some_and(|s| s.contains(&b))
+            || reach.get(&b).is_some_and(|s| s.contains(&a))
+    };
+    let mut by_region: BTreeMap<Region, Vec<&updown_sim::Footprint>> = BTreeMap::new();
+    for fp in &report.footprints {
+        by_region.entry(fp.region).or_default().push(fp);
+    }
+    let mut out = Vec::new();
+    for (&region, fps) in &by_region {
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                if a.handler == b.handler {
+                    continue; // same-handler parallelism is judged dynamically
+                }
+                let Some(kind) = pair_kind(a, b) else { continue };
+                if ordered(a.handler, b.handler) {
+                    continue;
+                }
+                let severity = match kind {
+                    RaceKind::WriteWrite if report.drained => Severity::Warning,
+                    _ => Severity::Info,
+                };
+                out.push(Finding {
+                    check: "may-race",
+                    severity,
+                    handler: report.handler_name(a.handler).to_string(),
+                    message: format!(
+                        "may {} race with '{}' on {}: both touch it ({} vs {} \
+                         write(s)) with no event-flow path between the handlers",
+                        kind.as_str(),
+                        report.handler_name(b.handler),
+                        region_str(region),
+                        a.writes,
+                        b.writes
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Dynamic race sites as error findings (attributed to the later access).
+pub fn race_findings(report: &RaceReport) -> Vec<Finding> {
+    report
+        .sites
+        .iter()
+        .map(|s| Finding {
+            check: "race",
+            severity: Severity::Error,
+            handler: s.current.clone(),
+            message: format!(
+                "{} {} race with '{}' on {}: {} (x{}, first at tick {} lane {})",
+                s.space.as_str(),
+                s.kind.as_str(),
+                s.prior,
+                region_str(s.region),
+                s.detail,
+                s.count,
+                s.first_tick,
+                s.lane
+            ),
+        })
+        .collect()
+}
+
+/// Regions worth word-granular monitoring: any region with a conflicting
+/// cross-handler footprint pair, plus regions plain-written by a handler
+/// that executed more than once (parallel instances of one handler are
+/// invisible to the pair test), plus every region with atomic-class
+/// accesses — those carry release-acquire edges (fetch-and-add barriers),
+/// so dropping them from the pruned pass would drop ordering the tracked
+/// regions depend on. Used by `udrace --prune` to filter the second,
+/// fully instrumented pass. Heuristic — see the module docs.
+pub fn conflicted_regions(graph: &EventFlowGraph, report: &RaceReport) -> RaceFilter {
+    let reach = closure(graph);
+    let ordered = |a: u16, b: u16| -> bool {
+        reach.get(&a).is_some_and(|s| s.contains(&b))
+            || reach.get(&b).is_some_and(|s| s.contains(&a))
+    };
+    let mut by_region: BTreeMap<Region, Vec<&updown_sim::Footprint>> = BTreeMap::new();
+    for fp in &report.footprints {
+        by_region.entry(fp.region).or_default().push(fp);
+    }
+    let mut filter = RaceFilter::default();
+    for (&region, fps) in &by_region {
+        let cross = fps.iter().enumerate().any(|(i, a)| {
+            fps[i + 1..].iter().any(|b| {
+                a.handler != b.handler
+                    && pair_kind(a, b).is_some()
+                    && !ordered(a.handler, b.handler)
+            })
+        });
+        let self_par = fps.iter().any(|f| {
+            f.writes > 0 && graph.node(f.handler).is_none_or(|n| n.executions > 1)
+        });
+        let sync_carrier = fps.iter().any(|f| f.atomics > 0);
+        if cross || self_par || sync_carrier {
+            match region {
+                Region::Dram(base) => {
+                    filter.dram.insert(base);
+                }
+                Region::Spm(lane) => {
+                    filter.spm.insert(lane);
+                }
+            }
+        }
+    }
+    filter
+}
+
+/// One app's udrace result: dynamic report + static findings, bundled for
+/// rendering (`udrace/v1`).
+#[derive(Clone, Debug)]
+pub struct RaceAnalysis {
+    pub app: String,
+    pub report: RaceReport,
+    pub findings: Vec<Finding>,
+}
+
+impl RaceAnalysis {
+    /// Bundle a finished run's race probe. When the run also carried a
+    /// protocol probe, pass its flow graph to enable the may-race pre-pass.
+    pub fn of(app: &str, probe: &RaceProbe, graph: Option<&EventFlowGraph>) -> RaceAnalysis {
+        let report = probe.snapshot();
+        let mut findings = race_findings(&report);
+        if let Some(g) = graph {
+            findings.extend(may_race(g, &report));
+        }
+        findings.sort_by(|a, b| {
+            (a.severity, a.check, &a.handler, &a.message).cmp(&(
+                b.severity,
+                b.check,
+                &b.handler,
+                &b.message,
+            ))
+        });
+        RaceAnalysis {
+            app: app.to_string(),
+            report,
+            findings,
+        }
+    }
+
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Clean = no dynamic race sites and no truncated sites. May-race
+    /// warnings/infos do not make a run unclean.
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean()
+    }
+
+    /// Append this run's `udrace/v1` object to a JSON writer (one element
+    /// of the document's `runs` array).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("app").string(&self.app);
+        w.key("drained").bool(self.report.drained);
+        w.key("clean").bool(self.is_clean());
+        w.key("accesses").u64(self.report.accesses);
+        w.key("words_tracked").u64(self.report.words_tracked);
+        w.key("sites").begin_arr();
+        for s in &self.report.sites {
+            w.begin_obj();
+            w.key("space").string(s.space.as_str());
+            w.key("kind").string(s.kind.as_str());
+            w.key("prior").string(&s.prior);
+            w.key("current").string(&s.current);
+            w.key("region");
+            region_json(w, s.region);
+            w.key("detail").string(&s.detail);
+            w.key("first_tick").u64(s.first_tick);
+            w.key("lane").u64(s.lane as u64);
+            w.key("count").u64(s.count);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("sites_truncated").u64(self.report.sites_truncated);
+        w.key("footprints").begin_arr();
+        for f in &self.report.footprints {
+            w.begin_obj();
+            w.key("handler").string(self.report.handler_name(f.handler));
+            w.key("region");
+            region_json(w, f.region);
+            w.key("reads").u64(f.reads);
+            w.key("writes").u64(f.writes);
+            w.key("atomics").u64(f.atomics);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("findings").begin_arr();
+        for f in &self.findings {
+            w.begin_obj();
+            w.key("check").string(f.check);
+            w.key("severity").string(f.severity.as_str());
+            w.key("handler").string(&f.handler);
+            w.key("message").string(&f.message);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+    }
+
+    /// Human-readable rendering (the CLI's default output).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "udrace: {}  ({} access(es) over {} word(s), {})\n",
+            self.app,
+            self.report.accesses,
+            self.report.words_tracked,
+            if self.report.drained {
+                "drained"
+            } else {
+                "stopped"
+            }
+        ));
+        if self.findings.is_empty() {
+            s.push_str("  races: none\n");
+        } else {
+            for f in &self.findings {
+                s.push_str(&format!("  {f}\n"));
+            }
+        }
+        if self.report.sites_truncated > 0 {
+            s.push_str(&format!(
+                "  warning: {} distinct race site(s) dropped past the site cap\n",
+                self.report.sites_truncated
+            ));
+        }
+        s
+    }
+}
+
+/// Render a full `udrace/v1` document over a set of analyses.
+pub fn render_race_document(analyses: &[RaceAnalysis]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("schema").string("udrace/v1");
+    let races: u64 = analyses.iter().map(|a| a.report.sites.len() as u64).sum();
+    w.key("races").u64(races);
+    w.key("clean").bool(analyses.iter().all(|a| a.is_clean()));
+    w.key("runs").begin_arr();
+    for a in analyses {
+        a.write_json(&mut w);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowEdge, FlowNode};
+    use updown_sim::{Footprint, RaceSite, RaceSpace};
+
+    fn graph(nodes: &[(u16, &str, u64)], edges: &[(u16, u16)]) -> EventFlowGraph {
+        EventFlowGraph {
+            nodes: nodes
+                .iter()
+                .map(|&(label, name, executions)| FlowNode {
+                    label,
+                    name: name.to_string(),
+                    executions,
+                    terminates: executions,
+                    spawns: 0,
+                    spm_alloc_words: 0,
+                })
+                .collect(),
+            edges: edges
+                .iter()
+                .map(|&(src, dst)| FlowEdge {
+                    src,
+                    dst,
+                    count: 1,
+                    argcs: vec![0],
+                    with_cont: 0,
+                    to_new: 0,
+                })
+                .collect(),
+        }
+    }
+
+    fn fp(handler: u16, region: Region, reads: u64, writes: u64, atomics: u64) -> Footprint {
+        Footprint {
+            handler,
+            region,
+            reads,
+            writes,
+            atomics,
+        }
+    }
+
+    fn report(names: &[&str], footprints: Vec<Footprint>, drained: bool) -> RaceReport {
+        RaceReport {
+            handler_names: names.iter().map(|s| s.to_string()).collect(),
+            footprints,
+            drained,
+            ..RaceReport::default()
+        }
+    }
+
+    #[test]
+    fn unconnected_writers_may_race_path_orders() {
+        let r = report(
+            &["a", "b"],
+            vec![
+                fp(0, Region::Dram(0x100), 0, 5, 0),
+                fp(1, Region::Dram(0x100), 0, 3, 0),
+            ],
+            true,
+        );
+        // No edges: write-write pair on a drained run is a warning.
+        let f = may_race(&graph(&[(0, "a", 1), (1, "b", 1)], &[]), &r);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].check, "may-race");
+        assert_eq!(f[0].severity, Severity::Warning);
+        assert!(f[0].message.contains("write-write"));
+
+        // A path in either direction orders the pair.
+        let f = may_race(&graph(&[(0, "a", 1), (1, "b", 1)], &[(0, 1)]), &r);
+        assert!(f.is_empty());
+        let f = may_race(&graph(&[(0, "a", 1), (1, "b", 1)], &[(1, 0)]), &r);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn transitive_paths_count_and_severity_tracks_drain_and_kind() {
+        let g = graph(&[(0, "a", 1), (1, "mid", 1), (2, "b", 1)], &[(0, 1), (1, 2)]);
+        let wr = |drained| {
+            report(
+                &["a", "mid", "b"],
+                vec![
+                    fp(0, Region::Dram(0x100), 0, 5, 0),
+                    fp(2, Region::Dram(0x100), 0, 3, 0),
+                ],
+                drained,
+            )
+        };
+        assert!(may_race(&g, &wr(true)).is_empty(), "a→mid→b orders the pair");
+
+        let disconnected = graph(&[(0, "a", 1), (2, "b", 1)], &[]);
+        assert_eq!(may_race(&disconnected, &wr(true))[0].severity, Severity::Warning);
+        assert_eq!(
+            may_race(&disconnected, &wr(false))[0].severity,
+            Severity::Info,
+            "stopped runs soften write-write to info"
+        );
+
+        let rw = report(
+            &["a", "mid", "b"],
+            vec![
+                fp(0, Region::Dram(0x100), 4, 0, 0),
+                fp(2, Region::Dram(0x100), 0, 3, 0),
+            ],
+            true,
+        );
+        let f = may_race(&disconnected, &rw);
+        assert_eq!(f[0].severity, Severity::Info, "read-write is info");
+        assert!(f[0].message.contains("read-write"));
+    }
+
+    #[test]
+    fn atomic_only_pairs_and_readers_do_not_conflict() {
+        let g = graph(&[(0, "a", 1), (1, "b", 1)], &[]);
+        // Both sides atomic-class: fetch-adds order, never race.
+        let r = report(
+            &["a", "b"],
+            vec![
+                fp(0, Region::Dram(0x100), 0, 0, 9),
+                fp(1, Region::Dram(0x100), 0, 0, 4),
+            ],
+            true,
+        );
+        assert!(may_race(&g, &r).is_empty());
+        // Read-only sharing is fine too.
+        let r = report(
+            &["a", "b"],
+            vec![
+                fp(0, Region::Dram(0x100), 9, 0, 0),
+                fp(1, Region::Dram(0x100), 4, 0, 0),
+            ],
+            true,
+        );
+        assert!(may_race(&g, &r).is_empty());
+        // But an atomic writer against a plain reader conflicts.
+        let r = report(
+            &["a", "b"],
+            vec![
+                fp(0, Region::Dram(0x100), 0, 0, 9),
+                fp(1, Region::Dram(0x100), 4, 0, 0),
+            ],
+            true,
+        );
+        assert_eq!(may_race(&g, &r).len(), 1);
+    }
+
+    #[test]
+    fn conflicted_regions_select_cross_pairs_and_parallel_writers() {
+        let g = graph(&[(0, "a", 1), (1, "b", 1), (2, "par", 8)], &[(0, 1)]);
+        let r = report(
+            &["a", "b", "par"],
+            vec![
+                // a→b path: ordered, not conflicted.
+                fp(0, Region::Dram(0x100), 0, 5, 0),
+                fp(1, Region::Dram(0x100), 0, 3, 0),
+                // Parallel handler writing alone: conflicted (self-parallel).
+                fp(2, Region::Dram(0x200), 0, 9, 0),
+                // Single-execution handler writing alone: not conflicted.
+                fp(0, Region::Dram(0x300), 0, 2, 0),
+                // Scratchpad region with an unordered cross pair.
+                fp(1, Region::Spm(3), 0, 1, 0),
+                fp(2, Region::Spm(3), 2, 0, 0),
+            ],
+            true,
+        );
+        let filter = conflicted_regions(&g, &r);
+        assert!(!filter.dram.contains(&0x100));
+        assert!(filter.dram.contains(&0x200));
+        assert!(!filter.dram.contains(&0x300));
+        assert!(filter.spm.contains(&3));
+    }
+
+    #[test]
+    fn dynamic_sites_are_errors_and_unclean() {
+        let mut r = report(&["w1", "w2"], vec![], true);
+        r.sites.push(RaceSite {
+            space: RaceSpace::Dram,
+            kind: RaceKind::WriteWrite,
+            prior: "w1".into(),
+            current: "w2".into(),
+            region: Region::Dram(0x100),
+            detail: "dram word 0x100: write at tick 3 vs write at tick 7 (unordered)".into(),
+            first_tick: 7,
+            lane: 0,
+            count: 2,
+        });
+        let probe = RaceProbe::new();
+        let _ = probe; // findings built straight from the report here
+        let findings = race_findings(&r);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].check, "race");
+        assert_eq!(findings[0].severity, Severity::Error);
+        assert!(findings[0].message.contains("'w1'"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn race_document_is_parseable_and_tagged() {
+        let probe = RaceProbe::new();
+        let a = RaceAnalysis::of("unit", &probe, None);
+        let doc = render_race_document(&[a]);
+        let v = updown_sim::json::JsonValue::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("udrace/v1"));
+        assert_eq!(v.get("clean"), Some(&updown_sim::json::JsonValue::Bool(true)));
+    }
+}

@@ -10,13 +10,13 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline_compare -- [--scale 14]
-//!     [--nodes 16] [--seed 0] [--threads 1] [--sanitize] [--trace out.trace.json]
+//!     [--nodes 16] [--seed 0] [--threads 1] [--sanitize] [--race] [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine, bench_machine_threads, Cli, Exporter, Sanitizer};
+use bench::{bench_machine, bench_machine_threads, Cli, Exporter, RaceGate, Sanitizer};
 use updown_apps::baseline;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -32,6 +32,7 @@ fn main() {
     let seed: u64 = cli.get("seed", 0);
     let sim_threads: u32 = cli.get("threads", 1).max(1);
     let san = Sanitizer::from_cli(&cli);
+    let rg = RaceGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
     let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
 
@@ -59,6 +60,7 @@ fn main() {
     let mut pc = PrConfig::new(nodes);
     pc.machine = bench_machine_threads(nodes, sim_threads);
     san.arm("pr", &mut pc.machine);
+    rg.arm("pr", &mut pc.machine);
     pc.iterations = 2;
     pc.trace = ex.want_trace();
     let pr = run_pagerank(&sg, &pc);
@@ -84,6 +86,7 @@ fn main() {
     let mut bc = BfsConfig::new(nodes, 0);
     bc.machine = bench_machine_threads(nodes, sim_threads);
     san.arm("bfs", &mut bc.machine);
+    rg.arm("bfs", &mut bc.machine);
     let bfs = run_bfs(&gu, &bc);
     assert_eq!(bfs.dist, algorithms::bfs(&gu, 0));
     let ud_gteps = bfs.gteps(&bc.machine);
@@ -102,6 +105,7 @@ fn main() {
     let mut tcfg = TcConfig::new(nodes);
     tcfg.machine = bench_machine_threads(nodes, sim_threads);
     san.arm("tc", &mut tcfg.machine);
+    rg.arm("tc", &mut tcfg.machine);
     let tc = run_tc(&gu, &tcfg);
     let ud_eps = gu.m() as f64 / tcfg.machine.ticks_to_seconds(tc.final_tick) / 1e9;
     let (host_tc, host_secs) = baseline::time(|| baseline::tc_parallel(&gu, threads));
@@ -119,5 +123,8 @@ fn main() {
          512-node runs report 39,617 GUPS (PR) and 35,700 GTEPS (BFS) vs\n\
          Perlmutter/EOS — the shape to reproduce is the orders-of-magnitude gap)"
     );
-    san.exit_if_dirty();
+    let dirty = san.dirty();
+    if rg.dirty() || dirty {
+        std::process::exit(1);
+    }
 }

@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure10 -- [--nodes 32]
-//!     [--base-records 20000] [--seed 0] [--threads 1] [--full] [--sanitize]
+//!     [--base-records 20000] [--seed 0] [--threads 1] [--full] [--sanitize] [--race]
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{bench_machine_threads, node_sweep, Cli, Sanitizer, StdOpts};
+use bench::{bench_machine_threads, node_sweep, Cli, RaceGate, Sanitizer, StdOpts};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -19,6 +19,7 @@ fn main() {
     let base: usize = cli.get("base-records", if full { 400_000 } else { 60_000 });
     let nodes = node_sweep(opts.max_nodes);
     let san = Sanitizer::from_cli(&cli);
+    let rg = RaceGate::from_cli(&cli);
     let mut ex = opts.exporter;
 
     println!("Figure 10 reproduction — ingestion scaling (records = {base} x multiplier)");
@@ -35,6 +36,7 @@ fn main() {
             let mut cfg = IngestConfig::new(n);
             cfg.machine = bench_machine_threads(n, opts.threads);
             san.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
+            rg.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_ingest(&ds, &cfg);
@@ -57,5 +59,8 @@ fn main() {
         "\n(the paper reports 76.8 TB/s at 256 full nodes; the shape to match is\n\
          small datasets saturating early and large ones scaling further)"
     );
-    san.exit_if_dirty();
+    let dirty = san.dirty();
+    if rg.dirty() || dirty {
+        std::process::exit(1);
+    }
 }

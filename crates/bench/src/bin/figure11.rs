@@ -4,11 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure11 -- [--records 4000] [--seed 0]
-//!     [--threads 1] [--full] [--sanitize] [--trace out.trace.json]
+//!     [--threads 1] [--full] [--sanitize] [--race] [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{Cli, Exporter, Sanitizer, BENCH_ACCELS, BENCH_LANES};
+use bench::{Cli, Exporter, RaceGate, Sanitizer, BENCH_ACCELS, BENCH_LANES};
 use updown_apps::ingest::datagen;
 use updown_apps::partial_match::{run_partial_match, sequential_matches, PmConfig};
 use updown_sim::MachineConfig;
@@ -20,6 +20,7 @@ fn main() {
     let seed: u64 = cli.get("seed", 0);
     let threads: u32 = cli.get("threads", 1).max(1);
     let san = Sanitizer::from_cli(&cli);
+    let rg = RaceGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
     let lanes_per_node = BENCH_ACCELS * BENCH_LANES;
 
@@ -48,6 +49,7 @@ fn main() {
         cfg.machine = MachineConfig::small(nodes, BENCH_ACCELS, BENCH_LANES);
         cfg.machine.threads = threads;
         san.arm(&format!("pm {label}"), &mut cfg.machine);
+        rg.arm(&format!("pm {label}"), &mut cfg.machine);
         cfg.batch = cli.get("batch", 96);
         cfg.interval = cli.get("interval", 32);
         cfg.feeders = 8;
@@ -76,5 +78,8 @@ fn main() {
         );
     }
     println!("\n(the paper's Table 12: speedups 1.00 / 3.34 / 5.56 / 10.42)");
-    san.exit_if_dirty();
+    let dirty = san.dirty();
+    if rg.dirty() || dirty {
+        std::process::exit(1);
+    }
 }

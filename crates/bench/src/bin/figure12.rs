@@ -5,13 +5,13 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure12 -- [--nodes 64] [--seed 0]
-//!     [--threads 1] [--full] [--sanitize] [--trace out.trace.json]
+//!     [--threads 1] [--full] [--sanitize] [--race] [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine_threads, prepared, Cli, Exporter, Sanitizer};
+use bench::{bench_machine_threads, prepared, Cli, Exporter, RaceGate, Sanitizer};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
@@ -25,6 +25,7 @@ fn main() {
     let seed: u64 = cli.get("seed", 0);
     let threads: u32 = cli.get("threads", 1).max(1);
     let san = Sanitizer::from_cli(&cli);
+    let rg = RaceGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
@@ -46,6 +47,7 @@ fn main() {
         let mut pc = PrConfig::new(compute_nodes);
         pc.machine = bench_machine_threads(compute_nodes, threads);
         san.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
+        rg.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
         pc.mem_nodes = Some(mem);
         pc.iterations = 1;
         pc.trace = ex.want_trace();
@@ -55,6 +57,7 @@ fn main() {
         let mut bc = BfsConfig::new(compute_nodes, 0);
         bc.machine = bench_machine_threads(compute_nodes, threads);
         san.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
+        rg.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
         bc.mem_nodes = Some(mem);
         let bfs = run_bfs(&g, &bc);
 
@@ -77,5 +80,8 @@ fn main() {
          tapering as memory stops being the bottleneck; BFS shows the same \
          trend less pronounced)"
     );
-    san.exit_if_dirty();
+    let dirty = san.dirty();
+    if rg.dirty() || dirty {
+        std::process::exit(1);
+    }
 }

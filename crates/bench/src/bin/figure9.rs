@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
 //!     [--nodes 32] [--scale 0] [--seed 0] [--iters 2] [--threads 1] [--full]
-//!     [--sanitize] [--trace out.trace.json] [--metrics-json out.metrics.json]
+//!     [--sanitize] [--race] [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 //!
 //! `--full` raises the sweep to 256 nodes (TC: 1024) and the graphs by two
@@ -15,13 +15,14 @@
 
 use bench::{
     bench_machine_threads, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli,
-    Exporter, Sanitizer, StdOpts,
+    Exporter, RaceGate, Sanitizer, StdOpts,
 };
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_apps::tc::{run_tc, TcConfig};
 
+#[allow(clippy::too_many_arguments)]
 fn pr_sweep(
     shift: i32,
     seed: u64,
@@ -30,6 +31,7 @@ fn pr_sweep(
     iters: u32,
     ex: &mut Exporter,
     san: &Sanitizer,
+    rg: &RaceGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
@@ -40,6 +42,7 @@ fn pr_sweep(
             let mut cfg = PrConfig::new(n);
             cfg.machine = bench_machine_threads(n, threads);
             san.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
+            rg.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             cfg.iterations = iters;
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
@@ -59,6 +62,7 @@ fn pr_sweep(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bfs_sweep(
     shift: i32,
     seed: u64,
@@ -66,6 +70,7 @@ fn bfs_sweep(
     nodes: &[u32],
     ex: &mut Exporter,
     san: &Sanitizer,
+    rg: &RaceGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
@@ -75,6 +80,7 @@ fn bfs_sweep(
             let mut cfg = BfsConfig::new(n, 0);
             cfg.machine = bench_machine_threads(n, threads);
             san.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
+            rg.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_bfs(&g, &cfg);
@@ -94,6 +100,7 @@ fn bfs_sweep(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn tc_sweep(
     shift: i32,
     seed: u64,
@@ -101,6 +108,7 @@ fn tc_sweep(
     nodes: &[u32],
     ex: &mut Exporter,
     san: &Sanitizer,
+    rg: &RaceGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     // TC is intersection-heavy: drop the graphs three scales relative to
@@ -113,6 +121,7 @@ fn tc_sweep(
             let mut cfg = TcConfig::new(n);
             cfg.machine = bench_machine_threads(n, threads);
             san.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
+            rg.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_tc(&g, &cfg);
@@ -146,6 +155,7 @@ fn main() {
     let iters: u32 = cli.get("iters", 2);
     let nodes = node_sweep(opts.max_nodes);
     let san = Sanitizer::from_cli(&cli);
+    let rg = RaceGate::from_cli(&cli);
     let mut ex = opts.exporter;
 
     println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
@@ -165,6 +175,7 @@ fn main() {
             iters,
             &mut ex,
             &san,
+            &rg,
         );
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
@@ -173,7 +184,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, &mut ex, &san);
+        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, &mut ex, &san, &rg);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -182,12 +193,15 @@ fn main() {
     }
     if which == "tc" || which == "all" {
         let tc_nodes = node_sweep(if opts.full { 1024 } else { opts.max_nodes });
-        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, &tc_nodes, &mut ex, &san);
+        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, &tc_nodes, &mut ex, &san, &rg);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",
             &series,
         );
     }
-    san.exit_if_dirty();
+    let dirty = san.dirty();
+    if rg.dirty() || dirty {
+        std::process::exit(1);
+    }
 }

@@ -7,7 +7,7 @@
 //! ```text
 //! cargo run --release -p bench --bin par_speedup -- [--nodes 64]
 //!     [--scale 13] [--seed 0] [--iters 1] [--threads 1,2,4]
-//!     [--min-speedup 0] [--sanitize]
+//!     [--min-speedup 0] [--sanitize] [--race]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale and `--threads` a
@@ -16,7 +16,7 @@
 //! exit non-zero when the best parallel speedup falls short — the
 //! acceptance gate used by CI.
 
-use bench::{bench_machine_threads, Cli, Sanitizer};
+use bench::{bench_machine_threads, Cli, RaceGate, Sanitizer};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
 use updown_graph::preprocess::split_and_shuffle;
@@ -36,6 +36,7 @@ fn main() {
         .collect();
     let min_speedup: f64 = cli.get("min-speedup", 0.0);
     let san = Sanitizer::from_cli(&cli);
+    let rg = RaceGate::from_cli(&cli);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
     let (sg, _) = split_and_shuffle(&el, 512, 7);
@@ -49,6 +50,7 @@ fn main() {
         let mut cfg = PrConfig::new(nodes);
         cfg.machine = bench_machine_threads(nodes, threads);
         san.arm(&format!("pr threads={threads}"), &mut cfg.machine);
+        rg.arm(&format!("pr threads={threads}"), &mut cfg.machine);
         cfg.iterations = iters;
         let t0 = std::time::Instant::now();
         let r = run_pagerank(&sg, &cfg);
@@ -102,5 +104,8 @@ fn main() {
         );
         println!("\nbest speedup {best:.2}x >= required {min_speedup:.2}x");
     }
-    san.exit_if_dirty();
+    let dirty = san.dirty();
+    if rg.dirty() || dirty {
+        std::process::exit(1);
+    }
 }

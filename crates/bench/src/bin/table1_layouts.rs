@@ -2,9 +2,9 @@
 //! Table 1 demonstration: the four canonical DRAMmalloc layouts, showing
 //! the node placement each translation descriptor produces.
 //!
-//! `cargo run --release -p bench --bin table1_layouts [--sanitize]`
+//! `cargo run --release -p bench --bin table1_layouts [--sanitize] [--race]`
 
-use bench::{Cli, Sanitizer};
+use bench::{Cli, RaceGate, Sanitizer};
 use drammalloc::{dram_malloc_layout, Layout};
 use updown_sim::{Engine, MachineConfig, VAddr};
 
@@ -19,9 +19,12 @@ fn show(eng: &Engine, name: &str, base: VAddr, probes: &[u64]) {
 
 fn main() {
     println!("Table 1 reproduction — DRAMmalloc layouts (16-node machine, scaled)\n");
-    let san = Sanitizer::from_cli(&Cli::parse());
+    let cli = Cli::parse();
+    let san = Sanitizer::from_cli(&cli);
+    let rg = RaceGate::from_cli(&cli);
     let mut cfg = MachineConfig::small(16, 1, 1);
     san.arm("layouts", &mut cfg);
+    rg.arm("layouts", &mut cfg);
     let mut eng = Engine::new(cfg);
 
     let a = dram_malloc_layout(&mut eng, 64 * 4096, Layout::cyclic(16)).unwrap();
@@ -39,5 +42,8 @@ fn main() {
 
     println!("\n(each number is the physical node owning consecutive blocks of the");
     println!(" virtual region — one translation descriptor per allocation)");
-    san.exit_if_dirty();
+    let dirty = san.dirty();
+    if rg.dirty() || dirty {
+        std::process::exit(1);
+    }
 }

@@ -3,7 +3,7 @@
 //! abstractions, counted from this repository and set against the paper's
 //! UDWeave numbers.
 //!
-//! `cargo run --release -p bench --bin table5_loc [--sanitize]`
+//! `cargo run --release -p bench --bin table5_loc [--sanitize] [--race]`
 //! (`--sanitize` is accepted for CLI uniformity; this binary runs no
 //! simulation, so there is nothing to sanitize)
 
@@ -36,6 +36,9 @@ fn loc(path: &str) -> u64 {
 fn main() {
     if std::env::args().any(|a| a == "--sanitize") {
         eprintln!("table5_loc: --sanitize accepted, but this binary runs no simulation");
+    }
+    if std::env::args().any(|a| a == "--race") {
+        eprintln!("table5_loc: --race accepted, but this binary runs no simulation");
     }
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| format!("{d}/../.."))

@@ -8,7 +8,7 @@
 //! gets traced and exported — enough to inspect one representative run in
 //! `chrome://tracing` without multi-gigabyte outputs.
 
-use updown_sim::{MachineConfig, Metrics, ProtocolProbe};
+use updown_sim::{MachineConfig, Metrics, ProtocolProbe, RaceProbe};
 
 /// Minimal flag parsing: `--key value` pairs plus positional args.
 pub struct Cli {
@@ -80,6 +80,9 @@ pub struct StdOpts {
     /// `--sanitize`: arm the runtime protocol sanitizer on every run
     /// (see [`Sanitizer`] and docs/udcheck.md).
     pub sanitize: bool,
+    /// `--race`: arm the happens-before race detector on every run
+    /// (see [`RaceGate`] and docs/udrace.md).
+    pub race: bool,
     /// `--trace <path>` / `--metrics-json <path>` exporter.
     pub exporter: Exporter,
 }
@@ -108,6 +111,7 @@ impl StdOpts {
             threads: cli.get("threads", 1).max(1),
             full,
             sanitize: cli.has("sanitize"),
+            race: cli.has("race"),
             exporter: Exporter::from_cli(cli),
         }
     }
@@ -177,6 +181,79 @@ impl Sanitizer {
     }
 
     /// Tail-of-`main` helper: report and exit non-zero on violations.
+    pub fn exit_if_dirty(&self) {
+        if self.dirty() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--race` support for the figure binaries: arms every simulated run
+/// with a fresh [`RaceProbe`] (the happens-before race detector, see
+/// docs/udrace.md), then reports every unordered conflicting access pair
+/// at the end of `main`. Like the sanitizer, the probe has zero observer
+/// effect: simulated results and metrics are unchanged.
+pub struct RaceGate {
+    enabled: bool,
+    runs: std::sync::Mutex<Vec<(String, RaceProbe)>>,
+}
+
+impl RaceGate {
+    pub fn from_cli(cli: &Cli) -> RaceGate {
+        RaceGate {
+            enabled: cli.has("race"),
+            runs: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Arm `cfg` with a fresh race probe when `--race` was given; `label`
+    /// names the run in the final report.
+    pub fn arm(&self, label: &str, cfg: &mut MachineConfig) {
+        if !self.enabled {
+            return;
+        }
+        let probe = RaceProbe::new();
+        cfg.race = Some(probe.clone());
+        self.runs.lock().unwrap().push((label.to_string(), probe));
+    }
+
+    /// Print every race site recorded across the armed runs to stderr;
+    /// returns whether any run reported a race (or overflowed the site
+    /// cap, which hides potential races).
+    pub fn dirty(&self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let runs = self.runs.lock().unwrap();
+        let mut dirty = false;
+        for (label, probe) in runs.iter() {
+            let r = probe.snapshot();
+            for s in &r.sites {
+                dirty = true;
+                eprintln!(
+                    "udrace[{label}] '{}' races with '{}': {} (x{}, first at tick {} lane {})",
+                    s.current, s.prior, s.detail, s.count, s.first_tick, s.lane
+                );
+            }
+            if r.sites_truncated > 0 {
+                dirty = true;
+                eprintln!(
+                    "udrace[{label}] warning: {} distinct site(s) dropped past the site cap",
+                    r.sites_truncated
+                );
+            }
+        }
+        if !dirty {
+            eprintln!("udrace: {} run(s), no races", runs.len());
+        }
+        dirty
+    }
+
+    /// Tail-of-`main` helper: report and exit non-zero on races.
     pub fn exit_if_dirty(&self) {
         if self.dirty() {
             std::process::exit(1);

@@ -12,7 +12,7 @@
 pub mod cli;
 pub mod timing;
 
-pub use cli::{Cli, Exporter, Sanitizer, StdOpts};
+pub use cli::{Cli, Exporter, RaceGate, Sanitizer, StdOpts};
 
 use updown_graph::generators::{erdos_renyi, forest_fire, rmat, RmatParams};
 use updown_graph::preprocess::dedup_sort;

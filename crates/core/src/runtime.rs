@@ -137,6 +137,13 @@ struct Inner {
     reduce_counts: BTreeMap<(u32, u32), u64>,
 }
 
+/// `race_order` token space for the reduce-completion poll protocol:
+/// `reduce_done` bumps a host-side per-(job, lane) counter that
+/// `poll_probe` reads, a lane-serialized exchange the race probe cannot
+/// see through the `Mutex`. Both sides order on `RACE_TOKEN_KV | job`
+/// ("KV" in the high bytes); see docs/udrace.md.
+const RACE_TOKEN_KV: u64 = 0x4B56_0000_0000_0000;
+
 #[derive(Clone, Copy)]
 struct Labels {
     start: EventLabel,
@@ -445,6 +452,7 @@ impl Kvmsr {
             let inner = inner.clone();
             udweave::simple_event(eng, "kvmsr::poll_probe", move |ctx| {
                 let job = ctx.arg(0) as u32;
+                ctx.race_order(RACE_TOKEN_KV | job as u64);
                 let count = inner
                     .lock().unwrap()
                     .reduce_counts
@@ -681,6 +689,7 @@ impl Kvmsr {
     /// Retire an async reduce task (the wrapper does it for
     /// [`Outcome::Done`] reduces).
     pub fn reduce_done(&self, ctx: &mut EventCtx<'_>, job: JobId) {
+        ctx.race_order(RACE_TOKEN_KV | job.0 as u64);
         let mut inner = self.inner.lock().unwrap();
         *inner.reduce_counts.entry((job.0, ctx.nwid().0)).or_insert(0) += 1;
         ctx.charge(1);

@@ -90,6 +90,14 @@ struct Inner {
     tables: Vec<ShtDef>,
 }
 
+/// `race_order` token space for SHT bucket operations: every op for a
+/// key routes to the owning lane and applies against the host-side
+/// shadow under a `Mutex`, a lane-serialized exchange the race probe
+/// cannot see. Both `sht::op` and `sht::op_fin` order on
+/// `RACE_TOKEN_SH | sht_id` ("SH" in the high bytes); see
+/// docs/udrace.md.
+const RACE_TOKEN_SH: u64 = 0x5348_0000_0000_0000;
+
 /// The installed SHT library (shared handlers for all tables).
 #[derive(Clone)]
 pub struct ShtLib {
@@ -115,6 +123,7 @@ impl ShtLib {
         let fin = {
             let inner = inner.clone();
             udweave::event::<Pending>(eng, "sht::op_fin", move |ctx, st| {
+                ctx.race_order(RACE_TOKEN_SH | st.sht as u64);
                 let mut inn = inner.lock().unwrap();
                 let t = &mut inn.tables[st.sht as usize];
                 let op = ShtOp::from_u64(st.op);
@@ -195,6 +204,7 @@ impl ShtLib {
                     value: ctx.arg(3),
                     reply_raw: ctx.cont().raw(),
                 };
+                ctx.race_order(RACE_TOKEN_SH | st.sht as u64);
                 let (va, words) = {
                     let inn = inner.lock().unwrap();
                     let t = &inn.tables[st.sht as usize];

@@ -8,6 +8,7 @@
 
 use crate::ids::NetworkId;
 use crate::probe::ProtocolProbe;
+use crate::race::RaceProbe;
 
 /// Per-operation lane costs in cycles (Table 2 of the paper).
 #[derive(Clone, Debug)]
@@ -128,6 +129,9 @@ pub struct MachineConfig {
     /// Optional protocol recording shared with the caller; see
     /// [`ProtocolProbe`]. Recording has zero observer effect.
     pub probe: Option<ProtocolProbe>,
+    /// Optional happens-before race recording (`--race` on the bench
+    /// bins); see [`RaceProbe`]. Recording has zero observer effect.
+    pub race: Option<RaceProbe>,
 }
 
 impl Default for MachineConfig {
@@ -145,6 +149,7 @@ impl Default for MachineConfig {
             threads: 1,
             sanitize: false,
             probe: None,
+            race: None,
         }
     }
 }
@@ -214,6 +219,12 @@ impl MachineConfigBuilder {
     /// Attach a protocol recording (see [`MachineConfig::probe`]).
     pub fn probe(mut self, probe: ProtocolProbe) -> Self {
         self.cfg.probe = Some(probe);
+        self
+    }
+
+    /// Attach a race recording (see [`MachineConfig::race`]).
+    pub fn race(mut self, race: RaceProbe) -> Self {
+        self.cfg.race = Some(race);
         self
     }
 

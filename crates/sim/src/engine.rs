@@ -41,6 +41,7 @@ use crate::memory::{GlobalMemory, MemChannels, VAddr};
 use crate::message::Message;
 use crate::network::Nics;
 use crate::probe::{DiagKind, Diagnostic, ProtocolProbe};
+use crate::race::{RaceAccess, RaceExec, ThreadKey};
 use crate::sched::{Parallel, Scheduler, Sequential};
 use crate::stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
 use crate::trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
@@ -125,12 +126,14 @@ enum Action {
     LaneRun(u32),
     /// Request has arrived at the owning node's memory channel.
     /// `trace_id` correlates the stages of one transaction in the event
-    /// trace; 0 when tracing is off.
+    /// trace; 0 when tracing is off. `race` is the issuer's race context
+    /// when a [`RaceProbe`] is attached.
     MemArrive {
         op: MemOp,
         src_node: u32,
         owner: u32,
         trace_id: u64,
+        race: Option<RaceAccess>,
     },
     /// Channel service complete (memory already updated); send the
     /// response back.
@@ -139,6 +142,7 @@ enum Action {
         src_node: u32,
         owner: u32,
         trace_id: u64,
+        race: Option<RaceAccess>,
     },
     /// Response arrived back at the issuing shard: deliver the reply.
     MemDone {
@@ -189,24 +193,28 @@ enum Outgoing {
         nwords: u8,
         ret: EventWord,
         tag: Option<u64>,
+        race: Option<RaceAccess>,
     },
     DramWrite {
         va: VAddr,
         words: Vec<u64>,
         ack: Option<EventWord>,
         tag: Option<u64>,
+        race: Option<RaceAccess>,
     },
     AtomicAddU64 {
         va: VAddr,
         delta: u64,
         ret: Option<EventWord>,
         tag: Option<u64>,
+        race: Option<RaceAccess>,
     },
     AtomicAddF64 {
         va: VAddr,
         delta: f64,
         ret: Option<EventWord>,
         tag: Option<u64>,
+        race: Option<RaceAccess>,
     },
 }
 
@@ -339,7 +347,15 @@ impl EngineCore {
     /// Issue a DRAM transaction at `t` from `src`: reserve the source NIC
     /// (remote targets) and route the channel-arrival stage to the owning
     /// shard.
-    fn dram_issue(&mut self, shared: &Shared, t: u64, src: NetworkId, va: VAddr, op: MemOp) {
+    fn dram_issue(
+        &mut self,
+        shared: &Shared,
+        t: u64,
+        src: NetworkId,
+        va: VAddr,
+        op: MemOp,
+        race: Option<RaceAccess>,
+    ) {
         let owner = match shared.mem.owner_node(va) {
             Ok(n) => n,
             Err(e) => panic!("DRAM access fault from lane {}: {e} ({va:?})", src.0),
@@ -362,6 +378,7 @@ impl EngineCore {
                     src_node,
                     owner,
                     trace_id,
+                    race,
                 },
             );
         } else {
@@ -373,6 +390,7 @@ impl EngineCore {
                     src_node,
                     owner,
                     trace_id,
+                    race,
                 },
             );
         }
@@ -441,6 +459,7 @@ impl EngineCore {
                 src_node,
                 owner,
                 trace_id,
+                race,
             } => {
                 let now = self.now;
                 let bytes = op.bytes();
@@ -462,6 +481,7 @@ impl EngineCore {
                         src_node,
                         owner,
                         trace_id,
+                        race,
                     },
                 );
             }
@@ -470,6 +490,7 @@ impl EngineCore {
                 src_node,
                 owner,
                 trace_id,
+                race,
             } => {
                 let now = self.now;
                 let bytes = op.bytes();
@@ -484,10 +505,24 @@ impl EngineCore {
                         write,
                     });
                 }
+                // Record the access for race detection here: channel
+                // service order on the owning shard is the deterministic
+                // serialization point for this word's state. Atomic ops
+                // hand back an acquired clock for the reply to carry.
+                let mut race_acquired = None;
+                if let (Some(rp), Some(acc)) = (&shared.cfg.race, &race) {
+                    let (va, nwords, atomic, is_wr) = match &op {
+                        MemOp::Read { va, nwords, .. } => (*va, *nwords as u32, false, false),
+                        MemOp::Write { va, words, .. } => (*va, words.len() as u32, false, true),
+                        MemOp::AddU64 { va, .. } | MemOp::AddF64 { va, .. } => (*va, 1, true, true),
+                    };
+                    let base = shared.mem.descriptor(va).map(|d| d.base.0).unwrap_or(va.0);
+                    race_acquired = rp.record_dram(acc, va, base, nwords, atomic, is_wr, now);
+                }
                 // Apply the memory effect now, on the owning shard: channel
                 // service order is the deterministic serialization point
                 // for all accesses to this node's memory.
-                let reply = match op {
+                let mut reply = match op {
                     MemOp::Read {
                         va,
                         nwords,
@@ -558,6 +593,14 @@ impl EngineCore {
                         })
                     }
                 };
+                // The reply carries the issuer's clock so replies order
+                // with the issue (write -> ack -> send -> read chains);
+                // an atomic's reply carries the acquired clock instead,
+                // ordering the issuer after every earlier fetch-and-add
+                // on the word (barrier release-acquire).
+                if let (Some(acc), Some(m)) = (&race, reply.as_mut()) {
+                    m.race = Some(race_acquired.take().unwrap_or_else(|| acc.clock.clone()));
+                }
                 let resp = MemResp {
                     reply,
                     bytes,
@@ -680,6 +723,16 @@ impl EngineCore {
             }
         }
         let created_by = lane.threads.created_by(tid);
+        // Race detection: join the message's clock into the thread, bump
+        // its epoch, and snapshot once for every effect of this execution.
+        let race_exec = shared.cfg.race.as_ref().map(|rp| {
+            let key = ThreadKey {
+                lane: l,
+                tid: tid.0,
+                gen: lane.threads.generation(tid),
+            };
+            rp.begin_event(key, msg.race.as_ref())
+        });
         let state = lane
             .threads
             .state_mut(tid)
@@ -712,6 +765,7 @@ impl EngineCore {
             stopped: false,
             created_by,
             cont_read: Cell::new(false),
+            race: race_exec,
         };
         f(&mut ctx);
 
@@ -722,6 +776,7 @@ impl EngineCore {
             state,
             stopped,
             cont_read,
+            race: race_exec,
             ..
         } = ctx;
 
@@ -781,6 +836,9 @@ impl EngineCore {
                 lane.inbox.push_front(parked);
             }
             self.stats.threads_terminated += 1;
+            if let (Some(rp), Some(r)) = (&shared.cfg.race, &race_exec) {
+                rp.end_thread(r.key);
+            }
         } else {
             *self.lanes[li]
                 .threads
@@ -838,6 +896,7 @@ impl EngineCore {
                     nwords,
                     ret,
                     tag,
+                    race,
                 } => {
                     self.stats.dram_reads += 1;
                     self.stats.dram_read_bytes += nwords as u64 * 8;
@@ -852,6 +911,7 @@ impl EngineCore {
                             ret,
                             tag,
                         },
+                        race,
                     );
                 }
                 Outgoing::DramWrite {
@@ -859,6 +919,7 @@ impl EngineCore {
                     words,
                     ack,
                     tag,
+                    race,
                 } => {
                     self.stats.dram_writes += 1;
                     self.stats.dram_write_bytes += words.len() as u64 * 8;
@@ -873,6 +934,7 @@ impl EngineCore {
                             ack,
                             tag,
                         },
+                        race,
                     );
                 }
                 Outgoing::AtomicAddU64 {
@@ -880,20 +942,22 @@ impl EngineCore {
                     delta,
                     ret,
                     tag,
+                    race,
                 } => {
                     self.stats.dram_writes += 1;
                     self.stats.dram_write_bytes += 8;
-                    self.dram_issue(shared, t_end, src, va, MemOp::AddU64 { va, delta, ret, tag });
+                    self.dram_issue(shared, t_end, src, va, MemOp::AddU64 { va, delta, ret, tag }, race);
                 }
                 Outgoing::AtomicAddF64 {
                     va,
                     delta,
                     ret,
                     tag,
+                    race,
                 } => {
                     self.stats.dram_writes += 1;
                     self.stats.dram_write_bytes += 8;
-                    self.dram_issue(shared, t_end, src, va, MemOp::AddF64 { va, delta, ret, tag });
+                    self.dram_issue(shared, t_end, src, va, MemOp::AddF64 { va, delta, ret, tag }, race);
                 }
             }
         }
@@ -1234,7 +1298,10 @@ impl Engine {
             l.0,
             self.shared.cfg.total_lanes()
         );
-        let msg = Message::new(dst, args, cont, NetworkId(0));
+        let mut msg = Message::new(dst, args, cont, NetworkId(0));
+        // Host sends are ordered with each other and after every prior
+        // completed run; the executions they spawn stay mutually unordered.
+        msg.race = self.shared.cfg.race.as_ref().map(|rp| rp.host_send());
         let t = self.now();
         let node = self.shared.cfg.node_of(l);
         self.shards[node as usize].deliver(t, msg);
@@ -1496,14 +1563,14 @@ impl Engine {
             self.drain_in_flight();
         }
         self.collect_run_artifacts();
+        // "Drained naturally" = every message was consumed: no
+        // `ctx.stop()`, no event-limit cut-off. Only then is a live
+        // thread a leak — a stopped run legitimately strands threads
+        // (pollers, feeders), and a truncated run proves nothing.
+        let total: u64 = self.shards.iter().map(|s| s.stats.events_executed).sum();
+        let hit_limit = self.event_limit != u64::MAX && total >= self.event_limit;
+        let drained = !stopped && !hit_limit;
         if let Some(p) = &self.shared.cfg.probe {
-            // "Drained naturally" = every message was consumed: no
-            // `ctx.stop()`, no event-limit cut-off. Only then is a live
-            // thread a leak — a stopped run legitimately strands threads
-            // (pollers, feeders), and a truncated run proves nothing.
-            let total: u64 = self.shards.iter().map(|s| s.stats.events_executed).sum();
-            let hit_limit = self.event_limit != u64::MAX && total >= self.event_limit;
-            let drained = !stopped && !hit_limit;
             if drained {
                 for shard in &self.shards {
                     for lane in &shard.lanes {
@@ -1515,6 +1582,10 @@ impl Engine {
             }
             let names = self.shared.handlers.iter().map(|h| h.name.clone()).collect();
             p.finish_run(names, drained, self.final_tick());
+        }
+        if let Some(rp) = &self.shared.cfg.race {
+            let names = self.shared.handlers.iter().map(|h| h.name.clone()).collect();
+            rp.finish_run(names, drained);
         }
         self.metrics()
     }
@@ -1695,6 +1766,9 @@ pub struct EventCtx<'a> {
     /// Whether this execution read `cont()`; a `Cell` because the reads go
     /// through `&self` accessors. Probe bookkeeping only.
     cont_read: Cell<bool>,
+    /// Race-detection context of this execution (clock snapshot), present
+    /// only when a [`RaceProbe`](crate::RaceProbe) is attached.
+    race: Option<RaceExec>,
 }
 
 impl<'a> EventCtx<'a> {
@@ -1869,9 +1943,20 @@ impl<'a> EventCtx<'a> {
                 args,
                 cont,
                 src: self.nwid(),
+                race: self.race.as_ref().map(|r| r.clock.clone()),
             },
             delay,
         ));
+    }
+
+    /// Race context for an outgoing DRAM operation of this execution.
+    fn race_access(&self, atomic: bool) -> Option<RaceAccess> {
+        self.race.as_ref().map(|r| RaceAccess {
+            key: r.key,
+            clock: r.clock.clone(),
+            label: self.msg.dst.label().0,
+            atomic,
+        })
     }
 
     /// Reply on the continuation if one was provided.
@@ -1917,6 +2002,7 @@ impl<'a> EventCtx<'a> {
             nwords: nwords as u8,
             ret,
             tag,
+            race: self.race_access(false),
         });
     }
 
@@ -1953,6 +2039,7 @@ impl<'a> EventCtx<'a> {
             words: words.to_vec(),
             ack,
             tag,
+            race: self.race_access(false),
         });
     }
 
@@ -1973,6 +2060,7 @@ impl<'a> EventCtx<'a> {
             delta,
             ret,
             tag,
+            race: self.race_access(true),
         });
     }
 
@@ -1991,6 +2079,7 @@ impl<'a> EventCtx<'a> {
             delta,
             ret,
             tag,
+            race: self.race_access(true),
         });
     }
 
@@ -2027,9 +2116,52 @@ impl<'a> EventCtx<'a> {
         }
     }
 
+    /// Record one in-bounds scratchpad access for race detection.
+    /// Atomic-class accesses mutate the execution's clock (release-acquire
+    /// on the word), so this needs `&mut self`.
+    fn spm_race(&mut self, off: u32, atomic: bool, write: bool) {
+        if let (Some(rp), Some(r)) = (&self.shared.cfg.race, &mut self.race) {
+            rp.record_spm(
+                r,
+                self.msg.dst.label().0,
+                self.lane,
+                off,
+                atomic,
+                write,
+                self.shard.now,
+            );
+        }
+    }
+
+    /// Declare that this execution participates in a lane-serialized
+    /// protocol identified by `token`: it happens-after every earlier
+    /// execution on this lane that called `race_order` with the same
+    /// token, and before every later one. A no-op without the race
+    /// probe. Use this where synchronization flows through host-side
+    /// state the probe cannot see (e.g. the kvmsr reduce-completion
+    /// poll, SHT owner-lane tables); see `docs/udrace.md` for the token
+    /// conventions.
+    pub fn race_order(&mut self, token: u64) {
+        if let (Some(rp), Some(r)) = (&self.shared.cfg.race, &mut self.race) {
+            rp.order_token(r, self.lane, token);
+        }
+    }
+
     /// Scratchpad load (1 cycle), word-addressed. Out-of-bounds panics —
     /// unless the sanitizer is on, which diagnoses and reads zero.
     pub fn spm_read(&mut self, off: u32) -> u64 {
+        self.spm_read_class(off, false)
+    }
+
+    /// As [`Self::spm_read`], annotated atomic-class for race detection:
+    /// the load side of a read-modify-write the lane serializes by design
+    /// (e.g. the combining cache's fetch-and-add slots). Atomic-class
+    /// accesses order instead of racing; see `docs/udrace.md`.
+    pub fn spm_read_atomic(&mut self, off: u32) -> u64 {
+        self.spm_read_class(off, true)
+    }
+
+    fn spm_read_class(&mut self, off: u32, atomic: bool) -> u64 {
         if self.shared.cfg.sanitize && off >= self.shared.cfg.spm_words {
             self.spm_oob_diag("spm_read", off);
             self.cost += self.shared.cfg.costs.spd_access;
@@ -2037,6 +2169,7 @@ impl<'a> EventCtx<'a> {
         }
         assert!(off < self.shared.cfg.spm_words, "scratchpad overflow");
         self.cost += self.shared.cfg.costs.spd_access;
+        self.spm_race(off, atomic, false);
         let idx = self.local_lane_idx();
         self.shard.lanes[idx].spm.read(off)
     }
@@ -2044,6 +2177,17 @@ impl<'a> EventCtx<'a> {
     /// Scratchpad store (1 cycle), word-addressed. Out-of-bounds panics —
     /// unless the sanitizer is on, which diagnoses and drops the store.
     pub fn spm_write(&mut self, off: u32, v: u64) {
+        self.spm_write_class(off, v, false)
+    }
+
+    /// As [`Self::spm_write`], annotated atomic-class for race detection:
+    /// the store side of a lane-serialized read-modify-write. See
+    /// [`Self::spm_read_atomic`].
+    pub fn spm_write_atomic(&mut self, off: u32, v: u64) {
+        self.spm_write_class(off, v, true)
+    }
+
+    fn spm_write_class(&mut self, off: u32, v: u64, atomic: bool) {
         if self.shared.cfg.sanitize && off >= self.shared.cfg.spm_words {
             self.spm_oob_diag("spm_write", off);
             self.cost += self.shared.cfg.costs.spd_access;
@@ -2051,6 +2195,7 @@ impl<'a> EventCtx<'a> {
         }
         assert!(off < self.shared.cfg.spm_words, "scratchpad overflow");
         self.cost += self.shared.cfg.costs.spd_access;
+        self.spm_race(off, atomic, true);
         let idx = self.local_lane_idx();
         self.shard.lanes[idx].spm.write(off, v);
     }

@@ -45,6 +45,7 @@ pub mod memory;
 pub mod message;
 pub mod network;
 pub mod probe;
+pub mod race;
 pub mod sched;
 pub mod stats;
 pub mod trace;
@@ -57,6 +58,7 @@ pub use ids::{EventLabel, EventWord, NetworkId, ThreadId};
 pub use memory::{GlobalMemory, MemError, TranslationDescriptor, VAddr};
 pub use message::Message;
 pub use probe::{DiagKind, Diagnostic, ProbeReport, ProtocolProbe};
+pub use race::{Footprint, RaceFilter, RaceKind, RaceProbe, RaceReport, RaceSite, RaceSpace, Region};
 pub use stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
 pub use trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 

@@ -604,4 +604,88 @@ mod tests {
         assert_eq!(m.fetch_add_u64(a, 3).unwrap(), 5);
         assert_eq!(m.read_u64(a).unwrap(), 8);
     }
+
+    #[test]
+    fn null_vaddr_faults_everywhere() {
+        let mut m = GlobalMemory::new(2);
+        let _a = m.alloc(4096, 0, 2, 4096).unwrap();
+        assert!(VAddr::NULL.is_null());
+        assert!(!VAddr(VA_BASE).is_null());
+        assert_eq!(m.read_u64(VAddr::NULL), Err(MemError::Fault(VAddr::NULL)));
+        assert_eq!(m.owner_node(VAddr::NULL), Err(MemError::Fault(VAddr::NULL)));
+        assert_eq!(m.descriptor(VAddr::NULL), Err(MemError::Fault(VAddr::NULL)));
+        // word() on NULL stays in the unmapped low range and still faults.
+        assert_eq!(
+            m.read_u64(VAddr::NULL.word(3)),
+            Err(MemError::Fault(VAddr(24)))
+        );
+    }
+
+    #[test]
+    fn block_cyclic_wraps_at_nr_nodes_boundary() {
+        // 8 blocks over 4 nodes starting at node 2: block k lives on
+        // node 2 + (k mod 4); the swizzle wraps back to first_node at
+        // block NRNodes, NOT to node 0.
+        let d = desc(8 * 4096, 2, 4, 4096);
+        for blk in 0..8u64 {
+            let va = VAddr(VA_BASE + blk * 4096);
+            assert_eq!(d.pnn(va), 2 + (blk as u32 & 3), "block {blk}");
+        }
+        // First byte past the wrap point maps to first_node again, one
+        // block deep into that node's contiguous region.
+        let wrap = VAddr(VA_BASE + 4 * 4096);
+        assert_eq!(d.pnn(wrap), 2);
+        assert_eq!(d.node_offset(wrap), 4096);
+    }
+
+    #[test]
+    fn block_boundary_is_exclusive_at_bs() {
+        let d = desc(4 * 4096, 0, 2, 4096);
+        // Last byte of block 0 and first byte of block 1 straddle nodes.
+        let last = VAddr(VA_BASE + 4095);
+        let first = VAddr(VA_BASE + 4096);
+        assert_eq!(d.pnn(last), 0);
+        assert_eq!(d.pnn(first), 1);
+        assert_eq!(d.node_offset(last), 4095);
+        assert_eq!(d.node_offset(first), 0, "new block starts dense on its node");
+        // Offsets within a block are dense across the wrap back to node 0.
+        let wrapped = VAddr(VA_BASE + 2 * 4096 + 7);
+        assert_eq!(d.pnn(wrapped), 0);
+        assert_eq!(d.node_offset(wrapped), 4096 + 7);
+    }
+
+    #[test]
+    fn single_node_span_never_wraps() {
+        let d = desc(16 * 4096, 3, 1, 4096);
+        for blk in [0u64, 1, 7, 15] {
+            let va = VAddr(VA_BASE + blk * 4096 + 13);
+            assert_eq!(d.pnn(va), 3);
+            assert_eq!(d.node_offset(va), blk * 4096 + 13);
+        }
+        assert_eq!(d.bytes_on_node(3), 16 * 4096);
+        assert_eq!(d.bytes_on_node(2), 0);
+    }
+
+    #[test]
+    fn out_of_allocation_translation_errors() {
+        let mut m = GlobalMemory::new(2);
+        let a = m.alloc(8192, 0, 2, 4096).unwrap();
+        let b = m.alloc(4096, 0, 1, 4096).unwrap();
+        // Below the VA base: no allocation can own it.
+        assert_eq!(
+            m.descriptor(VAddr(VA_BASE - 8)),
+            Err(MemError::Fault(VAddr(VA_BASE - 8)))
+        );
+        // One byte past the end of `a` lands in the guard gap before `b`.
+        let past = VAddr(a.0 + 8192);
+        assert!(past.0 < b.0, "gap must separate allocations");
+        assert_eq!(m.descriptor(past), Err(MemError::Fault(past)));
+        assert_eq!(m.owner_node(past), Err(MemError::Fault(past)));
+        // Interior addresses of both allocations still translate.
+        assert!(m.descriptor(VAddr(a.0 + 8191)).is_ok());
+        assert!(m.descriptor(b).is_ok());
+        // After free, the stale descriptor no longer translates.
+        m.free(b).unwrap();
+        assert_eq!(m.descriptor(b), Err(MemError::Fault(b)));
+    }
 }

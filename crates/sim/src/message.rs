@@ -3,7 +3,10 @@
 //! in hardware (larger software payloads are charged extra wire bytes), and
 //! an optional continuation word.
 
+use std::sync::Arc;
+
 use crate::ids::{EventWord, NetworkId};
+use crate::race::VClock;
 
 /// Hardware operand capacity of one 64-byte message.
 pub const HW_OPERANDS: usize = 8;
@@ -15,6 +18,10 @@ pub struct Message {
     /// Continuation word delivered to the handler as `CCONT`.
     pub cont: EventWord,
     pub src: NetworkId,
+    /// Sender's vector-clock snapshot, present only when a
+    /// [`RaceProbe`](crate::RaceProbe) is attached. Carries the
+    /// happens-before edge of delivery; never affects wire size or cost.
+    pub(crate) race: Option<Arc<VClock>>,
 }
 
 impl Message {
@@ -24,6 +31,7 @@ impl Message {
             args: args.into(),
             cont,
             src,
+            race: None,
         }
     }
 

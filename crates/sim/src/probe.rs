@@ -151,8 +151,12 @@ pub struct ProbeReport {
     /// cut-off). Leak checks are only meaningful when true.
     pub drained: bool,
     pub diagnostics: Vec<Diagnostic>,
-    /// Diagnostics dropped past [`MAX_DIAG_SITES`] distinct sites.
+    /// Diagnostic *occurrences* dropped past [`MAX_DIAG_SITES`] distinct
+    /// sites (repeats of a dropped site all count).
     pub suppressed: u64,
+    /// Distinct diagnostic *sites* dropped by the cap — `diagnostics` is
+    /// incomplete whenever this is non-zero.
+    pub sites_truncated: u64,
 }
 
 impl ProbeReport {
@@ -174,6 +178,8 @@ struct Inner {
     names: Vec<String>,
     diags: DiagSites,
     suppressed: u64,
+    /// Distinct site keys dropped past the cap.
+    truncated: BTreeSet<(DiagKind, u16, u64)>,
     drained: bool,
 }
 
@@ -298,6 +304,7 @@ impl ProtocolProbe {
         }
         if g.diags.len() >= MAX_DIAG_SITES {
             g.suppressed += 1;
+            g.truncated.insert(key);
             return;
         }
         g.diags.insert(key, ((tick, lane), detail(), 1));
@@ -391,6 +398,7 @@ impl ProtocolProbe {
             drained: g.drained,
             diagnostics: diags,
             suppressed: g.suppressed,
+            sites_truncated: g.truncated.len() as u64,
         }
     }
 }
@@ -430,6 +438,26 @@ mod tests {
         let r = p.snapshot();
         assert_eq!(r.diagnostics.len(), MAX_DIAG_SITES);
         assert_eq!(r.suppressed, 10);
+        assert_eq!(r.sites_truncated, 10);
+    }
+
+    #[test]
+    fn truncated_counts_distinct_sites_not_occurrences() {
+        let p = ProtocolProbe::new();
+        for i in 0..(MAX_DIAG_SITES as u64 + 2) {
+            p.diag(DiagKind::OperandOutOfRange, 0, i, 1, 0, String::new);
+        }
+        // Repeat the two dropped sites: occurrences grow, sites do not.
+        for _ in 0..3 {
+            p.diag(DiagKind::OperandOutOfRange, 0, MAX_DIAG_SITES as u64, 1, 0, String::new);
+            p.diag(DiagKind::OperandOutOfRange, 0, MAX_DIAG_SITES as u64 + 1, 1, 0, String::new);
+        }
+        let r = p.snapshot();
+        assert_eq!(r.suppressed, 8, "2 first drops + 6 repeats");
+        assert_eq!(r.sites_truncated, 2);
+        // A repeat of a *kept* site still merges normally.
+        p.diag(DiagKind::OperandOutOfRange, 0, 0, 1, 0, String::new);
+        assert_eq!(p.snapshot().sites_truncated, 2);
     }
 
     #[test]

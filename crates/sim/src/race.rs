@@ -1,0 +1,1005 @@
+//! Happens-before race detection — the dynamic layer of `udrace`.
+//!
+//! A [`RaceProbe`] is an optional observer attached via
+//! [`MachineConfig::race`](crate::MachineConfig). It tags every event
+//! execution with a vector-clock epoch per thread — keyed by (global
+//! lane, thread id, slot generation) — and records DRAM accesses at word
+//! granularity plus scratchpad accesses at (lane, word) granularity.
+//! Happens-before edges come from:
+//!
+//! - **program order** within one thread (events of a thread execute one
+//!   at a time, each bumping its epoch);
+//! - **message delivery**: every `send_event` carries the sender's clock
+//!   snapshot, joined into the receiving thread at execution — this
+//!   covers continuation firing, `yield_terminate` → notification sends,
+//!   collective-tree barriers, and every other message-built protocol;
+//! - **DRAM replies**: the response of a read / write ack / fetch-add
+//!   return carries the issuer's clock, so `write → ack → send → read`
+//!   chains order across memory;
+//! - **host injection**: `Engine::send` stamps a host clock that has
+//!   joined every thread clock of previously *completed* runs, so
+//!   back-to-back `run()`s order; several roots injected before one run
+//!   stay mutually unordered.
+//!
+//! Two accesses **race** when they touch the same word, at least one
+//! writes, neither happens-before the other, and they are not both
+//! atomic-class (`dram_fetch_add_*` and the annotated `*_atomic`
+//! accessors model operations the hardware serializes commutatively —
+//! they order, they do not race). Lane-event serialization is
+//! deliberately *not* an HB edge: two threads multiplexed on one lane
+//! never run concurrently, but their interleaving is scheduling-
+//! dependent, so an unannotated read-modify-write of a shared scratchpad
+//! slot is still an ordering hazard and is reported.
+//!
+//! Recording follows the zero-observer-effect contract of
+//! [`ProtocolProbe`](crate::ProtocolProbe): it charges no cycles and
+//! never perturbs the calendar, and every merge is commutative across
+//! shards, so reports are byte-identical at every `--threads` count.
+//! Memory effects applied by `drain_in_flight` after a `ctx.stop()` are
+//! not recorded — detection covers everything executed before the stop.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::memory::VAddr;
+
+/// Cap on distinct race sites, mirroring the probe's diagnostic cap.
+const MAX_RACE_SITES: usize = 1024;
+
+/// Identity of one simulated thread: global lane id, thread id within the
+/// lane, and the slot generation (bumped on context reuse). The host is
+/// the pseudo-thread `HOST`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct ThreadKey {
+    pub lane: u32,
+    pub tid: u16,
+    pub gen: u32,
+}
+
+pub(crate) const HOST: ThreadKey = ThreadKey {
+    lane: u32::MAX,
+    tid: u16::MAX,
+    gen: 0,
+};
+
+/// A vector clock: per-thread epoch watermarks. `BTreeMap` keeps joins
+/// and iteration deterministic.
+pub(crate) type VClock = BTreeMap<ThreadKey, u64>;
+
+fn join_into(dst: &mut VClock, src: &VClock) {
+    for (k, &v) in src {
+        let e = dst.entry(*k).or_insert(0);
+        if *e < v {
+            *e = v;
+        }
+    }
+}
+
+/// Race context of one event execution: the thread's identity and its
+/// clock snapshot after joining the triggering message and bumping its
+/// own epoch. One `Arc` snapshot is shared by every send and memory
+/// access of the execution.
+#[derive(Clone, Debug)]
+pub(crate) struct RaceExec {
+    pub key: ThreadKey,
+    pub clock: Arc<VClock>,
+}
+
+/// Race context attached to an in-flight DRAM operation.
+#[derive(Clone, Debug)]
+pub(crate) struct RaceAccess {
+    pub key: ThreadKey,
+    pub clock: Arc<VClock>,
+    /// Handler label of the issuing execution.
+    pub label: u16,
+    /// Issued through an atomic-annotated accessor.
+    pub atomic: bool,
+}
+
+/// Which address space a race site lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceSpace {
+    Dram,
+    Spm,
+}
+
+impl RaceSpace {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RaceSpace::Dram => "dram",
+            RaceSpace::Spm => "spm",
+        }
+    }
+}
+
+/// Conflict shape of a race site. `ReadWrite` covers both orders (read
+/// then write, write then read).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceKind {
+    WriteWrite,
+    ReadWrite,
+}
+
+impl RaceKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RaceKind::WriteWrite => "write-write",
+            RaceKind::ReadWrite => "read-write",
+        }
+    }
+}
+
+/// Footprint granularity: one DRAM allocation (keyed by its base VA) or
+/// one lane's scratchpad.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Region {
+    Dram(u64),
+    Spm(u32),
+}
+
+/// One deduplicated race site: a (space, kind, handler-pair, region)
+/// bucket, min-merged to its earliest occurrence like a probe
+/// [`Diagnostic`](crate::Diagnostic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceSite {
+    pub space: RaceSpace,
+    pub kind: RaceKind,
+    /// Handler name of the earlier access of the first occurrence.
+    pub prior: String,
+    /// Handler name of the later access of the first occurrence.
+    pub current: String,
+    pub region: Region,
+    /// Rendered from the earliest occurrence (deterministic).
+    pub detail: String,
+    pub first_tick: u64,
+    /// Global lane id of the later access of the earliest occurrence.
+    pub lane: u32,
+    /// Occurrences merged into this site.
+    pub count: u64,
+}
+
+/// Which access classes one handler performed on one region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Footprint {
+    /// Handler label (resolve with [`RaceReport::handler_name`]).
+    pub handler: u16,
+    pub region: Region,
+    pub reads: u64,
+    pub writes: u64,
+    /// Atomic-class updates (fetch-adds and `*_atomic` accessors).
+    pub atomics: u64,
+}
+
+/// Snapshot of everything a race probe recorded.
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Handler names indexed by event label (filled at end of run).
+    pub handler_names: Vec<String>,
+    /// Race sites ordered by (space, kind, handler pair, region).
+    pub sites: Vec<RaceSite>,
+    /// Distinct sites dropped past the site cap.
+    pub sites_truncated: u64,
+    /// Word accesses recorded (after footprint filtering).
+    pub accesses: u64,
+    /// Distinct words with tracked state.
+    pub words_tracked: u64,
+    /// Per-(handler, region) access summaries — always recorded, even in
+    /// footprint-only mode.
+    pub footprints: Vec<Footprint>,
+    /// Whether the run drained naturally (no `ctx.stop()`, no limit).
+    pub drained: bool,
+}
+
+impl RaceReport {
+    pub fn handler_name(&self, label: u16) -> &str {
+        self.handler_names
+            .get(label as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("<unregistered>")
+    }
+
+    /// True when no dynamic race was observed (truncated sites count).
+    pub fn is_clean(&self) -> bool {
+        self.sites.is_empty() && self.sites_truncated == 0
+    }
+}
+
+/// Word address: one DRAM word (byte address) or one (lane, offset)
+/// scratchpad word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Loc {
+    Dram(u64),
+    Spm(u32, u32),
+}
+
+/// One recorded access in a word's state.
+#[derive(Clone, Debug)]
+struct Access {
+    key: ThreadKey,
+    /// The accessor's own epoch at access time.
+    epoch: u64,
+    label: u16,
+    tick: u64,
+    atomic: bool,
+}
+
+impl Access {
+    /// True when this access happens-before an access holding `clock`.
+    fn ordered_before(&self, clock: &VClock) -> bool {
+        clock.get(&self.key).copied().unwrap_or(0) >= self.epoch
+    }
+}
+
+/// FastTrack-style per-word state: the last plain write, the last
+/// atomic update, and the reads since the last plain write.
+#[derive(Debug, Default)]
+struct WordState {
+    write: Option<Access>,
+    atomic: Option<Access>,
+    reads: BTreeMap<ThreadKey, Access>,
+}
+
+type SiteKey = (RaceSpace, RaceKind, u16, u16, Region);
+
+/// Allocation filter produced by the static pre-pass: track word state
+/// only for these regions (footprints still cover everything).
+#[derive(Clone, Debug, Default)]
+pub struct RaceFilter {
+    /// DRAM allocation base addresses to monitor.
+    pub dram: BTreeSet<u64>,
+    /// Global lane ids whose scratchpads to monitor.
+    pub spm: BTreeSet<u32>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Record footprints only; skip per-word tracking entirely.
+    footprint_only: bool,
+    filter: Option<RaceFilter>,
+    /// Current clock of every live thread. Each key is only touched by
+    /// the shard owning its lane, so updates commute across shards.
+    clocks: BTreeMap<ThreadKey, Arc<VClock>>,
+    /// Join of the final clocks of terminated threads (commutative).
+    retired: VClock,
+    host_clock: VClock,
+    host_epoch: u64,
+    words: BTreeMap<Loc, WordState>,
+    /// Release clock per word updated by atomic-class accesses: a
+    /// fetch-and-add both releases its clock into the word and acquires
+    /// every earlier atomic's clock, so commutative update chains order
+    /// their observers (barrier counters, combining slots).
+    word_sync: BTreeMap<Loc, VClock>,
+    /// Release clocks for explicit [`order_token`](RaceProbe::order_token)
+    /// annotations, keyed by (lane, token): lane-serialized protocols the
+    /// lane orders by construction (host-state polling, owner-lane tables).
+    token_sync: BTreeMap<(u32, u64), VClock>,
+    sites: BTreeMap<SiteKey, ((u64, u32), String, u64)>,
+    /// Distinct site keys dropped past [`MAX_RACE_SITES`].
+    truncated: BTreeSet<SiteKey>,
+    footprints: BTreeMap<(u16, Region), (u64, u64, u64)>,
+    accesses: u64,
+    names: Vec<String>,
+    drained: bool,
+}
+
+impl Inner {
+    fn footprint(&mut self, label: u16, region: Region, write: bool, atomic: bool) {
+        let f = self.footprints.entry((label, region)).or_default();
+        if atomic {
+            f.2 += 1;
+        } else if write {
+            f.1 += 1;
+        } else {
+            f.0 += 1;
+        }
+    }
+
+    fn tracked(&self, region: Region) -> bool {
+        if self.footprint_only {
+            return false;
+        }
+        match (&self.filter, region) {
+            (None, _) => true,
+            (Some(f), Region::Dram(base)) => f.dram.contains(&base),
+            (Some(f), Region::Spm(lane)) => f.spm.contains(&lane),
+        }
+    }
+
+    /// Record one word access: check it against the word's prior state,
+    /// report any unordered conflicting pair, then fold it in.
+    fn access(
+        &mut self,
+        space: RaceSpace,
+        region: Region,
+        loc: Loc,
+        cur: Access,
+        clock: &VClock,
+        write: bool,
+    ) {
+        self.accesses += 1;
+        let st = self.words.entry(loc).or_default();
+        // (kind, prior) pairs to report, collected so `st` can be updated
+        // before re-borrowing `self` for site bookkeeping.
+        let mut races: Vec<(RaceKind, Access)> = Vec::new();
+        let unordered = |a: &Access| !a.ordered_before(clock);
+        if write {
+            if let Some(w) = &st.write {
+                if unordered(w) && !(cur.atomic && w.atomic) {
+                    races.push((RaceKind::WriteWrite, w.clone()));
+                }
+            }
+            if let Some(a) = &st.atomic {
+                if unordered(a) && !cur.atomic {
+                    races.push((RaceKind::WriteWrite, a.clone()));
+                }
+            }
+            for r in st.reads.values() {
+                if unordered(r) && !(cur.atomic && r.atomic) {
+                    races.push((RaceKind::ReadWrite, r.clone()));
+                }
+            }
+            if cur.atomic {
+                st.atomic = Some(cur.clone());
+            } else {
+                // A plain write that is ordered after everything resets
+                // the word; racing priors were just reported.
+                st.write = Some(cur.clone());
+                st.atomic = None;
+                st.reads.clear();
+            }
+        } else {
+            if let Some(w) = &st.write {
+                if unordered(w) {
+                    races.push((RaceKind::ReadWrite, w.clone()));
+                }
+            }
+            if let Some(a) = &st.atomic {
+                if unordered(a) && !cur.atomic {
+                    races.push((RaceKind::ReadWrite, a.clone()));
+                }
+            }
+            st.reads.insert(cur.key, cur.clone());
+        }
+        for (kind, prior) in races {
+            self.site(space, kind, region, loc, &prior, &cur, write);
+        }
+    }
+
+    /// Min-merge one race occurrence into its site bucket.
+    #[allow(clippy::too_many_arguments)]
+    fn site(
+        &mut self,
+        space: RaceSpace,
+        kind: RaceKind,
+        region: Region,
+        loc: Loc,
+        prior: &Access,
+        cur: &Access,
+        cur_write: bool,
+    ) {
+        let key = (space, kind, prior.label, cur.label, region);
+        let tick = cur.tick;
+        let lane = cur.key.lane;
+        let detail = || {
+            let what = |a: &Access, wr: bool| {
+                let cls = if a.atomic { "atomic" } else if wr { "write" } else { "read" };
+                format!("{cls} at tick {}", a.tick)
+            };
+            let place = match loc {
+                Loc::Dram(addr) => format!("dram word {addr:#x}"),
+                Loc::Spm(l, off) => format!("lane {l} spm[{off}]"),
+            };
+            let prior_wr = kind == RaceKind::WriteWrite || !cur_write;
+            format!(
+                "{place}: {} vs {} (unordered)",
+                what(prior, prior_wr),
+                what(cur, cur_write)
+            )
+        };
+        if let Some((first, d, count)) = self.sites.get_mut(&key) {
+            *count += 1;
+            if (tick, lane) < *first {
+                *first = (tick, lane);
+                *d = detail();
+            }
+            return;
+        }
+        if self.sites.len() >= MAX_RACE_SITES {
+            self.truncated.insert(key);
+            return;
+        }
+        self.sites.insert(key, ((tick, lane), detail(), 1));
+    }
+}
+
+/// Shared handle to a race recording. `Clone` shares the recording: keep
+/// one clone and pass another inside [`MachineConfig`](crate::MachineConfig).
+#[derive(Clone, Default)]
+pub struct RaceProbe {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl fmt::Debug for RaceProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RaceProbe")
+    }
+}
+
+impl RaceProbe {
+    /// Full monitoring: every DRAM allocation and every scratchpad.
+    pub fn new() -> RaceProbe {
+        RaceProbe::default()
+    }
+
+    /// Footprint-only pass: record which handlers touch which regions
+    /// (for the static conflict pre-pass) without per-word tracking.
+    pub fn footprint_only() -> RaceProbe {
+        let p = RaceProbe::default();
+        p.inner.lock().unwrap().footprint_only = true;
+        p
+    }
+
+    /// Monitor only the regions named by `filter` (the pruned mode driven
+    /// by the static pre-pass). Footprints still cover everything.
+    pub fn with_filter(filter: RaceFilter) -> RaceProbe {
+        let p = RaceProbe::default();
+        p.inner.lock().unwrap().filter = Some(filter);
+        p
+    }
+
+    /// Begin one event execution: join the triggering message's clock
+    /// (if any) into the thread's clock, bump the thread's own epoch,
+    /// and return the snapshot every effect of this execution carries.
+    pub(crate) fn begin_event(
+        &self,
+        key: ThreadKey,
+        incoming: Option<&Arc<VClock>>,
+    ) -> RaceExec {
+        let mut g = self.inner.lock().unwrap();
+        let mut cur = g.clocks.remove(&key).unwrap_or_default();
+        {
+            let c = Arc::make_mut(&mut cur);
+            if let Some(inc) = incoming {
+                join_into(c, inc);
+            }
+            *c.entry(key).or_insert(0) += 1;
+        }
+        let clock = cur.clone();
+        g.clocks.insert(key, cur);
+        RaceExec { key, clock }
+    }
+
+    /// The thread terminated: retire its clock (its effects stay visible
+    /// through messages it sent and through the end-of-run host join).
+    pub(crate) fn end_thread(&self, key: ThreadKey) {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(c) = g.clocks.remove(&key) {
+            let Inner { retired, .. } = &mut *g;
+            join_into(retired, &c);
+        }
+    }
+
+    /// Stamp one host-injected message. The host clock orders host sends
+    /// with each other and with every previously completed run, but two
+    /// executions it spawns stay mutually unordered.
+    pub(crate) fn host_send(&self) -> Arc<VClock> {
+        let mut g = self.inner.lock().unwrap();
+        g.host_epoch += 1;
+        let epoch = g.host_epoch;
+        g.host_clock.insert(HOST, epoch);
+        Arc::new(g.host_clock.clone())
+    }
+
+    /// Record one DRAM operation of `nwords` words starting at `va`
+    /// (called at the deterministic serve point on the owner shard).
+    ///
+    /// Atomic-class operations are release-acquire points on their word:
+    /// the returned clock (the issuer's clock joined with every earlier
+    /// atomic's release on this word) must ride the reply so whatever the
+    /// issuer does after the acknowledged fetch-and-add is ordered after
+    /// all the adds it observed. Plain operations return `None`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_dram(
+        &self,
+        acc: &RaceAccess,
+        va: VAddr,
+        alloc_base: u64,
+        nwords: u32,
+        atomic: bool,
+        write: bool,
+        tick: u64,
+    ) -> Option<Arc<VClock>> {
+        let mut g = self.inner.lock().unwrap();
+        let region = Region::Dram(alloc_base);
+        let atomic = atomic || acc.atomic;
+        g.footprint(acc.label, region, write, atomic && write);
+        if !g.tracked(region) {
+            return None;
+        }
+        let epoch = acc.clock.get(&acc.key).copied().unwrap_or(0);
+        // Acquire-then-check is safe: a word's sync clock only ever holds
+        // atomic accessors' clocks, and atomic-vs-atomic pairs never race,
+        // so the acquired epochs reflect genuine ordering edges.
+        let mut acquired = atomic.then(|| (*acc.clock).clone());
+        for i in 0..nwords as u64 {
+            let loc = Loc::Dram(va.0 + 8 * i);
+            if let Some(acq) = &mut acquired {
+                let sync = g.word_sync.entry(loc).or_default();
+                join_into(acq, sync);
+                join_into(sync, &acc.clock);
+            }
+            let cur = Access {
+                key: acc.key,
+                epoch,
+                label: acc.label,
+                tick,
+                atomic,
+            };
+            let clock = acquired.as_ref().unwrap_or(&acc.clock);
+            g.access(RaceSpace::Dram, region, loc, cur, clock, write);
+        }
+        acquired.map(Arc::new)
+    }
+
+    /// Record one scratchpad word access from the executing thread.
+    ///
+    /// Atomic-class accesses are release-acquire points on their word:
+    /// the executing thread's clock absorbs every earlier atomic's clock
+    /// (mutating `exec` in place, and the live thread clock with it), so
+    /// lane-serialized commutative update chains order their observers.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_spm(
+        &self,
+        exec: &mut RaceExec,
+        label: u16,
+        lane: u32,
+        off: u32,
+        atomic: bool,
+        write: bool,
+        tick: u64,
+    ) {
+        let mut g = self.inner.lock().unwrap();
+        let region = Region::Spm(lane);
+        g.footprint(label, region, write, atomic && write);
+        if !g.tracked(region) {
+            return;
+        }
+        let loc = Loc::Spm(lane, off);
+        if atomic {
+            let sync = g.word_sync.entry(loc).or_default();
+            join_into(Arc::make_mut(&mut exec.clock), sync);
+            join_into(sync, &exec.clock);
+            g.clocks.insert(exec.key, exec.clock.clone());
+        }
+        let epoch = exec.clock.get(&exec.key).copied().unwrap_or(0);
+        let cur = Access {
+            key: exec.key,
+            epoch,
+            label,
+            tick,
+            atomic,
+        };
+        g.access(RaceSpace::Spm, region, loc, cur, &exec.clock, write);
+    }
+
+    /// Explicit ordering annotation for a lane-serialized protocol: the
+    /// executing thread acquires the clock of every earlier execution on
+    /// `lane` that ordered on the same `token`, then releases its own.
+    /// Used by [`EventCtx::race_order`](crate::EventCtx::race_order) to
+    /// declare synchronization the lane enforces by construction but
+    /// that flows through host-side state the probe cannot see.
+    pub(crate) fn order_token(&self, exec: &mut RaceExec, lane: u32, token: u64) {
+        let mut g = self.inner.lock().unwrap();
+        let sync = g.token_sync.entry((lane, token)).or_default();
+        join_into(Arc::make_mut(&mut exec.clock), sync);
+        join_into(sync, &exec.clock);
+        g.clocks.insert(exec.key, exec.clock.clone());
+    }
+
+    /// Called by the engine at end of run: install handler names, note
+    /// how the run ended, and fold every clock into the host clock so a
+    /// subsequent `Engine::send` + `run()` is ordered after this run.
+    pub(crate) fn finish_run(&self, names: Vec<String>, drained: bool) {
+        let mut g = self.inner.lock().unwrap();
+        g.names = names;
+        g.drained = drained;
+        let retired = std::mem::take(&mut g.retired);
+        let Inner {
+            clocks, host_clock, ..
+        } = &mut *g;
+        join_into(host_clock, &retired);
+        for c in clocks.values() {
+            join_into(host_clock, c);
+        }
+    }
+
+    /// Full snapshot: sites ordered by (space, kind, handler pair,
+    /// region), identical at every thread count.
+    pub fn snapshot(&self) -> RaceReport {
+        let g = self.inner.lock().unwrap();
+        let name = |label: u16| {
+            g.names
+                .get(label as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("<label {label}>"))
+        };
+        let sites = g
+            .sites
+            .iter()
+            .map(
+                |(&(space, kind, prior, cur, region), &((tick, lane), ref detail, count))| {
+                    RaceSite {
+                        space,
+                        kind,
+                        prior: name(prior),
+                        current: name(cur),
+                        region,
+                        detail: detail.clone(),
+                        first_tick: tick,
+                        lane,
+                        count,
+                    }
+                },
+            )
+            .collect();
+        let footprints = g
+            .footprints
+            .iter()
+            .map(|(&(handler, region), &(reads, writes, atomics))| Footprint {
+                handler,
+                region,
+                reads,
+                writes,
+                atomics,
+            })
+            .collect();
+        RaceReport {
+            handler_names: g.names.clone(),
+            sites,
+            sites_truncated: g.truncated.len() as u64,
+            accesses: g.accesses,
+            words_tracked: g.words.len() as u64,
+            footprints,
+            drained: g.drained,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(lane: u32, tid: u16) -> ThreadKey {
+        ThreadKey { lane, tid, gen: 0 }
+    }
+
+    fn dram(p: &RaceProbe, e: &RaceExec, addr: u64, write: bool, atomic: bool, tick: u64) {
+        let acc = RaceAccess {
+            key: e.key,
+            clock: e.clock.clone(),
+            label: e.key.tid, // label by tid for readable sites
+            atomic,
+        };
+        p.record_dram(&acc, VAddr(addr), 0x1000, 1, atomic, write, tick);
+    }
+
+    #[test]
+    fn unordered_writes_race_ordered_writes_do_not() {
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        let b = p.begin_event(key(1, 2), None);
+        dram(&p, &a, 0x2000, true, false, 10);
+        dram(&p, &b, 0x2000, true, false, 20);
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].kind, RaceKind::WriteWrite);
+        assert_eq!(r.sites[0].space, RaceSpace::Dram);
+
+        // Same shape, but b's event joins a's clock (message delivery).
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        dram(&p, &a, 0x2000, true, false, 10);
+        let b = p.begin_event(key(1, 2), Some(&a.clock));
+        dram(&p, &b, 0x2000, true, false, 20);
+        assert!(p.snapshot().is_clean());
+    }
+
+    #[test]
+    fn transitive_ordering_through_a_chain() {
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        dram(&p, &a, 0x2000, true, false, 1);
+        let b = p.begin_event(key(1, 2), Some(&a.clock)); // a -> b
+        let c = p.begin_event(key(2, 3), Some(&b.clock)); // b -> c
+        dram(&p, &c, 0x2000, false, false, 9);
+        assert!(p.snapshot().is_clean());
+    }
+
+    #[test]
+    fn read_write_races_both_orders() {
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        let b = p.begin_event(key(1, 2), None);
+        dram(&p, &a, 0x2000, false, false, 1); // read first
+        dram(&p, &b, 0x2000, true, false, 2); // unordered write
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].kind, RaceKind::ReadWrite);
+
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        let b = p.begin_event(key(1, 2), None);
+        dram(&p, &a, 0x2000, true, false, 1); // write first
+        dram(&p, &b, 0x2000, false, false, 2); // unordered read
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn atomics_order_but_do_not_race() {
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        let b = p.begin_event(key(1, 2), None);
+        dram(&p, &a, 0x2000, true, true, 1); // fetch-add
+        dram(&p, &b, 0x2000, true, true, 2); // fetch-add, unordered
+        assert!(p.snapshot().is_clean(), "atomic vs atomic never races");
+
+        // But an unordered plain access against an atomic still races.
+        let c = p.begin_event(key(2, 3), None);
+        dram(&p, &c, 0x2000, false, false, 3);
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn program_order_within_one_thread_never_races() {
+        let p = RaceProbe::new();
+        let e1 = p.begin_event(key(0, 1), None);
+        dram(&p, &e1, 0x2000, true, false, 1);
+        let e2 = p.begin_event(key(0, 1), None); // next event, same thread
+        dram(&p, &e2, 0x2000, true, false, 2);
+        assert!(p.snapshot().is_clean());
+    }
+
+    #[test]
+    fn host_join_orders_successive_runs() {
+        let p = RaceProbe::new();
+        let root1 = p.host_send();
+        let a = p.begin_event(key(0, 1), Some(&root1));
+        dram(&p, &a, 0x2000, true, false, 1);
+        p.end_thread(key(0, 1));
+        p.finish_run(Vec::new(), true); // run boundary
+
+        let root2 = p.host_send();
+        let b = p.begin_event(key(1, 2), Some(&root2));
+        dram(&p, &b, 0x2000, true, false, 2);
+        assert!(p.snapshot().is_clean(), "second run ordered after first");
+    }
+
+    #[test]
+    fn two_roots_of_one_run_stay_unordered() {
+        let p = RaceProbe::new();
+        let r1 = p.host_send();
+        let r2 = p.host_send();
+        let a = p.begin_event(key(0, 1), Some(&r1));
+        let b = p.begin_event(key(1, 2), Some(&r2));
+        dram(&p, &a, 0x2000, true, false, 1);
+        dram(&p, &b, 0x2000, true, false, 2);
+        assert_eq!(p.snapshot().sites.len(), 1);
+    }
+
+    #[test]
+    fn spm_sites_key_by_lane() {
+        let p = RaceProbe::new();
+        let mut a = p.begin_event(key(3, 1), None);
+        let mut b = p.begin_event(key(3, 2), None); // same lane, other thread
+        p.record_spm(&mut a, 7, 3, 4, false, true, 1);
+        p.record_spm(&mut b, 8, 3, 4, false, true, 2);
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].space, RaceSpace::Spm);
+        assert_eq!(r.sites[0].region, Region::Spm(3));
+
+        // Atomic-annotated RMW of the same slot is ordered-by-design.
+        let p = RaceProbe::new();
+        let mut a = p.begin_event(key(3, 1), None);
+        let mut b = p.begin_event(key(3, 2), None);
+        p.record_spm(&mut a, 7, 3, 4, true, true, 1);
+        p.record_spm(&mut b, 8, 3, 4, true, true, 2);
+        assert!(p.snapshot().is_clean());
+    }
+
+    #[test]
+    fn sites_min_merge_and_count() {
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        let b = p.begin_event(key(1, 2), None);
+        dram(&p, &a, 0x2000, true, false, 50);
+        dram(&p, &a, 0x2008, true, false, 50);
+        dram(&p, &b, 0x2008, true, false, 60); // later occurrence first
+        dram(&p, &b, 0x2000, true, false, 60);
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), 1, "same pair+region merges");
+        assert_eq!(r.sites[0].count, 2);
+        assert_eq!(r.sites[0].first_tick, 60);
+    }
+
+    #[test]
+    fn site_cap_counts_distinct_truncated_sites() {
+        let p = RaceProbe::new();
+        for i in 0..(MAX_RACE_SITES as u64 + 7) {
+            let a = p.begin_event(key(0, 1), None);
+            let b = p.begin_event(key(1, 2), None);
+            // Distinct region per pair => distinct site key.
+            let acc = |e: &RaceExec| RaceAccess {
+                key: e.key,
+                clock: e.clock.clone(),
+                label: e.key.tid,
+                atomic: false,
+            };
+            p.record_dram(&acc(&a), VAddr(0x2000 + 64 * i), 0x2000 + 64 * i, 1, false, true, 1);
+            p.record_dram(&acc(&b), VAddr(0x2000 + 64 * i), 0x2000 + 64 * i, 1, false, true, 2);
+        }
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), MAX_RACE_SITES);
+        assert_eq!(r.sites_truncated, 7);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn footprints_cover_filtered_regions() {
+        let p = RaceProbe::with_filter(RaceFilter {
+            dram: BTreeSet::from([0x1000]),
+            spm: BTreeSet::new(),
+        });
+        let a = p.begin_event(key(0, 1), None);
+        let b = p.begin_event(key(1, 2), None);
+        // 0x9000 is outside the filter: footprinted, not tracked.
+        let acc = |e: &RaceExec| RaceAccess {
+            key: e.key,
+            clock: e.clock.clone(),
+            label: e.key.tid,
+            atomic: false,
+        };
+        p.record_dram(&acc(&a), VAddr(0x9000), 0x9000, 1, false, true, 1);
+        p.record_dram(&acc(&b), VAddr(0x9000), 0x9000, 1, false, true, 2);
+        assert!(p.snapshot().is_clean(), "filtered region not tracked");
+        // 0x1000 is inside the filter: tracked.
+        dram(&p, &a, 0x1000, true, false, 3);
+        dram(&p, &b, 0x1000, true, false, 4);
+        let r = p.snapshot();
+        assert_eq!(r.sites.len(), 1);
+        let regions: BTreeSet<Region> = r.footprints.iter().map(|f| f.region).collect();
+        assert!(regions.contains(&Region::Dram(0x9000)), "footprint kept");
+    }
+
+    #[test]
+    fn footprint_only_mode_tracks_no_words() {
+        let p = RaceProbe::footprint_only();
+        let a = p.begin_event(key(0, 1), None);
+        let b = p.begin_event(key(1, 2), None);
+        dram(&p, &a, 0x2000, true, false, 1);
+        dram(&p, &b, 0x2000, true, false, 2);
+        let r = p.snapshot();
+        assert!(r.is_clean());
+        assert_eq!(r.words_tracked, 0);
+        assert_eq!(r.footprints.len(), 2);
+    }
+
+    #[test]
+    fn snapshots_are_commutative_across_recording_order() {
+        let run = |order: [usize; 4]| {
+            let p = RaceProbe::new();
+            let a = p.begin_event(key(0, 1), None);
+            let b = p.begin_event(key(1, 2), None);
+            let ops: Vec<Box<dyn Fn()>> = vec![
+                Box::new(|| dram(&p, &a, 0x2000, true, false, 10)),
+                Box::new(|| dram(&p, &b, 0x2000, true, false, 20)),
+                Box::new(|| dram(&p, &a, 0x3000, false, false, 30)),
+                Box::new(|| dram(&p, &b, 0x3000, true, false, 40)),
+            ];
+            for i in order {
+                ops[i]();
+            }
+            drop(ops);
+            p.finish_run(vec!["x".into(); 4], true);
+            p.snapshot()
+        };
+        let r1 = run([0, 1, 2, 3]);
+        let r2 = run([2, 3, 0, 1]);
+        assert_eq!(r1.sites, r2.sites);
+        assert_eq!(r1.footprints, r2.footprints);
+        assert_eq!(r1.accesses, r2.accesses);
+    }
+
+    #[test]
+    fn atomic_reply_acquires_earlier_adds() {
+        // Barrier pattern: A writes data then fetch-adds a counter; B
+        // fetch-adds the same counter and, resumed by the add's reply,
+        // reads the data. The acquired clock riding the reply orders
+        // the read after A's write.
+        let p = RaceProbe::new();
+        let a = p.begin_event(key(0, 1), None);
+        dram(&p, &a, 0x2000, true, false, 1); // data write
+        let acc_a = RaceAccess {
+            key: a.key,
+            clock: a.clock.clone(),
+            label: 1,
+            atomic: true,
+        };
+        assert!(
+            p.record_dram(&acc_a, VAddr(0x3000), 0x1000, 1, true, true, 2)
+                .is_some(),
+            "atomics return an acquired clock"
+        );
+
+        let b = p.begin_event(key(1, 2), None);
+        let acc_b = RaceAccess {
+            key: b.key,
+            clock: b.clock.clone(),
+            label: 2,
+            atomic: true,
+        };
+        let acq = p
+            .record_dram(&acc_b, VAddr(0x3000), 0x1000, 1, true, true, 3)
+            .unwrap();
+        // The reply resumes B's thread carrying the acquired clock.
+        let b2 = p.begin_event(key(1, 2), Some(&acq));
+        dram(&p, &b2, 0x2000, false, false, 4);
+        assert!(p.snapshot().is_clean(), "fetch-add barrier orders the read");
+
+        // Plain accesses return no acquired clock.
+        let c = p.begin_event(key(2, 3), None);
+        let acc_c = RaceAccess {
+            key: c.key,
+            clock: c.clock.clone(),
+            label: 3,
+            atomic: false,
+        };
+        assert!(p
+            .record_dram(&acc_c, VAddr(0x4000), 0x1000, 1, false, true, 5)
+            .is_none());
+    }
+
+    #[test]
+    fn spm_atomic_acquire_orders_subsequent_plain_accesses() {
+        // A plain-writes spm[9], then atomically updates spm[4]
+        // (release). B atomically updates spm[4] (acquire, mutating its
+        // clock in place), then plain-reads spm[9]: ordered.
+        let p = RaceProbe::new();
+        let mut a = p.begin_event(key(3, 1), None);
+        p.record_spm(&mut a, 1, 3, 9, false, true, 1);
+        p.record_spm(&mut a, 1, 3, 4, true, true, 2);
+        let mut b = p.begin_event(key(3, 2), None);
+        p.record_spm(&mut b, 2, 3, 4, true, true, 3);
+        p.record_spm(&mut b, 2, 3, 9, false, false, 4);
+        assert!(p.snapshot().is_clean(), "spm RMW chain orders observer");
+    }
+
+    #[test]
+    fn order_token_orders_lane_serialized_protocols() {
+        // A writes data then declares the protocol on (lane 5, token 7);
+        // B joins the same token and reads the data: ordered.
+        let p = RaceProbe::new();
+        let mut a = p.begin_event(key(5, 1), None);
+        dram(&p, &a, 0x2000, true, false, 1);
+        p.order_token(&mut a, 5, 7);
+        let mut b = p.begin_event(key(5, 2), None);
+        p.order_token(&mut b, 5, 7);
+        dram(&p, &b, 0x2000, false, false, 2);
+        assert!(p.snapshot().is_clean(), "token orders the read");
+
+        // A different token (or lane) provides no edge.
+        let p = RaceProbe::new();
+        let mut a = p.begin_event(key(5, 1), None);
+        dram(&p, &a, 0x2000, true, false, 1);
+        p.order_token(&mut a, 5, 7);
+        let mut b = p.begin_event(key(5, 2), None);
+        p.order_token(&mut b, 5, 8);
+        dram(&p, &b, 0x2000, false, false, 2);
+        assert_eq!(p.snapshot().sites.len(), 1, "other token: still racing");
+    }
+}

@@ -8,6 +8,11 @@
 //!
 //! Layout: a direct-mapped table of `slots` entries, 2 words each:
 //! `[tag (dram address, 0 = empty), accumulated value bits]`.
+//!
+//! Table accesses use the atomic-class scratchpad accessors: concurrent
+//! events hitting one lane's cache are serialized by the lane and the
+//! accumulation commutes, so the race probe treats them as ordered rather
+//! than racing (see `docs/udrace.md`).
 
 use crate::spmalloc::{sp_malloc, SpSlice};
 use updown_sim::{EventCtx, VAddr};
@@ -49,20 +54,20 @@ impl CombiningCache {
     pub fn add_f64(&self, ctx: &mut EventCtx<'_>, va: VAddr, delta: f64) {
         debug_assert_eq!(self.kind, Kind::F64);
         let s = self.slot_of(va);
-        let tag = self.table.get(ctx, s * 2);
+        let tag = self.table.get_atomic(ctx, s * 2);
         if tag == va.0 {
             ctx.bump("combining.hit", 1);
-            let cur = self.table.get_f64(ctx, s * 2 + 1);
-            self.table.set_f64(ctx, s * 2 + 1, cur + delta);
+            let cur = self.table.get_f64_atomic(ctx, s * 2 + 1);
+            self.table.set_f64_atomic(ctx, s * 2 + 1, cur + delta);
         } else {
             ctx.bump("combining.miss", 1);
             if tag != 0 {
                 ctx.bump("combining.evict", 1);
-                let old = self.table.get_f64(ctx, s * 2 + 1);
+                let old = self.table.get_f64_atomic(ctx, s * 2 + 1);
                 ctx.dram_fetch_add_f64(VAddr(tag), old, None, None);
             }
-            self.table.set(ctx, s * 2, va.0);
-            self.table.set_f64(ctx, s * 2 + 1, delta);
+            self.table.set_atomic(ctx, s * 2, va.0);
+            self.table.set_f64_atomic(ctx, s * 2 + 1, delta);
         }
     }
 
@@ -70,20 +75,20 @@ impl CombiningCache {
     pub fn add_u64(&self, ctx: &mut EventCtx<'_>, va: VAddr, delta: u64) {
         debug_assert_eq!(self.kind, Kind::U64);
         let s = self.slot_of(va);
-        let tag = self.table.get(ctx, s * 2);
+        let tag = self.table.get_atomic(ctx, s * 2);
         if tag == va.0 {
             ctx.bump("combining.hit", 1);
-            let cur = self.table.get(ctx, s * 2 + 1);
-            self.table.set(ctx, s * 2 + 1, cur.wrapping_add(delta));
+            let cur = self.table.get_atomic(ctx, s * 2 + 1);
+            self.table.set_atomic(ctx, s * 2 + 1, cur.wrapping_add(delta));
         } else {
             ctx.bump("combining.miss", 1);
             if tag != 0 {
                 ctx.bump("combining.evict", 1);
-                let old = self.table.get(ctx, s * 2 + 1);
+                let old = self.table.get_atomic(ctx, s * 2 + 1);
                 ctx.dram_fetch_add_u64(VAddr(tag), old, None, None);
             }
-            self.table.set(ctx, s * 2, va.0);
-            self.table.set(ctx, s * 2 + 1, delta);
+            self.table.set_atomic(ctx, s * 2, va.0);
+            self.table.set_atomic(ctx, s * 2 + 1, delta);
         }
     }
 
@@ -93,12 +98,12 @@ impl CombiningCache {
     pub fn drain(&self, ctx: &mut EventCtx<'_>) -> Vec<(VAddr, u64)> {
         let mut out = Vec::new();
         for s in 0..self.slots {
-            let tag = self.table.get(ctx, s * 2);
+            let tag = self.table.get_atomic(ctx, s * 2);
             if tag != 0 {
-                let bits = self.table.get(ctx, s * 2 + 1);
+                let bits = self.table.get_atomic(ctx, s * 2 + 1);
                 out.push((VAddr(tag), bits));
-                self.table.set(ctx, s * 2, 0);
-                self.table.set(ctx, s * 2 + 1, 0);
+                self.table.set_atomic(ctx, s * 2, 0);
+                self.table.set_atomic(ctx, s * 2 + 1, 0);
             }
         }
         out
@@ -107,17 +112,17 @@ impl CombiningCache {
     /// Flush all resident entries to DRAM and clear the cache.
     pub fn flush(&self, ctx: &mut EventCtx<'_>) {
         for s in 0..self.slots {
-            let tag = self.table.get(ctx, s * 2);
+            let tag = self.table.get_atomic(ctx, s * 2);
             if tag != 0 {
-                let bits = self.table.get(ctx, s * 2 + 1);
+                let bits = self.table.get_atomic(ctx, s * 2 + 1);
                 match self.kind {
                     Kind::F64 => {
                         ctx.dram_fetch_add_f64(VAddr(tag), f64::from_bits(bits), None, None)
                     }
                     Kind::U64 => ctx.dram_fetch_add_u64(VAddr(tag), bits, None, None),
                 }
-                self.table.set(ctx, s * 2, 0);
-                self.table.set(ctx, s * 2 + 1, 0);
+                self.table.set_atomic(ctx, s * 2, 0);
+                self.table.set_atomic(ctx, s * 2 + 1, 0);
             }
         }
     }

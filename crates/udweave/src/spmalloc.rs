@@ -44,6 +44,37 @@ impl SpSlice {
         self.set(ctx, i, v.to_bits());
     }
 
+    /// Atomic-class load of word `i`: part of a lane-serialized commutative
+    /// read-modify-write (e.g. the combining cache). Same cost as [`get`],
+    /// but [`RaceProbe`](updown_sim::RaceProbe) treats unordered
+    /// atomic-class pairs as serialized, not racing (see `docs/udrace.md`).
+    ///
+    /// [`get`]: SpSlice::get
+    #[inline]
+    pub fn get_atomic(&self, ctx: &mut EventCtx<'_>, i: u32) -> u64 {
+        assert!(i < self.len, "SpSlice index {i} out of {}", self.len);
+        ctx.spm_read_atomic(self.base + i)
+    }
+
+    /// Atomic-class store of word `i`; see [`get_atomic`](SpSlice::get_atomic).
+    #[inline]
+    pub fn set_atomic(&self, ctx: &mut EventCtx<'_>, i: u32, v: u64) {
+        assert!(i < self.len, "SpSlice index {i} out of {}", self.len);
+        ctx.spm_write_atomic(self.base + i, v);
+    }
+
+    /// Atomic-class f64 load; see [`get_atomic`](SpSlice::get_atomic).
+    #[inline]
+    pub fn get_f64_atomic(&self, ctx: &mut EventCtx<'_>, i: u32) -> f64 {
+        f64::from_bits(self.get_atomic(ctx, i))
+    }
+
+    /// Atomic-class f64 store; see [`get_atomic`](SpSlice::get_atomic).
+    #[inline]
+    pub fn set_f64_atomic(&self, ctx: &mut EventCtx<'_>, i: u32, v: f64) {
+        self.set_atomic(ctx, i, v.to_bits());
+    }
+
     /// Sub-slice view.
     pub fn slice(&self, off: u32, len: u32) -> SpSlice {
         assert!(off + len <= self.len);

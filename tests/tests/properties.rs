@@ -648,6 +648,52 @@ mod sanitizer {
         }
     }
 
+    /// As [`pr_run`] / [`pm_run`], with the happens-before race probe
+    /// attached instead of the protocol probe.
+    fn pr_raced(threads: u32, race: &updown_sim::RaceProbe) -> (String, u64) {
+        let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), 10)));
+        let sg = split_in_out(&g, 64);
+        let mut cfg = PrConfig::new(2);
+        cfg.machine = machine(2, threads);
+        cfg.machine.race = Some(race.clone());
+        cfg.iterations = 2;
+        let r = run_pagerank(&sg, &cfg);
+        (r.report.to_json(), r.final_tick)
+    }
+
+    fn pm_raced(threads: u32, race: &updown_sim::RaceProbe) -> (String, u64) {
+        let ds = datagen::generate(200, 60, 7);
+        let mut cfg = PmConfig::new(8, vec![1, 2]);
+        cfg.machine = machine(2, threads);
+        cfg.machine.race = Some(race.clone());
+        cfg.batch = 16;
+        cfg.interval = 200;
+        cfg.feeders = 2;
+        let r = run_partial_match(&ds.records, &cfg);
+        (r.report.to_json(), r.final_tick)
+    }
+
+    /// The race probe also has zero observer effect: the metrics JSON of
+    /// a raced run is byte-identical to the bare run at every thread
+    /// count, and the clean apps stay race-free.
+    #[test]
+    fn race_probe_has_zero_observer_effect() {
+        type Bare = fn(u32, Option<ProtocolProbe>, bool) -> (String, u64);
+        type Raced = fn(u32, &updown_sim::RaceProbe) -> (String, u64);
+        let cases: [(Bare, Raced); 2] = [(pr_run, pr_raced), (pm_run, pm_raced)];
+        for (bare, raced) in cases {
+            for threads in [1u32, 4] {
+                let base = bare(threads, None, false);
+                let race = updown_sim::RaceProbe::new();
+                let r = raced(threads, &race);
+                assert_eq!(base, r, "race probe perturbed the run (threads={threads})");
+                let snap = race.snapshot();
+                assert!(snap.is_clean(), "clean app raced: {:?}", snap.sites);
+                assert!(snap.accesses > 0, "race probe saw no accesses");
+            }
+        }
+    }
+
     /// Run an ad-hoc program under the armed sanitizer and return its
     /// diagnostics. `build` registers handlers and injects host messages.
     fn diags_at(threads: u32, build: impl Fn(&mut Engine)) -> Vec<Diagnostic> {

@@ -1,0 +1,199 @@
+//! End-to-end tests of the `udrace` happens-before race detector: seeded
+//! engine-level races (write-write and read-write, DRAM and scratchpad)
+//! are flagged, synchronized patterns (fetch-and-add barriers, message
+//! chains) are not, every application is race-free at conformance scale,
+//! and the `udrace/v1` document is byte-identical at 1/2/4 worker
+//! threads.
+
+use udcheck::apps::{run_app, Probes, ALL_APPS};
+use udcheck::{render_race_document, RaceAnalysis};
+use updown_sim::{
+    Engine, EventWord, MachineConfig, NetworkId, ProtocolProbe, RaceKind, RaceProbe, RaceSpace,
+    VAddr,
+};
+
+/// Tiny machine with the race probe armed.
+fn machine(nodes: u32, threads: u32, race: &RaceProbe) -> MachineConfig {
+    let mut m = MachineConfig::small(nodes, 2, 4);
+    m.threads = threads;
+    m.race = Some(race.clone());
+    m
+}
+
+fn lane(eng: &Engine, node: u32, idx: u32) -> NetworkId {
+    NetworkId(node * eng.config().lanes_per_node() + idx)
+}
+
+/// Two host-spawned map-style tasks on different lanes write the same
+/// DRAM word with no reduce (or any other ordering) between them: a
+/// write-write race, flagged identically at any thread count.
+#[test]
+fn seeded_dram_write_write_race_is_flagged() {
+    for threads in [1, 4] {
+        let race = RaceProbe::new();
+        let mut eng = Engine::new(machine(2, threads, &race));
+        let va = eng.mem_mut().alloc(64, 0, 1, 4096).unwrap();
+        let w = udweave::simple_event(&mut eng, "seeded::writer", move |ctx| {
+            ctx.send_dram_write(va, &[ctx.arg(0)], None);
+            ctx.yield_terminate();
+        });
+        eng.send(EventWord::new(lane(&eng, 0, 0), w), [1], EventWord::IGNORE);
+        eng.send(EventWord::new(lane(&eng, 1, 0), w), [2], EventWord::IGNORE);
+        eng.run();
+        let r = race.snapshot();
+        assert!(!r.is_clean(), "threads={threads}: race must be flagged");
+        assert_eq!(r.sites.len(), 1);
+        assert_eq!(r.sites[0].kind, RaceKind::WriteWrite);
+        assert_eq!(r.sites[0].space, RaceSpace::Dram);
+        assert_eq!(r.sites[0].prior, "seeded::writer");
+        assert_eq!(r.sites[0].current, "seeded::writer");
+    }
+}
+
+/// A host-spawned writer and a host-spawned reader touch the same DRAM
+/// word with no ordering path: a read-write race.
+#[test]
+fn seeded_dram_read_write_race_is_flagged() {
+    let race = RaceProbe::new();
+    let mut eng = Engine::new(machine(2, 1, &race));
+    let va = eng.mem_mut().alloc(64, 0, 1, 4096).unwrap();
+    let fin = udweave::simple_event(&mut eng, "seeded::read_done", |ctx| {
+        ctx.yield_terminate();
+    });
+    let w = udweave::simple_event(&mut eng, "seeded::writer", move |ctx| {
+        ctx.send_dram_write(va, &[7], None);
+        ctx.yield_terminate();
+    });
+    let r = udweave::simple_event(&mut eng, "seeded::reader", move |ctx| {
+        ctx.send_dram_read(va, 1, fin);
+    });
+    eng.send(EventWord::new(lane(&eng, 0, 0), w), [], EventWord::IGNORE);
+    eng.send(EventWord::new(lane(&eng, 1, 0), r), [], EventWord::IGNORE);
+    eng.run();
+    let rep = race.snapshot();
+    assert!(!rep.is_clean());
+    assert!(rep.sites.iter().any(|s| s.kind == RaceKind::ReadWrite));
+}
+
+/// Two host-spawned events on the same lane write one scratchpad word:
+/// lane serialization alone is not an ordering edge, so this is flagged.
+#[test]
+fn seeded_spm_write_write_race_is_flagged() {
+    let race = RaceProbe::new();
+    let mut eng = Engine::new(machine(1, 1, &race));
+    let w = udweave::simple_event(&mut eng, "seeded::spm_writer", |ctx| {
+        ctx.spm_write(2, ctx.arg(0));
+        ctx.yield_terminate();
+    });
+    eng.send(EventWord::new(lane(&eng, 0, 1), w), [1], EventWord::IGNORE);
+    eng.send(EventWord::new(lane(&eng, 0, 1), w), [2], EventWord::IGNORE);
+    eng.run();
+    let r = race.snapshot();
+    assert!(!r.is_clean());
+    assert_eq!(r.sites[0].space, RaceSpace::Spm);
+    assert_eq!(r.sites[0].kind, RaceKind::WriteWrite);
+}
+
+/// Concurrent fetch-and-adds to one word order rather than race, and the
+/// add's reply carries the acquired clock: the last arrival at a
+/// fetch-add barrier may read every earlier worker's data write.
+#[test]
+fn fetch_add_barrier_is_ordered_not_racing() {
+    for threads in [1, 4] {
+        let race = RaceProbe::new();
+        let mut eng = Engine::new(machine(2, threads, &race));
+        let va = eng.mem_mut().alloc(64, 0, 1, 4096).unwrap();
+        let data = move |i: u64| VAddr(va.0 + 8 * i);
+        let counter = VAddr(va.0 + 32);
+        let fin = udweave::simple_event(&mut eng, "barrier::collect", |ctx| {
+            assert_eq!(ctx.arg(0) + ctx.arg(1), 100 + 101);
+            ctx.yield_terminate();
+        });
+        let joined = udweave::simple_event(&mut eng, "barrier::joined", move |ctx| {
+            // arg(0) = counter value before our add; the last arrival
+            // reads both workers' data words.
+            if ctx.arg(0) == 1 {
+                ctx.send_dram_read(data(0), 2, fin);
+            } else {
+                ctx.yield_terminate();
+            }
+        });
+        let w = udweave::simple_event(&mut eng, "barrier::worker", move |ctx| {
+            let i = ctx.arg(0);
+            ctx.send_dram_write(data(i), &[100 + i], None);
+            ctx.dram_fetch_add_u64(counter, 1, Some(joined), None);
+        });
+        eng.send(EventWord::new(lane(&eng, 0, 0), w), [0], EventWord::IGNORE);
+        eng.send(EventWord::new(lane(&eng, 1, 0), w), [1], EventWord::IGNORE);
+        eng.run();
+        let r = race.snapshot();
+        assert!(
+            r.is_clean(),
+            "threads={threads}: barrier must order the read: {:?}",
+            r.sites
+        );
+        assert!(r.accesses > 0);
+    }
+}
+
+/// All five applications are race-free at conformance scale, at one and
+/// at four worker threads.
+#[test]
+fn all_apps_are_race_free_at_conformance_scale() {
+    for threads in [1, 4] {
+        for app in ALL_APPS {
+            let race = RaceProbe::new();
+            let flow = ProtocolProbe::new();
+            run_app(
+                app,
+                threads,
+                10,
+                &Probes {
+                    probe: Some(flow.clone()),
+                    race: Some(race.clone()),
+                    sanitize: false,
+                },
+            );
+            let r = race.snapshot();
+            assert!(
+                r.is_clean(),
+                "{app} threads={threads}: race sites:\n{:#?}",
+                r.sites
+            );
+            assert!(r.accesses > 0, "{app}: probe saw no accesses");
+        }
+    }
+}
+
+/// The rendered `udrace/v1` document for pagerank + ingest is
+/// byte-identical at 1, 2 and 4 worker threads (the other apps are
+/// covered by the CI byte-compare over the full document).
+#[test]
+fn udrace_document_is_byte_identical_across_thread_counts() {
+    let doc = |threads: u32| {
+        let analyses: Vec<RaceAnalysis> = ["pagerank", "ingest"]
+            .iter()
+            .map(|app| {
+                let race = RaceProbe::new();
+                let flow = ProtocolProbe::new();
+                run_app(
+                    app,
+                    threads,
+                    10,
+                    &Probes {
+                        probe: Some(flow.clone()),
+                        race: Some(race.clone()),
+                        sanitize: false,
+                    },
+                );
+                let graph = udcheck::EventFlowGraph::from_report(&flow.snapshot());
+                RaceAnalysis::of(app, &race, Some(&graph))
+            })
+            .collect();
+        render_race_document(&analyses)
+    };
+    let d1 = doc(1);
+    assert_eq!(d1, doc(2), "threads 1 vs 2");
+    assert_eq!(d1, doc(4), "threads 1 vs 4");
+    assert!(d1.contains("\"schema\":\"udrace/v1\""));
+}

@@ -19,8 +19,9 @@ deterministic simulators before:
 
 Scope: the deterministic core (`crates/sim`, `crates/core`,
 `crates/udweave`, plus `crates/graph` and `crates/memory`, whose outputs
-feed simulated runs). The bench/apps/tests crates may measure host time for
-throughput displays and are exempt.
+feed simulated runs), and `crates/analysis`, whose udcheck/udrace reports
+are byte-compared across thread counts in CI. The bench/apps/tests crates
+may measure host time for throughput displays and are exempt.
 
 Escape hatch: a line is exempt when it, or one of the two lines above it,
 contains `det-lint: allow` with a justification.
@@ -43,13 +44,14 @@ LINTED_DIRS = [
     "crates/udweave/src",
     "crates/graph/src",
     "crates/memory/src",
+    "crates/analysis/src",
 ]
 
 # Crate roots and binaries that must open with #![forbid(unsafe_code)].
 FORBID_GLOBS = [
     "crates/*/src/lib.rs",
     "crates/*/src/main.rs",
-    "crates/bench/src/bin/*.rs",
+    "crates/*/src/bin/*.rs",
     "tests/src/lib.rs",
 ]
 
