@@ -10,13 +10,14 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline_compare -- [--scale 14]
-//!     [--nodes 16] [--seed 0] [--threads 1] [--sanitize] [--race] [--trace out.trace.json]
+//!     [--nodes 16] [--seed 0] [--threads 1] [--topology uniform] [--sanitize] [--race]
+//!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine, bench_machine_threads, Cli, Exporter, RaceGate, Sanitizer};
+use bench::{bench_machine, bench_machine_topo, Cli, Exporter, RaceGate, Sanitizer};
 use updown_apps::baseline;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -31,6 +32,7 @@ fn main() {
     let nodes: u32 = cli.get("nodes", 16);
     let seed: u64 = cli.get("seed", 0);
     let sim_threads: u32 = cli.get("threads", 1).max(1);
+    let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -58,7 +60,7 @@ fn main() {
     // ---- PageRank: giga-updates/second ---------------------------------
     let sg = split_in_out(&g, 512);
     let mut pc = PrConfig::new(nodes);
-    pc.machine = bench_machine_threads(nodes, sim_threads);
+    pc.machine = bench_machine_topo(nodes, sim_threads, topology);
     san.arm("pr", &mut pc.machine);
     rg.arm("pr", &mut pc.machine);
     pc.iterations = 2;
@@ -84,7 +86,7 @@ fn main() {
 
     // ---- BFS: giga-traversed-edges/second --------------------------------
     let mut bc = BfsConfig::new(nodes, 0);
-    bc.machine = bench_machine_threads(nodes, sim_threads);
+    bc.machine = bench_machine_topo(nodes, sim_threads, topology);
     san.arm("bfs", &mut bc.machine);
     rg.arm("bfs", &mut bc.machine);
     let bfs = run_bfs(&gu, &bc);
@@ -103,7 +105,7 @@ fn main() {
 
     // ---- TC: edges/second ---------------------------------------------------
     let mut tcfg = TcConfig::new(nodes);
-    tcfg.machine = bench_machine_threads(nodes, sim_threads);
+    tcfg.machine = bench_machine_topo(nodes, sim_threads, topology);
     san.arm("tc", &mut tcfg.machine);
     rg.arm("tc", &mut tcfg.machine);
     let tc = run_tc(&gu, &tcfg);

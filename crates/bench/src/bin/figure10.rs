@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure10 -- [--nodes 32]
-//!     [--base-records 20000] [--seed 0] [--threads 1] [--full] [--sanitize] [--race]
+//!     [--base-records 20000] [--seed 0] [--threads 1] [--topology uniform] [--full]
+//!     [--sanitize] [--race]
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{bench_machine_threads, node_sweep, Cli, RaceGate, Sanitizer, StdOpts};
+use bench::{bench_machine_topo, node_sweep, Cli, RaceGate, Sanitizer, StdOpts};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -34,7 +35,7 @@ fn main() {
         let mut s = Series::new(label);
         for &n in &nodes {
             let mut cfg = IngestConfig::new(n);
-            cfg.machine = bench_machine_threads(n, opts.threads);
+            cfg.machine = bench_machine_topo(n, opts.threads, opts.topology);
             san.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();

@@ -4,11 +4,13 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure11 -- [--records 4000] [--seed 0]
-//!     [--threads 1] [--full] [--sanitize] [--race] [--trace out.trace.json]
+//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race]
+//!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 
 use bench::{Cli, Exporter, RaceGate, Sanitizer, BENCH_ACCELS, BENCH_LANES};
+use updown_sim::TopologyKind;
 use updown_apps::ingest::datagen;
 use updown_apps::partial_match::{run_partial_match, sequential_matches, PmConfig};
 use updown_sim::MachineConfig;
@@ -19,6 +21,7 @@ fn main() {
     let n_records: usize = cli.get("records", if full { 400_000 } else { 150_000 });
     let seed: u64 = cli.get("seed", 0);
     let threads: u32 = cli.get("threads", 1).max(1);
+    let topology: TopologyKind = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -48,6 +51,7 @@ fn main() {
         let mut cfg = PmConfig::new(lanes, pattern.clone());
         cfg.machine = MachineConfig::small(nodes, BENCH_ACCELS, BENCH_LANES);
         cfg.machine.threads = threads;
+        cfg.machine.net.topology = topology;
         san.arm(&format!("pm {label}"), &mut cfg.machine);
         rg.arm(&format!("pm {label}"), &mut cfg.machine);
         cfg.batch = cli.get("batch", 96);

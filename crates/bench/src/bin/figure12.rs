@@ -5,13 +5,14 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure12 -- [--nodes 64] [--seed 0]
-//!     [--threads 1] [--full] [--sanitize] [--race] [--trace out.trace.json]
+//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race]
+//!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine_threads, prepared, Cli, Exporter, RaceGate, Sanitizer};
+use bench::{bench_machine_topo, prepared, Cli, Exporter, RaceGate, Sanitizer};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
@@ -24,6 +25,7 @@ fn main() {
     let scale: u32 = cli.get("scale", if full { 17 } else { 16 });
     let seed: u64 = cli.get("seed", 0);
     let threads: u32 = cli.get("threads", 1).max(1);
+    let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -45,7 +47,7 @@ fn main() {
     let mut mem = 2u32;
     while mem <= compute_nodes {
         let mut pc = PrConfig::new(compute_nodes);
-        pc.machine = bench_machine_threads(compute_nodes, threads);
+        pc.machine = bench_machine_topo(compute_nodes, threads, topology);
         san.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
         rg.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
         pc.mem_nodes = Some(mem);
@@ -55,7 +57,7 @@ fn main() {
         ex.export(&format!("pr mem_nodes={mem}"), &pr.report, pr.trace_json.as_deref());
 
         let mut bc = BfsConfig::new(compute_nodes, 0);
-        bc.machine = bench_machine_threads(compute_nodes, threads);
+        bc.machine = bench_machine_topo(compute_nodes, threads, topology);
         san.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
         rg.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
         bc.mem_nodes = Some(mem);

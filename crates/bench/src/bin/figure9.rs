@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
-//!     [--nodes 32] [--scale 0] [--seed 0] [--iters 2] [--threads 1] [--full]
+//!     [--nodes 32] [--min-nodes 1] [--scale 0] [--seed 0] [--iters 2] [--threads 1]
+//!     [--topology uniform] [--full]
 //!     [--sanitize] [--race] [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 //!
@@ -14,9 +15,10 @@
 //! Chrome trace / metrics document (see docs/observability.md).
 
 use bench::{
-    bench_machine_threads, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli,
+    bench_machine_topo, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli,
     Exporter, RaceGate, Sanitizer, StdOpts,
 };
+use updown_sim::TopologyKind;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -27,6 +29,7 @@ fn pr_sweep(
     shift: i32,
     seed: u64,
     threads: u32,
+    topo: TopologyKind,
     nodes: &[u32],
     iters: u32,
     ex: &mut Exporter,
@@ -40,7 +43,7 @@ fn pr_sweep(
         let mut s = Series::new(&name);
         for &n in nodes {
             let mut cfg = PrConfig::new(n);
-            cfg.machine = bench_machine_threads(n, threads);
+            cfg.machine = bench_machine_topo(n, threads, topo);
             san.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             cfg.iterations = iters;
@@ -67,6 +70,7 @@ fn bfs_sweep(
     shift: i32,
     seed: u64,
     threads: u32,
+    topo: TopologyKind,
     nodes: &[u32],
     ex: &mut Exporter,
     san: &Sanitizer,
@@ -78,7 +82,7 @@ fn bfs_sweep(
         let mut s = Series::new(&name);
         for &n in nodes {
             let mut cfg = BfsConfig::new(n, 0);
-            cfg.machine = bench_machine_threads(n, threads);
+            cfg.machine = bench_machine_topo(n, threads, topo);
             san.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
@@ -105,6 +109,7 @@ fn tc_sweep(
     shift: i32,
     seed: u64,
     threads: u32,
+    topo: TopologyKind,
     nodes: &[u32],
     ex: &mut Exporter,
     san: &Sanitizer,
@@ -119,7 +124,7 @@ fn tc_sweep(
         let mut triangles = None;
         for &n in nodes {
             let mut cfg = TcConfig::new(n);
-            cfg.machine = bench_machine_threads(n, threads);
+            cfg.machine = bench_machine_topo(n, threads, topo);
             san.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             cfg.trace = ex.want_trace();
@@ -153,16 +158,23 @@ fn main() {
         .unwrap_or_else(|| "all".into());
     let opts = StdOpts::parse(&cli, (32, 256), (1, 3));
     let iters: u32 = cli.get("iters", 2);
-    let nodes = node_sweep(opts.max_nodes);
+    // `--min-nodes` trims the small end of the sweep (CI smoke uses it to
+    // export a run that actually has cross-node fabric traffic).
+    let min_nodes: u32 = cli.get("min-nodes", 1);
+    let nodes: Vec<u32> = node_sweep(opts.max_nodes)
+        .into_iter()
+        .filter(|&n| n >= min_nodes)
+        .collect();
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
     let mut ex = opts.exporter;
 
     println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
     println!(
-        "machine: {} accels x {} lanes per node; sweep {:?}",
+        "machine: {} accels x {} lanes per node; topology {}; sweep {:?}",
         bench::BENCH_ACCELS,
         bench::BENCH_LANES,
+        opts.topology,
         nodes
     );
 
@@ -171,6 +183,7 @@ fn main() {
             opts.scale_shift,
             opts.seed,
             opts.threads,
+            opts.topology,
             &nodes,
             iters,
             &mut ex,
@@ -184,7 +197,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, &nodes, &mut ex, &san, &rg);
+        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &nodes, &mut ex, &san, &rg);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -192,8 +205,11 @@ fn main() {
         );
     }
     if which == "tc" || which == "all" {
-        let tc_nodes = node_sweep(if opts.full { 1024 } else { opts.max_nodes });
-        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, &tc_nodes, &mut ex, &san, &rg);
+        let tc_nodes: Vec<u32> = node_sweep(if opts.full { 1024 } else { opts.max_nodes })
+            .into_iter()
+            .filter(|&n| n >= min_nodes)
+            .collect();
+        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &tc_nodes, &mut ex, &san, &rg);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin par_speedup -- [--nodes 64]
-//!     [--scale 13] [--seed 0] [--iters 1] [--threads 1,2,4]
+//!     [--scale 13] [--seed 0] [--iters 1] [--threads 1,2,4] [--topology uniform]
 //!     [--min-speedup 0] [--sanitize] [--race]
 //! ```
 //!
@@ -16,7 +16,7 @@
 //! exit non-zero when the best parallel speedup falls short — the
 //! acceptance gate used by CI.
 
-use bench::{bench_machine_threads, Cli, RaceGate, Sanitizer};
+use bench::{bench_machine_topo, Cli, RaceGate, Sanitizer};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
 use updown_graph::preprocess::split_and_shuffle;
@@ -35,6 +35,7 @@ fn main() {
         .filter(|&t| t > 1)
         .collect();
     let min_speedup: f64 = cli.get("min-speedup", 0.0);
+    let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
 
@@ -43,12 +44,12 @@ fn main() {
 
     println!(
         "Parallel-engine speedup — PageRank, RMAT s{scale}, {nodes} nodes, \
-         {iters} iteration(s)"
+         {iters} iteration(s), {topology} network"
     );
 
     let run = |threads: u32| {
         let mut cfg = PrConfig::new(nodes);
-        cfg.machine = bench_machine_threads(nodes, threads);
+        cfg.machine = bench_machine_topo(nodes, threads, topology);
         san.arm(&format!("pr threads={threads}"), &mut cfg.machine);
         rg.arm(&format!("pr threads={threads}"), &mut cfg.machine);
         cfg.iterations = iters;

@@ -2,7 +2,7 @@
 //! Table 1 demonstration: the four canonical DRAMmalloc layouts, showing
 //! the node placement each translation descriptor produces.
 //!
-//! `cargo run --release -p bench --bin table1_layouts [--sanitize] [--race]`
+//! `cargo run --release -p bench --bin table1_layouts [--topology uniform] [--sanitize] [--race]`
 
 use bench::{Cli, RaceGate, Sanitizer};
 use drammalloc::{dram_malloc_layout, Layout};
@@ -23,6 +23,7 @@ fn main() {
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
     let mut cfg = MachineConfig::small(16, 1, 1);
+    cfg.net.topology = bench::cli::parse_topology(&cli);
     san.arm("layouts", &mut cfg);
     rg.arm("layouts", &mut cfg);
     let mut eng = Engine::new(cfg);

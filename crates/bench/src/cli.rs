@@ -8,7 +8,7 @@
 //! gets traced and exported — enough to inspect one representative run in
 //! `chrome://tracing` without multi-gigabyte outputs.
 
-use updown_sim::{MachineConfig, Metrics, ProtocolProbe, RaceProbe};
+use updown_sim::{MachineConfig, Metrics, ProtocolProbe, RaceProbe, TopologyKind};
 
 /// Minimal flag parsing: `--key value` pairs plus positional args.
 pub struct Cli {
@@ -75,6 +75,10 @@ pub struct StdOpts {
     /// `--threads`: simulator worker threads (1 = sequential engine).
     /// Results are byte-identical across values; only wall-clock changes.
     pub threads: u32,
+    /// `--topology`: system-network topology (`uniform`, `polar`,
+    /// `torus`, `dragonfly`). Results are byte-identical across thread
+    /// counts for every value; `uniform` reproduces the pre-fabric model.
+    pub topology: TopologyKind,
     /// `--full`: paper-sized sweep.
     pub full: bool,
     /// `--sanitize`: arm the runtime protocol sanitizer on every run
@@ -109,11 +113,25 @@ impl StdOpts {
             scale_shift,
             seed: cli.get("seed", 0),
             threads: cli.get("threads", 1).max(1),
+            topology: parse_topology(cli),
             full,
             sanitize: cli.has("sanitize"),
             race: cli.has("race"),
             exporter: Exporter::from_cli(cli),
         }
+    }
+}
+
+/// Parse `--topology`, exiting with the list of valid values on a bad
+/// one (a silent fallback to the default would quietly benchmark the
+/// wrong network).
+pub fn parse_topology(cli: &Cli) -> TopologyKind {
+    match cli.opt::<String>("topology") {
+        None => TopologyKind::default(),
+        Some(s) => s.parse().unwrap_or_else(|e| {
+            eprintln!("--topology {s}: {e}");
+            std::process::exit(2);
+        }),
     }
 }
 
@@ -413,6 +431,17 @@ mod tests {
             hot_lanes: vec![],
             phases: vec![],
             custom: Default::default(),
+            fabric: Default::default(),
         }
+    }
+
+    #[test]
+    fn topology_flag_parses_and_defaults() {
+        let o = StdOpts::parse(&cli(&[]), (32, 256), (1, 3));
+        assert_eq!(o.topology, TopologyKind::Uniform);
+        let o = StdOpts::parse(&cli(&["--topology", "torus"]), (32, 256), (1, 3));
+        assert_eq!(o.topology, TopologyKind::Torus);
+        let o = StdOpts::parse(&cli(&["--topology", "PolarStar"]), (32, 256), (1, 3));
+        assert_eq!(o.topology, TopologyKind::Polar);
     }
 }

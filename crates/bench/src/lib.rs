@@ -17,7 +17,7 @@ pub use cli::{Cli, Exporter, RaceGate, Sanitizer, StdOpts};
 use updown_graph::generators::{erdos_renyi, forest_fire, rmat, RmatParams};
 use updown_graph::preprocess::dedup_sort;
 use updown_graph::{Csr, EdgeList};
-use updown_sim::MachineConfig;
+use updown_sim::{MachineConfig, TopologyKind};
 
 /// Accelerators per node in scaled-down benches.
 pub const BENCH_ACCELS: u32 = 4;
@@ -46,6 +46,24 @@ pub fn bench_machine_threads(nodes: u32, threads: u32) -> MachineConfig {
     let mut cfg = bench_machine(nodes);
     cfg.threads = threads.max(1);
     cfg
+}
+
+/// [`bench_machine_threads`] on a selected system-network topology (see
+/// docs/network.md). `uniform` reproduces [`bench_machine_threads`]
+/// exactly; routed topologies change cross-node transit times and
+/// surface per-link congestion in the metrics JSON.
+pub fn bench_machine_topo(nodes: u32, threads: u32, topology: TopologyKind) -> MachineConfig {
+    let mut cfg = bench_machine_threads(nodes, threads);
+    cfg.net.topology = topology;
+    cfg
+}
+
+impl StdOpts {
+    /// The machine the shared flags ask for: `nodes` nodes at
+    /// `--threads` workers on the `--topology` network.
+    pub fn machine(&self, nodes: u32) -> MachineConfig {
+        bench_machine_topo(nodes, self.threads, self.topology)
+    }
 }
 
 /// The graph menu used across Figure 9 (names echo the paper's inputs).

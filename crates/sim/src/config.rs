@@ -7,6 +7,7 @@
 //! simulator tick is one lane cycle.
 
 use crate::ids::NetworkId;
+use crate::network::TopologyKind;
 use crate::probe::ProtocolProbe;
 use crate::race::RaceProbe;
 
@@ -44,19 +45,36 @@ impl Default for OpCosts {
     }
 }
 
-/// Message latency / bandwidth model. The PolarStar system network
-/// (diameter 3) is abstracted as a uniform remote latency plus per-node NIC
-/// injection serialization.
+/// Message latency / bandwidth model: on-node latency tiers, per-node NIC
+/// injection serialization, and the system-network fabric (a selectable
+/// [`TopologyKind`], see [`crate::network`]). The default
+/// [`TopologyKind::Uniform`] abstracts the PolarStar network (diameter 3)
+/// as one uniform remote latency — the pre-fabric model.
 #[derive(Clone, Debug)]
 pub struct NetworkConfig {
+    /// System-network topology for inter-node transit.
+    pub topology: TopologyKind,
     /// Lane-to-lane within one accelerator (shared scratchpad crossbar).
     pub intra_accel_latency: u64,
     /// Accelerator-to-accelerator within one node.
     pub intra_node_latency: u64,
-    /// Node-to-node over the system network (0.5 µs = 1000 cycles @ 2 GHz).
+    /// Node-to-node over the [`TopologyKind::Uniform`] network
+    /// (0.5 µs = 1000 cycles @ 2 GHz). Routed topologies use
+    /// `hop_latency` per traversed link instead.
     pub inter_node_latency: u64,
+    /// Per-link traversal latency for routed topologies (polar, torus,
+    /// dragonfly), in cycles. 400 cycles = 0.2 µs per hop @ 2 GHz, so a
+    /// diameter-3 route lands near the uniform model's 0.5 µs + switching.
+    pub hop_latency: u64,
     /// NIC injection bandwidth per node, bytes per cycle (4 TB/s ≈ 2048 B/cy).
     pub nic_bytes_per_cycle: u64,
+    /// Nominal per-link capacity, bytes per cycle — the reference for
+    /// per-link utilization reporting (links are demand-tracked, not
+    /// contended; see [`crate::network::Fabric`]).
+    pub link_bytes_per_cycle: u64,
+    /// Window, in cycles, over which per-link demand is bucketed for the
+    /// peak-demand statistics in the metrics JSON.
+    pub link_stat_window: u64,
     /// Fixed per-message wire size in bytes before operands (64-byte
     /// messages carry header + up to 8 operands).
     pub msg_header_bytes: u64,
@@ -65,12 +83,95 @@ pub struct NetworkConfig {
 impl Default for NetworkConfig {
     fn default() -> Self {
         NetworkConfig {
+            topology: TopologyKind::Uniform,
             intra_accel_latency: 4,
             intra_node_latency: 30,
             inter_node_latency: 1000,
+            hop_latency: 400,
             nic_bytes_per_cycle: 2048,
+            link_bytes_per_cycle: 2048,
+            link_stat_window: 16384,
             msg_header_bytes: 8,
         }
+    }
+}
+
+impl NetworkConfig {
+    /// Start building a network config from the paper's defaults.
+    pub fn builder() -> NetworkConfigBuilder {
+        NetworkConfigBuilder::default()
+    }
+}
+
+/// Fluent constructor for [`NetworkConfig`], mirroring
+/// [`MachineConfig::builder`]. Obtained via [`NetworkConfig::builder`]:
+///
+/// ```
+/// use updown_sim::{NetworkConfig, TopologyKind};
+/// let net = NetworkConfig::builder()
+///     .topology(TopologyKind::Torus)
+///     .hop_latency(250)
+///     .nic_bytes_per_cycle(1024)
+///     .build();
+/// assert_eq!(net.topology, TopologyKind::Torus);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NetworkConfigBuilder {
+    cfg: NetworkConfig,
+}
+
+impl NetworkConfigBuilder {
+    /// Select the system-network topology (see [`crate::network`]).
+    pub fn topology(mut self, kind: TopologyKind) -> Self {
+        self.cfg.topology = kind;
+        self
+    }
+
+    pub fn intra_accel_latency(mut self, cycles: u64) -> Self {
+        self.cfg.intra_accel_latency = cycles;
+        self
+    }
+
+    pub fn intra_node_latency(mut self, cycles: u64) -> Self {
+        self.cfg.intra_node_latency = cycles;
+        self
+    }
+
+    pub fn inter_node_latency(mut self, cycles: u64) -> Self {
+        self.cfg.inter_node_latency = cycles;
+        self
+    }
+
+    /// Per-link traversal latency for routed topologies.
+    pub fn hop_latency(mut self, cycles: u64) -> Self {
+        self.cfg.hop_latency = cycles.max(1);
+        self
+    }
+
+    pub fn nic_bytes_per_cycle(mut self, bytes: u64) -> Self {
+        self.cfg.nic_bytes_per_cycle = bytes.max(1);
+        self
+    }
+
+    /// Nominal per-link capacity (utilization reporting reference).
+    pub fn link_bytes_per_cycle(mut self, bytes: u64) -> Self {
+        self.cfg.link_bytes_per_cycle = bytes.max(1);
+        self
+    }
+
+    /// Demand-bucketing window for per-link peak statistics.
+    pub fn link_stat_window(mut self, cycles: u64) -> Self {
+        self.cfg.link_stat_window = cycles.max(1);
+        self
+    }
+
+    pub fn msg_header_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.msg_header_bytes = bytes;
+        self
+    }
+
+    pub fn build(self) -> NetworkConfig {
+        self.cfg
     }
 }
 
@@ -238,6 +339,14 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Select the system-network topology without replacing the rest of
+    /// the network config (shorthand for `.net(...)` with only
+    /// [`NetworkConfig::topology`] changed).
+    pub fn topology(mut self, kind: TopologyKind) -> Self {
+        self.cfg.net.topology = kind;
+        self
+    }
+
     pub fn mem(mut self, mem: MemoryConfig) -> Self {
         self.cfg.mem = mem;
         self
@@ -335,15 +444,45 @@ impl MachineConfig {
         ticks as f64 / (self.clock_ghz * 1e9)
     }
 
-    /// Message latency between two lanes under the topology model.
+    /// Latency between two lanes **on the same node** (the on-node tiers:
+    /// shared-scratchpad crossbar within an accelerator, node fabric
+    /// between accelerators). Cross-node transit is the fabric's business:
+    /// see [`crate::Engine::topology`] and [`crate::network::Topology`].
+    #[inline]
+    pub fn local_msg_latency(&self, src: NetworkId, dst: NetworkId) -> u64 {
+        debug_assert_eq!(
+            self.node_of(src),
+            self.node_of(dst),
+            "local_msg_latency is for on-node pairs; cross-node transit goes through the fabric"
+        );
+        if self.accel_of(src) != self.accel_of(dst) {
+            self.net.intra_node_latency
+        } else {
+            self.net.intra_accel_latency
+        }
+    }
+
+    /// Message latency between two lanes under the *uniform* three-tier
+    /// model.
+    ///
+    /// This is no longer the routing authority: cross-node latency depends
+    /// on the configured [`TopologyKind`] and is answered by the fabric
+    /// ([`crate::network::Topology::latency`], reachable at runtime via
+    /// [`crate::Engine::topology`]). This wrapper keeps the historical
+    /// answer — `inter_node_latency` for any remote pair — which matches
+    /// the fabric only for [`TopologyKind::Uniform`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "routing authority moved to the sim::network Topology/Fabric API; use \
+                Engine::topology().latency(..) for cross-node transit and \
+                MachineConfig::local_msg_latency for on-node tiers"
+    )]
     #[inline]
     pub fn msg_latency(&self, src: NetworkId, dst: NetworkId) -> u64 {
         if self.node_of(src) != self.node_of(dst) {
             self.net.inter_node_latency
-        } else if self.accel_of(src) != self.accel_of(dst) {
-            self.net.intra_node_latency
         } else {
-            self.net.intra_accel_latency
+            self.local_msg_latency(src, dst)
         }
     }
 }
@@ -369,11 +508,43 @@ mod tests {
         let a = cfg.nwid(0, 0, 0);
         let b = cfg.nwid(0, 0, 3);
         let c = cfg.nwid(0, 1, 0);
+        assert_eq!(cfg.local_msg_latency(a, b), cfg.net.intra_accel_latency);
+        assert_eq!(cfg.local_msg_latency(a, c), cfg.net.intra_node_latency);
+        assert_eq!(cfg.local_msg_latency(a, a), cfg.net.intra_accel_latency);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_msg_latency_keeps_uniform_answers() {
+        let cfg = MachineConfig::small(2, 2, 4);
+        let a = cfg.nwid(0, 0, 0);
+        let b = cfg.nwid(0, 0, 3);
+        let c = cfg.nwid(0, 1, 0);
         let d = cfg.nwid(1, 0, 0);
         assert_eq!(cfg.msg_latency(a, b), cfg.net.intra_accel_latency);
         assert_eq!(cfg.msg_latency(a, c), cfg.net.intra_node_latency);
         assert_eq!(cfg.msg_latency(a, d), cfg.net.inter_node_latency);
-        assert_eq!(cfg.msg_latency(a, a), cfg.net.intra_accel_latency);
+    }
+
+    #[test]
+    fn network_builder_mirrors_machine_builder() {
+        let net = NetworkConfig::builder()
+            .topology(TopologyKind::Dragonfly)
+            .hop_latency(123)
+            .link_bytes_per_cycle(256)
+            .link_stat_window(500)
+            .inter_node_latency(900)
+            .build();
+        assert_eq!(net.topology, TopologyKind::Dragonfly);
+        assert_eq!(net.hop_latency, 123);
+        assert_eq!(net.link_bytes_per_cycle, 256);
+        assert_eq!(net.link_stat_window, 500);
+        assert_eq!(net.inter_node_latency, 900);
+        let cfg = MachineConfig::builder()
+            .nodes(4)
+            .topology(TopologyKind::Torus)
+            .build();
+        assert_eq!(cfg.net.topology, TopologyKind::Torus);
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! past the point where another shard could still affect it.
 //!
 //! That point is governed by the **lookahead**: every cross-node effect
-//! (message delivery, remote DRAM request or response) pays at least the
-//! inter-node network latency, so an event executing at time `t` on one
-//! shard cannot influence another shard before `t + lookahead`. The
+//! (message delivery, remote DRAM request or response) traverses the
+//! system network and pays at least the topology's minimum transit time
+//! ([`Topology::min_transit`] — the full inter-node latency for the
+//! uniform model, one hop for routed topologies), so an event executing
+//! at time `t` on one shard cannot influence another shard before
+//! `t + lookahead`. The
 //! scheduler therefore runs in *windows*: a coordinator computes the global
 //! floor (earliest pending entry anywhere), opens the window
 //! `[floor, floor + lookahead)`, and every shard executes exactly its
@@ -39,15 +42,20 @@ use crate::ids::{EventLabel, EventWord, NetworkId, ThreadId};
 use crate::lane::Lane;
 use crate::memory::{GlobalMemory, MemChannels, VAddr};
 use crate::message::Message;
-use crate::network::Nics;
+use crate::network::{Fabric, LinkId, Nics, Topology};
 use crate::probe::{DiagKind, Diagnostic, ProtocolProbe};
 use crate::race::{RaceAccess, RaceExec, ThreadKey};
 use crate::sched::{Parallel, Scheduler, Sequential};
-use crate::stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
+use crate::stats::{
+    Counters, FabricMetrics, LaneMetrics, LinkMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS,
+};
 use crate::trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 
 /// Number of lanes in the [`Metrics::hot_lanes`] report.
 const HOT_LANES_TOP_K: usize = 8;
+
+/// Number of links in the [`FabricMetrics::top_links`] report.
+const FABRIC_TOP_LINKS: usize = 16;
 
 /// A handler executes one event. It may read/write its thread state, send
 /// messages, and issue DRAM requests through the [`EventCtx`]. Handlers
@@ -233,8 +241,12 @@ pub(crate) struct Shared {
     cfg: MachineConfig,
     mem: Arc<GlobalMemory>,
     handlers: Vec<HandlerEntry>,
-    /// Conservative time-window length: the minimum latency of any
-    /// cross-node effect (`inter_node_latency`, floored at 1).
+    /// The system-network topology ([`MachineConfig::net`]`.topology`),
+    /// shared read-only across shards.
+    topo: Arc<dyn Topology>,
+    /// Conservative time-window length: the minimum time by which any
+    /// cross-node effect can trail its injection
+    /// ([`Topology::min_transit`], floored at 1).
     lookahead: u64,
 }
 
@@ -253,6 +265,9 @@ pub(crate) struct EngineCore {
     channel: MemChannels,
     /// This node's NIC (single-node instance, index 0).
     nic: Nics,
+    /// Per-link fabric counters for traffic *injected by this shard*
+    /// (sum-merged across shards at metrics time).
+    fabric: Fabric,
     stats: Counters,
     stop: bool,
     trace: Option<Vec<String>>,
@@ -335,6 +350,48 @@ impl EngineCore {
         });
     }
 
+    /// Carry `action` from this node to remote `dst_node`: serialize the
+    /// bytes at this node's NIC, advance the message hop-by-hop across the
+    /// fabric (attributing per-link counters at each hop's traversal
+    /// time), and buffer the cross-shard delivery at the arrival time.
+    /// Returns `(depart, arrival)` for tracing.
+    ///
+    /// All fabric state touched here belongs to this (source) shard, and
+    /// the arrival trails `depart` by at least [`Topology::min_transit`]
+    /// = the scheduler lookahead, so the conservative-window invariant
+    /// holds for every topology and results stay byte-identical across
+    /// thread counts.
+    fn fabric_send(
+        &mut self,
+        shared: &Shared,
+        ready: u64,
+        dst_node: u32,
+        bytes: u64,
+        action: Action,
+    ) -> (u64, u64) {
+        let depart = self.nic.inject(0, ready, bytes);
+        let src_node = self.id;
+        let route = shared.topo.route(src_node, dst_node);
+        let hops = route.len();
+        for (k, &l) in route.iter().enumerate() {
+            let t = shared.topo.hop_time(depart, k, hops);
+            let cumulative = self.fabric.record(l, t, bytes);
+            if let Some(tr) = &mut self.tracer {
+                let link = shared.topo.links()[l.0 as usize];
+                tr.record(TraceEvent::Link {
+                    src: link.src,
+                    dst: link.dst,
+                    node: src_node,
+                    time: t,
+                    value: cumulative,
+                });
+            }
+        }
+        let arrival = depart + shared.topo.latency(src_node, dst_node);
+        self.push_cross(dst_node, arrival, action);
+        (depart, arrival)
+    }
+
     /// Latency for a lane->memory or memory->lane hop.
     fn mem_hop_latency(shared: &Shared, lane_node: u32, mem_node: u32) -> u64 {
         if lane_node == mem_node {
@@ -368,11 +425,11 @@ impl EngineCore {
         if owner != src_node {
             self.stats.dram_remote_accesses += 1;
             // Request messages are one 72-byte unit regardless of payload.
-            let depart = self.nic.inject(0, t, 72);
-            let arrival = depart + shared.cfg.net.inter_node_latency;
-            self.push_cross(
+            self.fabric_send(
+                shared,
+                t,
                 owner,
-                arrival,
+                72,
                 Action::MemArrive {
                     op,
                     src_node,
@@ -607,11 +664,11 @@ impl EngineCore {
                     write,
                 };
                 if owner != src_node {
-                    let depart = self.nic.inject(0, now, 8 + bytes);
-                    let arrival = depart + shared.cfg.net.inter_node_latency;
-                    self.push_cross(
+                    self.fabric_send(
+                        shared,
+                        now,
                         src_node,
-                        arrival,
+                        8 + bytes,
                         Action::MemDone {
                             resp,
                             owner,
@@ -862,17 +919,19 @@ impl EngineCore {
                     );
                     let bytes = msg.wire_bytes(shared.cfg.net.msg_header_bytes);
                     let dst_node = shared.cfg.node_of(dst);
+                    let label = msg.dst.label().0;
                     let (depart, arrival) = if dst_node != src_node {
                         self.stats.msgs_inter_node += 1;
-                        let depart = self.nic.inject(0, ready, bytes);
-                        (depart, depart + shared.cfg.net.inter_node_latency)
+                        self.fabric_send(shared, ready, dst_node, bytes, Action::Deliver(msg))
                     } else {
                         if shared.cfg.accel_of(src) == shared.cfg.accel_of(dst) {
                             self.stats.msgs_intra_accel += 1;
                         } else {
                             self.stats.msgs_intra_node += 1;
                         }
-                        (ready, ready + shared.cfg.msg_latency(src, dst))
+                        let arrival = ready + shared.cfg.local_msg_latency(src, dst);
+                        self.schedule(arrival, Action::Deliver(msg));
+                        (ready, arrival)
                     };
                     if let Some(tr) = &mut self.tracer {
                         let id = tr.alloc_id();
@@ -880,15 +939,10 @@ impl EngineCore {
                             id,
                             src: l,
                             dst: dst.0,
-                            label: msg.dst.label().0,
+                            label,
                             depart,
                             arrive: arrival,
                         });
-                    }
-                    if dst_node != src_node {
-                        self.push_cross(dst_node, arrival, Action::Deliver(msg));
-                    } else {
-                        self.schedule(arrival, Action::Deliver(msg));
                     }
                 }
                 Outgoing::DramRead {
@@ -1211,6 +1265,9 @@ impl Engine {
         let lanes_per_node = cfg.lanes_per_node();
         let mem = Arc::new(GlobalMemory::new(cfg.nodes));
         let n = cfg.nodes;
+        let topo = cfg.net.topology.build(n, &cfg.net);
+        debug_assert_eq!(topo.nodes(), n);
+        let n_links = topo.links().len();
         let shards = (0..n)
             .map(|id| EngineCore {
                 id,
@@ -1225,6 +1282,7 @@ impl Engine {
                 },
                 channel: MemChannels::new(1, &cfg.mem),
                 nic: Nics::new(1, &cfg.net),
+                fabric: Fabric::new(n_links, cfg.net.link_stat_window),
                 stats: Counters::default(),
                 stop: false,
                 trace: None,
@@ -1240,12 +1298,13 @@ impl Engine {
                 xentry_scratch: Vec::new(),
             })
             .collect();
-        let lookahead = cfg.net.inter_node_latency.max(1);
+        let lookahead = topo.min_transit().max(1);
         Engine {
             shared: Shared {
                 cfg,
                 mem,
                 handlers: Vec::new(),
+                topo,
                 lookahead,
             },
             shards,
@@ -1264,9 +1323,16 @@ impl Engine {
     }
 
     /// The conservative window length used by the schedulers: the minimum
-    /// latency of any cross-node effect.
+    /// latency of any cross-node effect ([`Topology::min_transit`]).
     pub fn lookahead(&self) -> u64 {
         self.shared.lookahead
+    }
+
+    /// The system-network topology this machine runs on — the routing
+    /// authority for cross-node transit (per-pair routes, hop latency,
+    /// link enumeration).
+    pub fn topology(&self) -> &dyn Topology {
+        &*self.shared.topo
     }
 
     /// Register an event handler; returns its label.
@@ -1729,6 +1795,77 @@ impl Engine {
             hot_lanes: hot,
             phases,
             custom,
+            fabric: self.fabric_metrics(),
+        }
+    }
+
+    /// Roll the per-shard fabric counters up into [`FabricMetrics`]: sum
+    /// the per-link byte/flit counters across shards, element-wise sum the
+    /// per-link demand windows (a link's demand in a window is the total
+    /// over every shard injecting into it) and take each link's peak.
+    /// Every step is an ordered sum, so the result is byte-identical
+    /// across thread counts.
+    fn fabric_metrics(&self) -> FabricMetrics {
+        let topo = &*self.shared.topo;
+        let links = topo.links();
+        let mut per_link: Vec<LinkMetrics> = Vec::new();
+        let mut link_bytes_total = 0u64;
+        let mut peak_window_bytes = 0u64;
+        let mut window_sum: Vec<u64> = Vec::new();
+        for (i, l) in links.iter().enumerate() {
+            let id = LinkId(i as u32);
+            let mut bytes = 0u64;
+            let mut flits = 0u64;
+            window_sum.clear();
+            for s in &self.shards {
+                bytes += s.fabric.bytes()[i];
+                flits += s.fabric.flits()[i];
+                let d = s.fabric.demand(id);
+                if window_sum.len() < d.len() {
+                    window_sum.resize(d.len(), 0);
+                }
+                for (w, v) in window_sum.iter_mut().zip(d) {
+                    *w += v;
+                }
+            }
+            if bytes == 0 {
+                continue;
+            }
+            let peak = window_sum.iter().copied().max().unwrap_or(0);
+            link_bytes_total += bytes;
+            peak_window_bytes = peak_window_bytes.max(peak);
+            per_link.push(LinkMetrics {
+                src: l.src,
+                dst: l.dst,
+                bytes,
+                flits,
+                peak_window_bytes: peak,
+            });
+        }
+        let links_used = per_link.len() as u64;
+        per_link.sort_by(|a, b| {
+            b.bytes
+                .cmp(&a.bytes)
+                .then(a.src.cmp(&b.src))
+                .then(a.dst.cmp(&b.dst))
+        });
+        per_link.truncate(FABRIC_TOP_LINKS);
+        FabricMetrics {
+            topology: topo.kind().name().to_string(),
+            hop_latency: topo.hop_latency(),
+            diameter: topo.diameter(),
+            stat_window: self.shared.cfg.net.link_stat_window.max(1),
+            link_bytes_per_cycle: self.shared.cfg.net.link_bytes_per_cycle.max(1),
+            links_total: links.len() as u64,
+            links_used,
+            link_bytes_total,
+            nic_injected_bytes: self
+                .shards
+                .iter()
+                .map(|s| s.nic.injected_bytes.first().copied().unwrap_or(0))
+                .sum(),
+            peak_window_bytes,
+            top_links: per_link,
         }
     }
 
@@ -2869,6 +3006,7 @@ mod tests {
         let mut msgs = 0;
         let mut drams = 0;
         let mut counters = 0;
+        let mut links = 0;
         for e in evs {
             match e {
                 TraceEvent::Exec { start, end, .. } => {
@@ -2881,6 +3019,7 @@ mod tests {
                 }
                 TraceEvent::Dram { .. } => drams += 1,
                 TraceEvent::Counter { .. } => counters += 1,
+                TraceEvent::Link { .. } => links += 1,
             }
         }
         // go + 16 sinks + dram ack + dram data, at least.
@@ -2888,6 +3027,7 @@ mod tests {
         assert!(msgs >= 16, "msgs = {msgs}");
         assert_eq!(drams, 6, "2 transactions x 3 stages");
         assert_eq!(counters, 2);
+        assert!(links >= 1, "cross-node traffic records link traversals");
         assert_eq!(eng.phases().len(), 1);
         assert!(!eng.phases()[0].is_open());
     }

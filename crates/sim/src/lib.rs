@@ -51,15 +51,20 @@ pub mod stats;
 pub mod trace;
 
 pub use calendar::CalendarQueue;
-pub use config::{MachineConfig, MemoryConfig, NetworkConfig, OpCosts};
+pub use config::{
+    MachineConfig, MemoryConfig, NetworkConfig, NetworkConfigBuilder, OpCosts,
+};
 pub use engine::{Engine, EngineRun, EventCtx, Handler};
 pub use sched::{Parallel, Scheduler, Sequential};
 pub use ids::{EventLabel, EventWord, NetworkId, ThreadId};
 pub use memory::{GlobalMemory, MemError, TranslationDescriptor, VAddr};
 pub use message::Message;
+pub use network::{Fabric, Link, LinkId, Nics, Topology, TopologyKind};
 pub use probe::{DiagKind, Diagnostic, ProbeReport, ProtocolProbe};
 pub use race::{Footprint, RaceFilter, RaceKind, RaceProbe, RaceReport, RaceSite, RaceSpace, Region};
-pub use stats::{Counters, LaneMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS};
+pub use stats::{
+    Counters, FabricMetrics, LaneMetrics, LinkMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS,
+};
 pub use trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 
 #[allow(deprecated)]

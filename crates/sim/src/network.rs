@@ -1,11 +1,664 @@
-//! System network timing: per-node NIC injection serialization for
-//! inter-node traffic. The PolarStar topology (diameter 3) is abstracted as
-//! a uniform remote latency — bisection bandwidth in the paper (32 PB/s) is
-//! far from being a bottleneck at the node counts simulated, while the
-//! injection port (4 TB/s per node) is the contended resource.
+//! The system network: a route-aware fabric under a per-node NIC
+//! injection serializer.
+//!
+//! The paper's UpDown machine uses a PolarStar system network (diameter 3,
+//! 32 PB/s bisection, 4 TB/s per-node injection). Two resources matter:
+//!
+//! - the **injection port** — modeled by [`Nics`], a per-node byte-rate
+//!   serializer that queues sustained overload,
+//! - the **fabric** — modeled by a [`Topology`] (which directed links
+//!   exist and which ordered sequence a message traverses between two
+//!   nodes) plus a per-shard [`Fabric`] that advances each in-flight
+//!   message hop-by-hop, attributing its bytes to every directed link at
+//!   that link's traversal time.
+//!
+//! Links are *demand-tracked, not contended*: per-link byte/flit counters
+//! and windowed peak demand expose where a topology concentrates traffic,
+//! while transit latency stays `hops x hop_latency` (the paper's network
+//! is provisioned so the injection port, not the fabric, is the contended
+//! resource). This keeps every topology deterministic and byte-identical
+//! across `--threads` values: all fabric state lives in the *source*
+//! shard, and per-hop times are fixed at injection.
+//!
+//! [`TopologyKind::Uniform`] reproduces the pre-fabric model exactly —
+//! one uniform `inter_node_latency` through an ideal crossbar — and is
+//! the default.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
 
 use crate::config::NetworkConfig;
 
+/// Index of a directed link in [`Topology::links`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// One directed link of the fabric: an ordered (source node, destination
+/// node) pair. For [`TopologyKind::Uniform`] the ideal crossbar itself
+/// appears as pseudo-node `nodes()` (every node has an up-link into it
+/// and a down-link out of it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Link {
+    pub src: u32,
+    pub dst: u32,
+}
+
+/// The selectable system-network topologies (`--topology` on the bench
+/// binaries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TopologyKind {
+    /// The pre-fabric model: every remote pair is one uniform
+    /// `inter_node_latency` through an ideal crossbar. Deterministic fast
+    /// path and the default.
+    #[default]
+    Uniform,
+    /// PolarStar-flavored low-diameter direct network, realized as a 2D
+    /// HyperX (complete graph per row and per column): diameter <= 2,
+    /// within the real PolarStar's diameter-3 bound.
+    Polar,
+    /// 2D torus (rows x cols with wraparound), dimension-order routing.
+    Torus,
+    /// Dragonfly: all-to-all groups of ~sqrt(N) nodes, one global link
+    /// per ordered group pair landing on rotating gateways; diameter <= 3.
+    Dragonfly,
+}
+
+impl TopologyKind {
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::Uniform,
+        TopologyKind::Polar,
+        TopologyKind::Torus,
+        TopologyKind::Dragonfly,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Uniform => "uniform",
+            TopologyKind::Polar => "polar",
+            TopologyKind::Torus => "torus",
+            TopologyKind::Dragonfly => "dragonfly",
+        }
+    }
+
+    /// Instantiate this topology for `nodes` nodes with `net`'s latencies.
+    pub fn build(self, nodes: u32, net: &NetworkConfig) -> Arc<dyn Topology> {
+        let nodes = nodes.max(1);
+        let hop = net.hop_latency.max(1);
+        match self {
+            TopologyKind::Uniform => Arc::new(Uniform::new(nodes, net.inter_node_latency.max(1))),
+            TopologyKind::Polar => Arc::new(Polar::new(nodes, hop)),
+            TopologyKind::Torus => Arc::new(Torus::new(nodes, hop)),
+            TopologyKind::Dragonfly => Arc::new(Dragonfly::new(nodes, hop)),
+        }
+    }
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for TopologyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TopologyKind, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Ok(TopologyKind::Uniform),
+            "polar" | "polarstar" => Ok(TopologyKind::Polar),
+            "torus" => Ok(TopologyKind::Torus),
+            "dragonfly" => Ok(TopologyKind::Dragonfly),
+            other => Err(format!(
+                "unknown topology '{other}' (expected uniform, polar, torus or dragonfly)"
+            )),
+        }
+    }
+}
+
+/// A system-network topology: the directed-link set and, for every ordered
+/// node pair, the fixed minimal route a message traverses. Implementations
+/// are immutable after construction; the engine shares one instance across
+/// shards.
+pub trait Topology: Send + Sync {
+    fn kind(&self) -> TopologyKind;
+
+    /// Node count the topology was built for (the Uniform crossbar
+    /// pseudo-node is *not* counted).
+    fn nodes(&self) -> u32;
+
+    /// All directed links, indexed by [`LinkId`].
+    fn links(&self) -> &[Link];
+
+    /// The ordered directed links a message traverses from `src` to
+    /// `dst`; empty iff `src == dst`.
+    fn route(&self, src: u32, dst: u32) -> &[LinkId];
+
+    /// Cycles to traverse one link.
+    fn hop_latency(&self) -> u64;
+
+    /// End-to-end transit latency `src -> dst`, excluding NIC injection
+    /// serialization.
+    fn latency(&self, src: u32, dst: u32) -> u64 {
+        self.route(src, dst).len() as u64 * self.hop_latency()
+    }
+
+    /// Traversal time of hop `k` (of `hops`) for a message departing at
+    /// `depart`. Monotone in `k`; hop `hops - 1` finishes at
+    /// `depart + latency`.
+    fn hop_time(&self, depart: u64, k: usize, hops: usize) -> u64 {
+        let _ = hops;
+        depart + k as u64 * self.hop_latency()
+    }
+
+    /// Minimum time by which any cross-node effect can trail the moment it
+    /// is injected — the scheduler's conservative lookahead bound.
+    fn min_transit(&self) -> u64 {
+        self.hop_latency()
+    }
+
+    /// Longest minimal route, in hops.
+    fn diameter(&self) -> u32;
+}
+
+/// Flattened per-pair route table: CSR over `(src * n + dst)`.
+struct Routes {
+    n: u32,
+    offsets: Vec<u32>,
+    hops: Vec<LinkId>,
+}
+
+impl Routes {
+    fn get(&self, src: u32, dst: u32) -> &[LinkId] {
+        let i = (src * self.n + dst) as usize;
+        &self.hops[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Walk `next(cur, dst)` for every ordered pair over the enumerated
+    /// `links`, asserting every step uses an enumerated link and that no
+    /// route exceeds `n` hops.
+    fn build(n: u32, links: &[Link], next: impl Fn(u32, u32) -> u32) -> Routes {
+        let idx: BTreeMap<(u32, u32), LinkId> = links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| ((l.src, l.dst), LinkId(i as u32)))
+            .collect();
+        let mut offsets = Vec::with_capacity((n as usize * n as usize) + 1);
+        offsets.push(0u32);
+        let mut hops = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                let mut cur = s;
+                let mut steps = 0u32;
+                while cur != d {
+                    let nx = next(cur, d);
+                    let l = idx
+                        .get(&(cur, nx))
+                        .unwrap_or_else(|| panic!("route {s}->{d} uses missing link {cur}->{nx}"));
+                    hops.push(*l);
+                    cur = nx;
+                    steps += 1;
+                    assert!(steps <= n, "routing loop on {s}->{d}");
+                }
+                offsets.push(hops.len() as u32);
+            }
+        }
+        Routes { n, offsets, hops }
+    }
+
+    /// (min, max) route length over all cross-node pairs; (1, 0) when
+    /// there are none (single-node machine).
+    fn hop_bounds(&self) -> (u32, u32) {
+        let (mut min, mut max) = (u32::MAX, 0u32);
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s == d {
+                    continue;
+                }
+                let len = self.get(s, d).len() as u32;
+                min = min.min(len);
+                max = max.max(len);
+            }
+        }
+        if min == u32::MAX {
+            (1, 0)
+        } else {
+            (min, max)
+        }
+    }
+}
+
+/// Row/column factorization shared by [`Polar`] and [`Torus`]:
+/// `rows x cols = n` with `rows` the largest divisor `<= sqrt(n)`
+/// (prime `n` degenerates to `1 x n`).
+fn grid_dims(n: u32) -> (u32, u32) {
+    let mut rows = 1;
+    let mut i = 1;
+    while i * i <= n {
+        if n.is_multiple_of(i) {
+            rows = i;
+        }
+        i += 1;
+    }
+    (rows, n / rows)
+}
+
+/// The pre-fabric model: an ideal crossbar with one up-link and one
+/// down-link per node (pseudo-node `n` is the crossbar). Every remote pair
+/// is exactly `inter_node_latency` end to end, regardless of hop count, so
+/// simulated timing is byte-identical to the historical uniform model.
+pub struct Uniform {
+    n: u32,
+    inter_node_latency: u64,
+    links: Vec<Link>,
+    routes: Routes,
+}
+
+impl Uniform {
+    pub fn new(n: u32, inter_node_latency: u64) -> Uniform {
+        let mut links = Vec::with_capacity(2 * n as usize);
+        for i in 0..n {
+            links.push(Link { src: i, dst: n }); // up, LinkId(2i)
+            links.push(Link { src: n, dst: i }); // down, LinkId(2i + 1)
+        }
+        let mut offsets = Vec::with_capacity((n as usize * n as usize) + 1);
+        offsets.push(0u32);
+        let mut hops = Vec::new();
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    hops.push(LinkId(2 * s));
+                    hops.push(LinkId(2 * d + 1));
+                }
+                offsets.push(hops.len() as u32);
+            }
+        }
+        Uniform {
+            n,
+            inter_node_latency,
+            links,
+            routes: Routes { n, offsets, hops },
+        }
+    }
+}
+
+impl Topology for Uniform {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Uniform
+    }
+
+    fn nodes(&self) -> u32 {
+        self.n
+    }
+
+    fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    fn route(&self, src: u32, dst: u32) -> &[LinkId] {
+        self.routes.get(src, dst)
+    }
+
+    fn hop_latency(&self) -> u64 {
+        self.inter_node_latency
+    }
+
+    fn latency(&self, src: u32, dst: u32) -> u64 {
+        if src == dst {
+            0
+        } else {
+            self.inter_node_latency
+        }
+    }
+
+    /// The up-link is traversed at injection, the down-link at delivery.
+    fn hop_time(&self, depart: u64, k: usize, _hops: usize) -> u64 {
+        if k == 0 {
+            depart
+        } else {
+            depart + self.inter_node_latency
+        }
+    }
+
+    fn min_transit(&self) -> u64 {
+        self.inter_node_latency
+    }
+
+    fn diameter(&self) -> u32 {
+        2
+    }
+}
+
+/// PolarStar-flavored low-diameter network as a 2D HyperX: nodes on a
+/// `rows x cols` grid, complete graph within every row and every column.
+/// One hop fixes the column, one fixes the row: diameter <= 2.
+pub struct Polar {
+    n: u32,
+    hop: u64,
+    min_transit: u64,
+    diameter: u32,
+    links: Vec<Link>,
+    routes: Routes,
+}
+
+impl Polar {
+    pub fn new(n: u32, hop: u64) -> Polar {
+        let (_rows, cols) = grid_dims(n);
+        let mut links = Vec::new();
+        for u in 0..n {
+            let (ur, uc) = (u / cols, u % cols);
+            for v in 0..n {
+                let (vr, vc) = (v / cols, v % cols);
+                if u != v && (ur == vr || uc == vc) {
+                    links.push(Link { src: u, dst: v });
+                }
+            }
+        }
+        let routes = Routes::build(n, &links, |cur, dst| {
+            let (cr, cc) = (cur / cols, cur % cols);
+            let (dr, dc) = (dst / cols, dst % cols);
+            if cc != dc {
+                cr * cols + dc // row hop to the target column
+            } else {
+                dr * cols + cc // column hop to the target row
+            }
+        });
+        let (min_hops, diameter) = routes.hop_bounds();
+        Polar {
+            n,
+            hop,
+            min_transit: hop * min_hops as u64,
+            diameter,
+            links,
+            routes,
+        }
+    }
+}
+
+impl Topology for Polar {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Polar
+    }
+
+    fn nodes(&self) -> u32 {
+        self.n
+    }
+
+    fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    fn route(&self, src: u32, dst: u32) -> &[LinkId] {
+        self.routes.get(src, dst)
+    }
+
+    fn hop_latency(&self) -> u64 {
+        self.hop
+    }
+
+    fn min_transit(&self) -> u64 {
+        self.min_transit
+    }
+
+    fn diameter(&self) -> u32 {
+        self.diameter
+    }
+}
+
+/// 2D torus with dimension-order (column-first) routing; each step takes
+/// the shorter wraparound direction, ties broken toward +1.
+pub struct Torus {
+    n: u32,
+    hop: u64,
+    min_transit: u64,
+    diameter: u32,
+    links: Vec<Link>,
+    routes: Routes,
+}
+
+impl Torus {
+    pub fn new(n: u32, hop: u64) -> Torus {
+        let (rows, cols) = grid_dims(n);
+        let mut set = std::collections::BTreeSet::new();
+        for u in 0..n {
+            let (ur, uc) = (u / cols, u % cols);
+            if cols > 1 {
+                set.insert((u, ur * cols + (uc + 1) % cols));
+                set.insert((u, ur * cols + (uc + cols - 1) % cols));
+            }
+            if rows > 1 {
+                set.insert((u, ((ur + 1) % rows) * cols + uc));
+                set.insert((u, ((ur + rows - 1) % rows) * cols + uc));
+            }
+        }
+        let links: Vec<Link> = set.into_iter().map(|(src, dst)| Link { src, dst }).collect();
+        // One wraparound-shortest step along a ring of length `len`.
+        let step = |pos: u32, target: u32, len: u32| -> u32 {
+            let fwd = (target + len - pos) % len;
+            if fwd <= len - fwd {
+                (pos + 1) % len
+            } else {
+                (pos + len - 1) % len
+            }
+        };
+        let routes = Routes::build(n, &links, |cur, dst| {
+            let (cr, cc) = (cur / cols, cur % cols);
+            let (dr, dc) = (dst / cols, dst % cols);
+            if cc != dc {
+                cr * cols + step(cc, dc, cols)
+            } else {
+                step(cr, dr, rows) * cols + cc
+            }
+        });
+        let (min_hops, diameter) = routes.hop_bounds();
+        Torus {
+            n,
+            hop,
+            min_transit: hop * min_hops as u64,
+            diameter,
+            links,
+            routes,
+        }
+    }
+}
+
+impl Topology for Torus {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Torus
+    }
+
+    fn nodes(&self) -> u32 {
+        self.n
+    }
+
+    fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    fn route(&self, src: u32, dst: u32) -> &[LinkId] {
+        self.routes.get(src, dst)
+    }
+
+    fn hop_latency(&self) -> u64 {
+        self.hop
+    }
+
+    fn min_transit(&self) -> u64 {
+        self.min_transit
+    }
+
+    fn diameter(&self) -> u32 {
+        self.diameter
+    }
+}
+
+/// Dragonfly: groups of `g = ceil(sqrt(n))` nodes, complete graph within
+/// each group, one directed global link per ordered group pair whose
+/// endpoints rotate over group members (`gw(a, b) = a*g + b % size(a)`),
+/// spreading gateway load. Routes are local-global-local: diameter <= 3.
+pub struct Dragonfly {
+    n: u32,
+    hop: u64,
+    min_transit: u64,
+    diameter: u32,
+    links: Vec<Link>,
+    routes: Routes,
+}
+
+impl Dragonfly {
+    pub fn new(n: u32, hop: u64) -> Dragonfly {
+        let g = (n as f64).sqrt().ceil() as u32;
+        let g = g.max(1);
+        let groups = n.div_ceil(g);
+        let size = |a: u32| -> u32 { g.min(n - a * g) };
+        let gw = |a: u32, b: u32| -> u32 { a * g + b % size(a) };
+        let mut set = std::collections::BTreeSet::new();
+        for u in 0..n {
+            let gu = u / g;
+            for v in (gu * g)..(gu * g + size(gu)) {
+                if v != u {
+                    set.insert((u, v));
+                }
+            }
+        }
+        for a in 0..groups {
+            for b in 0..groups {
+                if a != b {
+                    set.insert((gw(a, b), gw(b, a)));
+                }
+            }
+        }
+        let links: Vec<Link> = set.into_iter().map(|(src, dst)| Link { src, dst }).collect();
+        let routes = Routes::build(n, &links, |cur, dst| {
+            let (ga, gd) = (cur / g, dst / g);
+            if ga == gd {
+                dst
+            } else {
+                let exit = gw(ga, gd);
+                if cur == exit {
+                    gw(gd, ga)
+                } else {
+                    exit
+                }
+            }
+        });
+        let (min_hops, diameter) = routes.hop_bounds();
+        Dragonfly {
+            n,
+            hop,
+            min_transit: hop * min_hops as u64,
+            diameter,
+            links,
+            routes,
+        }
+    }
+}
+
+impl Topology for Dragonfly {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Dragonfly
+    }
+
+    fn nodes(&self) -> u32 {
+        self.n
+    }
+
+    fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    fn route(&self, src: u32, dst: u32) -> &[LinkId] {
+        self.routes.get(src, dst)
+    }
+
+    fn hop_latency(&self) -> u64 {
+        self.hop
+    }
+
+    fn min_transit(&self) -> u64 {
+        self.min_transit
+    }
+
+    fn diameter(&self) -> u32 {
+        self.diameter
+    }
+}
+
+/// Per-shard fabric state: byte/flit counters and windowed demand per
+/// directed link, for traffic *injected by this shard*. Shards never share
+/// fabric state; the engine sum-merges the per-shard counters at metrics
+/// time (and element-wise sums the demand windows before taking the peak),
+/// which keeps every figure byte-identical across `--threads` values.
+pub struct Fabric {
+    bytes: Vec<u64>,
+    flits: Vec<u64>,
+    stat_window: u64,
+    /// Per link, bytes per `stat_window`-cycle bucket (bucket `i` covers
+    /// `[i * stat_window, (i + 1) * stat_window)`). Grown on demand.
+    demand: Vec<Vec<u64>>,
+}
+
+impl Fabric {
+    pub fn new(n_links: usize, stat_window: u64) -> Fabric {
+        Fabric {
+            bytes: vec![0; n_links],
+            flits: vec![0; n_links],
+            stat_window: stat_window.max(1),
+            demand: vec![Vec::new(); n_links],
+        }
+    }
+
+    /// Attribute one link traversal of `bytes` at `time`; returns the
+    /// link's cumulative byte count (for trace counters).
+    pub fn record(&mut self, link: LinkId, time: u64, bytes: u64) -> u64 {
+        let l = link.0 as usize;
+        self.bytes[l] += bytes;
+        self.flits[l] += 1;
+        let bucket = (time / self.stat_window) as usize;
+        let d = &mut self.demand[l];
+        if d.len() <= bucket {
+            d.resize(bucket + 1, 0);
+        }
+        d[bucket] += bytes;
+        self.bytes[l]
+    }
+
+    /// Advance one in-flight message hop-by-hop across `topo`'s route,
+    /// attributing its bytes to every directed link at that link's
+    /// traversal time. Returns the arrival time at `dst`.
+    pub fn transit(&mut self, topo: &dyn Topology, depart: u64, src: u32, dst: u32, bytes: u64) -> u64 {
+        let route = topo.route(src, dst);
+        let hops = route.len();
+        for (k, &l) in route.iter().enumerate() {
+            self.record(l, topo.hop_time(depart, k, hops), bytes);
+        }
+        depart + topo.latency(src, dst)
+    }
+
+    /// Cumulative bytes per link (indexed by [`LinkId`]).
+    pub fn bytes(&self) -> &[u64] {
+        &self.bytes
+    }
+
+    /// Traversals (flits) per link.
+    pub fn flits(&self) -> &[u64] {
+        &self.flits
+    }
+
+    /// Demand buckets of one link (bytes per `stat_window` cycles).
+    pub fn demand(&self, link: LinkId) -> &[u64] {
+        &self.demand[link.0 as usize]
+    }
+
+    pub fn stat_window(&self) -> u64 {
+        self.stat_window
+    }
+}
+
+/// Per-node NIC injection serialization for inter-node traffic: the
+/// injection port (4 TB/s per node) is the contended network resource at
+/// simulated node counts.
 pub struct Nics {
     /// Pipeline occupancy in byte-units (1 cycle = `bytes_per_cycle`
     /// units): many small messages inject per cycle, sustained overload
@@ -26,7 +679,7 @@ impl Nics {
     }
 
     /// Serialize an inter-node injection of `bytes` from `node` at `ready`;
-    /// returns the departure time (add network latency for arrival).
+    /// returns the departure time (add fabric transit for arrival).
     pub fn inject(&mut self, node: u32, ready: u64, bytes: u64) -> u64 {
         let n = node as usize;
         let start_units = (ready * self.bytes_per_cycle).max(self.busy_units[n]);
@@ -40,12 +693,159 @@ impl Nics {
 mod tests {
     use super::*;
 
+    const NODE_COUNTS: &[u32] = &[1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 17, 32];
+
+    fn all_topos(n: u32) -> Vec<Arc<dyn Topology>> {
+        let net = NetworkConfig::default();
+        TopologyKind::ALL.iter().map(|k| k.build(n, &net)).collect()
+    }
+
+    #[test]
+    fn routes_chain_from_src_to_dst_over_enumerated_links() {
+        for &n in NODE_COUNTS {
+            for topo in all_topos(n) {
+                let links = topo.links();
+                for s in 0..n {
+                    for d in 0..n {
+                        let route = topo.route(s, d);
+                        if s == d {
+                            assert!(route.is_empty(), "{}: self-route {s}", topo.kind());
+                            continue;
+                        }
+                        assert!(!route.is_empty(), "{}: empty route {s}->{d}", topo.kind());
+                        let mut cur = s;
+                        for &l in route {
+                            let link = links[l.0 as usize];
+                            assert_eq!(
+                                link.src,
+                                cur,
+                                "{} n={n}: route {s}->{d} breaks at {cur}",
+                                topo.kind()
+                            );
+                            cur = link.dst;
+                        }
+                        assert_eq!(cur, d, "{} n={n}: route {s}->{d} ends elsewhere", topo.kind());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_enumeration_is_consistent() {
+        for &n in NODE_COUNTS {
+            for topo in all_topos(n) {
+                let links = topo.links();
+                let mut sorted: Vec<Link> = links.to_vec();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), links.len(), "{}: duplicate links", topo.kind());
+                for l in links {
+                    assert_ne!(l.src, l.dst, "{}: self-link", topo.kind());
+                    let limit = if topo.kind() == TopologyKind::Uniform {
+                        n + 1 // the crossbar pseudo-node
+                    } else {
+                        n
+                    };
+                    assert!(l.src < limit && l.dst < limit, "{}: out of range", topo.kind());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_bounds_hold() {
+        for &n in NODE_COUNTS {
+            if n < 2 {
+                continue;
+            }
+            let net = NetworkConfig::default();
+            for topo in all_topos(n) {
+                // `diameter()` is exactly the longest minimal route.
+                let longest = (0..n)
+                    .flat_map(|s| (0..n).map(move |d| (s, d)))
+                    .filter(|(s, d)| s != d)
+                    .map(|(s, d)| topo.route(s, d).len() as u32)
+                    .max()
+                    .unwrap();
+                if topo.kind() != TopologyKind::Uniform {
+                    assert_eq!(topo.diameter(), longest, "{} n={n}", topo.kind());
+                }
+                match topo.kind() {
+                    TopologyKind::Uniform => assert_eq!(longest, 2),
+                    TopologyKind::Polar => assert!(topo.diameter() <= 2, "n={n}"),
+                    TopologyKind::Dragonfly => assert!(topo.diameter() <= 3, "n={n}"),
+                    TopologyKind::Torus => {
+                        let (rows, cols) = grid_dims(n);
+                        assert_eq!(topo.diameter(), rows / 2 + cols / 2, "n={n}");
+                    }
+                }
+            }
+            // Routed lookahead bound: one hop (some pair is adjacent).
+            let net_hop = net.hop_latency.max(1);
+            for k in [TopologyKind::Polar, TopologyKind::Torus, TopologyKind::Dragonfly] {
+                assert_eq!(k.build(n, &net).min_transit(), net_hop, "{k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_latency_matches_pre_fabric_model() {
+        let net = NetworkConfig::default();
+        let topo = TopologyKind::Uniform.build(4, &net);
+        assert_eq!(topo.latency(0, 3), net.inter_node_latency);
+        assert_eq!(topo.latency(2, 2), 0);
+        assert_eq!(topo.min_transit(), net.inter_node_latency);
+        // Up-link at depart, down-link at arrival.
+        assert_eq!(topo.hop_time(100, 0, 2), 100);
+        assert_eq!(topo.hop_time(100, 1, 2), 100 + net.inter_node_latency);
+    }
+
+    #[test]
+    fn torus_prime_node_count_degenerates_to_ring() {
+        let topo = Torus::new(7, 10);
+        assert_eq!(topo.diameter(), 3); // 1 x 7 ring
+        assert_eq!(topo.links().len(), 14);
+        assert_eq!(topo.latency(0, 3), 30);
+        assert_eq!(topo.latency(0, 4), 30, "wraps the short way");
+    }
+
+    #[test]
+    fn kind_parses_case_insensitive() {
+        assert_eq!("Torus".parse::<TopologyKind>().unwrap(), TopologyKind::Torus);
+        assert_eq!("DRAGONFLY".parse::<TopologyKind>().unwrap(), TopologyKind::Dragonfly);
+        assert_eq!("polarstar".parse::<TopologyKind>().unwrap(), TopologyKind::Polar);
+        assert!("mesh".parse::<TopologyKind>().is_err());
+        for k in TopologyKind::ALL {
+            assert_eq!(k.name().parse::<TopologyKind>().unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn fabric_tracks_cumulative_and_windowed_demand() {
+        let mut f = Fabric::new(3, 100);
+        assert_eq!(f.record(LinkId(1), 50, 64), 64);
+        assert_eq!(f.record(LinkId(1), 250, 8), 72);
+        assert_eq!(f.bytes()[1], 72);
+        assert_eq!(f.flits()[1], 2);
+        assert_eq!(f.demand(LinkId(1)), &[64, 0, 8]);
+        assert_eq!(f.demand(LinkId(0)), &[] as &[u64]);
+    }
+
+    #[test]
+    fn fabric_transit_attributes_every_hop() {
+        let topo = Torus::new(4, 10); // 2 x 2
+        let mut f = Fabric::new(topo.links().len(), 100);
+        let arrival = f.transit(&topo, 1000, 0, 3, 72);
+        assert_eq!(arrival, 1020, "two hops at 10 cycles each");
+        let used: u64 = f.flits().iter().sum();
+        assert_eq!(used, 2);
+        assert_eq!(f.bytes().iter().sum::<u64>(), 144);
+    }
+
     #[test]
     fn nic_serializes_injections() {
-        let cfg = NetworkConfig {
-            nic_bytes_per_cycle: 64,
-            ..Default::default()
-        };
+        let cfg = NetworkConfig::builder().nic_bytes_per_cycle(64).build();
         let mut nics = Nics::new(2, &cfg);
         assert_eq!(nics.inject(0, 10, 64), 11);
         assert_eq!(nics.inject(0, 10, 64), 12, "second message queues");
@@ -55,10 +855,7 @@ mod tests {
 
     #[test]
     fn nic_pipelines_small_messages() {
-        let cfg = NetworkConfig {
-            nic_bytes_per_cycle: 2048,
-            ..Default::default()
-        };
+        let cfg = NetworkConfig::builder().nic_bytes_per_cycle(2048).build();
         let mut nics = Nics::new(1, &cfg);
         // 28 x 72-byte messages fit within one cycle of port bandwidth.
         for _ in 0..28 {

@@ -135,6 +135,96 @@ pub struct LaneMetrics {
     pub events: u64,
 }
 
+/// One directed fabric link's totals, used for the top-K link report
+/// (see [`FabricMetrics::top_links`]). `src`/`dst` are node indices; for
+/// the uniform topology the crossbar appears as pseudo-node `nodes`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkMetrics {
+    pub src: u32,
+    pub dst: u32,
+    /// Total bytes carried over the run.
+    pub bytes: u64,
+    /// Message traversals (flits) carried over the run.
+    pub flits: u64,
+    /// Bytes in the link's busiest demand window
+    /// ([`FabricMetrics::stat_window`] cycles wide).
+    pub peak_window_bytes: u64,
+}
+
+impl LinkMetrics {
+    /// Peak demand of this link in GB/s at the given clock.
+    pub fn peak_gbps(&self, stat_window: u64, clock_ghz: f64) -> f64 {
+        self.peak_window_bytes as f64 / stat_window.max(1) as f64 * clock_ghz
+    }
+}
+
+/// System-network fabric rollup: which topology ran, its per-directed-link
+/// traffic totals, and the peak windowed link demand. Per-link counters
+/// are attributed by the *injecting* shard and sum-merged, so the whole
+/// section is byte-identical across `--threads` values (see
+/// [`crate::network`]).
+#[derive(Clone, Debug)]
+pub struct FabricMetrics {
+    /// Topology name (`uniform`, `polar`, `torus`, `dragonfly`).
+    pub topology: String,
+    /// Per-link traversal latency in cycles (for `uniform`: the
+    /// end-to-end `inter_node_latency`).
+    pub hop_latency: u64,
+    /// Longest minimal route, in hops.
+    pub diameter: u32,
+    /// Width in cycles of the per-link demand windows behind
+    /// `peak_window_bytes`.
+    pub stat_window: u64,
+    /// Nominal per-link capacity (bytes/cycle), the utilization reference.
+    pub link_bytes_per_cycle: u64,
+    /// Directed links in the topology.
+    pub links_total: u64,
+    /// Directed links that carried at least one byte.
+    pub links_used: u64,
+    /// Bytes carried summed over every directed link (multi-hop routes
+    /// count each traversed link).
+    pub link_bytes_total: u64,
+    /// Bytes injected at the NICs, summed over nodes (single-hop total).
+    pub nic_injected_bytes: u64,
+    /// Bytes in the busiest (link, window) cell — the congestion
+    /// hot spot. Convert to GB/s via [`FabricMetrics::peak_gbps`].
+    pub peak_window_bytes: u64,
+    /// The busiest links by total bytes, descending (ties by src, dst).
+    pub top_links: Vec<LinkMetrics>,
+}
+
+impl FabricMetrics {
+    /// Peak per-link demand in GB/s at the given clock
+    /// (`bytes / window-cycles x cycles-per-second / 1e9`).
+    pub fn peak_gbps(&self, clock_ghz: f64) -> f64 {
+        self.peak_window_bytes as f64 / self.stat_window.max(1) as f64 * clock_ghz
+    }
+
+    /// Peak link utilization against the nominal per-link capacity (0..).
+    pub fn peak_link_utilization(&self) -> f64 {
+        self.peak_window_bytes as f64
+            / (self.stat_window.max(1) as f64 * self.link_bytes_per_cycle.max(1) as f64)
+    }
+}
+
+impl Default for FabricMetrics {
+    fn default() -> FabricMetrics {
+        FabricMetrics {
+            topology: "uniform".to_string(),
+            hop_latency: 0,
+            diameter: 0,
+            stat_window: 1,
+            link_bytes_per_cycle: 1,
+            links_total: 0,
+            links_used: 0,
+            link_bytes_total: 0,
+            nic_injected_bytes: 0,
+            peak_window_bytes: 0,
+            top_links: Vec::new(),
+        }
+    }
+}
+
 /// Final report of a simulation run: the machine-wide [`Counters`] plus
 /// lane/node utilization, phase spans, and runtime-defined custom
 /// counters. Returned by [`crate::Engine::run`]; exportable as stable
@@ -160,6 +250,9 @@ pub struct Metrics {
     pub phases: Vec<PhaseSpan>,
     /// Runtime-defined counters (`EventCtx::bump` / `EventCtx::peak`).
     pub custom: BTreeMap<&'static str, u64>,
+    /// System-network fabric rollup (topology, per-link traffic, peak
+    /// windowed demand).
+    pub fabric: FabricMetrics,
 }
 
 impl Metrics {
@@ -302,6 +395,40 @@ impl Metrics {
         }
         w.end_arr();
 
+        let f = &self.fabric;
+        w.key("fabric").begin_obj();
+        w.key("topology").string(&f.topology);
+        w.key("hop_latency").u64(f.hop_latency);
+        w.key("diameter").u64(f.diameter as u64);
+        w.key("stat_window").u64(f.stat_window);
+        w.key("link_bytes_per_cycle").u64(f.link_bytes_per_cycle);
+        w.key("links_total").u64(f.links_total);
+        w.key("links_used").u64(f.links_used);
+        w.key("link_bytes_total").u64(f.link_bytes_total);
+        w.key("nic_injected_bytes").u64(f.nic_injected_bytes);
+        w.key("peak_window_bytes").u64(f.peak_window_bytes);
+        w.key("peak_link_gbps").f64(f.peak_gbps(self.clock_ghz));
+        w.key("peak_link_utilization").f64(f.peak_link_utilization());
+        w.key("top_links").begin_arr();
+        for l in &f.top_links {
+            w.begin_obj()
+                .key("src")
+                .u64(l.src as u64)
+                .key("dst")
+                .u64(l.dst as u64)
+                .key("bytes")
+                .u64(l.bytes)
+                .key("flits")
+                .u64(l.flits)
+                .key("peak_window_bytes")
+                .u64(l.peak_window_bytes)
+                .key("peak_gbps")
+                .f64(l.peak_gbps(f.stat_window, self.clock_ghz))
+                .end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+
         w.end_obj();
         w.finish()
     }
@@ -355,6 +482,25 @@ mod tests {
                 },
             ],
             custom: BTreeMap::from([("kvmsr.map_tasks", 64u64)]),
+            fabric: FabricMetrics {
+                topology: "torus".to_string(),
+                hop_latency: 400,
+                diameter: 2,
+                stat_window: 16384,
+                link_bytes_per_cycle: 2048,
+                links_total: 8,
+                links_used: 2,
+                link_bytes_total: 288,
+                nic_injected_bytes: 144,
+                peak_window_bytes: 144,
+                top_links: vec![LinkMetrics {
+                    src: 0,
+                    dst: 1,
+                    bytes: 216,
+                    flits: 3,
+                    peak_window_bytes: 144,
+                }],
+            },
         }
     }
 
@@ -413,5 +559,29 @@ mod tests {
         assert_eq!(hist[0].as_u64(), Some(2));
         let hot = &v.get("hot_lanes").unwrap().as_arr().unwrap()[0];
         assert_eq!(hot.get("busy").unwrap().as_u64(), Some(400));
+    }
+
+    #[test]
+    fn fabric_section_round_trips() {
+        let m = sample();
+        let v = JsonValue::parse(&m.to_json()).expect("valid JSON");
+        let f = v.get("fabric").unwrap();
+        assert_eq!(f.get("topology").unwrap().as_str(), Some("torus"));
+        assert_eq!(f.get("hop_latency").unwrap().as_u64(), Some(400));
+        assert_eq!(f.get("diameter").unwrap().as_u64(), Some(2));
+        assert_eq!(f.get("links_total").unwrap().as_u64(), Some(8));
+        assert_eq!(f.get("links_used").unwrap().as_u64(), Some(2));
+        assert_eq!(f.get("link_bytes_total").unwrap().as_u64(), Some(288));
+        assert_eq!(f.get("nic_injected_bytes").unwrap().as_u64(), Some(144));
+        assert_eq!(f.get("peak_window_bytes").unwrap().as_u64(), Some(144));
+        // 144 bytes over a 16384-cycle window at 2 GHz.
+        let gbps = f.get("peak_link_gbps").unwrap().as_f64().unwrap();
+        assert!((gbps - 144.0 / 16384.0 * 2.0).abs() < 1e-12);
+        let link = &f.get("top_links").unwrap().as_arr().unwrap()[0];
+        assert_eq!(link.get("src").unwrap().as_u64(), Some(0));
+        assert_eq!(link.get("dst").unwrap().as_u64(), Some(1));
+        assert_eq!(link.get("bytes").unwrap().as_u64(), Some(216));
+        assert_eq!(link.get("flits").unwrap().as_u64(), Some(3));
+        assert!(link.get("peak_gbps").unwrap().as_f64().is_some());
     }
 }

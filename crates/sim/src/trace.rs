@@ -60,6 +60,17 @@ pub enum TraceEvent {
         time: u64,
         value: i64,
     },
+    /// A fabric link traversal: cumulative bytes carried by the directed
+    /// link `src -> dst` as recorded by the injecting shard `node`. For
+    /// the uniform topology the crossbar appears as pseudo-node
+    /// `nodes()`. Rendered as a per-link congestion counter.
+    Link {
+        src: u32,
+        dst: u32,
+        node: u32,
+        time: u64,
+        value: u64,
+    },
 }
 
 /// A named interval of the run (e.g. a KVMSR map phase). `end` is
@@ -292,6 +303,33 @@ pub fn chrome_trace_json(
                 }
                 w.end_obj();
             }
+            TraceEvent::Link {
+                src,
+                dst,
+                node,
+                time,
+                value,
+            } => {
+                let pid = node + 1;
+                max_pid = max_pid.max(pid);
+                w.begin_obj()
+                    .key("name")
+                    .string(&format!("link n{}->n{} B", src, dst))
+                    .key("cat")
+                    .string("link")
+                    .key("ph")
+                    .string("C")
+                    .key("pid")
+                    .u64(pid as u64)
+                    .key("ts")
+                    .f64(ts(*time))
+                    .key("args")
+                    .begin_obj()
+                    .key("value")
+                    .u64(*value)
+                    .end_obj()
+                    .end_obj();
+            }
             TraceEvent::Counter { name, time, value } => {
                 w.begin_obj()
                     .key("name")
@@ -401,6 +439,13 @@ mod tests {
                 time: 12,
                 value: 3,
             },
+            TraceEvent::Link {
+                src: 0,
+                dst: 1,
+                node: 0,
+                time: 14,
+                value: 72,
+            },
         ];
         let phases = vec![PhaseSpan {
             name: "map".into(),
@@ -423,6 +468,18 @@ mod tests {
         assert_eq!(exec.get("tid").unwrap().as_u64(), Some(5));
         // 10 ticks at 2 GHz = 5 ns = 0.005 us.
         assert_eq!(exec.get("dur").unwrap().as_f64(), Some(0.005));
+        // Link traversal renders as a per-link counter on the node track.
+        let link = evs
+            .iter()
+            .find(|e| e.get("cat").map(|c| c.as_str()) == Some(Some("link")))
+            .unwrap();
+        assert_eq!(link.get("name").unwrap().as_str(), Some("link n0->n1 B"));
+        assert_eq!(link.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(link.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            link.get("args").unwrap().get("value").unwrap().as_u64(),
+            Some(72)
+        );
         // Metadata names both processes.
         let metas: Vec<_> = evs
             .iter()

@@ -83,10 +83,7 @@ fn nic_contention_slows_bursts() {
     // longer than the same count under a fat NIC.
     fn burst(nic_bw: u64) -> u64 {
         let mut cfg = MachineConfig::small(2, 2, 8);
-        cfg.net = NetworkConfig {
-            nic_bytes_per_cycle: nic_bw,
-            ..Default::default()
-        };
+        cfg.net = NetworkConfig::builder().nic_bytes_per_cycle(nic_bw).build();
         let lanes_per_node = cfg.lanes_per_node();
         let mut eng = Engine::new(cfg);
         let sink = simple_event(&mut eng, "sink", |ctx| ctx.yield_terminate());
