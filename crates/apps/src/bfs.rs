@@ -71,11 +71,13 @@ impl BfsResult {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct MasterSt {
     task: Option<MapTask>,
     pending_workers: u32,
 }
+
+#[derive(Clone)]
 
 struct WorkerSt {
     ack: EventWord,
@@ -107,16 +109,23 @@ impl WorkerSt {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct DriverSt {
     round: u64,
     traversed: u64,
 }
 
+updown_sim::snap_state!(MasterSt, "bfs.master", { task, pending_workers });
+updown_sim::snap_state!(WorkerSt, "bfs.worker", { ack, round, emits, ids_loaded, pending_recs, expected_nl, loaded_nl });
+updown_sim::snap_state!(DriverSt, "bfs.driver", { round, traversed });
+
 /// Run BFS over an unsplit CSR (directed expansion along out-edges).
 pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    eng.register_state_codec::<MasterSt>();
+    eng.register_state_codec::<WorkerSt>();
+    eng.register_state_codec::<DriverSt>();
     if cfg.trace {
         eng.enable_event_trace();
     }
@@ -174,6 +183,10 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
 
     // ---- worker thread ---------------------------------------------------
     let job_cell: Arc<Mutex<u32>> = Arc::default();
+    // Handler-visible host state must survive rewinds (docs/checkpoint.md).
+    eng.host_state_cell(&visited);
+    eng.host_state_cell(&cursors);
+    eng.host_state_cell(&job_cell);
     let w_nl_label = {
         let rt = rt.clone();
         let jc = job_cell.clone();
@@ -298,11 +311,13 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     // counts, the added counter) are acknowledged before the reduce task
     // retires — otherwise the next round's count/frontier reads can pass
     // in-flight remote writes.
-    #[derive(Default)]
+    #[derive(Clone, Default)]
     struct RedSt {
         pending: u32,
         job: u32,
     }
+    updown_sim::snap_state!(RedSt, "bfs.reduce", { pending, job });
+    eng.register_state_codec::<RedSt>();
     let red_ack = {
         let rt = rt.clone();
         udweave::event::<RedSt>(&mut eng, "bfs_reduce::writeAck", move |ctx, st| {
@@ -372,6 +387,8 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     // ---- round driver ----------------------------------------------------
     let round_ticks: Arc<Mutex<Vec<u64>>> = Arc::default();
     let traversed: Arc<Mutex<u64>> = Arc::default();
+    eng.host_state_cell(&round_ticks);
+    eng.host_state_cell(&traversed);
     let mut driver = udweave::ThreadType::<DriverSt>::new("main_master");
     let start_label: Arc<Mutex<u16>> = Arc::default();
     let added_ret = {
@@ -423,6 +440,7 @@ pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let round_ticks_out = round_ticks.lock().unwrap().clone();
     let traversed_out = *traversed.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
+    eng.finish_replay("bfs");
     BfsResult {
         dist: dist_out,
         rounds: round_ticks_out.len() as u32,

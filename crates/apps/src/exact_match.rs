@@ -73,17 +73,20 @@ pub fn expected_hits(records: &[RawRecord], queries: &[Query]) -> Vec<u64> {
         .collect()
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct EmSt {
     task: Option<MapTask>,
     recid: u64,
 }
+
+updown_sim::snap_state!(EmSt, "em.map", { task, recid });
 
 /// Run exact match: load `records` into device memory, register `queries`
 /// in an SHT, scan with a map-only KVMSR.
 pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig) -> EmResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    eng.register_state_codec::<EmSt>();
     if cfg.trace {
         eng.enable_event_trace();
     }
@@ -111,6 +114,8 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
     // load is part of the machine's work (it is tiny next to the scan).
     let qtable = sht.create(&mut eng, set, 64, 16, layout);
     let hits: Arc<Mutex<Vec<u64>>> = Arc::default();
+    // Handler-visible host state must survive rewinds (docs/checkpoint.md).
+    eng.host_state_cell(&hits);
 
     let probe_ret = {
         let rt = rt.clone();
@@ -189,6 +194,7 @@ pub fn run_exact_match(records: &[RawRecord], queries: &[Query], cfg: &EmConfig)
     let mut out = hits.lock().unwrap().clone();
     out.sort_unstable();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
+    eng.finish_replay("exact_match");
     EmResult {
         hits: out,
         final_tick: report.final_tick,

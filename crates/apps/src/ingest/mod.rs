@@ -72,18 +72,21 @@ impl IngestResult {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct P1St {
     task: Option<MapTask>,
     pending_reads: u32,
     pending_writes: u32,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct P2St {
     task: Option<MapTask>,
     pending_acks: u32,
 }
+
+updown_sim::snap_state!(P1St, "ingest.p1", { task, pending_reads, pending_writes });
+updown_sim::snap_state!(P2St, "ingest.p2", { task, pending_acks });
 
 /// Expected graph contents of a record stream (oracle for tests).
 pub fn expected_graph(records: &[RawRecord]) -> (usize, usize) {
@@ -106,6 +109,8 @@ pub fn expected_graph(records: &[RawRecord]) -> (usize, usize) {
 pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    eng.register_state_codec::<P1St>();
+    eng.register_state_codec::<P2St>();
     if cfg.trace {
         eng.enable_event_trace();
     }
@@ -278,6 +283,9 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     // ---- driver: phase 1 then phase 2 ---------------------------------------
     let p1_tick: Arc<Mutex<u64>> = Arc::default();
     let p2_tick: Arc<Mutex<u64>> = Arc::default();
+    // Handler-visible host state must survive rewinds (docs/checkpoint.md).
+    eng.host_state_cell(&p1_tick);
+    eng.host_state_cell(&p2_tick);
     let p2t = p2_tick.clone();
     let p2_done = udweave::simple_event(&mut eng, "main::phase2_done", move |ctx| {
         *p2t.lock().unwrap() = ctx.now();
@@ -306,6 +314,7 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     let phase1_tick = *p1_tick.lock().unwrap();
     let phase2_tick = *p2_tick.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
+    eng.finish_replay("ingest");
     IngestResult {
         phase1_tick,
         phase2_tick,

@@ -86,7 +86,7 @@ impl PrResult {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct PrMapSt {
     task: Option<MapTask>,
     slice_deg: u32,
@@ -97,32 +97,47 @@ struct PrMapSt {
     root: u64,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct RedSt {
     job: u32,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct EpiSt {
     pending: u32,
     done_raw: u64,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct AggSt {
     task: Option<MapTask>,
     pending: u32,
     sum: f64,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct DriverSt {
     iter: u32,
+}
+
+updown_sim::snap_state!(PrMapSt, "pr.map", { task, slice_deg, loaded, contrib, nl_va, orig_deg, root });
+updown_sim::snap_state!(RedSt, "pr.reduce", { job });
+updown_sim::snap_state!(EpiSt, "pr.epilogue", { pending, done_raw });
+updown_sim::snap_state!(AggSt, "pr.agg", { task, pending, sum });
+updown_sim::snap_state!(DriverSt, "pr.driver", { iter });
+
+fn register_codecs(eng: &mut Engine) {
+    eng.register_state_codec::<PrMapSt>();
+    eng.register_state_codec::<RedSt>();
+    eng.register_state_codec::<EpiSt>();
+    eng.register_state_codec::<AggSt>();
+    eng.register_state_codec::<DriverSt>();
 }
 
 /// Run PageRank over a pre-split graph (either splitting regime).
 pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let mut eng = Engine::new(cfg.machine.clone());
+    register_codecs(&mut eng);
     if cfg.trace {
         eng.enable_event_trace();
     }
@@ -178,6 +193,10 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let cur_iter: Arc<Mutex<u32>> = Arc::default();
     let iter_ticks: Arc<Mutex<Vec<u64>>> = Arc::default();
     let emitted: Arc<Mutex<u64>> = Arc::default();
+    // Handler-visible host state must survive rewinds (docs/checkpoint.md).
+    eng.host_state_cell(&cur_iter);
+    eng.host_state_cell(&iter_ticks);
+    eng.host_state_cell(&emitted);
 
     // ---- the kv_map / returnRead structure of Listing 3 -----------------
     let ret_nl = {
@@ -239,6 +258,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
 
     // kv_reduce: accumulate into the next array (key = sub or root id).
     let reduce_cache: Arc<Mutex<std::collections::HashMap<u32, CombiningCache>>> = Arc::default();
+    eng.host_state_cell(&reduce_cache);
     let combining = cfg.combining;
     // Acked flush: the epilogue completes only after every drained entry's
     // fetch-and-add has been serviced, so the aggregate job (or the next
@@ -467,6 +487,7 @@ pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let iter_ticks_out = iter_ticks.lock().unwrap().clone();
     let emitted_out = *emitted.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
+    eng.finish_replay("pagerank");
     PrResult {
         values,
         iter_ticks: iter_ticks_out,

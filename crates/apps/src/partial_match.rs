@@ -124,7 +124,7 @@ pub fn sequential_matches(records: &[RawRecord], pattern: &[u16]) -> u64 {
     matches
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct RecSt {
     recid: u64,
     src: u64,
@@ -132,17 +132,22 @@ struct RecSt {
     etype: u64,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct FeedSt {
     next: usize,
     stride: usize,
     per_batch: usize,
 }
 
+updown_sim::snap_state!(RecSt, "pm.record", { recid, src, dst, etype });
+updown_sim::snap_state!(FeedSt, "pm.feeder", { next, stride, per_batch });
+
 /// Stream `records` through ingestion + partial match on a lane subset.
 pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    eng.register_state_codec::<RecSt>();
+    eng.register_state_codec::<FeedSt>();
     if cfg.trace {
         eng.enable_event_trace();
     }
@@ -163,21 +168,37 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     let state = sht.create(&mut eng, set, bl, eb, layout);
     let match_cell = Region::alloc_words(&mut eng, 1, Layout::cyclic(1)).expect("matches");
 
-    let inject_time: Arc<Mutex<HashMap<u64, u64>>> = Arc::default();
     let latencies: Arc<Mutex<Vec<(u64, u64)>>> = Arc::default();
     let matches: Arc<Mutex<u64>> = Arc::default();
     let in_flight: Arc<std::sync::atomic::AtomicU64> = Arc::default();
+    // Handler-visible host state must survive rewinds (docs/checkpoint.md).
+    eng.host_state_cell(&latencies);
+    eng.host_state_cell(&matches);
+    {
+        let a = in_flight.clone();
+        let b = in_flight.clone();
+        eng.register_host_state(
+            move || a.load(std::sync::atomic::Ordering::Relaxed),
+            move |v| b.store(*v, std::sync::atomic::Ordering::Relaxed),
+        );
+    }
     let credit_cap = cfg.inflight_per_lane as u64 * cfg.lanes as u64;
     let pattern = cfg.pattern.clone();
     let plen = pattern.len() as u64;
+    let batch = cfg.batch.max(1);
+    let interval = cfg.interval;
 
     // ---- per-record processing thread ------------------------------------
     let complete = {
-        let inject_time = inject_time.clone();
         let latencies = latencies.clone();
         let in_flight = in_flight.clone();
         udweave::event::<RecSt>(&mut eng, "pm::complete", move |ctx, st| {
-            let t0 = inject_time.lock().unwrap()[&st.recid];
+            // Latency counts from the record's *nominal* arrival at the
+            // port (its place in the stream schedule), so port
+            // backpressure queueing is included. The nominal tick is a
+            // pure function of the record id — no cross-shard host
+            // lookup, which keeps isolated shard replay faithful.
+            let t0 = (st.recid / batch as u64) * interval;
             latencies
                 .lock().unwrap()
                 .push((st.recid, ctx.now().saturating_sub(t0)));
@@ -251,13 +272,10 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     // ---- feeders: the network stream arrives at several ingress lanes ----
     let recs: Arc<Vec<RawRecord>> = Arc::new(records.to_vec());
     let n_feeders = cfg.feeders.clamp(1, cfg.lanes);
-    let batch = cfg.batch.max(1);
     let per_batch = batch.div_ceil(n_feeders as usize).max(1);
-    let interval = cfg.interval;
     let lanes = cfg.lanes;
     let feeder = {
         let recs = recs.clone();
-        let inject_time = inject_time.clone();
         let in_flight = in_flight.clone();
         udweave::event::<FeedSt>(&mut eng, "pm::feeder", move |ctx, st| {
             if st.stride == 0 {
@@ -273,11 +291,6 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
             {
                 let idx = st.next;
                 let r = &recs[idx];
-                // Latency counts from the record's *nominal* arrival at
-                // the port (its place in the stream schedule), so port
-                // backpressure queueing is included.
-                let nominal = (idx as u64 / batch as u64) * interval;
-                inject_time.lock().unwrap().insert(idx as u64, nominal);
                 in_flight.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let lane = set.lane(idx as u32 % lanes);
                 ctx.send_event(
@@ -329,6 +342,7 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     lat.sort_unstable();
     let matches_out = *matches.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
+    eng.finish_replay("partial_match");
     PmResult {
         matches: matches_out,
         latencies: lat.into_iter().map(|(_, l)| l).collect(),

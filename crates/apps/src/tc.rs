@@ -62,7 +62,7 @@ pub struct TcResult {
     pub trace_json: Option<String>,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct TcMapSt {
     task: Option<MapTask>,
     x: u64,
@@ -77,7 +77,7 @@ const TC_PREFETCH: u64 = 4;
 /// Reduce-side intersection state: chunks stream with prefetch and are
 /// reassembled in order (responses can arrive out of order), merging as
 /// data becomes contiguous.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct TcRedSt {
     job: u32,
     deg: [u64; 2],
@@ -99,10 +99,18 @@ struct TcRedSt {
     spd_list: Vec<u64>, // SpdReuse: the cached smaller list
 }
 
+updown_sim::snap_state!(TcMapSt, "tc.map", { task, x, deg, loaded });
+updown_sim::snap_state!(TcRedSt, "tc.reduce", {
+    job, deg, nl, fetched, inflight, expected, stash, buf, recs_pending,
+    count, done, spd_list,
+});
+
 /// Count triangles of an undirected, deduplicated, neighbor-sorted CSR.
 pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     let mc = &cfg.machine;
     let mut eng = Engine::new(mc.clone());
+    eng.register_state_codec::<TcMapSt>();
+    eng.register_state_codec::<TcRedSt>();
     if cfg.trace {
         eng.enable_event_trace();
     }
@@ -375,6 +383,8 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
 
     // ---- driver -----------------------------------------------------------
     let pairs: Arc<Mutex<u64>> = Arc::default();
+    // Handler-visible host state must survive rewinds (docs/checkpoint.md).
+    eng.host_state_cell(&pairs);
     let p2 = pairs.clone();
     let done = udweave::simple_event(&mut eng, "main_master::tc_launcher_done", move |ctx| {
         *p2.lock().unwrap() = ctx.arg(1);
@@ -395,6 +405,7 @@ pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     assert_eq!(raw % 3, 0, "pair-intersection total must be 3 × triangles");
     let pairs_out = *pairs.lock().unwrap();
     let trace_json = cfg.trace.then(|| eng.chrome_trace_json());
+    eng.finish_replay("tc");
     TcResult {
         triangles: raw / 3,
         final_tick: report.final_tick,

@@ -69,7 +69,7 @@ fn skew_job_ticks(binding: MapBinding, window: u32) -> u64 {
 fn window_job_ticks(window: u32) -> u64 {
     use drammalloc::{Layout, Region};
     use kvmsr::MapTask;
-    #[derive(Default)]
+    #[derive(Clone, Default)]
     struct St {
         task: Option<MapTask>,
     }

@@ -17,7 +17,7 @@
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine, bench_machine_topo, Cli, Exporter, RaceGate, Sanitizer};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, bench_machine, bench_machine_topo};
 use updown_apps::baseline;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -35,6 +35,8 @@ fn main() {
     let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let ck = Checkpoint::from_cli(&cli);
+    let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
     let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
 
@@ -63,6 +65,8 @@ fn main() {
     pc.machine = bench_machine_topo(nodes, sim_threads, topology);
     san.arm("pr", &mut pc.machine);
     rg.arm("pr", &mut pc.machine);
+    ck.arm(&mut pc.machine);
+    rp.arm(&mut pc.machine);
     pc.iterations = 2;
     pc.trace = ex.want_trace();
     let pr = run_pagerank(&sg, &pc);
@@ -89,6 +93,8 @@ fn main() {
     bc.machine = bench_machine_topo(nodes, sim_threads, topology);
     san.arm("bfs", &mut bc.machine);
     rg.arm("bfs", &mut bc.machine);
+    ck.arm(&mut bc.machine);
+    rp.arm(&mut bc.machine);
     let bfs = run_bfs(&gu, &bc);
     assert_eq!(bfs.dist, algorithms::bfs(&gu, 0));
     let ud_gteps = bfs.gteps(&bc.machine);
@@ -108,6 +114,8 @@ fn main() {
     tcfg.machine = bench_machine_topo(nodes, sim_threads, topology);
     san.arm("tc", &mut tcfg.machine);
     rg.arm("tc", &mut tcfg.machine);
+    ck.arm(&mut tcfg.machine);
+    rp.arm(&mut tcfg.machine);
     let tc = run_tc(&gu, &tcfg);
     let ud_eps = gu.m() as f64 / tcfg.machine.ticks_to_seconds(tc.final_tick) / 1e9;
     let (host_tc, host_secs) = baseline::time(|| baseline::tc_parallel(&gu, threads));
@@ -126,7 +134,7 @@ fn main() {
          Perlmutter/EOS — the shape to reproduce is the orders-of-magnitude gap)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || dirty {
+    if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

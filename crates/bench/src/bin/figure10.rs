@@ -9,7 +9,7 @@
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{bench_machine_topo, node_sweep, Cli, RaceGate, Sanitizer, StdOpts};
+use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, StdOpts, bench_machine_topo, node_sweep};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -21,6 +21,8 @@ fn main() {
     let nodes = node_sweep(opts.max_nodes);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let ck = Checkpoint::from_cli(&cli);
+    let rp = ReplayGate::from_cli(&cli);
     let mut ex = opts.exporter;
 
     println!("Figure 10 reproduction — ingestion scaling (records = {base} x multiplier)");
@@ -38,6 +40,8 @@ fn main() {
             cfg.machine = bench_machine_topo(n, opts.threads, opts.topology);
             san.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
+            ck.arm(&mut cfg.machine);
+            rp.arm(&mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_ingest(&ds, &cfg);
@@ -61,7 +65,7 @@ fn main() {
          small datasets saturating early and large ones scaling further)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || dirty {
+    if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -9,7 +9,7 @@
 //!     [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{Cli, Exporter, RaceGate, Sanitizer, BENCH_ACCELS, BENCH_LANES};
+use bench::{BENCH_ACCELS, BENCH_LANES, Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer};
 use updown_sim::TopologyKind;
 use updown_apps::ingest::datagen;
 use updown_apps::partial_match::{run_partial_match, sequential_matches, PmConfig};
@@ -24,6 +24,8 @@ fn main() {
     let topology: TopologyKind = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let ck = Checkpoint::from_cli(&cli);
+    let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
     let lanes_per_node = BENCH_ACCELS * BENCH_LANES;
 
@@ -54,6 +56,8 @@ fn main() {
         cfg.machine.net.topology = topology;
         san.arm(&format!("pm {label}"), &mut cfg.machine);
         rg.arm(&format!("pm {label}"), &mut cfg.machine);
+        ck.arm(&mut cfg.machine);
+        rp.arm(&mut cfg.machine);
         cfg.batch = cli.get("batch", 96);
         cfg.interval = cli.get("interval", 32);
         cfg.feeders = 8;
@@ -83,7 +87,7 @@ fn main() {
     }
     println!("\n(the paper's Table 12: speedups 1.00 / 3.34 / 5.56 / 10.42)");
     let dirty = san.dirty();
-    if rg.dirty() || dirty {
+    if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{bench_machine_topo, prepared, Cli, Exporter, RaceGate, Sanitizer};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, bench_machine_topo, prepared};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
@@ -28,6 +28,8 @@ fn main() {
     let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let ck = Checkpoint::from_cli(&cli);
+    let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
@@ -50,6 +52,8 @@ fn main() {
         pc.machine = bench_machine_topo(compute_nodes, threads, topology);
         san.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
         rg.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
+        ck.arm(&mut pc.machine);
+        rp.arm(&mut pc.machine);
         pc.mem_nodes = Some(mem);
         pc.iterations = 1;
         pc.trace = ex.want_trace();
@@ -60,6 +64,8 @@ fn main() {
         bc.machine = bench_machine_topo(compute_nodes, threads, topology);
         san.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
         rg.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
+        ck.arm(&mut bc.machine);
+        rp.arm(&mut bc.machine);
         bc.mem_nodes = Some(mem);
         let bfs = run_bfs(&g, &bc);
 
@@ -83,7 +89,7 @@ fn main() {
          trend less pronounced)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || dirty {
+    if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

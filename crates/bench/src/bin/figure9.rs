@@ -14,10 +14,7 @@
 //! and `--metrics-json` export the first simulated run of the sweep as a
 //! Chrome trace / metrics document (see docs/observability.md).
 
-use bench::{
-    bench_machine_topo, graph_menu_seeded, node_sweep, prepared, prepared_undirected, Cli,
-    Exporter, RaceGate, Sanitizer, StdOpts,
-};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, StdOpts, bench_machine_topo, graph_menu_seeded, node_sweep, prepared, prepared_undirected};
 use updown_sim::TopologyKind;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
@@ -35,6 +32,8 @@ fn pr_sweep(
     ex: &mut Exporter,
     san: &Sanitizer,
     rg: &RaceGate,
+    ck: &Checkpoint,
+    rp: &ReplayGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
@@ -46,6 +45,8 @@ fn pr_sweep(
             cfg.machine = bench_machine_topo(n, threads, topo);
             san.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
+            ck.arm(&mut cfg.machine);
+            rp.arm(&mut cfg.machine);
             cfg.iterations = iters;
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
@@ -75,6 +76,8 @@ fn bfs_sweep(
     ex: &mut Exporter,
     san: &Sanitizer,
     rg: &RaceGate,
+    ck: &Checkpoint,
+    rp: &ReplayGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(shift, seed) {
@@ -85,6 +88,8 @@ fn bfs_sweep(
             cfg.machine = bench_machine_topo(n, threads, topo);
             san.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
+            ck.arm(&mut cfg.machine);
+            rp.arm(&mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_bfs(&g, &cfg);
@@ -114,6 +119,8 @@ fn tc_sweep(
     ex: &mut Exporter,
     san: &Sanitizer,
     rg: &RaceGate,
+    ck: &Checkpoint,
+    rp: &ReplayGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     // TC is intersection-heavy: drop the graphs three scales relative to
@@ -127,6 +134,8 @@ fn tc_sweep(
             cfg.machine = bench_machine_topo(n, threads, topo);
             san.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
+            ck.arm(&mut cfg.machine);
+            rp.arm(&mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_tc(&g, &cfg);
@@ -167,6 +176,8 @@ fn main() {
         .collect();
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let ck = Checkpoint::from_cli(&cli);
+    let rp = ReplayGate::from_cli(&cli);
     let mut ex = opts.exporter;
 
     println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
@@ -189,6 +200,8 @@ fn main() {
             &mut ex,
             &san,
             &rg,
+            &ck,
+            &rp,
         );
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
@@ -197,7 +210,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &nodes, &mut ex, &san, &rg);
+        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &nodes, &mut ex, &san, &rg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -209,7 +222,7 @@ fn main() {
             .into_iter()
             .filter(|&n| n >= min_nodes)
             .collect();
-        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &tc_nodes, &mut ex, &san, &rg);
+        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &tc_nodes, &mut ex, &san, &rg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",
@@ -217,7 +230,7 @@ fn main() {
         );
     }
     let dirty = san.dirty();
-    if rg.dirty() || dirty {
+    if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

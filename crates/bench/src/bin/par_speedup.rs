@@ -16,7 +16,7 @@
 //! exit non-zero when the best parallel speedup falls short — the
 //! acceptance gate used by CI.
 
-use bench::{bench_machine_topo, Cli, RaceGate, Sanitizer};
+use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, bench_machine_topo};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
 use updown_graph::preprocess::split_and_shuffle;
@@ -38,6 +38,8 @@ fn main() {
     let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let ck = Checkpoint::from_cli(&cli);
+    let rp = ReplayGate::from_cli(&cli);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
     let (sg, _) = split_and_shuffle(&el, 512, 7);
@@ -52,6 +54,8 @@ fn main() {
         cfg.machine = bench_machine_topo(nodes, threads, topology);
         san.arm(&format!("pr threads={threads}"), &mut cfg.machine);
         rg.arm(&format!("pr threads={threads}"), &mut cfg.machine);
+        ck.arm(&mut cfg.machine);
+        rp.arm(&mut cfg.machine);
         cfg.iterations = iters;
         let t0 = std::time::Instant::now();
         let r = run_pagerank(&sg, &cfg);
@@ -106,7 +110,7 @@ fn main() {
         println!("\nbest speedup {best:.2}x >= required {min_speedup:.2}x");
     }
     let dirty = san.dirty();
-    if rg.dirty() || dirty {
+    if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! `cargo run --release -p bench --bin table1_layouts [--topology uniform] [--sanitize] [--race]`
 
-use bench::{Cli, RaceGate, Sanitizer};
+use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer};
 use drammalloc::{dram_malloc_layout, Layout};
 use updown_sim::{Engine, MachineConfig, VAddr};
 
@@ -22,10 +22,14 @@ fn main() {
     let cli = Cli::parse();
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let ck = Checkpoint::from_cli(&cli);
+    let rp = ReplayGate::from_cli(&cli);
     let mut cfg = MachineConfig::small(16, 1, 1);
     cfg.net.topology = bench::cli::parse_topology(&cli);
     san.arm("layouts", &mut cfg);
     rg.arm("layouts", &mut cfg);
+    ck.arm(&mut cfg);
+    rp.arm(&mut cfg);
     let mut eng = Engine::new(cfg);
 
     let a = dram_malloc_layout(&mut eng, 64 * 4096, Layout::cyclic(16)).unwrap();
@@ -44,7 +48,7 @@ fn main() {
     println!("\n(each number is the physical node owning consecutive blocks of the");
     println!(" virtual region — one translation descriptor per allocation)");
     let dirty = san.dirty();
-    if rg.dirty() || dirty {
+    if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -43,6 +43,11 @@ fn main() {
     if std::env::args().any(|a| a == "--topology") {
         eprintln!("table5_loc: --topology accepted, but this binary runs no simulation");
     }
+    for f in ["--checkpoint", "--restore", "--checkpoint-every", "--record", "--replay"] {
+        if std::env::args().any(|a| a == f) {
+            eprintln!("table5_loc: {f} accepted, but this binary runs no simulation");
+        }
+    }
     let root = std::env::var("CARGO_MANIFEST_DIR")
         .map(|d| format!("{d}/../.."))
         .unwrap_or_else(|_| ".".into());

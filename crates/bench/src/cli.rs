@@ -279,6 +279,156 @@ impl RaceGate {
     }
 }
 
+/// `--checkpoint` / `--restore` / `--checkpoint-every` support for the
+/// figure binaries (see docs/checkpoint.md).
+///
+/// * `--checkpoint-every N` sets [`MachineConfig::checkpoint_every`] on
+///   every armed run: the engine pauses every `N` scheduler windows,
+///   snapshots, round-trips the snapshot and continues. Results are
+///   byte-identical with checkpointing on or off.
+/// * `--checkpoint <path>` additionally writes an `updown-snapshot/v1`
+///   file at the first checkpoint boundary of the *first* armed run
+///   (first-run-wins, like the [`Exporter`]). Defaults the cadence to 8
+///   windows when `--checkpoint-every` is absent.
+/// * `--restore <path>` re-drives the first armed run against the
+///   snapshot: at the recorded window the engine byte-compares its live
+///   state against the file, round-trips the decoder, and continues.
+///   The header is validated up front so a bad path or corrupt file is a
+///   clean CLI error. Defaults the cadence to the snapshot's window so
+///   the boundary lands exactly once.
+pub struct Checkpoint {
+    every: u64,
+    write_path: Option<String>,
+    restore_path: Option<String>,
+    /// First-run-wins: paths attach to the first armed run only.
+    armed_paths: std::sync::atomic::AtomicBool,
+}
+
+impl Checkpoint {
+    pub fn from_cli(cli: &Cli) -> Checkpoint {
+        let write_path: Option<String> = cli.opt("checkpoint");
+        let restore_path: Option<String> = cli.opt("restore");
+        let mut every: u64 = cli.get("checkpoint-every", 0);
+        if let Some(p) = &restore_path {
+            // Validate the header up front: a missing or corrupt snapshot
+            // should be a CLI error, not a mid-sweep panic.
+            match updown_sim::snapshot::read_header(std::path::Path::new(p)) {
+                Ok(h) => {
+                    if every == 0 {
+                        every = h.window.max(1);
+                    } else if h.window % every != 0 {
+                        eprintln!(
+                            "--restore {p}: snapshot was taken at window {} which is not a \
+                             multiple of --checkpoint-every {every}",
+                            h.window
+                        );
+                        std::process::exit(2);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("--restore {p}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if write_path.is_some() && every == 0 {
+            every = 8;
+        }
+        Checkpoint {
+            every,
+            write_path,
+            restore_path,
+            armed_paths: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.every != 0
+    }
+
+    /// Arm `cfg` with the checkpoint cadence; the snapshot file paths
+    /// (write or restore) attach to the first armed run only.
+    pub fn arm(&self, cfg: &mut MachineConfig) {
+        if self.every == 0 {
+            return;
+        }
+        cfg.checkpoint_every = self.every;
+        if !self.armed_paths.swap(true, std::sync::atomic::Ordering::Relaxed) {
+            cfg.checkpoint_path = self.write_path.clone().map(Into::into);
+            cfg.restore_path = self.restore_path.clone().map(Into::into);
+        }
+    }
+}
+
+/// `--record` / `--replay` support for the figure binaries (see
+/// docs/checkpoint.md): `--record` makes every armed run capture its
+/// cross-shard message schedule (measures recording overhead); `--replay`
+/// additionally re-executes every shard of every recording in isolation
+/// after the run and byte-compares the replayed event stream against the
+/// recorded one, reporting divergences at the end of `main`.
+pub struct ReplayGate {
+    record: bool,
+    check: Option<updown_sim::ReplayCheck>,
+}
+
+impl ReplayGate {
+    pub fn from_cli(cli: &Cli) -> ReplayGate {
+        let replay = cli.has("replay");
+        ReplayGate {
+            record: cli.has("record") || replay,
+            check: replay.then(updown_sim::ReplayCheck::new),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.record
+    }
+
+    /// Arm `cfg` to record (and, under `--replay`, verify) the run.
+    pub fn arm(&self, cfg: &mut MachineConfig) {
+        if self.record {
+            cfg.record = true;
+        }
+        if let Some(check) = &self.check {
+            cfg.replay = Some(check.clone());
+        }
+    }
+
+    /// Print the per-run replay verdicts to stderr; returns whether any
+    /// replayed shard diverged from its recording.
+    pub fn dirty(&self) -> bool {
+        let Some(check) = &self.check else {
+            return false;
+        };
+        let reports = check.reports();
+        let mut dirty = false;
+        for r in &reports {
+            if r.ok() {
+                eprintln!(
+                    "replay[{}]: {} shard(s), {} window(s), {} event(s) — byte-identical",
+                    r.label, r.shards, r.rounds, r.events
+                );
+            } else {
+                dirty = true;
+                for m in &r.mismatches {
+                    eprintln!("replay[{}] DIVERGED: {m}", r.label);
+                }
+            }
+        }
+        if reports.is_empty() {
+            eprintln!("replay: no runs verified");
+        }
+        dirty
+    }
+
+    /// Tail-of-`main` helper: report and exit non-zero on divergence.
+    pub fn exit_if_dirty(&self) {
+        if self.dirty() {
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Host-throughput annotation for sweep progress lines: simulated events
 /// retired per *host* second, formatted via [`crate::timing::fmt_rate`].
 ///

@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use udweave::{LaneSet, TreeComm};
-use updown_sim::{Engine, EventCtx, EventLabel, EventWord, NetworkId};
+use updown_sim::{snap_fields, snap_state, Engine, EventCtx, EventLabel, EventWord, NetworkId};
 
 use crate::binding::{KeyRange, MapBinding, ReduceBinding};
 use crate::task::{JobId, MapTask, Outcome, ReduceTask};
@@ -188,7 +188,7 @@ pub struct Kvmsr {
     tree: TreeComm,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct MasterState {
     job: u32,
     keys: u64,
@@ -196,6 +196,7 @@ struct MasterState {
     cont_raw: u64,
 }
 
+#[derive(Clone)]
 struct LauncherState {
     job: u32,
     user_arg: u64,
@@ -226,11 +227,40 @@ impl Default for LauncherState {
     }
 }
 
+// Snapshot codecs: live master/launcher thread states must survive a
+// checkpoint/restore cycle byte-for-byte (docs/checkpoint.md).
+snap_fields!(KeyRange, { next, end, stride });
+snap_state!(MasterState, "kvmsr.master", { job, keys, emitted, cont_raw });
+snap_state!(LauncherState, "kvmsr.launcher", {
+    job, user_arg, range, in_flight, processed, emitted, ack, pbmw,
+    requested, drained,
+});
+
 impl Kvmsr {
     /// Install the runtime's event handlers on an engine. Call once, before
     /// defining jobs.
     pub fn install(eng: &mut Engine) -> Kvmsr {
+        eng.register_state_codec::<MasterState>();
+        eng.register_state_codec::<LauncherState>();
         let inner: Arc<Mutex<Inner>> = Arc::default();
+        // Run bookkeeping (active flags, PBMW watermarks) and the per-lane
+        // reduce-completion counters are host-side state read back by the
+        // poll/grant handlers — rewinds must carry them (docs/checkpoint.md).
+        {
+            let a = inner.clone();
+            let b = inner.clone();
+            eng.register_host_state(
+                move || {
+                    let inn = a.lock().unwrap();
+                    (inn.runs.clone(), inn.reduce_counts.clone())
+                },
+                move |(runs, counts)| {
+                    let mut inn = b.lock().unwrap();
+                    inn.runs = runs.clone();
+                    inn.reduce_counts = counts.clone();
+                },
+            );
+        }
         let labels: Arc<Mutex<Labels>> = Arc::default();
         let tree = TreeComm::install(eng, "kvmsr_tree", 8);
         let rt = Kvmsr {
@@ -774,7 +804,7 @@ mod tests {
     #[test]
     fn async_map_tasks() {
         // Map issues a DRAM read and finishes in a second event.
-        #[derive(Default)]
+        #[derive(Clone, Default)]
         struct St {
             task: Option<MapTask>,
         }
@@ -862,7 +892,7 @@ mod tests {
     #[test]
     fn async_reduce_tasks() {
         // Reduce reads DRAM before accumulating; termination must wait.
-        #[derive(Default)]
+        #[derive(Clone, Default)]
         struct St {
             job: u32,
             add: u64,

@@ -40,10 +40,12 @@ impl SortPlan {
 /// completion each bucket `b` holds `mem[seg_len_base + 8b]` unsorted
 /// values in its segment; [`read_sorted`] extracts the sorted output.
 pub fn install_sort(eng: &mut updown_sim::Engine, rt: &Kvmsr, set: LaneSet, plan: SortPlan) -> JobId {
-    #[derive(Default)]
+    #[derive(Clone, Default)]
     struct MapSt {
         task: Option<crate::task::MapTask>,
     }
+    updown_sim::snap_state!(MapSt, "sort.map", { task });
+    eng.register_state_codec::<MapSt>();
     let rt_for_read = rt.clone();
     let on_read = udweave::event::<MapSt>(eng, "sort::returnRead", move |ctx, st| {
         let v = ctx.arg(0);
@@ -62,6 +64,7 @@ pub fn install_sort(eng: &mut updown_sim::Engine, rt: &Kvmsr, set: LaneSet, plan
     // so hash order cannot reach any output.
     let cursors: std::sync::Arc<std::sync::Mutex<std::collections::HashMap<u64, u64>>> =
         std::sync::Arc::default();
+    eng.host_state_cell(&cursors);
     let spec = JobSpec::new("global_sort", set, move |ctx, task, _rt| {
         ctx.state_mut::<MapSt>().task = Some(*task);
         ctx.send_dram_read(plan.input.word(task.key), 1, on_read);

@@ -1,10 +1,19 @@
 //! Task handles passed to application `kv_map` / `kv_reduce` code.
 
-use updown_sim::{EventCtx, EventWord};
+use updown_sim::{snap_fields, EventCtx, EventWord, SnapField, SnapReader, SnapWriter, SnapshotError};
 
 /// Identifier of a defined KVMSR job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct JobId(pub u32);
+
+impl SnapField for JobId {
+    fn put(&self, w: &mut SnapWriter) {
+        w.u32(self.0);
+    }
+    fn take(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(JobId(r.u32()?))
+    }
+}
 
 /// What an application handler reports back to the KVMSR wrapper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,6 +41,10 @@ pub struct MapTask {
     /// Emits performed so far (needed by reduce-phase termination).
     pub(crate) emits: u64,
 }
+
+// Map tasks live inside application thread states across events, so they
+// must be snapshot-encodable (docs/checkpoint.md).
+snap_fields!(MapTask, { job, key, arg, launcher, emits });
 
 impl MapTask {
     pub(crate) fn parse(ctx: &EventCtx<'_>) -> MapTask {

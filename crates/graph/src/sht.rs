@@ -114,9 +114,41 @@ struct Pending {
     reply_raw: u64,
 }
 
+updown_sim::snap_state!(Pending, "sht.pending", { sht, op, key, value, reply_raw });
+
 impl ShtLib {
     pub fn install(eng: &mut Engine) -> ShtLib {
         let inner: Arc<Mutex<Inner>> = Arc::default();
+        eng.register_state_codec::<Pending>();
+        // The functional table contents live host-side (the DRAM image is
+        // written through); rewinds must carry them or a replayed op sees
+        // end-of-run occupancy (docs/checkpoint.md).
+        {
+            let a = inner.clone();
+            let b = inner.clone();
+            eng.register_host_state(
+                move || {
+                    let inn = a.lock().unwrap();
+                    inn.tables
+                        .iter()
+                        .map(|t| (t.shadow.clone(), t.lens.clone(), t.max_bucket))
+                        .collect::<Vec<_>>()
+                },
+                move |saved| {
+                    let mut inn = b.lock().unwrap();
+                    assert_eq!(
+                        inn.tables.len(),
+                        saved.len(),
+                        "SHT restore: table count changed since the snapshot"
+                    );
+                    for (t, (shadow, lens, max_bucket)) in inn.tables.iter_mut().zip(saved) {
+                        t.shadow = shadow.clone();
+                        t.lens = lens.clone();
+                        t.max_bucket = *max_bucket;
+                    }
+                },
+            );
+        }
 
         // Second event of the op thread: the bucket line has arrived from
         // DRAM; apply the operation and reply.

@@ -106,13 +106,15 @@ pub enum ReduceOp {
 }
 
 /// State of an in-flight symmetric reduction.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct RedSt {
     op: u64,
     pending: u32,
     acc_bits: u64,
     reply_raw: u64,
 }
+
+updown_sim::snap_state!(RedSt, "shmem.reduce", { op, pending, acc_bits, reply_raw });
 
 /// Install the `shmem_reduce` event: send `[base, words_per_pe, pes, off,
 /// op]` to it (any lane) with a continuation; the continuation receives
@@ -121,6 +123,7 @@ struct RedSt {
 /// This is the library-side "reduction" of Table 5: a gather over the
 /// symmetric address space, not a tree (PE counts are node counts, small).
 pub fn install_reduce(eng: &mut Engine) -> EventLabel {
+    eng.register_state_codec::<RedSt>();
     let ret: std::sync::Arc<std::sync::Mutex<EventLabel>> =
         std::sync::Arc::new(std::sync::Mutex::new(EventLabel(u16::MAX)));
     let ret2 = ret.clone();

@@ -233,6 +233,32 @@ pub struct MachineConfig {
     /// Optional happens-before race recording (`--race` on the bench
     /// bins); see [`RaceProbe`]. Recording has zero observer effect.
     pub race: Option<RaceProbe>,
+    /// Checkpoint cadence in scheduler windows (`0` = off). Every
+    /// `checkpoint_every` windows the engine pauses at a window boundary,
+    /// takes an in-memory [`Snapshot`](crate::Snapshot), round-trips it
+    /// (restore + self-check) and continues — proving mid-run that the
+    /// run is resumable. Results stay byte-identical with it on or off.
+    pub checkpoint_every: u64,
+    /// Write an `updown-snapshot/v1` file here at the *first* checkpoint
+    /// boundary (requires `checkpoint_every > 0`). `--checkpoint` on the
+    /// bench bins.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Resume from an `updown-snapshot/v1` file: the engine re-drives the
+    /// same deterministic workload and swaps in the decoded machine state
+    /// when it reaches the snapshot's window, making the remainder of the
+    /// run byte-identical to one that never stopped. `--restore` on the
+    /// bench bins. Requires `checkpoint_every > 0` (the pause cadence is
+    /// how the engine lands on the snapshot's window boundary).
+    pub restore_path: Option<std::path::PathBuf>,
+    /// Record the per-window cross-shard message schedule plus each
+    /// shard's execution stream for post-run single-shard replay
+    /// ([`Engine::replay_shard`](crate::Engine::replay_shard)).
+    pub record: bool,
+    /// Self-verifying replay (`--replay` on the bench bins): record the
+    /// run, then after it completes replay every shard in isolation and
+    /// report mismatches into the shared [`ReplayCheck`](crate::ReplayCheck)
+    /// handle. Implies `record`.
+    pub replay: Option<crate::snapshot::ReplayCheck>,
 }
 
 impl Default for MachineConfig {
@@ -251,6 +277,11 @@ impl Default for MachineConfig {
             sanitize: false,
             probe: None,
             race: None,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            restore_path: None,
+            record: false,
+            replay: None,
         }
     }
 }
@@ -326,6 +357,40 @@ impl MachineConfigBuilder {
     /// Attach a race recording (see [`MachineConfig::race`]).
     pub fn race(mut self, race: RaceProbe) -> Self {
         self.cfg.race = Some(race);
+        self
+    }
+
+    /// Checkpoint every `n` scheduler windows (see
+    /// [`MachineConfig::checkpoint_every`]).
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.cfg.checkpoint_every = n;
+        self
+    }
+
+    /// Write a snapshot file at the first checkpoint boundary (see
+    /// [`MachineConfig::checkpoint_path`]).
+    pub fn checkpoint_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resume from a snapshot file (see [`MachineConfig::restore_path`]).
+    pub fn restore_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.cfg.restore_path = Some(path.into());
+        self
+    }
+
+    /// Record the cross-shard schedule for single-shard replay (see
+    /// [`MachineConfig::record`]).
+    pub fn record(mut self, on: bool) -> Self {
+        self.cfg.record = on;
+        self
+    }
+
+    /// Attach a self-verifying replay check (see [`MachineConfig::replay`];
+    /// implies recording).
+    pub fn replay(mut self, check: crate::snapshot::ReplayCheck) -> Self {
+        self.cfg.replay = Some(check);
         self
     }
 

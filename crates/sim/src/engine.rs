@@ -30,7 +30,7 @@
 //! counter, and every trace span are byte-identical across schedulers and
 //! thread counts.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -39,13 +39,16 @@ use std::sync::{Arc, Barrier, Mutex};
 use crate::calendar::CalendarQueue;
 use crate::config::MachineConfig;
 use crate::ids::{EventLabel, EventWord, NetworkId, ThreadId};
-use crate::lane::Lane;
-use crate::memory::{GlobalMemory, MemChannels, VAddr};
+use crate::lane::{Lane, SimState, ThreadSlot};
+use crate::memory::{GlobalMemory, MemChannels, MemoryImage, VAddr};
 use crate::message::Message;
 use crate::network::{Fabric, LinkId, Nics, Topology};
-use crate::probe::{DiagKind, Diagnostic, ProtocolProbe};
-use crate::race::{RaceAccess, RaceExec, ThreadKey};
+use crate::probe::{DiagKind, Diagnostic, ProbeState, ProtocolProbe};
+use crate::race::{RaceAccess, RaceExec, RaceState, ThreadKey};
 use crate::sched::{Parallel, Scheduler, Sequential};
+use crate::snapshot::{
+    self, ReplayRunReport, SnapField, SnapHeader, SnapReader, SnapState, SnapWriter, SnapshotError,
+};
 use crate::stats::{
     Counters, FabricMetrics, LaneMetrics, LinkMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS,
 };
@@ -164,7 +167,12 @@ enum Action {
 /// slot indices, so queue operations never move action payloads, and the
 /// freelist recycles slots across windows — after warm-up the steady state
 /// allocates nothing per event.
-#[derive(Default)]
+///
+/// Snapshots serialize the slab *and* the freelist verbatim: the calendar
+/// stores slot indices, so slot numbering (and hence future freelist
+/// reuse order) must survive a restore exactly for re-encoded snapshots
+/// to stay byte-identical.
+#[derive(Clone, Default)]
 struct ActionArena {
     slots: Vec<Option<Action>>,
     free: Vec<u32>,
@@ -229,11 +237,114 @@ enum Outgoing {
 /// A calendar entry crossing shards at a window boundary. Merged into the
 /// destination calendar in `(src, order)` order, which reproduces the
 /// exact creation order a serial exchange would have produced.
+#[derive(Clone)]
 struct XEntry {
     time: u64,
     src: u32,
     order: u64,
     action: Action,
+}
+
+/// One executed lane event in a shard's recorded execution stream; the
+/// unit compared by [`Engine::replay_shard`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ExecRec {
+    time: u64,
+    lane: u32,
+    tid: u16,
+    label: u16,
+    /// Scratchpad high-water mark of the lane after the event — pins the
+    /// scratchpad progression into the replayed stream.
+    spm_high: u32,
+}
+
+/// One conservative window of a shard's recording: the horizon it ran
+/// under, the event budget it was handed, the cross-shard entries drained
+/// into its calendar at the window start, and how many lane events it
+/// executed.
+#[derive(Clone, Default)]
+struct RoundRec {
+    horizon: u64,
+    budget: u64,
+    executed: u64,
+    inject: Vec<XEntry>,
+}
+
+/// Everything one shard contributes to a run recording. `open` marks the
+/// round currently being recorded (the post-run mailbox drain happens with
+/// no round open, so leftover entries are not mis-attributed).
+#[derive(Clone, Default)]
+struct ShardRecord {
+    rounds: Vec<RoundRec>,
+    exec: Vec<ExecRec>,
+    open: bool,
+}
+
+/// One recorded run for deterministic record-replay: a full in-memory
+/// snapshot of the engine at run start, plus every shard's per-window
+/// cross-shard message schedule and execution stream. Produced when
+/// [`MachineConfig::record`] (or `replay`) is set; consumed by
+/// [`Engine::replay_shard`] / [`Engine::finish_replay`].
+pub struct Recording {
+    start: Box<Snapshot>,
+    shards: Vec<ShardRecord>,
+    rounds: u64,
+}
+
+impl Recording {
+    /// Conservative windows executed by the recorded run.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Lane events executed, summed over shards.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.exec.len() as u64).sum()
+    }
+
+    /// Number of shards in the recording.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+}
+
+/// A full in-memory snapshot of the simulator: per-shard calendars,
+/// action arenas, lane thread tables and scratchpads, DRAM, fabric/NIC/
+/// channel occupancy, counters — plus the engine-level observability
+/// buffers (trace, print, phases) and the protocol-probe / race-probe
+/// clocks. Restoring one is an exact rewind: continuing from it is
+/// byte-identical to never having left (including udcheck/udrace
+/// reports).
+///
+/// This is the deep-copy tier of the two snapshot tiers; the on-disk
+/// `updown-snapshot/v1` format ([`Engine::write_snapshot`]) carries the
+/// functional machine state only. See `docs/checkpoint.md`.
+pub struct Snapshot {
+    cores: Vec<EngineCore>,
+    mem: MemoryImage,
+    windows: u64,
+    host_phases: Vec<PhaseSpan>,
+    phases_cache: Vec<PhaseSpan>,
+    merged_trace: Vec<TraceEvent>,
+    merged_print: Vec<String>,
+    merged_stats: Counters,
+    probe: Option<ProbeState>,
+    race: Option<RaceState>,
+    /// One saved value per registered host-state hook, in registration
+    /// order (see [`Engine::register_host_state`]).
+    host: Vec<Box<dyn Any + Send>>,
+}
+
+impl Snapshot {
+    /// Absolute conservative-window index the snapshot was taken at.
+    pub fn window(&self) -> u64 {
+        self.windows
+    }
+
+    /// Total lane events executed up to the snapshot point.
+    pub fn events(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats.events_executed).sum()
+    }
 }
 
 /// State shared read-only by all shards during a run.
@@ -297,9 +408,73 @@ pub(crate) struct EngineCore {
     /// Recycled mailbox-drain buffer ([`XEntry`] capacity persists across
     /// windows, swapped with the mailbox's storage each round).
     xentry_scratch: Vec<XEntry>,
+    /// Live recording for record-replay; `None` unless the current run
+    /// was started with [`MachineConfig::record`] / `replay`, or this
+    /// shard is being replayed in isolation.
+    record: Option<Box<ShardRecord>>,
+}
+
+/// Deep copy of a shard's simulation state. The `record` field is *not*
+/// cloned: recordings are run artifacts owned by the engine, and cloning
+/// cores into a [`Snapshot`] (or restoring one) must neither duplicate
+/// nor destroy an in-progress recording.
+impl Clone for EngineCore {
+    fn clone(&self) -> EngineCore {
+        EngineCore {
+            id: self.id,
+            base_lane: self.base_lane,
+            now: self.now,
+            calendar: self.calendar.clone(),
+            arena: self.arena.clone(),
+            lanes: self.lanes.clone(),
+            channel: self.channel.clone(),
+            nic: self.nic.clone(),
+            fabric: self.fabric.clone(),
+            stats: self.stats.clone(),
+            stop: self.stop,
+            trace: self.trace.clone(),
+            tracer: self.tracer.clone(),
+            phases: self.phases.clone(),
+            custom_add: self.custom_add.clone(),
+            custom_peak: self.custom_peak.clone(),
+            last_completion: self.last_completion,
+            handler_stats: self.handler_stats.clone(),
+            sent_seq: self.sent_seq,
+            outbuf: self.outbuf.clone(),
+            // Scratch buffers hold no state between events/windows; fresh
+            // empties keep the clone cheap and content-identical.
+            out_scratch: Vec::new(),
+            xentry_scratch: Vec::new(),
+            record: None,
+        }
+    }
 }
 
 impl EngineCore {
+    /// Open a recording round: remember the horizon and budget this
+    /// window runs under, and start attributing mailbox drains to it.
+    fn record_begin_round(&mut self, horizon: u64, budget: u64) {
+        if let Some(rec) = &mut self.record {
+            rec.rounds.push(RoundRec {
+                horizon,
+                budget,
+                executed: 0,
+                inject: Vec::new(),
+            });
+            rec.open = true;
+        }
+    }
+
+    /// Close the recording round with the number of lane events executed.
+    fn record_end_round(&mut self, executed: u64) {
+        if let Some(rec) = &mut self.record {
+            if let Some(r) = rec.rounds.last_mut() {
+                r.executed = executed;
+            }
+            rec.open = false;
+        }
+    }
+
     fn schedule(&mut self, time: u64, action: Action) {
         let slot = self.arena.insert(action);
         self.calendar.push(time, slot);
@@ -884,6 +1059,15 @@ impl EngineCore {
                 end: t_end,
             });
         }
+        if let Some(rec) = &mut self.record {
+            rec.exec.push(ExecRec {
+                time: t,
+                lane: l,
+                tid: tid.0,
+                label: label.0,
+                spm_high: self.lanes[li].spm.high_water,
+            });
+        }
 
         if terminated {
             let lane = &mut self.lanes[li];
@@ -1041,6 +1225,16 @@ impl EngineCore {
         mb.min.store(u64::MAX, Relaxed);
         if !entries.is_empty() {
             entries.sort_unstable_by_key(|e| (e.src, e.order));
+            if let Some(rec) = &mut self.record {
+                // Only drains inside an open round belong to the recorded
+                // schedule; the post-run parity drain re-queues leftovers
+                // for a later run and is reproduced by that run's record.
+                if rec.open {
+                    if let Some(r) = rec.rounds.last_mut() {
+                        r.inject.extend(entries.iter().cloned());
+                    }
+                }
+            }
             for e in entries.drain(..) {
                 self.schedule(e.time, e.action);
             }
@@ -1103,6 +1297,12 @@ struct Ctl {
     rounds: AtomicU64,
     event_limit: u64,
     lookahead: u64,
+    /// Pause (don't terminate) after this many rounds — the checkpoint
+    /// cadence within one scheduler invocation. `u64::MAX` disables it.
+    round_limit: u64,
+    /// Set by the coordinator when the round limit (not completion)
+    /// ended the invocation.
+    paused: AtomicBool,
 }
 
 /// One scheduler worker: processes `chunk` of the shards through the
@@ -1126,6 +1326,13 @@ fn worker_loop(chunk: &mut [EngineCore], is_coord: bool, ctl: &Ctl, shared: &Sha
                 || ctl.events.load(Relaxed) >= ctl.event_limit;
             if done {
                 ctl.horizon.store(u64::MAX, Relaxed);
+            } else if ctl.rounds.load(Relaxed) >= ctl.round_limit {
+                // Checkpoint boundary: stop opening windows but remember
+                // that the machine is paused, not finished. The post-run
+                // mailbox drain folds in-flight entries back into the
+                // calendars, so the paused state is self-contained.
+                ctl.paused.store(true, Relaxed);
+                ctl.horizon.store(u64::MAX, Relaxed);
             } else {
                 ctl.rounds.fetch_add(1, Relaxed);
                 let h = floor.saturating_add(ctl.lookahead).min(u64::MAX - 1);
@@ -1144,8 +1351,10 @@ fn worker_loop(chunk: &mut [EngineCore], is_coord: bool, ctl: &Ctl, shared: &Sha
         let budget_base = ctl.events.load(Relaxed);
         let budget = ctl.event_limit.saturating_sub(budget_base);
         for core in chunk.iter_mut() {
+            core.record_begin_round(horizon, budget);
             core.drain_mailbox(&ctl.mailboxes[core.id as usize][drain_par]);
             let executed = core.window(shared, horizon, budget);
+            core.record_end_round(executed);
             if executed > 0 {
                 ctl.events.fetch_add(executed, Relaxed);
             }
@@ -1168,6 +1377,11 @@ pub struct EngineRun<'a> {
     pub(crate) events_before: u64,
     pub(crate) rounds: u64,
     pub(crate) stopped: bool,
+    /// Pause after this many rounds (checkpoint cadence); `u64::MAX`
+    /// disables pausing.
+    pub(crate) round_limit: u64,
+    /// Set when the round limit — not completion — ended the invocation.
+    pub(crate) paused: bool,
 }
 
 /// Execute the conservative window rounds with `workers` OS threads.
@@ -1191,6 +1405,8 @@ pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
         rounds: AtomicU64::new(0),
         event_limit: run.event_limit,
         lookahead: run.shared.lookahead,
+        round_limit: run.round_limit,
+        paused: AtomicBool::new(false),
     };
     if workers == 1 {
         worker_loop(run.shards, true, &ctl, run.shared);
@@ -1225,12 +1441,24 @@ pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
     let rounds = ctl.rounds.load(Relaxed);
     for core in run.shards.iter_mut() {
         let mb = &ctl.mailboxes[core.id as usize];
+        // When recording, capture this drain as a zero-width round: a
+        // replay must merge these entries into the calendar at exactly
+        // this point (with these seq stamps) even though no window runs —
+        // a checkpoint pause otherwise hides them from the inject
+        // schedule and the replayed shard diverges.
+        if core.record.is_some() {
+            core.record_begin_round(0, 0);
+        }
         for par in [(rounds % 2) as usize, ((rounds + 1) % 2) as usize] {
             core.drain_mailbox(&mb[par]);
+        }
+        if core.record.is_some() {
+            core.record_end_round(0);
         }
     }
     run.rounds = rounds;
     run.stopped = ctl.stop.load(Relaxed);
+    run.paused = ctl.paused.load(Relaxed);
 }
 
 /// The simulator.
@@ -1253,6 +1481,575 @@ pub struct Engine {
     merged_print: Vec<String>,
     /// Counters merged across shards after each run (for `stats()`).
     merged_stats: Counters,
+    /// Registered thread-state codecs for the on-disk snapshot format.
+    codecs: StateCodecs,
+    /// Host-state hooks ([`Engine::register_host_state`]): deep
+    /// save/restore closures for library and application state that lives
+    /// *outside* the machine (the `Arc<Mutex<…>>` cells the Send+Sync
+    /// handler model keeps host-side). Participates in the in-memory
+    /// [`Snapshot`] tier so rewinds — including the record-replay rewind
+    /// to a recording's start — restore that state too.
+    host_hooks: Vec<HostHook>,
+    /// Recordings harvested from completed runs (record/replay mode).
+    recordings: Vec<Recording>,
+    /// `--checkpoint` writes the snapshot once, at the first boundary.
+    checkpoint_written: bool,
+    /// Deferred `--restore` state (loaded lazily on the first run).
+    restore: RestoreSlot,
+}
+
+/// State of a deferred on-disk restore (see `MachineConfig::restore_path`
+/// and `docs/checkpoint.md`): the file is loaded on the first run, then
+/// verified and installed when the re-driven run reaches the recorded
+/// window.
+enum RestoreSlot {
+    Unloaded,
+    Pending { header: SnapHeader, body: Vec<u8> },
+    Done,
+}
+
+type HostSaveFn = Box<dyn Fn() -> Box<dyn Any + Send> + Send + Sync>;
+type HostLoadFn = Box<dyn Fn(&dyn Any) + Send + Sync>;
+
+/// One registered host-state save/restore pair (see
+/// [`Engine::register_host_state`]). The saved value travels inside the
+/// in-memory [`Snapshot`] as a type-erased deep copy.
+struct HostHook {
+    save: HostSaveFn,
+    load: HostLoadFn,
+}
+
+type StateSaveFn = fn(&dyn SimState, &mut SnapWriter) -> Result<(), SnapshotError>;
+type StateLoadFn = fn(&mut SnapReader<'_>) -> Result<Box<dyn SimState>, SnapshotError>;
+
+/// Registry mapping live thread-state types to their on-disk codecs.
+/// Encode looks up by `TypeId`, decode by the stable string key — both
+/// maps are `BTreeMap` so snapshot bytes never depend on hash order.
+#[derive(Default)]
+struct StateCodecs {
+    by_type: BTreeMap<TypeId, (&'static str, StateSaveFn)>,
+    by_key: BTreeMap<&'static str, StateLoadFn>,
+}
+
+fn codec_save<T: SnapState>(s: &dyn SimState, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+    let v = s.as_any().downcast_ref::<T>().ok_or_else(|| {
+        SnapshotError::Format(format!("state codec '{}': type mismatch", T::KEY))
+    })?;
+    v.save(w);
+    Ok(())
+}
+
+fn codec_load<T: SnapState>(r: &mut SnapReader<'_>) -> Result<Box<dyn SimState>, SnapshotError> {
+    Ok(Box::new(T::load(r)?))
+}
+
+// --- on-disk body codecs for the engine's private types ------------------
+//
+// The binary body of `updown-snapshot/v1` is written field-by-field in a
+// fixed order by these helpers. Race contexts riding in-flight actions and
+// messages are intentionally *not* serialized (vector clocks are process-
+// local); see `Engine::checkpoint_boundary` for how `--restore` stays
+// correct regardless.
+
+fn save_msg(m: &Message, w: &mut SnapWriter) {
+    m.dst.put(w);
+    m.args.put(w);
+    m.cont.put(w);
+    m.src.put(w);
+}
+
+fn load_msg(r: &mut SnapReader<'_>) -> Result<Message, SnapshotError> {
+    Ok(Message {
+        dst: EventWord::take(r)?,
+        args: Vec::<u64>::take(r)?,
+        cont: EventWord::take(r)?,
+        src: NetworkId::take(r)?,
+        race: None,
+    })
+}
+
+fn save_memop(op: &MemOp, w: &mut SnapWriter) {
+    match op {
+        MemOp::Read {
+            va,
+            nwords,
+            ret,
+            tag,
+        } => {
+            w.u8(0);
+            va.put(w);
+            w.u8(*nwords);
+            ret.put(w);
+            tag.put(w);
+        }
+        MemOp::Write {
+            va,
+            words,
+            ack,
+            tag,
+        } => {
+            w.u8(1);
+            va.put(w);
+            words.put(w);
+            ack.put(w);
+            tag.put(w);
+        }
+        MemOp::AddU64 { va, delta, ret, tag } => {
+            w.u8(2);
+            va.put(w);
+            w.u64(*delta);
+            ret.put(w);
+            tag.put(w);
+        }
+        MemOp::AddF64 { va, delta, ret, tag } => {
+            w.u8(3);
+            va.put(w);
+            w.f64(*delta);
+            ret.put(w);
+            tag.put(w);
+        }
+    }
+}
+
+fn load_memop(r: &mut SnapReader<'_>) -> Result<MemOp, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => MemOp::Read {
+            va: VAddr::take(r)?,
+            nwords: r.u8()?,
+            ret: EventWord::take(r)?,
+            tag: <Option<u64> as SnapField>::take(r)?,
+        },
+        1 => MemOp::Write {
+            va: VAddr::take(r)?,
+            words: Vec::<u64>::take(r)?,
+            ack: <Option<EventWord> as SnapField>::take(r)?,
+            tag: <Option<u64> as SnapField>::take(r)?,
+        },
+        2 => MemOp::AddU64 {
+            va: VAddr::take(r)?,
+            delta: r.u64()?,
+            ret: <Option<EventWord> as SnapField>::take(r)?,
+            tag: <Option<u64> as SnapField>::take(r)?,
+        },
+        3 => MemOp::AddF64 {
+            va: VAddr::take(r)?,
+            delta: r.f64()?,
+            ret: <Option<EventWord> as SnapField>::take(r)?,
+            tag: <Option<u64> as SnapField>::take(r)?,
+        },
+        t => return Err(SnapshotError::Format(format!("bad MemOp tag {t}"))),
+    })
+}
+
+fn save_action(a: &Action, w: &mut SnapWriter) {
+    match a {
+        Action::Deliver(m) => {
+            w.u8(0);
+            save_msg(m, w);
+        }
+        Action::LaneRun(l) => {
+            w.u8(1);
+            w.u32(*l);
+        }
+        Action::MemArrive {
+            op,
+            src_node,
+            owner,
+            trace_id,
+            race: _,
+        } => {
+            w.u8(2);
+            save_memop(op, w);
+            w.u32(*src_node);
+            w.u32(*owner);
+            w.u64(*trace_id);
+        }
+        Action::MemServed {
+            op,
+            src_node,
+            owner,
+            trace_id,
+            race: _,
+        } => {
+            w.u8(3);
+            save_memop(op, w);
+            w.u32(*src_node);
+            w.u32(*owner);
+            w.u64(*trace_id);
+        }
+        Action::MemDone {
+            resp,
+            owner,
+            trace_id,
+        } => {
+            w.u8(4);
+            match &resp.reply {
+                Some(m) => {
+                    w.bool(true);
+                    save_msg(m, w);
+                }
+                None => w.bool(false),
+            }
+            w.u64(resp.bytes);
+            w.bool(resp.write);
+            w.u32(*owner);
+            w.u64(*trace_id);
+        }
+    }
+}
+
+fn load_action(r: &mut SnapReader<'_>) -> Result<Action, SnapshotError> {
+    Ok(match r.u8()? {
+        0 => Action::Deliver(load_msg(r)?),
+        1 => Action::LaneRun(r.u32()?),
+        2 => Action::MemArrive {
+            op: load_memop(r)?,
+            src_node: r.u32()?,
+            owner: r.u32()?,
+            trace_id: r.u64()?,
+            race: None,
+        },
+        3 => Action::MemServed {
+            op: load_memop(r)?,
+            src_node: r.u32()?,
+            owner: r.u32()?,
+            trace_id: r.u64()?,
+            race: None,
+        },
+        4 => Action::MemDone {
+            resp: MemResp {
+                reply: if r.bool()? { Some(load_msg(r)?) } else { None },
+                bytes: r.u64()?,
+                write: r.bool()?,
+            },
+            owner: r.u32()?,
+            trace_id: r.u64()?,
+        },
+        t => return Err(SnapshotError::Format(format!("bad Action tag {t}"))),
+    })
+}
+
+fn save_counters(c: &Counters, w: &mut SnapWriter) {
+    w.u64(c.events_executed);
+    w.u64(c.threads_created);
+    w.u64(c.threads_terminated);
+    w.u64(c.msgs_intra_accel);
+    w.u64(c.msgs_intra_node);
+    w.u64(c.msgs_inter_node);
+    w.u64(c.dram_reads);
+    w.u64(c.dram_writes);
+    w.u64(c.dram_read_bytes);
+    w.u64(c.dram_write_bytes);
+    w.u64(c.dram_remote_accesses);
+    w.u64(c.thread_table_stalls);
+    w.usize(c.peak_calendar);
+    w.u64(c.msgs_delivered);
+    w.u64(c.msgs_dropped);
+    w.u64(c.windows);
+}
+
+fn load_counters(r: &mut SnapReader<'_>) -> Result<Counters, SnapshotError> {
+    Ok(Counters {
+        events_executed: r.u64()?,
+        threads_created: r.u64()?,
+        threads_terminated: r.u64()?,
+        msgs_intra_accel: r.u64()?,
+        msgs_intra_node: r.u64()?,
+        msgs_inter_node: r.u64()?,
+        dram_reads: r.u64()?,
+        dram_writes: r.u64()?,
+        dram_read_bytes: r.u64()?,
+        dram_write_bytes: r.u64()?,
+        dram_remote_accesses: r.u64()?,
+        thread_table_stalls: r.u64()?,
+        peak_calendar: r.usize()?,
+        msgs_delivered: r.u64()?,
+        msgs_dropped: r.u64()?,
+        windows: r.u64()?,
+    })
+}
+
+fn save_lane(codecs: &StateCodecs, lane: &Lane, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+    w.usize(lane.inbox.len());
+    for m in &lane.inbox {
+        save_msg(m, w);
+    }
+    w.usize(lane.parked.len());
+    for m in &lane.parked {
+        save_msg(m, w);
+    }
+    w.u64(lane.free_at);
+    w.bool(lane.scheduled);
+    w.u64(lane.busy);
+    w.u64(lane.events);
+    lane.spm.words.put(w);
+    w.u32(lane.spm.high_water);
+    w.u32(lane.spm_brk);
+    w.usize(lane.threads.slots.len());
+    for s in &lane.threads.slots {
+        w.bool(s.live);
+        w.u32(s.gen);
+        w.u16(s.created_by);
+        match &s.state {
+            Some(st) => {
+                let (key, save) = codecs
+                    .by_type
+                    .get(&st.as_any().type_id())
+                    .ok_or_else(|| SnapshotError::UnencodableState(st.type_label().to_string()))?;
+                w.bool(true);
+                w.str(key);
+                save(st.as_ref(), w)?;
+            }
+            None => w.bool(false),
+        }
+    }
+    w.usize(lane.threads.live);
+    w.u16(lane.threads.next_tid);
+    Ok(())
+}
+
+fn load_lane(codecs: &StateCodecs, r: &mut SnapReader<'_>) -> Result<Lane, SnapshotError> {
+    let mut lane = Lane::default();
+    for _ in 0..r.len(1)? {
+        lane.inbox.push_back(load_msg(r)?);
+    }
+    for _ in 0..r.len(1)? {
+        lane.parked.push_back(load_msg(r)?);
+    }
+    lane.free_at = r.u64()?;
+    lane.scheduled = r.bool()?;
+    lane.busy = r.u64()?;
+    lane.events = r.u64()?;
+    lane.spm.words = Vec::<u64>::take(r)?;
+    lane.spm.high_water = r.u32()?;
+    lane.spm_brk = r.u32()?;
+    let nslots = r.len(1)?;
+    lane.threads.slots.reserve(nslots);
+    for _ in 0..nslots {
+        let live = r.bool()?;
+        let gen = r.u32()?;
+        let created_by = r.u16()?;
+        let state = if r.bool()? {
+            let key = r.str()?;
+            let load = codecs.by_key.get(key).ok_or_else(|| {
+                SnapshotError::Incompatible(format!(
+                    "snapshot carries thread state '{key}' but no such codec is registered"
+                ))
+            })?;
+            Some(load(r)?)
+        } else {
+            None
+        };
+        lane.threads.slots.push(ThreadSlot {
+            live,
+            gen,
+            created_by,
+            state,
+        });
+    }
+    lane.threads.live = r.usize()?;
+    lane.threads.next_tid = r.u16()?;
+    let live_count = lane.threads.slots.iter().filter(|s| s.live).count();
+    if live_count != lane.threads.live {
+        return Err(SnapshotError::Format(format!(
+            "thread table live count {} disagrees with {} live slots",
+            lane.threads.live, live_count
+        )));
+    }
+    Ok(lane)
+}
+
+/// One shard's decoded on-disk state, fully validated before anything is
+/// installed — a corrupted snapshot errors out without mutating the
+/// engine.
+struct DecodedCore {
+    now: u64,
+    stop: bool,
+    sent_seq: u64,
+    last_completion: u64,
+    calendar: CalendarQueue,
+    arena: ActionArena,
+    lanes: Vec<Lane>,
+    channel: MemChannels,
+    nic: Nics,
+    fabric: Fabric,
+    stats: Counters,
+    custom_add: BTreeMap<&'static str, u64>,
+    custom_peak: BTreeMap<&'static str, u64>,
+    handler_stats: Vec<(u64, u64)>,
+}
+
+fn save_core(codecs: &StateCodecs, core: &EngineCore, w: &mut SnapWriter) -> Result<(), SnapshotError> {
+    w.u64(core.now);
+    w.bool(core.stop);
+    w.u64(core.sent_seq);
+    w.u64(core.last_completion);
+    core.calendar.save(w);
+    w.usize(core.arena.slots.len());
+    for slot in &core.arena.slots {
+        match slot {
+            Some(a) => {
+                w.bool(true);
+                save_action(a, w);
+            }
+            None => w.bool(false),
+        }
+    }
+    core.arena.free.put(w);
+    w.usize(core.lanes.len());
+    for lane in &core.lanes {
+        save_lane(codecs, lane, w)?;
+    }
+    core.channel.save(w);
+    core.nic.save(w);
+    core.fabric.save(w);
+    save_counters(&core.stats, w);
+    w.usize(core.custom_add.len());
+    for (k, v) in &core.custom_add {
+        w.str(k);
+        w.u64(*v);
+    }
+    w.usize(core.custom_peak.len());
+    for (k, v) in &core.custom_peak {
+        w.str(k);
+        w.u64(*v);
+    }
+    w.usize(core.handler_stats.len());
+    for (count, last) in &core.handler_stats {
+        w.u64(*count);
+        w.u64(*last);
+    }
+    Ok(())
+}
+
+/// Intern a decoded custom-counter key as `&'static str`. Keys come from
+/// `Engine::add_counter`-style call sites, so the set is tiny and fixed
+/// per program; the leak is bounded by (decodes × distinct keys).
+fn leak_key(existing: &BTreeMap<&'static str, u64>, key: &str) -> &'static str {
+    match existing.get_key_value(key) {
+        Some((k, _)) => k,
+        None => Box::leak(key.to_string().into_boxed_str()),
+    }
+}
+
+fn load_core(
+    codecs: &StateCodecs,
+    proto: &EngineCore,
+    r: &mut SnapReader<'_>,
+) -> Result<DecodedCore, SnapshotError> {
+    let now = r.u64()?;
+    let stop = r.bool()?;
+    let sent_seq = r.u64()?;
+    let last_completion = r.u64()?;
+    let calendar = CalendarQueue::load(r)?;
+    let nslots = r.len(1)?;
+    let mut arena = ActionArena::default();
+    arena.slots.reserve(nslots);
+    for _ in 0..nslots {
+        arena.slots.push(if r.bool()? {
+            Some(load_action(r)?)
+        } else {
+            None
+        });
+    }
+    arena.free = Vec::<u32>::take(r)?;
+    let nlanes = r.len(1)?;
+    if nlanes != proto.lanes.len() {
+        return Err(SnapshotError::Incompatible(format!(
+            "shard {} has {} lanes, snapshot has {nlanes}",
+            proto.id,
+            proto.lanes.len()
+        )));
+    }
+    let mut lanes = Vec::with_capacity(nlanes);
+    for _ in 0..nlanes {
+        lanes.push(load_lane(codecs, r)?);
+    }
+    let mut channel = proto.channel.clone();
+    channel.load_into(r)?;
+    let mut nic = proto.nic.clone();
+    nic.load_into(r)?;
+    let mut fabric = proto.fabric.clone();
+    fabric.load_into(r)?;
+    let stats = load_counters(r)?;
+    let mut custom_add = BTreeMap::new();
+    for _ in 0..r.len(1)? {
+        let key = leak_key(&proto.custom_add, r.str()?);
+        let v = r.u64()?;
+        custom_add.insert(key, v);
+    }
+    let mut custom_peak = BTreeMap::new();
+    for _ in 0..r.len(1)? {
+        let key = leak_key(&proto.custom_peak, r.str()?);
+        let v = r.u64()?;
+        custom_peak.insert(key, v);
+    }
+    let nh = r.len(16)?;
+    let mut handler_stats = Vec::with_capacity(nh);
+    for _ in 0..nh {
+        handler_stats.push((r.u64()?, r.u64()?));
+    }
+    Ok(DecodedCore {
+        now,
+        stop,
+        sent_seq,
+        last_completion,
+        calendar,
+        arena,
+        lanes,
+        channel,
+        nic,
+        fabric,
+        stats,
+        custom_add,
+        custom_peak,
+        handler_stats,
+    })
+}
+
+impl DecodedCore {
+    /// Install the decoded functional state into a live core, leaving the
+    /// observability fields (trace, tracer, phases) and any in-progress
+    /// recording untouched — the re-driving run already reproduced those.
+    fn install(self, core: &mut EngineCore) {
+        core.now = self.now;
+        core.stop = self.stop;
+        core.sent_seq = self.sent_seq;
+        core.last_completion = self.last_completion;
+        core.calendar = self.calendar;
+        core.arena = self.arena;
+        core.lanes = self.lanes;
+        core.channel = self.channel;
+        core.nic = self.nic;
+        core.fabric = self.fabric;
+        core.stats = self.stats;
+        core.custom_add = self.custom_add;
+        core.custom_peak = self.custom_peak;
+        core.handler_stats = self.handler_stats;
+    }
+}
+
+/// Compare a recorded execution stream against a replayed one.
+fn diff_exec(want: &[ExecRec], got: &[ExecRec]) -> Vec<String> {
+    const MAX_REPORTED: usize = 8;
+    let mut out = Vec::new();
+    if want.len() != got.len() {
+        out.push(format!(
+            "event count: recorded {}, replayed {}",
+            want.len(),
+            got.len()
+        ));
+    }
+    for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+        if a != b {
+            out.push(format!("event {i}: recorded {a:?}, replayed {b:?}"));
+            if out.len() >= MAX_REPORTED {
+                out.push(format!("... (stopped after {MAX_REPORTED} divergences)"));
+                break;
+            }
+        }
+    }
+    out
 }
 
 impl Engine {
@@ -1296,10 +2093,11 @@ impl Engine {
                 outbuf: (0..n).map(|_| Vec::new()).collect(),
                 out_scratch: Vec::new(),
                 xentry_scratch: Vec::new(),
+                record: None,
             })
             .collect();
         let lookahead = topo.min_transit().max(1);
-        Engine {
+        let mut eng = Engine {
             shared: Shared {
                 cfg,
                 mem,
@@ -1315,7 +2113,69 @@ impl Engine {
             merged_trace: Vec::new(),
             merged_print: Vec::new(),
             merged_stats: Counters::default(),
-        }
+            codecs: StateCodecs::default(),
+            host_hooks: Vec::new(),
+            recordings: Vec::new(),
+            checkpoint_written: false,
+            restore: RestoreSlot::Unloaded,
+        };
+        // `u64` is the one thread-state type the engine itself blesses
+        // (plenty of tests and simple kernels use a bare counter).
+        eng.register_state_codec::<u64>();
+        eng
+    }
+
+    /// Register the on-disk codec for a thread-state type `T`. Required
+    /// before `write_snapshot`/`snapshot_bytes` can serialize live
+    /// threads whose state is a `T`, and before a snapshot containing
+    /// `T::KEY` sections can be restored.
+    pub fn register_state_codec<T: SnapState>(&mut self) {
+        self.codecs
+            .by_type
+            .insert(TypeId::of::<T>(), (T::KEY, codec_save::<T>));
+        self.codecs.by_key.insert(T::KEY, codec_load::<T>);
+    }
+
+    /// Register a host-state hook: a deep-save / restore pair for state a
+    /// handler closure keeps *outside* the machine (the `Arc<Mutex<…>>`
+    /// cells of the Send+Sync handler model — SHT shadows, KVMSR run
+    /// bookkeeping, app accumulators). The in-memory [`Snapshot`] tier
+    /// calls every registered `save` at [`Engine::snapshot`] and the
+    /// matching `load` at [`Engine::restore`], in registration order — so
+    /// rewinds (checkpoint self-checks, record-replay's rewind to a
+    /// recording's start, and the post-replay restore) carry that state
+    /// too. Any handler-visible mutable host state that is **read back**
+    /// by handlers (control flow, costs, send targets) MUST be registered,
+    /// or an isolated replay re-executes against end-of-run state and
+    /// diverges; registering write-only accumulators as well keeps them
+    /// from being double-counted by replay. The on-disk tier is unaffected
+    /// (a restoring process re-drives the workload, rebuilding host state
+    /// deterministically). See `docs/checkpoint.md`.
+    pub fn register_host_state<T: Send + 'static>(
+        &mut self,
+        save: impl Fn() -> T + Send + Sync + 'static,
+        load: impl Fn(&T) + Send + Sync + 'static,
+    ) {
+        self.host_hooks.push(HostHook {
+            save: Box::new(move || Box::new(save())),
+            load: Box::new(move |any| {
+                let v = any
+                    .downcast_ref::<T>()
+                    .expect("host-state hook: snapshot value type mismatch");
+                load(v);
+            }),
+        });
+    }
+
+    /// [`Engine::register_host_state`] for the common `Arc<Mutex<T>>`
+    /// shape: snapshots clone the contents, restores overwrite them.
+    pub fn host_state_cell<T: Clone + Send + 'static>(&mut self, cell: &Arc<Mutex<T>>) {
+        let a = Arc::clone(cell);
+        let b = Arc::clone(cell);
+        self.register_host_state(
+            move || a.lock().unwrap().clone(),
+            move |v| *b.lock().unwrap() = v.clone(),
+        );
     }
 
     pub fn config(&self) -> &MachineConfig {
@@ -1608,23 +2468,86 @@ impl Engine {
     }
 
     /// Run under an explicit [`Scheduler`].
+    ///
+    /// When [`MachineConfig::checkpoint_every`] is set the run proceeds
+    /// in segments of that many windows; between segments the engine
+    /// takes a checkpoint (see [`Engine::checkpoint_boundary`]). Results
+    /// are byte-identical to an unsegmented run: a paused scheduler
+    /// invocation folds all in-flight cross-shard entries back into the
+    /// per-shard calendars, so segment boundaries are self-contained and
+    /// the next segment recomputes the exact same window floors.
     pub fn run_with(&mut self, sched: &dyn Scheduler) -> Metrics {
         for s in &mut self.shards {
             s.stop = false;
             s.handler_stats.resize(self.shared.handlers.len(), (0, 0));
         }
-        let events_before: u64 = self.shards.iter().map(|s| s.stats.events_executed).sum();
-        let mut run = EngineRun {
-            shards: &mut self.shards,
-            shared: &self.shared,
-            event_limit: self.event_limit,
-            events_before,
-            rounds: 0,
-            stopped: false,
+        let record_mode = self.shared.cfg.record || self.shared.cfg.replay.is_some();
+        let record_start = if record_mode {
+            let start = Box::new(self.snapshot());
+            for s in &mut self.shards {
+                s.record = Some(Box::default());
+            }
+            Some(start)
+        } else {
+            None
         };
-        sched.run(&mut run);
-        let (rounds, stopped) = (run.rounds, run.stopped);
-        self.windows += rounds;
+        if let RestoreSlot::Unloaded = self.restore {
+            self.restore = match self.shared.cfg.restore_path.clone() {
+                Some(path) => {
+                    assert!(
+                        self.shared.cfg.checkpoint_every != 0,
+                        "restore_path requires checkpoint_every: the restored state is \
+                         verified and installed at a checkpoint boundary"
+                    );
+                    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+                        panic!("restore: cannot read {}: {e}", path.display())
+                    });
+                    let (header, body) = snapshot::unframe(&bytes)
+                        .unwrap_or_else(|e| panic!("restore: {}: {e}", path.display()));
+                    RestoreSlot::Pending {
+                        header,
+                        body: body.to_vec(),
+                    }
+                }
+                None => RestoreSlot::Done,
+            };
+        }
+        let ck = self.shared.cfg.checkpoint_every;
+        let round_limit = if ck == 0 { u64::MAX } else { ck };
+        let mut total_rounds = 0u64;
+        let stopped = loop {
+            let events_before: u64 = self.shards.iter().map(|s| s.stats.events_executed).sum();
+            let mut run = EngineRun {
+                shards: &mut self.shards,
+                shared: &self.shared,
+                event_limit: self.event_limit,
+                events_before,
+                rounds: 0,
+                stopped: false,
+                round_limit,
+                paused: false,
+            };
+            sched.run(&mut run);
+            let (rounds, run_stopped, paused) = (run.rounds, run.stopped, run.paused);
+            self.windows += rounds;
+            total_rounds += rounds;
+            if !paused {
+                break run_stopped;
+            }
+            self.checkpoint_boundary();
+        };
+        if let Some(start) = record_start {
+            let shards: Vec<ShardRecord> = self
+                .shards
+                .iter_mut()
+                .map(|s| s.record.take().map(|b| *b).unwrap_or_default())
+                .collect();
+            self.recordings.push(Recording {
+                start,
+                shards,
+                rounds: total_rounds,
+            });
+        }
         if stopped {
             self.drain_in_flight();
         }
@@ -1654,6 +2577,307 @@ impl Engine {
             rp.finish_run(names, drained);
         }
         self.metrics()
+    }
+
+    /// Take a full in-memory [`Snapshot`]: per-shard state, DRAM image,
+    /// observability buffers, and probe/race clocks. Restoring it with
+    /// [`Engine::restore`] is an exact rewind.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cores: self.shards.clone(),
+            mem: self.shared.mem.image(),
+            windows: self.windows,
+            host_phases: self.host_phases.clone(),
+            phases_cache: self.phases_cache.clone(),
+            merged_trace: self.merged_trace.clone(),
+            merged_print: self.merged_print.clone(),
+            merged_stats: self.merged_stats.clone(),
+            probe: self.shared.cfg.probe.as_ref().map(|p| p.snapshot_state()),
+            race: self.shared.cfg.race.as_ref().map(|rp| rp.snapshot_state()),
+            host: self.host_hooks.iter().map(|h| (h.save)()).collect(),
+        }
+    }
+
+    /// Rewind the engine to `snap`. Continuing afterwards is byte-identical
+    /// to never having left: metrics, traces, and udcheck/udrace reports
+    /// all match an uninterrupted run. In-progress recordings survive the
+    /// rewind (they are run artifacts, not machine state).
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        if snap.cores.len() != self.shards.len() {
+            return Err(SnapshotError::Incompatible(format!(
+                "snapshot has {} shards, machine has {}",
+                snap.cores.len(),
+                self.shards.len()
+            )));
+        }
+        if snap.host.len() != self.host_hooks.len() {
+            return Err(SnapshotError::Incompatible(format!(
+                "snapshot carries {} host-state value(s), engine has {} hook(s) \
+                 (register_host_state calls must precede the snapshot)",
+                snap.host.len(),
+                self.host_hooks.len()
+            )));
+        }
+        self.shared.mem.restore_image(&snap.mem)?;
+        let records: Vec<_> = self.shards.iter_mut().map(|s| s.record.take()).collect();
+        self.shards = snap.cores.clone();
+        for (s, rec) in self.shards.iter_mut().zip(records) {
+            s.record = rec;
+        }
+        self.windows = snap.windows;
+        self.host_phases = snap.host_phases.clone();
+        self.phases_cache = snap.phases_cache.clone();
+        self.merged_trace = snap.merged_trace.clone();
+        self.merged_print = snap.merged_print.clone();
+        self.merged_stats = snap.merged_stats.clone();
+        if let (Some(p), Some(st)) = (&self.shared.cfg.probe, &snap.probe) {
+            p.restore_state(st);
+        }
+        if let (Some(rp), Some(st)) = (&self.shared.cfg.race, &snap.race) {
+            rp.restore_state(st);
+        }
+        for (hook, saved) in self.host_hooks.iter().zip(&snap.host) {
+            (hook.load)(saved.as_ref());
+        }
+        Ok(())
+    }
+
+    /// Binary body of the on-disk snapshot (shard sections + DRAM image).
+    fn encode_body(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut w = SnapWriter::new();
+        w.usize(self.shards.len());
+        for core in &self.shards {
+            save_core(&self.codecs, core, &mut w)?;
+        }
+        self.shared.mem.image().save(&mut w);
+        Ok(w.into_bytes())
+    }
+
+    /// Serialize the functional machine state as a complete
+    /// `updown-snapshot/v1` byte stream (framing, header, body, checksum).
+    /// Fails cleanly when a live thread state has no registered codec.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        let body = self.encode_body()?;
+        let cfg = &self.shared.cfg;
+        let header = SnapHeader {
+            nodes: cfg.nodes,
+            accels_per_node: cfg.accels_per_node,
+            lanes_per_accel: cfg.lanes_per_accel,
+            window: self.windows,
+            events: self.shards.iter().map(|s| s.stats.events_executed).sum(),
+        };
+        Ok(snapshot::frame(&header, &body))
+    }
+
+    /// Write an `updown-snapshot/v1` file of the current machine state.
+    pub fn write_snapshot(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.snapshot_bytes()?)?;
+        Ok(())
+    }
+
+    /// Decode a full `updown-snapshot/v1` byte stream and install it.
+    /// Validation is all-or-nothing: a corrupted, truncated, or
+    /// incompatible snapshot returns an error without mutating the engine.
+    pub fn restore_snapshot_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let (header, body) = snapshot::unframe(bytes)?;
+        self.decode_install(&header, body)
+    }
+
+    /// Read and install a snapshot file (see [`Engine::restore_snapshot_bytes`]).
+    pub fn read_snapshot(&mut self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        self.restore_snapshot_bytes(&bytes)
+    }
+
+    /// Decode `body` against this machine and swap the functional state in.
+    fn decode_install(&mut self, header: &SnapHeader, body: &[u8]) -> Result<(), SnapshotError> {
+        let cfg = &self.shared.cfg;
+        if (header.nodes, header.accels_per_node, header.lanes_per_accel)
+            != (cfg.nodes, cfg.accels_per_node, cfg.lanes_per_accel)
+        {
+            return Err(SnapshotError::Incompatible(format!(
+                "snapshot machine {}x{}x{}, this machine {}x{}x{}",
+                header.nodes,
+                header.accels_per_node,
+                header.lanes_per_accel,
+                cfg.nodes,
+                cfg.accels_per_node,
+                cfg.lanes_per_accel
+            )));
+        }
+        let mut r = SnapReader::new(body);
+        let n = r.len(1)?;
+        if n != self.shards.len() {
+            return Err(SnapshotError::Incompatible(format!(
+                "snapshot has {n} shards, machine has {}",
+                self.shards.len()
+            )));
+        }
+        let mut decoded = Vec::with_capacity(n);
+        for core in &self.shards {
+            let dec = load_core(&self.codecs, core, &mut r)?;
+            if dec.handler_stats.len() != self.shared.handlers.len() {
+                return Err(SnapshotError::Incompatible(format!(
+                    "snapshot has {} handlers, this program registered {}",
+                    dec.handler_stats.len(),
+                    self.shared.handlers.len()
+                )));
+            }
+            decoded.push(dec);
+        }
+        let mem = MemoryImage::load(&mut r)?;
+        r.finish()?;
+        self.shared.mem.restore_image(&mem)?;
+        for (core, dec) in self.shards.iter_mut().zip(decoded) {
+            dec.install(core);
+        }
+        self.windows = header.window;
+        Ok(())
+    }
+
+    /// Work done at every `checkpoint_every` pause, in order:
+    ///
+    /// 1. `checkpoint_path`: write the snapshot file (first boundary only).
+    /// 2. `restore_path`: when the re-driven run has reached the recorded
+    ///    window, verify that the file matches the live machine
+    ///    byte-for-byte, then install the *decoded* state and verify it
+    ///    re-encodes to the same bytes — both directions of the codec are
+    ///    exercised on every restore. With a race probe attached the
+    ///    verified-equal live state continues instead (in-flight vector
+    ///    clocks are process-local and not serialized).
+    /// 3. Round-trip self-check: take an in-memory snapshot and restore
+    ///    it, so every checkpointed run continuously proves that
+    ///    snapshot/restore is an exact rewind.
+    fn checkpoint_boundary(&mut self) {
+        if let Some(path) = self.shared.cfg.checkpoint_path.clone() {
+            if !self.checkpoint_written {
+                self.checkpoint_written = true;
+                self.write_snapshot(&path)
+                    .unwrap_or_else(|e| panic!("checkpoint: writing {}: {e}", path.display()));
+            }
+        }
+        if let RestoreSlot::Pending { header, .. } = &self.restore {
+            if self.windows >= header.window {
+                let RestoreSlot::Pending { header, body } =
+                    std::mem::replace(&mut self.restore, RestoreSlot::Done)
+                else {
+                    unreachable!()
+                };
+                assert!(
+                    self.windows == header.window,
+                    "restore: checkpoint boundaries (every {} windows) skipped over the \
+                     snapshot's window {}; the restoring run must use the same \
+                     checkpoint_every cadence as the snapshotting run",
+                    self.shared.cfg.checkpoint_every,
+                    header.window
+                );
+                let live = self
+                    .encode_body()
+                    .unwrap_or_else(|e| panic!("restore: encoding live state: {e}"));
+                assert!(
+                    live == body,
+                    "restore: snapshot disagrees with the re-driven machine at window {} — \
+                     the snapshot must come from this exact workload and config",
+                    header.window
+                );
+                if self.shared.cfg.race.is_none() {
+                    self.decode_install(&header, &body)
+                        .unwrap_or_else(|e| panic!("restore: {e}"));
+                    let re = self
+                        .encode_body()
+                        .unwrap_or_else(|e| panic!("restore: re-encoding: {e}"));
+                    assert!(
+                        re == body,
+                        "restore: decode/encode round-trip diverged at window {}",
+                        header.window
+                    );
+                }
+            }
+        }
+        let snap = self.snapshot();
+        self.restore(&snap)
+            .expect("checkpoint: in-memory snapshot round-trip");
+    }
+
+    /// Replay one shard of `rec` in isolation: rewind to the recording's
+    /// start, feed the shard its recorded cross-shard schedule window by
+    /// window, and compare the replayed execution stream (time, lane,
+    /// thread, label, scratchpad high-water) against the recording.
+    /// Returns divergence descriptions (empty on a faithful replay); the
+    /// engine state is restored afterwards either way.
+    pub fn replay_shard(&mut self, rec: &Recording, shard: u32) -> Vec<String> {
+        let k = shard as usize;
+        assert!(k < self.shards.len(), "replay_shard: no shard {shard}");
+        assert_eq!(
+            rec.shards.len(),
+            self.shards.len(),
+            "recording shard count mismatch"
+        );
+        let here = self.snapshot();
+        self.restore(&rec.start)
+            .expect("replay: rewinding to the recording start");
+        self.shards[k].record = Some(Box::new(ShardRecord {
+            open: true,
+            ..ShardRecord::default()
+        }));
+        let plan = &rec.shards[k];
+        for round in &plan.rounds {
+            for e in &round.inject {
+                self.shards[k].schedule(e.time, e.action.clone());
+            }
+            self.shards[k].window(&self.shared, round.horizon, round.budget);
+            // Cross-shard sends of an isolated replay go nowhere: the
+            // other shards' effects are already represented by the
+            // recorded inject schedule.
+            for buf in self.shards[k].outbuf.iter_mut() {
+                buf.clear();
+            }
+        }
+        let got = self.shards[k]
+            .record
+            .take()
+            .map(|b| b.exec)
+            .unwrap_or_default();
+        self.restore(&here).expect("replay: restoring current state");
+        diff_exec(&plan.exec, &got)
+    }
+
+    /// Verify every recording accumulated so far by replaying each shard
+    /// in isolation, pushing one [`ReplayRunReport`] per recorded run into
+    /// the configured [`crate::ReplayCheck`]. Call once per app run *after*
+    /// results are extracted — replay re-executes handlers, so it must not
+    /// interleave with live phases. No-op without `MachineConfig::replay`.
+    pub fn finish_replay(&mut self, label: &str) {
+        let Some(check) = self.shared.cfg.replay.clone() else {
+            return;
+        };
+        let recs = std::mem::take(&mut self.recordings);
+        for (i, rec) in recs.iter().enumerate() {
+            let mut mismatches = Vec::new();
+            for k in 0..rec.shards.len() as u32 {
+                for m in self.replay_shard(rec, k) {
+                    mismatches.push(format!("shard {k}: {m}"));
+                }
+            }
+            let run_label = if recs.len() == 1 {
+                label.to_string()
+            } else {
+                format!("{label}#{i}")
+            };
+            check.push_run(ReplayRunReport {
+                label: run_label,
+                shards: rec.shards.len() as u32,
+                rounds: rec.rounds,
+                events: rec.events(),
+                mismatches,
+            });
+        }
+    }
+
+    /// Hand over the recordings accumulated by record/replay-mode runs
+    /// (for direct [`Engine::replay_shard`] use in tests and tools).
+    pub fn take_recordings(&mut self) -> Vec<Recording> {
+        std::mem::take(&mut self.recordings)
     }
 
     /// Graceful stop: apply all in-flight memory effects so host-visible
@@ -1896,7 +3120,7 @@ pub struct EventCtx<'a> {
     cost: u64,
     out: Vec<Outgoing>,
     terminated: bool,
-    state: Option<Box<dyn Any + Send>>,
+    state: Option<Box<dyn SimState>>,
     stopped: bool,
     /// Creating label of this thread (protocol-probe bookkeeping).
     created_by: u16,
@@ -2010,22 +3234,32 @@ impl<'a> EventCtx<'a> {
     // ---- thread state ----------------------------------------------------
 
     /// Typed access to the thread's persistent state, default-initialized
-    /// on first use.
-    pub fn state_mut<T: Default + Send + 'static>(&mut self) -> &mut T {
-        if self.state.is_none() || self.state.as_ref().unwrap().downcast_ref::<T>().is_none() {
+    /// on first use. `Clone` is required so whole-machine snapshots can
+    /// deep-copy live thread states (see [`SimState`]).
+    pub fn state_mut<T: Default + Send + Clone + 'static>(&mut self) -> &mut T {
+        let fresh = match &self.state {
+            Some(s) => s.as_any().downcast_ref::<T>().is_none(),
+            None => true,
+        };
+        if fresh {
             self.state = Some(Box::<T>::default());
         }
-        self.state.as_mut().unwrap().downcast_mut::<T>().unwrap()
+        self.state
+            .as_mut()
+            .unwrap()
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap()
     }
 
     /// Replace the thread state wholesale.
-    pub fn set_state<T: Send + 'static>(&mut self, v: T) {
+    pub fn set_state<T: Send + Clone + 'static>(&mut self, v: T) {
         self.state = Some(Box::new(v));
     }
 
     /// Typed immutable view, `None` if never set with this type.
     pub fn state_ref<T: 'static>(&self) -> Option<&T> {
-        self.state.as_ref().and_then(|b| b.downcast_ref::<T>())
+        self.state.as_ref().and_then(|b| b.as_any().downcast_ref::<T>())
     }
 
     // ---- sends -----------------------------------------------------------
@@ -2496,6 +3730,26 @@ mod tests {
     }
 
     #[test]
+    fn host_state_hooks_rewind_with_snapshot() {
+        let mut eng = Engine::new(tiny());
+        let cell: Arc<Mutex<u64>> = Arc::default();
+        eng.host_state_cell(&cell);
+        *cell.lock().unwrap() = 7;
+        let snap = eng.snapshot();
+        *cell.lock().unwrap() = 99;
+        eng.restore(&snap).unwrap();
+        assert_eq!(*cell.lock().unwrap(), 7, "hooked cell must rewind");
+
+        // A snapshot taken before a hook was registered cannot feed it.
+        let late: Arc<Mutex<u64>> = Arc::default();
+        eng.host_state_cell(&late);
+        assert!(
+            matches!(eng.restore(&snap), Err(SnapshotError::Incompatible(_))),
+            "hook-count mismatch must be a clean error"
+        );
+    }
+
+    #[test]
     fn call_return_composition() {
         // Listing 2 of the paper: e1 -> e2 (new thread, next lane) -> e3 (back).
         let mut eng = Engine::new(tiny());
@@ -2649,7 +3903,7 @@ mod tests {
 
     #[test]
     fn thread_state_persists_across_events() {
-        #[derive(Default)]
+        #[derive(Clone, Default)]
         struct Acc {
             sum: u64,
             n: u64,

@@ -16,21 +16,62 @@ use std::collections::VecDeque;
 use crate::ids::{EventWord, ThreadId};
 use crate::message::Message;
 
+/// Object-safe view of a software thread state: any `Any + Send + Clone`
+/// value qualifies via the blanket impl. The `Clone` requirement is what
+/// makes whole-machine snapshots (`Engine::snapshot`) possible — a thread
+/// state that cannot be cloned cannot be checkpointed. `type_label` names
+/// the concrete type in snapshot-codec errors.
+pub trait SimState: Any + Send {
+    fn clone_state(&self) -> Box<dyn SimState>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn type_label(&self) -> &'static str;
+}
+
+impl<T: Any + Send + Clone> SimState for T {
+    fn clone_state(&self) -> Box<dyn SimState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn type_label(&self) -> &'static str {
+        std::any::type_name::<T>()
+    }
+}
+
 /// One hardware thread-context slot of the slab. `gen` counts how many
 /// times the slot has been recycled, so a stale `ThreadId` held across a
 /// dealloc/realloc can be detected (debug assertions; the ABA guard of the
 /// slab).
 #[derive(Default)]
-struct ThreadSlot {
-    live: bool,
-    gen: u32,
+pub(crate) struct ThreadSlot {
+    pub(crate) live: bool,
+    pub(crate) gen: u32,
     /// Label of the event that allocated this context (the thread's
     /// "creating label" — the protocol probe groups lifecycle accounting
     /// by it, since `ThreadType` names collide under the generic
     /// `udweave::event` registrar).
-    created_by: u16,
+    pub(crate) created_by: u16,
     /// Application state, created on first access by the handler.
-    state: Option<Box<dyn Any + Send>>,
+    pub(crate) state: Option<Box<dyn SimState>>,
+}
+
+impl Clone for ThreadSlot {
+    fn clone(&self) -> ThreadSlot {
+        ThreadSlot {
+            live: self.live,
+            gen: self.gen,
+            created_by: self.created_by,
+            state: self.state.as_ref().map(|s| s.clone_state()),
+        }
+    }
 }
 
 /// The lane's thread-context table: a slab indexed directly by `ThreadId`
@@ -41,12 +82,14 @@ struct ThreadSlot {
 /// skips `ThreadId::NEW` (`u16::MAX`) and live slots, and hands out the
 /// first free id — so the sequence of allocated thread ids (visible in
 /// traces and event words) is byte-for-byte unchanged.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct ThreadTable {
-    slots: Vec<ThreadSlot>,
-    live: usize,
-    /// Next candidate thread id for the allocation scan.
-    next_tid: u16,
+    pub(crate) slots: Vec<ThreadSlot>,
+    pub(crate) live: usize,
+    /// Next candidate thread id for the allocation scan. Part of the
+    /// observable allocation order, so snapshots must preserve it exactly
+    /// (alongside each slot's generation counter).
+    pub(crate) next_tid: u16,
 }
 
 impl ThreadTable {
@@ -96,7 +139,7 @@ impl ThreadTable {
 
     /// Mutable access to a live thread's state cell; `None` for dead ids.
     #[inline]
-    pub fn state_mut(&mut self, tid: ThreadId) -> Option<&mut Option<Box<dyn Any + Send>>> {
+    pub fn state_mut(&mut self, tid: ThreadId) -> Option<&mut Option<Box<dyn SimState>>> {
         match self.slots.get_mut(tid.0 as usize) {
             Some(s) if s.live => Some(&mut s.state),
             _ => None,
@@ -149,9 +192,9 @@ impl ThreadTable {
 /// idle lanes cost nothing. Capacity is enforced against `spm_words` by
 /// the engine; reads past the touched region return zero (uninitialized
 /// memory reads as zero, as before).
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Scratchpad {
-    words: Vec<u64>,
+    pub(crate) words: Vec<u64>,
     /// High-water mark of touched words (for spMalloc accounting/stats).
     pub high_water: u32,
 }
@@ -183,7 +226,7 @@ impl Scratchpad {
 }
 
 /// One lane of the machine.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct Lane {
     /// Messages waiting to execute on this lane, FIFO.
     pub inbox: VecDeque<Message>,

@@ -47,6 +47,7 @@ pub mod network;
 pub mod probe;
 pub mod race;
 pub mod sched;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 
@@ -54,13 +55,18 @@ pub use calendar::CalendarQueue;
 pub use config::{
     MachineConfig, MemoryConfig, NetworkConfig, NetworkConfigBuilder, OpCosts,
 };
-pub use engine::{Engine, EngineRun, EventCtx, Handler};
+pub use engine::{Engine, EngineRun, EventCtx, Handler, Recording, Snapshot};
+pub use lane::SimState;
 pub use sched::{Parallel, Scheduler, Sequential};
 pub use ids::{EventLabel, EventWord, NetworkId, ThreadId};
 pub use memory::{GlobalMemory, MemError, TranslationDescriptor, VAddr};
 pub use message::Message;
 pub use network::{Fabric, Link, LinkId, Nics, Topology, TopologyKind};
 pub use probe::{DiagKind, Diagnostic, ProbeReport, ProtocolProbe};
+pub use snapshot::{
+    ReplayCheck, ReplayRunReport, SnapField, SnapReader, SnapState, SnapWriter, SnapshotError,
+    SNAP_SCHEMA,
+};
 pub use race::{Footprint, RaceFilter, RaceKind, RaceProbe, RaceReport, RaceSite, RaceSpace, Region};
 pub use stats::{
     Counters, FabricMetrics, LaneMetrics, LinkMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS,

@@ -15,6 +15,8 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
 
+use crate::snapshot::{SnapField, SnapReader, SnapWriter, SnapshotError};
+
 /// A virtual address in the UpDown global address space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct VAddr(pub u64);
@@ -403,11 +405,132 @@ impl GlobalMemory {
     pub fn live_descriptors(&self) -> usize {
         self.allocs.iter().filter(|a| a.live).count()
     }
+
+    /// Deep copy of all memory contents plus the allocation-table shape,
+    /// for snapshots. The engine only snapshots at window boundaries, where
+    /// no lane holds a bank lock, so taking every lock in order is safe.
+    pub(crate) fn image(&self) -> MemoryImage {
+        MemoryImage {
+            cursor: self.cursor,
+            allocs: self
+                .allocs
+                .iter()
+                .map(|a| AllocImage {
+                    desc: a.desc,
+                    live: a.live,
+                    banks: a
+                        .banks
+                        .iter()
+                        .map(|b| b.lock().unwrap().clone())
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrite memory contents from an image. The allocation table must
+    /// match the image exactly (same descriptors, same liveness): restore
+    /// targets a machine that was driven through the same host-side
+    /// `alloc`/`free` sequence, so a mismatch means the snapshot belongs to
+    /// a different workload and is rejected rather than patched around.
+    /// Takes `&self` — banks carry their own locks, so the engine can
+    /// restore through the shared handle without tearing down shards.
+    pub(crate) fn restore_image(&self, img: &MemoryImage) -> Result<(), SnapshotError> {
+        if img.allocs.len() != self.allocs.len() {
+            return Err(SnapshotError::Incompatible(format!(
+                "allocation count mismatch: snapshot has {}, machine has {}",
+                img.allocs.len(),
+                self.allocs.len()
+            )));
+        }
+        for (i, (cur, img_a)) in self.allocs.iter().zip(&img.allocs).enumerate() {
+            if cur.desc != img_a.desc || cur.live != img_a.live {
+                return Err(SnapshotError::Incompatible(format!(
+                    "allocation {i} descriptor/liveness mismatch"
+                )));
+            }
+            if cur.banks.len() != img_a.banks.len() {
+                return Err(SnapshotError::Incompatible(format!(
+                    "allocation {i} bank count mismatch"
+                )));
+            }
+        }
+        for (cur, img_a) in self.allocs.iter().zip(&img.allocs) {
+            for (bank, img_b) in cur.banks.iter().zip(&img_a.banks) {
+                let mut b = bank.lock().unwrap();
+                if b.len() != img_b.len() {
+                    return Err(SnapshotError::Incompatible(
+                        "bank size mismatch".to_string(),
+                    ));
+                }
+                b.copy_from_slice(img_b);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot of global-memory contents: one byte vector per bank, plus the
+/// descriptor table needed to validate compatibility on restore.
+#[derive(Clone, Debug)]
+pub(crate) struct MemoryImage {
+    cursor: u64,
+    allocs: Vec<AllocImage>,
+}
+
+#[derive(Clone, Debug)]
+struct AllocImage {
+    desc: TranslationDescriptor,
+    live: bool,
+    banks: Vec<Vec<u8>>,
+}
+
+impl MemoryImage {
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.cursor);
+        w.usize(self.allocs.len());
+        for a in &self.allocs {
+            w.u64(a.desc.base.0);
+            w.u64(a.desc.size);
+            w.u32(a.desc.first_node);
+            w.u32(a.desc.nr_nodes);
+            w.u64(a.desc.block_size);
+            w.bool(a.live);
+            w.usize(a.banks.len());
+            for b in &a.banks {
+                w.bytes(b);
+            }
+        }
+    }
+
+    pub(crate) fn load(r: &mut SnapReader<'_>) -> Result<MemoryImage, SnapshotError> {
+        let cursor = r.u64()?;
+        let nallocs = r.len(32)?;
+        let mut allocs = Vec::with_capacity(nallocs);
+        for _ in 0..nallocs {
+            let desc = TranslationDescriptor {
+                base: VAddr(r.u64()?),
+                size: r.u64()?,
+                first_node: r.u32()?,
+                nr_nodes: r.u32()?,
+                block_size: r.u64()?,
+            };
+            let live = r.bool()?;
+            let nbanks = r.len(8)?;
+            let mut banks = Vec::with_capacity(nbanks);
+            for _ in 0..nbanks {
+                banks.push(r.bytes()?.to_vec());
+            }
+            allocs.push(AllocImage { desc, live, banks });
+        }
+        Ok(MemoryImage { cursor, allocs })
+    }
 }
 
 /// Per-node DRAM channel timing: FIFO service at the configured bandwidth
 /// plus fixed access latency. `service` returns the completion time of a
 /// request arriving at `arrival` transferring `bytes`.
+#[derive(Clone)]
 pub struct MemChannels {
     /// Pipeline occupancy in *byte-units*: one cycle of channel time equals
     /// `bytes_per_cycle` units, so accesses much smaller than the per-cycle
@@ -448,6 +571,26 @@ impl MemChannels {
         self.busy_units[node as usize]
             .div_ceil(self.bytes_per_cycle)
             .saturating_sub(now)
+    }
+
+    /// Snapshot the mutable timing state (occupancy + served counters). The
+    /// fixed rate parameters come from config and are not serialized.
+    pub(crate) fn save(&self, w: &mut SnapWriter) {
+        self.busy_units.put(w);
+        self.served_bytes.put(w);
+    }
+
+    pub(crate) fn load_into(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let busy = Vec::<u64>::take(r)?;
+        let served = Vec::<u64>::take(r)?;
+        if busy.len() != self.busy_units.len() || served.len() != self.served_bytes.len() {
+            return Err(SnapshotError::Incompatible(
+                "memory-channel node count mismatch".to_string(),
+            ));
+        }
+        self.busy_units = busy;
+        self.served_bytes = served;
+        Ok(())
     }
 }
 

@@ -590,6 +590,7 @@ impl Topology for Dragonfly {
 /// fabric state; the engine sum-merges the per-shard counters at metrics
 /// time (and element-wise sums the demand windows before taking the peak),
 /// which keeps every figure byte-identical across `--threads` values.
+#[derive(Clone)]
 pub struct Fabric {
     bytes: Vec<u64>,
     flits: Vec<u64>,
@@ -654,11 +655,47 @@ impl Fabric {
     pub fn stat_window(&self) -> u64 {
         self.stat_window
     }
+
+    /// Snapshot counters + demand windows (the link table is rebuilt from
+    /// config, only the accumulated traffic needs serializing).
+    pub(crate) fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        use crate::snapshot::SnapField;
+        self.bytes.put(w);
+        self.flits.put(w);
+        w.usize(self.demand.len());
+        for d in &self.demand {
+            d.put(w);
+        }
+    }
+
+    pub(crate) fn load_into(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::{SnapField, SnapshotError};
+        let bytes = Vec::<u64>::take(r)?;
+        let flits = Vec::<u64>::take(r)?;
+        let nd = r.len(8)?;
+        if bytes.len() != self.bytes.len() || flits.len() != self.flits.len() || nd != self.demand.len() {
+            return Err(SnapshotError::Incompatible(
+                "fabric link count mismatch".to_string(),
+            ));
+        }
+        let mut demand = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            demand.push(Vec::<u64>::take(r)?);
+        }
+        self.bytes = bytes;
+        self.flits = flits;
+        self.demand = demand;
+        Ok(())
+    }
 }
 
 /// Per-node NIC injection serialization for inter-node traffic: the
 /// injection port (4 TB/s per node) is the contended network resource at
 /// simulated node counts.
+#[derive(Clone)]
 pub struct Nics {
     /// Pipeline occupancy in byte-units (1 cycle = `bytes_per_cycle`
     /// units): many small messages inject per cycle, sustained overload
@@ -686,6 +723,29 @@ impl Nics {
         self.busy_units[n] = start_units + bytes.max(1);
         self.injected_bytes[n] += bytes;
         self.busy_units[n].div_ceil(self.bytes_per_cycle)
+    }
+
+    pub(crate) fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        use crate::snapshot::SnapField;
+        self.busy_units.put(w);
+        self.injected_bytes.put(w);
+    }
+
+    pub(crate) fn load_into(
+        &mut self,
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::{SnapField, SnapshotError};
+        let busy = Vec::<u64>::take(r)?;
+        let injected = Vec::<u64>::take(r)?;
+        if busy.len() != self.busy_units.len() || injected.len() != self.injected_bytes.len() {
+            return Err(SnapshotError::Incompatible(
+                "NIC node count mismatch".to_string(),
+            ));
+        }
+        self.busy_units = busy;
+        self.injected_bytes = injected;
+        Ok(())
     }
 }
 

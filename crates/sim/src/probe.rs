@@ -171,7 +171,7 @@ impl ProbeReport {
 /// Site key → (first (tick, lane), detail of that occurrence, count).
 type DiagSites = BTreeMap<(DiagKind, u16, u64), ((u64, u32), String, u64)>;
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Inner {
     handlers: BTreeMap<u16, HandlerRecord>,
     groups: BTreeMap<u16, GroupRecord>,
@@ -182,6 +182,12 @@ struct Inner {
     truncated: BTreeSet<(DiagKind, u16, u64)>,
     drained: bool,
 }
+
+/// Opaque deep copy of a probe recording at a snapshot point; restored by
+/// [`ProtocolProbe::restore_state`] so a rewound engine replays into the
+/// same probe contents it had at the checkpoint.
+#[derive(Clone)]
+pub(crate) struct ProbeState(Inner);
 
 /// Shared handle to a protocol recording. `Clone` shares the recording:
 /// keep one clone and pass another inside [`MachineConfig`](crate::MachineConfig).
@@ -199,6 +205,16 @@ impl fmt::Debug for ProtocolProbe {
 impl ProtocolProbe {
     pub fn new() -> ProtocolProbe {
         ProtocolProbe::default()
+    }
+
+    /// Deep-copy the recording for a snapshot.
+    pub(crate) fn snapshot_state(&self) -> ProbeState {
+        ProbeState(self.inner.lock().unwrap().clone())
+    }
+
+    /// Rewind the recording to a previously snapshotted state.
+    pub(crate) fn restore_state(&self, st: &ProbeState) {
+        *self.inner.lock().unwrap() = st.0.clone();
     }
 
     /// Record one completed event execution.

@@ -233,7 +233,7 @@ impl Access {
 
 /// FastTrack-style per-word state: the last plain write, the last
 /// atomic update, and the reads since the last plain write.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct WordState {
     write: Option<Access>,
     atomic: Option<Access>,
@@ -252,7 +252,7 @@ pub struct RaceFilter {
     pub spm: BTreeSet<u32>,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Inner {
     /// Record footprints only; skip per-word tracking entirely.
     footprint_only: bool,
@@ -426,10 +426,25 @@ impl fmt::Debug for RaceProbe {
     }
 }
 
+/// Opaque deep copy of a race recording at a snapshot point (vector
+/// clocks, word states, sites); restored by [`RaceProbe::restore_state`].
+#[derive(Clone)]
+pub(crate) struct RaceState(Inner);
+
 impl RaceProbe {
     /// Full monitoring: every DRAM allocation and every scratchpad.
     pub fn new() -> RaceProbe {
         RaceProbe::default()
+    }
+
+    /// Deep-copy the recording for a snapshot.
+    pub(crate) fn snapshot_state(&self) -> RaceState {
+        RaceState(self.inner.lock().unwrap().clone())
+    }
+
+    /// Rewind the recording to a previously snapshotted state.
+    pub(crate) fn restore_state(&self, st: &RaceState) {
+        *self.inner.lock().unwrap() = st.0.clone();
     }
 
     /// Footprint-only pass: record which handlers touch which regions

@@ -8,6 +8,18 @@
 //! configuration and cross-shard entries merge in a deterministic order,
 //! the two produce byte-identical results — the conformance suite in
 //! `tests/` asserts this for every application.
+//!
+//! # Pausing at checkpoint boundaries
+//!
+//! A run may carry a finite [`EngineRun::round_limit`]. When the
+//! coordinator observes that many completed windows it *pauses* the run
+//! instead of finishing it: workers exit the loop, `run_rounds` drains
+//! both mailbox parities back into the shard calendars (so the paused
+//! state is self-contained), and [`EngineRun::paused`] is set. The engine
+//! then takes a snapshot and resumes with a fresh run whose control block
+//! recomputes the identical window floor — so a paused-and-resumed run is
+//! byte-identical to an uninterrupted one at every thread count. See
+//! `docs/checkpoint.md`.
 
 use crate::engine::{run_rounds, EngineRun};
 

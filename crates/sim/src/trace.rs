@@ -94,8 +94,9 @@ impl PhaseSpan {
 }
 
 /// Collects [`TraceEvent`]s during a run. Owned by the engine; present
-/// only when event tracing is enabled.
-#[derive(Default)]
+/// only when event tracing is enabled. `Clone` deep-copies the recording
+/// so snapshots can rewind the trace alongside machine state.
+#[derive(Clone, Default)]
 pub struct Tracer {
     pub events: Vec<TraceEvent>,
     next_id: u64,

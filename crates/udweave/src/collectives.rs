@@ -87,6 +87,7 @@ pub struct TreeComm {
     pub fanout: u32,
 }
 
+#[derive(Clone)]
 struct RelayState {
     pending: u32,
     acc: [u64; ACK_WORDS],
@@ -103,9 +104,12 @@ impl Default for RelayState {
     }
 }
 
+updown_sim::snap_state!(RelayState, "udweave.tree_relay", { pending, acc, parent });
+
 impl TreeComm {
     pub fn install(eng: &mut Engine, name: &str, fanout: u32) -> TreeComm {
         assert!(fanout >= 2);
+        eng.register_state_codec::<RelayState>();
         // Registration order: gather first so relay can reference it.
         // Labels are allocated sequentially; we register a placeholder-free
         // pair by registering gather, then relay.

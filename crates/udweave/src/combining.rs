@@ -134,7 +134,7 @@ mod tests {
     use crate::program::event;
     use updown_sim::{Engine, EventWord, MachineConfig, NetworkId};
 
-    #[derive(Default)]
+    #[derive(Clone, Default)]
     struct St {
         cache: Option<CombiningCache>,
     }

@@ -17,7 +17,7 @@ use updown_sim::{Engine, EventCtx, EventLabel};
 /// use updown_sim::{Engine, MachineConfig, EventWord, NetworkId};
 /// use udweave::program::ThreadType;
 ///
-/// #[derive(Default)]
+/// #[derive(Clone, Default)]
 /// struct TExample { result: u64 }
 ///
 /// let mut eng = Engine::new(MachineConfig::small(1, 1, 2));
@@ -34,7 +34,7 @@ pub struct ThreadType<S> {
     _marker: std::marker::PhantomData<fn(S)>,
 }
 
-impl<S: Default + Send + 'static> ThreadType<S> {
+impl<S: Default + Send + Clone + 'static> ThreadType<S> {
     pub fn new(name: &str) -> ThreadType<S> {
         ThreadType {
             name: name.to_string(),
@@ -65,7 +65,7 @@ impl<S: Default + Send + 'static> ThreadType<S> {
 }
 
 /// Register a standalone event with default-initialized typed state.
-pub fn event<S: Default + Send + 'static>(
+pub fn event<S: Default + Send + Clone + 'static>(
     eng: &mut Engine,
     name: &str,
     f: impl Fn(&mut EventCtx<'_>, &mut S) + Send + Sync + 'static,
@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn thread_state_shared_across_events() {
-        #[derive(Default)]
+        #[derive(Clone, Default)]
         struct St {
             acc: u64,
         }

@@ -45,6 +45,35 @@ pub struct QueueLib {
 impl QueueLib {
     pub fn install(eng: &mut Engine) -> QueueLib {
         let inner: Arc<Mutex<Inner>> = Arc::default();
+        // Cursors and parked consumers are host-side state read back by
+        // the enqueue/dequeue handlers — rewinds must carry them
+        // (docs/checkpoint.md).
+        {
+            let a = inner.clone();
+            let b = inner.clone();
+            eng.register_host_state(
+                move || {
+                    let inn = a.lock().unwrap();
+                    inn.queues
+                        .iter()
+                        .map(|q| (q.head, q.tail, q.waiters.clone()))
+                        .collect::<Vec<_>>()
+                },
+                move |saved| {
+                    let mut inn = b.lock().unwrap();
+                    assert_eq!(
+                        inn.queues.len(),
+                        saved.len(),
+                        "mpmc restore: queue count changed since the snapshot"
+                    );
+                    for (q, (head, tail, waiters)) in inn.queues.iter_mut().zip(saved) {
+                        q.head = *head;
+                        q.tail = *tail;
+                        q.waiters = waiters.clone();
+                    }
+                },
+            );
+        }
 
         let enqueue_l = {
             let inner = inner.clone();
@@ -78,10 +107,12 @@ impl QueueLib {
 
         // Second event of a dequeue thread: the ring slot arrived; relay
         // it to the consumer (third-party composition).
-        #[derive(Default)]
+        #[derive(Clone, Default)]
         struct DeqSt {
             reply_raw: u64,
         }
+        updown_sim::snap_state!(DeqSt, "udweave.mpmc_deq", { reply_raw });
+        eng.register_state_codec::<DeqSt>();
         let deq_relay = crate::program::event::<DeqSt>(eng, "mpmc::deq_relay", move |ctx, st| {
             let value = ctx.arg(0);
             let reply = EventWord::from_raw(st.reply_raw);

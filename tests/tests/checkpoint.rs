@@ -1,0 +1,511 @@
+//! Checkpoint/restore and record-replay conformance: the pin for
+//! `updown-snapshot/v1` and the replay machinery (see docs/checkpoint.md).
+//!
+//! The centerpiece property: a run that pauses at checkpoint boundaries —
+//! snapshotting, round-tripping the snapshot and continuing — must be
+//! **byte-identical** to an uninterrupted run: same application result,
+//! same `updown-metrics/v1` JSON, same `udcheck/v1` and `udrace/v1`
+//! documents, at every thread count. On top of that:
+//!
+//! - the on-disk format round-trips exactly (serialize → deserialize →
+//!   re-serialize byte equality), and corrupted or truncated snapshots
+//!   are clean [`SnapshotError`]s, never panics;
+//! - a recorded run replays any single shard in isolation with a lane
+//!   event stream (time, lane, thread, label, scratchpad high-water)
+//!   identical to the recording — including across checkpoint pauses;
+//! - restore is an exact rewind even when the snapshot lands while a
+//!   far-future entry sits in the calendar overflow rung and thread
+//!   contexts have churned through generations.
+
+use udcheck::{render_document, render_race_document, Analysis, EventFlowGraph, RaceAnalysis};
+use updown_apps::bfs::{run_bfs, BfsConfig};
+use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
+use updown_apps::pagerank::{run_pagerank, PrConfig};
+use updown_apps::partial_match::{run_partial_match, PmConfig};
+use updown_apps::tc::{run_tc, TcConfig};
+use updown_graph::generators::{rmat, RmatParams};
+use updown_graph::preprocess::{dedup_sort, split_in_out};
+use updown_graph::Csr;
+use updown_sim::{
+    Engine, EventWord, MachineConfig, NetworkId, ProtocolProbe, RaceProbe, ReplayCheck,
+    SnapshotError, VAddr,
+};
+
+/// Thread counts the restore-then-continue property is pinned at.
+const THREADS: &[u32] = &[1, 2, 4];
+
+/// Checkpoint cadences ("snapshot at a random window"): derived from the
+/// run seed so different cells of the matrix pause at different
+/// boundaries, while each cell stays reproducible.
+fn cadence_for(seed: u64) -> u64 {
+    2 + (seed.wrapping_mul(2654435761) % 7)
+}
+
+/// One run of `app` at conformance scale with udcheck + udrace probes
+/// armed and an optional checkpoint cadence. Returns the full observable
+/// fingerprint: `[app result, metrics JSON, udcheck doc, udrace doc]`.
+fn run_fingerprint(app: &str, seed: u64, threads: u32, checkpoint_every: u64) -> [String; 4] {
+    let probe = ProtocolProbe::new();
+    let race = RaceProbe::new();
+    let mut m = MachineConfig::small(2, 2, 4);
+    m.threads = threads;
+    m.probe = Some(probe.clone());
+    m.race = Some(race.clone());
+    m.checkpoint_every = checkpoint_every;
+    let (fp, metrics) = match app {
+        "pagerank" => {
+            let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), seed)));
+            let sg = split_in_out(&g, 64);
+            let mut cfg = PrConfig::new(2);
+            cfg.machine = m;
+            cfg.iterations = 2;
+            let r = run_pagerank(&sg, &cfg);
+            (
+                format!(
+                    "{:?} {:?}",
+                    r.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    r.iter_ticks
+                ),
+                r.report.to_json(),
+            )
+        }
+        "bfs" => {
+            let g = Csr::from_edges(&dedup_sort(
+                rmat(8, RmatParams::default(), seed).symmetrize(),
+            ));
+            let mut cfg = BfsConfig::new(2, 0);
+            cfg.machine = m;
+            let r = run_bfs(&g, &cfg);
+            (
+                format!("{:?} {}", r.dist, r.traversed_edges),
+                r.report.to_json(),
+            )
+        }
+        "tc" => {
+            let mut g = Csr::from_edges(&dedup_sort(
+                rmat(7, RmatParams::default(), seed).symmetrize(),
+            ));
+            g.sort_neighbors();
+            let mut cfg = TcConfig::new(2);
+            cfg.machine = m;
+            let r = run_tc(&g, &cfg);
+            (format!("{} {}", r.triangles, r.pairs), r.report.to_json())
+        }
+        "ingest" => {
+            let ds = datagen::generate(250, 120, seed);
+            let mut cfg = IngestConfig::new(2);
+            cfg.machine = m;
+            let r = run_ingest(&ds, &cfg);
+            (
+                format!("{} {} {}", r.vertices, r.edges, r.n_records),
+                r.report.to_json(),
+            )
+        }
+        "partial_match" => {
+            let ds = datagen::generate(200, 60, seed);
+            let mut cfg = PmConfig::new(8, vec![1, 2]);
+            cfg.machine = m;
+            cfg.batch = 16;
+            cfg.interval = 200;
+            cfg.feeders = 2;
+            let r = run_partial_match(&ds.records, &cfg);
+            (
+                format!("{} {:?}", r.matches, r.latencies),
+                r.report.to_json(),
+            )
+        }
+        other => panic!("unknown app {other}"),
+    };
+    let graph = EventFlowGraph::from_report(&probe.snapshot());
+    let check = render_document(&[Analysis::of(app, &probe)]);
+    let race_doc = render_race_document(&[RaceAnalysis::of(app, &race, Some(&graph))]);
+    [fp, metrics, check, race_doc]
+}
+
+/// The tentpole property, per app: a run that checkpoints at a
+/// seed-derived cadence (pausing, snapshotting, round-tripping the
+/// snapshot, continuing) is byte-identical to the uninterrupted run — in
+/// app result, metrics JSON, udcheck doc, and udrace doc — at 1, 2, and
+/// 4 worker threads.
+fn assert_checkpoint_transparent(app: &str, seed: u64) {
+    let base = run_fingerprint(app, seed, 1, 0);
+    let every = cadence_for(seed);
+    for &t in THREADS {
+        let ck = run_fingerprint(app, seed, t, every);
+        for (i, what) in ["result", "metrics", "udcheck", "udrace"].iter().enumerate() {
+            assert_eq!(
+                base[i], ck[i],
+                "{app} seed={seed} threads={t} every={every}: {what} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn pagerank_checkpoint_is_transparent() {
+    assert_checkpoint_transparent("pagerank", 10);
+}
+
+#[test]
+fn bfs_checkpoint_is_transparent() {
+    assert_checkpoint_transparent("bfs", 11);
+}
+
+#[test]
+fn tc_checkpoint_is_transparent() {
+    assert_checkpoint_transparent("tc", 12);
+}
+
+#[test]
+fn ingest_checkpoint_is_transparent() {
+    assert_checkpoint_transparent("ingest", 5);
+}
+
+#[test]
+fn partial_match_checkpoint_is_transparent() {
+    assert_checkpoint_transparent("partial_match", 7);
+}
+
+/// Replay verification through the public [`ReplayCheck`] surface, over a
+/// real application with checkpoint pauses interleaved: every recorded
+/// shard must replay byte-identically.
+#[test]
+fn pagerank_replay_verifies_clean() {
+    let check = ReplayCheck::new();
+    let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), 10)));
+    let sg = split_in_out(&g, 64);
+    let mut cfg = PrConfig::new(2);
+    cfg.machine = MachineConfig::small(2, 2, 4);
+    cfg.machine.threads = 2;
+    cfg.machine.checkpoint_every = 5;
+    cfg.machine.record = true;
+    cfg.machine.replay = Some(check.clone());
+    cfg.iterations = 2;
+    run_pagerank(&sg, &cfg);
+    let reports = check.reports();
+    assert!(!reports.is_empty(), "replay produced no verdicts");
+    for r in &reports {
+        assert!(r.events > 0, "{}: vacuous recording", r.label);
+        assert!(
+            r.ok(),
+            "{}: replay diverged: {:?}",
+            r.label,
+            r.mismatches
+        );
+    }
+    assert!(!check.dirty());
+}
+
+/// Regression: handler closures keep functional state host-side (SHT
+/// shadow tables, KVMSR run bookkeeping, app accumulators) in
+/// `Arc<Mutex<…>>` cells. Before the host-state hook registry
+/// ([`Engine::register_host_state`]) those cells were not rewound by
+/// restore, so isolated shard replay re-executed handlers against
+/// end-of-run state — at this scale the ingest SHT shadow diverged and
+/// replay injected an `sht::op_fin` onto a lane whose thread slot was
+/// already retired ("targets dead thread" panic). Pins replay at that
+/// formerly-failing scale.
+#[test]
+fn ingest_replay_survives_host_state_rewind() {
+    let check = ReplayCheck::new();
+    let ds = datagen::sized(2000, 2.0, 500, 13);
+    let mut cfg = IngestConfig::new(1);
+    cfg.machine = MachineConfig::builder()
+        .nodes(1)
+        .accels_per_node(4)
+        .lanes_per_accel(32)
+        .scaled_bandwidth()
+        .build();
+    cfg.machine.checkpoint_every = 4;
+    cfg.machine.record = true;
+    cfg.machine.replay = Some(check.clone());
+    run_ingest(&ds, &cfg);
+    let reports = check.reports();
+    assert!(!reports.is_empty(), "replay produced no verdicts");
+    for r in &reports {
+        assert!(r.events > 0, "{}: vacuous recording", r.label);
+        assert!(r.ok(), "{}: replay diverged: {:?}", r.label, r.mismatches);
+    }
+    assert!(!check.dirty());
+}
+
+// ---------------------------------------------------------------------
+// Engine-level fixture: a seeded ping-pong workload with cross-shard
+// messages, DRAM reads/writes, scratchpad writes, multi-event threads
+// (`u64` state, built-in codec), thread-context churn, and an optional
+// far-future timer that parks in the calendar overflow rung — everything
+// a snapshot has to carry.
+// ---------------------------------------------------------------------
+
+fn lane(eng: &Engine, node: u32, idx: u32) -> NetworkId {
+    NetworkId(node * eng.config().lanes_per_node() + idx)
+}
+
+/// Build the fixture engine. Kick it with `eng.send(start, [hops], IGNORE)`.
+/// Each hop runs a two-event thread ("fix::hop" issues a DRAM read,
+/// "fix::ret" consumes it on the same thread), bumps its persistent `u64`
+/// state, writes scratchpad, writes to DRAM, and bounces a fresh thread
+/// onto the opposite node. When `far_delay > 0`, hops whose count is
+/// divisible by 97 also arm a timer that fires `far_delay` cycles later —
+/// far beyond the 2048-tick calendar ring, parking in the overflow rung.
+fn fixture(mut m: MachineConfig, far_delay: u64) -> (Engine, VAddr, EventWord) {
+    use std::sync::{Arc, Mutex};
+    m.max_threads_per_lane = 4;
+    let mut eng = Engine::new(m);
+    let cell = eng.mem_mut().alloc(64, 0, 1, 4096).unwrap();
+    let far = udweave::simple_event(&mut eng, "fix::far", move |ctx| {
+        ctx.send_dram_write(cell, &[0xFA5], None);
+        ctx.yield_terminate();
+    });
+    // "fix::ret" bounces to "fix::hop", whose label doesn't exist yet at
+    // registration time: thread a placeholder through (the shmem library
+    // uses the same pattern).
+    let hop_slot: Arc<Mutex<EventLabel>> = Arc::new(Mutex::new(EventLabel(u16::MAX)));
+    let hop_for_ret = hop_slot.clone();
+    let ret = udweave::event::<u64>(&mut eng, "fix::ret", move |ctx, st| {
+        let remaining = *st;
+        let loaded = ctx.arg(0);
+        ctx.spm_write(0, loaded.wrapping_add(remaining));
+        ctx.send_dram_write(cell, &[loaded.wrapping_add(remaining)], None);
+        if remaining > 0 {
+            // Bounce to the opposite node; the destination lane cycles
+            // with the hop count so thread slots churn through
+            // generations.
+            let lanes = ctx.config().lanes_per_node();
+            let other_node = u32::from(ctx.nwid().0 < lanes) ^ 1;
+            let dst = NetworkId(other_node * lanes + (remaining % lanes as u64) as u32);
+            let hop = *hop_for_ret.lock().unwrap();
+            ctx.send_event(EventWord::new(dst, hop), [remaining - 1], EventWord::IGNORE);
+        }
+        ctx.yield_terminate();
+    });
+    let hop = {
+        let mut tt = udweave::ThreadType::<u64>::new("fix");
+        tt.event(&mut eng, "hop", move |ctx, st| {
+            let remaining = ctx.arg(0);
+            *st = remaining;
+            if far_delay > 0 && remaining > 0 && remaining % 97 == 0 {
+                ctx.send_event_after(
+                    far_delay,
+                    EventWord::new(ctx.nwid(), far),
+                    [0u64],
+                    EventWord::IGNORE,
+                );
+            }
+            ctx.spm_write(1, remaining);
+            ctx.send_dram_read(cell, 1, ret);
+            // No terminate: the thread stays live until "fix::ret".
+        })
+    };
+    *hop_slot.lock().unwrap() = hop;
+    let start = EventWord::new(lane(&eng, 0, 0), hop);
+    (eng, cell, start)
+}
+
+use updown_sim::EventLabel;
+
+fn fixture_machine(threads: u32) -> MachineConfig {
+    let mut m = MachineConfig::small(2, 1, 4);
+    m.threads = threads;
+    m
+}
+
+/// Serialize → deserialize (into a fresh engine with the same handler
+/// registrations) → re-serialize must be byte-identical, and both engines
+/// must run to byte-identical completions afterwards.
+#[test]
+fn snapshot_disk_roundtrip_is_byte_identical() {
+    let (mut eng, cell, start) = fixture(fixture_machine(1), 0);
+    eng.send(start, [400u64], EventWord::IGNORE);
+    eng.set_event_limit(300);
+    eng.run();
+    let bytes = eng.snapshot_bytes().expect("serialize mid-run");
+
+    let (mut eng2, _, _) = fixture(fixture_machine(1), 0);
+    eng2.restore_snapshot_bytes(&bytes).expect("deserialize");
+    let bytes2 = eng2.snapshot_bytes().expect("re-serialize");
+    assert_eq!(bytes, bytes2, "serialize→deserialize→re-serialize drifted");
+
+    eng.set_event_limit(u64::MAX);
+    eng2.set_event_limit(u64::MAX);
+    let a = eng.run().to_json();
+    let b = eng2.run().to_json();
+    assert_eq!(a, b, "restored engine diverged from the original");
+    assert_eq!(
+        eng.mem().read_u64(cell).unwrap(),
+        eng2.mem().read_u64(cell).unwrap()
+    );
+}
+
+/// The file framing round-trips through disk, and `read_header` sees the
+/// machine shape without decoding the body.
+#[test]
+fn snapshot_file_roundtrip_and_header() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("fixture.snap");
+
+    let (mut eng, _, start) = fixture(fixture_machine(1), 0);
+    eng.send(start, [300u64], EventWord::IGNORE);
+    eng.set_event_limit(200);
+    eng.run();
+    eng.write_snapshot(&path).expect("write snapshot");
+
+    let h = updown_sim::snapshot::read_header(&path).expect("read header");
+    assert_eq!((h.nodes, h.accels_per_node, h.lanes_per_accel), (2, 1, 4));
+    assert!(h.events > 0);
+
+    let (mut eng2, _, _) = fixture(fixture_machine(1), 0);
+    eng2.read_snapshot(&path).expect("read snapshot");
+    assert_eq!(eng2.snapshot_bytes().unwrap(), std::fs::read(&path).unwrap());
+}
+
+/// Corrupted and truncated snapshots must surface as clean
+/// [`SnapshotError`]s — never panics — and a failed restore must leave
+/// the engine untouched (all-or-nothing).
+#[test]
+fn corrupt_and_truncated_snapshots_error_cleanly() {
+    let (mut eng, _, start) = fixture(fixture_machine(1), 0);
+    eng.send(start, [300u64], EventWord::IGNORE);
+    eng.set_event_limit(200);
+    eng.run();
+    let good = eng.snapshot_bytes().unwrap();
+
+    let (mut victim, cell_v, _) = fixture(fixture_machine(1), 0);
+
+    // Truncations at every structural boundary: inside the magic, the
+    // header, the body, and the trailing checksum.
+    for cut in [0, 4, 12, good.len() / 2, good.len() - 3] {
+        let err = victim
+            .restore_snapshot_bytes(&good[..cut])
+            .expect_err("truncated snapshot must fail");
+        assert!(
+            matches!(err, SnapshotError::Format(_)),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    // A flipped body byte must fail the checksum.
+    let mut bad = good.clone();
+    let n = bad.len();
+    bad[n - 9] ^= 0x40;
+    let err = victim
+        .restore_snapshot_bytes(&bad)
+        .expect_err("corrupt body must fail");
+    assert!(matches!(err, SnapshotError::Format(_)), "got {err}");
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    assert!(victim.restore_snapshot_bytes(&bad).is_err());
+    // A snapshot of a different machine shape is Incompatible.
+    let mut wide = MachineConfig::small(4, 1, 4);
+    wide.threads = 1;
+    let (mut bigger, _, _) = fixture(wide, 0);
+    let err = bigger
+        .restore_snapshot_bytes(&good)
+        .expect_err("wrong machine shape must fail");
+    assert!(matches!(err, SnapshotError::Incompatible(_)), "got {err}");
+
+    // The victim is untouched by all the failures: a good restore still
+    // works and runs to the same completion as the original.
+    victim.restore_snapshot_bytes(&good).expect("good restore");
+    victim.set_event_limit(u64::MAX);
+    eng.set_event_limit(u64::MAX);
+    assert_eq!(eng.run().to_json(), victim.run().to_json());
+    let _ = cell_v;
+}
+
+/// Golden-fixture replay: record a seeded run, then replay every shard in
+/// isolation — each must reproduce its recorded lane event stream
+/// exactly, and the recording must not be vacuous.
+#[test]
+fn recorded_fixture_replays_byte_identically() {
+    for threads in [1u32, 2] {
+        let mut m = fixture_machine(threads);
+        m.record = true;
+        let (mut eng, _, start) = fixture(m, 0);
+        eng.send(start, [300u64], EventWord::IGNORE);
+        eng.run();
+        let recs = eng.take_recordings();
+        assert_eq!(recs.len(), 1, "one run, one recording");
+        let rec = &recs[0];
+        assert!(rec.events() > 100, "vacuous recording: {}", rec.events());
+        assert_eq!(rec.shard_count(), 2);
+        for k in 0..rec.shard_count() {
+            let mismatches = eng.replay_shard(rec, k);
+            assert!(
+                mismatches.is_empty(),
+                "threads={threads} shard {k} diverged: {mismatches:?}"
+            );
+        }
+    }
+}
+
+/// Recording across checkpoint pauses: the in-flight entries folded back
+/// into the calendars at a pause boundary must appear in the replay
+/// schedule (as zero-width rounds), or isolated replay diverges.
+#[test]
+fn replay_spans_checkpoint_pauses() {
+    let mut m = fixture_machine(2);
+    m.record = true;
+    m.checkpoint_every = 3;
+    let (mut eng, _, start) = fixture(m, 0);
+    eng.send(start, [300u64], EventWord::IGNORE);
+    eng.run();
+    let recs = eng.take_recordings();
+    assert_eq!(recs.len(), 1);
+    for k in 0..recs[0].shard_count() {
+        let mismatches = eng.replay_shard(&recs[0], k);
+        assert!(mismatches.is_empty(), "shard {k}: {mismatches:?}");
+    }
+}
+
+/// Regression (satellite 4): a snapshot taken while a far-future entry
+/// sits in the calendar overflow rung — and after heavy thread-slot
+/// generation churn — must rewind exactly: continuing from the restore
+/// must be byte-identical to the first continuation, including the
+/// far-future timer firing at the same tick.
+#[test]
+fn restore_survives_overflow_rung_and_generation_churn() {
+    // far_delay far beyond RING_BUCKETS (2048): entries park in the
+    // overflow rung and rebase the ring when the window reaches them.
+    let (mut eng, cell, start) = fixture(fixture_machine(1), 50_000);
+    eng.send(start, [400u64], EventWord::IGNORE);
+    // Stop mid-run: 400 bounces with 4 contexts per lane is plenty of
+    // generation churn, and hop 388/291/194/97 armed far timers that are
+    // still pending.
+    eng.set_event_limit(350);
+    eng.run();
+    let snap = eng.snapshot();
+    assert!(snap.window() > 0, "snapshot must land mid-run");
+
+    eng.set_event_limit(u64::MAX);
+    let a = eng.run().to_json();
+    let a_cell = eng.mem().read_u64(cell).unwrap();
+
+    eng.restore(&snap).expect("rewind");
+    eng.set_event_limit(u64::MAX);
+    let b = eng.run().to_json();
+    let b_cell = eng.mem().read_u64(cell).unwrap();
+
+    assert_eq!(a, b, "rewound continuation diverged");
+    assert_eq!(a_cell, b_cell);
+}
+
+/// The same rewind through the on-disk codec: mid-overflow state encodes,
+/// decodes into a fresh engine, and both continuations are identical.
+#[test]
+fn disk_restore_survives_overflow_rung() {
+    let (mut eng, _, start) = fixture(fixture_machine(1), 50_000);
+    eng.send(start, [400u64], EventWord::IGNORE);
+    eng.set_event_limit(350);
+    eng.run();
+    let bytes = eng.snapshot_bytes().expect("encode mid-overflow");
+
+    let (mut eng2, _, _) = fixture(fixture_machine(1), 50_000);
+    eng2.restore_snapshot_bytes(&bytes).expect("decode");
+    assert_eq!(bytes, eng2.snapshot_bytes().unwrap());
+
+    eng.set_event_limit(u64::MAX);
+    eng2.set_event_limit(u64::MAX);
+    assert_eq!(eng.run().to_json(), eng2.run().to_json());
+}
