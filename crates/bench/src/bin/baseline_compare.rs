@@ -63,6 +63,7 @@ fn main() {
     let sg = split_in_out(&g, 512);
     let mut pc = PrConfig::new(nodes);
     pc.machine = bench_machine_topo(nodes, sim_threads, topology);
+    bench::cli::sched_knobs(&cli, &mut pc.machine);
     san.arm("pr", &mut pc.machine);
     rg.arm("pr", &mut pc.machine);
     ck.arm(&mut pc.machine);
@@ -91,6 +92,7 @@ fn main() {
     // ---- BFS: giga-traversed-edges/second --------------------------------
     let mut bc = BfsConfig::new(nodes, 0);
     bc.machine = bench_machine_topo(nodes, sim_threads, topology);
+    bench::cli::sched_knobs(&cli, &mut bc.machine);
     san.arm("bfs", &mut bc.machine);
     rg.arm("bfs", &mut bc.machine);
     ck.arm(&mut bc.machine);
@@ -112,6 +114,7 @@ fn main() {
     // ---- TC: edges/second ---------------------------------------------------
     let mut tcfg = TcConfig::new(nodes);
     tcfg.machine = bench_machine_topo(nodes, sim_threads, topology);
+    bench::cli::sched_knobs(&cli, &mut tcfg.machine);
     san.arm("tc", &mut tcfg.machine);
     rg.arm("tc", &mut tcfg.machine);
     ck.arm(&mut tcfg.machine);

@@ -9,7 +9,7 @@
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, StdOpts, bench_machine_topo, node_sweep};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, StdOpts, node_sweep};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -23,7 +23,7 @@ fn main() {
     let rg = RaceGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
-    let mut ex = opts.exporter;
+    let mut ex = Exporter::from_cli(&cli);
 
     println!("Figure 10 reproduction — ingestion scaling (records = {base} x multiplier)");
     let mut series = Vec::new();
@@ -37,7 +37,7 @@ fn main() {
         let mut s = Series::new(label);
         for &n in &nodes {
             let mut cfg = IngestConfig::new(n);
-            cfg.machine = bench_machine_topo(n, opts.threads, opts.topology);
+            cfg.machine = opts.machine(n);
             san.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             ck.arm(&mut cfg.machine);

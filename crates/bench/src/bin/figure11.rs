@@ -54,6 +54,7 @@ fn main() {
         cfg.machine = MachineConfig::small(nodes, BENCH_ACCELS, BENCH_LANES);
         cfg.machine.threads = threads;
         cfg.machine.net.topology = topology;
+        bench::cli::sched_knobs(&cli, &mut cfg.machine);
         san.arm(&format!("pm {label}"), &mut cfg.machine);
         rg.arm(&format!("pm {label}"), &mut cfg.machine);
         ck.arm(&mut cfg.machine);

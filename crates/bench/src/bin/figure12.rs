@@ -50,6 +50,7 @@ fn main() {
     while mem <= compute_nodes {
         let mut pc = PrConfig::new(compute_nodes);
         pc.machine = bench_machine_topo(compute_nodes, threads, topology);
+        bench::cli::sched_knobs(&cli, &mut pc.machine);
         san.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
         rg.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
         ck.arm(&mut pc.machine);
@@ -62,6 +63,7 @@ fn main() {
 
         let mut bc = BfsConfig::new(compute_nodes, 0);
         bc.machine = bench_machine_topo(compute_nodes, threads, topology);
+        bench::cli::sched_knobs(&cli, &mut bc.machine);
         san.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
         rg.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
         ck.arm(&mut bc.machine);

@@ -14,8 +14,7 @@
 //! and `--metrics-json` export the first simulated run of the sweep as a
 //! Chrome trace / metrics document (see docs/observability.md).
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, StdOpts, bench_machine_topo, graph_menu_seeded, node_sweep, prepared, prepared_undirected};
-use updown_sim::TopologyKind;
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, StdOpts, graph_menu_seeded, node_sweep, prepared, prepared_undirected};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -23,10 +22,7 @@ use updown_apps::tc::{run_tc, TcConfig};
 
 #[allow(clippy::too_many_arguments)]
 fn pr_sweep(
-    shift: i32,
-    seed: u64,
-    threads: u32,
-    topo: TopologyKind,
+    opts: &StdOpts,
     nodes: &[u32],
     iters: u32,
     ex: &mut Exporter,
@@ -36,13 +32,13 @@ fn pr_sweep(
     rp: &ReplayGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
-    for (name, el) in graph_menu_seeded(shift, seed) {
+    for (name, el) in graph_menu_seeded(opts.scale_shift, opts.seed) {
         let (sh, _) = updown_graph::preprocess::shuffle_ids(&el, 7);
         let sg = updown_graph::preprocess::split_in_out(&updown_graph::Csr::from_edges(&sh), 512);
         let mut s = Series::new(&name);
         for &n in nodes {
             let mut cfg = PrConfig::new(n);
-            cfg.machine = bench_machine_topo(n, threads, topo);
+            cfg.machine = opts.machine(n);
             san.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
@@ -68,10 +64,7 @@ fn pr_sweep(
 
 #[allow(clippy::too_many_arguments)]
 fn bfs_sweep(
-    shift: i32,
-    seed: u64,
-    threads: u32,
-    topo: TopologyKind,
+    opts: &StdOpts,
     nodes: &[u32],
     ex: &mut Exporter,
     san: &Sanitizer,
@@ -80,12 +73,12 @@ fn bfs_sweep(
     rp: &ReplayGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
-    for (name, el) in graph_menu_seeded(shift, seed) {
+    for (name, el) in graph_menu_seeded(opts.scale_shift, opts.seed) {
         let g = prepared(&el.clone().symmetrize());
         let mut s = Series::new(&name);
         for &n in nodes {
             let mut cfg = BfsConfig::new(n, 0);
-            cfg.machine = bench_machine_topo(n, threads, topo);
+            cfg.machine = opts.machine(n);
             san.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
@@ -111,10 +104,7 @@ fn bfs_sweep(
 
 #[allow(clippy::too_many_arguments)]
 fn tc_sweep(
-    shift: i32,
-    seed: u64,
-    threads: u32,
-    topo: TopologyKind,
+    opts: &StdOpts,
     nodes: &[u32],
     ex: &mut Exporter,
     san: &Sanitizer,
@@ -125,13 +115,13 @@ fn tc_sweep(
     let mut out = Vec::new();
     // TC is intersection-heavy: drop the graphs three scales relative to
     // PR/BFS (the paper similarly uses s25 for TC vs s28 elsewhere).
-    for (name, el) in graph_menu_seeded(shift - 3, seed) {
+    for (name, el) in graph_menu_seeded(opts.scale_shift - 3, opts.seed) {
         let g = prepared_undirected(&el);
         let mut s = Series::new(&name);
         let mut triangles = None;
         for &n in nodes {
             let mut cfg = TcConfig::new(n);
-            cfg.machine = bench_machine_topo(n, threads, topo);
+            cfg.machine = opts.machine(n);
             san.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
@@ -178,7 +168,7 @@ fn main() {
     let rg = RaceGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
-    let mut ex = opts.exporter;
+    let mut ex = Exporter::from_cli(&cli);
 
     println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
     println!(
@@ -190,19 +180,7 @@ fn main() {
     );
 
     if which == "pr" || which == "all" {
-        let series = pr_sweep(
-            opts.scale_shift,
-            opts.seed,
-            opts.threads,
-            opts.topology,
-            &nodes,
-            iters,
-            &mut ex,
-            &san,
-            &rg,
-            &ck,
-            &rp,
-        );
+        let series = pr_sweep(&opts, &nodes, iters, &mut ex, &san, &rg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
             "nodes",
@@ -210,7 +188,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &nodes, &mut ex, &san, &rg, &ck, &rp);
+        let series = bfs_sweep(&opts, &nodes, &mut ex, &san, &rg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -222,7 +200,7 @@ fn main() {
             .into_iter()
             .filter(|&n| n >= min_nodes)
             .collect();
-        let series = tc_sweep(opts.scale_shift, opts.seed, opts.threads, opts.topology, &tc_nodes, &mut ex, &san, &rg, &ck, &rp);
+        let series = tc_sweep(&opts, &tc_nodes, &mut ex, &san, &rg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",

@@ -7,14 +7,30 @@
 //! ```text
 //! cargo run --release -p bench --bin par_speedup -- [--nodes 64]
 //!     [--scale 13] [--seed 0] [--iters 1] [--threads 1,2,4] [--topology uniform]
-//!     [--min-speedup 0] [--sanitize] [--race]
+//!     [--steal on|off] [--window-batch 8] [--min-speedup 0]
+//!     [--json-out BENCH_parallel.json] [--mode-check on|off]
+//!     [--sanitize] [--race]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale and `--threads` a
 //! comma-separated list of parallel thread counts to compare against the
 //! sequential baseline. `--min-speedup` (e.g. `1.5`) makes the binary
 //! exit non-zero when the best parallel speedup falls short — the
-//! acceptance gate used by CI.
+//! acceptance gate used by CI. `--json-out` records the scaling curve
+//! (plus the host core count and per-run scheduler diagnostics) as a
+//! machine-readable file; `--mode-check` (default on) additionally
+//! re-runs the workload with work-stealing off and horizon batching off
+//! and asserts the metrics JSON stays byte-identical across scheduler
+//! modes, not just thread counts.
+//!
+//! Alongside wall-clock, the binary reports the deterministic per-window
+//! load-imbalance aggregates from the metrics JSON (`sched` object): the
+//! mean/peak of the heaviest shard's event count per window, and the
+//! imbalance factor (mean window peak over mean per-shard load — 1.0 is
+//! perfectly balanced, N means one shard does everything). Host-side
+//! diagnostics (steals, batched windows, barrier spins) are per-run and
+//! thread-timing dependent, so they appear in the table and the JSON
+//! file but never in the byte-compared metrics.
 
 use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, bench_machine_topo};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -35,11 +51,16 @@ fn main() {
         .filter(|&t| t > 1)
         .collect();
     let min_speedup: f64 = cli.get("min-speedup", 0.0);
+    let steal = bench::cli::parse_on_off(&cli, "steal", true);
+    let window_batch: u64 = cli.get::<u64>("window-batch", 8).max(1);
+    let mode_check = bench::cli::parse_on_off(&cli, "mode-check", true);
+    let json_out: Option<String> = cli.opt("json-out");
     let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
+    let host_cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
     let (sg, _) = split_and_shuffle(&el, 512, 7);
@@ -48,12 +69,18 @@ fn main() {
         "Parallel-engine speedup — PageRank, RMAT s{scale}, {nodes} nodes, \
          {iters} iteration(s), {topology} network"
     );
+    println!(
+        "scheduler: steal {}, window-batch {window_batch}; host cores: {host_cores}",
+        if steal { "on" } else { "off" }
+    );
 
-    let run = |threads: u32| {
+    let run = |threads: u32, steal: bool, window_batch: u64, label: &str| {
         let mut cfg = PrConfig::new(nodes);
         cfg.machine = bench_machine_topo(nodes, threads, topology);
-        san.arm(&format!("pr threads={threads}"), &mut cfg.machine);
-        rg.arm(&format!("pr threads={threads}"), &mut cfg.machine);
+        cfg.machine.steal = steal;
+        cfg.machine.window_batch = window_batch;
+        san.arm(label, &mut cfg.machine);
+        rg.arm(label, &mut cfg.machine);
         ck.arm(&mut cfg.machine);
         rp.arm(&mut cfg.machine);
         cfg.iterations = iters;
@@ -62,28 +89,36 @@ fn main() {
         (r, t0.elapsed().as_secs_f64())
     };
 
-    let (base, base_secs) = run(1);
+    let (base, base_secs) = run(1, steal, window_batch, "pr threads=1");
     let base_json = base.report.to_json();
     // Simulated work is identical across thread counts, so the host
     // event rate is the honest per-configuration throughput figure.
     let events = base.report.stats.events_executed;
+    let windows = base.report.stats.windows;
     println!(
-        "\n{:>10} {:>12} {:>14} {:>12} {:>10} {:>10}",
-        "threads", "wall (s)", "final tick", "host rate", "speedup", "identical"
+        "\n{:>8} {:>10} {:>12} {:>11} {:>8} {:>9} {:>9} {:>11} {:>9}",
+        "threads", "wall (s)", "final tick", "host rate", "speedup", "steals", "batchw", "idle spins", "identical"
     );
-    println!(
-        "{:>10} {:>12.3} {:>14} {:>12} {:>10.2} {:>10}",
-        1,
-        base_secs,
-        base.final_tick,
-        bench::cli::host_rate(events, base_secs),
-        1.0,
-        "-"
-    );
+    let host_row = |t: u32, secs: f64, hs: &updown_sim::HostSchedStats, sp: f64, ident: &str, ev: u64| {
+        println!(
+            "{:>8} {:>10.3} {:>12} {:>11} {:>8.2} {:>9} {:>9} {:>11} {:>9}",
+            t,
+            secs,
+            base.final_tick,
+            bench::cli::host_rate(ev, secs),
+            sp,
+            hs.steals,
+            hs.batched_windows,
+            hs.idle_spins,
+            ident
+        );
+    };
+    host_row(1, base_secs, &base.report.host_sched, 1.0, "-", events);
 
     let mut best = 0.0f64;
+    let mut rows = vec![(1u32, base_secs, 1.0f64, base.report.host_sched)];
     for &t in &threads_list {
-        let (r, secs) = run(t);
+        let (r, secs) = run(t, steal, window_batch, &format!("pr threads={t}"));
         let same = r.final_tick == base.final_tick && r.report.to_json() == base_json;
         assert!(
             same,
@@ -91,16 +126,46 @@ fn main() {
         );
         let sp = base_secs / secs;
         best = best.max(sp);
-        println!(
-            "{:>10} {:>12.3} {:>14} {:>12} {:>10.2} {:>10}",
-            t,
-            secs,
-            r.final_tick,
-            bench::cli::host_rate(r.report.stats.events_executed, secs),
-            sp,
-            "yes"
-        );
+        host_row(t, secs, &r.report.host_sched, sp, "yes", r.report.stats.events_executed);
+        rows.push((t, secs, sp, r.report.host_sched));
     }
+
+    // Per-window load imbalance (deterministic, part of the metrics JSON).
+    let sched = &base.report.sched;
+    let mean_shard = events as f64 / windows.max(1) as f64 / nodes.max(1) as f64;
+    println!(
+        "\nload imbalance over {windows} windows: mean shard load {:.1} events/window, \
+         heaviest shard {:.1} mean / {} peak, imbalance factor {:.2}",
+        mean_shard,
+        sched.mean_window_max(windows),
+        sched.window_max_events_peak,
+        sched.imbalance(events, windows, nodes as u64)
+    );
+
+    // Scheduler modes must not change results either: re-run with
+    // stealing and batching off (static chunks, one window per barrier)
+    // and byte-compare. One run at 1 thread, one at the largest
+    // requested thread count when there is one.
+    let mode_ok = if mode_check {
+        let (plain, _) = run(1, false, 1, "pr mode=static");
+        assert_eq!(
+            plain.report.to_json(),
+            base_json,
+            "scheduler mode (steal/window-batch) changed the metrics JSON at 1 thread"
+        );
+        if let Some(&tmax) = threads_list.iter().max() {
+            let (plain_t, _) = run(tmax, false, 1, "pr mode=static-mt");
+            assert_eq!(
+                plain_t.report.to_json(),
+                base_json,
+                "scheduler mode changed the metrics JSON at {tmax} threads"
+            );
+        }
+        println!("mode check: steal off + window-batch 1 byte-identical — ok");
+        "identical"
+    } else {
+        "skipped"
+    };
 
     if min_speedup > 0.0 {
         assert!(
@@ -109,6 +174,39 @@ fn main() {
         );
         println!("\nbest speedup {best:.2}x >= required {min_speedup:.2}x");
     }
+
+    if let Some(path) = json_out {
+        let mut runs = String::new();
+        for (i, (t, secs, sp, hs)) in rows.iter().enumerate() {
+            if i > 0 {
+                runs.push(',');
+            }
+            runs.push_str(&format!(
+                "\n    {{\"threads\": {t}, \"wall_s\": {secs:.6}, \"speedup\": {sp:.4}, \
+                 \"steals\": {}, \"batch_rounds\": {}, \"batched_windows\": {}, \
+                 \"barrier_rounds\": {}, \"idle_spins\": {}}}",
+                hs.steals, hs.batch_rounds, hs.batched_windows, hs.barrier_rounds, hs.idle_spins
+            ));
+        }
+        let json = format!(
+            "{{\n  \"schema\": \"updown-bench-parallel/v1\",\n  \"bench\": \"par_speedup\",\n  \
+             \"app\": \"pagerank\",\n  \"nodes\": {nodes},\n  \"scale\": {scale},\n  \
+             \"iters\": {iters},\n  \"seed\": {seed},\n  \"topology\": \"{topology}\",\n  \
+             \"steal\": {steal},\n  \"window_batch\": {window_batch},\n  \
+             \"host_cores\": {host_cores},\n  \"final_tick\": {},\n  \"events\": {events},\n  \
+             \"windows\": {windows},\n  \"sched\": {{\"window_max_events_sum\": {}, \
+             \"window_max_events_peak\": {}, \"imbalance\": {:.4}}},\n  \
+             \"best_speedup\": {best:.4},\n  \"byte_identical_threads\": true,\n  \
+             \"mode_check\": \"{mode_ok}\",\n  \"runs\": [{runs}\n  ]\n}}\n",
+            base.final_tick,
+            sched.window_max_events_sum,
+            sched.window_max_events_peak,
+            sched.imbalance(events, windows, nodes as u64),
+        );
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+
     let dirty = san.dirty();
     if rg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);

@@ -26,6 +26,7 @@ fn main() {
     let rp = ReplayGate::from_cli(&cli);
     let mut cfg = MachineConfig::small(16, 1, 1);
     cfg.net.topology = bench::cli::parse_topology(&cli);
+    bench::cli::sched_knobs(&cli, &mut cfg);
     san.arm("layouts", &mut cfg);
     rg.arm("layouts", &mut cfg);
     ck.arm(&mut cfg);

@@ -1,8 +1,9 @@
 //! The unified command-line surface of the figure binaries.
 //!
 //! Every binary parses [`Cli`] and understands the shared flags in
-//! [`StdOpts`] (`--nodes`, `--scale`, `--seed`, `--threads`, `--trace`,
-//! `--metrics-json`, `--full`) on top of its own specifics. The
+//! [`StdOpts`] (`--nodes`, `--scale`, `--seed`, `--threads`, `--steal`,
+//! `--window-batch`, `--trace`, `--metrics-json`, `--full`) on top of its
+//! own specifics. The
 //! [`Exporter`] turns the observability flags into files: when a binary
 //! sweeps many configurations, the *first* simulated run is the one that
 //! gets traced and exported — enough to inspect one representative run in
@@ -75,6 +76,13 @@ pub struct StdOpts {
     /// `--threads`: simulator worker threads (1 = sequential engine).
     /// Results are byte-identical across values; only wall-clock changes.
     pub threads: u32,
+    /// `--steal on|off`: work-stealing shard scheduling (default on).
+    /// Scheduling-only; results are byte-identical either way.
+    pub steal: bool,
+    /// `--window-batch K`: max windows per barrier round under horizon
+    /// batching (default 8; 1 disables). Results are byte-identical for
+    /// every value.
+    pub window_batch: u64,
     /// `--topology`: system-network topology (`uniform`, `polar`,
     /// `torus`, `dragonfly`). Results are byte-identical across thread
     /// counts for every value; `uniform` reproduces the pre-fabric model.
@@ -113,6 +121,8 @@ impl StdOpts {
             scale_shift,
             seed: cli.get("seed", 0),
             threads: cli.get("threads", 1).max(1),
+            steal: parse_on_off(cli, "steal", true),
+            window_batch: cli.get::<u64>("window-batch", 8).max(1),
             topology: parse_topology(cli),
             full,
             sanitize: cli.has("sanitize"),
@@ -120,6 +130,37 @@ impl StdOpts {
             exporter: Exporter::from_cli(cli),
         }
     }
+}
+
+/// Parse an `--key on|off` toggle (also accepts `true|false`/`1|0`; the
+/// bare flag means "on"). Exits on anything else — a typo like
+/// `--steal of` must not silently pick either setting.
+pub fn parse_on_off(cli: &Cli, key: &str, default: bool) -> bool {
+    match cli.opt::<String>(key) {
+        None => {
+            if cli.has(key) {
+                true
+            } else {
+                default
+            }
+        }
+        Some(v) => match v.as_str() {
+            "on" | "true" | "1" => true,
+            "off" | "false" | "0" => false,
+            other => {
+                eprintln!("--{key} {other}: expected on|off");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Apply the shared scheduler knobs (`--steal on|off`, `--window-batch K`)
+/// to a machine built outside [`StdOpts::machine`] — the bins that parse
+/// [`Cli`] directly share the same defaults this way.
+pub fn sched_knobs(cli: &Cli, cfg: &mut MachineConfig) {
+    cfg.steal = parse_on_off(cli, "steal", true);
+    cfg.window_batch = cli.get::<u64>("window-batch", 8).max(1);
 }
 
 /// Parse `--topology`, exiting with the list of valid values on a bad
@@ -582,7 +623,27 @@ mod tests {
             phases: vec![],
             custom: Default::default(),
             fabric: Default::default(),
+            sched: Default::default(),
+            host_sched: Default::default(),
         }
+    }
+
+    #[test]
+    fn scheduler_knobs_parse_and_default() {
+        let o = StdOpts::parse(&cli(&[]), (32, 256), (1, 3));
+        assert!(o.steal, "work-stealing defaults on");
+        assert_eq!(o.window_batch, 8, "horizon batching defaults to 8");
+        let o = StdOpts::parse(
+            &cli(&["--steal", "off", "--window-batch", "1"]),
+            (32, 256),
+            (1, 3),
+        );
+        assert!(!o.steal);
+        assert_eq!(o.window_batch, 1);
+        let o = StdOpts::parse(&cli(&["--window-batch", "0"]), (32, 256), (1, 3));
+        assert_eq!(o.window_batch, 1, "0 clamps to batching off");
+        let o = StdOpts::parse(&cli(&["--steal", "on"]), (32, 256), (1, 3));
+        assert!(o.steal);
     }
 
     #[test]

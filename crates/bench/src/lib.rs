@@ -60,9 +60,13 @@ pub fn bench_machine_topo(nodes: u32, threads: u32, topology: TopologyKind) -> M
 
 impl StdOpts {
     /// The machine the shared flags ask for: `nodes` nodes at
-    /// `--threads` workers on the `--topology` network.
+    /// `--threads` workers on the `--topology` network, with the
+    /// `--steal`/`--window-batch` scheduler knobs applied.
     pub fn machine(&self, nodes: u32) -> MachineConfig {
-        bench_machine_topo(nodes, self.threads, self.topology)
+        let mut cfg = bench_machine_topo(nodes, self.threads, self.topology);
+        cfg.steal = self.steal;
+        cfg.window_batch = self.window_batch;
+        cfg
     }
 }
 

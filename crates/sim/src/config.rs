@@ -219,6 +219,15 @@ pub struct MachineConfig {
     /// byte-identical for every thread count; this only selects how many
     /// OS threads execute the shards.
     pub threads: u32,
+    /// Work-stealing shard scheduling (`--steal`, default on): workers
+    /// claim shards from a shared cost-ordered queue each window instead
+    /// of walking fixed chunks. Scheduling-only — results are
+    /// byte-identical either way.
+    pub steal: bool,
+    /// Max conservative windows executed per barrier round when one shard
+    /// provably owns the window (`--window-batch`, default 8; 1 disables
+    /// horizon batching). Results are byte-identical for every value.
+    pub window_batch: u64,
     /// Runtime sanitizer (`--sanitize` on the bench bins): tolerate and
     /// diagnose event-protocol violations — sends to dead threads or
     /// unregistered labels are dropped, out-of-range operand/scratchpad
@@ -274,6 +283,8 @@ impl Default for MachineConfig {
             max_threads_per_lane: 512,
             spm_words: 8192,
             threads: 1,
+            steal: true,
+            window_batch: 8,
             sanitize: false,
             probe: None,
             race: None,
@@ -339,6 +350,19 @@ impl MachineConfigBuilder {
     /// results are identical for every value).
     pub fn threads(mut self, n: u32) -> Self {
         self.cfg.threads = n.max(1);
+        self
+    }
+
+    /// Work-stealing shard scheduling (see [`MachineConfig::steal`]).
+    pub fn steal(mut self, on: bool) -> Self {
+        self.cfg.steal = on;
+        self
+    }
+
+    /// Horizon-batch window limit (see [`MachineConfig::window_batch`];
+    /// clamped to at least 1).
+    pub fn window_batch(mut self, k: u64) -> Self {
+        self.cfg.window_batch = k.max(1);
         self
     }
 

@@ -33,8 +33,11 @@
 use std::any::{Any, TypeId};
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize,
+    Ordering::{AcqRel, Acquire, Relaxed, Release},
+};
+use std::sync::{Arc, Mutex};
 
 use crate::calendar::CalendarQueue;
 use crate::config::MachineConfig;
@@ -50,7 +53,8 @@ use crate::snapshot::{
     self, ReplayRunReport, SnapField, SnapHeader, SnapReader, SnapState, SnapWriter, SnapshotError,
 };
 use crate::stats::{
-    Counters, FabricMetrics, LaneMetrics, LinkMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS,
+    Counters, FabricMetrics, HostSchedStats, LaneMetrics, LinkMetrics, Metrics, NodeMetrics,
+    SchedMetrics, UTIL_HIST_BUCKETS,
 };
 use crate::trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 
@@ -323,6 +327,13 @@ pub struct Snapshot {
     cores: Vec<EngineCore>,
     mem: MemoryImage,
     windows: u64,
+    /// Deterministic per-window imbalance aggregates at the snapshot
+    /// point — rewound with `windows` so a resumed run's `SchedMetrics`
+    /// match an uninterrupted one. Also carried in the on-disk
+    /// `updown-snapshot/v1` body: a fresh process restoring from bytes
+    /// never ran the prefix, so these must migrate with the counters.
+    sched_win_max_sum: u64,
+    sched_win_max_peak: u64,
     host_phases: Vec<PhaseSpan>,
     phases_cache: Vec<PhaseSpan>,
     merged_trace: Vec<TraceEvent>,
@@ -1243,8 +1254,11 @@ impl EngineCore {
     }
 
     /// Publish this window's buffered cross-shard entries into the
-    /// destination mailboxes (parity `par`).
-    fn flush_outbuf(&mut self, mailboxes: &[[Mailbox; 2]], par: usize) {
+    /// destination mailboxes (parity `par`). Returns the earliest entry
+    /// time flushed (`u64::MAX` when nothing was buffered) so the worker
+    /// can fold it into the next round's floor accumulator.
+    fn flush_outbuf(&mut self, mailboxes: &[[Mailbox; 2]], par: usize) -> u64 {
+        let mut flushed_min = u64::MAX;
         for (dst, buf) in self.outbuf.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
@@ -1254,9 +1268,16 @@ impl EngineCore {
             for e in buf.iter() {
                 min = min.min(e.time);
             }
+            flushed_min = flushed_min.min(min);
             mb.min.fetch_min(min, Relaxed);
             mb.q.lock().unwrap().append(buf);
         }
+        flushed_min
+    }
+
+    /// Does any destination have cross-shard entries buffered this window?
+    fn outbuf_pending(&self) -> bool {
+        self.outbuf.iter().any(|b| !b.is_empty())
     }
 }
 
@@ -1280,9 +1301,63 @@ impl Default for Mailbox {
     }
 }
 
+/// A sense-reversing (generation-counting) barrier. `std::sync::Barrier`
+/// takes a mutex on every `wait`, which dominates short windows; this one
+/// is two atomics on the hot path, degenerates to a no-op for a single
+/// worker, and counts its spin iterations as a clock-free idle proxy
+/// (see [`HostSchedStats::idle_spins`]).
+struct SpinBarrier {
+    total: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    /// Cumulative spin/yield iterations over all workers and rounds.
+    spins: AtomicU64,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> SpinBarrier {
+        SpinBarrier {
+            total,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            spins: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until all `total` workers arrive. The arrival (`AcqRel`) and
+    /// the generation bump (`Release`) / spin load (`Acquire`) form the
+    /// happens-before edges that publish every worker's pre-barrier
+    /// writes to every worker after the barrier.
+    fn wait(&self) {
+        if self.total == 1 {
+            return;
+        }
+        let gen = self.generation.load(Acquire);
+        if self.arrived.fetch_add(1, AcqRel) + 1 == self.total {
+            self.arrived.store(0, Relaxed);
+            self.generation.fetch_add(1, Release);
+        } else {
+            let mut spins = 0u64;
+            while self.generation.load(Acquire) == gen {
+                spins += 1;
+                if spins < 128 {
+                    std::hint::spin_loop();
+                } else {
+                    // Oversubscribed host or a long window elsewhere:
+                    // hand the core to whoever holds the work.
+                    std::thread::yield_now();
+                }
+            }
+            if spins > 0 {
+                self.spins.fetch_add(spins, Relaxed);
+            }
+        }
+    }
+}
+
 /// Shared control block for one scheduler invocation.
 struct Ctl {
-    barrier: Barrier,
+    barrier: SpinBarrier,
     /// Upper bound (exclusive) of the current window; `u64::MAX` signals
     /// completion.
     horizon: AtomicU64,
@@ -1290,10 +1365,25 @@ struct Ctl {
     next_time: Vec<AtomicU64>,
     /// Per-destination double-buffered cross-shard queues.
     mailboxes: Vec<[Mailbox; 2]>,
+    /// Double-buffered floor accumulators, indexed by round parity:
+    /// during round `r` every worker folds its shards' published
+    /// next-event times and flushed mailbox minima into
+    /// `floor_acc[r % 2]`; the coordinator consumes that value as round
+    /// `r + 1`'s floor with a single `swap` — the old per-shard scan is
+    /// off the serial section entirely.
+    floor_acc: [AtomicU64; 2],
+    /// Per-round budget snapshot, taken once by the coordinator between
+    /// the barriers. Workers must not read `events` for this themselves:
+    /// a fast worker could bump `events` before a slow one samples it,
+    /// making the budget depend on thread timing.
+    round_budget: AtomicU64,
     stop: AtomicBool,
     /// Cumulative executed events (seeded with the pre-run total so the
     /// event limit is cumulative across runs, like the serial engine).
     events: AtomicU64,
+    /// Logical windows opened. Under horizon batching one barrier round
+    /// can account several — this counter always matches the unbatched
+    /// window sequence (it feeds `Counters::windows`).
     rounds: AtomicU64,
     event_limit: u64,
     lookahead: u64,
@@ -1303,24 +1393,191 @@ struct Ctl {
     /// Set by the coordinator when the round limit (not completion)
     /// ended the invocation.
     paused: AtomicBool,
+    /// Work-stealing: shards are claimed from `order` through `claim`
+    /// instead of running as fixed per-worker chunks.
+    steal: bool,
+    /// Max logical windows per barrier round (1 = batching off).
+    window_batch: u64,
+    /// Batching is sound only when no shard is recording (a recording
+    /// must capture every shard's round stream, including empty rounds).
+    allow_batch: bool,
+    /// Work-stealing claim cursor into `order`, reset each round.
+    claim: AtomicUsize,
+    /// Shard execution order for the current round: heaviest estimated
+    /// cost first, so a skewed shard starts immediately instead of
+    /// serializing behind its chunk-mates.
+    order: Vec<AtomicU32>,
+    /// Per-shard events executed in the previous round — the cost
+    /// estimate behind `order`. Scheduling-only: never affects results.
+    cost: Vec<AtomicU64>,
+    /// Horizon-batching grant for the current round: the single shard
+    /// allowed to run extra private windows (`u32::MAX` = none), the
+    /// exclusive time bound those windows must stay below (every other
+    /// shard's earliest pending work), and the max window count.
+    batch_shard: AtomicU32,
+    batch_bound: AtomicU64,
+    batch_windows: AtomicU64,
+    /// Largest per-shard event count in the round being executed; folded
+    /// into the deterministic aggregates by the coordinator.
+    round_max: AtomicU64,
+    /// Sum over logical windows of the per-window max shard event count.
+    win_max_sum: AtomicU64,
+    /// Peak per-window shard event count.
+    win_max_peak: AtomicU64,
+    /// Host-side diagnostics (thread-count dependent; never serialized).
+    steals: AtomicU64,
+    batch_rounds: AtomicU64,
+    batched_windows: AtomicU64,
+    barrier_rounds: AtomicU64,
 }
 
-/// One scheduler worker: processes `chunk` of the shards through the
-/// window-barrier rounds. The coordinator (worker 0) additionally computes
-/// each round's horizon between the two barrier waits.
-fn worker_loop(chunk: &mut [EngineCore], is_coord: bool, ctl: &Ctl, shared: &Shared) {
+/// A shard slot for work-stealing: exactly one worker claims each slot
+/// per round (the claim cursor hands out each index once), so the lock
+/// is uncontended — it exists to let safe Rust move a `&mut` shard
+/// between worker threads round by round.
+type ShardSlot<'a> = Mutex<&'a mut EngineCore>;
+
+/// One worker's identity: its index and the contiguous shard range the
+/// static chunking would have given it (executed directly when stealing
+/// is off; used to count steals when it is on).
+struct WorkerCfg {
+    home: std::ops::Range<usize>,
+}
+
+/// Execute one shard's share of a round: drain its mailbox, run the
+/// window, publish cross-shard output and its next event time, and fold
+/// the floor/imbalance accumulators.
+fn run_shard_round(
+    core: &mut EngineCore,
+    ctl: &Ctl,
+    shared: &Shared,
+    horizon: u64,
+    budget: u64,
+    drain_par: usize,
+    push_par: usize,
+) {
+    core.record_begin_round(horizon, budget);
+    core.drain_mailbox(&ctl.mailboxes[core.id as usize][drain_par]);
+    let executed = core.window(shared, horizon, budget);
+    core.record_end_round(executed);
+    if executed > 0 {
+        ctl.events.fetch_add(executed, Relaxed);
+    }
+    let flushed_min = core.flush_outbuf(&ctl.mailboxes, push_par);
+    let nt = core.next_time();
+    ctl.next_time[core.id as usize].store(nt, Relaxed);
+    ctl.floor_acc[push_par].fetch_min(nt.min(flushed_min), Relaxed);
+    ctl.cost[core.id as usize].store(executed, Relaxed);
+    ctl.round_max.fetch_max(executed, Relaxed);
+    if core.stop {
+        ctl.stop.store(true, Relaxed);
+    }
+}
+
+/// Horizon batching: run up to the granted number of logical windows on
+/// `core` between one barrier pair.
+///
+/// Soundness: the coordinator granted this shard the round because every
+/// *other* shard's earliest pending work (calendar and undrained
+/// mailboxes) lies at or above `batch_bound`, and that bound cannot drop
+/// while the round runs — other shards receive nothing until this
+/// round's mailboxes are drained next round. So while each successive
+/// private window `[f, f + L)` fits entirely below the bound and the
+/// shard has produced no cross-shard traffic, the global window sequence
+/// is exactly this shard's local one: the same floors, budgets, and
+/// `windows` count the unbatched engine would compute, which keeps
+/// results byte-identical. The batch ends at the first window that sent
+/// cross-shard entries (their arrival may shape the next floor), at a
+/// stop/budget/pause boundary, or at the window-count grant.
+fn run_shard_batch(
+    core: &mut EngineCore,
+    ctl: &Ctl,
+    shared: &Shared,
+    first_horizon: u64,
+    first_budget: u64,
+    drain_par: usize,
+    push_par: usize,
+) {
+    debug_assert!(core.record.is_none(), "batching is disabled while recording");
+    let bound = ctl.batch_bound.load(Relaxed);
+    let max_windows = ctl.batch_windows.load(Relaxed);
+    core.drain_mailbox(&ctl.mailboxes[core.id as usize][drain_par]);
+    let mut horizon = first_horizon;
+    let mut budget = first_budget;
+    let mut windows = 1u64;
+    let mut total_executed = 0u64;
+    loop {
+        let executed = core.window(shared, horizon, budget);
+        if executed > 0 {
+            ctl.events.fetch_add(executed, Relaxed);
+        }
+        total_executed += executed;
+        // Per-window imbalance accounting: this shard is the round's only
+        // executor, so the per-window max is its own count. The first
+        // window goes through `round_max` like any round; the private
+        // extras fold straight into the deterministic aggregates.
+        if windows == 1 {
+            ctl.round_max.fetch_max(executed, Relaxed);
+        } else {
+            ctl.win_max_sum.fetch_add(executed, Relaxed);
+            ctl.win_max_peak.fetch_max(executed, Relaxed);
+        }
+        if core.stop
+            || windows >= max_windows
+            || ctl.events.load(Relaxed) >= ctl.event_limit
+            || core.outbuf_pending()
+        {
+            break;
+        }
+        let f = core.next_time();
+        if f == u64::MAX || f.saturating_add(ctl.lookahead) > bound {
+            break;
+        }
+        // Identical to the coordinator opening the next window: the floor
+        // is this shard's next event (everything else is >= bound), and
+        // the budget is resampled after the window just accounted — this
+        // shard is the only one moving `events`, so the sample is exact.
+        ctl.rounds.fetch_add(1, Relaxed);
+        horizon = f.saturating_add(ctl.lookahead).min(u64::MAX - 1);
+        budget = ctl.event_limit.saturating_sub(ctl.events.load(Relaxed));
+        windows += 1;
+    }
+    if windows > 1 {
+        ctl.batch_rounds.fetch_add(1, Relaxed);
+        ctl.batched_windows.fetch_add(windows - 1, Relaxed);
+    }
+    let flushed_min = core.flush_outbuf(&ctl.mailboxes, push_par);
+    let nt = core.next_time();
+    ctl.next_time[core.id as usize].store(nt, Relaxed);
+    ctl.floor_acc[push_par].fetch_min(nt.min(flushed_min), Relaxed);
+    ctl.cost[core.id as usize].store(total_executed, Relaxed);
+    if core.stop {
+        ctl.stop.store(true, Relaxed);
+    }
+}
+
+/// One scheduler worker: claims shards round by round (work-stealing) or
+/// walks its static chunk, under the window barrier. The coordinator
+/// (worker 0) additionally decides each round between the two barrier
+/// waits: fold the finished round's accumulators, compute the floor,
+/// terminate/pause/open, re-sort the claim order by observed cost, and
+/// grant a horizon batch when exactly one shard owns the window.
+fn worker_loop(w: &WorkerCfg, slots: &[ShardSlot<'_>], is_coord: bool, ctl: &Ctl, shared: &Shared) {
     let mut round: u64 = 0;
+    // Coordinator-local scratch for the cost sort (ids + sampled costs).
+    let mut order_buf: Vec<(u64, u32)> = Vec::new();
     loop {
         ctl.barrier.wait();
         if is_coord {
             let drain_par = ((round + 1) % 2) as usize;
-            let mut floor = u64::MAX;
-            for t in &ctl.next_time {
-                floor = floor.min(t.load(Relaxed));
-            }
-            for mb in &ctl.mailboxes {
-                floor = floor.min(mb[drain_par].min.load(Relaxed));
-            }
+            // Fold the finished round's imbalance sample. (Round 0 folds
+            // the initial zero; the final round folds on the terminating
+            // iteration below, which always runs.)
+            let m = ctl.round_max.swap(0, Relaxed);
+            ctl.win_max_sum.fetch_add(m, Relaxed);
+            ctl.win_max_peak.fetch_max(m, Relaxed);
+            // The floor was pre-reduced by the workers as they published.
+            let floor = ctl.floor_acc[drain_par].swap(u64::MAX, Relaxed);
             let done = floor == u64::MAX
                 || ctl.stop.load(Relaxed)
                 || ctl.events.load(Relaxed) >= ctl.event_limit;
@@ -1334,34 +1591,93 @@ fn worker_loop(chunk: &mut [EngineCore], is_coord: bool, ctl: &Ctl, shared: &Sha
                 ctl.paused.store(true, Relaxed);
                 ctl.horizon.store(u64::MAX, Relaxed);
             } else {
-                ctl.rounds.fetch_add(1, Relaxed);
+                let rounds_open = ctl.rounds.load(Relaxed) + 1;
+                ctl.rounds.store(rounds_open, Relaxed);
+                ctl.barrier_rounds.fetch_add(1, Relaxed);
                 let h = floor.saturating_add(ctl.lookahead).min(u64::MAX - 1);
+                // Re-sort the claim order: heaviest previous-round shard
+                // first. Scheduling-only — results never depend on which
+                // worker runs a shard, or when within the round.
+                if ctl.steal && slots.len() > 1 {
+                    order_buf.clear();
+                    for (i, c) in ctl.cost.iter().enumerate() {
+                        order_buf.push((c.load(Relaxed), i as u32));
+                    }
+                    order_buf.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+                    for (slot, (_, id)) in ctl.order.iter().zip(&order_buf) {
+                        slot.store(*id, Relaxed);
+                    }
+                }
+                ctl.claim.store(0, Relaxed);
+                // Budget snapshot for the round, identical for every
+                // worker and thread count.
+                ctl.round_budget
+                    .store(ctl.event_limit.saturating_sub(ctl.events.load(Relaxed)), Relaxed);
+                // Horizon-batch grant: when the opening window lies
+                // entirely below every other shard's pending work, its
+                // single owner may run extra private windows this round.
+                ctl.batch_shard.store(u32::MAX, Relaxed);
+                if ctl.allow_batch && ctl.window_batch > 1 {
+                    let mut owner = u32::MAX;
+                    let mut best = u64::MAX;
+                    let mut second = u64::MAX;
+                    for (s, t) in ctl.next_time.iter().enumerate() {
+                        let pending =
+                            t.load(Relaxed).min(ctl.mailboxes[s][drain_par].min.load(Relaxed));
+                        if pending < best {
+                            second = best;
+                            best = pending;
+                            owner = s as u32;
+                        } else {
+                            second = second.min(pending);
+                        }
+                    }
+                    // Ties leave `second == best < h`, so a window shared
+                    // by two shards is never granted — as required.
+                    if owner != u32::MAX && h <= second {
+                        let grant = ctl
+                            .window_batch
+                            .min(1 + ctl.round_limit.saturating_sub(rounds_open));
+                        ctl.batch_bound.store(second, Relaxed);
+                        ctl.batch_windows.store(grant, Relaxed);
+                        ctl.batch_shard.store(owner, Relaxed);
+                    }
+                }
                 ctl.horizon.store(h, Relaxed);
             }
         }
         ctl.barrier.wait();
-        let horizon = ctl.horizon.load(Relaxed);
+        let horizon = ctl.horizon.load(Acquire);
         if horizon == u64::MAX {
             break;
         }
         let drain_par = ((round + 1) % 2) as usize;
         let push_par = (round % 2) as usize;
-        // Same snapshot on every worker => the per-window budget is
-        // thread-count invariant.
-        let budget_base = ctl.events.load(Relaxed);
-        let budget = ctl.event_limit.saturating_sub(budget_base);
-        for core in chunk.iter_mut() {
-            core.record_begin_round(horizon, budget);
-            core.drain_mailbox(&ctl.mailboxes[core.id as usize][drain_par]);
-            let executed = core.window(shared, horizon, budget);
-            core.record_end_round(executed);
-            if executed > 0 {
-                ctl.events.fetch_add(executed, Relaxed);
+        let budget = ctl.round_budget.load(Relaxed);
+        let batch_shard = ctl.batch_shard.load(Relaxed);
+        let run_one = |idx: usize| {
+            let mut core = slots[idx].lock().unwrap();
+            if core.id == batch_shard {
+                run_shard_batch(&mut core, ctl, shared, horizon, budget, drain_par, push_par);
+            } else {
+                run_shard_round(&mut core, ctl, shared, horizon, budget, drain_par, push_par);
             }
-            core.flush_outbuf(&ctl.mailboxes, push_par);
-            ctl.next_time[core.id as usize].store(core.next_time(), Relaxed);
-            if core.stop {
-                ctl.stop.store(true, Relaxed);
+        };
+        if ctl.steal {
+            loop {
+                let k = ctl.claim.fetch_add(1, Relaxed);
+                if k >= slots.len() {
+                    break;
+                }
+                let idx = ctl.order[k].load(Relaxed) as usize;
+                if !w.home.contains(&idx) {
+                    ctl.steals.fetch_add(1, Relaxed);
+                }
+                run_one(idx);
+            }
+        } else {
+            for idx in w.home.clone() {
+                run_one(idx);
             }
         }
         round += 1;
@@ -1382,6 +1698,15 @@ pub struct EngineRun<'a> {
     pub(crate) round_limit: u64,
     /// Set when the round limit — not completion — ended the invocation.
     pub(crate) paused: bool,
+    /// Scheduler knobs ([`MachineConfig::steal`] / `window_batch`).
+    pub(crate) steal: bool,
+    pub(crate) window_batch: u64,
+    /// Deterministic imbalance aggregates accumulated by this invocation
+    /// (sum / peak of the per-window max shard event count).
+    pub(crate) win_max_sum: u64,
+    pub(crate) win_max_peak: u64,
+    /// Host-side scheduler diagnostics (thread-timing dependent).
+    pub(crate) host_sched: crate::stats::HostSchedStats,
 }
 
 /// Execute the conservative window rounds with `workers` OS threads.
@@ -1391,8 +1716,16 @@ pub struct EngineRun<'a> {
 pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
     let n = run.shards.len();
     let workers = workers.min(n).max(1);
+    let mut floor0 = u64::MAX;
+    for s in run.shards.iter() {
+        floor0 = floor0.min(s.next_time());
+    }
+    // A recording must capture every shard's per-window round stream, so
+    // horizon batching (which skips other shards' empty windows) is
+    // disabled for the recording run; replays are unaffected.
+    let allow_batch = run.window_batch > 1 && run.shards.iter().all(|s| s.record.is_none());
     let ctl = Ctl {
-        barrier: Barrier::new(workers),
+        barrier: SpinBarrier::new(workers),
         horizon: AtomicU64::new(0),
         next_time: run
             .shards
@@ -1400,6 +1733,10 @@ pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
             .map(|s| AtomicU64::new(s.next_time()))
             .collect(),
         mailboxes: (0..n).map(|_| [Mailbox::default(), Mailbox::default()]).collect(),
+        // Round 0 drains parity 1: seed its floor accumulator with the
+        // initial global floor, as if a previous round had published it.
+        floor_acc: [AtomicU64::new(u64::MAX), AtomicU64::new(floor0)],
+        round_budget: AtomicU64::new(0),
         stop: AtomicBool::new(false),
         events: AtomicU64::new(run.events_before),
         rounds: AtomicU64::new(0),
@@ -1407,38 +1744,61 @@ pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
         lookahead: run.shared.lookahead,
         round_limit: run.round_limit,
         paused: AtomicBool::new(false),
+        steal: run.steal && workers > 1,
+        window_batch: run.window_batch.max(1),
+        allow_batch,
+        claim: AtomicUsize::new(0),
+        order: (0..n as u32).map(AtomicU32::new).collect(),
+        cost: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        batch_shard: AtomicU32::new(u32::MAX),
+        batch_bound: AtomicU64::new(0),
+        batch_windows: AtomicU64::new(0),
+        round_max: AtomicU64::new(0),
+        win_max_sum: AtomicU64::new(0),
+        win_max_peak: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        batch_rounds: AtomicU64::new(0),
+        batched_windows: AtomicU64::new(0),
+        barrier_rounds: AtomicU64::new(0),
     };
-    if workers == 1 {
-        worker_loop(run.shards, true, &ctl, run.shared);
-    } else {
-        // Split into exactly `workers` non-empty chunks (sizes differ by at
-        // most one) — the barrier counts every worker, so the chunk count
-        // must match it exactly.
-        let shared = run.shared;
+    {
+        // Shard slots: workers move `&mut` shards between threads round
+        // by round through these (uncontended) mutexes.
+        let slots: Vec<ShardSlot<'_>> = run.shards.iter_mut().map(Mutex::new).collect();
+        // Static home ranges (sizes differ by at most one): the no-steal
+        // execution order, and the steal-counting baseline otherwise.
         let base = n / workers;
         let extra = n % workers;
-        let mut rest: &mut [EngineCore] = run.shards;
-        let mut chunks: Vec<&mut [EngineCore]> = Vec::with_capacity(workers);
+        let mut homes: Vec<std::ops::Range<usize>> = Vec::with_capacity(workers);
+        let mut start = 0usize;
         for i in 0..workers {
             let take = base + usize::from(i < extra);
-            let (head, tail) = rest.split_at_mut(take);
-            chunks.push(head);
-            rest = tail;
+            homes.push(start..start + take);
+            start += take;
         }
-        let mut iter = chunks.into_iter();
-        let first = iter.next().expect("at least one worker");
-        std::thread::scope(|s| {
-            for ch in iter {
-                let ctl = &ctl;
-                s.spawn(move || worker_loop(ch, false, ctl, shared));
-            }
-            worker_loop(first, true, &ctl, shared);
-        });
+        let shared = run.shared;
+        if workers == 1 {
+            let w = WorkerCfg { home: homes.pop().expect("one worker") };
+            worker_loop(&w, &slots, true, &ctl, shared);
+        } else {
+            let mut iter = homes.into_iter();
+            let first = WorkerCfg { home: iter.next().expect("at least one worker") };
+            std::thread::scope(|s| {
+                for home in iter {
+                    let ctl = &ctl;
+                    let slots = &slots;
+                    s.spawn(move || worker_loop(&WorkerCfg { home }, slots, false, ctl, shared));
+                }
+                worker_loop(&first, &slots, true, &ctl, shared);
+            });
+        }
     }
     // Entries still parked in the mailboxes (stop or event-limit endings)
     // go back into the destination calendars so a later `run()` resumes
     // them; drain order is deterministic (parity, then (src, order)).
-    let rounds = ctl.rounds.load(Relaxed);
+    // Parity follows *barrier* rounds — under batching several logical
+    // windows share one barrier round and one mailbox flip.
+    let barrier_rounds = ctl.barrier_rounds.load(Relaxed);
     for core in run.shards.iter_mut() {
         let mb = &ctl.mailboxes[core.id as usize];
         // When recording, capture this drain as a zero-width round: a
@@ -1449,16 +1809,25 @@ pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
         if core.record.is_some() {
             core.record_begin_round(0, 0);
         }
-        for par in [(rounds % 2) as usize, ((rounds + 1) % 2) as usize] {
+        for par in [(barrier_rounds % 2) as usize, ((barrier_rounds + 1) % 2) as usize] {
             core.drain_mailbox(&mb[par]);
         }
         if core.record.is_some() {
             core.record_end_round(0);
         }
     }
-    run.rounds = rounds;
+    run.rounds = ctl.rounds.load(Relaxed);
     run.stopped = ctl.stop.load(Relaxed);
     run.paused = ctl.paused.load(Relaxed);
+    run.win_max_sum = ctl.win_max_sum.load(Relaxed);
+    run.win_max_peak = ctl.win_max_peak.load(Relaxed);
+    run.host_sched = crate::stats::HostSchedStats {
+        steals: ctl.steals.load(Relaxed),
+        batch_rounds: ctl.batch_rounds.load(Relaxed),
+        batched_windows: ctl.batched_windows.load(Relaxed),
+        idle_spins: ctl.barrier.spins.load(Relaxed),
+        barrier_rounds,
+    };
 }
 
 /// The simulator.
@@ -1466,9 +1835,16 @@ pub struct Engine {
     shared: Shared,
     shards: Vec<EngineCore>,
     event_limit: u64,
-    /// Barrier rounds accumulated over all runs (reported as
-    /// `Counters::windows`).
+    /// Logical conservative windows accumulated over all runs (reported
+    /// as `Counters::windows`).
     windows: u64,
+    /// Deterministic per-window imbalance aggregates accumulated over all
+    /// runs (reported as [`SchedMetrics`]).
+    sched_win_max_sum: u64,
+    sched_win_max_peak: u64,
+    /// Host-side scheduler diagnostics accumulated over all runs
+    /// (thread-timing dependent; reported but never serialized).
+    host_sched: HostSchedStats,
     /// Host-side phase spans (`Engine::phase_begin`), in begin order.
     host_phases: Vec<PhaseSpan>,
     /// Host + device phase spans, stable-sorted by start time.
@@ -2108,6 +2484,9 @@ impl Engine {
             shards,
             event_limit: u64::MAX,
             windows: 0,
+            sched_win_max_sum: 0,
+            sched_win_max_peak: 0,
+            host_sched: HostSchedStats::default(),
             host_phases: Vec::new(),
             phases_cache: Vec::new(),
             merged_trace: Vec::new(),
@@ -2526,10 +2905,23 @@ impl Engine {
                 stopped: false,
                 round_limit,
                 paused: false,
+                steal: self.shared.cfg.steal,
+                window_batch: self.shared.cfg.window_batch,
+                win_max_sum: 0,
+                win_max_peak: 0,
+                host_sched: HostSchedStats::default(),
             };
             sched.run(&mut run);
             let (rounds, run_stopped, paused) = (run.rounds, run.stopped, run.paused);
             self.windows += rounds;
+            self.sched_win_max_sum += run.win_max_sum;
+            self.sched_win_max_peak = self.sched_win_max_peak.max(run.win_max_peak);
+            let hs = &mut self.host_sched;
+            hs.steals += run.host_sched.steals;
+            hs.batch_rounds += run.host_sched.batch_rounds;
+            hs.batched_windows += run.host_sched.batched_windows;
+            hs.idle_spins += run.host_sched.idle_spins;
+            hs.barrier_rounds += run.host_sched.barrier_rounds;
             total_rounds += rounds;
             if !paused {
                 break run_stopped;
@@ -2587,6 +2979,8 @@ impl Engine {
             cores: self.shards.clone(),
             mem: self.shared.mem.image(),
             windows: self.windows,
+            sched_win_max_sum: self.sched_win_max_sum,
+            sched_win_max_peak: self.sched_win_max_peak,
             host_phases: self.host_phases.clone(),
             phases_cache: self.phases_cache.clone(),
             merged_trace: self.merged_trace.clone(),
@@ -2625,6 +3019,8 @@ impl Engine {
             s.record = rec;
         }
         self.windows = snap.windows;
+        self.sched_win_max_sum = snap.sched_win_max_sum;
+        self.sched_win_max_peak = snap.sched_win_max_peak;
         self.host_phases = snap.host_phases.clone();
         self.phases_cache = snap.phases_cache.clone();
         self.merged_trace = snap.merged_trace.clone();
@@ -2642,7 +3038,9 @@ impl Engine {
         Ok(())
     }
 
-    /// Binary body of the on-disk snapshot (shard sections + DRAM image).
+    /// Binary body of the on-disk snapshot (shard sections + DRAM image +
+    /// the engine-level scheduler aggregates, which a restoring process
+    /// cannot reproduce from shard state alone).
     fn encode_body(&self) -> Result<Vec<u8>, SnapshotError> {
         let mut w = SnapWriter::new();
         w.usize(self.shards.len());
@@ -2650,6 +3048,8 @@ impl Engine {
             save_core(&self.codecs, core, &mut w)?;
         }
         self.shared.mem.image().save(&mut w);
+        w.u64(self.sched_win_max_sum);
+        w.u64(self.sched_win_max_peak);
         Ok(w.into_bytes())
     }
 
@@ -2726,12 +3126,16 @@ impl Engine {
             decoded.push(dec);
         }
         let mem = MemoryImage::load(&mut r)?;
+        let win_max_sum = r.u64()?;
+        let win_max_peak = r.u64()?;
         r.finish()?;
         self.shared.mem.restore_image(&mem)?;
         for (core, dec) in self.shards.iter_mut().zip(decoded) {
             dec.install(core);
         }
         self.windows = header.window;
+        self.sched_win_max_sum = win_max_sum;
+        self.sched_win_max_peak = win_max_peak;
         Ok(())
     }
 
@@ -3020,6 +3424,11 @@ impl Engine {
             phases,
             custom,
             fabric: self.fabric_metrics(),
+            sched: SchedMetrics {
+                window_max_events_sum: self.sched_win_max_sum,
+                window_max_events_peak: self.sched_win_max_peak,
+            },
+            host_sched: self.host_sched,
         }
     }
 

@@ -69,7 +69,8 @@ pub use snapshot::{
 };
 pub use race::{Footprint, RaceFilter, RaceKind, RaceProbe, RaceReport, RaceSite, RaceSpace, Region};
 pub use stats::{
-    Counters, FabricMetrics, LaneMetrics, LinkMetrics, Metrics, NodeMetrics, UTIL_HIST_BUCKETS,
+    Counters, FabricMetrics, HostSchedStats, LaneMetrics, LinkMetrics, Metrics, NodeMetrics,
+    SchedMetrics, UTIL_HIST_BUCKETS,
 };
 pub use trace::{DramStage, PhaseSpan, TraceEvent, Tracer};
 

@@ -225,6 +225,62 @@ impl Default for FabricMetrics {
     }
 }
 
+/// Deterministic scheduler-level aggregates: per-window load imbalance,
+/// derived purely from the simulated event stream. Part of the
+/// byte-compared metrics JSON — identical across thread counts and
+/// scheduler modes by the same argument as every other counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedMetrics {
+    /// Sum over windows of the max per-shard event count in that window.
+    /// `window_max_events_sum / windows` is the mean per-window peak;
+    /// compared against `events_executed / windows` (the mean per-window
+    /// *load*), the gap is the skew a static schedule would serialize on.
+    pub window_max_events_sum: u64,
+    /// Largest per-shard event count observed in any single window.
+    pub window_max_events_peak: u64,
+}
+
+impl SchedMetrics {
+    /// Mean over windows of the heaviest shard's event count.
+    pub fn mean_window_max(&self, windows: u64) -> f64 {
+        self.window_max_events_sum as f64 / windows.max(1) as f64
+    }
+
+    /// Load-imbalance factor: mean per-window peak over mean per-window
+    /// per-shard load (1.0 = perfectly balanced; N = one shard does
+    /// everything on an N-shard machine).
+    pub fn imbalance(&self, events: u64, windows: u64, shards: u64) -> f64 {
+        let mean_shard = events as f64 / windows.max(1) as f64 / shards.max(1) as f64;
+        if mean_shard == 0.0 {
+            return 1.0;
+        }
+        self.mean_window_max(windows) / mean_shard
+    }
+}
+
+/// Host-side scheduler diagnostics. These depend on thread timing (how
+/// many shards each worker happened to claim, how long it spun at the
+/// barrier), so they are **not** serialized into the byte-compared
+/// metrics JSON — they ride on [`Metrics`] for tools like `par_speedup`
+/// to print alongside wall-clock numbers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostSchedStats {
+    /// Shard claims executed outside the claiming worker's static home
+    /// range (0 when `--steal off` or single-threaded).
+    pub steals: u64,
+    /// Barrier rounds in which a horizon batch (more than one logical
+    /// window) was executed.
+    pub batch_rounds: u64,
+    /// Extra logical windows executed inside batches (windows beyond the
+    /// first of each batching round).
+    pub batched_windows: u64,
+    /// Cumulative barrier spin/yield iterations over all workers — a
+    /// clock-free proxy for worker idle time (0 when single-threaded).
+    pub idle_spins: u64,
+    /// Barrier rounds executed (= logical windows minus batched ones).
+    pub barrier_rounds: u64,
+}
+
 /// Final report of a simulation run: the machine-wide [`Counters`] plus
 /// lane/node utilization, phase spans, and runtime-defined custom
 /// counters. Returned by [`crate::Engine::run`]; exportable as stable
@@ -253,6 +309,11 @@ pub struct Metrics {
     /// System-network fabric rollup (topology, per-link traffic, peak
     /// windowed demand).
     pub fabric: FabricMetrics,
+    /// Deterministic per-window load-imbalance aggregates (serialized).
+    pub sched: SchedMetrics,
+    /// Host-side scheduler diagnostics (thread-timing dependent — **not**
+    /// serialized; see [`HostSchedStats`]).
+    pub host_sched: HostSchedStats,
 }
 
 impl Metrics {
@@ -429,6 +490,20 @@ impl Metrics {
         w.end_arr();
         w.end_obj();
 
+        // Deterministic scheduler aggregates only — HostSchedStats is
+        // thread-timing dependent and deliberately absent.
+        let s = &self.sched;
+        w.key("sched").begin_obj();
+        w.key("window_max_events_sum").u64(s.window_max_events_sum);
+        w.key("window_max_events_peak").u64(s.window_max_events_peak);
+        w.key("mean_window_max").f64(s.mean_window_max(c.windows));
+        w.key("imbalance").f64(s.imbalance(
+            c.events_executed,
+            c.windows,
+            self.nodes.len() as u64,
+        ));
+        w.end_obj();
+
         w.end_obj();
         w.finish()
     }
@@ -501,6 +576,11 @@ mod tests {
                     peak_window_bytes: 144,
                 }],
             },
+            sched: SchedMetrics {
+                window_max_events_sum: 8,
+                window_max_events_peak: 3,
+            },
+            host_sched: HostSchedStats::default(),
         }
     }
 
