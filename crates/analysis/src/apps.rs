@@ -11,7 +11,7 @@ use updown_apps::tc::{run_tc, TcConfig};
 use updown_graph::generators::{rmat, RmatParams};
 use updown_graph::preprocess::{dedup_sort, split_in_out};
 use updown_graph::Csr;
-use updown_sim::{MachineConfig, ProtocolProbe, RaceProbe};
+use updown_sim::{MachineConfig, ProgramSpec, ProtocolProbe, RaceProbe};
 
 /// Canonical names of all five applications, in report order.
 pub const ALL_APPS: &[&str] = &["pagerank", "bfs", "tc", "ingest", "partial_match"];
@@ -28,6 +28,23 @@ pub fn canon_app(app: &str) -> Option<&'static str> {
     }
 }
 
+/// Declared-effects protocol spec for an app (see `docs/udspec.md`).
+/// `app` must be canonical (see [`canon_app`]).
+///
+/// # Panics
+///
+/// Panics on a non-canonical app name.
+pub fn spec_for(app: &str) -> ProgramSpec {
+    match app {
+        "pagerank" => updown_apps::pagerank::spec(),
+        "bfs" => updown_apps::bfs::spec(),
+        "tc" => updown_apps::tc::spec(),
+        "ingest" => updown_apps::ingest::spec(),
+        "partial_match" => updown_apps::partial_match::spec(),
+        other => panic!("unknown app '{other}' (use canon_app first)"),
+    }
+}
+
 /// Instrumentation to attach to a conformance-scale run.
 #[derive(Clone, Default)]
 pub struct Probes {
@@ -38,6 +55,8 @@ pub struct Probes {
     pub race: Option<RaceProbe>,
     /// Attach the runtime sanitizer.
     pub sanitize: bool,
+    /// Enforce a declared-effects protocol spec (`udspec --enforce`).
+    pub spec: Option<ProgramSpec>,
 }
 
 /// Tiny machine matching the conformance suite with the probes attached.
@@ -47,6 +66,7 @@ fn machine(nodes: u32, threads: u32, p: &Probes) -> MachineConfig {
     m.sanitize = p.sanitize;
     m.probe = p.probe.clone();
     m.race = p.race.clone();
+    m.enforce_spec = p.spec.clone();
     m
 }
 

@@ -92,6 +92,7 @@ fn race_app(app: &str, threads: u32, seed: u64, prune: bool) -> RaceAnalysis {
                 probe: Some(scout_flow.clone()),
                 race: Some(scout.clone()),
                 sanitize: false,
+                spec: None,
             },
         );
         let graph = EventFlowGraph::from_report(&scout_flow.snapshot());
@@ -108,6 +109,7 @@ fn race_app(app: &str, threads: u32, seed: u64, prune: bool) -> RaceAnalysis {
             probe: Some(flow.clone()),
             race: Some(race.clone()),
             sanitize: false,
+            spec: None,
         },
     );
     let graph = EventFlowGraph::from_report(&flow.snapshot());

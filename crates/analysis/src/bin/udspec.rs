@@ -1,0 +1,167 @@
+#![forbid(unsafe_code)]
+//! `udspec` CLI: static deadlock and resource-bound analysis over the
+//! applications' declared-effects protocol specs. The default mode never
+//! constructs an engine — every finding comes from the declarations
+//! alone, in zero simulation ticks. `--enforce` additionally runs each
+//! app at conformance scale with `MachineConfig::enforce_spec` attached
+//! and reports observed-vs-declared deviations.
+//!
+//! ```text
+//! udspec [APPS...] [--threads N] [--seed S] [--json] [--out PATH]
+//!        [--enforce] [--fixture NAME]
+//! ```
+//!
+//! `APPS` defaults to all five: pagerank bfs tc ingest partial_match.
+//! `--fixture wait-cycle|spm-blowup` analyzes a seeded-defect spec
+//! instead of an app (exit status proves the defect is caught).
+
+use std::io::Write as _;
+
+use udcheck::apps::{canon_app, run_app, spec_for, Probes, ALL_APPS};
+use udcheck::spec::{spm_blowup_fixture, wait_cycle_fixture};
+use udcheck::{render_spec_document, SpecAnalysis};
+use updown_sim::spec::check_report;
+use updown_sim::{MachineConfig, ProgramSpec, ProtocolProbe};
+
+struct Opts {
+    apps: Vec<String>,
+    threads: u32,
+    seed: u64,
+    json: bool,
+    out: Option<String>,
+    enforce: bool,
+    fixtures: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: udspec [APPS...] [--threads N] [--seed S] [--json] [--out PATH] \
+         [--enforce] [--fixture NAME]\n\
+         \n\
+         APPS: pagerank|pr  bfs  tc  ingest  partial_match|pm   (default: all)\n\
+         --threads N     simulator worker threads for --enforce (default 1)\n\
+         --seed S        input-generation seed for --enforce (default 10)\n\
+         --json          print the udspec/v1 JSON document instead of text\n\
+         --out PATH      also write the JSON document to PATH\n\
+         --enforce       also run each app with runtime spec enforcement\n\
+         --fixture NAME  analyze a seeded-defect fixture instead of an app\n\
+         \n\
+         fixtures: wait-cycle  spm-blowup"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        apps: Vec::new(),
+        threads: 1,
+        seed: 10,
+        json: false,
+        out: None,
+        enforce: false,
+        fixtures: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => o.threads = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--json" => o.json = true,
+            "--out" => o.out = Some(it.next().unwrap_or_else(|| usage())),
+            "--enforce" => o.enforce = true,
+            "--fixture" => o.fixtures.push(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            app => match canon_app(app) {
+                Some(canon) => o.apps.push(canon.to_string()),
+                None => {
+                    eprintln!("udspec: unknown app or flag '{app}'");
+                    usage()
+                }
+            },
+        }
+    }
+    if o.apps.is_empty() && o.fixtures.is_empty() {
+        o.apps = ALL_APPS.iter().map(|s| s.to_string()).collect();
+    }
+    o
+}
+
+fn fixture_spec(name: &str) -> ProgramSpec {
+    match name {
+        "wait-cycle" => wait_cycle_fixture(),
+        "spm-blowup" => spm_blowup_fixture(),
+        other => {
+            eprintln!("udspec: unknown fixture '{other}' (wait-cycle, spm-blowup)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Statically analyze one app's spec; with `--enforce`, also run the app
+/// with the spec attached and record observed-vs-declared findings.
+fn check_app(app: &str, o: &Opts, mc: &MachineConfig) -> SpecAnalysis {
+    let spec = spec_for(app);
+    let mut analysis = SpecAnalysis::of(app, &spec, mc);
+    if o.enforce {
+        let probe = ProtocolProbe::new();
+        let probes = Probes {
+            probe: Some(probe.clone()),
+            race: None,
+            sanitize: false,
+            spec: Some(spec.clone()),
+        };
+        run_app(app, o.threads, o.seed, &probes);
+        let report = probe.snapshot();
+        analysis.enforced = Some(check_report(
+            &spec,
+            &report,
+            mc.max_threads_per_lane,
+            mc.spm_words,
+        ));
+    }
+    analysis
+}
+
+fn main() {
+    let o = parse_opts();
+    // Conformance-scale machine: its per-lane thread table and scratchpad
+    // are the capacities certified bounds must fit.
+    let mc = MachineConfig::small(2, 2, 8);
+    let mut analyses: Vec<SpecAnalysis> = Vec::new();
+    for f in &o.fixtures {
+        let spec = fixture_spec(f);
+        analyses.push(SpecAnalysis::of(&format!("fixture:{f}"), &spec, &mc));
+    }
+    for app in &o.apps {
+        analyses.push(check_app(app, &o, &mc));
+    }
+
+    let doc = render_spec_document(&analyses);
+    if let Some(path) = &o.out {
+        std::fs::write(path, &doc).unwrap_or_else(|e| {
+            eprintln!("udspec: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if o.json {
+        println!("{doc}");
+    } else {
+        let mut stdout = std::io::stdout().lock();
+        for a in &analyses {
+            let _ = stdout.write_all(a.render_text().as_bytes());
+        }
+        let unclean: Vec<&str> = analyses
+            .iter()
+            .filter(|a| !a.is_clean())
+            .map(|a| a.app.as_str())
+            .collect();
+        if unclean.is_empty() {
+            let _ = writeln!(stdout, "udspec: all {} spec(s) clean", analyses.len());
+        } else {
+            let _ = writeln!(stdout, "udspec: UNCLEAN: {}", unclean.join(", "));
+        }
+    }
+    if analyses.iter().any(|a| !a.is_clean()) {
+        std::process::exit(1);
+    }
+}

@@ -45,10 +45,12 @@ use updown_sim::{ProbeReport, ProtocolProbe};
 
 pub mod apps;
 pub mod race;
+pub mod spec;
 
 pub use race::{
     conflicted_regions, may_race, race_findings, render_race_document, RaceAnalysis,
 };
+pub use spec::{render_spec_document, SpecAnalysis};
 
 // ---------------------------------------------------------------------------
 // Event-flow graph

@@ -8,6 +8,10 @@
 //! udcheck [APPS...] [--threads N] [--seed S] [--json] [--out PATH] [--dot]
 //! ```
 //!
+//! `--dot` prints Graphviz event-flow graphs in text mode; combined with
+//! `--out PATH` it also writes one `.dot` file per app alongside the JSON
+//! document.
+//!
 //! `APPS` defaults to all five: pagerank bfs tc ingest partial_match.
 
 use std::io::Write as _;
@@ -34,7 +38,8 @@ fn usage() -> ! {
          --seed S      input-generation seed (default 10)\n\
          --json        print the udcheck/v1 JSON document instead of text\n\
          --out PATH    also write the JSON document to PATH\n\
-         --dot         print Graphviz event-flow graphs (text mode only)"
+         --dot         print Graphviz event-flow graphs; with --out PATH,\n\
+                       also write per-app .dot files alongside the JSON"
     );
     std::process::exit(2);
 }
@@ -79,6 +84,7 @@ fn check_app(app: &str, threads: u32, seed: u64) -> Analysis {
         probe: Some(probe.clone()),
         race: None,
         sanitize: true,
+        spec: None,
     };
     run_app(app, threads, seed, &probes);
     Analysis::of(app, &probe)
@@ -98,6 +104,18 @@ fn main() {
             eprintln!("udcheck: cannot write {path}: {e}");
             std::process::exit(2);
         });
+        // `--dot --out report.json` also writes one Graphviz file per app
+        // (report.pagerank.dot, ...) alongside the JSON document.
+        if o.dot {
+            let stem = path.strip_suffix(".json").unwrap_or(path);
+            for a in &analyses {
+                let dot_path = format!("{stem}.{}.dot", a.app);
+                std::fs::write(&dot_path, a.graph.to_dot(&a.app)).unwrap_or_else(|e| {
+                    eprintln!("udcheck: cannot write {dot_path}: {e}");
+                    std::process::exit(2);
+                });
+            }
+        }
     }
     if o.json {
         println!("{doc}");

@@ -176,11 +176,13 @@ pub fn race_findings(report: &RaceReport) -> Vec<Finding> {
 /// Regions worth word-granular monitoring: any region with a conflicting
 /// cross-handler footprint pair, plus regions plain-written by a handler
 /// that executed more than once (parallel instances of one handler are
-/// invisible to the pair test), plus every region with atomic-class
-/// accesses — those carry release-acquire edges (fetch-and-add barriers),
-/// so dropping them from the pruned pass would drop ordering the tracked
-/// regions depend on. Used by `udrace --prune` to filter the second,
-/// fully instrumented pass. Heuristic — see the module docs.
+/// invisible to the pair test). Regions whose only accesses are
+/// atomic-class (fetch-and-add barriers, combining slots) are pruned:
+/// atomics never race with each other, and the probe maintains their
+/// release-acquire sync clocks even for filtered-out regions, so tracked
+/// regions keep the ordering they derive from a pruned barrier. Used by
+/// `udrace --prune` to filter the second, fully instrumented pass.
+/// Heuristic — see the module docs.
 pub fn conflicted_regions(graph: &EventFlowGraph, report: &RaceReport) -> RaceFilter {
     let reach = closure(graph);
     let ordered = |a: u16, b: u16| -> bool {
@@ -203,8 +205,7 @@ pub fn conflicted_regions(graph: &EventFlowGraph, report: &RaceReport) -> RaceFi
         let self_par = fps.iter().any(|f| {
             f.writes > 0 && graph.node(f.handler).is_none_or(|n| n.executions > 1)
         });
-        let sync_carrier = fps.iter().any(|f| f.atomics > 0);
-        if cross || self_par || sync_carrier {
+        if cross || self_par {
             match region {
                 Region::Dram(base) => {
                     filter.dram.insert(base);
@@ -534,6 +535,68 @@ mod tests {
         assert!(filter.dram.contains(&0x200));
         assert!(!filter.dram.contains(&0x300));
         assert!(filter.spm.contains(&3));
+    }
+
+    #[test]
+    fn conflicted_regions_on_an_empty_graph_is_conservative() {
+        // An empty report prunes everything; an unknown writer (no
+        // flow-graph node, so no path and no execution count) is kept.
+        let g = graph(&[], &[]);
+        let f = conflicted_regions(&g, &report(&[], vec![], true));
+        assert!(f.dram.is_empty() && f.spm.is_empty());
+        let r = report(&["w"], vec![fp(0, Region::Dram(0x100), 0, 1, 0)], true);
+        let f = conflicted_regions(&g, &r);
+        assert!(f.dram.contains(&0x100), "unknown writer kept conservatively");
+    }
+
+    #[test]
+    fn single_node_self_pairs_do_not_conflict() {
+        // One handler executing once: its own footprints never form a
+        // cross pair, and a single execution cannot self-race.
+        let g = graph(&[(0, "solo", 1)], &[]);
+        let r = report(
+            &["solo"],
+            vec![
+                fp(0, Region::Dram(0x100), 4, 0, 0),
+                fp(0, Region::Dram(0x100), 0, 2, 0),
+                fp(0, Region::Spm(1), 3, 1, 0),
+            ],
+            true,
+        );
+        let f = conflicted_regions(&g, &r);
+        assert!(f.dram.is_empty() && f.spm.is_empty(), "kept: {f:?}");
+    }
+
+    #[test]
+    fn all_atomic_carriers_are_fully_pruned() {
+        // Fetch-add barriers: atomic-vs-atomic never races, and the probe
+        // maintains release-acquire clocks for filtered-out regions, so
+        // atomic-only regions drop out of the monitored set entirely —
+        // even when the handlers run many parallel instances.
+        let g = graph(&[(0, "a", 9), (1, "b", 9)], &[]);
+        let r = report(
+            &["a", "b"],
+            vec![
+                fp(0, Region::Dram(0x100), 0, 0, 7),
+                fp(1, Region::Dram(0x100), 0, 0, 5),
+                fp(0, Region::Spm(2), 0, 0, 3),
+            ],
+            true,
+        );
+        let f = conflicted_regions(&g, &r);
+        assert!(f.dram.is_empty() && f.spm.is_empty(), "kept: {f:?}");
+
+        // But an atomic writer against an unordered plain reader is a
+        // genuine conflict and stays monitored.
+        let r = report(
+            &["a", "b"],
+            vec![
+                fp(0, Region::Dram(0x100), 0, 0, 7),
+                fp(1, Region::Dram(0x100), 4, 0, 0),
+            ],
+            true,
+        );
+        assert!(conflicted_regions(&g, &r).dram.contains(&0x100));
     }
 
     #[test]

@@ -1,0 +1,637 @@
+//! `udspec` static analysis: deadlock and resource-bound checks over a
+//! [`ProgramSpec`] — declarations alone, zero simulation ticks.
+//!
+//! Three check families run over the declared event-flow graph:
+//!
+//! 1. **Wait-for cycles** (`wait-cycle`): strongly connected components of
+//!    the *group* digraph whose edges are continuation-carrying sends
+//!    (the sender's thread holds its context until the reply arrives).
+//!    A cycle of unconditional, unordered waits is a certain deadlock
+//!    shape under thread-table saturation (error); a cycle whose every
+//!    internal edge is declared `ordered` is hierarchical recursion that
+//!    strictly descends (info); anything in between is a warning.
+//! 2. **Resource-bound certification** (`thread-bound-*`, `spm-bound-*`):
+//!    [`certify`] folds spawn fan-out declarations into per-lane
+//!    live-thread and scratchpad-word upper bounds per thread group; the
+//!    totals must fit the target machine's thread table and scratchpad.
+//!    Groups that only admit an unbounded derivation are reported at
+//!    info severity — the program relies on a dynamic throttle (credit
+//!    counters, windows) the spec cannot see.
+//! 3. **Spec consistency** (`unknown-send-target`, `arity-incompatible`,
+//!    `unknown-group-root`, `unknown-resume-target`, `unreachable-event`):
+//!    the declarations must close over themselves — every declared send
+//!    names a declared event with a satisfiable operand range, and every
+//!    declared event is reachable from a host injection.
+//!
+//! Severity scale and the `clean` predicate mirror `udcheck`: clean means
+//! zero error-severity findings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use updown_sim::json::JsonWriter;
+use updown_sim::spec::{certify, Bound, Certification, ProgramSpec};
+use updown_sim::{MachineConfig, SpecFinding, SpecSeverity};
+
+/// One continuation-carrying (wait) edge of the group digraph.
+#[derive(Clone, Debug)]
+struct WaitEdge {
+    src: String,
+    dst: String,
+    conditional: bool,
+    ordered: bool,
+}
+
+fn wait_edges(spec: &ProgramSpec) -> Vec<WaitEdge> {
+    let mut out = Vec::new();
+    for ev in spec.events() {
+        let src = spec.group_of(&ev.name).to_string();
+        for sd in &ev.sends {
+            if !sd.with_cont {
+                continue;
+            }
+            for t in &sd.targets {
+                out.push(WaitEdge {
+                    src: src.clone(),
+                    dst: spec.group_of(t).to_string(),
+                    conditional: sd.conditional,
+                    ordered: sd.ordered,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Strongly connected components of the wait digraph, via iterative
+/// Tarjan over a deterministic (sorted) node order.
+fn sccs(nodes: &[String], edges: &[WaitEdge]) -> Vec<Vec<String>> {
+    let idx: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for e in edges {
+        let (Some(&s), Some(&d)) = (idx.get(e.src.as_str()), idx.get(e.dst.as_str())) else {
+            continue;
+        };
+        adj[s].push(d);
+    }
+    for a in &mut adj {
+        a.sort_unstable();
+        a.dedup();
+    }
+
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    let mut out: Vec<Vec<String>> = Vec::new();
+
+    // Iterative Tarjan: (node, next-child-offset) call frames.
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*child) {
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp.push(nodes[w].clone());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    out.push(comp);
+                }
+                frames.pop();
+                if let Some(&mut (u, _)) = frames.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn finding(
+    severity: SpecSeverity,
+    check: &'static str,
+    subject: impl Into<String>,
+    message: impl Into<String>,
+) -> SpecFinding {
+    SpecFinding {
+        severity,
+        check,
+        subject: subject.into(),
+        message: message.into(),
+    }
+}
+
+/// Wait-for-cycle detection over continuation edges (check family 1).
+pub fn wait_cycle_findings(spec: &ProgramSpec) -> Vec<SpecFinding> {
+    let edges = wait_edges(spec);
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for e in &edges {
+        nodes.insert(e.src.clone());
+        nodes.insert(e.dst.clone());
+    }
+    let nodes: Vec<String> = nodes.into_iter().collect();
+    let mut out = Vec::new();
+    for comp in sccs(&nodes, &edges) {
+        let in_comp = |n: &str| comp.iter().any(|c| c == n);
+        let internal: Vec<&WaitEdge> = edges
+            .iter()
+            .filter(|e| in_comp(&e.src) && in_comp(&e.dst))
+            .collect();
+        // A singleton without a self-loop is not a cycle.
+        if internal.is_empty() {
+            continue;
+        }
+        let severity = if internal.iter().all(|e| e.ordered) {
+            SpecSeverity::Info
+        } else if internal.iter().all(|e| !e.conditional && !e.ordered) {
+            SpecSeverity::Error
+        } else {
+            SpecSeverity::Warning
+        };
+        let shape = match severity {
+            SpecSeverity::Info => "ordered recursion (strictly descending, cannot deadlock)",
+            SpecSeverity::Error => {
+                "every wait is unconditional and unordered; deadlocks under thread-table saturation"
+            }
+            SpecSeverity::Warning => "some waits are conditional; may deadlock on adverse paths",
+        };
+        out.push(finding(
+            severity,
+            "wait-cycle",
+            comp[0].clone(),
+            format!(
+                "continuation wait cycle through {{{}}} ({} edge(s)): {shape}",
+                comp.join(", "),
+                internal.len()
+            ),
+        ));
+    }
+    out
+}
+
+/// Resource-bound certification against machine capacities (family 2).
+pub fn bound_findings(cert: &Certification, mc: &MachineConfig) -> Vec<SpecFinding> {
+    let mut out = Vec::new();
+    for g in &cert.groups {
+        if g.live == Bound::Unbounded {
+            out.push(finding(
+                SpecSeverity::Info,
+                "thread-bound-uncertified",
+                g.root.clone(),
+                if g.derived {
+                    "spawn fan-out admits no finite per-lane live-thread bound \
+                     (spawn cycle or unbounded fanout); relies on a dynamic throttle"
+                        .to_string()
+                } else {
+                    "declared live_unbounded; relies on a dynamic throttle".to_string()
+                },
+            ));
+        }
+        if g.spm == Bound::Unbounded {
+            out.push(finding(
+                SpecSeverity::Info,
+                "spm-bound-uncertified",
+                g.root.clone(),
+                "no finite per-lane scratchpad bound declared".to_string(),
+            ));
+        }
+    }
+    if let Bound::Finite(b) = cert.threads_per_lane {
+        if b > u64::from(mc.max_threads_per_lane) {
+            out.push(finding(
+                SpecSeverity::Error,
+                "thread-bound-capacity",
+                "machine".to_string(),
+                format!(
+                    "certified per-lane live-thread bound {b} exceeds the thread \
+                     table ({} contexts/lane)",
+                    mc.max_threads_per_lane
+                ),
+            ));
+        }
+    }
+    if let Bound::Finite(b) = cert.spm_words_per_lane {
+        if b > u64::from(mc.spm_words) {
+            out.push(finding(
+                SpecSeverity::Error,
+                "spm-bound-capacity",
+                "machine".to_string(),
+                format!(
+                    "certified per-lane scratchpad bound {b} words exceeds the \
+                     scratchpad ({} words/lane)",
+                    mc.spm_words
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Spec self-consistency (family 3).
+pub fn consistency_findings(spec: &ProgramSpec) -> Vec<SpecFinding> {
+    let mut out = Vec::new();
+    let mut targeted: BTreeSet<&str> = BTreeSet::new();
+    for ev in spec.events() {
+        for sd in &ev.sends {
+            for t in &sd.targets {
+                targeted.insert(t.as_str());
+            }
+        }
+        for r in &ev.resumes {
+            targeted.insert(r.as_str());
+        }
+    }
+    for ev in spec.events() {
+        for sd in &ev.sends {
+            for t in &sd.targets {
+                let Some(dst) = spec.event(t) else {
+                    out.push(finding(
+                        SpecSeverity::Error,
+                        "unknown-send-target",
+                        ev.name.clone(),
+                        format!("declares a send to `{t}`, which no thread-type declares"),
+                    ));
+                    continue;
+                };
+                // Operand ranges must intersect, or no message on this
+                // edge can ever be accepted.
+                let hi_ok = dst.max_args.map_or(true, |m| sd.min_args <= m);
+                let lo_ok = sd.max_args.map_or(true, |m| m >= dst.min_args);
+                if !(hi_ok && lo_ok) {
+                    out.push(finding(
+                        SpecSeverity::Error,
+                        "arity-incompatible",
+                        ev.name.clone(),
+                        format!(
+                            "send to `{t}` carries {}..{} operands but the target accepts {}..{}",
+                            sd.min_args,
+                            sd.max_args.map_or("*".to_string(), |m| m.to_string()),
+                            dst.min_args,
+                            dst.max_args.map_or("*".to_string(), |m| m.to_string()),
+                        ),
+                    ));
+                }
+            }
+        }
+        for r in &ev.resumes {
+            if spec.event(r).is_none() {
+                out.push(finding(
+                    SpecSeverity::Warning,
+                    "unknown-resume-target",
+                    ev.name.clone(),
+                    format!("declares resumption at `{r}`, which no thread-type declares"),
+                ));
+            }
+        }
+        if let Some(root) = &ev.on {
+            if spec.event(root).is_none() {
+                out.push(finding(
+                    SpecSeverity::Error,
+                    "unknown-group-root",
+                    ev.name.clone(),
+                    format!("declares membership in group `{root}`, which no thread-type declares"),
+                ));
+            }
+        }
+        // Reachability: host-injected, a send/resume target, or a member
+        // of a thread group (whose root delivers it via continuations).
+        if !ev.from_host && ev.on.is_none() && !targeted.contains(ev.name.as_str()) {
+            out.push(finding(
+                SpecSeverity::Warning,
+                "unreachable-event",
+                ev.name.clone(),
+                "not host-injected and never the target of a declared send or \
+                 resumption; likely a stale or misspelled declaration"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Static analysis of one program spec: all three check families plus the
+/// certification itself, bundled for rendering.
+#[derive(Clone, Debug)]
+pub struct SpecAnalysis {
+    pub app: String,
+    pub n_threads: usize,
+    pub n_events: usize,
+    pub cert: Certification,
+    pub findings: Vec<SpecFinding>,
+    /// Runtime-enforcement findings (`--enforce` only; empty for pure
+    /// static runs).
+    pub enforced: Option<Vec<SpecFinding>>,
+}
+
+impl SpecAnalysis {
+    /// Analyze `spec` against `mc`'s per-lane capacities. Pure: reads the
+    /// declarations only, never constructs an engine.
+    pub fn of(app: &str, spec: &ProgramSpec, mc: &MachineConfig) -> SpecAnalysis {
+        let cert = certify(spec);
+        let mut findings = Vec::new();
+        findings.extend(consistency_findings(spec));
+        findings.extend(wait_cycle_findings(spec));
+        findings.extend(bound_findings(&cert, mc));
+        findings.sort();
+        findings.dedup();
+        SpecAnalysis {
+            app: app.to_string(),
+            n_threads: spec.threads.len(),
+            n_events: spec.events().count(),
+            cert,
+            findings,
+            enforced: None,
+        }
+    }
+
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .chain(self.enforced.iter().flatten())
+            .filter(|f| f.severity == SpecSeverity::Error)
+            .count()
+    }
+
+    /// Clean = zero error-severity findings (static and, if run,
+    /// enforcement).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Append this spec's `udspec/v1` object to a JSON writer.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_obj();
+        w.key("app").string(&self.app);
+        w.key("threads").u64(self.n_threads as u64);
+        w.key("events").u64(self.n_events as u64);
+        w.key("clean").bool(self.is_clean());
+        w.key("certification").begin_obj();
+        let bound = |w: &mut JsonWriter, b: Bound| {
+            match b {
+                Bound::Finite(n) => w.u64(n),
+                Bound::Unbounded => w.null(),
+            };
+        };
+        w.key("threads_per_lane");
+        bound(w, self.cert.threads_per_lane);
+        w.key("spm_words_per_lane");
+        bound(w, self.cert.spm_words_per_lane);
+        w.key("groups").begin_arr();
+        for g in &self.cert.groups {
+            w.begin_obj();
+            w.key("root").string(&g.root);
+            w.key("live");
+            bound(w, g.live);
+            w.key("derived").bool(g.derived);
+            w.key("spm");
+            bound(w, g.spm);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj(); // certification
+        let write_findings = |w: &mut JsonWriter, fs: &[SpecFinding]| {
+            w.begin_arr();
+            for f in fs {
+                w.begin_obj();
+                w.key("check").string(f.check);
+                w.key("severity").string(f.severity.as_str());
+                w.key("subject").string(&f.subject);
+                w.key("message").string(&f.message);
+                w.end_obj();
+            }
+            w.end_arr();
+        };
+        w.key("findings");
+        write_findings(w, &self.findings);
+        if let Some(enf) = &self.enforced {
+            w.key("enforced");
+            write_findings(w, enf);
+        }
+        w.end_obj();
+    }
+
+    /// Human-readable rendering (the CLI's default output).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "udspec: {}  ({} thread type(s), {} event(s); certified {} thread(s), \
+             {} spm word(s) per lane)\n",
+            self.app,
+            self.n_threads,
+            self.n_events,
+            self.cert.threads_per_lane,
+            self.cert.spm_words_per_lane,
+        ));
+        if self.findings.is_empty() {
+            s.push_str("  findings: none\n");
+        } else {
+            for f in &self.findings {
+                s.push_str(&format!(
+                    "  [{}] {} {}: {}\n",
+                    f.severity, f.check, f.subject, f.message
+                ));
+            }
+        }
+        match &self.enforced {
+            None => {}
+            Some(enf) if enf.is_empty() => s.push_str("  enforcement: clean\n"),
+            Some(enf) => {
+                for f in enf {
+                    s.push_str(&format!(
+                        "  enforcement[{}] {} {}: {}\n",
+                        f.severity, f.check, f.subject, f.message
+                    ));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Render a full `udspec/v1` document over a set of analyses.
+pub fn render_spec_document(analyses: &[SpecAnalysis]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("schema").string("udspec/v1");
+    let errors: usize = analyses.iter().map(|a| a.errors()).sum();
+    w.key("errors").u64(errors as u64);
+    w.key("clean").bool(analyses.iter().all(|a| a.is_clean()));
+    w.key("specs").begin_arr();
+    for a in analyses {
+        a.write_json(&mut w);
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+/// Seeded-defect fixture: two worker classes that unconditionally wait on
+/// each other — the canonical wait-for deadlock shape `udspec` must flag
+/// without running anything.
+pub fn wait_cycle_fixture() -> ProgramSpec {
+    let mut s = ProgramSpec::new();
+    {
+        let t = s.thread("fix_drv");
+        let e = t.event("start");
+        e.args(0, 0).from_host().live_per_lane(1).terminates();
+        e.send("fix_a::work", |sd| {
+            sd.args(1, 1).to_new().with_cont();
+        });
+    }
+    {
+        let t = s.thread("fix_a");
+        let e = t.event("work");
+        e.args(1, 1).replies().terminates();
+        e.send("fix_b::work", |sd| {
+            sd.args(1, 1).to_new().with_cont();
+        });
+    }
+    {
+        let t = s.thread("fix_b");
+        let e = t.event("work");
+        e.args(1, 1).replies().terminates();
+        e.send("fix_a::work", |sd| {
+            sd.args(1, 1).to_new().with_cont();
+        });
+    }
+    s
+}
+
+/// Seeded-defect fixture: a host-seeded group whose declared scratchpad
+/// footprint and spawn fan-out both exceed a small machine's per-lane
+/// capacities.
+pub fn spm_blowup_fixture() -> ProgramSpec {
+    let mut s = ProgramSpec::new();
+    {
+        let t = s.thread("fix_drv");
+        let e = t.event("start");
+        e.args(0, 0).from_host().live_per_lane(1).terminates();
+        // 1024 workers per driver on one lane: blows a 512-context table.
+        e.send("fix_wk::run", |sd| {
+            sd.args(2, 2).to_new().fanout(1024);
+        });
+    }
+    {
+        let t = s.thread("fix_wk");
+        // 64 Ki words of combining cache per lane: blows an 8 Ki pad.
+        t.event("run")
+            .args(2, 2)
+            .terminates()
+            .spm_per_lane(65536);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> MachineConfig {
+        MachineConfig::small(2, 2, 8)
+    }
+
+    #[test]
+    fn wait_cycle_fixture_is_flagged_statically() {
+        let a = SpecAnalysis::of("fixture", &wait_cycle_fixture(), &caps());
+        assert!(!a.is_clean());
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| f.check == "wait-cycle" && f.severity == SpecSeverity::Error));
+    }
+
+    #[test]
+    fn ordered_self_recursion_is_info() {
+        let mut s = ProgramSpec::new();
+        {
+            let t = s.thread("tree");
+            let e = t.event("relay");
+            e.args(1, 1).from_host().live_per_lane(1).terminates();
+            e.send("tree::relay", |sd| {
+                sd.args(1, 1).to_new().with_cont().conditional().ordered();
+            });
+        }
+        let a = SpecAnalysis::of("tree", &s, &caps());
+        let f = a
+            .findings
+            .iter()
+            .find(|f| f.check == "wait-cycle")
+            .expect("self-loop reported");
+        assert_eq!(f.severity, SpecSeverity::Info);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn spm_blowup_fixture_is_flagged_statically() {
+        let a = SpecAnalysis::of("fixture", &spm_blowup_fixture(), &caps());
+        assert!(!a.is_clean());
+        assert!(a.findings.iter().any(|f| f.check == "spm-bound-capacity"));
+        assert!(a.findings.iter().any(|f| f.check == "thread-bound-capacity"));
+    }
+
+    #[test]
+    fn consistency_flags_typos_and_arity_gaps() {
+        let mut s = ProgramSpec::new();
+        {
+            let t = s.thread("drv");
+            let e = t.event("start");
+            e.from_host().terminates();
+            e.send("wk::rnu", |sd| {
+                sd.args(2, 2).to_new();
+            });
+            e.send("wk::run", |sd| {
+                sd.args(9, 9).to_new();
+            });
+        }
+        s.thread("wk").event("run").args(2, 2).terminates();
+        s.thread("wk").event("stale").args(0, 0).terminates();
+        let fs = consistency_findings(&s);
+        assert!(fs
+            .iter()
+            .any(|f| f.check == "unknown-send-target" && f.message.contains("wk::rnu")));
+        assert!(fs
+            .iter()
+            .any(|f| f.check == "arity-incompatible" && f.message.contains("wk::run")));
+        assert!(fs
+            .iter()
+            .any(|f| f.check == "unreachable-event" && f.subject == "wk::stale"));
+    }
+
+    #[test]
+    fn spec_document_schema_and_determinism() {
+        let a = SpecAnalysis::of("fixture", &wait_cycle_fixture(), &caps());
+        let d1 = render_spec_document(std::slice::from_ref(&a));
+        let d2 = render_spec_document(std::slice::from_ref(&a));
+        assert_eq!(d1, d2);
+        assert!(d1.contains("\"schema\":\"udspec/v1\""));
+    }
+}

@@ -119,6 +119,93 @@ updown_sim::snap_state!(MasterSt, "bfs.master", { task, pending_workers });
 updown_sim::snap_state!(WorkerSt, "bfs.worker", { ack, round, emits, ids_loaded, pending_recs, expected_nl, loaded_nl });
 updown_sim::snap_state!(DriverSt, "bfs.driver", { round, traversed });
 
+/// The udspec declaration of the BFS protocol: the KVMSR base plus the
+/// accelerator-master, chunk-worker, reduce-ack, and round-driver
+/// handlers (docs/udspec.md).
+pub fn spec() -> udweave::ProgramSpec {
+    let mut spec = kvmsr::spec();
+    spec.event_mut("kvmsr::kv_map")
+        .resumes("thread::bfs_master::returnCount");
+    spec.event_mut("kvmsr::kv_reduce")
+        .resumes("thread::bfs_reduce::writeAck");
+    {
+        let m = spec.thread("thread::bfs_master");
+        m.event("returnCount")
+            .args(1, 1)
+            .on("kvmsr::kv_map")
+            .send("thread::bfs_worker::start", |s| {
+                s.args(3, 3).to_new().with_cont().conditional().fanout_unbounded();
+            })
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+        m.event("worker_ack")
+            .args(1, 1)
+            .on("kvmsr::kv_map")
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+    }
+    {
+        let w = spec.thread("thread::bfs_worker");
+        // Chunk workers fan out per frontier chunk; admission is bounded
+        // only by the frontier size, so the declared bound is unbounded.
+        w.event("start")
+            .args(3, 3)
+            .live_unbounded()
+            .resumes("thread::bfs_worker::returnIds");
+        w.event("returnIds")
+            .args(1, 8)
+            .on("thread::bfs_worker::start")
+            .resumes("thread::bfs_worker::returnRec")
+            .replies()
+            .terminates();
+        w.event("returnRec")
+            .args(2, 2)
+            .on("thread::bfs_worker::start")
+            .resumes("thread::bfs_worker::returnNl")
+            .replies()
+            .terminates();
+        w.event("returnNl")
+            .args(1, 8)
+            .on("thread::bfs_worker::start")
+            .send("kvmsr::kv_reduce", |s| {
+                s.args(3, 3).to_new().conditional().fanout_unbounded();
+            })
+            .replies()
+            .terminates();
+    }
+    spec.thread("thread::bfs_reduce")
+        .event("writeAck")
+        .args(1, 2)
+        .on("kvmsr::kv_reduce")
+        .terminates();
+    {
+        let d = spec.thread("main_master");
+        d.event("init")
+            .args(0, 0)
+            .from_host()
+            .live_per_lane(1)
+            .send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont();
+            });
+        d.event("map_launcher_done")
+            .args(2, 2)
+            .on("main_master::init")
+            .resumes("main_master::reduce_launcher_done");
+        d.event("reduce_launcher_done")
+            .args(1, 1)
+            .on("main_master::init")
+            .send("main_master::init", |s| {
+                s.args(0, 0).conditional().ordered();
+            })
+            .terminates();
+    }
+    spec
+}
+
 /// Run BFS over an unsplit CSR (directed expansion along out-edges).
 pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let mc = &cfg.machine;

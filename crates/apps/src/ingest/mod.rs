@@ -327,6 +327,90 @@ pub fn run_ingest(ds: &Dataset, cfg: &IngestConfig) -> IngestResult {
     }
 }
 
+/// Declared-effects spec for the two-phase ingest pipeline (`udspec`).
+///
+/// Phase 1 (`tform_parse`) maps blocks: `kv_map` issues block reads that
+/// resume `thread::tform::returnBlock`, which writes records with acked
+/// DRAM writes resuming `thread::tform::writeAck`.  Phase 2
+/// (`pga_insert`) maps records: `kv_map` reads a record resuming
+/// `thread::ingest::returnRecord`, which inserts into the PGA via up to
+/// three `thread::sht::op` requests acked at `thread::ingest::insertAck`.
+pub fn spec() -> udweave::ProgramSpec {
+    let mut spec = kvmsr::spec();
+    updown_graph::ShtLib::spec_decl(&mut spec);
+    spec.event_mut("kvmsr::kv_map")
+        .resumes("thread::tform::returnBlock")
+        .resumes("thread::ingest::returnRecord");
+    {
+        let t = spec.thread("thread::tform");
+        {
+            let e = t.event("returnBlock");
+            e.args(1, 8).on("kvmsr::kv_map").resumes("thread::tform::writeAck");
+            e.send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            });
+            e.terminates();
+        }
+        {
+            let e = t.event("writeAck");
+            e.args(0, 2).on("kvmsr::kv_map");
+            e.send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            });
+            e.terminates();
+        }
+    }
+    {
+        let t = spec.thread("thread::ingest");
+        {
+            let e = t.event("returnRecord");
+            e.args(8, 8).on("kvmsr::kv_map");
+            e.send("thread::sht::op", |s| {
+                s.args(4, 4).to_new().with_cont().fanout(3);
+            });
+        }
+        {
+            let e = t.event("insertAck");
+            e.args(2, 2).on("kvmsr::kv_map");
+            e.send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            });
+            e.terminates();
+        }
+    }
+    {
+        let t = spec.thread("main");
+        {
+            let e = t.event("init");
+            e.args(0, 0).from_host().live_per_lane(1);
+            e.send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont();
+            });
+            e.terminates();
+        }
+        {
+            let e = t.event("phase1_done");
+            e.args(2, 2);
+            e.send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont();
+            });
+            e.terminates();
+        }
+        t.event("phase2_done").args(2, 2).terminates();
+    }
+    // Job-completion replies spawn the driver's done events as fresh
+    // threads; declare the edges so the static flow graph reaches them.
+    for ev in ["maps_done", "poll_result", "epilogue_done"] {
+        spec.event_mut(&format!("kvmsr_master::{ev}")).send_any(
+            &["main::phase1_done", "main::phase2_done"],
+            |s| {
+                s.args(2, 2).to_new().conditional();
+            },
+        );
+    }
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -134,6 +134,107 @@ fn register_codecs(eng: &mut Engine) {
     eng.register_state_codec::<DriverSt>();
 }
 
+/// The udspec declaration of the PageRank protocol: the KVMSR base plus
+/// the worker, reduce-ack, flush, aggregation, and driver handlers
+/// (docs/udspec.md).
+pub fn spec() -> udweave::ProgramSpec {
+    let mut spec = kvmsr::spec();
+    {
+        let km = spec.event_mut("kvmsr::kv_map");
+        km.resumes("thread::PageRankWorker::returnRecord");
+        km.resumes("thread::pr_agg::returnFs");
+    }
+    {
+        // Combining-cache variant: 256 two-word slots per reduce lane.
+        let kr = spec.event_mut("kvmsr::kv_reduce");
+        kr.resumes("thread::pr_reduce::addAck");
+        kr.spm_per_lane(512);
+    }
+    spec.event_mut("kvmsr::epilogue")
+        .resumes("thread::pr_flush::ack");
+    {
+        let w = spec.thread("thread::PageRankWorker");
+        w.event("returnRecord")
+            .args(4, 4)
+            .on("kvmsr::kv_map")
+            .resumes("thread::PageRankWorker::returnPr")
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+        w.event("returnPr")
+            .args(1, 1)
+            .on("kvmsr::kv_map")
+            .resumes("thread::PageRankWorker::returnRead");
+        w.event("returnRead")
+            .args(1, 8)
+            .on("kvmsr::kv_map")
+            .send("kvmsr::kv_reduce", |s| {
+                s.args(3, 3).to_new().conditional().fanout_unbounded();
+            })
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+    }
+    spec.thread("thread::pr_reduce")
+        .event("addAck")
+        .args(1, 2)
+        .on("kvmsr::kv_reduce")
+        .terminates();
+    spec.thread("thread::pr_flush")
+        .event("ack")
+        .args(1, 2)
+        .on("kvmsr::epilogue")
+        .replies()
+        .terminates();
+    {
+        let agg = spec.thread("thread::pr_agg");
+        agg.event("returnFs")
+            .args(2, 2)
+            .on("kvmsr::kv_map")
+            .resumes("thread::pr_agg::returnCells");
+        agg.event("returnCells")
+            .args(1, 8)
+            .on("kvmsr::kv_map")
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+    }
+    {
+        let d = spec.thread("pr_driver");
+        d.event("updown_init")
+            .args(0, 0)
+            .from_host()
+            .live_per_lane(1)
+            .send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont();
+            });
+        d.event("zero_done")
+            .args(2, 2)
+            .on("pr_driver::updown_init")
+            .send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont();
+            });
+        d.event("iter_done")
+            .args(2, 2)
+            .on("pr_driver::updown_init")
+            .send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont().conditional();
+            })
+            .terminates();
+        d.event("agg_done")
+            .args(2, 2)
+            .on("pr_driver::updown_init")
+            .send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont().conditional();
+            })
+            .terminates();
+    }
+    spec
+}
+
 /// Run PageRank over a pre-split graph (either splitting regime).
 pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let mut eng = Engine::new(cfg.machine.clone());

@@ -352,6 +352,68 @@ pub fn run_partial_match(records: &[RawRecord], cfg: &PmConfig) -> PmResult {
     }
 }
 
+/// Declared-effects spec for the streaming partial-match app (`udspec`).
+///
+/// No KVMSR here: host-seeded `thread::pm::feeder` threads stream records
+/// to fresh `thread::pm::recProc` threads, each of which walks the
+/// ingest-then-match chain (`edgeAck` → `stateRet` → `orAck` →
+/// `complete`) through `thread::sht::op` requests.
+pub fn spec() -> udweave::ProgramSpec {
+    let mut spec = udweave::ProgramSpec::new();
+    ShtLib::spec_decl(&mut spec);
+    let t = spec.thread("thread::pm");
+    {
+        let e = t.event("feeder");
+        e.args(0, 1).from_host().live_per_lane(1);
+        e.send("thread::pm::recProc", |s| {
+            s.args(5, 5).to_new().conditional().fanout_unbounded();
+        });
+        // Credit-throttled self-reschedule until the stream drains.
+        e.send("thread::pm::feeder", |s| {
+            s.args(0, 0).conditional();
+        });
+        e.terminates();
+    }
+    {
+        let e = t.event("recProc");
+        e.args(5, 5).live_unbounded();
+        // Exactly one PGA insert per record: add_vertex (acked at
+        // `complete`) or add_edge (acked at `edgeAck`).
+        e.send("thread::sht::op", |s| {
+            s.args(4, 4).to_new().with_cont();
+        });
+    }
+    {
+        let e = t.event("edgeAck");
+        e.args(2, 2).on("thread::pm::recProc");
+        e.send("thread::sht::op", |s| {
+            s.args(4, 4).to_new().with_cont();
+        });
+    }
+    {
+        let e = t.event("stateRet");
+        e.args(2, 2).on("thread::pm::recProc");
+        e.send("thread::sht::op", |s| {
+            s.args(4, 4).to_new().with_cont().conditional();
+        });
+        e.send("thread::pm::complete", |s| {
+            s.args(0, 0).conditional();
+        });
+    }
+    {
+        let e = t.event("orAck");
+        e.args(2, 2).on("thread::pm::recProc");
+        e.send("thread::pm::complete", |s| {
+            s.args(0, 0);
+        });
+    }
+    t.event("complete")
+        .args(0, 2)
+        .on("thread::pm::recProc")
+        .terminates();
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -105,6 +105,85 @@ updown_sim::snap_state!(TcRedSt, "tc.reduce", {
     count, done, spd_list,
 });
 
+/// The udspec declaration of the TC protocol: the KVMSR base plus the
+/// map-side streaming, both reduce-side intersection variants, and the
+/// host driver events (docs/udspec.md).
+pub fn spec() -> udweave::ProgramSpec {
+    let mut spec = kvmsr::spec();
+    spec.event_mut("kvmsr::kv_map")
+        .resumes("thread::tc_map::returnRec");
+    spec.event_mut("kvmsr::kv_reduce")
+        .resumes("thread::tc_reduce::returnRec");
+    {
+        let m = spec.thread("thread::tc_map");
+        m.event("returnRec")
+            .args(2, 2)
+            .on("kvmsr::kv_map")
+            .resumes("thread::tc_map::returnRead")
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+        m.event("returnRead")
+            .args(1, 8)
+            .on("kvmsr::kv_map")
+            .send("kvmsr::kv_reduce", |s| {
+                s.args(2, 2).to_new().conditional().fanout_unbounded();
+            })
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+    }
+    {
+        let r = spec.thread("thread::tc_reduce");
+        r.event("returnRec")
+            .args(3, 3)
+            .on("kvmsr::kv_reduce")
+            .resumes("thread::tc_reduce::returnChunk")
+            .resumes("thread::tc_reduce::loadSpd")
+            .terminates();
+        r.event("returnChunk")
+            .args(2, 9)
+            .on("kvmsr::kv_reduce")
+            .resumes("thread::tc_reduce::returnChunk")
+            .terminates();
+        r.event("loadSpd")
+            .args(2, 9)
+            .on("kvmsr::kv_reduce")
+            .resumes("thread::tc_reduce::loadSpd")
+            .resumes("thread::tc_reduce::streamVsSpd")
+            .terminates();
+        r.event("streamVsSpd")
+            .args(2, 9)
+            .on("kvmsr::kv_reduce")
+            .resumes("thread::tc_reduce::streamVsSpd")
+            .terminates();
+    }
+    {
+        let d = spec.thread("main_master");
+        d.event("init_tc")
+            .args(0, 0)
+            .from_host()
+            .live_per_lane(1)
+            .send("kvmsr_master::start", |s| {
+                s.args(3, 3).to_new().with_cont();
+            })
+            .terminates();
+        d.event("tc_launcher_done").args(2, 2).terminates();
+    }
+    // The job's completion reply spawns the driver's done handler as a
+    // fresh thread; declare the edge on every master event that can
+    // finish the run so the static flow graph reaches it.
+    for ev in ["maps_done", "poll_result", "epilogue_done"] {
+        spec.event_mut(&format!("kvmsr_master::{ev}"))
+            .send("main_master::tc_launcher_done", |s| {
+                s.args(2, 2).to_new().conditional();
+            });
+    }
+    spec
+}
+
 /// Count triangles of an undirected, deduplicated, neighbor-sorted CSR.
 pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     let mc = &cfg.machine;

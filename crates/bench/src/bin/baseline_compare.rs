@@ -10,14 +10,14 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline_compare -- [--scale 14]
-//!     [--nodes 16] [--seed 0] [--threads 1] [--topology uniform] [--sanitize] [--race]
+//!     [--nodes 16] [--seed 0] [--threads 1] [--topology uniform] [--sanitize] [--race] [--spec]
 //!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, bench_machine, bench_machine_topo};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine, bench_machine_topo};
 use updown_apps::baseline;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -35,6 +35,7 @@ fn main() {
     let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -66,6 +67,7 @@ fn main() {
     bench::cli::sched_knobs(&cli, &mut pc.machine);
     san.arm("pr", &mut pc.machine);
     rg.arm("pr", &mut pc.machine);
+    spg.arm("pr", &updown_apps::pagerank::spec(), &mut pc.machine);
     ck.arm(&mut pc.machine);
     rp.arm(&mut pc.machine);
     pc.iterations = 2;
@@ -95,6 +97,7 @@ fn main() {
     bench::cli::sched_knobs(&cli, &mut bc.machine);
     san.arm("bfs", &mut bc.machine);
     rg.arm("bfs", &mut bc.machine);
+    spg.arm("bfs", &updown_apps::bfs::spec(), &mut bc.machine);
     ck.arm(&mut bc.machine);
     rp.arm(&mut bc.machine);
     let bfs = run_bfs(&gu, &bc);
@@ -117,6 +120,7 @@ fn main() {
     bench::cli::sched_knobs(&cli, &mut tcfg.machine);
     san.arm("tc", &mut tcfg.machine);
     rg.arm("tc", &mut tcfg.machine);
+    spg.arm("tc", &updown_apps::tc::spec(), &mut tcfg.machine);
     ck.arm(&mut tcfg.machine);
     rp.arm(&mut tcfg.machine);
     let tc = run_tc(&gu, &tcfg);
@@ -137,7 +141,7 @@ fn main() {
          Perlmutter/EOS — the shape to reproduce is the orders-of-magnitude gap)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

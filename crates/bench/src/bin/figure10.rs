@@ -5,11 +5,11 @@
 //! ```text
 //! cargo run --release -p bench --bin figure10 -- [--nodes 32]
 //!     [--base-records 20000] [--seed 0] [--threads 1] [--topology uniform] [--full]
-//!     [--sanitize] [--race]
+//!     [--sanitize] [--race] [--spec]
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, StdOpts, node_sweep};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts, node_sweep};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -21,6 +21,7 @@ fn main() {
     let nodes = node_sweep(opts.max_nodes);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -40,6 +41,7 @@ fn main() {
             cfg.machine = opts.machine(n);
             san.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("ingest {label} nodes={n}"), &mut cfg.machine);
+            spg.arm(&format!("ingest {label} nodes={n}"), &updown_apps::ingest::spec(), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
             cfg.trace = ex.want_trace();
@@ -65,7 +67,7 @@ fn main() {
          small datasets saturating early and large ones scaling further)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

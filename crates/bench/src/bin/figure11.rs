@@ -4,12 +4,12 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure11 -- [--records 4000] [--seed 0]
-//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race]
+//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race] [--spec]
 //!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{BENCH_ACCELS, BENCH_LANES, Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer};
+use bench::{BENCH_ACCELS, BENCH_LANES, Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate};
 use updown_sim::TopologyKind;
 use updown_apps::ingest::datagen;
 use updown_apps::partial_match::{run_partial_match, sequential_matches, PmConfig};
@@ -24,6 +24,7 @@ fn main() {
     let topology: TopologyKind = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -57,6 +58,7 @@ fn main() {
         bench::cli::sched_knobs(&cli, &mut cfg.machine);
         san.arm(&format!("pm {label}"), &mut cfg.machine);
         rg.arm(&format!("pm {label}"), &mut cfg.machine);
+        spg.arm(&format!("pm {label}"), &updown_apps::partial_match::spec(), &mut cfg.machine);
         ck.arm(&mut cfg.machine);
         rp.arm(&mut cfg.machine);
         cfg.batch = cli.get("batch", 96);
@@ -88,7 +90,7 @@ fn main() {
     }
     println!("\n(the paper's Table 12: speedups 1.00 / 3.34 / 5.56 / 10.42)");
     let dirty = san.dirty();
-    if rg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

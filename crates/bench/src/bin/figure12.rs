@@ -5,14 +5,14 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure12 -- [--nodes 64] [--seed 0]
-//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race]
+//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race] [--spec]
 //!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, bench_machine_topo, prepared};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine_topo, prepared};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
@@ -28,6 +28,7 @@ fn main() {
     let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -53,6 +54,7 @@ fn main() {
         bench::cli::sched_knobs(&cli, &mut pc.machine);
         san.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
         rg.arm(&format!("pr mem_nodes={mem}"), &mut pc.machine);
+        spg.arm(&format!("pr mem_nodes={mem}"), &updown_apps::pagerank::spec(), &mut pc.machine);
         ck.arm(&mut pc.machine);
         rp.arm(&mut pc.machine);
         pc.mem_nodes = Some(mem);
@@ -66,6 +68,7 @@ fn main() {
         bench::cli::sched_knobs(&cli, &mut bc.machine);
         san.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
         rg.arm(&format!("bfs mem_nodes={mem}"), &mut bc.machine);
+        spg.arm(&format!("bfs mem_nodes={mem}"), &updown_apps::bfs::spec(), &mut bc.machine);
         ck.arm(&mut bc.machine);
         rp.arm(&mut bc.machine);
         bc.mem_nodes = Some(mem);
@@ -91,7 +94,7 @@ fn main() {
          trend less pronounced)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
 //!     [--nodes 32] [--min-nodes 1] [--scale 0] [--seed 0] [--iters 2] [--threads 1]
 //!     [--topology uniform] [--full]
-//!     [--sanitize] [--race] [--trace out.trace.json] [--metrics-json out.metrics.json]
+//!     [--sanitize] [--race] [--spec] [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 //!
 //! `--full` raises the sweep to 256 nodes (TC: 1024) and the graphs by two
@@ -14,7 +14,7 @@
 //! and `--metrics-json` export the first simulated run of the sweep as a
 //! Chrome trace / metrics document (see docs/observability.md).
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, StdOpts, graph_menu_seeded, node_sweep, prepared, prepared_undirected};
+use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts, graph_menu_seeded, node_sweep, prepared, prepared_undirected};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -28,6 +28,7 @@ fn pr_sweep(
     ex: &mut Exporter,
     san: &Sanitizer,
     rg: &RaceGate,
+    spg: &SpecGate,
     ck: &Checkpoint,
     rp: &ReplayGate,
 ) -> Vec<Series> {
@@ -41,6 +42,7 @@ fn pr_sweep(
             cfg.machine = opts.machine(n);
             san.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("pr {name} nodes={n}"), &mut cfg.machine);
+            spg.arm(&format!("pr {name} nodes={n}"), &updown_apps::pagerank::spec(), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
             cfg.iterations = iters;
@@ -69,6 +71,7 @@ fn bfs_sweep(
     ex: &mut Exporter,
     san: &Sanitizer,
     rg: &RaceGate,
+    spg: &SpecGate,
     ck: &Checkpoint,
     rp: &ReplayGate,
 ) -> Vec<Series> {
@@ -81,6 +84,7 @@ fn bfs_sweep(
             cfg.machine = opts.machine(n);
             san.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("bfs {name} nodes={n}"), &mut cfg.machine);
+            spg.arm(&format!("bfs {name} nodes={n}"), &updown_apps::bfs::spec(), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
             cfg.trace = ex.want_trace();
@@ -109,6 +113,7 @@ fn tc_sweep(
     ex: &mut Exporter,
     san: &Sanitizer,
     rg: &RaceGate,
+    spg: &SpecGate,
     ck: &Checkpoint,
     rp: &ReplayGate,
 ) -> Vec<Series> {
@@ -124,6 +129,7 @@ fn tc_sweep(
             cfg.machine = opts.machine(n);
             san.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
             rg.arm(&format!("tc {name} nodes={n}"), &mut cfg.machine);
+            spg.arm(&format!("tc {name} nodes={n}"), &updown_apps::tc::spec(), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
             cfg.trace = ex.want_trace();
@@ -166,6 +172,7 @@ fn main() {
         .collect();
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
@@ -180,7 +187,7 @@ fn main() {
     );
 
     if which == "pr" || which == "all" {
-        let series = pr_sweep(&opts, &nodes, iters, &mut ex, &san, &rg, &ck, &rp);
+        let series = pr_sweep(&opts, &nodes, iters, &mut ex, &san, &rg, &spg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
             "nodes",
@@ -188,7 +195,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(&opts, &nodes, &mut ex, &san, &rg, &ck, &rp);
+        let series = bfs_sweep(&opts, &nodes, &mut ex, &san, &rg, &spg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -200,7 +207,7 @@ fn main() {
             .into_iter()
             .filter(|&n| n >= min_nodes)
             .collect();
-        let series = tc_sweep(&opts, &tc_nodes, &mut ex, &san, &rg, &ck, &rp);
+        let series = tc_sweep(&opts, &tc_nodes, &mut ex, &san, &rg, &spg, &ck, &rp);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",
@@ -208,7 +215,7 @@ fn main() {
         );
     }
     let dirty = san.dirty();
-    if rg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

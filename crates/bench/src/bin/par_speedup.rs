@@ -9,7 +9,7 @@
 //!     [--scale 13] [--seed 0] [--iters 1] [--threads 1,2,4] [--topology uniform]
 //!     [--steal on|off] [--window-batch 8] [--min-speedup 0]
 //!     [--json-out BENCH_parallel.json] [--mode-check on|off]
-//!     [--sanitize] [--race]
+//!     [--sanitize] [--race] [--spec]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale and `--threads` a
@@ -32,7 +32,7 @@
 //! thread-timing dependent, so they appear in the table and the JSON
 //! file but never in the byte-compared metrics.
 
-use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, bench_machine_topo};
+use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine_topo};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
 use updown_graph::preprocess::split_and_shuffle;
@@ -58,6 +58,7 @@ fn main() {
     let topology = bench::cli::parse_topology(&cli);
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
     let host_cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
@@ -81,6 +82,7 @@ fn main() {
         cfg.machine.window_batch = window_batch;
         san.arm(label, &mut cfg.machine);
         rg.arm(label, &mut cfg.machine);
+        spg.arm(label, &updown_apps::pagerank::spec(), &mut cfg.machine);
         ck.arm(&mut cfg.machine);
         rp.arm(&mut cfg.machine);
         cfg.iterations = iters;
@@ -208,7 +210,7 @@ fn main() {
     }
 
     let dirty = san.dirty();
-    if rg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

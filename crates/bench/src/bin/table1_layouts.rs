@@ -2,9 +2,9 @@
 //! Table 1 demonstration: the four canonical DRAMmalloc layouts, showing
 //! the node placement each translation descriptor produces.
 //!
-//! `cargo run --release -p bench --bin table1_layouts [--topology uniform] [--sanitize] [--race]`
+//! `cargo run --release -p bench --bin table1_layouts [--topology uniform] [--sanitize] [--race] [--spec]`
 
-use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer};
+use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, SpecGate};
 use drammalloc::{dram_malloc_layout, Layout};
 use updown_sim::{Engine, MachineConfig, VAddr};
 
@@ -22,6 +22,7 @@ fn main() {
     let cli = Cli::parse();
     let san = Sanitizer::from_cli(&cli);
     let rg = RaceGate::from_cli(&cli);
+    let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
     let mut cfg = MachineConfig::small(16, 1, 1);
@@ -29,6 +30,9 @@ fn main() {
     bench::cli::sched_knobs(&cli, &mut cfg);
     san.arm("layouts", &mut cfg);
     rg.arm("layouts", &mut cfg);
+    // This binary drives ad-hoc layout handlers with no declared protocol;
+    // an empty spec keeps --spec accepted (and vacuously clean) here.
+    spg.arm("layouts", &updown_sim::ProgramSpec::new(), &mut cfg);
     ck.arm(&mut cfg);
     rp.arm(&mut cfg);
     let mut eng = Engine::new(cfg);
@@ -49,7 +53,7 @@ fn main() {
     println!("\n(each number is the physical node owning consecutive blocks of the");
     println!(" virtual region — one translation descriptor per allocation)");
     let dirty = san.dirty();
-    if rg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
         std::process::exit(1);
     }
 }

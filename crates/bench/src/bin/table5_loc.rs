@@ -3,7 +3,7 @@
 //! abstractions, counted from this repository and set against the paper's
 //! UDWeave numbers.
 //!
-//! `cargo run --release -p bench --bin table5_loc [--topology uniform] [--sanitize] [--race]`
+//! `cargo run --release -p bench --bin table5_loc [--topology uniform] [--sanitize] [--race] [--spec]`
 //! (`--sanitize` is accepted for CLI uniformity; this binary runs no
 //! simulation, so there is nothing to sanitize)
 
@@ -39,6 +39,9 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--race") {
         eprintln!("table5_loc: --race accepted, but this binary runs no simulation");
+    }
+    if std::env::args().any(|a| a == "--spec") {
+        eprintln!("table5_loc: --spec accepted, but this binary runs no simulation");
     }
     if std::env::args().any(|a| a == "--topology") {
         eprintln!("table5_loc: --topology accepted, but this binary runs no simulation");

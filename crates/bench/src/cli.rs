@@ -9,7 +9,9 @@
 //! gets traced and exported — enough to inspect one representative run in
 //! `chrome://tracing` without multi-gigabyte outputs.
 
-use updown_sim::{MachineConfig, Metrics, ProtocolProbe, RaceProbe, TopologyKind};
+use updown_sim::{
+    DiagKind, MachineConfig, Metrics, ProgramSpec, ProtocolProbe, RaceProbe, TopologyKind,
+};
 
 /// Minimal flag parsing: `--key value` pairs plus positional args.
 pub struct Cli {
@@ -313,6 +315,79 @@ impl RaceGate {
     }
 
     /// Tail-of-`main` helper: report and exit non-zero on races.
+    pub fn exit_if_dirty(&self) {
+        if self.dirty() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--spec` support for the figure binaries: arms every simulated run
+/// with runtime protocol-spec enforcement
+/// ([`MachineConfig::enforce_spec`] plus a fresh [`ProtocolProbe`]), then
+/// reports every observed-vs-declared deviation at the end of `main`.
+/// Like the sanitizer the probe has zero observer effect, so enforced
+/// sweeps reproduce the exact figures; see docs/udspec.md.
+pub struct SpecGate {
+    enabled: bool,
+    runs: std::sync::Mutex<Vec<(String, ProtocolProbe)>>,
+}
+
+impl SpecGate {
+    pub fn from_cli(cli: &Cli) -> SpecGate {
+        SpecGate {
+            enabled: cli.has("spec"),
+            runs: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Arm `cfg` to enforce `spec` when `--spec` was given; `label` names
+    /// the run in the final report. Reuses a probe another gate already
+    /// attached (e.g. `--sanitize`) so both report from the same summary.
+    pub fn arm(&self, label: &str, spec: &ProgramSpec, cfg: &mut MachineConfig) {
+        if !self.enabled {
+            return;
+        }
+        let probe = match &cfg.probe {
+            Some(p) => p.clone(),
+            None => {
+                let p = ProtocolProbe::new();
+                cfg.probe = Some(p.clone());
+                p
+            }
+        };
+        cfg.enforce_spec = Some(spec.clone());
+        self.runs.lock().unwrap().push((label.to_string(), probe));
+    }
+
+    /// Print every spec violation recorded across the armed runs to
+    /// stderr; returns whether any run deviated from its declarations.
+    pub fn dirty(&self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let runs = self.runs.lock().unwrap();
+        let mut dirty = false;
+        for (label, probe) in runs.iter() {
+            for d in probe.diagnostics() {
+                if d.kind != DiagKind::SpecViolation {
+                    continue;
+                }
+                dirty = true;
+                eprintln!("udspec[{label}] {}: {} (x{})", d.handler, d.detail, d.count);
+            }
+        }
+        if !dirty {
+            eprintln!("udspec: {} run(s), no spec violations", runs.len());
+        }
+        dirty
+    }
+
+    /// Tail-of-`main` helper: report and exit non-zero on violations.
     pub fn exit_if_dirty(&self) {
         if self.dirty() {
             std::process::exit(1);

@@ -12,7 +12,7 @@
 pub mod cli;
 pub mod timing;
 
-pub use cli::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, StdOpts};
+pub use cli::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts};
 
 use updown_graph::generators::{erdos_renyi, forest_fire, rmat, RmatParams};
 use updown_graph::preprocess::dedup_sort;

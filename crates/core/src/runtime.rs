@@ -726,6 +726,145 @@ impl Kvmsr {
     }
 }
 
+/// The udspec declaration of the KVMSR runtime protocol with the default
+/// map window (64) and a 64-lane PBMW server bound: master, tree, per-lane
+/// launchers, and the `kv_map`/`kv_reduce`/poll/epilogue/PBMW events.
+/// Applications extend this spec with their own handler declarations
+/// (docs/udspec.md).
+pub fn spec() -> udweave::ProgramSpec {
+    spec_with(64, 64)
+}
+
+/// [`spec`] parameterized by the job's map `window` (`JobSpec::window`)
+/// and the maximum lane-set size `max_set_lanes`.
+///
+/// `max_set_lanes` bounds the PBMW chunk server's concentration: every
+/// launcher in the set sends `kvmsr::pbmw_request` to the set's first
+/// lane, so that one lane can hold up to one request thread per set lane
+/// at once. Derived per-lane bounds assume lane-local or spread spawn
+/// targeting and would under-count this concentrated pattern; the bound
+/// is therefore declared explicitly here.
+pub fn spec_with(window: u64, max_set_lanes: u64) -> udweave::ProgramSpec {
+    let mut spec = udweave::ProgramSpec::new();
+
+    // The launch/poll/epilogue broadcast tree (fanout fixed at install).
+    TreeComm::spec_decl(
+        &mut spec,
+        "kvmsr_tree",
+        8,
+        &["kvmsr_launcher::launch", "kvmsr::poll_probe", "kvmsr::epilogue"],
+        (1, 3),
+    );
+
+    {
+        let master = spec.thread("kvmsr_master");
+        master
+            .event("start")
+            .args(3, 3)
+            .from_host()
+            .live_per_lane(1)
+            .send("thread::kvmsr_tree::relay", |s| {
+                s.args(7, 7).to_new().with_cont();
+            });
+        // maps_done may start the reduce poll, skip straight to the
+        // epilogue broadcast, or finish the job (reply to the stored job
+        // continuation).
+        master
+            .event("maps_done")
+            .args(2, 2)
+            .on("kvmsr_master::start")
+            .send("thread::kvmsr_tree::relay", |s| {
+                s.args(5, 5).to_new().with_cont().conditional();
+            })
+            .replies()
+            .terminates();
+        master
+            .event("poll_result")
+            .args(2, 2)
+            .on("kvmsr_master::start")
+            .send("thread::kvmsr_tree::relay", |s| {
+                s.args(5, 5).to_new().with_cont().conditional().ordered();
+            })
+            .replies()
+            .terminates();
+        master
+            .event("epilogue_done")
+            .args(2, 2)
+            .on("kvmsr_master::start")
+            .replies()
+            .terminates();
+    }
+
+    {
+        let launcher = spec.thread("kvmsr_launcher");
+        launcher
+            .event("launch")
+            .args(3, 3)
+            .live_per_lane(1)
+            .send("kvmsr::kv_map", |s| {
+                s.args(4, 4).to_new().conditional().fanout(window);
+            })
+            .send("kvmsr::pbmw_request", |s| {
+                s.args(1, 1).to_new().with_cont().conditional();
+            })
+            .replies()
+            .terminates();
+        launcher
+            .event("task_done")
+            .args(1, 1)
+            .on("kvmsr_launcher::launch")
+            .send("kvmsr::kv_map", |s| {
+                s.args(4, 4).to_new().conditional().ordered();
+            })
+            .send("kvmsr::pbmw_request", |s| {
+                s.args(1, 1).to_new().with_cont().conditional();
+            })
+            .replies()
+            .terminates();
+        launcher
+            .event("pbmw_grant")
+            .args(2, 2)
+            .on("kvmsr_launcher::launch")
+            .send("kvmsr::kv_map", |s| {
+                s.args(4, 4).to_new().conditional().fanout(window);
+            })
+            .send("kvmsr::pbmw_request", |s| {
+                s.args(1, 1).to_new().with_cont().conditional();
+            })
+            .replies()
+            .terminates();
+    }
+
+    {
+        let kv = spec.thread("kvmsr");
+        kv.event("kv_map")
+            .args(4, 4)
+            .live_per_lane(window)
+            .send("kvmsr::kv_reduce", |s| {
+                s.args_at_least(2).to_new().conditional().fanout_unbounded();
+            })
+            .send("kvmsr_launcher::task_done", |s| {
+                s.args(1, 1).conditional();
+            })
+            .terminates();
+        // One reduce thread per routed tuple; admission is throttled only
+        // by the emit rate, so the honest declared bound is unbounded.
+        kv.event("kv_reduce")
+            .args_at_least(2)
+            .live_unbounded()
+            .terminates();
+        kv.event("poll_probe").args(1, 1).replies().terminates();
+        kv.event("epilogue").args(1, 1).replies().terminates();
+        kv.event("pbmw_request")
+            .args(1, 1)
+            .live_per_lane(max_set_lanes)
+            .replies()
+            .terminates();
+    }
+
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

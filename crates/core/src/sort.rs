@@ -89,6 +89,26 @@ pub fn install_sort(eng: &mut updown_sim::Engine, rt: &Kvmsr, set: LaneSet, plan
     rt.define_job(spec)
 }
 
+/// The udspec declaration of the sort job: the KVMSR base protocol plus
+/// the map-side DRAM read-return handler (docs/udspec.md).
+pub fn spec() -> udweave::ProgramSpec {
+    let mut spec = crate::runtime::spec();
+    spec.event_mut("kvmsr::kv_map")
+        .resumes("thread::sort::returnRead");
+    spec.thread("thread::sort")
+        .event("returnRead")
+        .args(1, 1)
+        .on("kvmsr::kv_map")
+        .send("kvmsr::kv_reduce", |s| {
+            s.args(3, 3).to_new();
+        })
+        .send("kvmsr_launcher::task_done", |s| {
+            s.args(1, 1);
+        })
+        .terminates();
+    spec
+}
+
 /// Host-side extraction: concatenate buckets in order, sorting each
 /// segment (the per-bucket local sort phase).
 pub fn read_sorted(mem: &updown_sim::GlobalMemory, plan: &SortPlan) -> Vec<u64> {

@@ -253,6 +253,20 @@ impl ShtLib {
         ShtLib { inner, op_label }
     }
 
+    /// Declare the SHT op/op_fin protocol into a udspec
+    /// [`udweave::ProgramSpec`] (docs/udspec.md). Callers declare their
+    /// own `send("thread::sht::op")` edges; the op thread's live bound is
+    /// derived from those edges.
+    pub fn spec_decl(spec: &mut udweave::ProgramSpec) {
+        let t = spec.thread("thread::sht");
+        t.event("op").args(4, 4).resumes("thread::sht::op_fin");
+        t.event("op_fin")
+            .args(1, 8)
+            .on("thread::sht::op")
+            .replies()
+            .terminates();
+    }
+
     /// Create a table over `set` with `buckets_per_lane` × `epb` capacity
     /// per lane, backed by a region with the given layout.
     pub fn create(

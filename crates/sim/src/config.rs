@@ -10,6 +10,7 @@ use crate::ids::NetworkId;
 use crate::network::TopologyKind;
 use crate::probe::ProtocolProbe;
 use crate::race::RaceProbe;
+use crate::spec::ProgramSpec;
 
 /// Per-operation lane costs in cycles (Table 2 of the paper).
 #[derive(Clone, Debug)]
@@ -239,6 +240,14 @@ pub struct MachineConfig {
     /// Optional protocol recording shared with the caller; see
     /// [`ProtocolProbe`]. Recording has zero observer effect.
     pub probe: Option<ProtocolProbe>,
+    /// Runtime spec enforcement (`--spec` on the bench bins): at end of
+    /// run the recorded [`ProtocolProbe`] summary is checked against this
+    /// declared protocol spec ([`crate::spec::check_report`]); deviations
+    /// become [`DiagKind::SpecViolation`](crate::DiagKind) diagnostics.
+    /// When set without an explicit [`Self::probe`], the engine creates
+    /// one. Enforcement is post-hoc over the commutative summary, so the
+    /// findings are byte-identical at every thread count.
+    pub enforce_spec: Option<ProgramSpec>,
     /// Optional happens-before race recording (`--race` on the bench
     /// bins); see [`RaceProbe`]. Recording has zero observer effect.
     pub race: Option<RaceProbe>,
@@ -287,6 +296,7 @@ impl Default for MachineConfig {
             window_batch: 8,
             sanitize: false,
             probe: None,
+            enforce_spec: None,
             race: None,
             checkpoint_every: 0,
             checkpoint_path: None,
@@ -375,6 +385,13 @@ impl MachineConfigBuilder {
     /// Attach a protocol recording (see [`MachineConfig::probe`]).
     pub fn probe(mut self, probe: ProtocolProbe) -> Self {
         self.cfg.probe = Some(probe);
+        self
+    }
+
+    /// Enforce a declared protocol spec at end of run (see
+    /// [`MachineConfig::enforce_spec`]).
+    pub fn enforce_spec(mut self, spec: ProgramSpec) -> Self {
+        self.cfg.enforce_spec = Some(spec);
         self
     }
 

@@ -962,7 +962,7 @@ impl EngineCore {
             self.stats.threads_created += 1;
             lane.threads.set_created_by(tid, label.0);
             if let Some(p) = &shared.cfg.probe {
-                p.spawn(label.0);
+                p.spawn(label.0, l, lane.threads.len() as u32);
             }
         }
         let created_by = lane.threads.created_by(tid);
@@ -2430,9 +2430,10 @@ fn diff_exec(want: &[ExecRec], got: &[ExecRec]) -> Vec<String> {
 
 impl Engine {
     pub fn new(mut cfg: MachineConfig) -> Engine {
-        // The sanitizer reports through a probe; create one when the caller
-        // asked for sanitizing without supplying their own.
-        if cfg.sanitize && cfg.probe.is_none() {
+        // The sanitizer and spec enforcement report through a probe;
+        // create one when the caller asked for either without supplying
+        // their own.
+        if (cfg.sanitize || cfg.enforce_spec.is_some()) && cfg.probe.is_none() {
             cfg.probe = Some(ProtocolProbe::new());
         }
         let lanes_per_node = cfg.lanes_per_node();
@@ -2963,6 +2964,24 @@ impl Engine {
             }
             let names = self.shared.handlers.iter().map(|h| h.name.clone()).collect();
             p.finish_run(names, drained, self.final_tick());
+            // Spec enforcement: check the commutative summary against the
+            // declared protocol; Error-severity deviations become
+            // deterministic SpecViolation diagnostics.
+            if let Some(spec) = &self.shared.cfg.enforce_spec {
+                let report = p.snapshot();
+                let findings = crate::spec::check_report(
+                    spec,
+                    &report,
+                    self.shared.cfg.max_threads_per_lane,
+                    self.shared.cfg.spm_words,
+                );
+                let tick = self.final_tick();
+                for f in findings {
+                    if f.severity == crate::spec::SpecSeverity::Error {
+                        p.spec_violation(f.subject, format!("[{}] {}", f.check, f.message), tick);
+                    }
+                }
+            }
         }
         if let Some(rp) = &self.shared.cfg.race {
             let names = self.shared.handlers.iter().map(|h| h.name.clone()).collect();
@@ -4016,7 +4035,8 @@ impl<'a> EventCtx<'a> {
         );
         self.shard.lanes[idx].spm_brk += words;
         if let Some(p) = &self.shared.cfg.probe {
-            p.spm_alloc_rec(self.msg.dst.label().0, self.created_by, words);
+            let brk = self.shard.lanes[idx].spm_brk;
+            p.spm_alloc_rec(self.msg.dst.label().0, self.created_by, words, self.lane, brk);
         }
         base
     }

@@ -48,6 +48,7 @@ pub mod probe;
 pub mod race;
 pub mod sched;
 pub mod snapshot;
+pub mod spec;
 pub mod stats;
 pub mod trace;
 
@@ -68,6 +69,10 @@ pub use snapshot::{
     SNAP_SCHEMA,
 };
 pub use race::{Footprint, RaceFilter, RaceKind, RaceProbe, RaceReport, RaceSite, RaceSpace, Region};
+pub use spec::{
+    Bound, Certification, EventDecl, GroupBound, ProgramSpec, SendDecl, SpecFinding, SpecSeverity,
+    ThreadDecl,
+};
 pub use stats::{
     Counters, FabricMetrics, HostSchedStats, LaneMetrics, LinkMetrics, Metrics, NodeMetrics,
     SchedMetrics, UTIL_HIST_BUCKETS,

@@ -55,6 +55,9 @@ pub enum DiagKind {
     ThreadLeakAtExit,
     /// Scratchpad allocated by a thread group that leaked at exit.
     ScratchpadLeakAtExit,
+    /// Observed behavior deviated from the program's declared protocol
+    /// spec ([`MachineConfig::enforce_spec`](crate::MachineConfig)).
+    SpecViolation,
 }
 
 impl DiagKind {
@@ -69,6 +72,7 @@ impl DiagKind {
             DiagKind::UnconsumedContinuation => "unconsumed-continuation",
             DiagKind::ThreadLeakAtExit => "thread-leak-at-exit",
             DiagKind::ScratchpadLeakAtExit => "scratchpad-leak-at-exit",
+            DiagKind::SpecViolation => "spec-violation",
         }
     }
 }
@@ -157,6 +161,11 @@ pub struct ProbeReport {
     /// Distinct diagnostic *sites* dropped by the cap — `diagnostics` is
     /// incomplete whenever this is non-zero.
     pub sites_truncated: u64,
+    /// Per-lane live-thread highwater (global lane id → max live count),
+    /// max-merged and thus commutative across shards.
+    pub thread_highwater: BTreeMap<u32, u32>,
+    /// Per-lane scratchpad-allocation highwater in words.
+    pub spm_highwater: BTreeMap<u32, u32>,
 }
 
 impl ProbeReport {
@@ -181,6 +190,11 @@ struct Inner {
     /// Distinct site keys dropped past the cap.
     truncated: BTreeSet<(DiagKind, u16, u64)>,
     drained: bool,
+    thread_hw: BTreeMap<u32, u32>,
+    spm_hw: BTreeMap<u32, u32>,
+    /// Spec-enforcement findings, appended once at end of run (already
+    /// deterministically ordered by `spec::check_report`).
+    spec: Vec<Diagnostic>,
 }
 
 /// Opaque deep copy of a probe recording at a snapshot point; restored by
@@ -248,14 +262,14 @@ impl ProtocolProbe {
     }
 
     /// Record a thread-context allocation for a NEW-addressed message.
-    pub(crate) fn spawn(&self, created_by: u16) {
-        self.inner
-            .lock()
-            .unwrap()
-            .groups
-            .entry(created_by)
-            .or_default()
-            .spawned += 1;
+    /// `live` is the lane's live-thread count just after the allocation;
+    /// each lane belongs to exactly one shard, so the per-lane max-merge
+    /// is deterministic.
+    pub(crate) fn spawn(&self, created_by: u16, lane: u32, live: u32) {
+        let mut g = self.inner.lock().unwrap();
+        g.groups.entry(created_by).or_default().spawned += 1;
+        let hw = g.thread_hw.entry(lane).or_insert(0);
+        *hw = (*hw).max(live);
     }
 
     /// Record one `send_event` (host sends are not recorded: the graph
@@ -288,11 +302,15 @@ impl ProtocolProbe {
         *m = (*m).max(idx);
     }
 
-    /// Record a scratchpad allocation.
-    pub(crate) fn spm_alloc_rec(&self, label: u16, created_by: u16, words: u32) {
+    /// Record a scratchpad allocation. `brk` is the lane's allocation
+    /// break just after the grant (per-lane highwater, deterministic for
+    /// the same reason as [`ProtocolProbe::spawn`]).
+    pub(crate) fn spm_alloc_rec(&self, label: u16, created_by: u16, words: u32, lane: u32, brk: u32) {
         let mut g = self.inner.lock().unwrap();
         g.handlers.entry(label).or_default().spm_alloc_words += words as u64;
         g.groups.entry(created_by).or_default().spm_alloc_words += words as u64;
+        let hw = g.spm_hw.entry(lane).or_insert(0);
+        *hw = (*hw).max(brk);
     }
 
     /// Record (or merge into) a diagnostic site. `aux` disambiguates sites
@@ -382,6 +400,25 @@ impl ProtocolProbe {
         // udcheck flow is one run per probe, so merged counts stay exact.
     }
 
+    /// Record one spec-enforcement finding (end of run; callers pass an
+    /// already-sorted batch so ordering stays deterministic).
+    pub(crate) fn spec_violation(&self, handler: String, detail: String, tick: u64) {
+        self.inner.lock().unwrap().spec.push(Diagnostic {
+            kind: DiagKind::SpecViolation,
+            handler,
+            detail,
+            first_tick: tick,
+            lane: 0,
+            count: 1,
+        });
+    }
+
+    /// Per-lane live-thread and scratchpad highwaters (lane → max).
+    pub fn highwaters(&self) -> (BTreeMap<u32, u32>, BTreeMap<u32, u32>) {
+        let g = self.inner.lock().unwrap();
+        (g.thread_hw.clone(), g.spm_hw.clone())
+    }
+
     /// All diagnostics, deterministically ordered by (kind, label, site)
     /// and identical at every thread count.
     pub fn diagnostics(&self) -> Vec<Diagnostic> {
@@ -400,6 +437,7 @@ impl ProtocolProbe {
                 lane,
                 count,
             })
+            .chain(g.spec.iter().cloned())
             .collect()
     }
 
@@ -415,6 +453,8 @@ impl ProtocolProbe {
             diagnostics: diags,
             suppressed: g.suppressed,
             sites_truncated: g.truncated.len() as u64,
+            thread_highwater: g.thread_hw.clone(),
+            spm_highwater: g.spm_hw.clone(),
         }
     }
 }
@@ -479,15 +519,15 @@ mod tests {
     #[test]
     fn leak_sweep_only_on_drained_runs() {
         let p = ProtocolProbe::new();
-        p.spawn(4);
-        p.spm_alloc_rec(4, 4, 16);
+        p.spawn(4, 0, 1);
+        p.spm_alloc_rec(4, 4, 16, 0, 16);
         p.live_at_exit(4);
         p.finish_run(vec!["a".into(); 5], false, 1000);
         assert!(p.diagnostics().is_empty(), "stopped run: no leak sweep");
 
         let p = ProtocolProbe::new();
-        p.spawn(4);
-        p.spm_alloc_rec(4, 4, 16);
+        p.spawn(4, 0, 1);
+        p.spm_alloc_rec(4, 4, 16, 0, 16);
         p.live_at_exit(4);
         p.finish_run(vec!["a".into(); 5], true, 1000);
         let kinds: Vec<DiagKind> = p.diagnostics().iter().map(|d| d.kind).collect();
@@ -508,7 +548,7 @@ mod tests {
                 Box::new(|p| p.exec(1, 1, 3, false, false, true)),
                 Box::new(|p| p.send(1, 2, 2, false, true)),
                 Box::new(|p| p.arg_read(1, 2, 1)),
-                Box::new(|p| p.spawn(1)),
+                Box::new(|p| p.spawn(1, 0, 1)),
             ];
             for &i in order {
                 ops[i](&p);

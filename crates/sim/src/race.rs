@@ -514,6 +514,11 @@ impl RaceProbe {
     /// atomic's release on this word) must ride the reply so whatever the
     /// issuer does after the acknowledged fetch-and-add is ordered after
     /// all the adds it observed. Plain operations return `None`.
+    ///
+    /// Sync clocks are maintained even for regions outside the prune
+    /// filter: a filtered-out barrier counter still orders the tracked
+    /// regions that synchronize through it, so the pruned pass may drop
+    /// atomic-only regions without losing happens-before edges.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_dram(
         &self,
@@ -529,7 +534,11 @@ impl RaceProbe {
         let region = Region::Dram(alloc_base);
         let atomic = atomic || acc.atomic;
         g.footprint(acc.label, region, write, atomic && write);
-        if !g.tracked(region) {
+        if g.footprint_only {
+            return None;
+        }
+        let tracked = g.tracked(region);
+        if !tracked && !atomic {
             return None;
         }
         let epoch = acc.clock.get(&acc.key).copied().unwrap_or(0);
@@ -544,15 +553,17 @@ impl RaceProbe {
                 join_into(acq, sync);
                 join_into(sync, &acc.clock);
             }
-            let cur = Access {
-                key: acc.key,
-                epoch,
-                label: acc.label,
-                tick,
-                atomic,
-            };
-            let clock = acquired.as_ref().unwrap_or(&acc.clock);
-            g.access(RaceSpace::Dram, region, loc, cur, clock, write);
+            if tracked {
+                let cur = Access {
+                    key: acc.key,
+                    epoch,
+                    label: acc.label,
+                    tick,
+                    atomic,
+                };
+                let clock = acquired.as_ref().unwrap_or(&acc.clock);
+                g.access(RaceSpace::Dram, region, loc, cur, clock, write);
+            }
         }
         acquired.map(Arc::new)
     }
@@ -577,15 +588,23 @@ impl RaceProbe {
         let mut g = self.inner.lock().unwrap();
         let region = Region::Spm(lane);
         g.footprint(label, region, write, atomic && write);
-        if !g.tracked(region) {
+        if g.footprint_only {
+            return;
+        }
+        let tracked = g.tracked(region);
+        if !tracked && !atomic {
             return;
         }
         let loc = Loc::Spm(lane, off);
+        // Release-acquire edges survive prune filtering (see record_dram).
         if atomic {
             let sync = g.word_sync.entry(loc).or_default();
             join_into(Arc::make_mut(&mut exec.clock), sync);
             join_into(sync, &exec.clock);
             g.clocks.insert(exec.key, exec.clock.clone());
+        }
+        if !tracked {
+            return;
         }
         let epoch = exec.clock.get(&exec.key).copied().unwrap_or(0);
         let cur = Access {
@@ -889,6 +908,35 @@ mod tests {
         assert_eq!(r.sites.len(), 1);
         let regions: BTreeSet<Region> = r.footprints.iter().map(|f| f.region).collect();
         assert!(regions.contains(&Region::Dram(0x9000)), "footprint kept");
+    }
+
+    #[test]
+    fn pruned_barrier_still_orders_tracked_regions() {
+        let p = RaceProbe::with_filter(RaceFilter {
+            dram: BTreeSet::from([0x1000]),
+            spm: BTreeSet::new(),
+        });
+        let acc = |e: &RaceExec| RaceAccess {
+            key: e.key,
+            clock: e.clock.clone(),
+            label: e.key.tid,
+            atomic: false,
+        };
+        let a = p.begin_event(key(0, 1), None);
+        dram(&p, &a, 0x1000, true, false, 1); // plain write, tracked
+        // a releases through a fetch-add on a filtered-out barrier word.
+        let rel = p.record_dram(&acc(&a), VAddr(0x9000), 0x9000, 1, true, true, 2);
+        assert!(rel.is_some(), "atomic on a filtered region still releases");
+        // b fetch-adds the same barrier word, acquiring a's clock...
+        let b = p.begin_event(key(1, 2), None);
+        let acq = p
+            .record_dram(&acc(&b), VAddr(0x9000), 0x9000, 1, true, true, 3)
+            .unwrap();
+        // ...and b's continuation (ordered after the acknowledged add)
+        // touches the tracked word: ordered through the pruned barrier.
+        let c = p.begin_event(key(1, 2), Some(&acq));
+        dram(&p, &c, 0x1000, true, false, 4);
+        assert!(p.snapshot().is_clean(), "sync edges survive prune filtering");
     }
 
     #[test]

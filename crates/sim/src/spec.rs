@@ -1,0 +1,845 @@
+//! `udspec`: declared-effects protocol specifications.
+//!
+//! A [`ProgramSpec`] describes, ahead of any simulation, what each event
+//! handler of a protocol is allowed to do: which events it sends to (by
+//! full `thread::event` name), whether those sends spawn new threads or
+//! carry continuations, operand arity ranges, terminate edges, and
+//! per-lane resource bounds for the thread *group* each spawn-target
+//! event roots.
+//!
+//! The spec serves two purposes:
+//!
+//! 1. **Static analysis** (`analysis::spec`, the `udspec` bin): wait-for
+//!    cycle detection, resource-bound certification against
+//!    [`MachineConfig`](crate::MachineConfig) capacities, and
+//!    spec-consistency checks — all from declarations alone, with zero
+//!    simulation ticks.
+//! 2. **Runtime enforcement** (`MachineConfig::enforce_spec`, `--spec` on
+//!    the bench bins): after a run, [`check_report`] replays the recorded
+//!    [`ProbeReport`](crate::ProbeReport) against the declarations. Any
+//!    undeclared send/spawn, arity violation, or certified-bound overrun
+//!    becomes a deterministic finding that is byte-identical across host
+//!    thread counts (the probe itself is commutative).
+//!
+//! Groups follow the probe's model: a thread group is keyed by the event
+//! label that *created* the thread (the spawn target). Events that run on
+//! a thread created at a different label declare membership with
+//! [`EventDecl::on`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::probe::ProbeReport;
+
+/// An upper bound that is either a finite count or not certifiable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    Finite(u64),
+    Unbounded,
+}
+
+impl Bound {
+    pub fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    pub fn mul(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Finite(0), _) | (_, Bound::Finite(0)) => Bound::Finite(0),
+            (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_mul(b)),
+            _ => Bound::Unbounded,
+        }
+    }
+
+    pub fn is_finite(self) -> bool {
+        matches!(self, Bound::Finite(_))
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "{n}"),
+            Bound::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// The class prefix of a full `thread::event` name (everything before the
+/// last `::`). Names without a separator are their own class.
+pub fn class_of(name: &str) -> &str {
+    match name.rfind("::") {
+        Some(i) => &name[..i],
+        None => name,
+    }
+}
+
+/// One declared send edge out of an event handler.
+///
+/// `targets` lists the full event names the send may address; more than
+/// one entry means "any of these" (used where the destination label is a
+/// runtime parameter, e.g. a tree broadcast delivering a caller-chosen
+/// event).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SendDecl {
+    pub targets: Vec<String>,
+    pub min_args: u32,
+    pub max_args: Option<u32>,
+    /// The send addresses `ThreadId::NEW`, allocating a thread at the
+    /// destination lane.
+    pub to_new: bool,
+    /// The send carries a real continuation (the sender waits for a
+    /// reply); these are the edges that form wait-for cycles.
+    pub with_cont: bool,
+    /// The send only happens on some control paths.
+    pub conditional: bool,
+    /// The send is part of an ordered/hierarchical recursion (e.g. a tree
+    /// relay fanning out to strictly deeper levels), so a self-class
+    /// cycle through it cannot deadlock.
+    pub ordered: bool,
+    /// How many copies of this send one handler execution may issue,
+    /// per destination lane (used for spawn fan-out certification).
+    pub fanout: Bound,
+}
+
+impl SendDecl {
+    fn to_targets(targets: &[&str]) -> SendDecl {
+        SendDecl {
+            targets: targets.iter().map(|s| s.to_string()).collect(),
+            min_args: 0,
+            max_args: None,
+            to_new: false,
+            with_cont: false,
+            conditional: false,
+            ordered: false,
+            fanout: Bound::Finite(1),
+        }
+    }
+
+    /// Declare the exact inclusive operand-count range of this send.
+    pub fn args(&mut self, min: u32, max: u32) -> &mut Self {
+        self.min_args = min;
+        self.max_args = Some(max);
+        self
+    }
+
+    /// Declare a lower bound only on the operand count.
+    pub fn args_at_least(&mut self, min: u32) -> &mut Self {
+        self.min_args = min;
+        self.max_args = None;
+        self
+    }
+
+    pub fn to_new(&mut self) -> &mut Self {
+        self.to_new = true;
+        self
+    }
+
+    pub fn with_cont(&mut self) -> &mut Self {
+        self.with_cont = true;
+        self
+    }
+
+    pub fn conditional(&mut self) -> &mut Self {
+        self.conditional = true;
+        self
+    }
+
+    pub fn ordered(&mut self) -> &mut Self {
+        self.ordered = true;
+        self
+    }
+
+    pub fn fanout(&mut self, n: u64) -> &mut Self {
+        self.fanout = Bound::Finite(n);
+        self
+    }
+
+    pub fn fanout_unbounded(&mut self) -> &mut Self {
+        self.fanout = Bound::Unbounded;
+        self
+    }
+
+    fn accepts_argc(&self, argc: u32) -> bool {
+        argc >= self.min_args && self.max_args.map_or(true, |m| argc <= m)
+    }
+}
+
+/// Declared effects of one event handler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventDecl {
+    /// Full `thread::event` name.
+    pub name: String,
+    pub min_args: u32,
+    /// `None` leaves incoming arity unchecked.
+    pub max_args: Option<u32>,
+    pub sends: Vec<SendDecl>,
+    /// The handler may reply on a stored continuation (a send whose
+    /// destination is a runtime continuation word, carrying no further
+    /// continuation itself). Such sends need no explicit [`SendDecl`].
+    pub replies: bool,
+    /// The handler may `yield_terminate`, freeing its thread context.
+    pub terminates: bool,
+    /// Same-thread resumption targets: labels this handler's thread
+    /// continues at without a recorded send (DRAM read returns, atomic
+    /// acks, replies delivered to a stored continuation).
+    pub resumes: Vec<String>,
+    /// The event is injected by the host driver.
+    pub from_host: bool,
+    /// Full name of the spawn-target event whose thread group this
+    /// handler runs on. `None` means the handler roots its own group
+    /// (it is itself a spawn target or host entry point).
+    pub on: Option<String>,
+    /// Declared per-lane live-thread bound for the group this event
+    /// roots, overriding the spawn-fan-out derivation.
+    pub live_per_lane: Option<Bound>,
+    /// Per-lane scratchpad words the group this event roots may allocate.
+    pub spm_per_lane: Bound,
+}
+
+impl EventDecl {
+    fn new(name: String) -> EventDecl {
+        EventDecl {
+            name,
+            min_args: 0,
+            max_args: None,
+            sends: Vec::new(),
+            replies: false,
+            terminates: false,
+            resumes: Vec::new(),
+            from_host: false,
+            on: None,
+            live_per_lane: None,
+            spm_per_lane: Bound::Finite(0),
+        }
+    }
+
+    /// Declare the exact inclusive incoming operand-count range.
+    pub fn args(&mut self, min: u32, max: u32) -> &mut Self {
+        self.min_args = min;
+        self.max_args = Some(max);
+        self
+    }
+
+    pub fn args_at_least(&mut self, min: u32) -> &mut Self {
+        self.min_args = min;
+        self.max_args = None;
+        self
+    }
+
+    /// Declare a send to a single target event.
+    pub fn send(&mut self, target: &str, cfg: impl FnOnce(&mut SendDecl)) -> &mut Self {
+        let mut sd = SendDecl::to_targets(&[target]);
+        cfg(&mut sd);
+        self.sends.push(sd);
+        self
+    }
+
+    /// Declare a send whose destination is any of `targets`.
+    pub fn send_any(&mut self, targets: &[&str], cfg: impl FnOnce(&mut SendDecl)) -> &mut Self {
+        let mut sd = SendDecl::to_targets(targets);
+        cfg(&mut sd);
+        self.sends.push(sd);
+        self
+    }
+
+    pub fn replies(&mut self) -> &mut Self {
+        self.replies = true;
+        self
+    }
+
+    pub fn terminates(&mut self) -> &mut Self {
+        self.terminates = true;
+        self
+    }
+
+    /// Declare a same-thread resumption target (see [`EventDecl::resumes`]).
+    pub fn resumes(&mut self, target: &str) -> &mut Self {
+        self.resumes.push(target.to_string());
+        self
+    }
+
+    pub fn from_host(&mut self) -> &mut Self {
+        self.from_host = true;
+        self
+    }
+
+    /// Declare that this handler runs on threads of the group rooted at
+    /// `root` (a spawn-target event name) instead of rooting its own.
+    pub fn on(&mut self, root: &str) -> &mut Self {
+        self.on = Some(root.to_string());
+        self
+    }
+
+    pub fn live_per_lane(&mut self, n: u64) -> &mut Self {
+        self.live_per_lane = Some(Bound::Finite(n));
+        self
+    }
+
+    pub fn live_unbounded(&mut self) -> &mut Self {
+        self.live_per_lane = Some(Bound::Unbounded);
+        self
+    }
+
+    pub fn spm_per_lane(&mut self, words: u64) -> &mut Self {
+        self.spm_per_lane = Bound::Finite(words);
+        self
+    }
+
+    pub fn spm_unbounded(&mut self) -> &mut Self {
+        self.spm_per_lane = Bound::Unbounded;
+        self
+    }
+
+    fn accepts_argc(&self, argc: u32) -> bool {
+        argc >= self.min_args && self.max_args.map_or(true, |m| argc <= m)
+    }
+}
+
+/// Declared events of one thread-type class.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ThreadDecl {
+    pub name: String,
+    /// Keyed by full `thread::event` name.
+    pub events: BTreeMap<String, EventDecl>,
+}
+
+impl ThreadDecl {
+    /// Get-or-create the declaration for event `event` (short name,
+    /// without the class prefix).
+    pub fn event(&mut self, event: &str) -> &mut EventDecl {
+        let full = format!("{}::{}", self.name, event);
+        self.events
+            .entry(full.clone())
+            .or_insert_with(|| EventDecl::new(full))
+    }
+}
+
+/// A whole-program protocol specification: thread-type classes and their
+/// declared events.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ProgramSpec {
+    pub threads: BTreeMap<String, ThreadDecl>,
+}
+
+impl ProgramSpec {
+    pub fn new() -> ProgramSpec {
+        ProgramSpec::default()
+    }
+
+    /// Get-or-create the declaration block for thread-type `name`.
+    pub fn thread(&mut self, name: &str) -> &mut ThreadDecl {
+        self.threads
+            .entry(name.to_string())
+            .or_insert_with(|| ThreadDecl {
+                name: name.to_string(),
+                events: BTreeMap::new(),
+            })
+    }
+
+    /// Get-or-create an event declaration by full `thread::event` name.
+    pub fn event_mut(&mut self, full: &str) -> &mut EventDecl {
+        let class = class_of(full).to_string();
+        let td = self.thread(&class);
+        td.events
+            .entry(full.to_string())
+            .or_insert_with(|| EventDecl::new(full.to_string()))
+    }
+
+    /// Look up an event declaration by full name.
+    pub fn event(&self, full: &str) -> Option<&EventDecl> {
+        self.threads.get(class_of(full))?.events.get(full)
+    }
+
+    /// Whether the class of `full` has any declarations (enforcement
+    /// scope: events of undeclared classes are ignored).
+    pub fn declares_class(&self, class: &str) -> bool {
+        self.threads.contains_key(class)
+    }
+
+    /// All declared events in deterministic order.
+    pub fn events(&self) -> impl Iterator<Item = &EventDecl> {
+        self.threads.values().flat_map(|t| t.events.values())
+    }
+
+    /// The group root for a declared event: its `on` target if declared,
+    /// otherwise itself.
+    pub fn group_of<'a>(&'a self, full: &'a str) -> &'a str {
+        match self.event(full).and_then(|e| e.on.as_deref()) {
+            Some(root) => root,
+            None => full,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+}
+
+/// Certified per-lane bounds for one thread group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupBound {
+    /// Full name of the group's root (spawn-target) event.
+    pub root: String,
+    /// Per-lane live-thread upper bound.
+    pub live: Bound,
+    /// `true` if `live` was derived from spawn fan-out rather than
+    /// declared with `live_per_lane`.
+    pub derived: bool,
+    /// Per-lane scratchpad-word upper bound.
+    pub spm: Bound,
+}
+
+/// Whole-program per-lane resource certification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Certification {
+    pub groups: Vec<GroupBound>,
+    pub threads_per_lane: Bound,
+    pub spm_words_per_lane: Bound,
+}
+
+/// Derive per-lane resource bounds from spawn fan-out declarations.
+///
+/// A group's live bound is, unless declared with `live_per_lane`, the sum
+/// over all `to_new` send edges targeting its root of
+/// `live(sender's group) * fanout`, plus 1 if the root is host-injected.
+/// Spawn cycles make the bound `Unbounded`.
+pub fn certify(spec: &ProgramSpec) -> Certification {
+    // Group roots: every event some `to_new` send targets, every
+    // host-injected event, plus anything with a declared live bound or a
+    // nonzero spm bound that roots itself.
+    let mut roots: Vec<String> = Vec::new();
+    let push_root = |name: &str, roots: &mut Vec<String>| {
+        if !roots.iter().any(|r| r == name) {
+            roots.push(name.to_string());
+        }
+    };
+    for ev in spec.events() {
+        if ev.on.is_none()
+            && (ev.from_host
+                || ev.live_per_lane.is_some()
+                || ev.spm_per_lane != Bound::Finite(0))
+        {
+            push_root(&ev.name, &mut roots);
+        }
+        for sd in &ev.sends {
+            if sd.to_new {
+                for t in &sd.targets {
+                    push_root(spec.group_of(t), &mut roots);
+                }
+            }
+        }
+    }
+    roots.sort();
+
+    // Spawn in-edges per root: (sender group, fanout).
+    let mut in_edges: BTreeMap<&str, Vec<(&str, Bound)>> = BTreeMap::new();
+    for ev in spec.events() {
+        let src_group = spec.group_of(&ev.name);
+        for sd in &ev.sends {
+            if !sd.to_new {
+                continue;
+            }
+            for t in &sd.targets {
+                in_edges
+                    .entry(spec.group_of(t))
+                    .or_default()
+                    .push((src_group, sd.fanout));
+            }
+        }
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Computing,
+        Done(Bound),
+    }
+    let mut state: BTreeMap<String, St> = BTreeMap::new();
+
+    fn live_of(
+        root: &str,
+        spec: &ProgramSpec,
+        in_edges: &BTreeMap<&str, Vec<(&str, Bound)>>,
+        state: &mut BTreeMap<String, St>,
+    ) -> Bound {
+        if let Some(st) = state.get(root) {
+            return match st {
+                St::Computing => Bound::Unbounded, // spawn cycle
+                St::Done(b) => *b,
+            };
+        }
+        if let Some(decl) = spec.event(root).and_then(|e| e.live_per_lane) {
+            state.insert(root.to_string(), St::Done(decl));
+            return decl;
+        }
+        state.insert(root.to_string(), St::Computing);
+        let mut total = if spec.event(root).is_some_and(|e| e.from_host) {
+            Bound::Finite(1)
+        } else {
+            Bound::Finite(0)
+        };
+        if let Some(edges) = in_edges.get(root) {
+            for (src, fanout) in edges {
+                if *src == root {
+                    // self-spawn: cycle
+                    total = Bound::Unbounded;
+                    continue;
+                }
+                let src_live = live_of(src, spec, in_edges, state);
+                total = total.add(src_live.mul(*fanout));
+            }
+        }
+        state.insert(root.to_string(), St::Done(total));
+        total
+    }
+
+    let mut groups = Vec::new();
+    let mut threads_total = Bound::Finite(0);
+    let mut spm_total = Bound::Finite(0);
+    for root in &roots {
+        let derived = spec.event(root).map_or(true, |e| e.live_per_lane.is_none());
+        let live = live_of(root, spec, &in_edges, &mut state);
+        let spm = spec
+            .event(root)
+            .map_or(Bound::Finite(0), |e| e.spm_per_lane);
+        threads_total = threads_total.add(live);
+        spm_total = spm_total.add(spm);
+        groups.push(GroupBound {
+            root: root.clone(),
+            live,
+            derived,
+            spm,
+        });
+    }
+    Certification {
+        groups,
+        threads_per_lane: threads_total,
+        spm_words_per_lane: spm_total,
+    }
+}
+
+/// Severity of a spec finding, mirroring `udcheck`'s scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpecSeverity {
+    Error,
+    Warning,
+    Info,
+}
+
+impl SpecSeverity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpecSeverity::Error => "error",
+            SpecSeverity::Warning => "warning",
+            SpecSeverity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for SpecSeverity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One deviation between declared and observed (or internally declared)
+/// behavior.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SpecFinding {
+    pub severity: SpecSeverity,
+    pub check: &'static str,
+    /// Full event name (or group root / `machine`) the finding is about.
+    pub subject: String,
+    pub message: String,
+}
+
+impl SpecFinding {
+    fn new(
+        severity: SpecSeverity,
+        check: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> SpecFinding {
+        SpecFinding {
+            severity,
+            check,
+            subject: subject.into(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Check an observed [`ProbeReport`] against declarations: the runtime
+/// enforcement half of udspec.
+///
+/// Scope rule: only events whose *class* appears in the spec are checked;
+/// host bookkeeping events of undeclared classes are ignored. The result
+/// is deterministic and independent of host thread count because the
+/// probe report itself is.
+pub fn check_report(
+    spec: &ProgramSpec,
+    report: &ProbeReport,
+    max_threads_per_lane: u16,
+    spm_words: u32,
+) -> Vec<SpecFinding> {
+    let mut out = Vec::new();
+    if spec.is_empty() {
+        return out;
+    }
+    for (&label, h) in &report.handlers {
+        if h.executions == 0 {
+            continue;
+        }
+        let name = report.handler_name(label);
+        if !spec.declares_class(class_of(&name)) {
+            continue;
+        }
+        let Some(decl) = spec.event(&name) else {
+            out.push(SpecFinding::new(
+                SpecSeverity::Error,
+                "undeclared-event",
+                name,
+                format!(
+                    "executed {} times but not declared by thread-type spec `{}`",
+                    h.executions,
+                    class_of(&name)
+                ),
+            ));
+            continue;
+        };
+        for &argc in &h.incoming_argcs {
+            if !decl.accepts_argc(argc) {
+                out.push(SpecFinding::new(
+                    SpecSeverity::Error,
+                    "arity-mismatch",
+                    name,
+                    format!(
+                        "received {argc}-operand message; spec declares {}..{}",
+                        decl.min_args,
+                        decl.max_args
+                            .map_or("*".to_string(), |m| m.to_string())
+                    ),
+                ));
+            }
+        }
+        if h.terminates > 0 && !decl.terminates {
+            out.push(SpecFinding::new(
+                SpecSeverity::Error,
+                "undeclared-terminate",
+                name,
+                format!(
+                    "terminated its thread {} times but spec declares no terminate edge",
+                    h.terminates
+                ),
+            ));
+        }
+        for (&dst, edge) in &h.sends {
+            let dst_name = report.handler_name(dst);
+            let matching: Vec<&SendDecl> = decl
+                .sends
+                .iter()
+                .filter(|sd| sd.targets.iter().any(|t| *t == dst_name))
+                .collect();
+            if matching.is_empty() {
+                // Replies to stored continuations carry no continuation
+                // of their own and need no explicit declaration.
+                if decl.replies && edge.with_cont == 0 {
+                    continue;
+                }
+                out.push(SpecFinding::new(
+                    SpecSeverity::Error,
+                    "undeclared-send",
+                    name,
+                    format!(
+                        "sent {} message(s) to `{}` with no matching declared send",
+                        edge.count, dst_name
+                    ),
+                ));
+                continue;
+            }
+            for &argc in &edge.argcs {
+                if !matching.iter().any(|sd| sd.accepts_argc(argc)) {
+                    out.push(SpecFinding::new(
+                        SpecSeverity::Error,
+                        "send-arity",
+                        name,
+                        format!(
+                            "sent {argc}-operand message to `{dst_name}`; no declared send to it allows that arity"
+                        ),
+                    ));
+                }
+            }
+            if edge.to_new > 0 && !matching.iter().any(|sd| sd.to_new) {
+                out.push(SpecFinding::new(
+                    SpecSeverity::Error,
+                    "undeclared-spawn",
+                    name,
+                    format!(
+                        "spawned {} thread(s) at `{}` but no declared send to it is marked to_new",
+                        edge.to_new, dst_name
+                    ),
+                ));
+            }
+            if edge.with_cont > 0 && !matching.iter().any(|sd| sd.with_cont) {
+                out.push(SpecFinding::new(
+                    SpecSeverity::Error,
+                    "undeclared-continuation",
+                    name,
+                    format!(
+                        "sent {} message(s) to `{}` carrying a continuation; declared send has none",
+                        edge.with_cont, dst_name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Cross-check observed per-lane highwaters against certified bounds.
+    let cert = certify(spec);
+    if let Bound::Finite(b) = cert.threads_per_lane {
+        let worst = report
+            .thread_highwater
+            .iter()
+            .map(|(&lane, &hw)| (hw, lane))
+            .max();
+        if let Some((hw, lane)) = worst {
+            if u64::from(hw) > b {
+                out.push(SpecFinding::new(
+                    SpecSeverity::Error,
+                    "thread-bound-exceeded",
+                    "machine".to_string(),
+                    format!(
+                        "lane {lane} reached {hw} live threads; certified per-lane bound is {b}"
+                    ),
+                ));
+            }
+        }
+    }
+    if let Bound::Finite(b) = cert.spm_words_per_lane {
+        let worst = report
+            .spm_highwater
+            .iter()
+            .map(|(&lane, &hw)| (hw, lane))
+            .max();
+        if let Some((hw, lane)) = worst {
+            if u64::from(hw) > b {
+                out.push(SpecFinding::new(
+                    SpecSeverity::Error,
+                    "spm-bound-exceeded",
+                    "machine".to_string(),
+                    format!(
+                        "lane {lane} allocated {hw} scratchpad words; certified per-lane bound is {b}"
+                    ),
+                ));
+            }
+        }
+    }
+    // Certified bounds must themselves fit the machine the run used.
+    if let Bound::Finite(b) = cert.threads_per_lane {
+        if b > u64::from(max_threads_per_lane) {
+            out.push(SpecFinding::new(
+                SpecSeverity::Warning,
+                "thread-bound-capacity",
+                "machine".to_string(),
+                format!(
+                    "certified per-lane thread bound {b} exceeds machine capacity {max_threads_per_lane}"
+                ),
+            ));
+        }
+    }
+    if let Bound::Finite(b) = cert.spm_words_per_lane {
+        if b > u64::from(spm_words) {
+            out.push(SpecFinding::new(
+                SpecSeverity::Warning,
+                "spm-bound-capacity",
+                "machine".to_string(),
+                format!(
+                    "certified per-lane scratchpad bound {b} words exceeds machine capacity {spm_words}"
+                ),
+            ));
+        }
+    }
+
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_spec() -> ProgramSpec {
+        let mut s = ProgramSpec::new();
+        {
+            let t = s.thread("drv");
+            t.event("start")
+                .from_host()
+                .args(1, 1)
+                .terminates()
+                .send("wk::run", |sd| {
+                    sd.to_new().with_cont().fanout(4).args(2, 2);
+                });
+        }
+        {
+            let t = s.thread("wk");
+            t.event("run")
+                .args(2, 2)
+                .replies()
+                .terminates()
+                .spm_per_lane(16);
+        }
+        s
+    }
+
+    #[test]
+    fn certify_derives_fanout_bounds() {
+        let cert = certify(&toy_spec());
+        let wk = cert.groups.iter().find(|g| g.root == "wk::run").unwrap();
+        assert_eq!(wk.live, Bound::Finite(4));
+        assert!(wk.derived);
+        assert_eq!(wk.spm, Bound::Finite(16));
+        let drv = cert.groups.iter().find(|g| g.root == "drv::start").unwrap();
+        assert_eq!(drv.live, Bound::Finite(1));
+        assert_eq!(cert.threads_per_lane, Bound::Finite(5));
+        assert_eq!(cert.spm_words_per_lane, Bound::Finite(16));
+    }
+
+    #[test]
+    fn certify_spawn_cycle_is_unbounded() {
+        let mut s = ProgramSpec::new();
+        s.thread("a").event("go").from_host().send("b::go", |sd| {
+            sd.to_new();
+        });
+        s.thread("b").event("go").send("a::go", |sd| {
+            sd.to_new();
+        });
+        let cert = certify(&s);
+        assert_eq!(cert.threads_per_lane, Bound::Unbounded);
+    }
+
+    #[test]
+    fn declared_live_overrides_derivation() {
+        let mut s = toy_spec();
+        s.event_mut("wk::run").live_per_lane(2);
+        let cert = certify(&s);
+        let wk = cert.groups.iter().find(|g| g.root == "wk::run").unwrap();
+        assert_eq!(wk.live, Bound::Finite(2));
+        assert!(!wk.derived);
+    }
+
+    #[test]
+    fn class_of_splits_on_last_separator() {
+        assert_eq!(class_of("a::b::c"), "a::b");
+        assert_eq!(class_of("plain"), "plain");
+    }
+
+    #[test]
+    fn empty_spec_checks_clean() {
+        let report = ProbeReport::default();
+        assert!(check_report(&ProgramSpec::new(), &report, 512, 8192).is_empty());
+    }
+}

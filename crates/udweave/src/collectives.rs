@@ -7,6 +7,7 @@
 //! logarithmically with machine size — one of the real costs that bounds
 //! strong scaling of small problems (§5.2).
 
+use updown_sim::spec::ProgramSpec;
 use updown_sim::{Engine, EventLabel, EventWord, NetworkId};
 
 /// A contiguous set of lanes targeted by a collective or a KVMSR
@@ -162,6 +163,47 @@ impl TreeComm {
             start: relay,
             fanout,
         }
+    }
+
+    /// Declare the relay/gather protocol of a tree installed as `name`
+    /// into a udspec [`ProgramSpec`] (docs/udspec.md). `user_targets` are
+    /// the full event names the tree may deliver on every lane; `payload`
+    /// is the inclusive range of payload word counts broadcast through
+    /// it. Pass the same `name` and `fanout` given to [`TreeComm::install`].
+    ///
+    /// The relay's self-recursion is declared `ordered`: each hop strictly
+    /// shrinks the heap interval, so the relay→relay wait cycle is
+    /// progress-ordered rather than a deadlock candidate.
+    pub fn spec_decl(
+        spec: &mut ProgramSpec,
+        name: &str,
+        fanout: u32,
+        user_targets: &[&str],
+        payload: (u32, u32),
+    ) {
+        let (pmin, pmax) = payload;
+        let relay_full = format!("thread::{name}::relay");
+        let t = spec.thread(&format!("thread::{name}"));
+        {
+            let relay = t.event("relay");
+            relay.args(4 + pmin, 4 + pmax).live_per_lane(1);
+            relay.send(&relay_full, |s| {
+                s.args(4 + pmin, 4 + pmax)
+                    .to_new()
+                    .with_cont()
+                    .conditional()
+                    .ordered()
+                    .fanout(u64::from(fanout));
+            });
+            relay.send_any(user_targets, |s| {
+                s.args(pmin, pmax).to_new().with_cont();
+            });
+        }
+        t.event("gather")
+            .args(1, 2)
+            .on(&relay_full)
+            .replies()
+            .terminates();
     }
 
     /// Build the start-message arguments for broadcasting `payload` over

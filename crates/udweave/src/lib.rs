@@ -45,6 +45,9 @@ pub use intrinsics::{evw_new, evw_update_event, IGNRCONT};
 pub use program::{event, simple_event, ThreadType};
 pub use queue::{QueueId, QueueLib};
 pub use spmalloc::{sp_malloc, SpSlice};
+pub use updown_sim::spec::{
+    Bound, EventDecl, ProgramSpec, SendDecl, SpecFinding, SpecSeverity, ThreadDecl,
+};
 
 /// Common imports for UDWeave-style programs.
 pub mod prelude {
@@ -53,6 +56,7 @@ pub mod prelude {
     pub use crate::intrinsics::{evw_new, evw_update_event, IGNRCONT};
     pub use crate::program::{event, simple_event, ThreadType};
     pub use crate::spmalloc::{sp_malloc, SpSlice};
+    pub use updown_sim::spec::ProgramSpec;
     pub use updown_sim::{
         EventCtx, EventLabel, EventWord, NetworkId, ThreadId, VAddr,
     };

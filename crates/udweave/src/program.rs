@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use updown_sim::spec::{ProgramSpec, ThreadDecl};
 use updown_sim::{Engine, EventCtx, EventLabel};
 
 /// A group of events sharing a thread-state type `S`.
@@ -32,6 +33,31 @@ use updown_sim::{Engine, EventCtx, EventLabel};
 pub struct ThreadType<S> {
     name: String,
     _marker: std::marker::PhantomData<fn(S)>,
+}
+
+impl<S> ThreadType<S> {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Get-or-create this thread type's declaration block in a protocol
+    /// spec: the `udspec` declared-effects layer. Event declarations made
+    /// through the returned [`ThreadDecl`] use the same `thread::event`
+    /// names [`ThreadType::event`] registers, so the static analyzer and
+    /// the runtime enforcer line up without string duplication.
+    ///
+    /// ```
+    /// use udweave::program::ThreadType;
+    /// use updown_sim::spec::ProgramSpec;
+    ///
+    /// let t = ThreadType::<u64>::new("worker");
+    /// let mut spec = ProgramSpec::new();
+    /// t.declare(&mut spec).event("run").args(2, 2).terminates();
+    /// assert!(spec.event("worker::run").is_some());
+    /// ```
+    pub fn declare<'a>(&self, spec: &'a mut ProgramSpec) -> &'a mut ThreadDecl {
+        spec.thread(&self.name)
+    }
 }
 
 impl<S: Default + Send + Clone + 'static> ThreadType<S> {

@@ -14,6 +14,7 @@ use std::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use updown_sim::spec::ProgramSpec;
 use updown_sim::{Engine, EventCtx, EventLabel, EventWord, NetworkId, VAddr};
 
 /// Handle to a created queue.
@@ -148,6 +149,31 @@ impl QueueLib {
             enqueue_l,
             dequeue_l,
         }
+    }
+
+    /// Declare the mpmc protocol into a udspec [`ProgramSpec`]
+    /// (docs/udspec.md). Enqueue and dequeue threads are spawned by
+    /// arbitrary client code, so their live bounds are declared unbounded;
+    /// clients that cap their own in-flight operations can tighten the
+    /// bounds by overriding `live_per_lane` after this call.
+    pub fn spec_decl(spec: &mut ProgramSpec) {
+        spec.thread("mpmc")
+            .event("enqueue")
+            .args(2, 2)
+            .replies()
+            .terminates()
+            .live_unbounded();
+        let t = spec.thread("thread::mpmc");
+        t.event("dequeue")
+            .args(1, 1)
+            .resumes("thread::mpmc::deq_relay")
+            .terminates()
+            .live_unbounded();
+        t.event("deq_relay")
+            .args(1, 1)
+            .on("thread::mpmc::dequeue")
+            .replies()
+            .terminates();
     }
 
     /// Create a queue of `capacity` words owned by `owner`, ring storage

@@ -115,7 +115,7 @@ fn kvmsr_delivers_exactly_once() {
         let mut eng = Engine::new(MachineConfig::small(2, 2, 4));
         let rt = Kvmsr::install(&mut eng);
         let set = LaneSet::all(eng.config());
-        let seen: Arc<Mutex<std::collections::HashMap<u64, u64>>> = Arc::default();
+        let seen: Arc<Mutex<std::collections::BTreeMap<u64, u64>>> = Arc::default();
         let seen2 = seen.clone();
         let job = rt.define_job(
             JobSpec::new("p", set, move |ctx, task, rt| {
@@ -283,7 +283,7 @@ fn engine_causality_and_clock_monotonicity() {
         let total_lanes = eng.config().total_lanes();
 
         // Per-node sequence of observed clocks, in execution order.
-        let clocks: Arc<Mutex<std::collections::HashMap<u32, Vec<u64>>>> = Arc::default();
+        let clocks: Arc<Mutex<std::collections::BTreeMap<u32, Vec<u64>>>> = Arc::default();
         let c2 = clocks.clone();
         // args: [sent_at, cross_node (0/1), hops_left, rng_state]
         let hop_l: Arc<Mutex<updown_sim::EventLabel>> =

@@ -152,6 +152,7 @@ fn all_apps_are_race_free_at_conformance_scale() {
                     probe: Some(flow.clone()),
                     race: Some(race.clone()),
                     sanitize: false,
+                    spec: None,
                 },
             );
             let r = race.snapshot();
@@ -184,6 +185,7 @@ fn udrace_document_is_byte_identical_across_thread_counts() {
                         probe: Some(flow.clone()),
                         race: Some(race.clone()),
                         sanitize: false,
+                        spec: None,
                     },
                 );
                 let graph = udcheck::EventFlowGraph::from_report(&flow.snapshot());

@@ -1,0 +1,178 @@
+//! End-to-end tests of `udspec`: the applications' declared-effects specs
+//! analyze clean with zero simulation ticks, the seeded-defect fixtures
+//! are flagged statically, runtime enforcement agrees with the
+//! declarations (and is byte-identical across host thread counts), and a
+//! deliberately wrong spec is caught by the engine's enforcement hook.
+
+use udcheck::apps::{run_app, spec_for, Probes, ALL_APPS};
+use udcheck::spec::{spm_blowup_fixture, wait_cycle_fixture};
+use udcheck::{render_spec_document, SpecAnalysis};
+use updown_sim::json::JsonValue;
+use updown_sim::spec::check_report;
+use updown_sim::{
+    DiagKind, Engine, EventWord, MachineConfig, NetworkId, ProtocolProbe, SpecSeverity,
+};
+
+const SEED: u64 = 10;
+
+fn caps() -> MachineConfig {
+    MachineConfig::small(2, 2, 8)
+}
+
+/// Every application's spec analyzes clean — statically, from the
+/// declarations alone. No engine is constructed anywhere in this test.
+#[test]
+fn all_app_specs_are_statically_clean() {
+    for app in ALL_APPS {
+        let a = SpecAnalysis::of(app, &spec_for(app), &caps());
+        assert!(
+            a.is_clean(),
+            "{app}: static spec findings:\n{}",
+            a.render_text()
+        );
+        assert!(a.n_events > 0, "{app}: empty spec");
+    }
+}
+
+/// The seeded wait-for-cycle fixture is flagged as an error with zero
+/// simulation ticks.
+#[test]
+fn wait_cycle_fixture_is_flagged() {
+    let a = SpecAnalysis::of("fixture", &wait_cycle_fixture(), &caps());
+    assert!(!a.is_clean());
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.check == "wait-cycle" && f.severity == SpecSeverity::Error),
+        "findings: {:?}",
+        a.findings
+    );
+}
+
+/// The seeded resource-blowup fixture is flagged against both per-lane
+/// capacities (thread table and scratchpad), again with zero ticks.
+#[test]
+fn spm_blowup_fixture_is_flagged() {
+    let a = SpecAnalysis::of("fixture", &spm_blowup_fixture(), &caps());
+    assert!(!a.is_clean());
+    for check in ["spm-bound-capacity", "thread-bound-capacity"] {
+        assert!(
+            a.findings
+                .iter()
+                .any(|f| f.check == check && f.severity == SpecSeverity::Error),
+            "missing {check} in {:?}",
+            a.findings
+        );
+    }
+}
+
+/// Run `app` at conformance scale with enforcement armed; return the full
+/// observed-vs-declared report.
+fn enforce(app: &str, threads: u32) -> Vec<updown_sim::SpecFinding> {
+    let spec = spec_for(app);
+    let probe = ProtocolProbe::new();
+    let probes = Probes {
+        probe: Some(probe.clone()),
+        race: None,
+        sanitize: false,
+        spec: Some(spec.clone()),
+    };
+    run_app(app, threads, SEED, &probes);
+    let mc = caps();
+    let report = probe.snapshot();
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.kind != DiagKind::SpecViolation),
+        "{app}: engine-side spec violations: {:?}",
+        report.diagnostics
+    );
+    check_report(&spec, &report, mc.max_threads_per_lane, mc.spm_words)
+}
+
+/// Observed behavior of every app matches its declarations at runtime.
+#[test]
+fn all_apps_enforce_clean() {
+    for app in ALL_APPS {
+        let findings = enforce(app, 2);
+        assert!(
+            findings
+                .iter()
+                .all(|f| f.severity != SpecSeverity::Error),
+            "{app}: enforcement errors: {findings:?}"
+        );
+    }
+}
+
+/// Enforcement findings are byte-identical across host thread counts —
+/// the probe summary is commutative and `check_report` is deterministic.
+#[test]
+fn enforcement_is_thread_count_invariant() {
+    let base = format!("{:?}", enforce("ingest", 1));
+    for threads in [2, 4] {
+        let got = format!("{:?}", enforce("ingest", threads));
+        assert_eq!(base, got, "ingest enforcement diverged at --threads {threads}");
+    }
+}
+
+/// A deliberately wrong spec is caught by the engine's own enforcement
+/// hook (`MachineConfig::enforce_spec`): the run finishes, and the probe
+/// carries deterministic SpecViolation diagnostics.
+#[test]
+fn engine_enforcement_catches_a_lying_spec() {
+    let mut spec = updown_sim::ProgramSpec::new();
+    // The handler will receive one operand and terminate; the spec claims
+    // three operands and no terminate edge.
+    spec.thread("fixture").event("victim").args(3, 3);
+    let probe = ProtocolProbe::new();
+    let mut mc = caps();
+    mc.probe = Some(probe.clone());
+    mc.enforce_spec = Some(spec);
+    let mut eng = Engine::new(mc);
+    let l = udweave::simple_event(&mut eng, "fixture::victim", |ctx| {
+        let _ = ctx.arg(0);
+        ctx.yield_terminate();
+    });
+    eng.send(EventWord::new(NetworkId(0), l), [7u64], EventWord::IGNORE);
+    eng.run();
+    let report = probe.snapshot();
+    let spec_viols: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.kind == DiagKind::SpecViolation)
+        .collect();
+    assert!(
+        spec_viols.iter().any(|d| d.detail.contains("arity-mismatch")),
+        "diagnostics: {:?}",
+        report.diagnostics
+    );
+    assert!(
+        spec_viols
+            .iter()
+            .any(|d| d.detail.contains("undeclared-terminate")),
+        "diagnostics: {:?}",
+        report.diagnostics
+    );
+}
+
+/// The `udspec/v1` document round-trips as JSON and carries the schema,
+/// certification and findings fields the CI job consumes.
+#[test]
+fn spec_document_round_trips_as_json() {
+    let analyses: Vec<SpecAnalysis> = ["pagerank", "bfs"]
+        .iter()
+        .map(|app| SpecAnalysis::of(app, &spec_for(app), &caps()))
+        .collect();
+    let doc = render_spec_document(&analyses);
+    let v = JsonValue::parse(&doc).expect("valid JSON");
+    assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("udspec/v1"));
+    assert!(matches!(v.get("clean"), Some(JsonValue::Bool(true))));
+    assert_eq!(v.get("errors").and_then(|e| e.as_u64()), Some(0));
+    let specs = v.get("specs").and_then(|s| s.as_arr()).unwrap();
+    assert_eq!(specs.len(), 2);
+    for s in specs {
+        assert!(s.get("certification").is_some());
+        assert!(s.get("findings").and_then(|f| f.as_arr()).is_some());
+    }
+}

@@ -20,8 +20,12 @@ deterministic simulators before:
 Scope: the deterministic core (`crates/sim`, `crates/core`,
 `crates/udweave`, plus `crates/graph` and `crates/memory`, whose outputs
 feed simulated runs), and `crates/analysis`, whose udcheck/udrace reports
-are byte-compared across thread counts in CI. The bench/apps/tests crates
-may measure host time for throughput displays and are exempt.
+are byte-compared across thread counts in CI. Test suites
+(`tests/tests/*.rs` and any `crates/*/tests/*.rs`) are linted too: they
+assert byte-identical results, so an order-randomized container or a
+wall-clock read inside a test silently weakens the very guarantee it
+checks. The bench/apps crates may measure host time for throughput
+displays and are exempt.
 
 Escape hatch: a line is exempt when it, or one of the two lines above it,
 contains `det-lint: allow` with a justification.
@@ -45,6 +49,12 @@ LINTED_DIRS = [
     "crates/graph/src",
     "crates/memory/src",
     "crates/analysis/src",
+]
+
+# Test suites, linted by glob: a crate without a tests/ directory is fine.
+LINTED_GLOBS = [
+    "tests/tests/*.rs",
+    "crates/*/tests/*.rs",
 ]
 
 # Crate roots and binaries that must open with #![forbid(unsafe_code)].
@@ -108,6 +118,9 @@ def main() -> int:
             print(f"determinism_lint: missing linted dir {d}", file=sys.stderr)
             return 2
         for path in sorted(base.rglob("*.rs")):
+            findings.extend(lint_file(path))
+    for glob in LINTED_GLOBS:
+        for path in sorted(root.glob(glob)):
             findings.extend(lint_file(path))
     findings.extend(check_forbid(root))
     for path, lineno, why, text in findings:
