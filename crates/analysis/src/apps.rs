@@ -70,6 +70,69 @@ fn machine(nodes: u32, threads: u32, p: &Probes) -> MachineConfig {
     m
 }
 
+/// Build the conformance-scale workload descriptor for one app: the same
+/// deterministic inputs as [`run_app`], fed to each app's `workload()`
+/// hook instead of its simulator entry point. Returns the workload, the
+/// machine it describes, and the app's declared spec — everything
+/// `udcost` needs, with zero simulation.
+///
+/// `app` must be canonical (see [`canon_app`]).
+///
+/// # Panics
+///
+/// Panics on a non-canonical app name.
+pub fn workload_for(
+    app: &str,
+    threads: u32,
+    seed: u64,
+) -> (updown_sim::spec::Workload, MachineConfig, ProgramSpec) {
+    let mc = machine(2, threads, &Probes::default());
+    let w = match app {
+        "pagerank" => {
+            let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), seed)));
+            let sg = split_in_out(&g, 64);
+            let mut cfg = PrConfig::new(2);
+            cfg.machine = mc.clone();
+            cfg.iterations = 2;
+            updown_apps::pagerank::workload(&sg, &cfg)
+        }
+        "bfs" => {
+            let g = Csr::from_edges(&dedup_sort(
+                rmat(8, RmatParams::default(), seed).symmetrize(),
+            ));
+            let mut cfg = BfsConfig::new(2, 0);
+            cfg.machine = mc.clone();
+            updown_apps::bfs::workload(&g, &cfg)
+        }
+        "tc" => {
+            let mut g = Csr::from_edges(&dedup_sort(
+                rmat(7, RmatParams::default(), seed).symmetrize(),
+            ));
+            g.sort_neighbors();
+            let mut cfg = TcConfig::new(2);
+            cfg.machine = mc.clone();
+            updown_apps::tc::workload(&g, &cfg)
+        }
+        "ingest" => {
+            let ds = datagen::generate(250, 120, seed);
+            let mut cfg = IngestConfig::new(2);
+            cfg.machine = mc.clone();
+            updown_apps::ingest::workload(&ds, &cfg)
+        }
+        "partial_match" => {
+            let ds = datagen::generate(200, 60, seed);
+            let mut cfg = PmConfig::new(8, vec![1, 2]);
+            cfg.machine = mc.clone();
+            cfg.batch = 16;
+            cfg.interval = 200;
+            cfg.feeders = 2;
+            updown_apps::partial_match::workload(&ds.records, &cfg)
+        }
+        other => panic!("unknown app '{other}' (use canon_app first)"),
+    };
+    (w, mc, spec_for(app))
+}
+
 /// Run one app at conformance scale with the given probes attached.
 /// `app` must be canonical (see [`canon_app`]).
 ///

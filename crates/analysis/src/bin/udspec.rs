@@ -8,17 +8,20 @@
 //!
 //! ```text
 //! udspec [APPS...] [--threads N] [--seed S] [--json] [--out PATH]
-//!        [--enforce] [--fixture NAME]
+//!        [--enforce] [--fixture NAME] [--dot]
 //! ```
 //!
 //! `APPS` defaults to all five: pagerank bfs tc ingest partial_match.
 //! `--fixture wait-cycle|spm-blowup` analyzes a seeded-defect spec
 //! instead of an app (exit status proves the defect is caught).
+//! `--dot` prints each declared event-flow graph as Graphviz in text
+//! mode; combined with `--out PATH` it also writes one `.dot` file per
+//! spec alongside the JSON document (parity with `udcheck --dot`).
 
 use std::io::Write as _;
 
 use udcheck::apps::{canon_app, run_app, spec_for, Probes, ALL_APPS};
-use udcheck::spec::{spm_blowup_fixture, wait_cycle_fixture};
+use udcheck::spec::{spec_to_dot, spm_blowup_fixture, wait_cycle_fixture};
 use udcheck::{render_spec_document, SpecAnalysis};
 use updown_sim::spec::check_report;
 use updown_sim::{MachineConfig, ProgramSpec, ProtocolProbe};
@@ -31,12 +34,13 @@ struct Opts {
     out: Option<String>,
     enforce: bool,
     fixtures: Vec<String>,
+    dot: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: udspec [APPS...] [--threads N] [--seed S] [--json] [--out PATH] \
-         [--enforce] [--fixture NAME]\n\
+         [--enforce] [--fixture NAME] [--dot]\n\
          \n\
          APPS: pagerank|pr  bfs  tc  ingest  partial_match|pm   (default: all)\n\
          --threads N     simulator worker threads for --enforce (default 1)\n\
@@ -45,6 +49,8 @@ fn usage() -> ! {
          --out PATH      also write the JSON document to PATH\n\
          --enforce       also run each app with runtime spec enforcement\n\
          --fixture NAME  analyze a seeded-defect fixture instead of an app\n\
+         --dot           print declared event-flow graphs as Graphviz; with\n\
+                         --out PATH, also write per-spec .dot files\n\
          \n\
          fixtures: wait-cycle  spm-blowup"
     );
@@ -60,6 +66,7 @@ fn parse_opts() -> Opts {
         out: None,
         enforce: false,
         fixtures: Vec::new(),
+        dot: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,6 +76,7 @@ fn parse_opts() -> Opts {
             "--json" => o.json = true,
             "--out" => o.out = Some(it.next().unwrap_or_else(|| usage())),
             "--enforce" => o.enforce = true,
+            "--dot" => o.dot = true,
             "--fixture" => o.fixtures.push(it.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             app => match canon_app(app) {
@@ -128,12 +136,15 @@ fn main() {
     // are the capacities certified bounds must fit.
     let mc = MachineConfig::small(2, 2, 8);
     let mut analyses: Vec<SpecAnalysis> = Vec::new();
+    let mut specs: Vec<ProgramSpec> = Vec::new();
     for f in &o.fixtures {
         let spec = fixture_spec(f);
         analyses.push(SpecAnalysis::of(&format!("fixture:{f}"), &spec, &mc));
+        specs.push(spec);
     }
     for app in &o.apps {
         analyses.push(check_app(app, &o, &mc));
+        specs.push(spec_for(app));
     }
 
     let doc = render_spec_document(&analyses);
@@ -142,13 +153,29 @@ fn main() {
             eprintln!("udspec: cannot write {path}: {e}");
             std::process::exit(2);
         });
+        // `--dot --out report.json` also writes one Graphviz file per
+        // spec (report.pagerank.dot, ...) alongside the JSON document.
+        if o.dot {
+            let stem = path.strip_suffix(".json").unwrap_or(path);
+            for (a, spec) in analyses.iter().zip(&specs) {
+                let name = a.app.replace(':', "_");
+                let dot_path = format!("{stem}.{name}.dot");
+                std::fs::write(&dot_path, spec_to_dot(spec, &a.app)).unwrap_or_else(|e| {
+                    eprintln!("udspec: cannot write {dot_path}: {e}");
+                    std::process::exit(2);
+                });
+            }
+        }
     }
     if o.json {
         println!("{doc}");
     } else {
         let mut stdout = std::io::stdout().lock();
-        for a in &analyses {
+        for (a, spec) in analyses.iter().zip(&specs) {
             let _ = stdout.write_all(a.render_text().as_bytes());
+            if o.dot {
+                let _ = stdout.write_all(spec_to_dot(spec, &a.app).as_bytes());
+            }
         }
         let unclean: Vec<&str> = analyses
             .iter()

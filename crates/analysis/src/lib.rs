@@ -44,9 +44,13 @@ use updown_sim::json::JsonWriter;
 use updown_sim::{ProbeReport, ProtocolProbe};
 
 pub mod apps;
+pub mod cost;
 pub mod race;
 pub mod spec;
 
+pub use cost::{
+    analyze_cost, calibrate, render_cost_document, render_cost_text, Calibration, CostReport,
+};
 pub use race::{
     conflicted_regions, may_race, race_findings, render_race_document, RaceAnalysis,
 };

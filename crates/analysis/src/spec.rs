@@ -284,8 +284,8 @@ pub fn consistency_findings(spec: &ProgramSpec) -> Vec<SpecFinding> {
                 };
                 // Operand ranges must intersect, or no message on this
                 // edge can ever be accepted.
-                let hi_ok = dst.max_args.map_or(true, |m| sd.min_args <= m);
-                let lo_ok = sd.max_args.map_or(true, |m| m >= dst.min_args);
+                let hi_ok = dst.max_args.is_none_or(|m| sd.min_args <= m);
+                let lo_ok = sd.max_args.is_none_or(|m| m >= dst.min_args);
                 if !(hi_ok && lo_ok) {
                     out.push(finding(
                         SpecSeverity::Error,
@@ -475,6 +475,73 @@ impl SpecAnalysis {
         }
         s
     }
+}
+
+/// Render a declared [`ProgramSpec`] as a Graphviz digraph: one cluster
+/// per declared thread class, one node per event, solid edges for
+/// declared sends (labelled with their fanout; `cont` marks
+/// continuation-carrying waits, `new` thread-spawning sends) and dashed
+/// edges for same-thread resumptions. Host-injected events render as
+/// doubled boxes. Parity with `udcheck --dot`, but from declarations
+/// alone — no run, no probe.
+pub fn spec_to_dot(spec: &ProgramSpec, title: &str) -> String {
+    // Stable node ids: position in the spec's sorted event order.
+    let ids: BTreeMap<&str, usize> = spec
+        .events()
+        .enumerate()
+        .map(|(i, e)| (e.name.as_str(), i))
+        .collect();
+    let mut s = String::new();
+    s.push_str(&format!("digraph \"{title}\" {{\n  rankdir=LR;\n"));
+    for (ci, (tname, t)) in spec.threads.iter().enumerate() {
+        s.push_str(&format!(
+            "  subgraph cluster_{ci} {{\n    label=\"{tname}\";\n"
+        ));
+        for e in t.events.values() {
+            let shape = if e.from_host { "box, peripheries=2" } else { "box" };
+            let short = e.name.rsplit("::").next().unwrap_or(&e.name);
+            s.push_str(&format!(
+                "    n{} [label=\"{}\\nargs {}..{}\", shape={}];\n",
+                ids[e.name.as_str()],
+                short,
+                e.min_args,
+                e.max_args.map_or("*".to_string(), |m| m.to_string()),
+                shape
+            ));
+        }
+        s.push_str("  }\n");
+    }
+    for e in spec.events() {
+        let src = ids[e.name.as_str()];
+        for sd in &e.sends {
+            let fan = match sd.fanout {
+                Bound::Finite(n) => format!("x{n}"),
+                Bound::Unbounded => "x*".to_string(),
+            };
+            let mut label = fan;
+            if sd.with_cont {
+                label.push_str(" cont");
+            }
+            if sd.to_new {
+                label.push_str(" new");
+            }
+            let style = if sd.conditional { ", style=dotted" } else { "" };
+            for t in &sd.targets {
+                if let Some(&dst) = ids.get(t.as_str()) {
+                    s.push_str(&format!(
+                        "  n{src} -> n{dst} [label=\"{label}\"{style}];\n"
+                    ));
+                }
+            }
+        }
+        for r in &e.resumes {
+            if let Some(&dst) = ids.get(r.as_str()) {
+                s.push_str(&format!("  n{src} -> n{dst} [style=dashed];\n"));
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
 }
 
 /// Render a full `udspec/v1` document over a set of analyses.

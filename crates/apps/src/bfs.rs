@@ -206,6 +206,66 @@ pub fn spec() -> udweave::ProgramSpec {
     spec
 }
 
+/// Workload descriptor for `udcost` (docs/analysis.md): predicted event
+/// counts for [`run_bfs`] on this exact graph and config.
+///
+/// A host-side BFS gives the per-level frontiers; each level is one
+/// KVMSR round over `n_accels` keys. The per-accelerator frontier
+/// counts are reproduced exactly — reduce placement is Hash-bound, so a
+/// vertex's frontier segment is `hash(v) % lanes / lanes_per_accel` —
+/// which fixes the chunk-worker fan-out per round.
+pub fn workload(g: &Csr, cfg: &BfsConfig) -> udweave::Workload {
+    let mc = &cfg.machine;
+    let set = LaneSet::all(mc);
+    let lanes_per_accel = mc.lanes_per_accel;
+    let n_accels = (mc.nodes * mc.accels_per_node) as usize;
+    let levels = updown_graph::algorithms::bfs(g, cfg.root);
+    let deepest = levels.iter().filter(|&&l| l != u64::MAX).max().copied().unwrap_or(0);
+    // Round r scans frontier r; the run stops after the round that adds
+    // nothing, so the deepest level's round still executes.
+    let rounds = deepest + 1;
+
+    // Per-(round, accel) frontier occupancy. The root is seeded into
+    // accelerator 0; every later vertex lands on its reduce lane's accel.
+    let mut cnt = vec![0u64; rounds as usize * n_accels];
+    let mut reached = 0u64;
+    let mut return_nl = 0.0;
+    let mut scanned = 0.0;
+    for v in 0..g.n() {
+        let l = levels[v as usize];
+        if l == u64::MAX {
+            continue;
+        }
+        reached += 1;
+        let deg = g.degree(v) as f64;
+        scanned += deg;
+        return_nl += (deg / 8.0).ceil();
+        let accel = if l == 0 {
+            0
+        } else {
+            kvmsr::ReduceBinding::Hash.lane_for(v as u64, &set).0 / lanes_per_accel
+        };
+        cnt[l as usize * n_accels + accel as usize] += 1;
+    }
+    let chunks: f64 = cnt.iter().map(|&c| (c as f64 / 8.0).ceil()).sum();
+
+    let mut w = udweave::Workload::new();
+    let r = rounds as f64;
+    kvmsr::skeleton_workload(&mut w, mc, r, r * n_accels as f64, r);
+    w.count("thread::bfs_master::returnCount", r * n_accels as f64)
+        .count("thread::bfs_master::worker_ack", chunks)
+        .count("thread::bfs_worker::start", chunks)
+        .count("thread::bfs_worker::returnIds", chunks)
+        .count("thread::bfs_worker::returnRec", reached as f64)
+        .count("thread::bfs_worker::returnNl", return_nl)
+        .count("kvmsr::kv_reduce", scanned)
+        .count("thread::bfs_reduce::writeAck", 3.0 * (reached.saturating_sub(1)) as f64)
+        .count("main_master::init", r)
+        .count("main_master::map_launcher_done", r)
+        .count("main_master::reduce_launcher_done", r);
+    w
+}
+
 /// Run BFS over an unsplit CSR (directed expansion along out-edges).
 pub fn run_bfs(g: &Csr, cfg: &BfsConfig) -> BfsResult {
     let mc = &cfg.machine;

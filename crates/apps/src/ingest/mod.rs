@@ -411,6 +411,44 @@ pub fn spec() -> udweave::ProgramSpec {
     spec
 }
 
+/// Workload descriptor for `udcost` (docs/analysis.md): predicted event
+/// counts for [`run_ingest`] on this exact dataset and config.
+///
+/// Both phases are replayed host-side: phase 1's block reads mirror the
+/// chunking loop in `tform_parse` (including the spill-over words), and
+/// phase 2's PGA insert fan-out is 1 op per vertex record and 3 per edge
+/// record, each individually acked.
+pub fn workload(ds: &Dataset, cfg: &IngestConfig) -> udweave::Workload {
+    let mc = &cfg.machine;
+    let file_bytes = ds.csv.len();
+    let file_words = file_bytes.div_ceil(8).max(1) as u64;
+    let bs = cfg.block_bytes;
+    let n_blocks = file_bytes.div_ceil(bs).max(1);
+    let mut return_block = 0.0;
+    for b in 0..n_blocks {
+        let start_w = (b * bs) as u64 / 8;
+        let end_w = ((((b + 1) * bs).min(file_bytes) as u64).div_ceil(8) + 8).min(file_words);
+        return_block += ((end_w - start_w) as f64 / 8.0).ceil();
+    }
+    let n_records = ds.records.len() as f64;
+    let n_edge_recs = ds.records.iter().filter(|r| r.rtype != 0).count() as f64;
+    let ops = (n_records - n_edge_recs) + 3.0 * n_edge_recs;
+
+    let mut w = udweave::Workload::new();
+    // Two back-to-back map-only jobs (no reduce phase): blocks, records.
+    kvmsr::skeleton_workload(&mut w, mc, 2.0, n_blocks as f64 + n_records, 0.0);
+    w.count("thread::tform::returnBlock", return_block)
+        .count("thread::tform::writeAck", n_records)
+        .count("thread::ingest::returnRecord", n_records)
+        .count("thread::ingest::insertAck", ops)
+        .count("thread::sht::op", ops)
+        .count("thread::sht::op_fin", ops)
+        .count("main::init", 1.0)
+        .count("main::phase1_done", 1.0)
+        .count("main::phase2_done", 1.0);
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

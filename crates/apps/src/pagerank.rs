@@ -235,6 +235,142 @@ pub fn spec() -> udweave::ProgramSpec {
     spec
 }
 
+/// Predicted workload facts for `udcost` (docs/analysis.md): absolute
+/// per-event execution counts and per-node work weights computed from the
+/// split graph and machine shape alone — host arithmetic, zero simulation
+/// ticks. The formulas mirror the `run_pagerank` driver: per iteration
+/// one zero job over the accumulation cells, one map job over the
+/// sub-vertices, and (in the in/out-split regime) one aggregation job
+/// over the roots, all on the KVMSR skeleton (per-lane launch/epilogue,
+/// tree collectives, two poll rounds).
+pub fn workload(sg: &SplitGraph, cfg: &PrConfig) -> udweave::Workload {
+    let iters = cfg.iterations.max(1) as f64;
+    let lanes = cfg.machine.total_lanes() as u64;
+    let nodes = cfg.machine.nodes.max(1);
+    let n = sg.n_orig as u64;
+    let n_sub = sg.n_sub() as u64;
+    let use_subs = sg.targets_are_subs;
+    let n_acc = if use_subs { n_sub } else { n };
+    let edges = sg.neighbors.len() as u64;
+    // Per-map-task read traffic: one record read, then (for sub-vertices
+    // with neighbors) one source read plus the neighbor list in 8-word
+    // chunks; each neighbor becomes one emitted kv_reduce message.
+    let mut nz = 0u64;
+    let mut read_chunks = 0u64;
+    for s in 0..sg.n_sub() {
+        let d = sg.sub_degree(s) as u64;
+        if d > 0 {
+            nz += 1;
+            read_chunks += d.div_ceil(8);
+        }
+    }
+    // Aggregation job: per root one first_sub read, then the sub cells in
+    // 8-word chunks.
+    let mut agg_chunks = 0u64;
+    if use_subs {
+        for v in 0..n as usize {
+            let subs = (sg.first_sub[v + 1] - sg.first_sub[v]) as u64;
+            agg_chunks += subs.div_ceil(8).max(1);
+        }
+    }
+    let jobs = if use_subs { 3.0 } else { 2.0 }; // zero + map (+ agg) per iter
+    let keys_per_iter = n_acc + n_sub + if use_subs { n } else { 0 };
+
+    let mut w = udweave::Workload::new();
+    // Driver events, then the shared KVMSR skeleton (launch/tree/poll
+    // formulas live with the runtime they describe), then the per-iter
+    // reduce stream.
+    w.count("pr_driver::updown_init", 1.0)
+        .count("pr_driver::zero_done", iters)
+        .count("pr_driver::iter_done", iters)
+        .count("pr_driver::agg_done", if use_subs { iters } else { 0.0 });
+    kvmsr::skeleton_workload(
+        &mut w,
+        &cfg.machine,
+        jobs * iters,
+        iters * keys_per_iter as f64,
+        iters,
+    );
+    w.count("kvmsr::kv_reduce", iters * edges as f64);
+    // Map-side worker chain and reduce-side acknowledgements.
+    w.count("thread::PageRankWorker::returnRecord", iters * n_sub as f64)
+        .count("thread::PageRankWorker::returnPr", iters * nz as f64)
+        .count(
+            "thread::PageRankWorker::returnRead",
+            iters * read_chunks as f64,
+        );
+    if cfg.combining {
+        // Combining cache: one flush ack per distinct cached cell.
+        let cached = n_acc.min(256 * lanes);
+        w.count("thread::pr_reduce::addAck", 0.0)
+            .count("thread::pr_flush::ack", iters * cached as f64);
+    } else {
+        w.count("thread::pr_reduce::addAck", iters * edges as f64)
+            .count("thread::pr_flush::ack", 0.0);
+    }
+    w.count(
+        "thread::pr_agg::returnFs",
+        if use_subs { iters * n as f64 } else { 0.0 },
+    )
+    .count(
+        "thread::pr_agg::returnCells",
+        if use_subs { iters * agg_chunks as f64 } else { 0.0 },
+    );
+
+    // Mean emit fan-out of the one data-dependent spawn edge.
+    w.fanout(
+        "thread::PageRankWorker::returnRead",
+        "kvmsr::kv_reduce",
+        edges as f64 / read_chunks.max(1) as f64,
+    );
+    // Task completion notifications target the task's own launcher lane.
+    w.local("thread::PageRankWorker::returnRecord", "kvmsr_launcher::task_done")
+        .local("thread::PageRankWorker::returnRead", "kvmsr_launcher::task_done")
+        .local("thread::pr_agg::returnCells", "kvmsr_launcher::task_done");
+
+    // Per-node weights: per-lane skeleton work and hash-bound reduces
+    // spread uniformly; map tasks follow the Block key partition, so the
+    // per-key worker chain lands on the key's block lane.
+    let uniform = jobs * 3.0 * lanes as f64            // launch + relay
+        + jobs * 2.0 * (2 * lanes - 1) as f64          // gather
+        + 3.0 * lanes as f64                           // epilogue + 2 polls
+        + edges as f64 * if cfg.combining { 1.0 } else { 2.0 };
+    let mut weights = vec![uniform / nodes as f64; nodes as usize];
+    let lanes_per_node = cfg.machine.lanes_per_node().max(1) as u64;
+    let mut add_block = |keys: u64, per_key: &dyn Fn(u64) -> f64| {
+        if keys == 0 {
+            return;
+        }
+        let share = keys.div_ceil(lanes).max(1);
+        for (i, wt) in weights.iter_mut().enumerate() {
+            let lane_lo = i as u64 * lanes_per_node;
+            let lane_hi = lane_lo + lanes_per_node;
+            let key_lo = (lane_lo * share).min(keys);
+            let key_hi = (lane_hi * share).min(keys);
+            for k in key_lo..key_hi {
+                *wt += per_key(k);
+            }
+        }
+    };
+    // zero job: kv_map + task_done per cell.
+    add_block(n_acc, &|_| 2.0);
+    // map job: kv_map + task_done + record, plus the per-degree chain.
+    add_block(n_sub, &|k| {
+        let d = sg.sub_degree(k as u32) as f64;
+        3.0 + if d > 0.0 { 1.0 + (d / 8.0).ceil() } else { 0.0 }
+    });
+    // aggregation job: kv_map + task_done + first_sub + cell chunks.
+    if use_subs {
+        add_block(n, &|k| {
+            let v = k as usize;
+            let subs = (sg.first_sub[v + 1] - sg.first_sub[v]) as f64;
+            3.0 + (subs / 8.0).ceil().max(1.0)
+        });
+    }
+    w.weights(weights);
+    w
+}
+
 /// Run PageRank over a pre-split graph (either splitting regime).
 pub fn run_pagerank(sg: &SplitGraph, cfg: &PrConfig) -> PrResult {
     let mut eng = Engine::new(cfg.machine.clone());

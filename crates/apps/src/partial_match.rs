@@ -414,6 +414,63 @@ pub fn spec() -> udweave::ProgramSpec {
     spec
 }
 
+/// Workload descriptor for `udcost` (docs/analysis.md): predicted event
+/// counts for [`run_partial_match`] on this exact stream and config.
+///
+/// Feeder firings replay the batch/stride schedule (credit backpressure
+/// ignored — it delays firings, it does not add any). The match chain is
+/// replayed in sequential arrival order, which is an approximation: under
+/// parallel arrival a record can observe more or less prefix state, so
+/// the `fetch_or` count (and with it `orAck`) can shift slightly.
+pub fn workload(records: &[RawRecord], cfg: &PmConfig) -> udweave::Workload {
+    let n = records.len();
+    let n_feeders = cfg.feeders.clamp(1, cfg.lanes) as usize;
+    let batch = cfg.batch.max(1);
+    let per_batch = batch.div_ceil(n_feeders).max(1);
+    let mut feeder = 0.0;
+    for f in 0..n_feeders {
+        let count_f = n.saturating_sub(f).div_ceil(n_feeders);
+        feeder += count_f.div_ceil(per_batch).max(1) as f64;
+    }
+
+    // Sequential replay of the match chain (see `sequential_matches`).
+    let mut state: std::collections::BTreeMap<u64, u64> = Default::default();
+    let mut n_edges = 0.0;
+    let mut n_or = 0.0;
+    for r in records {
+        if r.rtype == 0 {
+            continue;
+        }
+        n_edges += 1.0;
+        let (s, d, t) = (r.fields[0], r.fields[1], r.fields[2] as u16);
+        let bits = state.get(&s).copied().unwrap_or(0) | 1;
+        let mut new = 0u64;
+        for (i, &pt) in cfg.pattern.iter().enumerate() {
+            if pt == t && bits & (1 << i) != 0 {
+                new |= 1 << (i + 1);
+            }
+        }
+        if new == 0 {
+            continue;
+        }
+        n_or += 1.0;
+        *state.entry(d).or_insert(0) |= new;
+    }
+    let n_verts = n as f64 - n_edges;
+    let ops = n_verts + 2.0 * n_edges + n_or;
+
+    let mut w = udweave::Workload::new();
+    w.count("thread::pm::feeder", feeder)
+        .count("thread::pm::recProc", n as f64)
+        .count("thread::pm::edgeAck", n_edges)
+        .count("thread::pm::stateRet", n_edges)
+        .count("thread::pm::orAck", n_or)
+        .count("thread::pm::complete", n as f64)
+        .count("thread::sht::op", ops)
+        .count("thread::sht::op_fin", ops);
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

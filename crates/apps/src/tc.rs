@@ -184,6 +184,64 @@ pub fn spec() -> udweave::ProgramSpec {
     spec
 }
 
+/// Workload descriptor for `udcost` (docs/analysis.md): predicted event
+/// counts for [`run_tc`] on this exact graph and config.
+///
+/// Map-side counts are exact (one streamed read chunk per 8 neighbors,
+/// one reduce pair per edge `y < x`). Reduce-side chunk counts depend on
+/// where the streaming intersection early-exits; we approximate the merge
+/// as consuming `min(deg x, deg y)` entries per side, clipped by the
+/// prefetch depth over-fetch — exact would require replaying every merge.
+pub fn workload(g: &Csr, cfg: &TcConfig) -> udweave::Workload {
+    let mc = &cfg.machine;
+    let n = g.n() as f64;
+    let mut return_read = 0.0;
+    let mut pairs = 0.0;
+    let mut dual_chunks = 0.0;
+    let mut load_spd = 0.0;
+    let mut stream_spd = 0.0;
+    for x in 0..g.n() {
+        let dx = g.degree(x) as f64;
+        if dx > 0.0 {
+            return_read += (dx / 8.0).ceil();
+        }
+        for &y in g.neigh(x) {
+            if y >= x {
+                continue;
+            }
+            pairs += 1.0;
+            let dy = g.degree(y) as f64;
+            let (lo, hi) = if dx < dy { (dx, dy) } else { (dy, dx) };
+            let budget = (lo / 8.0).ceil() + TC_PREFETCH as f64;
+            dual_chunks += budget.min((dx / 8.0).ceil()) + budget.min((dy / 8.0).ceil());
+            load_spd += (lo / 8.0).ceil();
+            stream_spd += (hi / 8.0).ceil();
+        }
+    }
+
+    let mut w = udweave::Workload::new();
+    kvmsr::skeleton_workload(&mut w, mc, 1.0, n, 1.0);
+    w.count("thread::tc_map::returnRec", n)
+        .count("thread::tc_map::returnRead", return_read)
+        .count("kvmsr::kv_reduce", pairs)
+        .count("thread::tc_reduce::returnRec", 2.0 * pairs)
+        .count("main_master::init_tc", 1.0)
+        .count("main_master::tc_launcher_done", 1.0);
+    match cfg.variant {
+        TcVariant::DualStream => {
+            w.count("thread::tc_reduce::returnChunk", dual_chunks)
+                .count("thread::tc_reduce::loadSpd", 0.0)
+                .count("thread::tc_reduce::streamVsSpd", 0.0);
+        }
+        TcVariant::SpdReuse => {
+            w.count("thread::tc_reduce::returnChunk", 0.0)
+                .count("thread::tc_reduce::loadSpd", load_spd)
+                .count("thread::tc_reduce::streamVsSpd", stream_spd);
+        }
+    }
+    w
+}
+
 /// Count triangles of an undirected, deduplicated, neighbor-sorted CSR.
 pub fn run_tc(g: &Csr, cfg: &TcConfig) -> TcResult {
     let mc = &cfg.machine;

@@ -10,14 +10,14 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin baseline_compare -- [--scale 14]
-//!     [--nodes 16] [--seed 0] [--threads 1] [--topology uniform] [--sanitize] [--race] [--spec]
+//!     [--nodes 16] [--seed 0] [--threads 1] [--topology uniform] [--sanitize] [--race] [--spec] [--cost]
 //!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine, bench_machine_topo};
+use bench::{Checkpoint, Cli, CostGate, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine, bench_machine_topo};
 use updown_apps::baseline;
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -38,6 +38,7 @@ fn main() {
     let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
+    let cg = CostGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
     let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(4);
 
@@ -71,6 +72,8 @@ fn main() {
     ck.arm(&mut pc.machine);
     rp.arm(&mut pc.machine);
     pc.iterations = 2;
+    let w = cg.enabled().then(|| updown_apps::pagerank::workload(&sg, &pc));
+    cg.arm("pr", &updown_apps::pagerank::spec(), w, &mut pc.machine);
     pc.trace = ex.want_trace();
     let pr = run_pagerank(&sg, &pc);
     ex.export("pr", &pr.report, pr.trace_json.as_deref());
@@ -100,6 +103,8 @@ fn main() {
     spg.arm("bfs", &updown_apps::bfs::spec(), &mut bc.machine);
     ck.arm(&mut bc.machine);
     rp.arm(&mut bc.machine);
+    let w = cg.enabled().then(|| updown_apps::bfs::workload(&gu, &bc));
+    cg.arm("bfs", &updown_apps::bfs::spec(), w, &mut bc.machine);
     let bfs = run_bfs(&gu, &bc);
     assert_eq!(bfs.dist, algorithms::bfs(&gu, 0));
     let ud_gteps = bfs.gteps(&bc.machine);
@@ -123,6 +128,8 @@ fn main() {
     spg.arm("tc", &updown_apps::tc::spec(), &mut tcfg.machine);
     ck.arm(&mut tcfg.machine);
     rp.arm(&mut tcfg.machine);
+    let w = cg.enabled().then(|| updown_apps::tc::workload(&gu, &tcfg));
+    cg.arm("tc", &updown_apps::tc::spec(), w, &mut tcfg.machine);
     let tc = run_tc(&gu, &tcfg);
     let ud_eps = gu.m() as f64 / tcfg.machine.ticks_to_seconds(tc.final_tick) / 1e9;
     let (host_tc, host_secs) = baseline::time(|| baseline::tc_parallel(&gu, threads));
@@ -141,7 +148,7 @@ fn main() {
          Perlmutter/EOS — the shape to reproduce is the orders-of-magnitude gap)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || cg.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -5,11 +5,11 @@
 //! ```text
 //! cargo run --release -p bench --bin figure10 -- [--nodes 32]
 //!     [--base-records 20000] [--seed 0] [--threads 1] [--topology uniform] [--full]
-//!     [--sanitize] [--race] [--spec]
+//!     [--sanitize] [--race] [--spec] [--cost]
 //!     [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts, node_sweep};
+use bench::{Checkpoint, Cli, CostGate, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts, node_sweep};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::ingest::{datagen, run_ingest, IngestConfig};
 
@@ -24,6 +24,7 @@ fn main() {
     let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
+    let cg = CostGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
 
     println!("Figure 10 reproduction — ingestion scaling (records = {base} x multiplier)");
@@ -44,6 +45,8 @@ fn main() {
             spg.arm(&format!("ingest {label} nodes={n}"), &updown_apps::ingest::spec(), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
+            let w = cg.enabled().then(|| updown_apps::ingest::workload(&ds, &cfg));
+            cg.arm(&format!("ingest {label} nodes={n}"), &updown_apps::ingest::spec(), w, &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_ingest(&ds, &cfg);
@@ -67,7 +70,7 @@ fn main() {
          small datasets saturating early and large ones scaling further)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || cg.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -4,12 +4,12 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure11 -- [--records 4000] [--seed 0]
-//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race] [--spec]
+//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race] [--spec] [--cost]
 //!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 
-use bench::{BENCH_ACCELS, BENCH_LANES, Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate};
+use bench::{BENCH_ACCELS, BENCH_LANES, Checkpoint, Cli, CostGate, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate};
 use updown_sim::TopologyKind;
 use updown_apps::ingest::datagen;
 use updown_apps::partial_match::{run_partial_match, sequential_matches, PmConfig};
@@ -27,6 +27,7 @@ fn main() {
     let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
+    let cg = CostGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
     let lanes_per_node = BENCH_ACCELS * BENCH_LANES;
 
@@ -64,6 +65,8 @@ fn main() {
         cfg.batch = cli.get("batch", 96);
         cfg.interval = cli.get("interval", 32);
         cfg.feeders = 8;
+        let w = cg.enabled().then(|| updown_apps::partial_match::workload(&ds.records, &cfg));
+        cg.arm(&format!("pm {label}"), &updown_apps::partial_match::spec(), w, &mut cfg.machine);
         cfg.trace = ex.want_trace();
         let t0 = std::time::Instant::now();
         let r = run_partial_match(&ds.records, &cfg);
@@ -90,7 +93,7 @@ fn main() {
     }
     println!("\n(the paper's Table 12: speedups 1.00 / 3.34 / 5.56 / 10.42)");
     let dirty = san.dirty();
-    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || cg.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -5,14 +5,14 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figure12 -- [--nodes 64] [--seed 0]
-//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race] [--spec]
+//!     [--threads 1] [--topology uniform] [--full] [--sanitize] [--race] [--spec] [--cost]
 //!     [--trace out.trace.json]
 //!     [--metrics-json out.metrics.json]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale (not a shift as elsewhere).
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine_topo, prepared};
+use bench::{Checkpoint, Cli, CostGate, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine_topo, prepared};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
@@ -31,6 +31,7 @@ fn main() {
     let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
+    let cg = CostGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
@@ -59,6 +60,8 @@ fn main() {
         rp.arm(&mut pc.machine);
         pc.mem_nodes = Some(mem);
         pc.iterations = 1;
+        let w = cg.enabled().then(|| updown_apps::pagerank::workload(&sg, &pc));
+        cg.arm(&format!("pr mem_nodes={mem}"), &updown_apps::pagerank::spec(), w, &mut pc.machine);
         pc.trace = ex.want_trace();
         let pr = run_pagerank(&sg, &pc);
         ex.export(&format!("pr mem_nodes={mem}"), &pr.report, pr.trace_json.as_deref());
@@ -72,6 +75,8 @@ fn main() {
         ck.arm(&mut bc.machine);
         rp.arm(&mut bc.machine);
         bc.mem_nodes = Some(mem);
+        let w = cg.enabled().then(|| updown_apps::bfs::workload(&g, &bc));
+        cg.arm(&format!("bfs mem_nodes={mem}"), &updown_apps::bfs::spec(), w, &mut bc.machine);
         let bfs = run_bfs(&g, &bc);
 
         if pr_base == 0 {
@@ -94,7 +99,7 @@ fn main() {
          trend less pronounced)"
     );
     let dirty = san.dirty();
-    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || cg.dirty() || dirty {
         std::process::exit(1);
     }
 }

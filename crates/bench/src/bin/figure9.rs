@@ -6,7 +6,7 @@
 //! cargo run --release -p bench --bin figure9 -- [pr|bfs|tc|all]
 //!     [--nodes 32] [--min-nodes 1] [--scale 0] [--seed 0] [--iters 2] [--threads 1]
 //!     [--topology uniform] [--full]
-//!     [--sanitize] [--race] [--spec] [--trace out.trace.json] [--metrics-json out.metrics.json]
+//!     [--sanitize] [--race] [--spec] [--cost] [--trace out.trace.json] [--metrics-json out.metrics.json]
 //! ```
 //!
 //! `--full` raises the sweep to 256 nodes (TC: 1024) and the graphs by two
@@ -14,7 +14,7 @@
 //! and `--metrics-json` export the first simulated run of the sweep as a
 //! Chrome trace / metrics document (see docs/observability.md).
 
-use bench::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts, graph_menu_seeded, node_sweep, prepared, prepared_undirected};
+use bench::{Checkpoint, Cli, CostGate, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts, graph_menu_seeded, node_sweep, prepared, prepared_undirected};
 use updown_apps::bfs::{run_bfs, BfsConfig};
 use updown_apps::harness::{print_speedup_table, Series};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
@@ -31,6 +31,7 @@ fn pr_sweep(
     spg: &SpecGate,
     ck: &Checkpoint,
     rp: &ReplayGate,
+    cg: &CostGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(opts.scale_shift, opts.seed) {
@@ -46,6 +47,8 @@ fn pr_sweep(
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
             cfg.iterations = iters;
+            let w = cg.enabled().then(|| updown_apps::pagerank::workload(&sg, &cfg));
+            cg.arm(&format!("pr {name} nodes={n}"), &updown_apps::pagerank::spec(), w, &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_pagerank(&sg, &cfg);
@@ -74,6 +77,7 @@ fn bfs_sweep(
     spg: &SpecGate,
     ck: &Checkpoint,
     rp: &ReplayGate,
+    cg: &CostGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     for (name, el) in graph_menu_seeded(opts.scale_shift, opts.seed) {
@@ -87,6 +91,8 @@ fn bfs_sweep(
             spg.arm(&format!("bfs {name} nodes={n}"), &updown_apps::bfs::spec(), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
+            let w = cg.enabled().then(|| updown_apps::bfs::workload(&g, &cfg));
+            cg.arm(&format!("bfs {name} nodes={n}"), &updown_apps::bfs::spec(), w, &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_bfs(&g, &cfg);
@@ -116,6 +122,7 @@ fn tc_sweep(
     spg: &SpecGate,
     ck: &Checkpoint,
     rp: &ReplayGate,
+    cg: &CostGate,
 ) -> Vec<Series> {
     let mut out = Vec::new();
     // TC is intersection-heavy: drop the graphs three scales relative to
@@ -132,6 +139,8 @@ fn tc_sweep(
             spg.arm(&format!("tc {name} nodes={n}"), &updown_apps::tc::spec(), &mut cfg.machine);
             ck.arm(&mut cfg.machine);
             rp.arm(&mut cfg.machine);
+            let w = cg.enabled().then(|| updown_apps::tc::workload(&g, &cfg));
+            cg.arm(&format!("tc {name} nodes={n}"), &updown_apps::tc::spec(), w, &mut cfg.machine);
             cfg.trace = ex.want_trace();
             let t0 = std::time::Instant::now();
             let r = run_tc(&g, &cfg);
@@ -175,6 +184,7 @@ fn main() {
     let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
+    let cg = CostGate::from_cli(&cli);
     let mut ex = Exporter::from_cli(&cli);
 
     println!("Figure 9 reproduction — strong scaling on the UpDown simulator");
@@ -187,7 +197,7 @@ fn main() {
     );
 
     if which == "pr" || which == "all" {
-        let series = pr_sweep(&opts, &nodes, iters, &mut ex, &san, &rg, &spg, &ck, &rp);
+        let series = pr_sweep(&opts, &nodes, iters, &mut ex, &san, &rg, &spg, &ck, &rp, &cg);
         print_speedup_table(
             "Figure 9 (left) / Table 8: PageRank speedup",
             "nodes",
@@ -195,7 +205,7 @@ fn main() {
         );
     }
     if which == "bfs" || which == "all" {
-        let series = bfs_sweep(&opts, &nodes, &mut ex, &san, &rg, &spg, &ck, &rp);
+        let series = bfs_sweep(&opts, &nodes, &mut ex, &san, &rg, &spg, &ck, &rp, &cg);
         print_speedup_table(
             "Figure 9 (center) / Table 9: BFS speedup",
             "nodes",
@@ -207,7 +217,7 @@ fn main() {
             .into_iter()
             .filter(|&n| n >= min_nodes)
             .collect();
-        let series = tc_sweep(&opts, &tc_nodes, &mut ex, &san, &rg, &spg, &ck, &rp);
+        let series = tc_sweep(&opts, &tc_nodes, &mut ex, &san, &rg, &spg, &ck, &rp, &cg);
         print_speedup_table(
             "Figure 9 (right) / Table 10: TC speedup",
             "nodes",
@@ -215,7 +225,7 @@ fn main() {
         );
     }
     let dirty = san.dirty();
-    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || cg.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -9,7 +9,7 @@
 //!     [--scale 13] [--seed 0] [--iters 1] [--threads 1,2,4] [--topology uniform]
 //!     [--steal on|off] [--window-batch 8] [--min-speedup 0]
 //!     [--json-out BENCH_parallel.json] [--mode-check on|off]
-//!     [--sanitize] [--race] [--spec]
+//!     [--sanitize] [--race] [--spec] [--cost]
 //! ```
 //!
 //! Here `--scale` is the absolute RMAT scale and `--threads` a
@@ -32,7 +32,7 @@
 //! thread-timing dependent, so they appear in the table and the JSON
 //! file but never in the byte-compared metrics.
 
-use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine_topo};
+use bench::{Checkpoint, Cli, CostGate, RaceGate, ReplayGate, Sanitizer, SpecGate, bench_machine_topo};
 use updown_apps::pagerank::{run_pagerank, PrConfig};
 use updown_graph::generators::{rmat, RmatParams};
 use updown_graph::preprocess::split_and_shuffle;
@@ -61,6 +61,7 @@ fn main() {
     let spg = SpecGate::from_cli(&cli);
     let ck = Checkpoint::from_cli(&cli);
     let rp = ReplayGate::from_cli(&cli);
+    let cg = CostGate::from_cli(&cli);
     let host_cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
 
     let el = rmat(scale, RmatParams::default(), 48 ^ seed);
@@ -86,6 +87,8 @@ fn main() {
         ck.arm(&mut cfg.machine);
         rp.arm(&mut cfg.machine);
         cfg.iterations = iters;
+        let w = cg.enabled().then(|| updown_apps::pagerank::workload(&sg, &cfg));
+        cg.arm(label, &updown_apps::pagerank::spec(), w, &mut cfg.machine);
         let t0 = std::time::Instant::now();
         let r = run_pagerank(&sg, &cfg);
         (r, t0.elapsed().as_secs_f64())
@@ -210,7 +213,7 @@ fn main() {
     }
 
     let dirty = san.dirty();
-    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || cg.dirty() || dirty {
         std::process::exit(1);
     }
 }

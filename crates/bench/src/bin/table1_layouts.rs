@@ -2,9 +2,9 @@
 //! Table 1 demonstration: the four canonical DRAMmalloc layouts, showing
 //! the node placement each translation descriptor produces.
 //!
-//! `cargo run --release -p bench --bin table1_layouts [--topology uniform] [--sanitize] [--race] [--spec]`
+//! `cargo run --release -p bench --bin table1_layouts [--topology uniform] [--sanitize] [--race] [--spec] [--cost]`
 
-use bench::{Checkpoint, Cli, RaceGate, ReplayGate, Sanitizer, SpecGate};
+use bench::{Checkpoint, Cli, CostGate, RaceGate, ReplayGate, Sanitizer, SpecGate};
 use drammalloc::{dram_malloc_layout, Layout};
 use updown_sim::{Engine, MachineConfig, VAddr};
 
@@ -35,6 +35,11 @@ fn main() {
     spg.arm("layouts", &updown_sim::ProgramSpec::new(), &mut cfg);
     ck.arm(&mut cfg);
     rp.arm(&mut cfg);
+    // Same story for --cost: no declared protocol, so the prediction is
+    // vacuous, but the flag stays accepted everywhere.
+    let cg = CostGate::from_cli(&cli);
+    let w = cg.enabled().then(updown_sim::spec::Workload::new);
+    cg.arm("layouts", &updown_sim::ProgramSpec::new(), w, &mut cfg);
     let mut eng = Engine::new(cfg);
 
     let a = dram_malloc_layout(&mut eng, 64 * 4096, Layout::cyclic(16)).unwrap();
@@ -53,7 +58,7 @@ fn main() {
     println!("\n(each number is the physical node owning consecutive blocks of the");
     println!(" virtual region — one translation descriptor per allocation)");
     let dirty = san.dirty();
-    if rg.dirty() || spg.dirty() || rp.dirty() || dirty {
+    if rg.dirty() || spg.dirty() || rp.dirty() || cg.dirty() || dirty {
         std::process::exit(1);
     }
 }

@@ -3,7 +3,7 @@
 //! abstractions, counted from this repository and set against the paper's
 //! UDWeave numbers.
 //!
-//! `cargo run --release -p bench --bin table5_loc [--topology uniform] [--sanitize] [--race] [--spec]`
+//! `cargo run --release -p bench --bin table5_loc [--topology uniform] [--sanitize] [--race] [--spec] [--cost]`
 //! (`--sanitize` is accepted for CLI uniformity; this binary runs no
 //! simulation, so there is nothing to sanitize)
 
@@ -42,6 +42,9 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--spec") {
         eprintln!("table5_loc: --spec accepted, but this binary runs no simulation");
+    }
+    if std::env::args().any(|a| a == "--cost") {
+        eprintln!("table5_loc: --cost accepted, but this binary runs no simulation");
     }
     if std::env::args().any(|a| a == "--topology") {
         eprintln!("table5_loc: --topology accepted, but this binary runs no simulation");

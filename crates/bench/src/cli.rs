@@ -10,7 +10,8 @@
 //! `chrome://tracing` without multi-gigabyte outputs.
 
 use updown_sim::{
-    DiagKind, MachineConfig, Metrics, ProgramSpec, ProtocolProbe, RaceProbe, TopologyKind,
+    DiagKind, MachineConfig, Metrics, ProgramSpec, ProtocolProbe, RaceProbe, SpecSeverity,
+    TopologyKind,
 };
 
 /// Minimal flag parsing: `--key value` pairs plus positional args.
@@ -388,6 +389,87 @@ impl SpecGate {
     }
 
     /// Tail-of-`main` helper: report and exit non-zero on violations.
+    pub fn exit_if_dirty(&self) {
+        if self.dirty() {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--cost` support for the figure binaries: before each armed run,
+/// predict its load and traffic statically with `udcost`
+/// ([`udcheck::analyze_cost`]) and seed the parallel scheduler's shard
+/// claim order with the prediction ([`MachineConfig::cost_hints`]), so
+/// window 0 claims the predicted-heaviest shard first instead of
+/// discovering the ranking one window late. Scheduling-only: simulated
+/// results are byte-identical with hints on or off. At the end of `main`
+/// the gate prints one prediction summary per run and exits non-zero if
+/// any prediction carried error-severity findings; see docs/analysis.md.
+pub struct CostGate {
+    enabled: bool,
+    runs: std::sync::Mutex<Vec<udcheck::CostReport>>,
+}
+
+impl CostGate {
+    pub fn from_cli(cli: &Cli) -> CostGate {
+        CostGate {
+            enabled: cli.has("cost"),
+            runs: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Predict the run `label` describes and seed `cfg.cost_hints` from
+    /// the prediction. Callers gate the workload construction on
+    /// [`CostGate::enabled`] (`cg.enabled().then(|| app::workload(..))`)
+    /// so disabled sweeps pay nothing.
+    pub fn arm(
+        &self,
+        label: &str,
+        spec: &ProgramSpec,
+        workload: Option<updown_sim::spec::Workload>,
+        cfg: &mut MachineConfig,
+    ) {
+        let Some(w) = workload else { return };
+        if !self.enabled {
+            return;
+        }
+        let report = udcheck::analyze_cost(label, spec, &w, cfg);
+        cfg.cost_hints = report.shard_hints();
+        self.runs.lock().unwrap().push(report);
+    }
+
+    /// Print every prediction summary to stderr; returns whether any
+    /// prediction carried an error-severity finding.
+    pub fn dirty(&self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let runs = self.runs.lock().unwrap();
+        let mut dirty = false;
+        for r in runs.iter() {
+            eprintln!(
+                "udcost[{}]: predicted {:.0} events, {:.0} msgs \
+                 ({:.0} inter-node), imbalance {:.2}x; hints {:?}",
+                r.app,
+                r.total_events,
+                r.total_msgs,
+                r.inter_node_msgs,
+                r.imbalance,
+                r.shard_hints()
+            );
+            for f in &r.findings {
+                dirty |= f.severity == SpecSeverity::Error;
+                eprintln!("udcost[{}] [{}] {}: {}", r.app, f.severity, f.check, f.message);
+            }
+        }
+        dirty
+    }
+
+    /// Tail-of-`main` helper: report and exit non-zero on errors.
     pub fn exit_if_dirty(&self) {
         if self.dirty() {
             std::process::exit(1);

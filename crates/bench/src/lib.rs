@@ -1,62 +1,26 @@
 #![forbid(unsafe_code)]
-//! Shared plumbing for the figure-regeneration binaries: scaled-down
-//! machine shapes, the graph menu standing in for the paper's inputs, and
-//! tiny CLI parsing.
+//! Shared plumbing for the figure-regeneration binaries: tiny CLI
+//! parsing, gates (sanitize/race/spec/cost/checkpoint/replay), exporters,
+//! and wall-clock timing.
 //!
-//! Scaling note (see DESIGN.md §1): the paper simulates full 2048-lane
-//! nodes against billion-edge graphs. To keep host runtimes in minutes we
-//! default to reduced nodes (`accels × lanes` below) and s11–s14 graphs;
-//! `--full` raises both. Strong-scaling *shape* depends on keys-per-lane
-//! and skew, which these settings preserve.
+//! The machine shapes and the graph menu standing in for the paper's
+//! inputs moved to [`updown_apps::harness`] so that analysis tools
+//! (`udcost --figure9`) can reconstruct bench inputs without depending on
+//! this crate; they are re-exported here so bench binaries and external
+//! callers keep their spelling.
 
 pub mod cli;
 pub mod timing;
 
-pub use cli::{Checkpoint, Cli, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts};
+pub use cli::{
+    Checkpoint, Cli, CostGate, Exporter, RaceGate, ReplayGate, Sanitizer, SpecGate, StdOpts,
+};
+pub use updown_apps::harness::{
+    bench_machine, bench_machine_threads, bench_machine_topo, graph_menu, graph_menu_seeded,
+    node_sweep, prepared, prepared_undirected, BENCH_ACCELS, BENCH_LANES,
+};
 
-use updown_graph::generators::{erdos_renyi, forest_fire, rmat, RmatParams};
-use updown_graph::preprocess::dedup_sort;
-use updown_graph::{Csr, EdgeList};
-use updown_sim::{MachineConfig, TopologyKind};
-
-/// Accelerators per node in scaled-down benches.
-pub const BENCH_ACCELS: u32 = 4;
-/// Lanes per accelerator in scaled-down benches.
-pub const BENCH_LANES: u32 = 32;
-
-/// A scaled-down UpDown machine with `nodes` nodes (128 lanes/node).
-///
-/// Per-node memory and NIC bandwidth scale with the lane count so the
-/// bandwidth-per-lane ratio matches the full 2048-lane node — otherwise a
-/// shrunken node is never bandwidth-bound and placement effects
-/// (Figure 12) vanish.
-pub fn bench_machine(nodes: u32) -> MachineConfig {
-    MachineConfig::builder()
-        .nodes(nodes)
-        .accels_per_node(BENCH_ACCELS)
-        .lanes_per_accel(BENCH_LANES)
-        .scaled_bandwidth()
-        .build()
-}
-
-/// [`bench_machine`] with the simulator's parallel engine enabled when
-/// `threads > 1`. Simulated results are byte-identical either way — the
-/// flag only changes host wall-clock (see docs/parallel-engine.md).
-pub fn bench_machine_threads(nodes: u32, threads: u32) -> MachineConfig {
-    let mut cfg = bench_machine(nodes);
-    cfg.threads = threads.max(1);
-    cfg
-}
-
-/// [`bench_machine_threads`] on a selected system-network topology (see
-/// docs/network.md). `uniform` reproduces [`bench_machine_threads`]
-/// exactly; routed topologies change cross-node transit times and
-/// surface per-link congestion in the metrics JSON.
-pub fn bench_machine_topo(nodes: u32, threads: u32, topology: TopologyKind) -> MachineConfig {
-    let mut cfg = bench_machine_threads(nodes, threads);
-    cfg.net.topology = topology;
-    cfg
-}
+use updown_sim::MachineConfig;
 
 impl StdOpts {
     /// The machine the shared flags ask for: `nodes` nodes at
@@ -67,85 +31,5 @@ impl StdOpts {
         cfg.steal = self.steal;
         cfg.window_batch = self.window_batch;
         cfg
-    }
-}
-
-/// The graph menu used across Figure 9 (names echo the paper's inputs).
-pub fn graph_menu(scale_shift: i32) -> Vec<(String, EdgeList)> {
-    graph_menu_seeded(scale_shift, 0)
-}
-
-/// [`graph_menu`] with a `--seed` offset folded into every generator.
-pub fn graph_menu_seeded(scale_shift: i32, seed: u64) -> Vec<(String, EdgeList)> {
-    let s = |base: u32| (base as i32 + scale_shift).max(6) as u32;
-    vec![
-        (
-            format!("RMAT s{}", s(14)),
-            rmat(s(14), RmatParams::default(), 48 ^ seed),
-        ),
-        (
-            format!("Erdos-Renyi s{}", s(14)),
-            erdos_renyi(s(14), 16, 48 ^ seed),
-        ),
-        (
-            format!("ForestFire s{}", s(14)),
-            forest_fire(s(14), 0.4, 48 ^ seed),
-        ),
-        // A deliberately small graph: the soc-livej role in the paper's
-        // plots — strong scaling saturates early.
-        (
-            format!("small s{}", s(11)),
-            rmat(s(11), RmatParams::default(), 7 ^ seed),
-        ),
-    ]
-}
-
-/// Directed CSR after `tsv`-style preprocessing.
-pub fn prepared(el: &EdgeList) -> Csr {
-    Csr::from_edges(&dedup_sort(el.clone()))
-}
-
-/// Undirected sorted CSR (TC input).
-pub fn prepared_undirected(el: &EdgeList) -> Csr {
-    let mut g = Csr::from_edges(&dedup_sort(el.clone().symmetrize()));
-    g.sort_neighbors();
-    g
-}
-
-/// Node-count sweep: 1..=max by powers of two.
-pub fn node_sweep(max: u32) -> Vec<u32> {
-    let mut v = vec![];
-    let mut n = 1;
-    while n <= max {
-        v.push(n);
-        n *= 2;
-    }
-    v
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bandwidth_scales_with_lanes() {
-        let cfg = bench_machine(4);
-        let full = MachineConfig::default();
-        let ratio_full = full.mem.node_bytes_per_cycle as f64 / full.lanes_per_node() as f64;
-        let ratio_bench = cfg.mem.node_bytes_per_cycle as f64 / cfg.lanes_per_node() as f64;
-        assert!((ratio_full - ratio_bench).abs() / ratio_full < 0.05);
-    }
-
-    #[test]
-    fn sweep_is_powers_of_two() {
-        assert_eq!(node_sweep(16), vec![1, 2, 4, 8, 16]);
-        assert_eq!(node_sweep(1), vec![1]);
-    }
-
-    #[test]
-    fn menu_has_four_graphs() {
-        let m = graph_menu(-4);
-        assert_eq!(m.len(), 4);
-        assert!(m[0].0.starts_with("RMAT"));
     }
 }

@@ -29,5 +29,5 @@ pub mod task;
 
 pub use binding::{key_hash, KeyRange, MapBinding, ReduceBinding};
 pub use doall::define_do_all;
-pub use runtime::{spec, spec_with, JobSpec, Kvmsr, MapFn, ReduceFn};
+pub use runtime::{skeleton_workload, spec, spec_with, JobSpec, Kvmsr, MapFn, ReduceFn};
 pub use task::{JobId, MapTask, Outcome, ReduceTask};

@@ -865,6 +865,46 @@ pub fn spec_with(window: u64, max_set_lanes: u64) -> udweave::ProgramSpec {
     spec
 }
 
+/// Accumulate the KVMSR skeleton's predicted event counts into a
+/// [`udweave::Workload`] for `udcost` static cost analysis: one master
+/// start / maps_done per job, a per-lane launch broadcast, the fanout-8
+/// tree's relay and gather traffic (two broadcasts and two reductions per
+/// job), one kv_map + task_done per key, and — for the `reduce_jobs` jobs
+/// that have a reduce phase — the per-lane epilogue sweep plus two poll
+/// rounds. These counts depend only on the machine shape and job/key
+/// totals, never on simulated state.
+pub fn skeleton_workload(
+    w: &mut udweave::Workload,
+    mc: &updown_sim::MachineConfig,
+    jobs: f64,
+    keys: f64,
+    reduce_jobs: f64,
+) {
+    let lanes = mc.total_lanes() as f64;
+    w.count("kvmsr_master::start", jobs)
+        .count("kvmsr_master::maps_done", jobs)
+        .count("kvmsr_master::poll_result", 2.0 * reduce_jobs)
+        .count("kvmsr_master::epilogue_done", reduce_jobs)
+        .count("kvmsr_launcher::launch", jobs * lanes)
+        .count("kvmsr_launcher::task_done", keys)
+        .count("kvmsr::kv_map", keys)
+        .count("kvmsr::epilogue", reduce_jobs * lanes)
+        .count("kvmsr::poll_probe", 2.0 * reduce_jobs * lanes)
+        .count("thread::kvmsr_tree::relay", jobs * 2.0 * lanes)
+        .count(
+            "thread::kvmsr_tree::gather",
+            jobs * 2.0 * (2.0 * lanes - 1.0),
+        );
+    if reduce_jobs <= 0.0 {
+        // Map-only pipelines never emit: without a pin, propagation would
+        // flag the unbounded kv_map → kv_reduce edge it cannot evaluate.
+        w.count("kvmsr::kv_reduce", 0.0);
+    }
+    // Task completions are lane-local: a task notifies the launcher that
+    // issued it.
+    w.local("kvmsr::kv_map", "kvmsr_launcher::task_done");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -229,6 +229,15 @@ pub struct MachineConfig {
     /// provably owns the window (`--window-batch`, default 8; 1 disables
     /// horizon batching). Results are byte-identical for every value.
     pub window_batch: u64,
+    /// Predicted per-shard (per-node) work for window 0, typically from
+    /// `udcost` static analysis ([`CostReport::shard_hints`] in the
+    /// analysis crate). The work-stealing scheduler normally claims
+    /// shards in observed-cost order but runs window 0 blind; hints seed
+    /// that first ordering so the heaviest predicted shard is claimed
+    /// first. Scheduling-only — claim order never reaches simulated
+    /// state, so results are byte-identical with or without hints (and
+    /// with wrong hints). Ignored when shorter than the shard count.
+    pub cost_hints: Vec<u64>,
     /// Runtime sanitizer (`--sanitize` on the bench bins): tolerate and
     /// diagnose event-protocol violations — sends to dead threads or
     /// unregistered labels are dropped, out-of-range operand/scratchpad
@@ -294,6 +303,7 @@ impl Default for MachineConfig {
             threads: 1,
             steal: true,
             window_batch: 8,
+            cost_hints: Vec::new(),
             sanitize: false,
             probe: None,
             enforce_spec: None,
@@ -373,6 +383,13 @@ impl MachineConfigBuilder {
     /// clamped to at least 1).
     pub fn window_batch(mut self, k: u64) -> Self {
         self.cfg.window_batch = k.max(1);
+        self
+    }
+
+    /// Seed the window-0 claim order with predicted per-shard costs (see
+    /// [`MachineConfig::cost_hints`]).
+    pub fn cost_hints(mut self, hints: Vec<u64>) -> Self {
+        self.cfg.cost_hints = hints;
         self
     }
 

@@ -1749,7 +1749,21 @@ pub(crate) fn run_rounds(run: &mut EngineRun<'_>, workers: usize) {
         allow_batch,
         claim: AtomicUsize::new(0),
         order: (0..n as u32).map(AtomicU32::new).collect(),
-        cost: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        // Window 0 has no observed costs yet; seed the claim-order sort
+        // with `MachineConfig::cost_hints` (udcost predictions) so the
+        // heaviest predicted shard is claimed first instead of shard 0.
+        // Observed per-round costs overwrite these from round 1 on.
+        // Claim order never reaches simulated state: byte-identity holds
+        // for any hint values.
+        cost: (0..n)
+            .map(|i| {
+                AtomicU64::new(if run.shared.cfg.cost_hints.len() >= n {
+                    run.shared.cfg.cost_hints[i]
+                } else {
+                    0
+                })
+            })
+            .collect(),
         batch_shard: AtomicU32::new(u32::MAX),
         batch_bound: AtomicU64::new(0),
         batch_windows: AtomicU64::new(0),

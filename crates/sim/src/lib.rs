@@ -71,7 +71,7 @@ pub use snapshot::{
 pub use race::{Footprint, RaceFilter, RaceKind, RaceProbe, RaceReport, RaceSite, RaceSpace, Region};
 pub use spec::{
     Bound, Certification, EventDecl, GroupBound, ProgramSpec, SendDecl, SpecFinding, SpecSeverity,
-    ThreadDecl,
+    ThreadDecl, Workload,
 };
 pub use stats::{
     Counters, FabricMetrics, HostSchedStats, LaneMetrics, LinkMetrics, Metrics, NodeMetrics,

@@ -39,6 +39,9 @@ pub enum Bound {
 }
 
 impl Bound {
+    // Saturating arithmetic, not the std traits: `Unbounded` absorbs and
+    // there is no sensible `Output` for overflow to surface through.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Bound) -> Bound {
         match (self, other) {
             (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.saturating_add(b)),
@@ -46,6 +49,7 @@ impl Bound {
         }
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Bound) -> Bound {
         match (self, other) {
             (Bound::Finite(0), _) | (_, Bound::Finite(0)) => Bound::Finite(0),
@@ -164,7 +168,7 @@ impl SendDecl {
     }
 
     fn accepts_argc(&self, argc: u32) -> bool {
-        argc >= self.min_args && self.max_args.map_or(true, |m| argc <= m)
+        argc >= self.min_args && self.max_args.is_none_or(|m| argc <= m)
     }
 }
 
@@ -295,7 +299,7 @@ impl EventDecl {
     }
 
     fn accepts_argc(&self, argc: u32) -> bool {
-        argc >= self.min_args && self.max_args.map_or(true, |m| argc <= m)
+        argc >= self.min_args && self.max_args.is_none_or(|m| argc <= m)
     }
 }
 
@@ -500,7 +504,7 @@ pub fn certify(spec: &ProgramSpec) -> Certification {
     let mut threads_total = Bound::Finite(0);
     let mut spm_total = Bound::Finite(0);
     for root in &roots {
-        let derived = spec.event(root).map_or(true, |e| e.live_per_lane.is_none());
+        let derived = spec.event(root).is_none_or(|e| e.live_per_lane.is_none());
         let live = live_of(root, spec, &in_edges, &mut state);
         let spm = spec
             .event(root)
@@ -518,6 +522,65 @@ pub fn certify(spec: &ProgramSpec) -> Certification {
         groups,
         threads_per_lane: threads_total,
         spm_words_per_lane: spm_total,
+    }
+}
+
+/// Concrete workload facts for static cost prediction (`udcost`).
+///
+/// The symbolic pass over a [`ProgramSpec`] yields per-event count
+/// *bounds* (root multiplicity × fanout products); a `Workload` pins the
+/// numbers an actual input implies: absolute execution counts for events
+/// whose multiplicity depends on the data (map tasks, per-edge reduce
+/// messages), average dynamic fan-outs for send edges declared
+/// `fanout_unbounded`, and the per-node weight distribution the
+/// partitioner / DRAMmalloc layout produced. Each app exposes a
+/// `workload()` hook that builds one from the same inputs its `run_*`
+/// driver uses — host-side arithmetic only, zero simulation ticks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Workload {
+    /// Pinned absolute execution counts by full `thread::event` name.
+    /// A pinned count overrides edge propagation for that event.
+    pub counts: BTreeMap<String, f64>,
+    /// Average dynamic multiplier for a `(src, dst)` send edge — e.g.
+    /// the mean emits per map task for an edge declared
+    /// `fanout_unbounded`. Overrides the declared [`SendDecl::fanout`].
+    pub fanouts: BTreeMap<(String, String), f64>,
+    /// Relative per-node work weights from the data layout (length =
+    /// machine nodes; empty = uniform). Need not be normalized.
+    pub node_weights: Vec<f64>,
+    /// `(src, dst)` send edges known to stay on the sender's node
+    /// (lane-local routing), excluded from predicted cross-node traffic.
+    pub local_edges: Vec<(String, String)>,
+}
+
+impl Workload {
+    pub fn new() -> Workload {
+        Workload::default()
+    }
+
+    /// Pin the absolute execution count of `event`.
+    pub fn count(&mut self, event: &str, n: f64) -> &mut Self {
+        self.counts.insert(event.to_string(), n);
+        self
+    }
+
+    /// Declare the mean dynamic fan-out of the `src` → `dst` send edge.
+    pub fn fanout(&mut self, src: &str, dst: &str, mean: f64) -> &mut Self {
+        self.fanouts
+            .insert((src.to_string(), dst.to_string()), mean);
+        self
+    }
+
+    /// Mark the `src` → `dst` send edge as node-local.
+    pub fn local(&mut self, src: &str, dst: &str) -> &mut Self {
+        self.local_edges.push((src.to_string(), dst.to_string()));
+        self
+    }
+
+    /// Set the per-node work-weight distribution.
+    pub fn weights(&mut self, w: Vec<f64>) -> &mut Self {
+        self.node_weights = w;
+        self
     }
 }
 
@@ -594,10 +657,10 @@ pub fn check_report(
             continue;
         }
         let name = report.handler_name(label);
-        if !spec.declares_class(class_of(&name)) {
+        if !spec.declares_class(class_of(name)) {
             continue;
         }
-        let Some(decl) = spec.event(&name) else {
+        let Some(decl) = spec.event(name) else {
             out.push(SpecFinding::new(
                 SpecSeverity::Error,
                 "undeclared-event",
@@ -605,7 +668,7 @@ pub fn check_report(
                 format!(
                     "executed {} times but not declared by thread-type spec `{}`",
                     h.executions,
-                    class_of(&name)
+                    class_of(name)
                 ),
             ));
             continue;
@@ -829,6 +892,102 @@ mod tests {
         let wk = cert.groups.iter().find(|g| g.root == "wk::run").unwrap();
         assert_eq!(wk.live, Bound::Finite(2));
         assert!(!wk.derived);
+    }
+
+    #[test]
+    fn certify_fanout_zero_annihilates() {
+        // A to_new edge with fanout 0 spawns nothing, even from an
+        // unbounded source group: 0 × unbounded = 0.
+        let mut s = ProgramSpec::new();
+        s.thread("drv")
+            .event("start")
+            .from_host()
+            .send("wk::run", |sd| {
+                sd.to_new().fanout_unbounded();
+            });
+        s.thread("wk").event("run").send("aux::never", |sd| {
+            sd.to_new().fanout(0);
+        });
+        let cert = certify(&s);
+        let wk = cert.groups.iter().find(|g| g.root == "wk::run").unwrap();
+        assert_eq!(wk.live, Bound::Unbounded);
+        let aux = cert.groups.iter().find(|g| g.root == "aux::never").unwrap();
+        assert_eq!(aux.live, Bound::Finite(0), "0 x unbounded must be 0");
+        assert_eq!(Bound::Unbounded.mul(Bound::Finite(0)), Bound::Finite(0));
+    }
+
+    #[test]
+    fn certify_conditional_only_spawn_chain() {
+        // Conditional sends still count toward the upper bound: a chain
+        // of conditional-only spawns multiplies fan-outs like an
+        // unconditional one (certification is worst-case).
+        let mut s = ProgramSpec::new();
+        s.thread("a").event("go").from_host().send("b::go", |sd| {
+            sd.to_new().conditional().fanout(3);
+        });
+        s.thread("b").event("go").send("c::go", |sd| {
+            sd.to_new().conditional().fanout(2);
+        });
+        s.thread("c").event("go").terminates();
+        let cert = certify(&s);
+        let b = cert.groups.iter().find(|g| g.root == "b::go").unwrap();
+        assert_eq!(b.live, Bound::Finite(3));
+        let c = cert.groups.iter().find(|g| g.root == "c::go").unwrap();
+        assert_eq!(c.live, Bound::Finite(6));
+        assert_eq!(cert.threads_per_lane, Bound::Finite(10));
+    }
+
+    #[test]
+    fn certify_mixed_finite_unbounded_products() {
+        // One bounded and one unbounded in-edge into the same group: the
+        // sum is unbounded, and downstream finite fan-outs stay
+        // unbounded (unbounded × finite = unbounded for nonzero).
+        let mut s = ProgramSpec::new();
+        s.thread("drv")
+            .event("start")
+            .from_host()
+            .send("wk::run", |sd| {
+                sd.to_new().fanout(4);
+            })
+            .send("wk::run", |sd| {
+                sd.to_new().fanout_unbounded();
+            });
+        s.thread("wk").event("run").send("dn::fin", |sd| {
+            sd.to_new().fanout(2);
+        });
+        s.thread("dn").event("fin").terminates();
+        let cert = certify(&s);
+        let wk = cert.groups.iter().find(|g| g.root == "wk::run").unwrap();
+        assert_eq!(wk.live, Bound::Unbounded);
+        let dn = cert.groups.iter().find(|g| g.root == "dn::fin").unwrap();
+        assert_eq!(dn.live, Bound::Unbounded);
+        // Bound arithmetic corner cases the derivation relies on.
+        assert_eq!(
+            Bound::Finite(4).add(Bound::Unbounded),
+            Bound::Unbounded
+        );
+        assert_eq!(
+            Bound::Unbounded.mul(Bound::Finite(2)),
+            Bound::Unbounded
+        );
+        assert_eq!(Bound::Finite(0).mul(Bound::Unbounded), Bound::Finite(0));
+    }
+
+    #[test]
+    fn workload_builders_accumulate() {
+        let mut w = Workload::new();
+        w.count("wk::run", 128.0)
+            .fanout("wk::run", "wk::emit", 7.5)
+            .local("wk::run", "wk::done")
+            .weights(vec![2.0, 1.0]);
+        assert_eq!(w.counts.get("wk::run"), Some(&128.0));
+        assert_eq!(
+            w.fanouts
+                .get(&("wk::run".to_string(), "wk::emit".to_string())),
+            Some(&7.5)
+        );
+        assert_eq!(w.local_edges.len(), 1);
+        assert_eq!(w.node_weights, vec![2.0, 1.0]);
     }
 
     #[test]

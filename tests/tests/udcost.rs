@@ -1,0 +1,134 @@
+//! End-to-end tests of `udcost`: every app's workload descriptor yields a
+//! static cost report with zero simulation ticks, the `udcost/v1` JSON
+//! document is stable, predictions calibrate against real conformance
+//! runs within the advertised tolerance, and seeding the scheduler with
+//! `MachineConfig::cost_hints` keeps simulated results byte-identical
+//! across thread counts and stealing modes.
+
+use udcheck::apps::{workload_for, ALL_APPS};
+use udcheck::{analyze_cost, calibrate, render_cost_document, CostReport};
+use updown_graph::generators::{rmat, RmatParams};
+use updown_graph::preprocess::{dedup_sort, split_in_out};
+use updown_graph::Csr;
+use updown_apps::pagerank::{run_pagerank, PrConfig};
+use updown_sim::json::JsonValue;
+use updown_sim::MachineConfig;
+
+const SEED: u64 = 10;
+
+fn report_for(app: &str) -> CostReport {
+    let (w, mc, spec) = workload_for(app, 1, SEED);
+    analyze_cost(app, &spec, &w, &mc)
+}
+
+/// Every app yields a non-trivial static prediction — no engine is
+/// constructed anywhere in this test.
+#[test]
+fn all_apps_produce_static_cost_reports() {
+    for app in ALL_APPS {
+        let r = report_for(app);
+        assert!(r.is_clean(), "{app}: error findings: {:?}", r.findings);
+        assert!(r.total_events > 100.0, "{app}: {} events", r.total_events);
+        assert!(r.total_msgs > 0.0, "{app}: no messages predicted");
+        assert!(r.total_bytes > 0.0, "{app}: no bytes predicted");
+        assert_eq!(
+            r.shard_hints().len(),
+            r.nodes as usize,
+            "{app}: one hint per node-shard"
+        );
+        assert!(
+            r.events.iter().any(|e| e.pinned),
+            "{app}: workload pinned nothing"
+        );
+    }
+}
+
+/// The udcost/v1 document is valid JSON with the advertised schema and is
+/// byte-identical when regenerated from scratch.
+#[test]
+fn document_schema_and_determinism() {
+    let reports: Vec<CostReport> = ALL_APPS.iter().map(|a| report_for(a)).collect();
+    let d1 = render_cost_document(&reports);
+    let reports2: Vec<CostReport> = ALL_APPS.iter().map(|a| report_for(a)).collect();
+    let d2 = render_cost_document(&reports2);
+    assert_eq!(d1, d2, "regenerated document differs");
+    let v = JsonValue::parse(&d1).expect("valid JSON");
+    assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some("udcost/v1"));
+    let rs = v.get("reports").and_then(|r| r.as_arr()).expect("reports");
+    assert_eq!(rs.len(), ALL_APPS.len());
+    for r in rs {
+        assert!(r.get("shard_hints").is_some());
+        assert!(r.get("totals").is_some());
+    }
+}
+
+/// The conformance-scale PageRank inputs, exactly as `workload_for`
+/// mirrors them from `udcheck::apps::run_app`.
+fn conformance_pr() -> (updown_graph::SplitGraph, PrConfig) {
+    let g = Csr::from_edges(&dedup_sort(rmat(8, RmatParams::default(), SEED)));
+    let sg = split_in_out(&g, 64);
+    let mut cfg = PrConfig::new(2);
+    cfg.machine = MachineConfig::small(2, 2, 8);
+    cfg.iterations = 2;
+    (sg, cfg)
+}
+
+/// The static prediction lands within 2x of a real simulated run on
+/// every calibrated counter (events, messages, inter-node traffic,
+/// injected bytes, per-node imbalance).
+#[test]
+fn pagerank_prediction_calibrates_within_2x() {
+    let r = report_for("pagerank");
+    let (sg, cfg) = conformance_pr();
+    let sim = run_pagerank(&sg, &cfg);
+    let cal = calibrate(&r, &sim.report.to_json()).expect("valid metrics export");
+    assert!(
+        cal.within(2.0),
+        "worst factor {:.2}x; entries: {:?}",
+        cal.worst,
+        cal.entries
+            .iter()
+            .map(|e| format!("{} p={:.0} a={:.0} f={:.2}", e.counter, e.predicted, e.actual, e.factor))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// `calibrate` rejects non-metrics documents instead of comparing junk.
+#[test]
+fn calibrate_rejects_foreign_schemas() {
+    let r = report_for("pagerank");
+    assert!(calibrate(&r, r#"{"schema":"udcost/v1"}"#).is_err());
+    assert!(calibrate(&r, "{").is_err());
+}
+
+/// Seeding `MachineConfig::cost_hints` with the prediction reorders only
+/// the parallel scheduler's shard claim order: simulated results stay
+/// byte-identical across thread counts and stealing modes, hints on or
+/// off. This is the wire-back contract of the scheduler integration.
+#[test]
+fn cost_hints_preserve_byte_identity() {
+    let (sg, base_cfg) = conformance_pr();
+    let base = {
+        let mut cfg = base_cfg.clone();
+        cfg.machine.threads = 1;
+        run_pagerank(&sg, &cfg)
+    };
+    let base_json = base.report.to_json();
+    let hints = report_for("pagerank").shard_hints();
+    assert_eq!(hints.len(), 2);
+    for threads in [1u32, 2, 4] {
+        for steal in [true, false] {
+            let mut cfg = base_cfg.clone();
+            cfg.machine.threads = threads;
+            cfg.machine.steal = steal;
+            cfg.machine.cost_hints = hints.clone();
+            let r = run_pagerank(&sg, &cfg);
+            assert_eq!(r.final_tick, base.final_tick, "threads={threads} steal={steal}");
+            assert_eq!(
+                r.report.to_json(),
+                base_json,
+                "cost hints changed results at threads={threads} steal={steal}"
+            );
+        }
+    }
+}

@@ -176,3 +176,28 @@ fn spec_document_round_trips_as_json() {
         assert!(s.get("findings").and_then(|f| f.as_arr()).is_some());
     }
 }
+
+/// The declared-spec Graphviz renderer (`udspec --dot`) emits one cluster
+/// per thread class, a node per declared event, and distinguishes send
+/// edges (fanout labels) from same-thread resumptions (dashed). Output is
+/// deterministic — it feeds byte-compared CI artifacts.
+#[test]
+fn spec_renders_as_deterministic_dot() {
+    use udcheck::spec::spec_to_dot;
+    for app in ALL_APPS {
+        let spec = spec_for(app);
+        let d1 = spec_to_dot(&spec, app);
+        let d2 = spec_to_dot(&spec, app);
+        assert_eq!(d1, d2, "{app}: dot output not deterministic");
+        assert!(d1.starts_with(&format!("digraph \"{app}\"")), "{app}");
+        assert!(d1.contains("subgraph cluster_0"), "{app}: no clusters");
+        assert!(d1.contains("->"), "{app}: no edges");
+        let n_nodes = d1.matches("label=\"").count();
+        assert!(n_nodes > spec.events().count(), "{app}: nodes missing");
+    }
+    // Host-injected events render doubled; resume edges render dashed.
+    let pr = spec_to_dot(&spec_for("pagerank"), "pagerank");
+    assert!(pr.contains("peripheries=2"), "no host-injected marker");
+    assert!(pr.contains("style=dashed"), "no resume edges");
+    assert!(pr.contains(" cont"), "no continuation-wait labels");
+}
